@@ -1,0 +1,57 @@
+// Command coalition-sim runs the reproduction experiment harness: the
+// Figure 1 audit and the quantitative validations E1–E9 described in
+// EXPERIMENTS.md, printing one table per experiment.
+//
+// Usage:
+//
+//	coalition-sim              # run every experiment at quick scale
+//	coalition-sim -exp F1,E5   # run selected experiments
+//	coalition-sim -full        # full-scale sweeps (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stac/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment IDs (F1, E1..E9) or \"all\"")
+	full := flag.Bool("full", false, "run full-scale sweeps")
+	list := flag.Bool("list", false, "list experiments and exit")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured Markdown tables")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-4s %s\n", id, experiments.Titles[id])
+		}
+		return
+	}
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = nil
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(strings.ToUpper(id)))
+		}
+	}
+	format := experiments.Text
+	if *markdown {
+		format = experiments.Markdown
+	}
+	for _, id := range ids {
+		if err := experiments.RunFormat(os.Stdout, id, scale, format); err != nil {
+			fmt.Fprintln(os.Stderr, "coalition-sim:", err)
+			os.Exit(1)
+		}
+	}
+}

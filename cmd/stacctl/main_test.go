@@ -1,0 +1,190 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no-args run succeeded")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand succeeded")
+	}
+}
+
+func TestParseProgram(t *testing.T) {
+	if err := run([]string{"parse-program", "read f1 @ s1; write f2 @ s2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"parse-program", "(("}); err == nil {
+		t.Fatal("bad program accepted")
+	}
+	if err := run([]string{"parse-program"}); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if err := run([]string{"parse-program", "a", "b"}); err == nil {
+		t.Fatal("extra arguments accepted")
+	}
+}
+
+func TestParseProgramFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prog.sral")
+	if err := os.WriteFile(path, []byte("read f1 @ s1"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"parse-program", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseConstraint(t *testing.T) {
+	if err := run([]string{"parse-constraint", "count(0, 5, sigma[r=rsw]) and [read f1 @ s1]"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"parse-constraint", "[["}); err == nil {
+		t.Fatal("bad constraint accepted")
+	}
+}
+
+func TestCheckAndExplain(t *testing.T) {
+	args := []string{"-object", "o1", "-constraint", "count(0, 2, sigma[r=rsw])",
+		"read rsw @ s1; read rsw @ s2"}
+	if err := run(append([]string{"check"}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"explain"}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", "read f @ s"}); err == nil {
+		t.Fatal("check without -constraint succeeded")
+	}
+	if err := run([]string{"check", "-constraint", "T", "(("}); err == nil {
+		t.Fatal("check with bad program succeeded")
+	}
+	if err := run([]string{"check", "-constraint", "[[", "read f @ s"}); err == nil {
+		t.Fatal("check with bad constraint succeeded")
+	}
+}
+
+func TestTraces(t *testing.T) {
+	if err := run([]string{"traces", "-max", "10", "if x > 0 then { read f1 @ s1 } else { read f2 @ s1 }"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"traces", "while x > 0 do { read f1 @ s1 }"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"traces", "(("}); err == nil {
+		t.Fatal("bad program accepted")
+	}
+}
+
+func TestSynth(t *testing.T) {
+	if err := run([]string{"synth", "(read f1 @ s1 | eps) . (write f2 @ s2)*"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"synth", "|"}); err == nil {
+		t.Fatal("bad model accepted")
+	}
+}
+
+func TestPolicyCmd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.stac")
+	policy := `
+user u1
+role r1
+permission p1 read f @ * {
+    duration 5m
+}
+grant r1 p1
+assign u1 r1
+`
+	if err := os.WriteFile(path, []byte(policy), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"policy", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"policy", "user"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestCheckTrace(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.txt")
+	body := `
+# executed history
+o1: read dep @ s1
+o1: read mod @ s2
+`
+	if err := os.WriteFile(traceFile, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check-trace", "-constraint", "[read dep @ *] >> [read mod @ *]", traceFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check-trace", "-object", "o1", "-constraint", "count(0, 5, sigma[*])", traceFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check-trace", traceFile}); err == nil {
+		t.Fatal("missing -constraint accepted")
+	}
+	if err := run([]string{"check-trace", "-constraint", "T", "not an access line"}); err == nil {
+		t.Fatal("malformed trace line accepted")
+	}
+	if err := run([]string{"check-trace", "-constraint", "[[", traceFile}); err == nil {
+		t.Fatal("bad constraint accepted")
+	}
+}
+
+func TestSimplifyFlags(t *testing.T) {
+	if err := run([]string{"parse-program", "-simplify", "skip; read f @ s; skip"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"parse-constraint", "-simplify", "T and not not [read f @ s]"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.stac")
+	if err := os.WriteFile(path, []byte("user u\nrole r\nassign u r\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"policy", "-dump", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	policy := filepath.Join(t.TempDir(), "p.stac")
+	body := `
+user sim-object
+role r
+permission p read * @ * {
+    spatial count(0, 1, sigma[r=rsw])
+}
+grant r p
+assign sim-object r
+`
+	if err := os.WriteFile(policy, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// A run that trips the ceiling still reports (the denial is part
+	// of the trail, not a tool failure).
+	if err := run([]string{"simulate", "-policy", policy, "-roles", "r",
+		"read rsw @ s1; read rsw @ s2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"simulate", "read f @ s"}); err == nil {
+		t.Fatal("missing -policy accepted")
+	}
+	if err := run([]string{"simulate", "-policy", policy, "(("}); err == nil {
+		t.Fatal("bad program accepted")
+	}
+	if err := run([]string{"simulate", "-policy", "role", "read f @ s"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

@@ -1,0 +1,157 @@
+// Command stacd runs a coalition of spatio-temporal access control
+// servers, each exposed as a TCP daemon speaking the JSON-lines
+// protocol of internal/server.
+//
+// Usage:
+//
+//	stacd -policy policy.stac -servers s1,s2,s3 -listen 127.0.0.1:0 \
+//	      -resource s1:fileA=hello -resource s2:fileB=world \
+//	      -issue-credentials
+//
+// Each server binds its own port (ephemeral with port 0) and the bound
+// addresses print one per line as "<server> <addr>". With
+// -issue-credentials a signed demo credential prints per policy user,
+// so stacctl or a custom client can authenticate immediately.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"stac/internal/core"
+	"stac/internal/model"
+	"stac/internal/server"
+	"stac/internal/temporal"
+)
+
+type resourceFlags []string
+
+func (r *resourceFlags) String() string { return strings.Join(*r, ",") }
+
+// Set implements flag.Value.
+func (r *resourceFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+// options collects the daemon configuration.
+type options struct {
+	policyPath string
+	servers    string
+	listen     string
+	key        string
+	issueCreds bool
+	resources  resourceFlags
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.policyPath, "policy", "", "coalition policy file (stacd text format)")
+	flag.StringVar(&opts.servers, "servers", "s1,s2", "comma-separated coalition server IDs")
+	flag.StringVar(&opts.listen, "listen", "127.0.0.1:0", "listen address; port 0 picks ephemeral ports")
+	flag.StringVar(&opts.key, "key", "stac-demo-key", "coalition signing key")
+	flag.BoolVar(&opts.issueCreds, "issue-credentials", false, "print a signed credential per policy user")
+	flag.Var(&opts.resources, "resource", "host a resource: server:name=content (repeatable)")
+	flag.Parse()
+
+	daemons, err := start(opts, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stacd:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ready")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	shutdown(daemons)
+}
+
+// start builds the coalition, binds every daemon and writes the
+// address (and credential) lines to w. The caller owns the returned
+// daemons and must Close them (via shutdown).
+func start(opts options, w io.Writer) ([]*server.Daemon, error) {
+	c := server.NewCoalition(temporal.NewRealClock(), []byte(opts.key))
+
+	if opts.policyPath != "" {
+		f, err := os.Open(opts.policyPath)
+		if err != nil {
+			return nil, err
+		}
+		err = core.LoadPolicy(c.Engine, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var daemons []*server.Daemon
+	fail := func(err error) ([]*server.Daemon, error) {
+		shutdown(daemons)
+		return nil, err
+	}
+	for _, id := range strings.Split(opts.servers, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		srv, err := c.AddServer(model.ServerID(id))
+		if err != nil {
+			return fail(err)
+		}
+		d := server.NewDaemon(srv)
+		addr, err := d.Listen(opts.listen)
+		if err != nil {
+			return fail(err)
+		}
+		daemons = append(daemons, d)
+		fmt.Fprintf(w, "%s %s\n", id, addr)
+	}
+
+	for _, spec := range opts.resources {
+		serverPart, rest, ok := strings.Cut(spec, ":")
+		if !ok {
+			return fail(fmt.Errorf("bad -resource %q (want server:name=content)", spec))
+		}
+		name, content, ok := strings.Cut(rest, "=")
+		if !ok {
+			return fail(fmt.Errorf("bad -resource %q (want server:name=content)", spec))
+		}
+		srv, err := c.Server(model.ServerID(serverPart))
+		if err != nil {
+			return fail(err)
+		}
+		srv.HostResource(model.ResourceID(name), []byte(content))
+	}
+
+	if opts.issueCreds {
+		// A demo credential per policy user, covering the user's
+		// assigned roles (production would use the owner's
+		// registration flow instead).
+		for _, u := range c.Engine.RBAC.Users() {
+			roles := c.Engine.RBAC.AuthorizedRoles(u)
+			names := make([]string, len(roles))
+			for i, r := range roles {
+				names[i] = string(r)
+			}
+			cred := c.Signer.IssueCredential(model.ObjectID(u), string(u)+"@coalition", names)
+			blob, err := json.Marshal(cred)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(w, "credential %s %s\n", u, blob)
+		}
+	}
+	return daemons, nil
+}
+
+func shutdown(daemons []*server.Daemon) {
+	for _, d := range daemons {
+		_ = d.Close()
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/proof"
+	"stac/internal/server"
+)
+
+const testPolicy = `
+user device-1
+role worker
+permission p-read read * @ *
+grant worker p-read
+assign device-1 worker
+`
+
+func writePolicy(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "policy.stac")
+	if err := os.WriteFile(path, []byte(testPolicy), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStartServesTCPEndToEnd(t *testing.T) {
+	var out strings.Builder
+	daemons, err := start(options{
+		policyPath: writePolicy(t),
+		servers:    "s1,s2",
+		listen:     "127.0.0.1:0",
+		key:        "test-key",
+		issueCreds: true,
+		resources:  resourceFlags{"s1:fileA=hello", "s2:fileB=world"},
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(daemons)
+
+	// Parse the printed address and credential lines.
+	addrs := map[string]string{}
+	var cred proof.Credential
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		fields := strings.SplitN(line, " ", 3)
+		switch {
+		case fields[0] == "credential":
+			if err := json.Unmarshal([]byte(fields[2]), &cred); err != nil {
+				t.Fatalf("credential line %q: %v", line, err)
+			}
+		case len(fields) == 2:
+			addrs[fields[0]] = fields[1]
+		}
+	}
+	if len(addrs) != 2 || cred.Object != "device-1" {
+		t.Fatalf("output parse: addrs=%v cred=%+v\n%s", addrs, cred, out.String())
+	}
+
+	// A TCP client authenticates with the printed credential and reads
+	// the hosted resource.
+	cl, err := server.Dial(addrs["s1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(cred); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cl.Access(model.OpRead, "fileA", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts options
+	}{
+		{"missing policy file", options{policyPath: "/nonexistent/policy", servers: "s1", listen: "127.0.0.1:0"}},
+		{"bad resource spec", options{servers: "s1", listen: "127.0.0.1:0", resources: resourceFlags{"nocolon"}}},
+		{"bad resource content", options{servers: "s1", listen: "127.0.0.1:0", resources: resourceFlags{"s1:noequals"}}},
+		{"unknown resource server", options{servers: "s1", listen: "127.0.0.1:0", resources: resourceFlags{"s9:x=y"}}},
+		{"duplicate server", options{servers: "s1,s1", listen: "127.0.0.1:0"}},
+		{"bad listen address", options{servers: "s1", listen: "256.256.256.256:bad"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			daemons, err := start(tc.opts, &strings.Builder{})
+			if err == nil {
+				shutdown(daemons)
+				t.Fatal("start succeeded")
+			}
+		})
+	}
+}
+
+func TestResourceFlags(t *testing.T) {
+	var r resourceFlags
+	if err := r.Set("a:b=c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("d:e=f"); err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != "a:b=c,d:e=f" {
+		t.Fatalf("String = %q", r.String())
+	}
+}

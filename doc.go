@@ -1,0 +1,31 @@
+// Package stac is a Go reproduction of "A Coordinated Spatio-Temporal
+// Access Control Model for Mobile Computing in Coalition Environments"
+// (Song Fu and Cheng-Zhong Xu, IPPS 2005).
+//
+// The library implements the paper's full stack:
+//
+//   - internal/sral — the Shared Resource Access Language (programs of
+//     mobile objects) with parser, printer, trace-model semantics and
+//     the Theorem 3.1 synthesis from regular trace models;
+//   - internal/srac — the spatial constraint language with exact trace
+//     satisfaction (Definition 3.6), prefix evaluation for runtime
+//     enforcement, and the polynomial static checker of Theorem 3.2;
+//   - internal/temporal — continuous time, piecewise-constant state
+//     functions, a decidable duration-calculus fragment (Theorem 4.1)
+//     and per-permission validity tracking (Expression 4.1);
+//   - internal/rbac — the role-based substrate (hierarchy, sessions,
+//     separation of duty) the model extends;
+//   - internal/core — the coordinated engine combining all of the
+//     above (Expression 3.1 + 4.1) with a text policy format;
+//   - internal/agent, internal/server — the mobile-agent emulation
+//     (Naplet stand-in): roaming agents interpreting SRAL programs,
+//     coalition servers with SecurityManager interposition, execution
+//     proofs, and a TCP transport;
+//   - internal/digraph — the Section 6 software-module integrity audit
+//     and the Figure 1 dependency digraph;
+//   - internal/experiments — the reproduction harness behind
+//     cmd/coalition-sim and the benchmarks in bench_test.go.
+//
+// See README.md for a tour and EXPERIMENTS.md for the paper-claim vs
+// measured results of every experiment.
+package stac

@@ -1,0 +1,110 @@
+// Companion coordination: the paper's introduction notes that in a
+// coalition, "permissions may be granted based not only on the
+// requesting subject, but also on the previous access actions of the
+// device and even of its companions". This example runs a two-agent
+// teamwork: a scout must mark the target (a write at any site) before
+// its companion striker may act on it — a strict-mode cross-object
+// ordering constraint, enforced through the coalition proof ledger and
+// synchronised with SRAL's signal/wait.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"stac/internal/agent"
+	"stac/internal/core"
+	"stac/internal/model"
+	"stac/internal/server"
+	"stac/internal/sral"
+	"stac/internal/temporal"
+)
+
+func main() {
+	clock := temporal.NewSimClock(0)
+	coalition := server.NewCoalition(clock, []byte("teamwork-key"))
+	// The ledger lets servers see every coalition object's proofs, not
+	// just the requester's carried ones — the basis for constraints
+	// that mention a companion.
+	coalition.EnableLedger()
+
+	policy := `
+user scout-1
+user striker-1
+role scout
+role striker
+permission p-recon read recon @ *
+permission p-mark write target @ *
+permission p-strike execute target @ * {
+    spatial [scout-1: write target @ *] >> [striker-1: execute target @ *]
+    mode strict
+    describe strike only after the scout marked the target
+}
+grant scout p-recon
+grant scout p-mark
+grant striker p-strike
+assign scout-1 scout
+assign striker-1 striker
+`
+	if err := core.LoadPolicyString(coalition.Engine, policy); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, id := range []model.ServerID{"forward-base", "command-post"} {
+		srv, err := coalition.AddServer(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.HostResource("recon", []byte("sector grid"))
+		srv.HostResource("target", []byte("coordinates"))
+	}
+
+	// The striker first tries without waiting: the strict ordering
+	// constraint denies it (the scout has not marked anything yet).
+	strikerCred := coalition.Signer.IssueCredential("striker-1", "ops@hq", []string{"striker"})
+	eager := agent.New("striker-1", strikerCred, nil, coalition.Signer)
+	eager.Program = mustProg("execute target @ command-post")
+	if err := agent.Launch(coalition, eager); err != nil {
+		fmt.Printf("eager strike: %v\n\n", err)
+	} else {
+		log.Fatal("eager strike was granted — constraint broken")
+	}
+
+	// The coordinated run: the scout recons and marks at forward-base,
+	// then raises the "marked" signal; the striker waits for it and
+	// strikes at command-post. The ledger carries the scout's proof to
+	// a server the scout never contacted directly.
+	scoutCred := coalition.Signer.IssueCredential("scout-1", "ops@hq", []string{"scout"})
+	scout := agent.New("scout-1", scoutCred, mustProg(`
+		read recon @ forward-base;
+		write target @ forward-base;
+		signal(marked)
+	`), coalition.Signer)
+	striker := agent.New("striker-1", strikerCred, mustProg(`
+		wait(marked);
+		execute target @ command-post
+	`), coalition.Signer)
+
+	report := func(tag string) func(model.Access, []byte) {
+		return func(a model.Access, _ []byte) {
+			fmt.Printf("%-9s %s\n", tag+":", a)
+		}
+	}
+	scout.Hooks.OnAccess = report("scout")
+	striker.Hooks.OnAccess = report("striker")
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _ = agent.Launch(coalition, striker) }()
+	go func() { defer wg.Done(); _ = agent.Launch(coalition, scout) }()
+	wg.Wait()
+
+	if scout.Err() != nil || striker.Err() != nil {
+		log.Fatalf("teamwork failed: scout=%v striker=%v", scout.Err(), striker.Err())
+	}
+	fmt.Printf("\nledger now records %d coalition-wide proofs; the strike was\n", coalition.Ledger().Len())
+	fmt.Println("authorised by the scout's proof, issued at a different server.")
+}
+
+func mustProg(src string) sral.Node { return sral.MustParse(src) }

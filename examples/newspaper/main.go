@@ -1,0 +1,118 @@
+// Newspaper deadline (a motivating example from the paper's
+// introduction): "the editing deadline for an issue of a daily
+// newspaper is by 3am". Editing permissions carry a validity
+// duration; when an editor's accumulated editing time exhausts the
+// budget, the permission flips to active-but-invalid and further
+// writes are denied — on every coalition server, without revoking the
+// editor's role or other permissions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stac/internal/core"
+	"stac/internal/model"
+	"stac/internal/proof"
+	"stac/internal/server"
+	"stac/internal/temporal"
+)
+
+func main() {
+	// The newsroom clock starts at midnight (t = 0); the deadline is
+	// 3am, i.e. a 3-hour (10800 s) global validity duration on the
+	// editing permission. Reading the archive is time-insensitive.
+	clock := temporal.NewSimClock(0)
+	coalition := server.NewCoalition(clock, []byte("newsroom-key"))
+
+	policy := `
+user editor-1
+role editor
+permission p-edit write issue @ * {
+    duration 3h
+    scheme   global
+    describe editing window closes at 3am
+}
+permission p-archive read archive @ * {
+    duration inf
+}
+grant editor p-edit
+grant editor p-archive
+assign editor-1 editor
+`
+	if err := core.LoadPolicyString(coalition.Engine, policy); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two bureau servers, both carrying the issue being edited.
+	for _, id := range []model.ServerID{"bureau-east", "bureau-west"} {
+		srv, err := coalition.AddServer(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.HostResource("issue", []byte("## tomorrow's front page ##"))
+		srv.HostResource("archive", []byte("yesterday's paper"))
+	}
+
+	cred := coalition.Signer.IssueCredential("editor-1", "editor@daily", []string{"editor"})
+	store := proof.NewStore(coalition.Signer)
+
+	// The editor holds an open session while working: the edit
+	// permission is active, so its validity duration (the 3-hour
+	// window) is being consumed. The validity accumulates only while
+	// the permission is active — an editor who logs out stops the
+	// clock, which is why the deadline emulation keeps the session
+	// open from midnight on.
+	var srv *server.Server
+	var sub *server.Subject
+	moveTo := func(at model.ServerID) {
+		if sub != nil {
+			srv.Depart(sub)
+		}
+		srv, _ = coalition.Server(at)
+		var err error
+		sub, err = srv.Authenticate(cred)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	edit := func(text string) {
+		_, err := srv.Request(sub, model.OpWrite, "issue", server.RequestContext{
+			Store:   store,
+			Payload: []byte(text),
+		})
+		hh := int(clock.Now()) / 3600
+		mm := int(clock.Now()) % 3600 / 60
+		if err != nil {
+			fmt.Printf("%02d:%02d  %-12s write DENIED: %v\n", hh, mm, srv.ID(), err)
+			return
+		}
+		fmt.Printf("%02d:%02d  %-12s write ok\n", hh, mm, srv.ID())
+	}
+
+	fmt.Println("editing session (deadline 03:00):")
+	moveTo("bureau-east") // session opens at midnight
+	edit("draft v1")      // 00:00
+	clock.Advance(3600)
+	edit("draft v2") // 01:00
+	clock.Advance(3600)
+	// Migrating does not reset a GLOBAL validity budget: 2h consumed.
+	moveTo("bureau-west")
+	edit("draft v3") // 02:00
+	clock.Advance(3540)
+	edit("final tweaks") // 02:59 — just inside
+	clock.Advance(120)
+	edit("one more headline") // 03:01 — past the deadline
+	moveTo("bureau-east")
+	edit("try the other bureau") // still denied: the budget is global
+
+	// The editor's other permission is unaffected: no role was
+	// revoked, only the edit permission's validity expired (the
+	// paper's point against role-level TRBAC disabling).
+	if _, err := srv.Request(sub, model.OpRead, "archive", server.RequestContext{Store: store}); err != nil {
+		log.Fatal(err)
+	}
+	srv.Depart(sub)
+	fmt.Println("\nafter the deadline the editor still reads the archive:")
+	fmt.Println("  read archive ok — only the editing permission expired, not the role")
+}

@@ -1,0 +1,112 @@
+// Restricted software roaming (the first motivating example of the
+// paper): "if a mobile device accesses a resource r (e.g. a licensed
+// software package or its trial version) on site s1 for too many
+// times during a certain time period, it is not allowed to access the
+// resource on site s2" — a spatial counting constraint over BOTH the
+// licensed and trial forms of the package, enforced coalition-wide
+// through the execution proofs the device carries, over the TCP
+// transport.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stac/internal/core"
+	"stac/internal/model"
+	"stac/internal/server"
+	"stac/internal/temporal"
+)
+
+func main() {
+	coalition := server.NewCoalition(temporal.NewRealClock(), []byte("roaming-key"))
+
+	// σ_RSW of Example 3.5: the selector covers the licensed and the
+	// trial version, at any server, so #(0, 5, σ_RSW) caps the total.
+	policy := `
+user device-7
+role fieldworker
+permission p-rsw execute * @ * {
+    spatial  count(0, 5, sigma[r=rsw-licensed,rsw-trial])
+    describe restricted software: at most 5 runs coalition-wide
+}
+grant fieldworker p-rsw
+assign device-7 fieldworker
+`
+	if err := core.LoadPolicyString(coalition.Engine, policy); err != nil {
+		log.Fatal(err)
+	}
+
+	// Three sites expose the package over TCP; s1 and s2 carry the
+	// licensed build, s3 only the trial.
+	addrs := map[model.ServerID]string{}
+	for _, id := range []model.ServerID{"site-1", "site-2", "site-3"} {
+		srv, err := coalition.AddServer(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if id == "site-3" {
+			srv.HostResource("rsw-trial", []byte("trial build"))
+		} else {
+			srv.HostResource("rsw-licensed", []byte("licensed build"))
+		}
+		d := server.NewDaemon(srv)
+		addr, err := d.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+		addrs[id] = addr
+	}
+
+	cred := coalition.Signer.IssueCredential("device-7", "ops@coalition", []string{"fieldworker"})
+
+	// The device's tour: 2 licensed runs at site-1, 2 at site-2, then
+	// 2 trial runs at site-3 — the 6th must be denied even though
+	// site-3 never saw the device before.
+	type stop struct {
+		site model.ServerID
+		res  model.ResourceID
+		runs int
+	}
+	tour := []stop{
+		{"site-1", "rsw-licensed", 2},
+		{"site-2", "rsw-licensed", 2},
+		{"site-3", "rsw-trial", 2},
+	}
+
+	var carried = 0
+	var history []string
+	var prev *server.Client
+	for _, st := range tour {
+		cl, err := server.Dial(addrs[st.site])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if prev != nil {
+			cl.ImportProofs(prev.Proofs())
+			_ = prev.Depart()
+			prev.Close()
+		}
+		if err := cl.Auth(cred); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("device at %s (carrying %d proofs)\n", st.site, len(cl.Proofs()))
+		for i := 0; i < st.runs; i++ {
+			_, err := cl.Access(model.OpExecute, st.res, "", nil)
+			carried++
+			if err != nil {
+				fmt.Printf("  run %d of %s DENIED: %v\n", carried, st.res, err)
+			} else {
+				fmt.Printf("  run %d of %s ok\n", carried, st.res)
+				history = append(history, string(st.site))
+			}
+		}
+		prev = cl
+	}
+	if prev != nil {
+		_ = prev.Depart()
+		prev.Close()
+	}
+	fmt.Printf("\ngranted runs: %d (limit 5), sites that served them: %v\n", len(history), history)
+}

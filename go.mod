@@ -1,0 +1,3 @@
+module stac
+
+go 1.22

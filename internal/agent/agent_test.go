@@ -1,0 +1,519 @@
+package agent
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stac/internal/core"
+	"stac/internal/model"
+	"stac/internal/server"
+	"stac/internal/sral"
+	"stac/internal/temporal"
+)
+
+var key = []byte("agent-test-key")
+
+const roamPolicy = `
+user o1
+user o2
+role traveler
+permission p-read read * @ * {
+    spatial count(0, 2, sigma[r=rsw])
+}
+permission p-exec execute * @ *
+grant traveler p-read
+grant traveler p-exec
+assign o1 traveler
+assign o2 traveler
+`
+
+func newCoalition(t *testing.T) (*server.Coalition, *temporal.SimClock) {
+	t.Helper()
+	clk := temporal.NewSimClock(0)
+	c := server.NewCoalition(clk, key)
+	if err := core.LoadPolicyString(c.Engine, roamPolicy); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []model.ServerID{"s1", "s2", "s3"} {
+		srv, err := c.AddServer(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.HostResource(model.ResourceID("f-"+id), []byte("data@"+id))
+		srv.HostResource("rsw", []byte("restricted"))
+	}
+	return c, clk
+}
+
+func newAgent(t *testing.T, c *server.Coalition, id, prog string) *Agent {
+	t.Helper()
+	cred := c.Signer.IssueCredential(model.ObjectID(id), "owner@example", []string{"traveler"})
+	return New(model.ObjectID(id), cred, sral.MustParse(prog), c.Signer)
+}
+
+func TestAgentRoamsPerProgram(t *testing.T) {
+	c, _ := newCoalition(t)
+	ag := newAgent(t, c, "o1", "read f-s1 @ s1; read f-s2 @ s2; read f-s3 @ s3")
+	var accessed []string
+	ag.Hooks.OnAccess = func(a model.Access, data []byte) {
+		accessed = append(accessed, string(data))
+	}
+	if err := Launch(c, ag); err != nil {
+		t.Fatal(err)
+	}
+	if !ag.Done() || ag.Err() != nil {
+		t.Fatalf("agent state: done=%v err=%v", ag.Done(), ag.Err())
+	}
+	visited := ag.Visited()
+	if len(visited) != 3 || visited[0] != "s1" || visited[2] != "s3" {
+		t.Fatalf("visited = %v", visited)
+	}
+	if len(accessed) != 3 || accessed[0] != "data@s1" {
+		t.Fatalf("accessed = %v", accessed)
+	}
+	if ag.Proofs.Len() != 3 {
+		t.Fatalf("proofs = %d", ag.Proofs.Len())
+	}
+	// The proof trace reflects execution order.
+	tr := ag.Proofs.Trace()
+	if tr[0].Server != "s1" || tr[2].Server != "s3" {
+		t.Fatalf("proof trace = %v", tr)
+	}
+	// Migrations: 3 arrivals.
+	if c.Migrations() != 3 {
+		t.Fatalf("migrations = %d", c.Migrations())
+	}
+}
+
+func TestAgentLifecycleHooks(t *testing.T) {
+	c, _ := newCoalition(t)
+	ag := newAgent(t, c, "o1", "read f-s1 @ s1; read f-s2 @ s2")
+	var events []string
+	ag.Hooks.OnArrival = func(at model.ServerID) { events = append(events, "arrive:"+string(at)) }
+	ag.Hooks.OnDeparture = func(from model.ServerID) { events = append(events, "depart:"+string(from)) }
+	ag.Hooks.OnCompletion = func(err error) { events = append(events, "done") }
+	if err := Launch(c, ag); err != nil {
+		t.Fatal(err)
+	}
+	want := "arrive:s1,arrive:s2,depart:s2,done"
+	// Departure from s1 happens on migration to s2.
+	got := strings.Join(events, ",")
+	if got != "arrive:s1,depart:s1,arrive:s2,depart:s2,done" && got != want {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestAgentStaticallyRejectedProgram(t *testing.T) {
+	c, _ := newCoalition(t)
+	// A straight-line program with 3 rsw reads can NEVER satisfy
+	// count(0,2): the engine's check(P, C) rejects it at the very
+	// first access, before any resource is touched.
+	ag := newAgent(t, c, "o1", "read rsw @ s1; read rsw @ s2; read rsw @ s3; read f-s3 @ s3")
+	err := Launch(c, ag)
+	if !errors.Is(err, server.ErrDenied) {
+		t.Fatalf("err = %v", err)
+	}
+	if ag.Proofs.Len() != 0 {
+		t.Fatalf("statically rejected program performed %d accesses", ag.Proofs.Len())
+	}
+}
+
+func TestAgentDeniedAtRuntimeCeiling(t *testing.T) {
+	c, _ := newCoalition(t)
+	// A loop is statically Mixed (it may run ≤ 2 times), so the
+	// program is admitted; the runtime prefix check denies the 3rd
+	// iteration's access.
+	prog := `
+		ch ! 3; ch ? x;
+		while x > 0 do {
+			read rsw @ s1;
+			ch ! x - 1; ch ? x
+		}
+	`
+	ag := newAgent(t, c, "o1", prog)
+	err := Launch(c, ag)
+	if !errors.Is(err, server.ErrDenied) {
+		t.Fatalf("err = %v", err)
+	}
+	if ag.Proofs.Len() != 2 {
+		t.Fatalf("proofs after runtime denial = %d", ag.Proofs.Len())
+	}
+	if !ag.Done() || ag.Err() == nil {
+		t.Fatal("agent not marked failed")
+	}
+}
+
+func TestAgentUnknownServer(t *testing.T) {
+	c, _ := newCoalition(t)
+	ag := newAgent(t, c, "o1", "read f @ nowhere")
+	if err := Launch(c, ag); !errors.Is(err, model.ErrUnknownServer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAgentValidation(t *testing.T) {
+	c, _ := newCoalition(t)
+	cred := c.Signer.IssueCredential("o1", "owner", []string{"traveler"})
+	ag := New("o1", cred, nil, c.Signer)
+	if err := Launch(c, ag); !errors.Is(err, ErrNoProgram) {
+		t.Fatalf("nil program: %v", err)
+	}
+	bad := New("o1", cred, sral.Seq{First: sral.Skip{}}, c.Signer)
+	if err := Launch(c, bad); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestAgentConditionalsAndVars(t *testing.T) {
+	c, _ := newCoalition(t)
+	prog := `
+		ch ! 5;
+		ch ? x;
+		if x > 3 then { read f-s1 @ s1 } else { read f-s2 @ s2 }
+	`
+	ag := newAgent(t, c, "o1", prog)
+	if err := Launch(c, ag); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Vars().Get("x") != 5 {
+		t.Fatalf("x = %d", ag.Vars().Get("x"))
+	}
+	visited := ag.Visited()
+	if len(visited) != 1 || visited[0] != "s1" {
+		t.Fatalf("visited = %v", visited)
+	}
+}
+
+func TestAgentWhileLoop(t *testing.T) {
+	c, _ := newCoalition(t)
+	// Count down via channel self-sends: reads f-s1 three times.
+	prog := `
+		ch ! 3;
+		ch ? x;
+		while x > 0 do {
+			read f-s1 @ s1;
+			ch ! x - 1;
+			ch ? x
+		}
+	`
+	ag := newAgent(t, c, "o1", prog)
+	if err := Launch(c, ag); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Proofs.Len() != 3 {
+		t.Fatalf("loop accesses = %d", ag.Proofs.Len())
+	}
+}
+
+func TestAgentParallelClones(t *testing.T) {
+	c, _ := newCoalition(t)
+	ag := newAgent(t, c, "o1", "read f-s1 @ s1 || read f-s2 @ s2 || read f-s3 @ s3")
+	if err := Launch(c, ag); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Proofs.Len() != 3 {
+		t.Fatalf("parallel proofs = %d", ag.Proofs.Len())
+	}
+	if len(ag.Visited()) != 3 {
+		t.Fatalf("visited = %v", ag.Visited())
+	}
+}
+
+func TestAgentParallelBranchFailurePropagates(t *testing.T) {
+	c, _ := newCoalition(t)
+	ag := newAgent(t, c, "o1", "read f-s1 @ s1 || read f @ nowhere")
+	if err := Launch(c, ag); err == nil {
+		t.Fatal("branch failure not propagated")
+	}
+}
+
+func TestTwoAgentsSynchronise(t *testing.T) {
+	c, _ := newCoalition(t)
+	// o1 signals after its access; o2 waits for the signal before its
+	// access: signal(ξ) must precede wait(ξ).
+	a1 := newAgent(t, c, "o1", "read f-s1 @ s1; signal(done1)")
+	a2 := newAgent(t, c, "o2", "wait(done1); read f-s2 @ s2")
+	var wg sync.WaitGroup
+	var order []string
+	var mu sync.Mutex
+	record := func(tag string) func(model.Access, []byte) {
+		return func(model.Access, []byte) {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}
+	}
+	a1.Hooks.OnAccess = record("a1")
+	a2.Hooks.OnAccess = record("a2")
+	wg.Add(2)
+	go func() { defer wg.Done(); _ = Launch(c, a2) }()
+	go func() { defer wg.Done(); _ = Launch(c, a1) }()
+	wg.Wait()
+	if a1.Err() != nil || a2.Err() != nil {
+		t.Fatalf("errors: %v %v", a1.Err(), a2.Err())
+	}
+	if len(order) != 2 || order[0] != "a1" || order[1] != "a2" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestAgentHomeServer(t *testing.T) {
+	c, _ := newCoalition(t)
+	ag := newAgent(t, c, "o1", "skip")
+	ag.Home = "s2"
+	if err := Launch(c, ag); err != nil {
+		t.Fatal(err)
+	}
+	visited := ag.Visited()
+	if len(visited) != 1 || visited[0] != "s2" {
+		t.Fatalf("visited = %v", visited)
+	}
+}
+
+func TestAgentString(t *testing.T) {
+	c, _ := newCoalition(t)
+	ag := newAgent(t, c, "o1", "read f-s1 @ s1")
+	if err := Launch(c, ag); err != nil {
+		t.Fatal(err)
+	}
+	s := ag.String()
+	if !strings.Contains(s, "o1") || !strings.Contains(s, "1 proofs") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestVarStore(t *testing.T) {
+	v := NewVarStore()
+	if _, ok := v.Lookup("x"); ok {
+		t.Fatal("unbound var found")
+	}
+	if v.Get("x") != 0 {
+		t.Fatal("unbound Get != 0")
+	}
+	v.Set("x", 7)
+	if v.Get("x") != 7 {
+		t.Fatal("Set/Get broken")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				v.Set(model.VarID(rune('a'+i)), int64(j))
+				v.Get(model.VarID(rune('a' + i)))
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// --- Patterns ---------------------------------------------------------
+
+func TestAccessPatternBuild(t *testing.T) {
+	p := AccessPattern{Op: "read", Res: "f1", Server: "s1"}
+	n := p.Build()
+	if _, ok := n.(sral.Prim); !ok {
+		t.Fatalf("unguarded pattern = %T", n)
+	}
+	guarded := AccessPattern{Guard: CheckFunc(func() bool { return true }), Op: "read", Res: "f1", Server: "s1"}
+	if _, ok := guarded.Build().(sral.If); !ok {
+		t.Fatalf("guarded pattern = %T", guarded.Build())
+	}
+}
+
+func TestSeqParLoopPatternBuild(t *testing.T) {
+	a := AccessPattern{Op: "read", Res: "f1", Server: "s1"}
+	b := AccessPattern{Op: "read", Res: "f2", Server: "s2"}
+	if _, ok := (SeqPattern{a, b}).Build().(sral.Seq); !ok {
+		t.Fatal("SeqPattern")
+	}
+	if _, ok := (ParPattern{a, b}).Build().(sral.Par); !ok {
+		t.Fatal("ParPattern")
+	}
+	loop := LoopPattern{Cond: CheckFunc(func() bool { return false }), Body: a}
+	if _, ok := loop.Build().(sral.While); !ok {
+		t.Fatal("LoopPattern")
+	}
+	raw := Raw{Node: sral.Skip{}}
+	if _, ok := raw.Build().(sral.Skip); !ok {
+		t.Fatal("Raw")
+	}
+}
+
+func TestGuardedPatternSkipsWhenGuardFalse(t *testing.T) {
+	c, _ := newCoalition(t)
+	pattern := SeqPattern{
+		AccessPattern{Guard: CheckFunc(func() bool { return false }), Op: "read", Res: "f-s1", Server: "s1"},
+		AccessPattern{Op: "read", Res: "f-s2", Server: "s2"},
+	}
+	cred := c.Signer.IssueCredential("o1", "owner", []string{"traveler"})
+	ag := New("o1", cred, pattern.Build(), c.Signer)
+	if err := Launch(c, ag); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Proofs.Len() != 1 {
+		t.Fatalf("guarded access ran: %d proofs", ag.Proofs.Len())
+	}
+}
+
+func TestShardedApplAgentProg(t *testing.T) {
+	c, _ := newCoalition(t)
+	// 6 accesses over 3 servers, k = 3 clones.
+	var accesses []AccessPattern
+	for _, s := range []model.ServerID{"s1", "s2", "s3"} {
+		accesses = append(accesses,
+			AccessPattern{Op: "read", Res: model.ResourceID("f-" + s), Server: s},
+			AccessPattern{Op: "execute", Res: model.ResourceID("f-" + s), Server: s},
+		)
+	}
+	collector := &Collector{}
+	guard := CheckFunc(func() bool { return true })
+	prog := Sharded(accesses, 3, guard, collector).Build()
+
+	cred := c.Signer.IssueCredential("o1", "owner", []string{"traveler"})
+	ag := New("o1", cred, prog, c.Signer)
+	ag.Hooks.OnAccess = collector.Report
+	if err := Launch(c, ag); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(collector.Reports()); got != 6 {
+		t.Fatalf("reports = %d", got)
+	}
+	if ag.Proofs.Len() != 6 {
+		t.Fatalf("proofs = %d", ag.Proofs.Len())
+	}
+}
+
+func TestShardedEdgeCases(t *testing.T) {
+	if _, ok := Sharded(nil, 3, nil, nil).Build().(sral.Skip); !ok {
+		t.Fatal("empty access list")
+	}
+	one := []AccessPattern{{Op: "read", Res: "f", Server: "s1"}}
+	// k larger than the list clamps.
+	n := Sharded(one, 10, nil, nil).Build()
+	if _, ok := n.(sral.Prim); !ok {
+		t.Fatalf("k>len = %T", n)
+	}
+	// k <= 0 defaults to 1.
+	n = Sharded(one, 0, nil, nil).Build()
+	if _, ok := n.(sral.Prim); !ok {
+		t.Fatalf("k=0 = %T", n)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	col := &Collector{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				col.Report(model.NewAccess("o", "read", "f", "s"), []byte{1})
+			}
+		}()
+	}
+	wg.Wait()
+	if len(col.Reports()) != 400 {
+		t.Fatalf("reports = %d", len(col.Reports()))
+	}
+}
+
+func TestObserveFuncAndCheckFunc(t *testing.T) {
+	called := false
+	ObserveFunc(func(model.Access, []byte) { called = true }).Report(model.Access{}, nil)
+	if !called {
+		t.Fatal("ObserveFunc")
+	}
+	if !CheckFunc(func() bool { return true }).Check() {
+		t.Fatal("CheckFunc")
+	}
+}
+
+func TestAgentAbortWhileBlocked(t *testing.T) {
+	c, _ := newCoalition(t)
+	// The agent blocks forever on a channel no one sends to.
+	ag := newAgent(t, c, "o1", "read f-s1 @ s1; never ? x; read f-s2 @ s2")
+	done := make(chan error, 1)
+	go func() { done <- Launch(c, ag) }()
+	// Let it reach the blocking receive, then recall it.
+	for i := 0; i < 200 && ag.Proofs.Len() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if ag.Aborted() {
+		t.Fatal("agent aborted before Abort()")
+	}
+	ag.Abort()
+	ag.Abort() // idempotent
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("aborted agent finished without error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("aborted agent never returned")
+	}
+	if !ag.Aborted() || !ag.Done() {
+		t.Fatal("abort state not recorded")
+	}
+	if ag.Proofs.Len() != 1 {
+		t.Fatalf("proofs = %d", ag.Proofs.Len())
+	}
+}
+
+func TestAgentAbortBeforeLaunch(t *testing.T) {
+	c, _ := newCoalition(t)
+	ag := newAgent(t, c, "o1", "read f-s1 @ s1; read f-s2 @ s2")
+	ag.Abort()
+	err := Launch(c, ag)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	if ag.Proofs.Len() != 0 {
+		t.Fatal("pre-aborted agent performed accesses")
+	}
+}
+
+func TestAgentAbortStopsParallelBranches(t *testing.T) {
+	c, _ := newCoalition(t)
+	// Both branches block on waits; abort must release both.
+	ag := newAgent(t, c, "o1", "wait(never1) || wait(never2)")
+	done := make(chan error, 1)
+	go func() { done <- Launch(c, ag) }()
+	time.Sleep(20 * time.Millisecond)
+	ag.Abort()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("aborted parallel agent finished cleanly")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("aborted parallel agent hung")
+	}
+}
+
+func TestAgentStepBudget(t *testing.T) {
+	c, _ := newCoalition(t)
+	// An intentionally unbounded loop: 0 < 1 forever.
+	ag := newAgent(t, c, "o1", "while 0 < 1 do { ch ! 1; ch ? x }")
+	ag.MaxSteps = 500
+	err := Launch(c, ag)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v", err)
+	}
+	if ag.Steps() <= 500 {
+		t.Fatalf("steps = %d", ag.Steps())
+	}
+	// Unlimited by default: a bounded program is unaffected.
+	ag2 := newAgent(t, c, "o1", "read f-s1 @ s1")
+	if err := Launch(c, ag2); err != nil {
+		t.Fatal(err)
+	}
+	if ag2.Steps() != 0 {
+		t.Fatalf("unbudgeted agent counted steps: %d", ag2.Steps())
+	}
+}

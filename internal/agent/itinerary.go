@@ -1,0 +1,194 @@
+package agent
+
+import (
+	"fmt"
+
+	"stac/internal/model"
+	"stac/internal/registry"
+	"stac/internal/sral"
+)
+
+// This file provides the structured navigation facility of the Naplet
+// system (Section 5): an itinerary describes a mobile object's roaming
+// agenda — the list of servers to be visited and their ordering — as a
+// composable structure. An itinerary compiles, together with a
+// per-stop task, into the SRAL program the agent executes, so every
+// static and runtime check applies to navigated agents unchanged.
+
+// Task produces the program fragment an agent performs at a stop.
+type Task func(at model.ServerID) sral.Node
+
+// ReadTask is a convenience task: read the given resource at every
+// stop.
+func ReadTask(res model.ResourceID) Task {
+	return func(at model.ServerID) sral.Node {
+		return sral.Prim{Op: model.OpRead, Resource: res, Server: at}
+	}
+}
+
+// Itinerary is a roaming agenda. Compile turns it into an SRAL
+// program by applying the task at every visited server.
+type Itinerary interface {
+	Compile(task Task) sral.Node
+	// Stops returns the servers the itinerary may visit, in
+	// first-mention order.
+	Stops() []model.ServerID
+}
+
+// Visit is the primitive itinerary: perform the task at one server.
+type Visit model.ServerID
+
+// Compile implements Itinerary.
+func (v Visit) Compile(task Task) sral.Node {
+	if task == nil {
+		return sral.Skip{}
+	}
+	n := task(model.ServerID(v))
+	if n == nil {
+		return sral.Skip{}
+	}
+	return n
+}
+
+// Stops implements Itinerary.
+func (v Visit) Stops() []model.ServerID { return []model.ServerID{model.ServerID(v)} }
+
+// Route visits its legs in order (Naplet's sequential agenda).
+type Route []Itinerary
+
+// Compile implements Itinerary.
+func (r Route) Compile(task Task) sral.Node {
+	nodes := make([]sral.Node, len(r))
+	for i, leg := range r {
+		nodes[i] = leg.Compile(task)
+	}
+	return sral.SeqOf(nodes...)
+}
+
+// Stops implements Itinerary.
+func (r Route) Stops() []model.ServerID { return mergeStops([]Itinerary(r)) }
+
+// Split forks cloned agents over its legs (Naplet's parallel agenda;
+// the clones share the agent's proofs and variables).
+type Split []Itinerary
+
+// Compile implements Itinerary.
+func (s Split) Compile(task Task) sral.Node {
+	nodes := make([]sral.Node, len(s))
+	for i, leg := range s {
+		nodes[i] = leg.Compile(task)
+	}
+	return sral.ParOf(nodes...)
+}
+
+// Stops implements Itinerary.
+func (s Split) Stops() []model.ServerID { return mergeStops([]Itinerary(s)) }
+
+// Alternative visits exactly one of its options, selected at run time
+// by Choose (e.g. the nearest replica, or the first reachable one). A
+// nil Choose selects the first option.
+type Alternative struct {
+	Options []Itinerary
+	Choose  func(n int) int
+}
+
+// Compile implements Itinerary. The choice compiles to a chain of
+// conditionals over opaque guards so that the static checker treats
+// every option as possible (Definition 3.2 union semantics).
+func (a Alternative) Compile(task Task) sral.Node {
+	if len(a.Options) == 0 {
+		return sral.Skip{}
+	}
+	pick := func() int {
+		if a.Choose == nil {
+			return 0
+		}
+		k := a.Choose(len(a.Options))
+		if k < 0 || k >= len(a.Options) {
+			return 0
+		}
+		return k
+	}
+	node := a.Options[len(a.Options)-1].Compile(task)
+	for i := len(a.Options) - 2; i >= 0; i-- {
+		idx := i
+		node = sral.If{
+			Cond: sral.Guard(fmt.Sprintf("route-option-%d", idx), func() bool {
+				return pick() == idx
+			}),
+			Then: a.Options[idx].Compile(task),
+			Else: node,
+		}
+	}
+	return node
+}
+
+// Stops implements Itinerary.
+func (a Alternative) Stops() []model.ServerID { return mergeStops(a.Options) }
+
+// Cycle repeats its body while the condition holds (Naplet's loop
+// agenda).
+type Cycle struct {
+	While Checkable
+	Body  Itinerary
+}
+
+// Compile implements Itinerary.
+func (c Cycle) Compile(task Task) sral.Node {
+	cond := sral.Guard("cycle", func() bool { return c.While != nil && c.While.Check() })
+	return sral.Loop(cond, c.Body.Compile(task))
+}
+
+// Stops implements Itinerary.
+func (c Cycle) Stops() []model.ServerID { return c.Body.Stops() }
+
+func mergeStops(legs []Itinerary) []model.ServerID {
+	var out []model.ServerID
+	seen := map[model.ServerID]bool{}
+	for _, leg := range legs {
+		for _, s := range leg.Stops() {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// PlanVisits builds a sequential itinerary that touches every given
+// resource once, resolving hosting servers through the coalition
+// registry (the yellow-page query of Section 5.2) and grouping
+// consecutive resources by server to exploit data locality. Resources
+// nobody hosts yield an error.
+func PlanVisits(reg *registry.Registry, resources []model.ResourceID) (Route, Task, error) {
+	// Resolve each resource to its (first) hosting server.
+	hostOf := make(map[model.ResourceID]model.ServerID, len(resources))
+	perServer := make(map[model.ServerID][]model.ResourceID)
+	var serverOrder []model.ServerID
+	for _, res := range resources {
+		hosts := reg.WhoHosts(res)
+		if len(hosts) == 0 {
+			return nil, nil, fmt.Errorf("agent: no coalition server hosts %q", res)
+		}
+		h := hosts[0]
+		hostOf[res] = h
+		if _, ok := perServer[h]; !ok {
+			serverOrder = append(serverOrder, h)
+		}
+		perServer[h] = append(perServer[h], res)
+	}
+	var route Route
+	for _, s := range serverOrder {
+		route = append(route, Visit(s))
+	}
+	// The task reads, at each stop, every resource grouped onto it.
+	task := func(at model.ServerID) sral.Node {
+		var nodes []sral.Node
+		for _, res := range perServer[at] {
+			nodes = append(nodes, sral.Prim{Op: model.OpRead, Resource: res, Server: at})
+		}
+		return sral.SeqOf(nodes...)
+	}
+	return route, task, nil
+}

@@ -1,0 +1,176 @@
+package agent
+
+import (
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/registry"
+	"stac/internal/sral"
+)
+
+func TestVisitCompile(t *testing.T) {
+	n := Visit("s1").Compile(ReadTask("f1"))
+	p, ok := n.(sral.Prim)
+	if !ok || p.Server != "s1" || p.Resource != "f1" {
+		t.Fatalf("compiled %v", n)
+	}
+	if _, ok := Visit("s1").Compile(nil).(sral.Skip); !ok {
+		t.Fatal("nil task should compile to Skip")
+	}
+	nilTask := func(model.ServerID) sral.Node { return nil }
+	if _, ok := Visit("s1").Compile(nilTask).(sral.Skip); !ok {
+		t.Fatal("nil task result should compile to Skip")
+	}
+	stops := Visit("s1").Stops()
+	if len(stops) != 1 || stops[0] != "s1" {
+		t.Fatalf("stops = %v", stops)
+	}
+}
+
+func TestRouteAndSplitCompile(t *testing.T) {
+	r := Route{Visit("s1"), Visit("s2"), Visit("s1")}
+	n := r.Compile(ReadTask("f"))
+	if _, ok := n.(sral.Seq); !ok {
+		t.Fatalf("route compiled to %T", n)
+	}
+	stops := r.Stops()
+	if len(stops) != 2 || stops[0] != "s1" || stops[1] != "s2" {
+		t.Fatalf("route stops = %v", stops)
+	}
+	s := Split{Visit("s1"), Visit("s2")}
+	if _, ok := s.Compile(ReadTask("f")).(sral.Par); !ok {
+		t.Fatal("split should compile to Par")
+	}
+	if len(s.Stops()) != 2 {
+		t.Fatalf("split stops = %v", s.Stops())
+	}
+}
+
+func TestAlternativeCompile(t *testing.T) {
+	alt := Alternative{
+		Options: []Itinerary{Visit("replica-1"), Visit("replica-2"), Visit("replica-3")},
+		Choose:  func(n int) int { return 1 },
+	}
+	n := alt.Compile(ReadTask("f"))
+	iff, ok := n.(sral.If)
+	if !ok {
+		t.Fatalf("alternative compiled to %T", n)
+	}
+	// Statically, all three options are reachable branches.
+	servers := sral.Servers(iff)
+	if len(servers) != 3 {
+		t.Fatalf("servers = %v", servers)
+	}
+	// At run time the chooser selects option 1.
+	if iff.Cond.EvalCond(nil) {
+		t.Fatal("option 0 guard should be false when chooser picks 1")
+	}
+	inner := iff.Else.(sral.If)
+	if !inner.Cond.EvalCond(nil) {
+		t.Fatal("option 1 guard should be true")
+	}
+	// Empty and nil-chooser cases.
+	if _, ok := (Alternative{}).Compile(ReadTask("f")).(sral.Skip); !ok {
+		t.Fatal("empty alternative should be Skip")
+	}
+	first := Alternative{Options: []Itinerary{Visit("a"), Visit("b")}}
+	fi := first.Compile(ReadTask("f")).(sral.If)
+	if !fi.Cond.EvalCond(nil) {
+		t.Fatal("nil chooser should select the first option")
+	}
+	// Out-of-range chooser falls back to the first option.
+	oob := Alternative{Options: []Itinerary{Visit("a"), Visit("b")}, Choose: func(int) int { return 99 }}
+	oi := oob.Compile(ReadTask("f")).(sral.If)
+	if !oi.Cond.EvalCond(nil) {
+		t.Fatal("out-of-range chooser should select option 0")
+	}
+}
+
+func TestCycleCompile(t *testing.T) {
+	remaining := 2
+	c := Cycle{
+		While: CheckFunc(func() bool { remaining--; return remaining >= 0 }),
+		Body:  Visit("s1"),
+	}
+	n := c.Compile(ReadTask("f"))
+	w, ok := n.(sral.While)
+	if !ok {
+		t.Fatalf("cycle compiled to %T", n)
+	}
+	if !w.Cond.EvalCond(nil) || !w.Cond.EvalCond(nil) || w.Cond.EvalCond(nil) {
+		t.Fatal("cycle condition sequence wrong")
+	}
+	if len(c.Stops()) != 1 {
+		t.Fatalf("cycle stops = %v", c.Stops())
+	}
+	// nil While is fail-safe false.
+	safe := Cycle{Body: Visit("s1")}
+	if safe.Compile(ReadTask("f")).(sral.While).Cond.EvalCond(nil) {
+		t.Fatal("nil cycle condition should be false")
+	}
+}
+
+func TestItineraryDrivesAgent(t *testing.T) {
+	c, _ := newCoalition(t)
+	it := Route{
+		Visit("s1"),
+		Split{Visit("s2"), Visit("s3")},
+	}
+	task := func(at model.ServerID) sral.Node {
+		return sral.Prim{Op: model.OpRead, Resource: model.ResourceID("f-" + at), Server: at}
+	}
+	cred := c.Signer.IssueCredential("o1", "owner", []string{"traveler"})
+	ag := New("o1", cred, it.Compile(task), c.Signer)
+	if err := Launch(c, ag); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Proofs.Len() != 3 {
+		t.Fatalf("proofs = %d", ag.Proofs.Len())
+	}
+	if got := ag.Visited(); len(got) != 3 || got[0] != "s1" {
+		t.Fatalf("visited = %v", got)
+	}
+}
+
+func TestPlanVisits(t *testing.T) {
+	reg := registry.New()
+	if err := reg.Register(registry.Entry{Server: "s1", Resources: []model.ResourceID{"a", "c"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(registry.Entry{Server: "s2", Resources: []model.ResourceID{"b"}}); err != nil {
+		t.Fatal(err)
+	}
+	route, task, err := PlanVisits(reg, []model.ResourceID{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two stops: c is grouped onto s1's visit (data locality).
+	if len(route) != 2 {
+		t.Fatalf("route = %v", route)
+	}
+	prog := route.Compile(task)
+	accs := sral.Accesses(prog)
+	if len(accs) != 3 {
+		t.Fatalf("accesses = %v", accs)
+	}
+	// Unhosted resources are an error.
+	if _, _, err := PlanVisits(reg, []model.ResourceID{"ghost"}); err == nil {
+		t.Fatal("unhosted resource accepted")
+	}
+}
+
+func TestPlanVisitsEndToEnd(t *testing.T) {
+	c, _ := newCoalition(t)
+	route, task, err := PlanVisits(c.Registry, []model.ResourceID{"f-s1", "f-s2", "f-s3", "rsw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := c.Signer.IssueCredential("o1", "owner", []string{"traveler"})
+	ag := New("o1", cred, route.Compile(task), c.Signer)
+	if err := Launch(c, ag); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Proofs.Len() != 4 {
+		t.Fatalf("proofs = %d", ag.Proofs.Len())
+	}
+}

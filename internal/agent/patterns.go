@@ -1,0 +1,175 @@
+package agent
+
+import (
+	"sync"
+
+	"stac/internal/model"
+	"stac/internal/sral"
+)
+
+// This file provides the recursively constructed resource access
+// patterns of Section 5.2. The base is a Singleton pattern — a single
+// shared-resource access at a server guarded by a pre-condition — and
+// over the set of access patterns three composite operators are
+// defined: SeqPattern, ParPattern and LoopPattern, forming resource
+// accesses of regular trace models. Patterns compile to SRAL programs
+// (Build), so everything the engine can check statically applies to
+// them.
+
+// Checkable is a guard object evaluated before a guarded access runs —
+// the paper's Checkable (e.g. ResultVerify). Implementations must be
+// safe for concurrent use when used under ParPattern.
+type Checkable interface {
+	// Check reports whether the guarded access may proceed.
+	Check() bool
+}
+
+// CheckFunc adapts a function to Checkable.
+type CheckFunc func() bool
+
+// Check implements Checkable.
+func (f CheckFunc) Check() bool { return f() }
+
+// Observable receives the results the agent reports — the paper's
+// Observable (e.g. ResultReport); naplets report their results to
+// home at the end of their execution.
+type Observable interface {
+	// Report delivers one observation.
+	Report(a model.Access, data []byte)
+}
+
+// ObserveFunc adapts a function to Observable.
+type ObserveFunc func(a model.Access, data []byte)
+
+// Report implements Observable.
+func (f ObserveFunc) Report(a model.Access, data []byte) { f(a, data) }
+
+// Collector is an Observable that accumulates reports, safe for
+// concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	reports []Reported
+}
+
+// Reported is one collected observation.
+type Reported struct {
+	Access model.Access
+	Data   []byte
+}
+
+// Report implements Observable.
+func (c *Collector) Report(a model.Access, data []byte) {
+	c.mu.Lock()
+	c.reports = append(c.reports, Reported{Access: a, Data: append([]byte(nil), data...)})
+	c.mu.Unlock()
+}
+
+// Reports returns the collected observations in arrival order.
+func (c *Collector) Reports() []Reported {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Reported(nil), c.reports...)
+}
+
+// Pattern is a recursively constructed resource access pattern.
+type Pattern interface {
+	// Build compiles the pattern to an SRAL program.
+	Build() sral.Node
+}
+
+// AccessPattern is the Singleton base: one access guarded by an
+// optional pre-condition.
+type AccessPattern struct {
+	Guard  Checkable
+	Op     model.Operation
+	Res    model.ResourceID
+	Server model.ServerID
+}
+
+// Build implements Pattern. A guarded access compiles to
+// "if guard then access"; an unguarded one to the bare access.
+func (p AccessPattern) Build() sral.Node {
+	prim := sral.Prim{Op: p.Op, Resource: p.Res, Server: p.Server}
+	if p.Guard == nil {
+		return prim
+	}
+	return sral.IfThen(sral.Guard("pattern-guard", p.Guard.Check), prim)
+}
+
+// SeqPattern is the sequential composition p1; p2; ...; pn.
+type SeqPattern []Pattern
+
+// Build implements Pattern.
+func (ps SeqPattern) Build() sral.Node {
+	nodes := make([]sral.Node, len(ps))
+	for i, p := range ps {
+		nodes[i] = p.Build()
+	}
+	return sral.SeqOf(nodes...)
+}
+
+// ParPattern is the concurrent composition p1 || p2 || ... || pn —
+// each operand runs in a cloned execution branch.
+type ParPattern []Pattern
+
+// Build implements Pattern.
+func (ps ParPattern) Build() sral.Node {
+	nodes := make([]sral.Node, len(ps))
+	for i, p := range ps {
+		nodes[i] = p.Build()
+	}
+	return sral.ParOf(nodes...)
+}
+
+// LoopPattern repeats a body pattern while a pre-condition holds.
+type LoopPattern struct {
+	Cond Checkable
+	Body Pattern
+}
+
+// Build implements Pattern.
+func (p LoopPattern) Build() sral.Node {
+	return sral.Loop(sral.Guard("loop-guard", p.Cond.Check), p.Body.Build())
+}
+
+// Raw wraps an existing SRAL node as a Pattern, for mixing hand-built
+// program fragments into pattern compositions.
+type Raw struct{ Node sral.Node }
+
+// Build implements Pattern.
+func (r Raw) Build() sral.Node { return r.Node }
+
+// Sharded builds the ApplAgentProg of Section 5.2: the access list is
+// split into k equal shares, each share becoming a sequential pattern
+// of guarded accesses, and the k shares run in parallel (k cloned
+// naplets). Each access runs the guard first and reports through the
+// observable. When k does not divide the list, the last share takes
+// the remainder.
+func Sharded(accesses []AccessPattern, k int, guard Checkable, report Observable) Pattern {
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(accesses) {
+		k = len(accesses)
+	}
+	if k == 0 {
+		return Raw{Node: sral.Skip{}}
+	}
+	share := len(accesses) / k
+	var clones ParPattern
+	for i := 0; i < k; i++ {
+		lo := i * share
+		hi := lo + share
+		if i == k-1 {
+			hi = len(accesses)
+		}
+		var seq SeqPattern
+		for _, a := range accesses[lo:hi] {
+			a.Guard = guard
+			seq = append(seq, a)
+		}
+		clones = append(clones, seq)
+	}
+	_ = report // reporting is wired through the agent's OnAccess hook
+	return clones
+}

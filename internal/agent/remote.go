@@ -1,0 +1,230 @@
+package agent
+
+import (
+	"fmt"
+	"sync"
+
+	"stac/internal/channel"
+	"stac/internal/model"
+	"stac/internal/server"
+	"stac/internal/sral"
+)
+
+// RemoteRuntime executes an agent's SRAL program against coalition
+// servers over the TCP transport: the runtime stays on the device (the
+// physical-mobility reading of Section 2 — the device connects to
+// different data servers at different times), migration is re-dialling
+// the next server, and the execution proofs ride along in the agent's
+// store, imported into every new connection.
+//
+// Channel and signal operations synchronise execution branches of the
+// SAME device through the runtime's local hub; cross-device teamwork
+// over the network uses the in-process coalition emulation instead.
+type RemoteRuntime struct {
+	// Addrs resolves coalition server IDs to TCP addresses.
+	Addrs map[model.ServerID]string
+	// Hub carries the device-local channels and signals; created on
+	// first use when nil.
+	Hub *channel.Hub
+
+	once sync.Once
+}
+
+func (rt *RemoteRuntime) hub() *channel.Hub {
+	rt.once.Do(func() {
+		if rt.Hub == nil {
+			rt.Hub = channel.NewHub()
+		}
+	})
+	return rt.Hub
+}
+
+// Launch runs the agent to completion over TCP. It is synchronous;
+// errors carry the failing step. The agent's proof store accumulates
+// every issued proof, exactly as with the in-process Launch.
+func (rt *RemoteRuntime) Launch(ag *Agent) error {
+	if ag.Program == nil {
+		ag.finish(ErrNoProgram)
+		return ErrNoProgram
+	}
+	if err := sral.Validate(ag.Program); err != nil {
+		ag.finish(err)
+		return err
+	}
+	b := &remoteBranch{rt: rt, agent: ag, programText: sral.String(ag.Program)}
+	start := ag.Home
+	if start == "" {
+		if servers := sral.Servers(ag.Program); len(servers) > 0 {
+			start = servers[0]
+		}
+	}
+	var err error
+	if start != "" {
+		err = b.moveTo(start)
+	}
+	if err == nil {
+		err = b.exec(ag.Program)
+	}
+	b.leave()
+	ag.finish(err)
+	return err
+}
+
+// remoteBranch is one execution context over TCP; parallel composition
+// forks branches with their own connections.
+type remoteBranch struct {
+	rt          *RemoteRuntime
+	agent       *Agent
+	programText string
+
+	loc    model.ServerID
+	client *server.Client
+}
+
+func (b *remoteBranch) moveTo(s model.ServerID) error {
+	if b.loc == s && b.client != nil {
+		return nil
+	}
+	b.leave()
+	addr, ok := b.rt.Addrs[s]
+	if !ok {
+		return fmt.Errorf("agent %s: %w: %q has no address", b.agent.ID, model.ErrUnknownServer, s)
+	}
+	cl, err := server.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("agent %s: migrate to %s: %w", b.agent.ID, s, err)
+	}
+	// The carried history enters the new connection before
+	// authentication, so the server sees the full cross-site trace.
+	cl.ImportProofs(b.agent.Proofs.All())
+	if err := cl.Auth(b.agent.Credential); err != nil {
+		cl.Close()
+		return fmt.Errorf("agent %s: arrival at %s: %w", b.agent.ID, s, err)
+	}
+	b.loc = s
+	b.client = cl
+	b.agent.recordVisit(s)
+	if b.agent.Hooks.OnArrival != nil {
+		b.agent.Hooks.OnArrival(s)
+	}
+	return nil
+}
+
+func (b *remoteBranch) leave() {
+	if b.client == nil {
+		return
+	}
+	if b.agent.Hooks.OnDeparture != nil {
+		b.agent.Hooks.OnDeparture(b.loc)
+	}
+	_ = b.client.Depart()
+	b.client.Close()
+	b.client = nil
+}
+
+func (b *remoteBranch) exec(n sral.Node) error {
+	select {
+	case <-b.agent.abort:
+		return fmt.Errorf("agent %s: %w", b.agent.ID, ErrAborted)
+	default:
+	}
+	if err := b.agent.chargeStep(); err != nil {
+		return fmt.Errorf("agent %s: %w", b.agent.ID, err)
+	}
+	switch x := n.(type) {
+	case sral.Skip:
+		return nil
+
+	case sral.Prim:
+		if err := b.moveTo(x.Server); err != nil {
+			return err
+		}
+		data, err := b.client.Access(x.Op, x.Resource, b.programText, nil)
+		if err != nil {
+			return fmt.Errorf("agent %s: %s %s @ %s: %w", b.agent.ID, x.Op, x.Resource, x.Server, err)
+		}
+		// The wire client collected the proof; mirror the latest one
+		// into the agent's authoritative store.
+		ps := b.client.Proofs()
+		if len(ps) > 0 {
+			if err := b.agent.Proofs.Add(ps[len(ps)-1]); err != nil {
+				return fmt.Errorf("agent %s: proof rejected: %w", b.agent.ID, err)
+			}
+		}
+		if b.agent.Hooks.OnAccess != nil {
+			access := model.Access{Object: b.agent.ID, Op: x.Op, Resource: x.Resource, Server: x.Server}
+			b.agent.Hooks.OnAccess(access, data)
+		}
+		return nil
+
+	case sral.Recv:
+		v, err := b.rt.hub().Channel(x.Ch).Recv(b.agent.abort)
+		if err != nil {
+			return fmt.Errorf("agent %s: %s?%s: %w", b.agent.ID, x.Ch, x.Var, err)
+		}
+		b.agent.vars.Set(x.Var, v)
+		return nil
+
+	case sral.Send:
+		b.rt.hub().Channel(x.Ch).Send(x.Expr.EvalExpr(b.agent.vars))
+		return nil
+
+	case sral.Signal:
+		b.rt.hub().Signals().Signal(x.Sig)
+		return nil
+
+	case sral.Wait:
+		if err := b.rt.hub().Signals().Wait(x.Sig, b.agent.abort); err != nil {
+			return fmt.Errorf("agent %s: wait(%s): %w", b.agent.ID, x.Sig, err)
+		}
+		return nil
+
+	case sral.Seq:
+		if err := b.exec(x.First); err != nil {
+			return err
+		}
+		return b.exec(x.Second)
+
+	case sral.If:
+		if x.Cond.EvalCond(b.agent.vars) {
+			return b.exec(x.Then)
+		}
+		return b.exec(x.Else)
+
+	case sral.While:
+		for x.Cond.EvalCond(b.agent.vars) {
+			if err := b.exec(x.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case sral.Par:
+		clone := &remoteBranch{rt: b.rt, agent: b.agent, programText: b.programText}
+		origin := b.loc
+		var wg sync.WaitGroup
+		var rightErr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if origin != "" {
+				if err := clone.moveTo(origin); err != nil {
+					rightErr = err
+					return
+				}
+			}
+			rightErr = clone.exec(x.Right)
+			clone.leave()
+		}()
+		leftErr := b.exec(x.Left)
+		wg.Wait()
+		if leftErr != nil {
+			return leftErr
+		}
+		return rightErr
+
+	case nil:
+		return nil
+	}
+	return fmt.Errorf("agent %s: unknown construct %T", b.agent.ID, n)
+}

@@ -1,0 +1,151 @@
+// Package baseline implements the comparison systems of the
+// experiment harness:
+//
+//  1. an enumeration-based constraint checker that decides P ⊨ C by
+//     materialising traces(P) — exact on loop-free programs but
+//     exponential in branching (and undefined on loops, which it can
+//     only bound-unroll), against which the paper's polynomial
+//     checker (Theorem 3.2) is compared; and
+//  2. a TRBAC-style temporal model in which enabling periods attach
+//     to *roles* rather than permissions, reproducing the paper's
+//     Section 4 motivation: permissions with distinct temporal
+//     requirements force distinct roles, and disabling a role revokes
+//     all its granted privileges at once.
+package baseline
+
+import (
+	"sort"
+
+	"stac/internal/model"
+	"stac/internal/srac"
+	"stac/internal/sral"
+	"stac/internal/trace"
+)
+
+// EnumResult is the outcome of an enumeration-based check.
+type EnumResult struct {
+	// Verdict mirrors the static checker's three-valued answer.
+	Verdict srac.Verdict
+	// Traces is the number of traces materialised.
+	Traces int
+	// Exact reports whether enumeration covered the whole trace model
+	// (false when a loop bound or trace budget was hit, making the
+	// verdict unsound in general).
+	Exact bool
+}
+
+// EnumCheck decides P ⊨ C by enumerating the trace model with the
+// given bounds and evaluating the constraint on every trace. Program
+// accesses are attributed to obj first, mirroring the polynomial
+// checker.
+func EnumCheck(p sral.Node, c srac.Constraint, obj model.ObjectID, opts sral.TraceOptions) EnumResult {
+	set, exact := sral.Traces(p, opts)
+	stamped := srac.StampObject(c, obj)
+	all, any := true, false
+	for _, t := range set.Traces() {
+		st := stampTrace(t, obj)
+		if srac.SatisfiesTrace(st, stamped, nil) {
+			any = true
+		} else {
+			all = false
+		}
+	}
+	v := srac.Mixed
+	switch {
+	case set.Len() == 0 || all:
+		v = srac.AllTraces
+	case !any:
+		v = srac.NoTrace
+	}
+	return EnumResult{Verdict: v, Traces: set.Len(), Exact: exact}
+}
+
+func stampTrace(t trace.Trace, obj model.ObjectID) trace.Trace {
+	out := make(trace.Trace, len(t))
+	for i, a := range t {
+		out[i] = a.WithObject(obj)
+	}
+	return out
+}
+
+// --- TRBAC-style role-period model -----------------------------------
+
+// TRBACPermission is a permission with the temporal requirement the
+// deployment needs: an enabling duration (seconds per activation).
+type TRBACPermission struct {
+	ID model.ResourceID
+	// Duration is the required validity duration.
+	Duration float64
+}
+
+// TRBACPlan is the role structure a TRBAC-style model needs to realise
+// a set of per-permission durations. Because enabling periods attach
+// to roles, permissions can share a role only if they share a
+// duration; the plan groups permissions by duration.
+type TRBACPlan struct {
+	// Roles lists one role per distinct duration, with the
+	// permissions it carries.
+	Roles []TRBACRole
+}
+
+// TRBACRole is one role of the plan.
+type TRBACRole struct {
+	Duration    float64
+	Permissions []model.ResourceID
+}
+
+// RoleCount returns the number of roles the plan needs.
+func (p TRBACPlan) RoleCount() int { return len(p.Roles) }
+
+// PlanTRBAC computes the role structure a TRBAC-style model requires
+// for the permission set: one role per distinct duration. The
+// coordinated model of the paper always needs exactly one role for the
+// same job function, because durations attach to permissions.
+func PlanTRBAC(perms []TRBACPermission) TRBACPlan {
+	byDur := map[float64][]model.ResourceID{}
+	for _, p := range perms {
+		byDur[p.Duration] = append(byDur[p.Duration], p.ID)
+	}
+	durs := make([]float64, 0, len(byDur))
+	for d := range byDur {
+		durs = append(durs, d)
+	}
+	sort.Float64s(durs)
+	plan := TRBACPlan{}
+	for _, d := range durs {
+		ids := byDur[d]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		plan.Roles = append(plan.Roles, TRBACRole{Duration: d, Permissions: ids})
+	}
+	return plan
+}
+
+// RevocationChurn simulates the cost of a role-disabling event: in
+// TRBAC, disabling a role revokes every permission it grants, so a
+// subject that only needed one permission to expire loses the others
+// too. It returns, for a plan and the index of the expiring
+// permission, the number of permissions revoked alongside it
+// (collateral revocations). The paper's model revokes exactly the
+// expired permission, i.e. churn 0.
+func RevocationChurn(plan TRBACPlan, expired model.ResourceID) int {
+	for _, role := range plan.Roles {
+		for _, p := range role.Permissions {
+			if p == expired {
+				return len(role.Permissions) - 1
+			}
+		}
+	}
+	return 0
+}
+
+// TotalChurn sums the collateral revocations over every permission
+// expiring once — the aggregate over-revocation a TRBAC-style
+// deployment incurs for the permission set.
+func TotalChurn(plan TRBACPlan) int {
+	total := 0
+	for _, role := range plan.Roles {
+		// Each expiry in a role of size k revokes k-1 others.
+		total += len(role.Permissions) * (len(role.Permissions) - 1)
+	}
+	return total
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/srac"
+	"stac/internal/sral"
+	"stac/internal/workload"
+)
+
+func TestEnumCheckSimple(t *testing.T) {
+	p := sral.MustParse("read f1 @ s1; write f2 @ s1")
+	c := srac.MustParse("[read f1 @ s1]")
+	res := EnumCheck(p, c, "o1", sral.TraceOptions{MaxTraces: -1})
+	if res.Verdict != srac.AllTraces || !res.Exact || res.Traces != 1 {
+		t.Fatalf("EnumCheck = %+v", res)
+	}
+}
+
+func TestEnumCheckMixedAndNone(t *testing.T) {
+	p := sral.MustParse("if x > 0 then { read f1 @ s1 } else { skip }")
+	c := srac.MustParse("[read f1 @ s1]")
+	res := EnumCheck(p, c, "o1", sral.TraceOptions{MaxTraces: -1})
+	if res.Verdict != srac.Mixed || res.Traces != 2 {
+		t.Fatalf("mixed = %+v", res)
+	}
+	res = EnumCheck(p, srac.MustParse("[read f9 @ s9]"), "o1", sral.TraceOptions{MaxTraces: -1})
+	if res.Verdict != srac.NoTrace {
+		t.Fatalf("none = %+v", res)
+	}
+}
+
+func TestEnumCheckObjectStamping(t *testing.T) {
+	p := sral.MustParse("read f1 @ s1")
+	c := srac.MustParse("[o1: read f1 @ s1]")
+	if res := EnumCheck(p, c, "o1", sral.TraceOptions{MaxTraces: -1}); res.Verdict != srac.AllTraces {
+		t.Fatalf("own object = %+v", res)
+	}
+	if res := EnumCheck(p, c, "o2", sral.TraceOptions{MaxTraces: -1}); res.Verdict != srac.NoTrace {
+		t.Fatalf("foreign object = %+v", res)
+	}
+}
+
+func TestEnumCheckInexactOnLoops(t *testing.T) {
+	p := sral.MustParse("while x > 0 do { read f1 @ s1 }")
+	c := srac.MustParse("count(0, inf, sigma[*])")
+	res := EnumCheck(p, c, "o1", sral.TraceOptions{MaxLoopReps: 3})
+	if res.Exact {
+		t.Fatal("loop enumeration claimed exact")
+	}
+}
+
+// Cross-validation: on random loop-free programs the enumeration
+// checker and the polynomial static checker must agree whenever the
+// static checker commits to a definite verdict (soundness of
+// Theorem 3.2's algorithm against ground truth).
+func TestEnumAgreesWithStaticChecker(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	v := workload.DefaultVocabulary(3, 4)
+	for i := 0; i < 200; i++ {
+		p := workload.Program(r, v, workload.ProgramOptions{Size: 8, ParFraction: 0.2, LoopFree: true})
+		c := workload.Constraint(r, v, workload.ConstraintOptions{Size: 4})
+		enum := EnumCheck(p, c, "o1", sral.TraceOptions{MaxTraces: -1})
+		if !enum.Exact {
+			continue
+		}
+		static := srac.CheckProgram(p, srac.StampObject(c, "o1"), "o1")
+		switch static {
+		case srac.AllTraces:
+			if enum.Verdict != srac.AllTraces {
+				t.Fatalf("iteration %d: static all-traces but enumeration %v\nP=%s\nC=%s",
+					i, enum.Verdict, sral.String(p), srac.String(c))
+			}
+		case srac.NoTrace:
+			if enum.Verdict != srac.NoTrace {
+				t.Fatalf("iteration %d: static no-trace but enumeration %v\nP=%s\nC=%s",
+					i, enum.Verdict, sral.String(p), srac.String(c))
+			}
+		}
+	}
+}
+
+func TestPlanTRBACGroupsByDuration(t *testing.T) {
+	perms := []TRBACPermission{
+		{ID: "p1", Duration: 10},
+		{ID: "p2", Duration: 20},
+		{ID: "p3", Duration: 10},
+		{ID: "p4", Duration: 30},
+		{ID: "p5", Duration: 20},
+	}
+	plan := PlanTRBAC(perms)
+	if plan.RoleCount() != 3 {
+		t.Fatalf("roles = %d", plan.RoleCount())
+	}
+	// Sorted by duration: 10 → {p1,p3}, 20 → {p2,p5}, 30 → {p4}.
+	if plan.Roles[0].Duration != 10 || len(plan.Roles[0].Permissions) != 2 {
+		t.Fatalf("role 0 = %+v", plan.Roles[0])
+	}
+	if plan.Roles[2].Duration != 30 || plan.Roles[2].Permissions[0] != "p4" {
+		t.Fatalf("role 2 = %+v", plan.Roles[2])
+	}
+}
+
+func TestPlanTRBACUniformDurations(t *testing.T) {
+	perms := []TRBACPermission{{ID: "a", Duration: 5}, {ID: "b", Duration: 5}}
+	if got := PlanTRBAC(perms).RoleCount(); got != 1 {
+		t.Fatalf("uniform durations need %d roles", got)
+	}
+	if got := PlanTRBAC(nil).RoleCount(); got != 0 {
+		t.Fatalf("empty plan = %d roles", got)
+	}
+}
+
+func TestRevocationChurn(t *testing.T) {
+	plan := PlanTRBAC([]TRBACPermission{
+		{ID: "p1", Duration: 10},
+		{ID: "p2", Duration: 10},
+		{ID: "p3", Duration: 10},
+		{ID: "p4", Duration: 20},
+	})
+	if got := RevocationChurn(plan, "p1"); got != 2 {
+		t.Fatalf("churn(p1) = %d", got)
+	}
+	if got := RevocationChurn(plan, "p4"); got != 0 {
+		t.Fatalf("churn(p4) = %d", got)
+	}
+	if got := RevocationChurn(plan, "ghost"); got != 0 {
+		t.Fatalf("churn(ghost) = %d", got)
+	}
+	// Total: role of 3 contributes 3*2=6, singleton contributes 0.
+	if got := TotalChurn(plan); got != 6 {
+		t.Fatalf("total churn = %d", got)
+	}
+}
+
+func TestChurnScalesWithSharing(t *testing.T) {
+	// p permissions, all same duration: one role, churn p(p-1).
+	var perms []TRBACPermission
+	for i := 0; i < 10; i++ {
+		perms = append(perms, TRBACPermission{ID: model.ResourceID(rune('a' + i)), Duration: 7})
+	}
+	plan := PlanTRBAC(perms)
+	if got := TotalChurn(plan); got != 90 {
+		t.Fatalf("churn = %d", got)
+	}
+	// Distinct durations: p roles, churn 0 — but at the cost of role
+	// explosion, which is the paper's point.
+	for i := range perms {
+		perms[i].Duration = float64(i)
+	}
+	plan = PlanTRBAC(perms)
+	if plan.RoleCount() != 10 || TotalChurn(plan) != 0 {
+		t.Fatalf("distinct plan = %d roles, churn %d", plan.RoleCount(), TotalChurn(plan))
+	}
+}

@@ -1,0 +1,158 @@
+package baseline
+
+import (
+	"fmt"
+
+	"stac/internal/temporal"
+)
+
+// This file extends the TRBAC comparator to GTRBAC (Joshi et al.,
+// the paper's [12]): besides periodic role enabling, GTRBAC admits
+// periodic constraints on user-role assignments and role-permission
+// assignments. The simulator answers point-in-time authorisation
+// queries and materialises per-(user, permission) availability state
+// functions, which the E5-style analyses compare against the
+// coordinated model's per-permission durations.
+//
+// The structural limitation the paper leans on remains visible here:
+// every temporal restriction is an *absolute periodic calendar*
+// (enabled 9–17 daily), not an accumulated duration relative to a
+// mobile object's arrival — so without a global clock the calendars of
+// different servers disagree, and per-object budgets ("at most 3 hours
+// of editing") are inexpressible without one role per (user, budget)
+// pair and external re-enabling machinery.
+
+// Always is the periodic expression that is permanently active.
+var Always = Periodic{Start: 0, Duration: 1, Period: 1}
+
+// GTRBACAssignment couples a relation member with its periodic
+// activity window.
+type GTRBACAssignment struct {
+	// Window bounds when the assignment is in force; use Always for an
+	// unconstrained assignment.
+	Window Periodic
+}
+
+// GTRBACSim is a GTRBAC-style model: periodic role enabling plus
+// periodic user-role and role-permission assignments.
+type GTRBACSim struct {
+	roles map[string]Periodic
+	// ua[user][role] and pa[role][perm] carry the assignment windows.
+	ua map[string]map[string]GTRBACAssignment
+	pa map[string]map[string]GTRBACAssignment
+}
+
+// NewGTRBACSim creates an empty simulator.
+func NewGTRBACSim() *GTRBACSim {
+	return &GTRBACSim{
+		roles: make(map[string]Periodic),
+		ua:    make(map[string]map[string]GTRBACAssignment),
+		pa:    make(map[string]map[string]GTRBACAssignment),
+	}
+}
+
+// AddRole registers a role with its periodic enabling expression.
+func (g *GTRBACSim) AddRole(name string, enable Periodic) error {
+	if name == "" {
+		return fmt.Errorf("baseline: role without name")
+	}
+	if err := enable.Validate(); err != nil {
+		return fmt.Errorf("baseline: role %q: %w", name, err)
+	}
+	if _, ok := g.roles[name]; ok {
+		return fmt.Errorf("baseline: role %q already defined", name)
+	}
+	g.roles[name] = enable
+	return nil
+}
+
+// AssignUser adds a periodic user-role assignment.
+func (g *GTRBACSim) AssignUser(user, role string, window Periodic) error {
+	if _, ok := g.roles[role]; !ok {
+		return fmt.Errorf("baseline: unknown role %q", role)
+	}
+	if err := window.Validate(); err != nil {
+		return fmt.Errorf("baseline: assignment (%s, %s): %w", user, role, err)
+	}
+	if g.ua[user] == nil {
+		g.ua[user] = make(map[string]GTRBACAssignment)
+	}
+	g.ua[user][role] = GTRBACAssignment{Window: window}
+	return nil
+}
+
+// GrantPermission adds a periodic role-permission assignment.
+func (g *GTRBACSim) GrantPermission(role, perm string, window Periodic) error {
+	if _, ok := g.roles[role]; !ok {
+		return fmt.Errorf("baseline: unknown role %q", role)
+	}
+	if err := window.Validate(); err != nil {
+		return fmt.Errorf("baseline: grant (%s, %s): %w", role, perm, err)
+	}
+	if g.pa[role] == nil {
+		g.pa[role] = make(map[string]GTRBACAssignment)
+	}
+	g.pa[role][perm] = GTRBACAssignment{Window: window}
+	return nil
+}
+
+// HoldsAt reports whether the user holds the permission at time t:
+// some role is enabled at t whose user assignment and permission grant
+// windows are both active at t.
+func (g *GTRBACSim) HoldsAt(user, perm string, t float64) bool {
+	for role, ua := range g.ua[user] {
+		if !g.roles[role].Active(t) || !ua.Window.Active(t) {
+			continue
+		}
+		if pa, ok := g.pa[role][perm]; ok && pa.Window.Active(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// AvailabilityState materialises, over [begin, end), the state
+// function "user holds perm" — the GTRBAC counterpart of the
+// coordinated model's valid(perm, t).
+func (g *GTRBACSim) AvailabilityState(user, perm string, begin, end float64) *temporal.State {
+	acc := temporal.NewIntervalSet()
+	for role, ua := range g.ua[user] {
+		pa, ok := g.pa[role][perm]
+		if !ok {
+			continue
+		}
+		windows := g.roles[role].WindowsWithin(begin, end).
+			Intersect(ua.Window.WindowsWithin(begin, end)).
+			Intersect(pa.Window.WindowsWithin(begin, end))
+		acc = acc.Union(windows)
+	}
+	st := temporal.NewState()
+	for _, iv := range acc.Intervals() {
+		st.SetOn(iv.Begin, iv.End)
+	}
+	return st
+}
+
+// BudgetExpressible reports whether the model can express "user may
+// hold perm for at most dur accumulated seconds starting from an
+// arbitrary arrival time": it cannot — availability is a fixed
+// calendar independent of consumption — unless the budget happens to
+// coincide with a periodic window measured from an agreed global
+// epoch. The method quantifies the mismatch: it returns the worst-case
+// over-grant (accumulated availability beyond dur) across arrival
+// times sampled at window boundaries within the horizon.
+func (g *GTRBACSim) BudgetExpressible(user, perm string, dur float64, horizon float64) (worstOverGrant float64) {
+	st := g.AvailabilityState(user, perm, 0, horizon)
+	segs := st.SegmentsWithin(temporal.Interval{Begin: 0, End: horizon})
+	for _, seg := range segs {
+		if !seg.Value {
+			continue
+		}
+		arrival := seg.Interval.Begin
+		granted := st.Integral(arrival, horizon)
+		if over := granted - dur; over > worstOverGrant {
+			worstOverGrant = over
+		}
+	}
+	return worstOverGrant
+}

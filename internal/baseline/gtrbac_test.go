@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+)
+
+func newGTRBAC(t *testing.T) *GTRBACSim {
+	t.Helper()
+	g := NewGTRBACSim()
+	// Role enabled 9–17 daily; alice assigned only on the first "week"
+	// half of each 48-unit cycle; the edit grant active all day.
+	if err := g.AddRole("editor", Periodic{Start: 9, Duration: 8, Period: 24}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AssignUser("alice", "editor", Periodic{Start: 0, Duration: 24, Period: 48}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.GrantPermission("editor", "p-edit", Always); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGTRBACValidation(t *testing.T) {
+	g := NewGTRBACSim()
+	if err := g.AddRole("", Always); err == nil {
+		t.Fatal("unnamed role accepted")
+	}
+	if err := g.AddRole("r", Periodic{}); err == nil {
+		t.Fatal("invalid periodic accepted")
+	}
+	if err := g.AddRole("r", Always); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRole("r", Always); err == nil {
+		t.Fatal("duplicate role accepted")
+	}
+	if err := g.AssignUser("u", "ghost", Always); err == nil {
+		t.Fatal("assignment to unknown role accepted")
+	}
+	if err := g.AssignUser("u", "r", Periodic{}); err == nil {
+		t.Fatal("invalid assignment window accepted")
+	}
+	if err := g.GrantPermission("ghost", "p", Always); err == nil {
+		t.Fatal("grant to unknown role accepted")
+	}
+	if err := g.GrantPermission("r", "p", Periodic{}); err == nil {
+		t.Fatal("invalid grant window accepted")
+	}
+}
+
+func TestGTRBACHoldsAtIntersectsAllWindows(t *testing.T) {
+	g := newGTRBAC(t)
+	tests := []struct {
+		t    float64
+		want bool
+	}{
+		{10, true},  // day 1, business hours, assignment active
+		{5, false},  // role disabled
+		{20, false}, // role disabled (evening)
+		{34, false}, // day 2 business hours (t=24+10) — assignment window inactive
+		{58, true},  // day 3 (t=48+10): assignment active again
+	}
+	for _, tt := range tests {
+		if got := g.HoldsAt("alice", "p-edit", tt.t); got != tt.want {
+			t.Errorf("HoldsAt(%v) = %v", tt.t, got)
+		}
+	}
+	if g.HoldsAt("bob", "p-edit", 10) {
+		t.Fatal("unassigned user holds permission")
+	}
+	if g.HoldsAt("alice", "ghost", 10) {
+		t.Fatal("ungranted permission held")
+	}
+}
+
+func TestGTRBACAvailabilityState(t *testing.T) {
+	g := newGTRBAC(t)
+	st := g.AvailabilityState("alice", "p-edit", 0, 96)
+	// Active 9–17 on days 1 and 3 only: 16 units over 96.
+	if got := st.Integral(0, 96); math.Abs(got-16) > 1e-9 {
+		t.Fatalf("availability integral = %v", got)
+	}
+	// Point queries agree with HoldsAt.
+	for _, probe := range []float64{10, 34, 58, 80} {
+		if st.At(probe) != g.HoldsAt("alice", "p-edit", probe) {
+			t.Fatalf("state/HoldsAt disagree at %v", probe)
+		}
+	}
+	// Unknown pair: empty state.
+	if got := g.AvailabilityState("bob", "p-edit", 0, 96).Integral(0, 96); got != 0 {
+		t.Fatalf("bob availability = %v", got)
+	}
+}
+
+// The structural claim behind Section 4's critique: a per-object
+// accumulated budget ("at most 3 units of editing after arrival") is
+// not expressible as a fixed calendar — an agent arriving at a window
+// start can consume far more than the budget.
+func TestGTRBACBudgetInexpressible(t *testing.T) {
+	g := newGTRBAC(t)
+	over := g.BudgetExpressible("alice", "p-edit", 3, 96)
+	// Arriving at t=9 the calendar grants 16 units against a 3-unit
+	// budget: 13 units of over-grant.
+	if math.Abs(over-13) > 1e-9 {
+		t.Fatalf("worst over-grant = %v", over)
+	}
+	// The coordinated model's tracker grants exactly the budget —
+	// compare: a 3-unit duration tracker over the same horizon.
+	// (Asserted throughout internal/temporal; here we just check the
+	// GTRBAC side is the one that over-grants.)
+	if over <= 0 {
+		t.Fatal("expected a positive over-grant")
+	}
+}

@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stac/internal/temporal"
+)
+
+// This file implements a working TRBAC-style comparator (Bertino et
+// al., cited as [2]/[3] by the paper): roles are enabled by PERIODIC
+// interval expressions on a discrete-epoch calendar, and a disabling
+// event revokes every permission the role grants at once. It is the
+// executable counterpart of the paper's Section 4 critique — the
+// PlanTRBAC role-counting analysis in baseline.go gives the static
+// view; this simulator gives the dynamic one (who holds which
+// permission when, and how much collateral revocation role-level
+// disabling causes).
+
+// Periodic is a periodic interval expression: windows of length
+// Duration starting at Start and recurring every Period (all in
+// seconds). It is the discrete-calendar periodic expression of TRBAC
+// ("every day from 9 to 17" ≈ Start 9h, Duration 8h, Period 24h).
+type Periodic struct {
+	Start    float64
+	Duration float64
+	Period   float64
+}
+
+// Validate reports structural problems.
+func (p Periodic) Validate() error {
+	if p.Duration <= 0 {
+		return fmt.Errorf("baseline: periodic duration must be positive")
+	}
+	if p.Period <= 0 {
+		return fmt.Errorf("baseline: periodic period must be positive")
+	}
+	if p.Duration > p.Period {
+		return fmt.Errorf("baseline: periodic duration exceeds period")
+	}
+	return nil
+}
+
+// Active reports whether time t falls inside one of the expression's
+// windows.
+func (p Periodic) Active(t float64) bool {
+	if t < p.Start {
+		return false
+	}
+	offset := math.Mod(t-p.Start, p.Period)
+	return offset < p.Duration
+}
+
+// WindowsWithin materialises the enabling windows intersecting
+// [begin, end) as an interval set.
+func (p Periodic) WindowsWithin(begin, end float64) *temporal.IntervalSet {
+	out := temporal.NewIntervalSet()
+	if end <= begin {
+		return out
+	}
+	// First window that can intersect the range.
+	k := math.Floor((begin - p.Start) / p.Period)
+	if k < 0 {
+		k = 0
+	}
+	for start := p.Start + k*p.Period; start < end; start += p.Period {
+		out.Add(temporal.Interval{Begin: start, End: start + p.Duration})
+	}
+	return out.Intersect(temporal.NewIntervalSet(temporal.Interval{Begin: begin, End: end}))
+}
+
+// TRBACRoleSpec couples a role with its periodic enabling expression
+// and granted permissions.
+type TRBACRoleSpec struct {
+	Name    string
+	Enable  Periodic
+	Granted []string
+}
+
+// TRBACSim simulates role-period enabling over a horizon.
+type TRBACSim struct {
+	roles []TRBACRoleSpec
+}
+
+// NewTRBACSim builds a simulator after validating every periodic
+// expression.
+func NewTRBACSim(roles []TRBACRoleSpec) (*TRBACSim, error) {
+	for _, r := range roles {
+		if r.Name == "" {
+			return nil, fmt.Errorf("baseline: role without name")
+		}
+		if err := r.Enable.Validate(); err != nil {
+			return nil, fmt.Errorf("baseline: role %q: %w", r.Name, err)
+		}
+	}
+	return &TRBACSim{roles: append([]TRBACRoleSpec(nil), roles...)}, nil
+}
+
+// HoldsAt reports whether the permission is granted at time t — i.e.
+// some enabled role grants it.
+func (s *TRBACSim) HoldsAt(perm string, t float64) bool {
+	for _, r := range s.roles {
+		if !r.Enable.Active(t) {
+			continue
+		}
+		for _, g := range r.Granted {
+			if g == perm {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PermissionState returns the state function of a permission over
+// [begin, end): 1 whenever some enabled role grants it.
+func (s *TRBACSim) PermissionState(perm string, begin, end float64) *temporal.State {
+	acc := temporal.NewIntervalSet()
+	for _, r := range s.roles {
+		granted := false
+		for _, g := range r.Granted {
+			if g == perm {
+				granted = true
+				break
+			}
+		}
+		if !granted {
+			continue
+		}
+		acc = acc.Union(r.Enable.WindowsWithin(begin, end))
+	}
+	st := temporal.NewState()
+	for _, iv := range acc.Intervals() {
+		st.SetOn(iv.Begin, iv.End)
+	}
+	return st
+}
+
+// RevocationEvent is one role-disabling instant and the permissions it
+// revokes together.
+type RevocationEvent struct {
+	Time    float64
+	Role    string
+	Revoked []string
+}
+
+// RevocationEvents lists every role-disabling event in [begin, end)
+// in time order. Each event revokes ALL of the role's permissions at
+// once — the coarseness the paper's per-permission validity avoids.
+func (s *TRBACSim) RevocationEvents(begin, end float64) []RevocationEvent {
+	var out []RevocationEvent
+	for _, r := range s.roles {
+		p := r.Enable
+		k := math.Floor((begin - p.Start) / p.Period)
+		if k < 0 {
+			k = 0
+		}
+		for start := p.Start + k*p.Period; start < end; start += p.Period {
+			// The disabling instant is the window's natural end; only
+			// instants strictly inside the horizon count.
+			wEnd := start + p.Duration
+			if wEnd <= begin || wEnd >= end {
+				continue
+			}
+			revoked := append([]string(nil), r.Granted...)
+			sort.Strings(revoked)
+			out = append(out, RevocationEvent{Time: wEnd, Role: r.Name, Revoked: revoked})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Role < out[j].Role
+	})
+	return out
+}
+
+// CollateralOver sums, over every revocation event in the horizon, the
+// permissions revoked beyond the first — the aggregate over-revocation
+// of role-level disabling.
+func (s *TRBACSim) CollateralOver(begin, end float64) int {
+	total := 0
+	for _, ev := range s.RevocationEvents(begin, end) {
+		if n := len(ev.Revoked); n > 1 {
+			total += n - 1
+		}
+	}
+	return total
+}

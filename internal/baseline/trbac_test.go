@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPeriodicValidate(t *testing.T) {
+	if err := (Periodic{Start: 0, Duration: 8, Period: 24}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Periodic{
+		{Duration: 0, Period: 24},
+		{Duration: 8, Period: 0},
+		{Duration: 25, Period: 24},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad periodic %d accepted", i)
+		}
+	}
+}
+
+func TestPeriodicActive(t *testing.T) {
+	// Business hours: daily from t=9h for 8h (seconds scaled to units).
+	p := Periodic{Start: 9, Duration: 8, Period: 24}
+	tests := []struct {
+		t    float64
+		want bool
+	}{
+		{0, false}, {8.9, false}, {9, true}, {12, true}, {16.9, true},
+		{17, false}, {23, false},
+		{33, true},  // next day 9am
+		{41, false}, // next day 5pm
+		{5, false},  // before first window
+	}
+	for _, tt := range tests {
+		if got := p.Active(tt.t); got != tt.want {
+			t.Errorf("Active(%v) = %v", tt.t, got)
+		}
+	}
+}
+
+func TestPeriodicWindowsWithin(t *testing.T) {
+	p := Periodic{Start: 9, Duration: 8, Period: 24}
+	ws := p.WindowsWithin(0, 48)
+	if ws.Len() != 2 {
+		t.Fatalf("windows = %v", ws)
+	}
+	if got := ws.Duration(); got != 16 {
+		t.Fatalf("window duration = %v", got)
+	}
+	// Clipped at range edges.
+	ws = p.WindowsWithin(10, 12)
+	if ws.Duration() != 2 {
+		t.Fatalf("clipped duration = %v", ws.Duration())
+	}
+	if ws := p.WindowsWithin(5, 5); !ws.IsEmpty() {
+		t.Fatal("empty range has windows")
+	}
+	// Range starting far after Start still finds windows.
+	ws = p.WindowsWithin(240, 264)
+	if ws.Len() != 1 || math.Abs(ws.Duration()-8) > 1e-9 {
+		t.Fatalf("late windows = %v (dur %v)", ws, ws.Duration())
+	}
+}
+
+func newSim(t *testing.T) *TRBACSim {
+	t.Helper()
+	sim, err := NewTRBACSim([]TRBACRoleSpec{
+		{Name: "day-shift", Enable: Periodic{Start: 9, Duration: 8, Period: 24},
+			Granted: []string{"p-edit", "p-publish", "p-read"}},
+		{Name: "night-audit", Enable: Periodic{Start: 0, Duration: 6, Period: 24},
+			Granted: []string{"p-read"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestNewTRBACSimValidation(t *testing.T) {
+	if _, err := NewTRBACSim([]TRBACRoleSpec{{Name: "", Enable: Periodic{Duration: 1, Period: 2}}}); err == nil {
+		t.Fatal("unnamed role accepted")
+	}
+	if _, err := NewTRBACSim([]TRBACRoleSpec{{Name: "r", Enable: Periodic{}}}); err == nil {
+		t.Fatal("invalid periodic accepted")
+	}
+}
+
+func TestHoldsAt(t *testing.T) {
+	sim := newSim(t)
+	if !sim.HoldsAt("p-edit", 10) {
+		t.Fatal("p-edit not held during day shift")
+	}
+	if sim.HoldsAt("p-edit", 3) {
+		t.Fatal("p-edit held at night")
+	}
+	// p-read is granted by both roles: held during either window.
+	if !sim.HoldsAt("p-read", 3) || !sim.HoldsAt("p-read", 10) {
+		t.Fatal("p-read coverage wrong")
+	}
+	if sim.HoldsAt("p-read", 7) { // 6..9 is a gap
+		t.Fatal("p-read held in the gap")
+	}
+	if sim.HoldsAt("ghost", 10) {
+		t.Fatal("unknown permission held")
+	}
+}
+
+func TestPermissionState(t *testing.T) {
+	sim := newSim(t)
+	st := sim.PermissionState("p-read", 0, 24)
+	// Night 0..6 plus day 9..17 = 14 units.
+	if got := st.Integral(0, 24); math.Abs(got-14) > 1e-9 {
+		t.Fatalf("p-read integral = %v", got)
+	}
+	st = sim.PermissionState("p-edit", 0, 24)
+	if got := st.Integral(0, 24); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("p-edit integral = %v", got)
+	}
+	if got := sim.PermissionState("ghost", 0, 24).Integral(0, 24); got != 0 {
+		t.Fatalf("ghost integral = %v", got)
+	}
+}
+
+func TestRevocationEvents(t *testing.T) {
+	sim := newSim(t)
+	events := sim.RevocationEvents(0, 48)
+	// Each role disables once per day inside the horizon: night-audit
+	// at 6 and 30, day-shift at 17 and 41.
+	if len(events) != 4 {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Time != 6 || events[0].Role != "night-audit" {
+		t.Fatalf("first event = %+v", events[0])
+	}
+	if events[1].Time != 17 || len(events[1].Revoked) != 3 {
+		t.Fatalf("day-shift disable = %+v", events[1])
+	}
+	// Windows ending exactly at the horizon are not counted as
+	// disabling events inside it.
+	short := sim.RevocationEvents(0, 6)
+	if len(short) != 0 {
+		t.Fatalf("horizon-edge events = %+v", short)
+	}
+}
+
+func TestCollateralOver(t *testing.T) {
+	sim := newSim(t)
+	// Per day: day-shift disable revokes 3 permissions (2 collateral),
+	// night-audit revokes 1 (0 collateral). Two days → 4.
+	if got := sim.CollateralOver(0, 48); got != 4 {
+		t.Fatalf("collateral = %d", got)
+	}
+}
+
+// The dynamic simulator agrees with the static plan analysis: giving
+// every permission its own duration-matched role removes collateral
+// revocations entirely, at the cost of one role per permission.
+func TestSimulatorAgreesWithPlanAnalysis(t *testing.T) {
+	perRole := []TRBACRoleSpec{
+		{Name: "r-edit", Enable: Periodic{Start: 9, Duration: 8, Period: 24}, Granted: []string{"p-edit"}},
+		{Name: "r-publish", Enable: Periodic{Start: 9, Duration: 8, Period: 24}, Granted: []string{"p-publish"}},
+		{Name: "r-read", Enable: Periodic{Start: 9, Duration: 8, Period: 24}, Granted: []string{"p-read"}},
+	}
+	sim, err := NewTRBACSim(perRole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.CollateralOver(0, 240); got != 0 {
+		t.Fatalf("per-permission roles still cause collateral: %d", got)
+	}
+	if len(perRole) != 3 {
+		t.Fatal("three roles needed for three permissions — the explosion")
+	}
+}

@@ -1,0 +1,204 @@
+// Package channel implements the communication substrate of the SRAL
+// constructs ch?x, ch!e, signal(ξ) and wait(ξ).
+//
+// Channels carry integer values with unbounded buffering: ch!e appends
+// the value of e and wakes all blocked receivers; ch?x blocks while
+// the channel is empty (Definition 3.1's semantics). Signals provide
+// order synchronisation: wait(ξ) can only proceed after signal(ξ) has
+// been performed; a signal, once raised, stays raised.
+//
+// A Hub scopes channels and signals to a teamwork of mobile objects
+// (the companions whose coordinated accesses the paper's constraints
+// govern). All operations accept a cancellation channel so that a
+// migrating or aborted agent does not leak blocked goroutines.
+package channel
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"stac/internal/model"
+)
+
+// ErrCancelled is returned when a blocking operation is abandoned via
+// its cancel channel.
+var ErrCancelled = errors.New("channel: operation cancelled")
+
+// Channel is an unbounded FIFO of integers shared by mobile objects.
+type Channel struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []int64
+}
+
+// NewChannel creates an empty channel.
+func NewChannel() *Channel {
+	ch := &Channel{}
+	ch.cond = sync.NewCond(&ch.mu)
+	return ch
+}
+
+// Send appends a value (ch!e) and wakes all blocked receivers.
+func (ch *Channel) Send(v int64) {
+	ch.mu.Lock()
+	ch.buf = append(ch.buf, v)
+	ch.mu.Unlock()
+	ch.cond.Broadcast()
+}
+
+// Recv removes and returns the first value (ch?x), blocking while the
+// channel is empty. A receive on cancel aborts with ErrCancelled; a
+// nil cancel never aborts.
+func (ch *Channel) Recv(cancel <-chan struct{}) (int64, error) {
+	// A watcher goroutine turns cancellation into a broadcast so the
+	// cond-based wait observes it.
+	done := make(chan struct{})
+	defer close(done)
+	if cancel != nil {
+		go func() {
+			select {
+			case <-cancel:
+				ch.cond.Broadcast()
+			case <-done:
+			}
+		}()
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	for len(ch.buf) == 0 {
+		if cancelled(cancel) {
+			return 0, ErrCancelled
+		}
+		ch.cond.Wait()
+	}
+	v := ch.buf[0]
+	ch.buf = ch.buf[1:]
+	return v, nil
+}
+
+// TryRecv removes and returns the first value without blocking.
+func (ch *Channel) TryRecv() (int64, bool) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if len(ch.buf) == 0 {
+		return 0, false
+	}
+	v := ch.buf[0]
+	ch.buf = ch.buf[1:]
+	return v, true
+}
+
+// Len returns the number of buffered values.
+func (ch *Channel) Len() int {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return len(ch.buf)
+}
+
+func cancelled(c <-chan struct{}) bool {
+	if c == nil {
+		return false
+	}
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
+// SignalSet tracks raised order-synchronisation signals.
+type SignalSet struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	raised map[model.SignalID]bool
+}
+
+// NewSignalSet creates an empty signal set.
+func NewSignalSet() *SignalSet {
+	s := &SignalSet{raised: make(map[model.SignalID]bool)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Signal raises ξ (signal(ξ)); raising an already-raised signal is a
+// no-op.
+func (s *SignalSet) Signal(id model.SignalID) {
+	s.mu.Lock()
+	s.raised[id] = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Wait blocks until ξ has been raised (wait(ξ)) or cancel fires.
+func (s *SignalSet) Wait(id model.SignalID, cancel <-chan struct{}) error {
+	done := make(chan struct{})
+	defer close(done)
+	if cancel != nil {
+		go func() {
+			select {
+			case <-cancel:
+				s.cond.Broadcast()
+			case <-done:
+			}
+		}()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.raised[id] {
+		if cancelled(cancel) {
+			return ErrCancelled
+		}
+		s.cond.Wait()
+	}
+	return nil
+}
+
+// Raised reports whether ξ has been raised.
+func (s *SignalSet) Raised(id model.SignalID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.raised[id]
+}
+
+// Hub scopes named channels and signals to one coalition teamwork. It
+// creates channels on first use, matching SRAL's implicit channel
+// declarations.
+type Hub struct {
+	mu       sync.Mutex
+	channels map[model.ChannelID]*Channel
+	signals  *SignalSet
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{channels: make(map[model.ChannelID]*Channel), signals: NewSignalSet()}
+}
+
+// Channel returns the named channel, creating it on first use.
+func (h *Hub) Channel(id model.ChannelID) *Channel {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch, ok := h.channels[id]
+	if !ok {
+		ch = NewChannel()
+		h.channels[id] = ch
+	}
+	return ch
+}
+
+// Signals returns the hub's signal set.
+func (h *Hub) Signals() *SignalSet { return h.signals }
+
+// ChannelIDs returns the names of the channels created so far, sorted.
+func (h *Hub) ChannelIDs() []model.ChannelID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]model.ChannelID, 0, len(h.channels))
+	for id := range h.channels {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

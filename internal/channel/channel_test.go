@@ -1,0 +1,247 @@
+package channel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChannelSendRecv(t *testing.T) {
+	ch := NewChannel()
+	ch.Send(1)
+	ch.Send(2)
+	if ch.Len() != 2 {
+		t.Fatalf("Len = %d", ch.Len())
+	}
+	v, err := ch.Recv(nil)
+	if err != nil || v != 1 {
+		t.Fatalf("Recv = %d, %v", v, err)
+	}
+	v, err = ch.Recv(nil)
+	if err != nil || v != 2 {
+		t.Fatalf("Recv = %d, %v (FIFO order)", v, err)
+	}
+}
+
+func TestChannelRecvBlocksUntilSend(t *testing.T) {
+	ch := NewChannel()
+	got := make(chan int64, 1)
+	go func() {
+		v, err := ch.Recv(nil)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- v
+	}()
+	select {
+	case <-got:
+		t.Fatal("Recv returned before Send")
+	case <-time.After(20 * time.Millisecond):
+	}
+	ch.Send(42)
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("Recv = %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv never woke up")
+	}
+}
+
+func TestChannelSendWakesAllReceivers(t *testing.T) {
+	ch := NewChannel()
+	const n = 4
+	var wg sync.WaitGroup
+	results := make(chan int64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := ch.Recv(nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results <- v
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch.Send(int64(i))
+	}
+	wg.Wait()
+	close(results)
+	seen := map[int64]bool{}
+	for v := range results {
+		if seen[v] {
+			t.Fatalf("value %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("delivered %d values", len(seen))
+	}
+}
+
+func TestChannelRecvCancel(t *testing.T) {
+	ch := NewChannel()
+	cancel := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ch.Recv(cancel)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled Recv never returned")
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	ch := NewChannel()
+	if _, ok := ch.TryRecv(); ok {
+		t.Fatal("TryRecv on empty channel succeeded")
+	}
+	ch.Send(7)
+	v, ok := ch.TryRecv()
+	if !ok || v != 7 {
+		t.Fatalf("TryRecv = %d, %v", v, ok)
+	}
+}
+
+func TestSignalOrdering(t *testing.T) {
+	s := NewSignalSet()
+	if s.Raised("go") {
+		t.Fatal("fresh signal raised")
+	}
+	done := make(chan struct{})
+	go func() {
+		if err := s.Wait("go", nil); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Wait returned before Signal")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Signal("go")
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait never woke")
+	}
+	// Once raised, stays raised: immediate return.
+	if err := s.Wait("go", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Raised("go") {
+		t.Fatal("signal lost")
+	}
+}
+
+func TestSignalWaitCancel(t *testing.T) {
+	s := NewSignalSet()
+	cancel := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { errc <- s.Wait("never", cancel) }()
+	time.Sleep(10 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled Wait never returned")
+	}
+}
+
+func TestSignalIdempotent(t *testing.T) {
+	s := NewSignalSet()
+	s.Signal("x")
+	s.Signal("x")
+	if !s.Raised("x") {
+		t.Fatal("signal lost after double raise")
+	}
+}
+
+func TestHubChannelCreation(t *testing.T) {
+	h := NewHub()
+	a := h.Channel("a")
+	if a == nil {
+		t.Fatal("nil channel")
+	}
+	if h.Channel("a") != a {
+		t.Fatal("hub returned a different channel for the same name")
+	}
+	h.Channel("b")
+	ids := h.ChannelIDs()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("ChannelIDs = %v", ids)
+	}
+	if h.Signals() == nil {
+		t.Fatal("nil signal set")
+	}
+}
+
+func TestHubConcurrentAccess(t *testing.T) {
+	h := NewHub()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ch := h.Channel("shared")
+			for j := 0; j < 100; j++ {
+				ch.Send(int64(i*100 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := h.Channel("shared").Len(); got != 800 {
+		t.Fatalf("lost sends: %d", got)
+	}
+}
+
+func TestProducerConsumerPipeline(t *testing.T) {
+	// End-to-end teamwork: producer sends k values, consumer sums and
+	// signals completion.
+	h := NewHub()
+	const k = 100
+	go func() {
+		ch := h.Channel("data")
+		for i := 1; i <= k; i++ {
+			ch.Send(int64(i))
+		}
+	}()
+	sum := make(chan int64, 1)
+	go func() {
+		var total int64
+		ch := h.Channel("data")
+		for i := 0; i < k; i++ {
+			v, err := ch.Recv(nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			total += v
+		}
+		sum <- total
+		h.Signals().Signal("done")
+	}()
+	if err := h.Signals().Wait("done", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-sum; got != k*(k+1)/2 {
+		t.Fatalf("sum = %d", got)
+	}
+}

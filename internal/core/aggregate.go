@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"stac/internal/model"
+	"stac/internal/rbac"
+	"stac/internal/temporal"
+)
+
+// This file implements the extension the paper's conclusion names as
+// future work: "how to classify the temporal permissions and
+// aggregate their validity durations". A permission class groups
+// permissions that draw on ONE shared validity pool: activating any
+// member consumes the class budget, so a job function like "editing"
+// can span several concrete permissions (write headline, write body,
+// write captions) whose combined active time is bounded once, instead
+// of per permission.
+
+// ClassID names a permission class.
+type ClassID string
+
+// Class is a set of permissions sharing an aggregated validity pool.
+type Class struct {
+	ID      ClassID
+	Members []rbac.PermID
+	// Duration is the aggregated validity duration of the pool.
+	Duration float64
+	// Scheme selects the pool's base-time scheme.
+	Scheme temporal.Scheme
+}
+
+func (c Class) duration() float64 {
+	if c.Duration == 0 {
+		return temporal.Infinite
+	}
+	return c.Duration
+}
+
+// DefineClass registers a permission class. Every member permission
+// must already be defined, and a permission can belong to at most one
+// class; once classed, the member's own Duration/Scheme are ignored in
+// favour of the pool's.
+func (e *Engine) DefineClass(c Class) error {
+	if c.ID == "" {
+		return fmt.Errorf("core: class needs an ID")
+	}
+	if len(c.Members) == 0 {
+		return fmt.Errorf("core: class %q has no members", c.ID)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.classes[c.ID]; ok {
+		return fmt.Errorf("core: class %q already defined", c.ID)
+	}
+	for _, m := range c.Members {
+		if _, ok := e.specs[m]; !ok {
+			return fmt.Errorf("core: class %q member %q: %w", c.ID, m, ErrNoSpec)
+		}
+		if prev, ok := e.classOf[m]; ok {
+			return fmt.Errorf("core: permission %q already in class %q", m, prev)
+		}
+	}
+	e.classes[c.ID] = c
+	for _, m := range c.Members {
+		e.classOf[m] = c.ID
+	}
+	return nil
+}
+
+// ClassOf returns the class a permission belongs to, if any.
+func (e *Engine) ClassOf(id rbac.PermID) (Class, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cid, ok := e.classOf[id]
+	if !ok {
+		return Class{}, false
+	}
+	return e.classes[cid], true
+}
+
+// Classes returns the defined classes sorted by ID.
+func (e *Engine) Classes() []Class {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Class, 0, len(e.classes))
+	for _, c := range e.classes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ClassRemaining returns the unused pooled validity of a class for an
+// object.
+func (e *Engine) ClassRemaining(obj model.ObjectID, id ClassID) float64 {
+	e.mu.Lock()
+	c, ok := e.classes[id]
+	if !ok {
+		e.mu.Unlock()
+		return 0
+	}
+	tr, ok := e.trackers[trackerKey{obj: obj, perm: classPermKey(id)}]
+	e.mu.Unlock()
+	if !ok {
+		return c.duration()
+	}
+	return tr.Remaining(e.clock.Now())
+}
+
+// classPermKey reserves a tracker-key namespace for class pools so a
+// class id can never collide with a permission id.
+func classPermKey(id ClassID) rbac.PermID {
+	return rbac.PermID("class\x00" + string(id))
+}
+
+// resolveTemporal maps a permission to the tracker identity and
+// temporal parameters that govern it: its class pool when classed,
+// its own spec otherwise. Callers hold no engine lock.
+func (e *Engine) resolveTemporal(ps PermSpec) (key rbac.PermID, dur float64, scheme temporal.Scheme) {
+	e.mu.Lock()
+	cid, classed := e.classOf[ps.Perm.ID]
+	var c Class
+	if classed {
+		c = e.classes[cid]
+	}
+	e.mu.Unlock()
+	if classed {
+		return classPermKey(cid), c.duration(), c.Scheme
+	}
+	return ps.Perm.ID, ps.duration(), ps.Scheme
+}
+
+// ClassifyByDuration computes the canonical classification of a
+// permission set: permissions with identical (Duration, Scheme) are
+// grouped into one class whose pool equals that duration. It is the
+// automated form of the paper's "classify the temporal permissions";
+// apply the result (or an edited version) with DefineClass.
+func ClassifyByDuration(specs []PermSpec) []Class {
+	type bucket struct {
+		dur    float64
+		scheme temporal.Scheme
+	}
+	groups := map[bucket][]rbac.PermID{}
+	for _, ps := range specs {
+		b := bucket{dur: ps.duration(), scheme: ps.Scheme}
+		groups[b] = append(groups[b], ps.Perm.ID)
+	}
+	keys := make([]bucket, 0, len(groups))
+	for b := range groups {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dur != keys[j].dur {
+			return keys[i].dur < keys[j].dur
+		}
+		return keys[i].scheme < keys[j].scheme
+	})
+	var out []Class
+	for i, b := range keys {
+		members := groups[b]
+		sort.Slice(members, func(x, y int) bool { return members[x] < members[y] })
+		out = append(out, Class{
+			ID:       ClassID(fmt.Sprintf("class-%d", i+1)),
+			Members:  members,
+			Duration: b.dur,
+			Scheme:   b.scheme,
+		})
+	}
+	return out
+}

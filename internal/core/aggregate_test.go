@@ -1,0 +1,210 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/rbac"
+	"stac/internal/temporal"
+)
+
+// classEngine builds an engine with two permissions sharing a 10s
+// pooled class, plus one unclassed permission.
+func classEngine(t *testing.T) (*Engine, *rbac.Session, *temporal.SimClock) {
+	t.Helper()
+	clk := temporal.NewSimClock(0)
+	e := NewEngine(clk)
+	for _, step := range []error{
+		e.RBAC.AddUser("o1"),
+		e.RBAC.AddRole("editor"),
+		e.DefinePermission(PermSpec{Perm: rbac.Permission{ID: "p-headline", Op: "write", Resource: "headline"}}),
+		e.DefinePermission(PermSpec{Perm: rbac.Permission{ID: "p-body", Op: "write", Resource: "body"}}),
+		e.DefinePermission(PermSpec{Perm: rbac.Permission{ID: "p-archive", Op: "read", Resource: "archive"}}),
+		e.RBAC.GrantPermission("editor", "p-headline"),
+		e.RBAC.GrantPermission("editor", "p-body"),
+		e.RBAC.GrantPermission("editor", "p-archive"),
+		e.RBAC.AssignUserRole("o1", "editor"),
+		e.DefineClass(Class{ID: "edit-pool", Members: []rbac.PermID{"p-headline", "p-body"}, Duration: 10, Scheme: temporal.GlobalBase}),
+	} {
+		if step != nil {
+			t.Fatal(step)
+		}
+	}
+	sess, err := e.RBAC.CreateSession("o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ActivateRole("editor"); err != nil {
+		t.Fatal(err)
+	}
+	return e, sess, clk
+}
+
+func TestDefineClassValidation(t *testing.T) {
+	e := NewEngine(nil)
+	if err := e.DefineClass(Class{Members: []rbac.PermID{"x"}}); err == nil {
+		t.Fatal("class without ID accepted")
+	}
+	if err := e.DefineClass(Class{ID: "c"}); err == nil {
+		t.Fatal("empty class accepted")
+	}
+	if err := e.DefineClass(Class{ID: "c", Members: []rbac.PermID{"ghost"}}); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+	if err := e.DefinePermission(PermSpec{Perm: rbac.Permission{ID: "p1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DefineClass(Class{ID: "c", Members: []rbac.PermID{"p1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DefineClass(Class{ID: "c", Members: []rbac.PermID{"p1"}}); err == nil {
+		t.Fatal("duplicate class accepted")
+	}
+	if err := e.DefineClass(Class{ID: "c2", Members: []rbac.PermID{"p1"}}); err == nil {
+		t.Fatal("double membership accepted")
+	}
+	got, ok := e.ClassOf("p1")
+	if !ok || got.ID != "c" {
+		t.Fatalf("ClassOf = %+v %v", got, ok)
+	}
+	if _, ok := e.ClassOf("ghost"); ok {
+		t.Fatal("ClassOf unknown permission")
+	}
+	if len(e.Classes()) != 1 {
+		t.Fatalf("Classes = %v", e.Classes())
+	}
+}
+
+func TestClassedPermissionsShareOnePool(t *testing.T) {
+	e, sess, clk := classEngine(t)
+	headline := model.NewAccess("o1", "write", "headline", "s1")
+	body := model.NewAccess("o1", "write", "body", "s1")
+	archive := model.NewAccess("o1", "read", "archive", "s1")
+
+	e.ActivatePermissions(sess, "o1")
+	if d := e.Authorize(Request{Session: sess, Access: headline}); !d.Granted {
+		t.Fatalf("headline denied: %s", d)
+	}
+	clk.Advance(6)
+	// 6s of the 10s pool consumed — by EITHER member.
+	if got := e.ClassRemaining("o1", "edit-pool"); got != 4 {
+		t.Fatalf("pool remaining = %v", got)
+	}
+	if d := e.Authorize(Request{Session: sess, Access: body}); !d.Granted {
+		t.Fatalf("body denied at 6s: %s", d)
+	}
+	clk.Advance(5)
+	// Pool exhausted at 10s: BOTH members are invalid.
+	if d := e.Authorize(Request{Session: sess, Access: headline}); d.Granted {
+		t.Fatal("headline granted after pool exhausted")
+	}
+	d := e.Authorize(Request{Session: sess, Access: body})
+	if d.Granted {
+		t.Fatal("body granted after pool exhausted")
+	}
+	if !strings.Contains(d.Reason, "active-but-invalid") {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+	// The unclassed permission is unaffected.
+	if d := e.Authorize(Request{Session: sess, Access: archive}); !d.Granted {
+		t.Fatalf("archive denied: %s", d)
+	}
+	// Per-permission views reflect the pool.
+	if s := e.PermissionState("o1", "p-headline"); s != temporal.ActiveInvalid {
+		t.Fatalf("p-headline state = %v", s)
+	}
+	if r := e.RemainingValidity("o1", "p-body"); r != 0 {
+		t.Fatalf("p-body remaining = %v", r)
+	}
+}
+
+func TestClassRemainingUnknownAndFresh(t *testing.T) {
+	e, _, _ := classEngine(t)
+	if got := e.ClassRemaining("o1", "ghost"); got != 0 {
+		t.Fatalf("unknown class remaining = %v", got)
+	}
+	// Fresh object: full pool.
+	if got := e.ClassRemaining("o9", "edit-pool"); got != 10 {
+		t.Fatalf("fresh pool remaining = %v", got)
+	}
+}
+
+func TestClassifyByDuration(t *testing.T) {
+	specs := []PermSpec{
+		{Perm: rbac.Permission{ID: "a"}, Duration: 10},
+		{Perm: rbac.Permission{ID: "b"}, Duration: 20},
+		{Perm: rbac.Permission{ID: "c"}, Duration: 10},
+		{Perm: rbac.Permission{ID: "d"}, Duration: 10, Scheme: temporal.PerServerBase},
+		{Perm: rbac.Permission{ID: "e"}}, // infinite
+	}
+	classes := ClassifyByDuration(specs)
+	if len(classes) != 4 {
+		t.Fatalf("classes = %+v", classes)
+	}
+	// Sorted by duration then scheme: (10, global) first with {a, c}.
+	if classes[0].Duration != 10 || len(classes[0].Members) != 2 ||
+		classes[0].Members[0] != "a" || classes[0].Members[1] != "c" {
+		t.Fatalf("class 0 = %+v", classes[0])
+	}
+	if classes[1].Duration != 10 || classes[1].Scheme != temporal.PerServerBase {
+		t.Fatalf("class 1 = %+v", classes[1])
+	}
+	if classes[3].Duration != temporal.Infinite {
+		t.Fatalf("class 3 = %+v", classes[3])
+	}
+	// Classification is applicable to an engine.
+	e := NewEngine(nil)
+	for _, ps := range specs {
+		if err := e.DefinePermission(ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range classes {
+		if err := e.DefineClass(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(e.Classes()) != 4 {
+		t.Fatal("classification not applied")
+	}
+}
+
+func TestPolicyClassDirective(t *testing.T) {
+	e := NewEngine(temporal.NewSimClock(0))
+	policy := `
+user o1
+role editor
+permission p-a write a @ *
+permission p-b write b @ *
+grant editor p-a
+grant editor p-b
+assign o1 editor
+class edit-pool 10s global p-a p-b
+`
+	if err := LoadPolicyString(e, policy); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := e.ClassOf("p-a")
+	if !ok || c.Duration != 10 || len(c.Members) != 2 {
+		t.Fatalf("class = %+v %v", c, ok)
+	}
+}
+
+func TestPolicyClassDirectiveErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"class c 10s global", "at least one permission"},
+		{"class c nope global p", "duration"},
+		{"class c 10s sometimes p", "scheme"},
+		{"class c 10s global ghost", "no spatio-temporal spec"},
+	}
+	for _, tc := range cases {
+		e := NewEngine(nil)
+		err := LoadPolicyString(e, tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("policy %q error = %v (want %q)", tc.src, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"stac/internal/rbac"
+	"stac/internal/srac"
+	"stac/internal/temporal"
+)
+
+func TestDumpPolicyRoundTrip(t *testing.T) {
+	e := NewEngine(temporal.NewSimClock(0))
+	if err := LoadPolicyString(e, samplePolicy); err != nil {
+		t.Fatal(err)
+	}
+	dumped := DumpPolicy(e)
+	// The dump re-imports into an equivalent engine.
+	e2 := NewEngine(temporal.NewSimClock(0))
+	if err := LoadPolicyString(e2, dumped); err != nil {
+		t.Fatalf("re-import failed: %v\n---\n%s", err, dumped)
+	}
+	u1, r1, p1, _ := e.RBAC.Stats()
+	u2, r2, p2, _ := e2.RBAC.Stats()
+	if u1 != u2 || r1 != r2 || p1 != p2 {
+		t.Fatalf("stats diverged: %d/%d/%d vs %d/%d/%d", u1, r1, p1, u2, r2, p2)
+	}
+	// Specs survive the round trip.
+	for _, id := range []string{"p-audit", "p-rsw", "p-plain"} {
+		a, err := e.Spec(rbac.PermID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e2.Spec(rbac.PermID(id))
+		if err != nil {
+			t.Fatalf("spec %s lost: %v\n---\n%s", id, err, dumped)
+		}
+		if a.duration() != b.duration() || a.Scheme != b.Scheme || a.Mode != b.Mode {
+			t.Fatalf("spec %s changed: %+v vs %+v", id, a, b)
+		}
+		sa, sb := "", ""
+		if a.Spatial != nil {
+			sa = srac.String(a.Spatial)
+		}
+		if b.Spatial != nil {
+			sb = srac.String(b.Spatial)
+		}
+		if sa != sb {
+			t.Fatalf("spatial %s changed: %q vs %q", id, sa, sb)
+		}
+	}
+	// Structural directives appear in the text.
+	for _, want := range []string{"inherit admin auditor", "ssd no-admin-reader 2", "dsd no-dual 2", "grant auditor p-audit"} {
+		if !strings.Contains(dumped, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dumped)
+		}
+	}
+	// A third generation dump is textually stable (fixed point).
+	if d2 := DumpPolicy(e2); d2 != dumped {
+		t.Fatalf("dump not stable:\n%s\n---\n%s", dumped, d2)
+	}
+}
+
+func TestDumpPolicyWithClassesAndModes(t *testing.T) {
+	e := NewEngine(nil)
+	policy := `
+role worker
+permission p-a write a @ s1 {
+    spatial [write a @ s1] >> [write b @ *]
+    mode strict
+    duration 90s
+    scheme per-server
+    describe two-phase write
+}
+permission p-b write b @ *
+grant worker p-a
+class pool-1 5m global p-a p-b
+`
+	if err := LoadPolicyString(e, policy); err != nil {
+		t.Fatal(err)
+	}
+	dumped := DumpPolicy(e)
+	for _, want := range []string{"mode     strict", "duration 90s", "scheme   per-server",
+		"describe two-phase write", "class pool-1 5m global p-a p-b"} {
+		if !strings.Contains(dumped, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dumped)
+		}
+	}
+	e2 := NewEngine(nil)
+	if err := LoadPolicyString(e2, dumped); err != nil {
+		t.Fatalf("re-import: %v\n%s", err, dumped)
+	}
+	c, ok := e2.ClassOf("p-a")
+	if !ok || c.Duration != 300 {
+		t.Fatalf("class lost: %+v %v", c, ok)
+	}
+}

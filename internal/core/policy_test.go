@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/srac"
+	"stac/internal/temporal"
+)
+
+const samplePolicy = `
+# Coalition audit policy.
+user o1
+user officer
+role auditor
+role admin
+role reader
+inherit admin auditor
+assign o1 auditor
+assign officer admin
+
+permission p-audit read module-a @ * {
+    spatial  [read dep-1 @ *] >> [read module-a @ *]
+    duration 10m
+    scheme   global
+    describe audit module-a after its dependency
+}
+permission p-rsw execute rsw @ * {
+    spatial  count(0, 5, sigma[r=rsw])
+    duration inf
+}
+permission p-plain read notes @ s1
+grant auditor p-audit
+grant auditor p-rsw
+grant reader p-plain
+
+ssd no-admin-reader 2 admin reader
+dsd no-dual 2 auditor reader
+`
+
+func TestLoadPolicy(t *testing.T) {
+	e := NewEngine(temporal.NewSimClock(0))
+	if err := LoadPolicyString(e, samplePolicy); err != nil {
+		t.Fatal(err)
+	}
+	users, roles, perms, _ := e.RBAC.Stats()
+	if users != 2 || roles != 3 || perms != 3 {
+		t.Fatalf("stats = %d users %d roles %d perms", users, roles, perms)
+	}
+	ps, err := e.Spec("p-audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Duration != 600 || ps.Scheme != temporal.GlobalBase {
+		t.Fatalf("p-audit spec = %+v", ps)
+	}
+	if _, ok := ps.Spatial.(srac.Ordered); !ok {
+		t.Fatalf("p-audit spatial = %T", ps.Spatial)
+	}
+	if ps.Perm.Server != "" || ps.Perm.Resource != "module-a" {
+		t.Fatalf("p-audit perm = %+v", ps.Perm)
+	}
+	if ps.Perm.Description == "" {
+		t.Fatal("describe not recorded")
+	}
+	rsw, err := e.Spec("p-rsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsw.Duration != temporal.Infinite {
+		t.Fatalf("p-rsw duration = %v", rsw.Duration)
+	}
+	plain, err := e.Spec("p-plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Spatial != nil || plain.Perm.Server != "s1" {
+		t.Fatalf("p-plain spec = %+v", plain)
+	}
+	// The loaded policy is enforceable end to end.
+	sess, err := e.RBAC.CreateSession("o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ActivateRole("auditor"); err != nil {
+		t.Fatal(err)
+	}
+	d := e.Authorize(Request{Session: sess, Access: model.NewAccess("o1", "read", "module-a", "s2")})
+	if !d.Granted {
+		t.Fatalf("policy-driven grant failed: %s", d)
+	}
+}
+
+func TestLoadPolicyErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown directive", "frobnicate x", "unknown directive"},
+		{"user arity", "user", "one argument"},
+		{"role arity", "role a b", "one argument"},
+		{"assign arity", "assign alice", "user and role"},
+		{"assign unknown", "assign alice r", "not found"},
+		{"inherit arity", "inherit a", "senior and junior"},
+		{"grant arity", "grant r", "role and permission"},
+		{"ssd arity", "ssd x 2 a", "at least two roles"},
+		{"ssd bad card", "role a\nrole b\nssd x two a b", "cardinality"},
+		{"perm header", "permission p read", "header"},
+		{"perm missing @", "permission p read f s1 {", "missing @"},
+		{"perm trailing", "permission p read f @ s1 junk", "unexpected tokens"},
+		{"perm unterminated", "permission p read f @ s1 {\nspatial T", "unterminated"},
+		{"perm bad spatial", "permission p read f @ s1 {\nspatial [[\n}", "spatial"},
+		{"perm bad duration", "permission p read f @ s1 {\nduration soon\n}", "duration"},
+		{"perm bad scheme", "permission p read f @ s1 {\nscheme sometimes\n}", "scheme"},
+		{"perm bad directive", "permission p read f @ s1 {\ncolour red\n}", "unknown permission directive"},
+		{"dup user", "user a\nuser a", "exists"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine(nil)
+			err := LoadPolicyString(e, tc.src)
+			if err == nil {
+				t.Fatalf("policy accepted: %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+		err  bool
+	}{
+		{"30", 30, false},
+		{"30s", 30, false},
+		{"1.5s", 1.5, false},
+		{"5m", 300, false},
+		{"2h", 7200, false},
+		{"250ms", 0.25, false},
+		{"inf", temporal.Infinite, false},
+		{"-3s", 0, true},
+		{"abc", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseDuration(tt.in)
+		if (err != nil) != tt.err {
+			t.Errorf("ParseDuration(%q) error = %v", tt.in, err)
+			continue
+		}
+		if !tt.err && got != tt.want {
+			t.Errorf("ParseDuration(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{temporal.Infinite, "inf"},
+		{7200, "2h"},
+		{300, "5m"},
+		{90, "90s"},
+		{1.5, "1.5s"},
+	}
+	for _, tt := range tests {
+		if got := FormatDuration(tt.in); got != tt.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPolicyCommentsAndBlankLines(t *testing.T) {
+	e := NewEngine(nil)
+	src := "# full line comment\n\n   \nuser a # trailing comment\n"
+	if err := LoadPolicyString(e, src); err != nil {
+		t.Fatal(err)
+	}
+	if !e.RBAC.HasUser("a") {
+		t.Fatal("user not added")
+	}
+}

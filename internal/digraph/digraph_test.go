@@ -1,0 +1,264 @@
+package digraph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/srac"
+	"stac/internal/trace"
+)
+
+func TestAddModuleAndDigest(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddModule("A", "s1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddModule("A", "s1", nil); err == nil {
+		t.Fatal("duplicate module accepted")
+	}
+	m, err := g.Module("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SHA-1 of "hello".
+	if m.WantSHA1 != "aaf4c61ddcc5e8a2dabede0f3b482cd9aea9434d" {
+		t.Fatalf("digest = %s", m.WantSHA1)
+	}
+	if m.Digest() != m.WantSHA1 {
+		t.Fatal("pristine module digest mismatch")
+	}
+	if m.Resource() != model.ResourceID("module/A") {
+		t.Fatalf("Resource = %s", m.Resource())
+	}
+	if _, err := g.Module("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown module: %v", err)
+	}
+}
+
+func TestModuleCopyIsIndependent(t *testing.T) {
+	g := NewGraph()
+	content := []byte("abc")
+	if err := g.AddModule("A", "s1", content); err != nil {
+		t.Fatal(err)
+	}
+	content[0] = 'X' // caller's slice must not alias the stored one
+	m, _ := g.Module("A")
+	if m.Digest() != m.WantSHA1 {
+		t.Fatal("graph shares caller's content slice")
+	}
+}
+
+func TestAddDepAndCycles(t *testing.T) {
+	g := NewGraph()
+	for _, id := range []ModuleID{"A", "B", "C"} {
+		if err := g.AddModule(id, "s1", []byte(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddDep("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep("B", "C"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep("C", "A"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("cycle accepted: %v", err)
+	}
+	if err := g.AddDep("A", "A"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("self-dep accepted: %v", err)
+	}
+	if err := g.AddDep("A", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown dep: %v", err)
+	}
+	if err := g.AddDep("ghost", "A"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown module: %v", err)
+	}
+	deps := g.Deps("A")
+	if len(deps) != 1 || deps[0] != "B" {
+		t.Fatalf("Deps = %v", deps)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := Figure1()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 8 {
+		t.Fatalf("order = %v", order)
+	}
+	pos := map[ModuleID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, id := range g.Modules() {
+		for _, d := range g.Deps(id) {
+			if pos[d] >= pos[id] {
+				t.Fatalf("dependency %s not before %s in %v", d, id, order)
+			}
+		}
+	}
+	// Deterministic across calls.
+	again, _ := g.TopoOrder()
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatal("TopoOrder not deterministic")
+		}
+	}
+}
+
+func TestVerifyPristineAndCorrupted(t *testing.T) {
+	g := Figure1()
+	ok := g.Verify()
+	for id, good := range ok {
+		if !good {
+			t.Fatalf("pristine module %s failed verification", id)
+		}
+	}
+	// Corrupt E: E fails, and so do all modules depending (transitively)
+	// on E: C, F, G, H. A, B, D keep passing... B depends on D only,
+	// A on D: unaffected.
+	if err := g.Corrupt("E"); err != nil {
+		t.Fatal(err)
+	}
+	ok = g.Verify()
+	wantBad := map[ModuleID]bool{"E": true, "C": true, "F": true, "G": true, "H": true}
+	for id, good := range ok {
+		if wantBad[id] && good {
+			t.Fatalf("module %s should fail after corrupting E", id)
+		}
+		if !wantBad[id] && !good {
+			t.Fatalf("module %s should still pass", id)
+		}
+	}
+	if err := g.Corrupt("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt unknown: %v", err)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	g := Figure1()
+	if len(g.Modules()) != 8 {
+		t.Fatalf("modules = %v", g.Modules())
+	}
+	servers := g.ServersOf(g.Modules())
+	if len(servers) != 3 {
+		t.Fatalf("servers = %v", servers)
+	}
+	// Dotted-line distribution: s1 hosts A and D.
+	a, _ := g.Module("A")
+	d, _ := g.Module("D")
+	if a.Server != "s1" || d.Server != "s1" {
+		t.Fatal("Figure 1 placement wrong")
+	}
+}
+
+func TestOrderingConstraintOnTraces(t *testing.T) {
+	g := Figure1()
+	c := g.OrderingConstraint()
+	if err := srac.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	// A topological audit trace satisfies the constraint.
+	order, _ := g.TopoOrder()
+	var tr trace.Trace
+	for _, id := range order {
+		m, _ := g.Module(id)
+		tr = append(tr, model.Access{Object: "aud", Op: model.OpRead, Resource: m.Resource(), Server: m.Server})
+	}
+	if !srac.SatisfiesTrace(tr, c, nil) {
+		t.Fatalf("topological trace rejected by ordering constraint:\n%s", srac.String(c))
+	}
+	// Reversing the trace violates it (A read before D etc.).
+	rev := make(trace.Trace, len(tr))
+	for i := range tr {
+		rev[i] = tr[len(tr)-1-i]
+	}
+	if srac.SatisfiesTrace(rev, c, nil) {
+		t.Fatal("reverse-order trace satisfied the ordering constraint")
+	}
+	// Prefix evaluation: reading a dependent before its dependency is
+	// pending, not violated (it can be re-read later); but a trace
+	// reading everything in order is satisfied.
+	if got := srac.EvalPrefix(tr, c, nil); got != srac.Satisfied {
+		t.Fatalf("topological prefix = %v", got)
+	}
+}
+
+func TestServersOfSkipsUnknown(t *testing.T) {
+	g := Figure1()
+	servers := g.ServersOf([]ModuleID{"A", "ghost", "F"})
+	if len(servers) != 2 || servers[0] != "s1" || servers[1] != "s3" {
+		t.Fatalf("ServersOf = %v", servers)
+	}
+}
+
+// Property: on random DAGs, TopoOrder is always a valid linearisation
+// and Verify marks exactly the modules whose transitive closure
+// includes a corrupted module.
+func TestRandomDAGProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		g := NewGraph()
+		count := 4 + r.Intn(8)
+		ids := make([]ModuleID, count)
+		for i := range ids {
+			ids[i] = ModuleID(rune('A' + i))
+			if err := g.AddModule(ids[i], model.ServerID("s"+string(rune('0'+i%3))), []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Edges only from higher to lower index: guaranteed acyclic.
+		for i := 1; i < count; i++ {
+			for j := 0; j < i; j++ {
+				if r.Intn(3) == 0 {
+					if err := g.AddDep(ids[i], ids[j]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := map[ModuleID]int{}
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, id := range ids {
+			for _, d := range g.Deps(id) {
+				if pos[d] >= pos[id] {
+					t.Fatalf("trial %d: bad topo order", trial)
+				}
+			}
+		}
+		// Corrupt one random module and check propagation.
+		bad := ids[r.Intn(count)]
+		if err := g.Corrupt(bad); err != nil {
+			t.Fatal(err)
+		}
+		ok := g.Verify()
+		var reaches func(ModuleID) bool
+		reaches = func(id ModuleID) bool {
+			if id == bad {
+				return true
+			}
+			for _, d := range g.Deps(id) {
+				if reaches(d) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, id := range ids {
+			if ok[id] == reaches(id) {
+				t.Fatalf("trial %d: verification of %s = %v, corrupted reachable = %v",
+					trial, id, ok[id], reaches(id))
+			}
+		}
+	}
+}

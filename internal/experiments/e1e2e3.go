@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"stac/internal/baseline"
+	"stac/internal/srac"
+	"stac/internal/sral"
+	"stac/internal/temporal"
+	"stac/internal/workload"
+)
+
+// E1 validates Theorem 3.2: checking P ⊨ C takes O(m·n) time. It
+// sweeps program size m and constraint size n independently and
+// reports the checking time and the normalised time per (m·n) unit,
+// which should stay roughly flat as the product grows by orders of
+// magnitude.
+func E1(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Theorem 3.2 — static checking scales as O(m·n)",
+		Header: []string{"m (|P|)", "n (|C|)", "checks", "total", "per-check", "per-(m·n) ns"},
+	}
+	ms := scale.pick([]int{10, 100, 1000}, []int{10, 100, 1000, 10000})
+	ns := scale.pick([]int{4, 32}, []int{4, 32, 128, 512})
+	r := rand.New(rand.NewSource(2025))
+	v := workload.DefaultVocabulary(4, 8)
+	for _, m := range ms {
+		prog := workload.Program(r, v, workload.ProgramOptions{
+			Size: m, LoopFraction: 0.1, ParFraction: 0.1,
+		})
+		actualM := prog.Size()
+		for _, n := range ns {
+			cons := workload.Constraint(r, v, workload.ConstraintOptions{Size: n})
+			actualN := cons.Size()
+			iters := scale.pickInt(20, 50)
+			if actualM*actualN > 100_000 {
+				iters = 5 // large cells: keep the sweep under a minute
+			}
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				srac.CheckProgram(prog, cons, "o1")
+			}
+			total := time.Since(start)
+			per := total / time.Duration(iters)
+			perUnit := float64(per.Nanoseconds()) / float64(actualM*actualN)
+			t.AddRow(actualM, actualN, iters, total.Round(time.Microsecond).String(),
+				per.Round(time.Microsecond).String(), perUnit)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"claim holds when the per-(m·n) column stays within a small constant band across the sweep.")
+	return t, nil
+}
+
+// E2 validates the implicit claim that enumerating traces(P) is
+// infeasible while the polynomial checker stays cheap: loop-free
+// programs with b independent branches have 2^b traces. It reports
+// the trace count and both checkers' times, and verifies agreement on
+// definite verdicts.
+func E2(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:     "E2",
+		Title:  "Enumeration baseline vs polynomial checker (branch sweep)",
+		Header: []string{"branches", "traces", "enum-time", "static-time", "agree"},
+	}
+	branches := scale.pick([]int{2, 6, 10}, []int{2, 6, 10, 14, 18})
+	r := rand.New(rand.NewSource(2026))
+	v := workload.DefaultVocabulary(3, 6)
+	for _, b := range branches {
+		prog := branchyProgram(r, v, b)
+		cons := workload.Constraint(r, v, workload.ConstraintOptions{Size: 6})
+		start := time.Now()
+		enum := baseline.EnumCheck(prog, cons, "o1", sral.TraceOptions{MaxTraces: -1})
+		enumTime := time.Since(start)
+		start = time.Now()
+		static := srac.CheckProgram(prog, srac.StampObject(cons, "o1"), "o1")
+		staticTime := time.Since(start)
+		agree := true
+		if static == srac.AllTraces && enum.Verdict != srac.AllTraces {
+			agree = false
+		}
+		if static == srac.NoTrace && enum.Verdict != srac.NoTrace {
+			agree = false
+		}
+		t.AddRow(b, enum.Traces, enumTime.Round(time.Microsecond).String(),
+			staticTime.Round(time.Microsecond).String(), agree)
+	}
+	t.Notes = append(t.Notes,
+		"enumeration time grows with 2^branches while the static checker stays near-constant;",
+		"definite static verdicts always agree with ground truth.")
+	return t, nil
+}
+
+// branchyProgram builds a sequence of b independent two-way branches —
+// the worst case for enumeration (2^b traces).
+func branchyProgram(r *rand.Rand, v workload.Vocabulary, b int) sral.Node {
+	nodes := make([]sral.Node, b)
+	for i := range nodes {
+		nodes[i] = sral.If{
+			Cond: sral.Opaque{Name: "c"},
+			Then: workload.LinearProgram(r, v, 1),
+			Else: workload.LinearProgram(r, v, 1),
+		}
+	}
+	return sral.SeqOf(nodes...)
+}
+
+// E3 validates Theorem 4.1: permission validity checking over
+// piecewise-constant state functions is decidable and cheap — linear
+// in the number of state intervals. It builds valid-state functions
+// with k intervals and measures the integral (Expression 4.1) and a
+// duration-calculus prefix-safety query.
+func E3(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Theorem 4.1 — temporal validity checking cost vs state intervals",
+		Header: []string{"intervals", "integral-time", "dc-query-time", "dc-per-interval ns"},
+	}
+	ks := scale.pick([]int{10, 1000}, []int{10, 100, 1000, 10000, 100000})
+	for _, k := range ks {
+		st := temporal.NewState()
+		for i := 0; i < k; i++ {
+			b := float64(2 * i)
+			st.SetOn(b, b+1)
+		}
+		window := temporal.Interval{Begin: 0, End: float64(2 * k)}
+		iters := scale.pickInt(20, 100)
+
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			_ = st.Integral(window.Begin, window.End)
+		}
+		intTime := time.Since(start) / time.Duration(iters)
+
+		f := temporal.DCNot{D: temporal.Chop{
+			Left:  temporal.IntegralCmp{P: "valid", Op: temporal.DCGt, C: float64(k)},
+			Right: temporal.LenCmp{Op: temporal.DCGe, C: 0},
+		}}
+		states := temporal.States{"valid": st}
+		start = time.Now()
+		dcIters := max(1, iters/10)
+		for i := 0; i < dcIters; i++ {
+			_ = temporal.EvalDC(f, states, window)
+		}
+		dcTime := time.Since(start) / time.Duration(dcIters)
+
+		t.AddRow(k, intTime.String(), dcTime.String(),
+			float64(dcTime.Nanoseconds())/float64(k))
+	}
+	t.Notes = append(t.Notes,
+		"the Expression 4.1 integral is O(log k) via the interval prefix-sum index;",
+		"the chop-based DC query enumerates O(k) candidate split points at O(log k) each —",
+		"polynomial, confirming Theorem 4.1's decidability at practical cost.")
+	return t, nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"stac/internal/core"
+	"stac/internal/model"
+	"stac/internal/proof"
+	"stac/internal/server"
+	"stac/internal/temporal"
+)
+
+// E8 quantifies companion coordination through the coalition proof
+// ledger (the Section 1 scenario: permissions depend "even on the
+// access actions of its companions"). A scout object marks targets; a
+// striker's strict-mode permission is gated on the scout's mark. The
+// sweep grows the ledger with unrelated traffic and measures the
+// striker's grant latency — the cost of evaluating constraints over a
+// coalition-wide history.
+func E8(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Companion coordination via the coalition ledger",
+		Header: []string{"ledger-proofs", "gated-denied-before-mark", "granted-after-mark", "per-decision"},
+	}
+	sizes := scale.pick([]int{10, 1000}, []int{10, 100, 1000, 10000})
+	for _, n := range sizes {
+		res, err := runLedgerCoordination(n, scale.pickInt(20, 100))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, res.deniedBefore, res.grantedAfter, res.perDecision.String())
+	}
+	t.Notes = append(t.Notes,
+		"the strict cross-object ordering is denied until the companion's proof appears in the",
+		"ledger and granted afterwards; decision latency grows linearly with ledger size (the",
+		"history re-scan the paper's design implies — see E4).")
+	return t, nil
+}
+
+type e8Result struct {
+	deniedBefore, grantedAfter bool
+	perDecision                time.Duration
+}
+
+func runLedgerCoordination(ledgerNoise, decisions int) (e8Result, error) {
+	clk := temporal.NewSimClock(0)
+	c := server.NewCoalition(clk, []byte("e8-key"))
+	c.EnableLedger()
+	policy := `
+user scout
+user striker
+user crowd
+role scouting
+role striking
+role crowding
+permission p-mark write target @ *
+permission p-noise read noise @ *
+permission p-strike execute target @ * {
+    spatial [scout: write target @ *] >> [striker: execute target @ *]
+    mode strict
+}
+grant scouting p-mark
+grant crowding p-noise
+grant striking p-strike
+assign scout scouting
+assign striker striking
+assign crowd crowding
+`
+	if err := core.LoadPolicyString(c.Engine, policy); err != nil {
+		return e8Result{}, err
+	}
+	s1, err := c.AddServer("s1")
+	if err != nil {
+		return e8Result{}, err
+	}
+	s1.HostResource("target", []byte("x"))
+	s1.HostResource("noise", []byte("y"))
+
+	// Unrelated ledger traffic from a third object.
+	crowdSub, err := s1.Authenticate(c.Signer.IssueCredential("crowd", "crowd@c", []string{"crowding"}))
+	if err != nil {
+		return e8Result{}, err
+	}
+	crowdStore := proof.NewStore(c.Signer)
+	for i := 0; i < ledgerNoise; i++ {
+		if _, err := s1.Request(crowdSub, model.OpRead, "noise", server.RequestContext{Store: crowdStore}); err != nil {
+			return e8Result{}, err
+		}
+	}
+
+	strikerSub, err := s1.Authenticate(c.Signer.IssueCredential("striker", "ops@c", []string{"striking"}))
+	if err != nil {
+		return e8Result{}, err
+	}
+	strikerStore := proof.NewStore(c.Signer)
+	_, errBefore := s1.Request(strikerSub, model.OpExecute, "target", server.RequestContext{Store: strikerStore})
+
+	scoutSub, err := s1.Authenticate(c.Signer.IssueCredential("scout", "ops@c", []string{"scouting"}))
+	if err != nil {
+		return e8Result{}, err
+	}
+	scoutStore := proof.NewStore(c.Signer)
+	if _, err := s1.Request(scoutSub, model.OpWrite, "target", server.RequestContext{Store: scoutStore, Payload: []byte("mark")}); err != nil {
+		return e8Result{}, err
+	}
+
+	start := time.Now()
+	grantedAfter := true
+	for i := 0; i < decisions; i++ {
+		if _, err := s1.Request(strikerSub, model.OpExecute, "target", server.RequestContext{Store: strikerStore}); err != nil {
+			grantedAfter = false
+			return e8Result{}, fmt.Errorf("post-mark strike denied: %w", err)
+		}
+	}
+	per := time.Since(start) / time.Duration(decisions)
+	return e8Result{
+		deniedBefore: errBefore != nil,
+		grantedAfter: grantedAfter,
+		perDecision:  per,
+	}, nil
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIDsOrder(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 10 || ids[0] != "F1" || ids[1] != "E1" || ids[9] != "E9" {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "E99", Quick); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Header: []string{"a", "bb"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", "yyyy")
+	tb.Notes = append(tb.Notes, "shape holds")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T: demo ==", "a", "bb", "2.5", "yyyy", "note: shape holds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestF1Quick(t *testing.T) {
+	tb, err := F1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	// Pristine: all 8 verified, within duration.
+	pristine := tb.Rows[0]
+	if pristine[4] != "8" || pristine[6] != "true" {
+		t.Fatalf("pristine row = %v", pristine)
+	}
+	// Corrupt: detection true, fewer verified (8-5=3).
+	corrupt := tb.Rows[1]
+	if corrupt[5] != "true" || corrupt[4] != "3" {
+		t.Fatalf("corrupt row = %v", corrupt)
+	}
+}
+
+func TestE1Quick(t *testing.T) {
+	tb, err := E1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 { // 3 m × 2 n
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Per-(m·n) normalisation should stay within two orders of
+	// magnitude across the sweep (very loose: CI noise tolerated).
+	var lo, hi float64
+	for i, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatalf("bad per-unit cell %q", row[5])
+		}
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if i == 0 || v > hi {
+			hi = v
+		}
+	}
+	if lo <= 0 || hi/lo > 500 {
+		t.Fatalf("per-(m·n) band too wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestE2Quick(t *testing.T) {
+	tb, err := E2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "true" {
+			t.Fatalf("checker disagreement: %v", row)
+		}
+	}
+	// Trace counts double per branch: 2^2, 2^6, 2^10.
+	if tb.Rows[0][1] != "4" || tb.Rows[2][1] != "1024" {
+		t.Fatalf("trace counts = %v", tb.Rows)
+	}
+}
+
+func TestE3Quick(t *testing.T) {
+	tb, err := E3(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE4Quick(t *testing.T) {
+	tb, err := E4(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 { // 2 server counts × 2 policies
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Access counts: servers × 20.
+	if tb.Rows[0][1] != "40" || tb.Rows[2][1] != "160" {
+		t.Fatalf("access counts = %v", tb.Rows)
+	}
+}
+
+func TestE5Quick(t *testing.T) {
+	tb, err := E5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		// TRBAC roles equal the distinct-duration count; ours is 1.
+		if row[1] != row[2] {
+			t.Fatalf("trbac roles != distinct durations: %v", row)
+		}
+		if row[3] != "1" || row[5] != "0" {
+			t.Fatalf("coordinated model columns wrong: %v", row)
+		}
+	}
+	// Collateral revocations shrink as durations diversify.
+	first, _ := strconv.Atoi(tb.Rows[0][4])
+	last, _ := strconv.Atoi(tb.Rows[len(tb.Rows)-1][4])
+	if first <= last {
+		t.Fatalf("churn did not shrink: %d -> %d", first, last)
+	}
+}
+
+func TestE6Quick(t *testing.T) {
+	tb, err := E6(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][4] != "1" { // baseline speedup = 1
+		t.Fatalf("baseline speedup = %v", tb.Rows[0])
+	}
+}
+
+func TestE7Quick(t *testing.T) {
+	tb, err := E7(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if !strings.HasPrefix(row[2], "100/100") {
+			t.Fatalf("synthesis equality = %v", row)
+		}
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness sweep")
+	}
+	var buf bytes.Buffer
+	start := time.Now()
+	if err := RunAll(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("quick harness in %v", time.Since(start))
+	out := buf.String()
+	for _, id := range IDs() {
+		if !strings.Contains(out, "== "+id+":") {
+			t.Fatalf("output missing experiment %s", id)
+		}
+	}
+}
+
+func TestE8Quick(t *testing.T) {
+	tb, err := E8(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[1] != "true" || row[2] != "true" {
+			t.Fatalf("coordination row = %v", row)
+		}
+	}
+}
+
+func TestTitlesCoverAllExperiments(t *testing.T) {
+	for _, id := range IDs() {
+		if Titles[id] == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+	if len(Titles) != len(All) {
+		t.Fatalf("Titles has %d entries, All has %d", len(Titles), len(All))
+	}
+	// Titles match the tables the runners actually produce (checked on
+	// a cheap one).
+	tb, err := E5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Title != Titles["E5"] {
+		t.Fatalf("E5 title drifted: %q vs %q", tb.Title, Titles["E5"])
+	}
+}
+
+func TestE9Quick(t *testing.T) {
+	tb, err := E9(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Zero skew: no inversion; positive skew: inversion. Both rows
+	// must show correct ordering enforcement and exact budgets.
+	if tb.Rows[0][1] != "false" || tb.Rows[1][1] != "true" {
+		t.Fatalf("inversion column = %v", tb.Rows)
+	}
+	for _, row := range tb.Rows {
+		if row[2] != "true" || row[3] != "true" {
+			t.Fatalf("enforcement under skew broken: %v", row)
+		}
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Header: []string{"a", "b"}}
+	tb.AddRow(1, "x")
+	tb.Notes = append(tb.Notes, "note text")
+	var buf bytes.Buffer
+	tb.RenderMarkdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"### T — demo", "| a | b |", "| --- | --- |", "| 1 | x |", "> note text"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFormatMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFormat(&buf, "E5", Quick, Markdown); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "### E5") {
+		t.Fatalf("markdown run output:\n%s", buf.String())
+	}
+	if err := RunFormat(&buf, "nope", Quick, Markdown); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Package experiments implements the reproduction harness: one
+// function per experiment of EXPERIMENTS.md (the Figure 1 audit and
+// the quantitative validations E1–E9 of the paper's formal claims).
+// Each experiment returns a Table that cmd/coalition-sim prints and
+// the benchmark suite cross-checks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result: a titled grid of rows.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes records the claim being validated and the observed shape.
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch x := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Scale selects the sweep sizes: Quick for tests, Full for the
+// published experiment run.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// pick returns q under Quick and f under Full.
+func (s Scale) pick(q, f []int) []int {
+	if s == Full {
+		return f
+	}
+	return q
+}
+
+func (s Scale) pickInt(q, f int) int {
+	if s == Full {
+		return f
+	}
+	return q
+}
+
+// RenderMarkdown writes the table as GitHub-flavoured Markdown — the
+// format EXPERIMENTS.md embeds, so updated results can be pasted
+// directly.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintln(w, "| "+strings.Join(t.Header, " | ")+" |")
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintln(w, "| "+strings.Join(seps, " | ")+" |")
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, "| "+strings.Join(row, " | ")+" |")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s", n)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+}

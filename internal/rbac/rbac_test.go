@@ -1,0 +1,401 @@
+package rbac
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"stac/internal/model"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem()
+	for _, u := range []UserID{"alice", "bob"} {
+		if err := s.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []RoleID{"auditor", "editor", "admin", "reader"} {
+		if err := s.AddRole(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perms := []Permission{
+		{ID: "p-read", Op: "read", Resource: "f1", Server: "s1"},
+		{ID: "p-write", Op: "write", Resource: "f1", Server: "s1"},
+		{ID: "p-any-server", Op: "read", Resource: "f2"},
+		{ID: "p-wild", Op: "execute"},
+	}
+	for _, p := range perms {
+		if err := s.AddPermission(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAddDuplicates(t *testing.T) {
+	s := newSys(t)
+	if err := s.AddUser("alice"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate user: %v", err)
+	}
+	if err := s.AddRole("auditor"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate role: %v", err)
+	}
+	if err := s.AddPermission(Permission{ID: "p-read"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate permission: %v", err)
+	}
+	if err := s.AddPermission(Permission{}); err == nil {
+		t.Fatal("permission without ID accepted")
+	}
+}
+
+func TestPermissionCovers(t *testing.T) {
+	p := Permission{ID: "p", Op: "read", Resource: "f1", Server: "s1"}
+	if !p.Covers(model.NewAccess("o1", "read", "f1", "s1")) {
+		t.Fatal("exact access not covered")
+	}
+	if p.Covers(model.NewAccess("o1", "write", "f1", "s1")) {
+		t.Fatal("wrong op covered")
+	}
+	wild := Permission{ID: "p2", Op: "read", Resource: "f2"}
+	if !wild.Covers(model.NewAccess("o1", "read", "f2", "anywhere")) {
+		t.Fatal("wildcard server not covered")
+	}
+}
+
+func TestAssignmentAndLookup(t *testing.T) {
+	s := newSys(t)
+	if err := s.AssignUserRole("alice", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignUserRole("alice", "auditor"); err != nil {
+		t.Fatal("re-assignment should be idempotent")
+	}
+	if err := s.AssignUserRole("ghost", "auditor"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown user: %v", err)
+	}
+	if err := s.AssignUserRole("alice", "ghost-role"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown role: %v", err)
+	}
+	roles := s.AuthorizedRoles("alice")
+	if len(roles) != 1 || roles[0] != "auditor" {
+		t.Fatalf("AuthorizedRoles = %v", roles)
+	}
+	if err := s.DeassignUserRole("alice", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeassignUserRole("alice", "auditor"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double deassign: %v", err)
+	}
+}
+
+func TestGrantRevoke(t *testing.T) {
+	s := newSys(t)
+	if err := s.GrantPermission("auditor", "p-read"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GrantPermission("ghost", "p-read"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("grant to unknown role: %v", err)
+	}
+	if err := s.GrantPermission("auditor", "ghost-perm"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("grant unknown perm: %v", err)
+	}
+	ps := s.RolePermissions("auditor")
+	if len(ps) != 1 || ps[0].ID != "p-read" {
+		t.Fatalf("RolePermissions = %v", ps)
+	}
+	if err := s.RevokePermission("auditor", "p-read"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RevokePermission("auditor", "p-read"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double revoke: %v", err)
+	}
+}
+
+func TestHierarchyInheritance(t *testing.T) {
+	s := newSys(t)
+	// admin ≥ editor ≥ reader.
+	if err := s.AddInheritance("editor", "reader"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddInheritance("admin", "editor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GrantPermission("reader", "p-read"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GrantPermission("editor", "p-write"); err != nil {
+		t.Fatal(err)
+	}
+	ps := s.RolePermissions("admin")
+	if len(ps) != 2 {
+		t.Fatalf("admin should inherit two permissions, got %v", ps)
+	}
+	ps = s.RolePermissions("reader")
+	if len(ps) != 1 {
+		t.Fatalf("reader should have one permission, got %v", ps)
+	}
+}
+
+func TestHierarchyCycleRejected(t *testing.T) {
+	s := newSys(t)
+	if err := s.AddInheritance("admin", "editor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddInheritance("editor", "reader"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddInheritance("reader", "admin"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("cycle accepted: %v", err)
+	}
+	if err := s.AddInheritance("admin", "admin"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("self-inheritance accepted: %v", err)
+	}
+	if err := s.AddInheritance("ghost", "reader"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown senior: %v", err)
+	}
+	if err := s.AddInheritance("admin", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown junior: %v", err)
+	}
+}
+
+func TestStaticSoD(t *testing.T) {
+	s := newSys(t)
+	if err := s.AddSSD(SoD{Name: "no-auditor-editor", Roles: []RoleID{"auditor", "editor"}, Cardinality: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignUserRole("alice", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignUserRole("alice", "editor"); !errors.Is(err, ErrSSD) {
+		t.Fatalf("SSD not enforced: %v", err)
+	}
+	// Bob can still hold either one.
+	if err := s.AssignUserRole("bob", "editor"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSSDRejectsExistingViolation(t *testing.T) {
+	s := newSys(t)
+	if err := s.AssignUserRole("alice", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignUserRole("alice", "editor"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.AddSSD(SoD{Name: "late", Roles: []RoleID{"auditor", "editor"}, Cardinality: 2})
+	if !errors.Is(err, ErrSSD) {
+		t.Fatalf("retroactive SSD accepted: %v", err)
+	}
+}
+
+func TestSoDValidation(t *testing.T) {
+	s := newSys(t)
+	if err := s.AddSSD(SoD{Name: "bad", Roles: []RoleID{"a", "b"}, Cardinality: 1}); err == nil {
+		t.Fatal("cardinality 1 accepted")
+	}
+	if err := s.AddDSD(SoD{Name: "vacuous", Roles: []RoleID{"a"}, Cardinality: 2}); err == nil {
+		t.Fatal("vacuous constraint accepted")
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s := newSys(t)
+	if err := s.AssignUserRole("alice", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GrantPermission("auditor", "p-read"); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := s.CreateSession("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.User() != "alice" || sess.ID() == 0 {
+		t.Fatalf("session identity wrong: %v %v", sess.User(), sess.ID())
+	}
+	if _, err := s.CreateSession("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("session for unknown user: %v", err)
+	}
+	// No roles active yet: no permissions.
+	if sess.CheckAccess(model.NewAccess("o", "read", "f1", "s1")) {
+		t.Fatal("access granted without active role")
+	}
+	if err := sess.ActivateRole("auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ActivateRole("auditor"); err != nil {
+		t.Fatal("re-activation should be idempotent")
+	}
+	if err := sess.ActivateRole("editor"); !errors.Is(err, ErrNotAuthorized) {
+		t.Fatalf("unassigned role activated: %v", err)
+	}
+	if !sess.CheckAccess(model.NewAccess("o", "read", "f1", "s1")) {
+		t.Fatal("covered access denied")
+	}
+	if sess.CheckAccess(model.NewAccess("o", "write", "f1", "s1")) {
+		t.Fatal("uncovered access granted")
+	}
+	p, ok := sess.PermissionFor(model.NewAccess("o", "read", "f1", "s1"))
+	if !ok || p.ID != "p-read" {
+		t.Fatalf("PermissionFor = %v %v", p, ok)
+	}
+	sess.DeactivateRole("auditor")
+	if sess.CheckAccess(model.NewAccess("o", "read", "f1", "s1")) {
+		t.Fatal("access granted after deactivation")
+	}
+}
+
+func TestSessionPermissionsWithHierarchy(t *testing.T) {
+	s := newSys(t)
+	if err := s.AddInheritance("admin", "reader"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GrantPermission("reader", "p-read"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GrantPermission("admin", "p-write"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignUserRole("alice", "admin"); err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := s.CreateSession("alice")
+	if err := sess.ActivateRole("admin"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Permissions(); len(got) != 2 {
+		t.Fatalf("session permissions = %v", got)
+	}
+	roles := sess.ActiveRoles()
+	if len(roles) != 1 || roles[0] != "admin" {
+		t.Fatalf("ActiveRoles = %v", roles)
+	}
+}
+
+func TestDynamicSoD(t *testing.T) {
+	s := newSys(t)
+	if err := s.AddDSD(SoD{Name: "not-both", Roles: []RoleID{"auditor", "editor"}, Cardinality: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignUserRole("alice", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignUserRole("alice", "editor"); err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := s.CreateSession("alice")
+	if err := sess.ActivateRole("auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ActivateRole("editor"); !errors.Is(err, ErrDSD) {
+		t.Fatalf("DSD not enforced: %v", err)
+	}
+	// After deactivating, the other role is allowed.
+	sess.DeactivateRole("auditor")
+	if err := sess.ActivateRole("editor"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeassignDeactivatesInSessions(t *testing.T) {
+	s := newSys(t)
+	if err := s.AssignUserRole("alice", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GrantPermission("auditor", "p-read"); err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := s.CreateSession("alice")
+	if err := sess.ActivateRole("auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeassignUserRole("alice", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.ActiveRoles()) != 0 {
+		t.Fatal("revoked role still active in session")
+	}
+}
+
+func TestClosedSession(t *testing.T) {
+	s := newSys(t)
+	if err := s.AssignUserRole("alice", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := s.CreateSession("alice")
+	sess.Close()
+	if err := sess.ActivateRole("auditor"); err == nil {
+		t.Fatal("activation on closed session")
+	}
+	_, _, _, n := s.Stats()
+	if n != 0 {
+		t.Fatalf("closed session still registered: %d", n)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	s := newSys(t)
+	for i := 0; i < 4; i++ {
+		u := UserID(fmt.Sprintf("user%d", i))
+		if err := s.AddUser(u); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AssignUserRole(u, "reader"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.GrantPermission("reader", "p-read"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			u := UserID(fmt.Sprintf("user%d", i))
+			for j := 0; j < 100; j++ {
+				sess, err := s.CreateSession(u)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := sess.ActivateRole("reader"); err != nil {
+					t.Error(err)
+					return
+				}
+				sess.CheckAccess(model.NewAccess(model.ObjectID(u), "read", "f1", "s1"))
+				sess.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestStatsAndRoles(t *testing.T) {
+	s := newSys(t)
+	u, r, p, sess := s.Stats()
+	if u != 2 || r != 4 || p != 4 || sess != 0 {
+		t.Fatalf("Stats = %d %d %d %d", u, r, p, sess)
+	}
+	roles := s.Roles()
+	if len(roles) != 4 || roles[0] != "admin" {
+		t.Fatalf("Roles = %v", roles)
+	}
+	if !s.HasUser("alice") || s.HasUser("ghost") {
+		t.Fatal("HasUser wrong")
+	}
+	if !s.HasRole("admin") || s.HasRole("ghost") {
+		t.Fatal("HasRole wrong")
+	}
+	if _, err := s.Permission("p-read"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Permission("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown permission: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package registry implements the coalition naming and yellow-page
+// service (the restricted "yellow-page" lookup of Section 5.2's
+// SecurityManager example).
+//
+// A Registry maps server IDs to their network addresses and service
+// advertisements. Coalition servers register on start-up and
+// deregister on shutdown; mobile agents consult the registry to
+// resolve the next hop of their itinerary and to discover which
+// servers host a given shared resource.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"stac/internal/model"
+)
+
+// Entry describes one registered coalition server.
+type Entry struct {
+	Server model.ServerID
+	// Addr is the transport address ("inproc" entries have none).
+	Addr string
+	// Resources lists the shared resources the server hosts.
+	Resources []model.ResourceID
+	// Services lists advertised service names (e.g. "yellow-page").
+	Services []string
+}
+
+// Errors returned by the registry.
+var (
+	ErrDuplicate = errors.New("registry: server already registered")
+)
+
+// Registry is an in-memory coalition directory, safe for concurrent
+// use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[model.ServerID]Entry
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{entries: make(map[model.ServerID]Entry)}
+}
+
+// Register adds a server entry.
+func (r *Registry) Register(e Entry) error {
+	if e.Server == "" {
+		return fmt.Errorf("registry: entry needs a server id")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[e.Server]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, e.Server)
+	}
+	r.entries[e.Server] = e
+	return nil
+}
+
+// Deregister removes a server entry.
+func (r *Registry) Deregister(s model.ServerID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[s]; !ok {
+		return fmt.Errorf("%w: %q", model.ErrUnknownServer, s)
+	}
+	delete(r.entries, s)
+	return nil
+}
+
+// Lookup resolves a server entry.
+func (r *Registry) Lookup(s model.ServerID) (Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[s]
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: %q", model.ErrUnknownServer, s)
+	}
+	return e, nil
+}
+
+// Servers returns the registered server IDs, sorted.
+func (r *Registry) Servers() []model.ServerID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]model.ServerID, 0, len(r.entries))
+	for s := range r.entries {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WhoHosts returns the servers advertising the given resource, sorted
+// — the yellow-page query mobile agents use to plan itineraries.
+func (r *Registry) WhoHosts(res model.ResourceID) []model.ServerID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []model.ServerID
+	for s, e := range r.entries {
+		for _, x := range e.Resources {
+			if x == res {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WhoServes returns the servers advertising the given service, sorted.
+func (r *Registry) WhoServes(service string) []model.ServerID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []model.ServerID
+	for s, e := range r.entries {
+		for _, x := range e.Services {
+			if x == service {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of registered servers.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,130 @@
+package registry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"stac/internal/model"
+)
+
+func entry(s, addr string, res ...string) Entry {
+	e := Entry{Server: model.ServerID(s), Addr: addr}
+	for _, r := range res {
+		e.Resources = append(e.Resources, model.ResourceID(r))
+	}
+	return e
+}
+
+func TestRegisterLookup(t *testing.T) {
+	r := New()
+	if err := r.Register(entry("s1", "127.0.0.1:9001", "f1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Lookup("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != "127.0.0.1:9001" || len(got.Resources) != 1 {
+		t.Fatalf("Lookup = %+v", got)
+	}
+	if _, err := r.Lookup("ghost"); !errors.Is(err, model.ErrUnknownServer) {
+		t.Fatalf("unknown lookup: %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := New()
+	if err := r.Register(Entry{}); err == nil {
+		t.Fatal("empty entry accepted")
+	}
+	if err := r.Register(entry("s1", "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(entry("s1", "")); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	r := New()
+	if err := r.Register(entry("s1", "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deregister("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deregister("s1"); !errors.Is(err, model.ErrUnknownServer) {
+		t.Fatalf("double deregister: %v", err)
+	}
+	if r.Len() != 0 {
+		t.Fatal("entry not removed")
+	}
+}
+
+func TestServersSorted(t *testing.T) {
+	r := New()
+	for _, s := range []string{"s3", "s1", "s2"} {
+		if err := r.Register(entry(s, "")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Servers()
+	if len(got) != 3 || got[0] != "s1" || got[2] != "s3" {
+		t.Fatalf("Servers = %v", got)
+	}
+}
+
+func TestWhoHosts(t *testing.T) {
+	r := New()
+	if err := r.Register(entry("s1", "", "f1", "f2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(entry("s2", "", "f2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.WhoHosts("f2"); len(got) != 2 {
+		t.Fatalf("WhoHosts(f2) = %v", got)
+	}
+	if got := r.WhoHosts("f1"); len(got) != 1 || got[0] != "s1" {
+		t.Fatalf("WhoHosts(f1) = %v", got)
+	}
+	if got := r.WhoHosts("absent"); len(got) != 0 {
+		t.Fatalf("WhoHosts(absent) = %v", got)
+	}
+}
+
+func TestWhoServes(t *testing.T) {
+	r := New()
+	e := entry("s1", "")
+	e.Services = []string{"yellow-page"}
+	if err := r.Register(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(entry("s2", "")); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.WhoServes("yellow-page"); len(got) != 1 || got[0] != "s1" {
+		t.Fatalf("WhoServes = %v", got)
+	}
+}
+
+func TestConcurrentRegistry(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := model.ServerID(string(rune('a' + i)))
+			_ = r.Register(Entry{Server: s})
+			r.Lookup(s)
+			r.Servers()
+			r.WhoHosts("x")
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"stac/internal/core"
+	"stac/internal/model"
+)
+
+// This file provides the agent-monitoring facility of the Naplet
+// system (Section 5 lists "mechanisms for agent monitoring, control"):
+// every authorisation decision a server makes is recorded in a
+// bounded audit log the security officer can inspect.
+
+// AuditRecord is one recorded authorisation decision.
+type AuditRecord struct {
+	// Time is the server's local clock reading at decision time.
+	Time float64
+	// Server made the decision.
+	Server model.ServerID
+	// Access is the requested access.
+	Access model.Access
+	// Granted reports the outcome; Reason explains denials.
+	Granted bool
+	Reason  string
+	// Decision carries the engine's full decision record.
+	Decision core.Decision
+}
+
+// String implements fmt.Stringer.
+func (r AuditRecord) String() string {
+	verdict := "GRANT"
+	if !r.Granted {
+		verdict = "DENY "
+	}
+	out := fmt.Sprintf("t=%-8.6g %s %s %s", r.Time, r.Server, verdict, r.Access)
+	if !r.Granted && r.Reason != "" {
+		out += " — " + r.Reason
+	}
+	return out
+}
+
+// auditLog is a fixed-capacity ring of audit records.
+type auditLog struct {
+	mu    sync.Mutex
+	buf   []AuditRecord
+	next  int
+	total int
+}
+
+const defaultAuditCapacity = 256
+
+func newAuditLog(capacity int) *auditLog {
+	if capacity <= 0 {
+		capacity = defaultAuditCapacity
+	}
+	return &auditLog{buf: make([]AuditRecord, 0, capacity)}
+}
+
+func (l *auditLog) add(r AuditRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, r)
+		return
+	}
+	l.buf[l.next] = r
+	l.next = (l.next + 1) % cap(l.buf)
+}
+
+// records returns the retained records in chronological order plus the
+// total number of decisions ever recorded.
+func (l *auditLog) records() ([]AuditRecord, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]AuditRecord, 0, len(l.buf))
+	if len(l.buf) < cap(l.buf) {
+		out = append(out, l.buf...)
+	} else {
+		out = append(out, l.buf[l.next:]...)
+		out = append(out, l.buf[:l.next]...)
+	}
+	return out, l.total
+}
+
+// Audit returns the server's retained decision records in
+// chronological order and the total number of decisions made (which
+// may exceed the retained window).
+func (s *Server) Audit() ([]AuditRecord, int) {
+	s.mu.RLock()
+	log := s.audit
+	s.mu.RUnlock()
+	if log == nil {
+		return nil, 0
+	}
+	return log.records()
+}
+
+// SetAuditCapacity resizes the server's audit window (discarding
+// retained records); capacity 0 restores the default.
+func (s *Server) SetAuditCapacity(capacity int) {
+	s.mu.Lock()
+	s.audit = newAuditLog(capacity)
+	s.mu.Unlock()
+}
+
+// recordDecision appends an authorisation outcome to the audit log.
+func (s *Server) recordDecision(a model.Access, granted bool, reason string, dec core.Decision) {
+	s.mu.RLock()
+	log := s.audit
+	s.mu.RUnlock()
+	if log == nil {
+		return
+	}
+	log.add(AuditRecord{
+		Time:     s.localNow(),
+		Server:   s.id,
+		Access:   a,
+		Granted:  granted,
+		Reason:   reason,
+		Decision: dec,
+	})
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/proof"
+)
+
+func TestAuditRecordsDecisions(t *testing.T) {
+	c, _ := newCoalition(t)
+	srv, _ := c.Server("s1")
+	sub, _ := srv.Authenticate(cred(c, "o1", "owner", "traveler"))
+	store := proof.NewStore(c.Signer)
+
+	if _, err := srv.Request(sub, model.OpRead, "f-s1", RequestContext{Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = srv.Request(sub, "delete", "f-s1", RequestContext{Store: store})        // denied: uncovered op
+	_, _ = srv.Request(sub, model.OpRead, "missing", RequestContext{Store: store}) // denied: unknown resource
+
+	records, total := srv.Audit()
+	if total != 3 || len(records) != 3 {
+		t.Fatalf("audit = %d records, %d total", len(records), total)
+	}
+	if !records[0].Granted || records[1].Granted || records[2].Granted {
+		t.Fatalf("audit outcomes = %+v", records)
+	}
+	if records[2].Reason != "unknown resource" {
+		t.Fatalf("unknown-resource reason = %q", records[2].Reason)
+	}
+	if !strings.Contains(records[0].String(), "GRANT") || !strings.Contains(records[1].String(), "DENY") {
+		t.Fatalf("record strings: %q / %q", records[0], records[1])
+	}
+	// Untouched server has an empty log.
+	s2, _ := c.Server("s2")
+	if recs, n := s2.Audit(); len(recs) != 0 || n != 0 {
+		t.Fatalf("s2 audit = %v %d", recs, n)
+	}
+}
+
+func TestAuditRingWrapsChronologically(t *testing.T) {
+	c, _ := newCoalition(t)
+	srv, _ := c.Server("s1")
+	srv.SetAuditCapacity(4)
+	sub, _ := srv.Authenticate(cred(c, "o1", "owner", "traveler"))
+	for i := 0; i < 10; i++ {
+		if _, err := srv.Request(sub, model.OpRead, "f-s1", RequestContext{Proofs: nil}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records, total := srv.Audit()
+	if total != 10 || len(records) != 4 {
+		t.Fatalf("ring = %d retained, %d total", len(records), total)
+	}
+	// Chronological within the retained window (same timestamps here,
+	// so just confirm all are grants of the same access).
+	for _, r := range records {
+		if !r.Granted || r.Access.Resource != "f-s1" {
+			t.Fatalf("retained record = %+v", r)
+		}
+	}
+	// Resizing clears the window.
+	srv.SetAuditCapacity(0)
+	if recs, n := srv.Audit(); len(recs) != 0 || n != 0 {
+		t.Fatalf("after resize = %v %d", recs, n)
+	}
+}
+
+func TestAuditConcurrent(t *testing.T) {
+	c, _ := newCoalition(t)
+	srv, _ := c.Server("s1")
+	sub, _ := srv.Authenticate(cred(c, "o1", "owner", "traveler"))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, _ = srv.Request(sub, model.OpRead, "f-s1", RequestContext{})
+				srv.Audit()
+			}
+		}()
+	}
+	wg.Wait()
+	_, total := srv.Audit()
+	if total != 400 {
+		t.Fatalf("total = %d", total)
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file implements the proportional-share resource management
+// strategy the Naplet system features (Section 5): coalition servers
+// apportion their service capacity among the mobile objects they host
+// in proportion to configured weights, so one greedy agent cannot
+// starve its companions. The implementation is a deterministic stride
+// scheduler: each client advances by a stride inversely proportional
+// to its weight, and the next service grant always goes to the client
+// with the smallest virtual pass.
+
+// ShareScheduler is a deterministic stride scheduler over weighted
+// clients. It is safe for concurrent use.
+type ShareScheduler struct {
+	mu      sync.Mutex
+	clients map[string]*shareClient
+}
+
+type shareClient struct {
+	name   string
+	weight int
+	stride float64
+	pass   float64
+	served int
+}
+
+// strideScale is the numerator of the stride computation; any constant
+// works, larger values only reduce rounding drift.
+const strideScale = 1 << 20
+
+// NewShareScheduler creates an empty scheduler.
+func NewShareScheduler() *ShareScheduler {
+	return &ShareScheduler{clients: make(map[string]*shareClient)}
+}
+
+// SetWeight registers a client or updates its weight (≥ 1). A new
+// client starts at the current minimum pass so it cannot monopolise
+// the server by joining late with a zero pass.
+func (s *ShareScheduler) SetWeight(name string, weight int) error {
+	if name == "" {
+		return fmt.Errorf("server: share client needs a name")
+	}
+	if weight < 1 {
+		return fmt.Errorf("server: share weight must be ≥ 1, got %d", weight)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cl, ok := s.clients[name]
+	if !ok {
+		cl = &shareClient{name: name, pass: s.minPassLocked()}
+		s.clients[name] = cl
+	}
+	cl.weight = weight
+	cl.stride = float64(strideScale) / float64(weight)
+	return nil
+}
+
+// Remove deregisters a client (no-op when absent).
+func (s *ShareScheduler) Remove(name string) {
+	s.mu.Lock()
+	delete(s.clients, name)
+	s.mu.Unlock()
+}
+
+func (s *ShareScheduler) minPassLocked() float64 {
+	first := true
+	minPass := 0.0
+	for _, cl := range s.clients {
+		if first || cl.pass < minPass {
+			minPass = cl.pass
+			first = false
+		}
+	}
+	return minPass
+}
+
+// Next returns the client to serve now — the smallest virtual pass,
+// ties broken by name for determinism — and advances its pass by its
+// stride. It returns false when no clients are registered.
+func (s *ShareScheduler) Next() (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var pick *shareClient
+	for _, cl := range s.clients {
+		if pick == nil || cl.pass < pick.pass ||
+			(cl.pass == pick.pass && cl.name < pick.name) {
+			pick = cl
+		}
+	}
+	if pick == nil {
+		return "", false
+	}
+	pick.pass += pick.stride
+	pick.served++
+	return pick.name, true
+}
+
+// Served returns how many grants each client has received, keyed by
+// name.
+func (s *ShareScheduler) Served() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.clients))
+	for name, cl := range s.clients {
+		out[name] = cl.served
+	}
+	return out
+}
+
+// Shares returns the registered clients and weights, sorted by name.
+func (s *ShareScheduler) Shares() []ShareInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ShareInfo, 0, len(s.clients))
+	for _, cl := range s.clients {
+		out = append(out, ShareInfo{Name: cl.name, Weight: cl.weight, Served: cl.served})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ShareInfo describes one scheduled client.
+type ShareInfo struct {
+	Name   string
+	Weight int
+	Served int
+}
+
+// ServeRounds runs n scheduling decisions and returns the per-client
+// grant counts — the simulation entry point for proportionality
+// experiments.
+func (s *ShareScheduler) ServeRounds(n int) map[string]int {
+	for i := 0; i < n; i++ {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	return s.Served()
+}

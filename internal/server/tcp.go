@@ -1,0 +1,383 @@
+package server
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"stac/internal/model"
+	"stac/internal/proof"
+	"stac/internal/sral"
+)
+
+// This file provides the network transport of the emulation: a
+// coalition server exposed as a TCP daemon speaking a JSON-lines
+// protocol. A mobile device (or a remote agent runtime) connects to
+// one coalition server at a time — "mobile clients connect to
+// different data servers at different times" — authenticates with its
+// owner credential, performs shared-resource accesses, and carries
+// away the execution proofs the server issues. Migration is the
+// client disconnecting (departing) and authenticating at the next
+// server of its itinerary.
+//
+// The proof history travels with the client and is verified
+// signature-by-signature on arrival; within the paper's trust model
+// coalition devices present their complete history (Section 2 assumes
+// cooperative, trustworthy participants), so omission attacks are out
+// of scope, as they are for the paper's prototype.
+
+// wire messages.
+type wireRequest struct {
+	Type string `json:"type"` // auth | access | depart | info
+	// auth
+	Credential *proof.Credential `json:"credential,omitempty"`
+	// access
+	Token    string        `json:"token,omitempty"`
+	Op       string        `json:"op,omitempty"`
+	Resource string        `json:"resource,omitempty"`
+	Program  string        `json:"program,omitempty"` // SRAL text
+	Proofs   []proof.Proof `json:"proofs,omitempty"`
+	Payload  []byte        `json:"payload,omitempty"`
+}
+
+type wireResponse struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// auth
+	Token string `json:"token,omitempty"`
+	// access
+	Data  []byte       `json:"data,omitempty"`
+	Proof *proof.Proof `json:"proof,omitempty"`
+	// info
+	Server    string   `json:"server,omitempty"`
+	Resources []string `json:"resources,omitempty"`
+	// audit
+	Audit      []string `json:"audit,omitempty"`
+	AuditTotal int      `json:"audit_total,omitempty"`
+}
+
+// Daemon exposes one coalition server over TCP.
+type Daemon struct {
+	srv *Server
+	ln  net.Listener
+
+	mu       sync.Mutex
+	subjects map[string]*Subject
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewDaemon wraps a coalition server for network exposure.
+func NewDaemon(s *Server) *Daemon {
+	return &Daemon{srv: s, subjects: make(map[string]*Subject)}
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the
+// bound address. Serving continues until Close.
+func (d *Daemon) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen: %w", err)
+	}
+	d.ln = ln
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (d *Daemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops the daemon and waits for in-flight connections.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	var err error
+	if d.ln != nil {
+		err = d.ln.Close()
+	}
+	d.wg.Wait()
+	return err
+}
+
+func (d *Daemon) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	enc := json.NewEncoder(conn)
+	// Track the subjects authenticated over this connection so a drop
+	// departs them.
+	var tokens []string
+	defer func() {
+		for _, tok := range tokens {
+			d.depart(tok)
+		}
+	}()
+	for sc.Scan() {
+		var req wireRequest
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			_ = enc.Encode(wireResponse{Error: "malformed request: " + err.Error()})
+			return
+		}
+		resp := d.handle(&req, &tokens)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (d *Daemon) handle(req *wireRequest, tokens *[]string) wireResponse {
+	switch req.Type {
+	case "info":
+		var res []string
+		for _, r := range d.srv.Resources() {
+			res = append(res, string(r))
+		}
+		return wireResponse{OK: true, Server: string(d.srv.ID()), Resources: res}
+
+	case "auth":
+		if req.Credential == nil {
+			return wireResponse{Error: "auth: missing credential"}
+		}
+		sub, err := d.srv.Authenticate(*req.Credential)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		tok := newToken()
+		d.mu.Lock()
+		d.subjects[tok] = sub
+		d.mu.Unlock()
+		*tokens = append(*tokens, tok)
+		return wireResponse{OK: true, Token: tok}
+
+	case "access":
+		d.mu.Lock()
+		sub, ok := d.subjects[req.Token]
+		d.mu.Unlock()
+		if !ok {
+			return wireResponse{Error: "access: unknown or expired token"}
+		}
+		ctx := RequestContext{Payload: req.Payload}
+		if req.Program != "" {
+			prog, err := sral.Parse(req.Program)
+			if err != nil {
+				return wireResponse{Error: "access: bad program: " + err.Error()}
+			}
+			ctx.Program = prog
+		}
+		// Rebuild the carried proof history, verifying signatures.
+		store := proof.NewStore(d.srv.coalition.Signer)
+		for _, p := range req.Proofs {
+			if err := store.Add(p); err != nil {
+				return wireResponse{Error: "access: carried proof rejected: " + err.Error()}
+			}
+		}
+		ctx.Store = store
+		res, err := d.srv.Request(sub, model.Operation(req.Op), model.ResourceID(req.Resource), ctx)
+		if err != nil {
+			return wireResponse{Error: err.Error()}
+		}
+		return wireResponse{OK: true, Data: res.Data, Proof: &res.Proof}
+
+	case "audit":
+		// The monitoring interface of the daemon: recent decisions in
+		// rendered form (a security officer's view; structured records
+		// stay server-side).
+		records, total := d.srv.Audit()
+		lines := make([]string, len(records))
+		for i, r := range records {
+			lines[i] = r.String()
+		}
+		return wireResponse{OK: true, Audit: lines, AuditTotal: total}
+
+	case "depart":
+		if !d.depart(req.Token) {
+			return wireResponse{Error: "depart: unknown token"}
+		}
+		return wireResponse{OK: true}
+	}
+	return wireResponse{Error: fmt.Sprintf("unknown request type %q", req.Type)}
+}
+
+func (d *Daemon) depart(token string) bool {
+	d.mu.Lock()
+	sub, ok := d.subjects[token]
+	delete(d.subjects, token)
+	d.mu.Unlock()
+	if ok {
+		d.srv.Depart(sub)
+	}
+	return ok
+}
+
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable; fall back to a
+		// non-secret marker rather than crash the daemon.
+		return "tok-" + base64.StdEncoding.EncodeToString([]byte("fallback"))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Client is the mobile-device side of the TCP protocol: it connects to
+// one coalition server, authenticates, performs accesses and collects
+// proofs.
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+	mu   sync.Mutex
+
+	token  string
+	proofs []proof.Proof
+}
+
+// Dial connects to a coalition daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Client{conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+}
+
+func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return wireResponse{}, fmt.Errorf("server: send: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return wireResponse{}, fmt.Errorf("server: recv: %w", err)
+		}
+		return wireResponse{}, fmt.Errorf("server: connection closed")
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return wireResponse{}, fmt.Errorf("server: decode: %w", err)
+	}
+	if !resp.OK {
+		// The daemon's error strings already carry their package
+		// prefix; pass them through verbatim.
+		return resp, fmt.Errorf("%s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Info queries the server's identity and hosted resources.
+func (c *Client) Info() (model.ServerID, []model.ResourceID, error) {
+	resp, err := c.roundTrip(wireRequest{Type: "info"})
+	if err != nil {
+		return "", nil, err
+	}
+	res := make([]model.ResourceID, len(resp.Resources))
+	for i, r := range resp.Resources {
+		res[i] = model.ResourceID(r)
+	}
+	return model.ServerID(resp.Server), res, nil
+}
+
+// Auth authenticates with an owner credential (arrival).
+func (c *Client) Auth(cred proof.Credential) error {
+	resp, err := c.roundTrip(wireRequest{Type: "auth", Credential: &cred})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.token = resp.Token
+	c.mu.Unlock()
+	return nil
+}
+
+// Access performs one shared-resource access, carrying the client's
+// accumulated proofs as history and the optional program text.
+func (c *Client) Access(op model.Operation, res model.ResourceID, program string, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	req := wireRequest{
+		Type:     "access",
+		Token:    c.token,
+		Op:       string(op),
+		Resource: string(res),
+		Program:  program,
+		Proofs:   append([]proof.Proof(nil), c.proofs...),
+		Payload:  payload,
+	}
+	c.mu.Unlock()
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Proof != nil {
+		c.mu.Lock()
+		c.proofs = append(c.proofs, *resp.Proof)
+		c.mu.Unlock()
+	}
+	return resp.Data, nil
+}
+
+// Proofs returns the execution proofs collected so far.
+func (c *Client) Proofs() []proof.Proof {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]proof.Proof(nil), c.proofs...)
+}
+
+// ImportProofs seeds the client's carried history (e.g. when migrating
+// from another server).
+func (c *Client) ImportProofs(ps []proof.Proof) {
+	c.mu.Lock()
+	c.proofs = append(c.proofs, ps...)
+	c.mu.Unlock()
+}
+
+// AuditLog fetches the server's recent decision records (rendered)
+// and the total number of decisions made.
+func (c *Client) AuditLog() ([]string, int, error) {
+	resp, err := c.roundTrip(wireRequest{Type: "audit"})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Audit, resp.AuditTotal, nil
+}
+
+// Depart announces departure, closing the subject server-side.
+func (c *Client) Depart() error {
+	c.mu.Lock()
+	tok := c.token
+	c.token = ""
+	c.mu.Unlock()
+	if tok == "" {
+		return nil
+	}
+	_, err := c.roundTrip(wireRequest{Type: "depart", Token: tok})
+	return err
+}
+
+// Close closes the connection (departing implicitly server-side).
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/proof"
+)
+
+// startDaemons exposes every coalition server over TCP and returns the
+// bound addresses by server ID.
+func startDaemons(t *testing.T, c *Coalition) map[model.ServerID]string {
+	t.Helper()
+	addrs := make(map[model.ServerID]string)
+	for _, s := range c.Servers() {
+		d := NewDaemon(s)
+		addr, err := d.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = d.Close() })
+		addrs[s.ID()] = addr
+	}
+	return addrs
+}
+
+func TestTCPInfo(t *testing.T) {
+	c, _ := newCoalition(t)
+	addrs := startDaemons(t, c)
+	cl, err := Dial(addrs["s1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	id, res, err := cl.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "s1" || len(res) != 2 {
+		t.Fatalf("info = %v %v", id, res)
+	}
+}
+
+func TestTCPAuthAndAccess(t *testing.T) {
+	c, _ := newCoalition(t)
+	addrs := startDaemons(t, c)
+	cl, err := Dial(addrs["s1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(cred(c, "o1", "owner", "traveler")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cl.Access(model.OpRead, "f-s1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "content of s1" {
+		t.Fatalf("data = %q", data)
+	}
+	ps := cl.Proofs()
+	if len(ps) != 1 {
+		t.Fatalf("proofs = %d", len(ps))
+	}
+	if err := c.Signer.Verify(ps[0]); err != nil {
+		t.Fatalf("proof over wire invalid: %v", err)
+	}
+	if err := cl.Depart(); err != nil {
+		t.Fatal(err)
+	}
+	// Access after departure fails.
+	if _, err := cl.Access(model.OpRead, "f-s1", "", nil); err == nil {
+		t.Fatal("access after depart succeeded")
+	}
+}
+
+func TestTCPAuthFailures(t *testing.T) {
+	c, _ := newCoalition(t)
+	addrs := startDaemons(t, c)
+	cl, err := Dial(addrs["s1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	forged := proof.NewSigner([]byte("evil")).IssueCredential("o1", "owner", []string{"traveler"})
+	if err := cl.Auth(forged); err == nil || !strings.Contains(err.Error(), "authentication") {
+		t.Fatalf("forged auth = %v", err)
+	}
+}
+
+func TestTCPMigrationCarriesProofs(t *testing.T) {
+	c, _ := newCoalition(t)
+	addrs := startDaemons(t, c)
+	credential := cred(c, "o1", "owner", "traveler")
+
+	// Visit s1, consume the full rsw budget (2).
+	c1, err := Dial(addrs["s1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Auth(credential); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c1.Access(model.OpRead, "rsw", "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	carried := c1.Proofs()
+	if err := c1.Depart(); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	// Migrate to s2 carrying the proofs: the 3rd access is denied
+	// coalition-wide.
+	c2, err := Dial(addrs["s2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.ImportProofs(carried)
+	if err := c2.Auth(credential); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Access(model.OpRead, "rsw", "", nil); err == nil {
+		t.Fatal("cross-server ceiling not enforced over TCP")
+	}
+	// Other resources still accessible.
+	if _, err := c2.Access(model.OpRead, "f-s2", "", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPTamperedCarriedProofRejected(t *testing.T) {
+	c, _ := newCoalition(t)
+	addrs := startDaemons(t, c)
+	credential := cred(c, "o1", "owner", "traveler")
+	cl, err := Dial(addrs["s1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(credential); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Access(model.OpRead, "rsw", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the carried proof.
+	ps := cl.Proofs()
+	ps[0].Access.Resource = "something-else"
+	c2, err := Dial(addrs["s2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.ImportProofs(ps)
+	if err := c2.Auth(credential); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c2.Access(model.OpRead, "f-s2", "", nil)
+	if err == nil || !strings.Contains(err.Error(), "proof") {
+		t.Fatalf("tampered proof accepted: %v", err)
+	}
+}
+
+func TestTCPProgramCheckedOverWire(t *testing.T) {
+	c, _ := newCoalition(t)
+	addrs := startDaemons(t, c)
+	cl, err := Dial(addrs["s1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(cred(c, "o1", "owner", "traveler")); err != nil {
+		t.Fatal(err)
+	}
+	// A program with 3 rsw reads can never satisfy count(0,2).
+	badProg := "read rsw @ s1; read rsw @ s1; read rsw @ s1"
+	if _, err := cl.Access(model.OpRead, "rsw", badProg, nil); err == nil {
+		t.Fatal("statically invalid program accepted over wire")
+	}
+	// Malformed program text is an error, not a crash.
+	if _, err := cl.Access(model.OpRead, "rsw", "((", nil); err == nil || !strings.Contains(err.Error(), "bad program") {
+		t.Fatalf("malformed program: %v", err)
+	}
+	// A compliant program passes.
+	if _, err := cl.Access(model.OpRead, "rsw", "read rsw @ s1", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPWrite(t *testing.T) {
+	c, _ := newCoalition(t)
+	addrs := startDaemons(t, c)
+	cl, err := Dial(addrs["s1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(cred(c, "o1", "owner", "traveler")); err != nil {
+		t.Fatal(err)
+	}
+	// The test policy has write permission? p-write: write * @ * is in
+	// testPolicy. Write then read back.
+	if _, err := cl.Access(model.OpWrite, "scratch", "", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cl.Access(model.OpRead, "scratch", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("read back %q", data)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	c, _ := newCoalition(t)
+	addrs := startDaemons(t, c)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(addrs["s1"])
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			if err := cl.Auth(cred(c, "o1", "owner", "traveler")); err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < 10; j++ {
+				if _, err := cl.Access(model.OpRead, "f-s1", "", nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonDoubleClose(t *testing.T) {
+	c, _ := newCoalition(t)
+	srv, _ := c.Server("s1")
+	d := NewDaemon(srv)
+	if _, err := d.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal("second Close errored")
+	}
+}
+
+func TestTCPAuditLog(t *testing.T) {
+	c, _ := newCoalition(t)
+	addrs := startDaemons(t, c)
+	cl, err := Dial(addrs["s1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(cred(c, "o1", "owner", "traveler")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Access(model.OpRead, "f-s1", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cl.Access(model.OpRead, "missing", "", nil)
+	lines, total, err := cl.AuditLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || len(lines) != 2 {
+		t.Fatalf("audit over wire = %d lines, %d total", len(lines), total)
+	}
+	if !strings.Contains(lines[0], "GRANT") || !strings.Contains(lines[1], "DENY") {
+		t.Fatalf("audit lines = %v", lines)
+	}
+}

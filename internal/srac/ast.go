@@ -1,0 +1,317 @@
+// Package srac implements the Shared Resource Access Constraint
+// language of Definition 3.4:
+//
+//	C ::= T | F | a | a1 ⊗ a2 | #(m, n, σ(A)) | C1 ∧ C2 | C1 ∨ C2 | ¬C
+//
+// with the derived implication C1 → C2 ::= ¬C1 ∨ C2. Spatial
+// constraints are defined over mobile object access actions; the
+// package provides:
+//
+//   - the constraint AST with a concrete text syntax (Parse/String);
+//   - exact trace satisfaction per Definition 3.6, relative to an
+//     execution-proof oracle (t ⊨ a requires both a ∈ t and
+//     Pr(a) = true);
+//   - the polynomial-time static checker of Theorem 3.2, which decides
+//     satisfaction for a whole SRAL program without enumerating its
+//     (possibly infinite) trace model.
+//
+// Constraint atoms are access *patterns*: an empty component matches
+// any value, so the anonymous atom "read f1 @ s1" constrains any
+// mobile object's read of f1 at s1.
+package srac
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"stac/internal/model"
+)
+
+// Unbounded is the upper bound n of a #(m, n, σ) constraint meaning
+// "no upper limit".
+const Unbounded = math.MaxInt
+
+// Constraint is a formula of the SRAC language.
+type Constraint interface {
+	isConstraint()
+	// Size is the number of constructs in the formula — the
+	// constraint size n of Theorem 3.2.
+	Size() int
+}
+
+// TrueC is the constant T, satisfied by every trace.
+type TrueC struct{}
+
+// FalseC is the constant F, satisfied by no trace.
+type FalseC struct{}
+
+// Atom requires the access (pattern) to be performed by the mobile
+// object, backed by an execution proof.
+type Atom struct {
+	A model.Access
+}
+
+// Ordered is a1 ⊗ a2: the mobile object must first perform a1 and then
+// perform a2, possibly making other resource accesses in between.
+// Both occurrences must be proof-backed.
+type Ordered struct {
+	First, Second model.Access
+}
+
+// Count is #(m, n, σ(A)): the number of accesses selected by σ must
+// lie within [Min, Max]. Max = Unbounded lifts the upper limit.
+type Count struct {
+	Min, Max int
+	Sel      model.Selector
+}
+
+// And is the conjunction C1 ∧ C2.
+type And struct{ Left, Right Constraint }
+
+// Or is the disjunction C1 ∨ C2.
+type Or struct{ Left, Right Constraint }
+
+// Not is the negation ¬C.
+type Not struct{ C Constraint }
+
+func (TrueC) isConstraint()   {}
+func (FalseC) isConstraint()  {}
+func (Atom) isConstraint()    {}
+func (Ordered) isConstraint() {}
+func (Count) isConstraint()   {}
+func (And) isConstraint()     {}
+func (Or) isConstraint()      {}
+func (Not) isConstraint()     {}
+
+func (TrueC) Size() int   { return 1 }
+func (FalseC) Size() int  { return 1 }
+func (Atom) Size() int    { return 1 }
+func (Ordered) Size() int { return 1 }
+func (Count) Size() int   { return 1 }
+
+func (c And) Size() int { return 1 + c.Left.Size() + c.Right.Size() }
+func (c Or) Size() int  { return 1 + c.Left.Size() + c.Right.Size() }
+func (c Not) Size() int { return 1 + c.C.Size() }
+
+// Implies builds the derived implication ¬C1 ∨ C2.
+func Implies(c1, c2 Constraint) Constraint {
+	return Or{Left: Not{C: c1}, Right: c2}
+}
+
+// Require builds the atom constraint for the given access pattern.
+func Require(a model.Access) Atom { return Atom{A: a} }
+
+// Before builds the ordering constraint a1 ⊗ a2.
+func Before(a1, a2 model.Access) Ordered { return Ordered{First: a1, Second: a2} }
+
+// AtMost builds #(0, n, σ): σ-selected accesses may occur at most n
+// times. The paper's Example 3.5 restricted-software rule is
+// AtMost(5, σ_RSW).
+func AtMost(n int, sel model.Selector) Count { return Count{Min: 0, Max: n, Sel: sel} }
+
+// AtLeast builds #(m, ∞, σ).
+func AtLeast(m int, sel model.Selector) Count {
+	return Count{Min: m, Max: Unbounded, Sel: sel}
+}
+
+// Exactly builds #(n, n, σ).
+func Exactly(n int, sel model.Selector) Count { return Count{Min: n, Max: n, Sel: sel} }
+
+// AndOf folds constraints into a right-nested conjunction.
+// AndOf() is T.
+func AndOf(cs ...Constraint) Constraint {
+	switch len(cs) {
+	case 0:
+		return TrueC{}
+	case 1:
+		return cs[0]
+	}
+	return And{Left: cs[0], Right: AndOf(cs[1:]...)}
+}
+
+// OrOf folds constraints into a right-nested disjunction. OrOf() is F.
+func OrOf(cs ...Constraint) Constraint {
+	switch len(cs) {
+	case 0:
+		return FalseC{}
+	case 1:
+		return cs[0]
+	}
+	return Or{Left: cs[0], Right: OrOf(cs[1:]...)}
+}
+
+// Walk visits c and every descendant in pre-order, stopping early when
+// fn returns false.
+func Walk(c Constraint, fn func(Constraint) bool) bool {
+	if c == nil {
+		return true
+	}
+	if !fn(c) {
+		return false
+	}
+	switch x := c.(type) {
+	case And:
+		return Walk(x.Left, fn) && Walk(x.Right, fn)
+	case Or:
+		return Walk(x.Left, fn) && Walk(x.Right, fn)
+	case Not:
+		return Walk(x.C, fn)
+	}
+	return true
+}
+
+// Atoms returns the distinct access patterns mentioned by the formula
+// (atoms and both sides of orderings), in first-occurrence order.
+func Atoms(c Constraint) []model.Access {
+	var out []model.Access
+	seen := map[model.Access]bool{}
+	add := func(a model.Access) {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	Walk(c, func(x Constraint) bool {
+		switch y := x.(type) {
+		case Atom:
+			add(y.A)
+		case Ordered:
+			add(y.First)
+			add(y.Second)
+		}
+		return true
+	})
+	return out
+}
+
+// Validate reports structural problems: nil children or inverted
+// count bounds.
+func Validate(c Constraint) error {
+	if c == nil {
+		return fmt.Errorf("srac: nil constraint")
+	}
+	var err error
+	Walk(c, func(x Constraint) bool {
+		switch y := x.(type) {
+		case Count:
+			if y.Min < 0 || y.Max < 0 {
+				err = fmt.Errorf("srac: negative count bound [%d,%d]", y.Min, y.Max)
+				return false
+			}
+			if y.Min > y.Max {
+				err = fmt.Errorf("srac: empty count interval [%d,%d]", y.Min, y.Max)
+				return false
+			}
+		case And:
+			if y.Left == nil || y.Right == nil {
+				err = fmt.Errorf("srac: conjunction with nil operand")
+				return false
+			}
+		case Or:
+			if y.Left == nil || y.Right == nil {
+				err = fmt.Errorf("srac: disjunction with nil operand")
+				return false
+			}
+		case Not:
+			if y.C == nil {
+				err = fmt.Errorf("srac: negation of nil")
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}
+
+// String renders the constraint in the concrete syntax accepted by
+// Parse:
+//
+//	T, F
+//	[read f1 @ s1]                      atom
+//	[read f1 @ s1] >> [write f2 @ s2]   ordering a1 ⊗ a2
+//	count(0, 5, sigma[r=rsw])           #(0, 5, σ)
+//	C and C, C or C, not C, C -> C
+func String(c Constraint) string {
+	var b strings.Builder
+	printC(&b, c, 0)
+	return b.String()
+}
+
+// Precedence: or < and < unary.
+const (
+	precOr = iota + 1
+	precAnd
+	precUnary
+)
+
+func printC(b *strings.Builder, c Constraint, prec int) {
+	switch x := c.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case TrueC:
+		b.WriteString("T")
+	case FalseC:
+		b.WriteString("F")
+	case Atom:
+		printAccess(b, x.A)
+	case Ordered:
+		printAccess(b, x.First)
+		b.WriteString(" >> ")
+		printAccess(b, x.Second)
+	case Count:
+		if x.Max == Unbounded {
+			fmt.Fprintf(b, "count(%d, inf, %s)", x.Min, x.Sel)
+		} else {
+			fmt.Fprintf(b, "count(%d, %d, %s)", x.Min, x.Max, x.Sel)
+		}
+	case And:
+		// The parser builds left-associative chains, so a right
+		// operand that is itself an And needs parentheses.
+		if prec > precAnd {
+			b.WriteString("(")
+		}
+		printC(b, x.Left, precAnd)
+		b.WriteString(" and ")
+		printC(b, x.Right, precAnd+1)
+		if prec > precAnd {
+			b.WriteString(")")
+		}
+	case Or:
+		if prec > precOr {
+			b.WriteString("(")
+		}
+		printC(b, x.Left, precOr)
+		b.WriteString(" or ")
+		printC(b, x.Right, precOr+1)
+		if prec > precOr {
+			b.WriteString(")")
+		}
+	case Not:
+		b.WriteString("not ")
+		printC(b, x.C, precUnary)
+	default:
+		fmt.Fprintf(b, "<constraint %T>", c)
+	}
+}
+
+func printAccess(b *strings.Builder, a model.Access) {
+	b.WriteString("[")
+	if a.Object != "" {
+		b.WriteString(string(a.Object))
+		b.WriteString(": ")
+	}
+	op := string(a.Op)
+	if op == "" {
+		op = "*"
+	}
+	r := string(a.Resource)
+	if r == "" {
+		r = "*"
+	}
+	s := string(a.Server)
+	if s == "" {
+		s = "*"
+	}
+	fmt.Fprintf(b, "%s %s @ %s]", op, r, s)
+}

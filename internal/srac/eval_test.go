@@ -1,0 +1,272 @@
+package srac
+
+import (
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/trace"
+)
+
+func acc(o, op, r, s string) model.Access {
+	return model.Access{
+		Object:   model.ObjectID(o),
+		Op:       model.Operation(op),
+		Resource: model.ResourceID(r),
+		Server:   model.ServerID(s),
+	}
+}
+
+var (
+	read1  = acc("o1", "read", "f1", "s1")
+	write2 = acc("o1", "write", "f2", "s1")
+	read3  = acc("o1", "read", "f3", "s2")
+)
+
+func TestSatisfiesTrueFalse(t *testing.T) {
+	tr := trace.Trace{read1}
+	if !SatisfiesTrace(tr, TrueC{}, nil) {
+		t.Fatal("t ⊭ T")
+	}
+	if SatisfiesTrace(tr, FalseC{}, nil) {
+		t.Fatal("t ⊨ F")
+	}
+	if !SatisfiesTrace(trace.Empty, TrueC{}, nil) {
+		t.Fatal("ε ⊭ T")
+	}
+}
+
+func TestSatisfiesAtom(t *testing.T) {
+	tr := trace.Trace{read1, write2}
+	if !SatisfiesTrace(tr, Require(read1), nil) {
+		t.Fatal("exact atom not satisfied")
+	}
+	if SatisfiesTrace(tr, Require(read3), nil) {
+		t.Fatal("absent atom satisfied")
+	}
+	// Pattern atom: empty object matches any object.
+	pat := model.Access{Op: "read", Resource: "f1", Server: "s1"}
+	if !SatisfiesTrace(tr, Require(pat), nil) {
+		t.Fatal("pattern atom not satisfied")
+	}
+	// Wildcard server.
+	anyServer := model.Access{Op: "write", Resource: "f2"}
+	if !SatisfiesTrace(tr, Require(anyServer), nil) {
+		t.Fatal("wildcard-server atom not satisfied")
+	}
+}
+
+func TestSatisfiesAtomRequiresProof(t *testing.T) {
+	tr := trace.Trace{read1}
+	if SatisfiesTrace(tr, Require(read1), NoneProven) {
+		t.Fatal("unproven access satisfied atom")
+	}
+	only2 := OracleFunc(func(a model.Access) bool { return a == write2 })
+	if SatisfiesTrace(tr, Require(read1), only2) {
+		t.Fatal("oracle ignored")
+	}
+}
+
+func TestSatisfiesOrdered(t *testing.T) {
+	tr := trace.Trace{read1, read3, write2}
+	if !SatisfiesTrace(tr, Before(read1, write2), nil) {
+		t.Fatal("a1 ⊗ a2 with a1 before a2 not satisfied")
+	}
+	if SatisfiesTrace(tr, Before(write2, read1), nil) {
+		t.Fatal("a1 ⊗ a2 satisfied with a2 before a1")
+	}
+	// Same access twice satisfies a ⊗ a.
+	twice := trace.Trace{read1, read1}
+	if !SatisfiesTrace(twice, Before(read1, read1), nil) {
+		t.Fatal("a ⊗ a over <a,a> not satisfied")
+	}
+	once := trace.Trace{read1}
+	if SatisfiesTrace(once, Before(read1, read1), nil) {
+		t.Fatal("a ⊗ a over <a> satisfied")
+	}
+}
+
+func TestSatisfiesOrderedUsesEarliestFirstOccurrence(t *testing.T) {
+	// a1 at 0 and 2, a2 at 1: the pair (0,1) witnesses the ordering.
+	tr := trace.Trace{read1, write2, read1}
+	if !SatisfiesTrace(tr, Before(read1, write2), nil) {
+		t.Fatal("ordering with interleaved occurrences not satisfied")
+	}
+}
+
+func TestSatisfiesOrderedProofs(t *testing.T) {
+	tr := trace.Trace{read1, write2}
+	onlyFirst := OracleFunc(func(a model.Access) bool { return a == read1 })
+	if SatisfiesTrace(tr, Before(read1, write2), onlyFirst) {
+		t.Fatal("ordering satisfied without proof of second access")
+	}
+}
+
+func TestSatisfiesCount(t *testing.T) {
+	tr := trace.Trace{read1, read1, write2, read1}
+	selReads := model.Selector{Ops: []model.Operation{"read"}}
+	tests := []struct {
+		c    Constraint
+		want bool
+	}{
+		{Count{Min: 0, Max: 5, Sel: selReads}, true},
+		{Count{Min: 3, Max: 3, Sel: selReads}, true},
+		{Count{Min: 4, Max: Unbounded, Sel: selReads}, false},
+		{Count{Min: 0, Max: 2, Sel: selReads}, false},
+		{AtMost(1, model.Selector{Ops: []model.Operation{"write"}}), true},
+		{AtLeast(1, model.Selector{Servers: []model.ServerID{"s9"}}), false},
+		{Exactly(4, model.Selector{}), true},
+	}
+	for i, tt := range tests {
+		if got := SatisfiesTrace(tr, tt.c, nil); got != tt.want {
+			t.Errorf("case %d: %s = %v, want %v", i, String(tt.c), got, tt.want)
+		}
+	}
+}
+
+func TestSatisfiesConnectives(t *testing.T) {
+	tr := trace.Trace{read1, write2}
+	a := Require(read1)
+	b := Require(read3)
+	if !SatisfiesTrace(tr, And{Left: a, Right: Require(write2)}, nil) {
+		t.Fatal("and failed")
+	}
+	if SatisfiesTrace(tr, And{Left: a, Right: b}, nil) {
+		t.Fatal("and with false conjunct satisfied")
+	}
+	if !SatisfiesTrace(tr, Or{Left: b, Right: a}, nil) {
+		t.Fatal("or failed")
+	}
+	if !SatisfiesTrace(tr, Not{C: b}, nil) {
+		t.Fatal("not failed")
+	}
+	// a1 -> a2 ≡ ¬a1 ∨ a2.
+	if !SatisfiesTrace(tr, Implies(a, Require(write2)), nil) {
+		t.Fatal("implication with both present failed")
+	}
+	if !SatisfiesTrace(tr, Implies(b, FalseC{}), nil) {
+		t.Fatal("implication with absent premise failed")
+	}
+	if SatisfiesTrace(tr, Implies(a, b), nil) {
+		t.Fatal("implication with present premise, absent conclusion satisfied")
+	}
+}
+
+func TestSatisfiesAllAny(t *testing.T) {
+	s := trace.NewSet(trace.Trace{read1}, trace.Trace{write2})
+	c := Require(read1)
+	if SatisfiesAll(s, c, nil) {
+		t.Fatal("SatisfiesAll over mixed set")
+	}
+	if !SatisfiesAny(s, c, nil) {
+		t.Fatal("SatisfiesAny missed satisfying trace")
+	}
+	empty := trace.NewSet()
+	if !SatisfiesAll(empty, FalseC{}, nil) {
+		t.Fatal("vacuous SatisfiesAll failed")
+	}
+	if SatisfiesAny(empty, TrueC{}, nil) {
+		t.Fatal("SatisfiesAny over empty set")
+	}
+}
+
+func TestStampObject(t *testing.T) {
+	anon := model.Access{Op: "read", Resource: "f1", Server: "s1"}
+	named := acc("o2", "write", "f2", "s1")
+	c := AndOf(
+		Require(anon),
+		Before(anon, named),
+		AtMost(5, model.Selector{Resources: []model.ResourceID{"f1"}}),
+		Not{C: Or{Left: Require(anon), Right: TrueC{}}},
+	)
+	stamped := StampObject(c, "o1")
+	var sawStampedAtom, sawKeptNamed, sawStampedSel bool
+	Walk(stamped, func(x Constraint) bool {
+		switch y := x.(type) {
+		case Atom:
+			if y.A.Object == "o1" {
+				sawStampedAtom = true
+			}
+		case Ordered:
+			if y.First.Object == "o1" && y.Second.Object == "o2" {
+				sawKeptNamed = true
+			}
+		case Count:
+			if len(y.Sel.Objects) == 1 && y.Sel.Objects[0] == "o1" {
+				sawStampedSel = true
+			}
+		}
+		return true
+	})
+	if !sawStampedAtom || !sawKeptNamed || !sawStampedSel {
+		t.Fatalf("StampObject incomplete: atom=%v named=%v sel=%v",
+			sawStampedAtom, sawKeptNamed, sawStampedSel)
+	}
+	// Original must be unchanged.
+	var origUnchanged bool
+	Walk(c, func(x Constraint) bool {
+		if y, ok := x.(Atom); ok && y.A.Object == "" {
+			origUnchanged = true
+		}
+		return true
+	})
+	if !origUnchanged {
+		t.Fatal("StampObject mutated original")
+	}
+}
+
+func TestStampObjectPreservesExistingSelectorObjects(t *testing.T) {
+	c := AtMost(2, model.Selector{Objects: []model.ObjectID{"team-a", "team-b"}})
+	stamped := StampObject(c, "o1").(Count)
+	if len(stamped.Sel.Objects) != 2 {
+		t.Fatalf("existing selector objects replaced: %v", stamped.Sel.Objects)
+	}
+}
+
+func TestExample35RestrictedSoftware(t *testing.T) {
+	// #(0, 5, σ_RSW): the restricted software package, either licensed
+	// or trial version, cannot be accessed more than 5 times, no
+	// matter where the mobile object runs.
+	rsw := model.Selector{
+		Name:      "RSW",
+		Resources: []model.ResourceID{"rsw-licensed", "rsw-trial"},
+	}
+	c := AtMost(5, rsw)
+	var tr trace.Trace
+	for i := 0; i < 5; i++ {
+		server := model.ServerID([]string{"s1", "s2"}[i%2])
+		tr = append(tr, model.Access{Object: "o1", Op: "execute", Resource: "rsw-trial", Server: server})
+		if !SatisfiesTrace(tr, c, nil) {
+			t.Fatalf("constraint violated at %d accesses", i+1)
+		}
+	}
+	tr = append(tr, model.Access{Object: "o1", Op: "execute", Resource: "rsw-licensed", Server: "s3"})
+	if SatisfiesTrace(tr, c, nil) {
+		t.Fatal("6th access across servers not caught")
+	}
+}
+
+func TestMentionsOtherObject(t *testing.T) {
+	own := model.Access{Object: "o1", Op: "read", Resource: "f"}
+	foreign := model.Access{Object: "o2", Op: "write", Resource: "f"}
+	anon := model.Access{Op: "read", Resource: "f"}
+	tests := []struct {
+		c    Constraint
+		want bool
+	}{
+		{Require(anon), false},
+		{Require(own), false},
+		{Require(foreign), true},
+		{Before(own, foreign), true},
+		{Before(anon, own), false},
+		{AtMost(3, model.Selector{Objects: []model.ObjectID{"o1"}}), false},
+		{AtMost(3, model.Selector{Objects: []model.ObjectID{"o1", "o2"}}), true},
+		{AtMost(3, model.Selector{}), false},
+		{AndOf(Require(anon), Not{C: Require(foreign)}), true},
+		{TrueC{}, false},
+	}
+	for i, tt := range tests {
+		if got := MentionsOtherObject(tt.c, "o1"); got != tt.want {
+			t.Errorf("case %d (%s): MentionsOtherObject = %v, want %v", i, String(tt.c), got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package srac_test
+
+import (
+	"fmt"
+
+	"stac/internal/model"
+	"stac/internal/srac"
+	"stac/internal/sral"
+	"stac/internal/trace"
+)
+
+func ExampleSatisfiesTrace() {
+	// Example 3.5's restricted-software rule: at most 5 accesses to
+	// the package (licensed or trial), at any server.
+	c := srac.MustParse("count(0, 5, sigma[r=rsw-licensed,rsw-trial])")
+	var t trace.Trace
+	for i := 0; i < 6; i++ {
+		t = append(t, model.NewAccess("dev-7", "execute", "rsw-trial", "s1"))
+		fmt.Printf("after %d runs: %v\n", i+1, srac.SatisfiesTrace(t, c, nil))
+	}
+	// Output:
+	// after 1 runs: true
+	// after 2 runs: true
+	// after 3 runs: true
+	// after 4 runs: true
+	// after 5 runs: true
+	// after 6 runs: false
+}
+
+func ExampleCheckProgram() {
+	// Theorem 3.2: decide P ⊨ C without enumerating traces(P).
+	p := sral.MustParse("read dep @ s1; read mod @ s1")
+	c := srac.MustParse("[read dep @ *] >> [read mod @ *]")
+	fmt.Println(srac.CheckProgram(p, c, "o1"))
+
+	reversed := sral.MustParse("read mod @ s1; read dep @ s1")
+	fmt.Println(srac.CheckProgram(reversed, c, "o1"))
+	// Output:
+	// all-traces
+	// no-trace
+}
+
+func ExampleEvalPrefix() {
+	// Enforcement reading: a crossed ceiling is irreversible, a
+	// missing required access is merely pending.
+	ceiling := srac.MustParse("count(0, 1, sigma[r=rsw])")
+	needed := srac.MustParse("[read manifest @ *]")
+	hist := trace.Trace{
+		model.NewAccess("o1", "execute", "rsw", "s1"),
+		model.NewAccess("o1", "execute", "rsw", "s2"),
+	}
+	fmt.Println(srac.EvalPrefix(hist, ceiling, nil))
+	fmt.Println(srac.EvalPrefix(hist, needed, nil))
+	// Output:
+	// violated
+	// pending
+}

@@ -1,0 +1,42 @@
+package srac
+
+import (
+	"testing"
+
+	"stac/internal/trace"
+)
+
+// FuzzParse checks that the SRAC parser never panics and accepted
+// constraints round-trip through the printer.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"T", "F",
+		"[read f1 @ s1]",
+		"[o1: * f1 @ *] >> [write f2 @ s2]",
+		"count(0, 5, sigma[r=rsw-licensed,rsw-trial])",
+		"count(2, inf, sigma[*])",
+		"not T and F or [read f @ s] -> T",
+		"count(0, 1, sigma[o=o1,o2; op=read; r=f1; s=s1,s2])",
+		"[[", "count(", "sigma", ">>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := String(c)
+		d, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its printed form %q: %v", src, printed, err)
+		}
+		if String(d) != printed {
+			t.Fatalf("round trip changed constraint: %q -> %q -> %q", src, printed, String(d))
+		}
+		// Evaluation must be total on any accepted constraint.
+		_ = SatisfiesTrace(trace.Empty, c, nil)
+		_ = EvalPrefix(trace.Empty, c, nil)
+	})
+}

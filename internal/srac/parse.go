@@ -1,0 +1,405 @@
+package srac
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"stac/internal/model"
+)
+
+// Parse parses a constraint in the concrete SRAC syntax:
+//
+//	C      := orExpr [ "->" C ]               (implication, right assoc)
+//	orExpr := andExpr { "or" andExpr }
+//	andExpr:= unary { "and" unary }
+//	unary  := "not" unary | "!" unary | atom
+//	atom   := "T" | "F" | "(" C ")"
+//	        | access [ ">>" access ]          (atom / ordering a1 ⊗ a2)
+//	        | "count" "(" INT "," (INT|"inf") "," selector ")"
+//	access := "[" [IDENT ":"] opPat IDENT|"*" "@" IDENT|"*" "]"
+//	selector := "sigma" "[" "*" "]"
+//	          | "sigma" "[" field "=" ids { ";" field "=" ids } "]"
+//	            with field ∈ {o, op, r, s} and ids a comma list
+//
+// Components written "*" are wildcards (match any value). Example
+// (the restricted-software rule of Example 3.5):
+//
+//	count(0, 5, sigma[r=rsw-licensed,rsw-trial])
+func Parse(src string) (Constraint, error) {
+	toks, err := lexC(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &cparser{toks: toks}
+	c, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, p.errorf("unexpected %q after constraint", p.peek().text)
+	}
+	if err := Validate(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustParse is Parse that panics on error — for tests and fixtures.
+func MustParse(src string) Constraint {
+	c, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type ctok struct {
+	kind int // 0 EOF, 1 ident/int, 2 punct
+	text string
+	pos  int
+}
+
+const (
+	ckEOF = iota
+	ckWord
+	ckPunct
+)
+
+func lexC(src string) ([]ctok, error) {
+	var toks []ctok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#' && strings.HasPrefix(src[i:], "##"): // ## comment
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isWordStart(rune(c)):
+			j := i
+			for j < len(src) && isWordRune(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, ctok{ckWord, src[i:j], i})
+			i = j
+		default:
+			if strings.HasPrefix(src[i:], ">>") || strings.HasPrefix(src[i:], "->") {
+				toks = append(toks, ctok{ckPunct, src[i : i+2], i})
+				i += 2
+				continue
+			}
+			switch c {
+			case '[', ']', '(', ')', ',', ';', '=', '@', '*', ':', '!':
+				toks = append(toks, ctok{ckPunct, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("srac: illegal character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, ctok{ckEOF, "", len(src)})
+	return toks, nil
+}
+
+func isWordStart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == '_' || r == '-' || r == '.' || r == '/'
+}
+
+type cparser struct {
+	toks []ctok
+	pos  int
+}
+
+func (p *cparser) peek() ctok { return p.toks[p.pos] }
+func (p *cparser) next() ctok { t := p.toks[p.pos]; p.pos++; return t }
+func (p *cparser) eof() bool  { return p.peek().kind == ckEOF }
+
+func (p *cparser) errorf(format string, args ...any) error {
+	return fmt.Errorf("srac: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *cparser) acceptPunct(text string) bool {
+	if t := p.peek(); t.kind == ckPunct && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *cparser) expectPunct(text string) error {
+	if !p.acceptPunct(text) {
+		return p.errorf("expected %q, found %q", text, p.peek().text)
+	}
+	return nil
+}
+
+func (p *cparser) acceptWord(w string) bool {
+	if t := p.peek(); t.kind == ckWord && t.text == w {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *cparser) parseImplies() (Constraint, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("->") {
+		right, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		return Implies(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *cparser) parseOr() (Constraint, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptWord("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *cparser) parseAnd() (Constraint, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptWord("and") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *cparser) parseUnary() (Constraint, error) {
+	if p.acceptWord("not") || p.acceptPunct("!") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{C: inner}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *cparser) parseAtom() (Constraint, error) {
+	t := p.peek()
+	switch {
+	case t.kind == ckWord && t.text == "T":
+		p.pos++
+		return TrueC{}, nil
+	case t.kind == ckWord && t.text == "F":
+		p.pos++
+		return FalseC{}, nil
+	case t.kind == ckPunct && t.text == "(":
+		p.pos++
+		inner, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.kind == ckWord && t.text == "count":
+		return p.parseCount()
+	case t.kind == ckPunct && t.text == "[":
+		first, err := p.parseAccess()
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptPunct(">>") {
+			second, err := p.parseAccess()
+			if err != nil {
+				return nil, err
+			}
+			return Ordered{First: first, Second: second}, nil
+		}
+		return Atom{A: first}, nil
+	}
+	return nil, p.errorf("expected constraint, found %q", t.text)
+}
+
+// parseAccess parses "[ [obj:] op r @ s ]" with "*" wildcards.
+func (p *cparser) parseAccess() (model.Access, error) {
+	var a model.Access
+	if err := p.expectPunct("["); err != nil {
+		return a, err
+	}
+	first, err := p.wordOrStar()
+	if err != nil {
+		return a, err
+	}
+	if p.acceptPunct(":") {
+		a.Object = model.ObjectID(first)
+		first, err = p.wordOrStar()
+		if err != nil {
+			return a, err
+		}
+	}
+	a.Op = model.Operation(first)
+	r, err := p.wordOrStar()
+	if err != nil {
+		return a, err
+	}
+	a.Resource = model.ResourceID(r)
+	if err := p.expectPunct("@"); err != nil {
+		return a, err
+	}
+	s, err := p.wordOrStar()
+	if err != nil {
+		return a, err
+	}
+	a.Server = model.ServerID(s)
+	if err := p.expectPunct("]"); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// wordOrStar consumes an identifier or the "*" wildcard; "*" yields
+// the empty string (match-any).
+func (p *cparser) wordOrStar() (string, error) {
+	t := p.peek()
+	if t.kind == ckPunct && t.text == "*" {
+		p.pos++
+		return "", nil
+	}
+	if t.kind != ckWord {
+		return "", p.errorf("expected identifier or \"*\", found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *cparser) parseCount() (Constraint, error) {
+	p.next() // "count"
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	minTok := p.peek()
+	minVal, err := strconv.Atoi(minTok.text)
+	if err != nil || minTok.kind != ckWord {
+		return nil, p.errorf("expected lower bound integer, found %q", minTok.text)
+	}
+	p.pos++
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	maxTok := p.peek()
+	maxVal := 0
+	if maxTok.kind == ckWord && maxTok.text == "inf" {
+		maxVal = Unbounded
+		p.pos++
+	} else {
+		maxVal, err = strconv.Atoi(maxTok.text)
+		if err != nil || maxTok.kind != ckWord {
+			return nil, p.errorf("expected upper bound integer or \"inf\", found %q", maxTok.text)
+		}
+		p.pos++
+	}
+	if err := p.expectPunct(","); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelector()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return Count{Min: minVal, Max: maxVal, Sel: sel}, nil
+}
+
+func (p *cparser) parseSelector() (model.Selector, error) {
+	var sel model.Selector
+	if !p.acceptWord("sigma") {
+		return sel, p.errorf("expected \"sigma\", found %q", p.peek().text)
+	}
+	if err := p.expectPunct("["); err != nil {
+		return sel, err
+	}
+	if p.acceptPunct("*") {
+		return sel, p.expectPunct("]")
+	}
+	if p.acceptPunct("]") {
+		return sel, nil
+	}
+	for {
+		field := p.peek()
+		if field.kind != ckWord {
+			return sel, p.errorf("expected selector field, found %q", field.text)
+		}
+		p.pos++
+		if err := p.expectPunct("="); err != nil {
+			return sel, err
+		}
+		ids, err := p.parseIDList()
+		if err != nil {
+			return sel, err
+		}
+		switch field.text {
+		case "o":
+			for _, id := range ids {
+				sel.Objects = append(sel.Objects, model.ObjectID(id))
+			}
+		case "op":
+			for _, id := range ids {
+				sel.Ops = append(sel.Ops, model.Operation(id))
+			}
+		case "r":
+			for _, id := range ids {
+				sel.Resources = append(sel.Resources, model.ResourceID(id))
+			}
+		case "s":
+			for _, id := range ids {
+				sel.Servers = append(sel.Servers, model.ServerID(id))
+			}
+		default:
+			return sel, p.errorf("unknown selector field %q (want o, op, r or s)", field.text)
+		}
+		if p.acceptPunct(";") {
+			continue
+		}
+		return sel, p.expectPunct("]")
+	}
+}
+
+func (p *cparser) parseIDList() ([]string, error) {
+	var ids []string
+	for {
+		t := p.peek()
+		if t.kind != ckWord {
+			return nil, p.errorf("expected identifier, found %q", t.text)
+		}
+		p.pos++
+		ids = append(ids, t.text)
+		if !p.acceptPunct(",") {
+			return ids, nil
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package srac
+
+import (
+	"math/rand"
+	"testing"
+
+	"stac/internal/model"
+)
+
+func TestParseConstants(t *testing.T) {
+	if _, ok := MustParse("T").(TrueC); !ok {
+		t.Fatal("T")
+	}
+	if _, ok := MustParse("F").(FalseC); !ok {
+		t.Fatal("F")
+	}
+}
+
+func TestParseAtom(t *testing.T) {
+	c := MustParse("[read f1 @ s1]")
+	a, ok := c.(Atom)
+	if !ok {
+		t.Fatalf("parsed %T", c)
+	}
+	want := model.Access{Op: "read", Resource: "f1", Server: "s1"}
+	if a.A != want {
+		t.Fatalf("atom = %+v", a.A)
+	}
+}
+
+func TestParseAtomWithObjectAndWildcards(t *testing.T) {
+	c := MustParse("[o1: * f1 @ *]")
+	a := c.(Atom)
+	if a.A.Object != "o1" || a.A.Op != "" || a.A.Resource != "f1" || a.A.Server != "" {
+		t.Fatalf("atom = %+v", a.A)
+	}
+}
+
+func TestParseOrdered(t *testing.T) {
+	c := MustParse("[read f1 @ s1] >> [write f2 @ s2]")
+	o, ok := c.(Ordered)
+	if !ok {
+		t.Fatalf("parsed %T", c)
+	}
+	if o.First.Resource != "f1" || o.Second.Resource != "f2" {
+		t.Fatalf("ordered = %+v", o)
+	}
+}
+
+func TestParseCount(t *testing.T) {
+	c := MustParse("count(0, 5, sigma[r=rsw-licensed,rsw-trial])")
+	n, ok := c.(Count)
+	if !ok {
+		t.Fatalf("parsed %T", c)
+	}
+	if n.Min != 0 || n.Max != 5 || len(n.Sel.Resources) != 2 {
+		t.Fatalf("count = %+v", n)
+	}
+}
+
+func TestParseCountInf(t *testing.T) {
+	c := MustParse("count(2, inf, sigma[*])")
+	n := c.(Count)
+	if n.Min != 2 || n.Max != Unbounded || !n.Sel.Empty() {
+		t.Fatalf("count = %+v", n)
+	}
+}
+
+func TestParseSelectorFields(t *testing.T) {
+	c := MustParse("count(0, 1, sigma[o=o1,o2; op=read; r=f1; s=s1,s2])")
+	sel := c.(Count).Sel
+	if len(sel.Objects) != 2 || len(sel.Ops) != 1 || len(sel.Resources) != 1 || len(sel.Servers) != 2 {
+		t.Fatalf("selector = %+v", sel)
+	}
+}
+
+func TestParseConnectivePrecedence(t *testing.T) {
+	// or is lower than and: "a and b or c" = (a∧b)∨c.
+	c := MustParse("[read f1 @ s1] and [read f2 @ s1] or T")
+	if _, ok := c.(Or); !ok {
+		t.Fatalf("top = %T, want Or", c)
+	}
+	// -> is lowest and right associative.
+	c = MustParse("T -> F -> T")
+	o, ok := c.(Or) // ¬T ∨ (F -> T)
+	if !ok {
+		t.Fatalf("top = %T, want Or (desugared implication)", c)
+	}
+	if _, ok := o.Left.(Not); !ok {
+		t.Fatalf("implication did not desugar: left = %T", o.Left)
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	c := MustParse("not [read f1 @ s1]")
+	if _, ok := c.(Not); !ok {
+		t.Fatalf("parsed %T", c)
+	}
+	c = MustParse("![read f1 @ s1]")
+	if _, ok := c.(Not); !ok {
+		t.Fatalf("parsed %T", c)
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	c := MustParse("([read f1 @ s1] or F) and T")
+	if _, ok := c.(And); !ok {
+		t.Fatalf("parsed %T", c)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"[read f1 s1]",            // missing @
+		"[read f1 @ s1",           // unclosed
+		"[read f1 @ s1] >>",       // missing second access
+		"count(0 5, sigma[*])",    // missing comma
+		"count(x, 5, sigma[*])",   // non-integer
+		"count(0, 5, sigma[q=1])", // bad field
+		"count(5, 2, sigma[*])",   // inverted interval
+		"count(-1, 2, sigma[*])",
+		"T and",
+		"or T",
+		"T T",
+		"count(0, 5, [read f @ s])", // selector required
+		"[read f1 @ s1] %",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestValidateDirect(t *testing.T) {
+	if err := Validate(nil); err == nil {
+		t.Fatal("nil constraint accepted")
+	}
+	if err := Validate(And{Left: TrueC{}}); err == nil {
+		t.Fatal("nil operand accepted")
+	}
+	if err := Validate(Or{Right: TrueC{}}); err == nil {
+		t.Fatal("nil operand accepted")
+	}
+	if err := Validate(Not{}); err == nil {
+		t.Fatal("nil negand accepted")
+	}
+	if err := Validate(Count{Min: 3, Max: 1}); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+	if err := Validate(AndOf(TrueC{}, FalseC{}, Require(read1))); err != nil {
+		t.Fatalf("valid constraint rejected: %v", err)
+	}
+}
+
+func TestAndOfOrOf(t *testing.T) {
+	if _, ok := AndOf().(TrueC); !ok {
+		t.Fatal("AndOf() should be T")
+	}
+	if _, ok := OrOf().(FalseC); !ok {
+		t.Fatal("OrOf() should be F")
+	}
+	if c := AndOf(FalseC{}); c != (Constraint)(FalseC{}) {
+		t.Fatal("AndOf(c) should be c")
+	}
+	three := AndOf(TrueC{}, TrueC{}, TrueC{})
+	if three.Size() != 5 {
+		t.Fatalf("AndOf(T,T,T).Size = %d", three.Size())
+	}
+}
+
+func TestAtomsCollector(t *testing.T) {
+	c := MustParse("[read f1 @ s1] >> [write f2 @ s2] and [read f1 @ s1] or not [read f3 @ s1]")
+	atoms := Atoms(c)
+	if len(atoms) != 3 {
+		t.Fatalf("Atoms = %v", atoms)
+	}
+}
+
+func TestSizeCounts(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int
+	}{
+		{"T", 1},
+		{"[read f1 @ s1]", 1},
+		{"[read f1 @ s1] >> [write f2 @ s2]", 1},
+		{"count(0, 5, sigma[*])", 1},
+		{"T and F", 3},
+		{"not T", 2},
+		{"T -> F", 4}, // ¬T ∨ F
+	}
+	for _, tt := range tests {
+		if got := MustParse(tt.src).Size(); got != tt.want {
+			t.Errorf("Size(%q) = %d, want %d", tt.src, got, tt.want)
+		}
+	}
+}
+
+// randomConstraint builds a random constraint over a small access
+// vocabulary for round-trip testing.
+func randomConstraint(r *rand.Rand, depth int) Constraint {
+	accs := []model.Access{
+		{Op: "read", Resource: "f1", Server: "s1"},
+		{Op: "write", Resource: "f2", Server: "s1"},
+		{Object: "o1", Op: "read", Resource: "f3", Server: "s2"},
+		{Op: "execute", Resource: "f4"}, // wildcard server
+	}
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return TrueC{}
+		case 1:
+			return FalseC{}
+		case 2:
+			return Require(accs[r.Intn(len(accs))])
+		case 3:
+			return Before(accs[r.Intn(len(accs))], accs[r.Intn(len(accs))])
+		default:
+			lo := r.Intn(3)
+			hi := lo + r.Intn(4)
+			if r.Intn(4) == 0 {
+				hi = Unbounded
+			}
+			sel := model.Selector{}
+			if r.Intn(2) == 0 {
+				sel.Ops = []model.Operation{"read"}
+			}
+			if r.Intn(2) == 0 {
+				sel.Servers = []model.ServerID{"s1", "s2"}
+			}
+			return Count{Min: lo, Max: hi, Sel: sel}
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return And{Left: randomConstraint(r, depth-1), Right: randomConstraint(r, depth-1)}
+	case 1:
+		return Or{Left: randomConstraint(r, depth-1), Right: randomConstraint(r, depth-1)}
+	default:
+		return Not{C: randomConstraint(r, depth-1)}
+	}
+}
+
+// Property: parse(print(C)) is structurally identical to C.
+func TestPrintParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 400; i++ {
+		c := randomConstraint(r, 3)
+		printed := String(c)
+		d, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("iteration %d: reparse of %q failed: %v", i, printed, err)
+		}
+		if String(d) != printed {
+			t.Fatalf("iteration %d: round trip changed constraint:\n%s\nvs\n%s", i, printed, String(d))
+		}
+	}
+}
+
+func TestStringFixedForms(t *testing.T) {
+	tests := []struct {
+		c    Constraint
+		want string
+	}{
+		{TrueC{}, "T"},
+		{Require(model.Access{Op: "read", Resource: "f1", Server: "s1"}), "[read f1 @ s1]"},
+		{Require(model.Access{Object: "o1", Op: "read", Resource: "f1", Server: "s1"}), "[o1: read f1 @ s1]"},
+		{Require(model.Access{Resource: "f1"}), "[* f1 @ *]"},
+		{AtMost(5, model.Selector{Resources: []model.ResourceID{"rsw"}}), "count(0, 5, sigma[r=rsw])"},
+		{AtLeast(1, model.Selector{}), "count(1, inf, sigma[*])"},
+		{And{Left: TrueC{}, Right: FalseC{}}, "T and F"},
+		{Or{Left: And{Left: TrueC{}, Right: TrueC{}}, Right: FalseC{}}, "T and T or F"},
+		{And{Left: Or{Left: TrueC{}, Right: TrueC{}}, Right: FalseC{}}, "(T or T) and F"},
+		{Not{C: And{Left: TrueC{}, Right: TrueC{}}}, "not (T and T)"},
+	}
+	for _, tt := range tests {
+		if got := String(tt.c); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}

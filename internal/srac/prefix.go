@@ -1,0 +1,144 @@
+package srac
+
+import (
+	"stac/internal/model"
+	"stac/internal/trace"
+)
+
+// Status is the three-valued outcome of evaluating a constraint
+// against the *prefix* of an execution — the access history a mobile
+// object has accumulated so far. Enforcement needs this rather than
+// plain trace satisfaction because the execution is still in progress:
+// a required access that has not happened yet is merely pending, while
+// a count ceiling that has been crossed can never be repaired.
+type Status int
+
+// Prefix-evaluation outcomes.
+const (
+	// Satisfied: the history already satisfies the constraint, and
+	// satisfaction is stable for the constructs that can only be
+	// strengthened by more accesses.
+	Satisfied Status = iota
+	// Violated: no extension of the history can satisfy the
+	// constraint (an irreversible violation).
+	Violated
+	// Pending: not satisfied yet, but some extension could satisfy it.
+	Pending
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Satisfied:
+		return "satisfied"
+	case Violated:
+		return "violated"
+	default:
+		return "pending"
+	}
+}
+
+// negate flips Satisfied and Violated. For Pending the conservative
+// answer is Pending.
+func (s Status) negate() Status {
+	switch s {
+	case Satisfied:
+		return Violated
+	case Violated:
+		return Satisfied
+	default:
+		return Pending
+	}
+}
+
+// EvalPrefix evaluates a constraint against a history prefix:
+//
+//   - Atom a: Satisfied once a proof-backed match is in the history,
+//     otherwise Pending (the access can still happen).
+//   - a1 ⊗ a2: Satisfied once witnessed in order; otherwise Pending.
+//   - #(m, n, σ): Violated when the count already exceeds n (more
+//     accesses only increase it); Satisfied within [m, n]; Pending
+//     below m.
+//   - Connectives combine three-valued: ∧ is Violated if either side
+//     is, Satisfied if both are; ∨ dually; ¬ swaps Satisfied and
+//     Violated and is conservative (Pending) on Pending operands.
+//
+// Enforcement denies on Violated and may grant on Satisfied or
+// Pending; the static program checker additionally rules out programs
+// that can never satisfy the constraint.
+func EvalPrefix(t trace.Trace, c Constraint, pr ProofOracle) Status {
+	if pr == nil {
+		pr = AllProven
+	}
+	switch x := c.(type) {
+	case TrueC:
+		return Satisfied
+	case FalseC:
+		return Violated
+	case Atom:
+		if firstMatch(t, x.A, 0, pr) >= 0 {
+			return Satisfied
+		}
+		return Pending
+	case Ordered:
+		i := firstMatch(t, x.First, 0, pr)
+		if i >= 0 && firstMatch(t, x.Second, i+1, pr) >= 0 {
+			return Satisfied
+		}
+		return Pending
+	case Count:
+		n := t.Count(x.Sel)
+		switch {
+		case n > x.Max:
+			return Violated
+		case n >= x.Min:
+			return Satisfied
+		default:
+			return Pending
+		}
+	case And:
+		l := EvalPrefix(t, x.Left, pr)
+		r := EvalPrefix(t, x.Right, pr)
+		switch {
+		case l == Violated || r == Violated:
+			return Violated
+		case l == Satisfied && r == Satisfied:
+			return Satisfied
+		default:
+			return Pending
+		}
+	case Or:
+		l := EvalPrefix(t, x.Left, pr)
+		r := EvalPrefix(t, x.Right, pr)
+		switch {
+		case l == Satisfied || r == Satisfied:
+			return Satisfied
+		case l == Violated && r == Violated:
+			return Violated
+		default:
+			return Pending
+		}
+	case Not:
+		return EvalPrefix(t, x.C, pr).negate()
+	}
+	return Pending
+}
+
+// AdmitsExtension reports whether the history can still lead to
+// satisfaction: it is the enforcement predicate "grant unless the
+// constraint is irreversibly violated".
+func AdmitsExtension(t trace.Trace, c Constraint, pr ProofOracle) bool {
+	return EvalPrefix(t, c, pr) != Violated
+}
+
+// HypotheticalOracle extends a base oracle so the single access about
+// to be performed counts as proven — enforcement evaluates the
+// post-state of a grant before issuing its proof.
+func HypotheticalOracle(base ProofOracle, pending model.Access) ProofOracle {
+	if base == nil {
+		base = AllProven
+	}
+	return OracleFunc(func(a model.Access) bool {
+		return a == pending || base.Proven(a)
+	})
+}

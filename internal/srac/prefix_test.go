@@ -1,0 +1,165 @@
+package srac
+
+import (
+	"math/rand"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/trace"
+)
+
+func TestStatusString(t *testing.T) {
+	if Satisfied.String() != "satisfied" || Violated.String() != "violated" || Pending.String() != "pending" {
+		t.Fatal("status strings")
+	}
+}
+
+func TestEvalPrefixAtom(t *testing.T) {
+	a := model.Access{Op: "read", Resource: "f1", Server: "s1"}
+	if got := EvalPrefix(trace.Empty, Require(a), nil); got != Pending {
+		t.Fatalf("empty history atom = %v", got)
+	}
+	hist := trace.Trace{model.NewAccess("o1", "read", "f1", "s1")}
+	if got := EvalPrefix(hist, Require(a), nil); got != Satisfied {
+		t.Fatalf("present atom = %v", got)
+	}
+	if got := EvalPrefix(hist, Require(a), NoneProven); got != Pending {
+		t.Fatalf("unproven atom = %v", got)
+	}
+}
+
+func TestEvalPrefixOrdered(t *testing.T) {
+	a1 := model.Access{Op: "read", Resource: "dep"}
+	a2 := model.Access{Op: "read", Resource: "mod"}
+	c := Before(a1, a2)
+	if got := EvalPrefix(trace.Empty, c, nil); got != Pending {
+		t.Fatalf("empty = %v", got)
+	}
+	wrong := trace.Trace{
+		model.NewAccess("o1", "read", "mod", "s1"),
+		model.NewAccess("o1", "read", "dep", "s1"),
+	}
+	// Reverse order so far: still pending (mod can be read again after dep).
+	if got := EvalPrefix(wrong, c, nil); got != Pending {
+		t.Fatalf("reversed = %v", got)
+	}
+	right := wrong.Concat(trace.Trace{model.NewAccess("o1", "read", "mod", "s2")})
+	if got := EvalPrefix(right, c, nil); got != Satisfied {
+		t.Fatalf("witnessed = %v", got)
+	}
+}
+
+func TestEvalPrefixCount(t *testing.T) {
+	sel := model.Selector{Resources: []model.ResourceID{"rsw"}}
+	c := Count{Min: 1, Max: 2, Sel: sel}
+	a := model.NewAccess("o1", "execute", "rsw", "s1")
+	if got := EvalPrefix(trace.Empty, c, nil); got != Pending {
+		t.Fatalf("below min = %v", got)
+	}
+	if got := EvalPrefix(trace.Trace{a}, c, nil); got != Satisfied {
+		t.Fatalf("in range = %v", got)
+	}
+	if got := EvalPrefix(trace.Trace{a, a, a}, c, nil); got != Violated {
+		t.Fatalf("over max = %v", got)
+	}
+}
+
+func TestEvalPrefixConnectives(t *testing.T) {
+	sel := model.Selector{Resources: []model.ResourceID{"rsw"}}
+	over := Count{Min: 0, Max: 0, Sel: sel} // violated once rsw accessed
+	atom := Require(model.Access{Resource: "f1"})
+	a := model.NewAccess("o1", "execute", "rsw", "s1")
+	hist := trace.Trace{a}
+
+	if got := EvalPrefix(hist, And{Left: over, Right: TrueC{}}, nil); got != Violated {
+		t.Fatalf("violated ∧ T = %v", got)
+	}
+	if got := EvalPrefix(hist, Or{Left: over, Right: TrueC{}}, nil); got != Satisfied {
+		t.Fatalf("violated ∨ T = %v", got)
+	}
+	if got := EvalPrefix(hist, Or{Left: over, Right: FalseC{}}, nil); got != Violated {
+		t.Fatalf("violated ∨ F = %v", got)
+	}
+	if got := EvalPrefix(hist, Or{Left: over, Right: atom}, nil); got != Pending {
+		t.Fatalf("violated ∨ pending = %v", got)
+	}
+	if got := EvalPrefix(hist, Not{C: over}, nil); got != Satisfied {
+		t.Fatalf("¬violated = %v", got)
+	}
+	if got := EvalPrefix(hist, Not{C: atom}, nil); got != Pending {
+		t.Fatalf("¬pending = %v", got)
+	}
+	if got := EvalPrefix(hist, Not{C: TrueC{}}, nil); got != Violated {
+		t.Fatalf("¬T = %v", got)
+	}
+}
+
+func TestAdmitsExtension(t *testing.T) {
+	sel := model.Selector{Resources: []model.ResourceID{"rsw"}}
+	c := AtMost(1, sel)
+	a := model.NewAccess("o1", "execute", "rsw", "s1")
+	if !AdmitsExtension(trace.Trace{a}, c, nil) {
+		t.Fatal("at ceiling should still admit")
+	}
+	if AdmitsExtension(trace.Trace{a, a}, c, nil) {
+		t.Fatal("over ceiling should not admit")
+	}
+}
+
+func TestHypotheticalOracle(t *testing.T) {
+	pending := model.NewAccess("o1", "read", "f1", "s1")
+	other := model.NewAccess("o1", "read", "f2", "s1")
+	base := OracleFunc(func(a model.Access) bool { return a == other })
+	h := HypotheticalOracle(base, pending)
+	if !h.Proven(pending) || !h.Proven(other) {
+		t.Fatal("hypothetical oracle missing accesses")
+	}
+	if h.Proven(model.NewAccess("o1", "read", "f3", "s1")) {
+		t.Fatal("hypothetical oracle over-proves")
+	}
+	hn := HypotheticalOracle(nil, pending)
+	if !hn.Proven(other) {
+		t.Fatal("nil base should default to AllProven")
+	}
+}
+
+// Property: prefix evaluation is consistent with full trace
+// satisfaction — Satisfied prefixes of count/atom/ordering formulas
+// without negation satisfy the constraint as completed traces, and
+// Violated prefixes never do (for any extension, checked on a few
+// random extensions).
+func TestEvalPrefixConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	pool := []model.Access{
+		model.NewAccess("o1", "read", "f1", "s1"),
+		model.NewAccess("o1", "write", "f2", "s1"),
+		model.NewAccess("o1", "execute", "rsw", "s2"),
+	}
+	for i := 0; i < 300; i++ {
+		var hist trace.Trace
+		for j := 0; j < r.Intn(6); j++ {
+			hist = append(hist, pool[r.Intn(len(pool))])
+		}
+		c := randomConjunctiveConstraint(r, 2)
+		status := EvalPrefix(hist, c, nil)
+		sat := SatisfiesTrace(hist, c, nil)
+		switch status {
+		case Satisfied:
+			if !sat {
+				t.Fatalf("Satisfied prefix does not satisfy as trace: %v vs %s", hist, String(c))
+			}
+		case Violated:
+			// No extension may satisfy: try several random ones.
+			for k := 0; k < 10; k++ {
+				ext := hist.Clone()
+				for j := 0; j < r.Intn(5); j++ {
+					ext = append(ext, pool[r.Intn(len(pool))])
+				}
+				if SatisfiesTrace(ext, c, nil) {
+					t.Fatalf("Violated prefix has satisfying extension:\nhist %v\next %v\nC %s",
+						hist, ext, String(c))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package srac
+
+// Simplify returns a logically equivalent constraint in a simpler
+// form, applying the classical propositional identities:
+//
+//	T ∧ C = C    F ∧ C = F    T ∨ C = T    F ∨ C = C
+//	¬¬C = C      ¬T = F       ¬F = T
+//	C ∧ C = C    C ∨ C = C    (syntactic idempotence)
+//
+// and normalising trivially decided counting atoms:
+//
+//	#(0, ∞, σ) = T      (no restriction)
+//
+// Equivalence is with respect to trace satisfaction (Definition 3.6):
+// for every trace t and oracle pr, t ⊨ C iff t ⊨ Simplify(C). The
+// prefix-evaluation status is also preserved, because the identities
+// hold in the three-valued reading as well.
+func Simplify(c Constraint) Constraint {
+	switch x := c.(type) {
+	case And:
+		l := Simplify(x.Left)
+		r := Simplify(x.Right)
+		if isFalse(l) || isFalse(r) {
+			return FalseC{}
+		}
+		if isTrue(l) {
+			return r
+		}
+		if isTrue(r) {
+			return l
+		}
+		if String(l) == String(r) {
+			return l
+		}
+		return And{Left: l, Right: r}
+	case Or:
+		l := Simplify(x.Left)
+		r := Simplify(x.Right)
+		if isTrue(l) || isTrue(r) {
+			return TrueC{}
+		}
+		if isFalse(l) {
+			return r
+		}
+		if isFalse(r) {
+			return l
+		}
+		if String(l) == String(r) {
+			return l
+		}
+		return Or{Left: l, Right: r}
+	case Not:
+		inner := Simplify(x.C)
+		switch y := inner.(type) {
+		case TrueC:
+			return FalseC{}
+		case FalseC:
+			return TrueC{}
+		case Not:
+			return y.C
+		}
+		return Not{C: inner}
+	case Count:
+		if x.Min <= 0 && x.Max == Unbounded {
+			return TrueC{}
+		}
+		return x
+	default:
+		return c
+	}
+}
+
+func isTrue(c Constraint) bool {
+	_, ok := c.(TrueC)
+	return ok
+}
+
+func isFalse(c Constraint) bool {
+	_, ok := c.(FalseC)
+	return ok
+}

@@ -1,0 +1,85 @@
+package srac
+
+import (
+	"math/rand"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/trace"
+)
+
+func TestSimplifyFixedConstraints(t *testing.T) {
+	tests := []struct {
+		src, want string
+	}{
+		{"T and [read f @ s]", "[read f @ s]"},
+		{"[read f @ s] and T", "[read f @ s]"},
+		{"F and [read f @ s]", "F"},
+		{"T or [read f @ s]", "T"},
+		{"F or [read f @ s]", "[read f @ s]"},
+		{"not T", "F"},
+		{"not not [read f @ s]", "[read f @ s]"},
+		{"not not not F", "T"},
+		{"[read f @ s] and [read f @ s]", "[read f @ s]"},
+		{"[read f @ s] or [read f @ s]", "[read f @ s]"},
+		{"count(0, inf, sigma[*])", "T"},
+		{"count(1, inf, sigma[*])", "count(1, inf, sigma[*])"},
+		// Implication desugars then simplifies: T -> C = ¬T ∨ C = C.
+		{"T -> [read f @ s]", "[read f @ s]"},
+		{"F -> [read f @ s]", "T"},
+		// Nested propagation.
+		{"(T and T) or F", "T"},
+	}
+	for _, tt := range tests {
+		got := String(Simplify(MustParse(tt.src)))
+		if got != tt.want {
+			t.Errorf("Simplify(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+// Property: simplification preserves trace satisfaction and prefix
+// status on random traces, and never grows the constraint.
+func TestSimplifyEquivalent(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	pool := []model.Access{
+		model.NewAccess("o1", "read", "f1", "s1"),
+		model.NewAccess("o1", "write", "f2", "s1"),
+		model.NewAccess("o1", "execute", "rsw", "s2"),
+	}
+	for i := 0; i < 400; i++ {
+		c := randomConstraint(r, 3)
+		s := Simplify(c)
+		if err := Validate(s); err != nil {
+			t.Fatalf("iteration %d: simplified constraint invalid: %v", i, err)
+		}
+		if s.Size() > c.Size() {
+			t.Fatalf("iteration %d: simplification grew: %d -> %d\n%s", i, c.Size(), s.Size(), String(c))
+		}
+		for trial := 0; trial < 10; trial++ {
+			var tr trace.Trace
+			for j := 0; j < r.Intn(6); j++ {
+				tr = append(tr, pool[r.Intn(len(pool))])
+			}
+			if SatisfiesTrace(tr, c, nil) != SatisfiesTrace(tr, s, nil) {
+				t.Fatalf("iteration %d: satisfaction changed on %v:\n%s\nvs\n%s",
+					i, tr, String(c), String(s))
+			}
+			if EvalPrefix(tr, c, nil) != EvalPrefix(tr, s, nil) {
+				t.Fatalf("iteration %d: prefix status changed on %v:\n%s\nvs\n%s",
+					i, tr, String(c), String(s))
+			}
+		}
+	}
+}
+
+// Property: simplification is idempotent.
+func TestSimplifyConstraintIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for i := 0; i < 200; i++ {
+		c := Simplify(randomConstraint(r, 3))
+		if String(Simplify(c)) != String(c) {
+			t.Fatalf("iteration %d: not idempotent: %s", i, String(c))
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package srac
+
+import (
+	"fmt"
+	"strings"
+
+	"stac/internal/model"
+	"stac/internal/sral"
+)
+
+// Verdict is the three-valued result of statically checking an SRAL
+// program against a constraint without enumerating its (possibly
+// infinite) trace model.
+type Verdict int
+
+// Verdict values.
+const (
+	// AllTraces: every trace of the program satisfies the constraint.
+	AllTraces Verdict = iota
+	// NoTrace: no trace of the program satisfies the constraint.
+	NoTrace
+	// Mixed: some traces satisfy and some do not, or the checker had
+	// to be conservative (see the package notes on exactness).
+	Mixed
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case AllTraces:
+		return "all-traces"
+	case NoTrace:
+		return "no-trace"
+	default:
+		return "mixed"
+	}
+}
+
+// Negate flips AllTraces and NoTrace; Mixed is self-dual.
+func (v Verdict) Negate() Verdict {
+	switch v {
+	case AllTraces:
+		return NoTrace
+	case NoTrace:
+		return AllTraces
+	default:
+		return Mixed
+	}
+}
+
+// CheckProgram statically decides P ⊨ C (Theorem 3.2). It runs in
+// O(m·n) time where m = |P| and n = |C|: each constraint construct
+// triggers one structural pass over the program.
+//
+// obj is the mobile object that will execute the program; program
+// accesses are written object-neutrally and are attributed to obj
+// before they are matched against constraint patterns (pass "" to
+// match patterns that do not restrict the object).
+//
+// The verdict is sound: AllTraces is only reported when every trace
+// satisfies C, NoTrace only when none does. It is exact for T, F,
+// atoms, counting constraints and negations thereof; for ⊗ under
+// sequential composition, and for ∧/∨ over mixed operands, the checker
+// may conservatively report Mixed (Definition 3.2's trace semantics
+// ignores condition values, so both conditional branches and any loop
+// repetition count are considered possible).
+//
+// Static checking assumes execution proofs will be issued as accesses
+// are performed (the AllProven oracle); the runtime trace checker
+// re-validates against actual proofs.
+func CheckProgram(p sral.Node, c Constraint, obj model.ObjectID) Verdict {
+	ck := &checker{obj: obj}
+	return ck.verdict(p, c)
+}
+
+// Must reports whether every trace of P satisfies C — the enforcement
+// reading of Definition 3.7.
+func Must(p sral.Node, c Constraint, obj model.ObjectID) bool {
+	return CheckProgram(p, c, obj) == AllTraces
+}
+
+// May reports whether some trace of P can satisfy C (conservatively
+// true when the checker cannot exclude it).
+func May(p sral.Node, c Constraint, obj model.ObjectID) bool {
+	return CheckProgram(p, c, obj) != NoTrace
+}
+
+type checker struct {
+	obj model.ObjectID
+}
+
+// stampedAccess attributes a program access to the executing object.
+func (ck *checker) stampedAccess(pr sral.Prim) model.Access {
+	return pr.Access().WithObject(ck.obj)
+}
+
+func (ck *checker) verdict(p sral.Node, c Constraint) Verdict {
+	switch x := c.(type) {
+	case TrueC:
+		return AllTraces
+	case FalseC:
+		return NoTrace
+	case Atom:
+		occ := ck.occurs(p, x.A)
+		switch {
+		case occ.must:
+			return AllTraces
+		case !occ.may:
+			return NoTrace
+		default:
+			return Mixed
+		}
+	case Ordered:
+		ord := ck.ordered(p, x.First, x.Second)
+		switch {
+		case ord.must:
+			return AllTraces
+		case !ord.may:
+			return NoTrace
+		default:
+			return Mixed
+		}
+	case Count:
+		lo, hi := ck.countRange(p, x.Sel)
+		switch {
+		case lo >= x.Min && hi <= x.Max:
+			return AllTraces
+		case hi < x.Min || lo > x.Max:
+			return NoTrace
+		default:
+			return Mixed
+		}
+	case And:
+		l := ck.verdict(p, x.Left)
+		r := ck.verdict(p, x.Right)
+		switch {
+		case l == NoTrace || r == NoTrace:
+			return NoTrace
+		case l == AllTraces && r == AllTraces:
+			return AllTraces
+		default:
+			return Mixed
+		}
+	case Or:
+		l := ck.verdict(p, x.Left)
+		r := ck.verdict(p, x.Right)
+		switch {
+		case l == AllTraces || r == AllTraces:
+			return AllTraces
+		case l == NoTrace && r == NoTrace:
+			return NoTrace
+		default:
+			return Mixed
+		}
+	case Not:
+		return ck.verdict(p, x.C).Negate()
+	}
+	return Mixed
+}
+
+// occInfo summarises whether a pattern occurs on every trace (must)
+// and on some trace (may) of a subprogram.
+type occInfo struct{ must, may bool }
+
+func (ck *checker) occurs(p sral.Node, pat model.Access) occInfo {
+	switch x := p.(type) {
+	case sral.Prim:
+		hit := pat.Matches(ck.stampedAccess(x))
+		return occInfo{must: hit, may: hit}
+	case sral.Seq:
+		a, b := ck.occurs(x.First, pat), ck.occurs(x.Second, pat)
+		return occInfo{must: a.must || b.must, may: a.may || b.may}
+	case sral.Par:
+		a, b := ck.occurs(x.Left, pat), ck.occurs(x.Right, pat)
+		return occInfo{must: a.must || b.must, may: a.may || b.may}
+	case sral.If:
+		a, b := ck.occurs(x.Then, pat), ck.occurs(x.Else, pat)
+		return occInfo{must: a.must && b.must, may: a.may || b.may}
+	case sral.While:
+		b := ck.occurs(x.Body, pat)
+		return occInfo{must: false, may: b.may}
+	default: // Recv, Send, Signal, Wait, Skip, nil: ε-traces only
+		return occInfo{}
+	}
+}
+
+// ordInfo summarises whether "x-before-y" holds on every trace (must)
+// and on some trace (may) of a subprogram.
+type ordInfo struct{ must, may bool }
+
+func (ck *checker) ordered(p sral.Node, first, second model.Access) ordInfo {
+	switch x := p.(type) {
+	case sral.Prim:
+		// A single access can never witness a1 strictly before a2.
+		return ordInfo{}
+	case sral.Seq:
+		s1 := ck.ordered(x.First, first, second)
+		s2 := ck.ordered(x.Second, first, second)
+		f1 := ck.occurs(x.First, first)
+		g2 := ck.occurs(x.Second, second)
+		return ordInfo{
+			must: s1.must || s2.must || (f1.must && g2.must),
+			may:  s1.may || s2.may || (f1.may && g2.may),
+		}
+	case sral.Par:
+		s1 := ck.ordered(x.Left, first, second)
+		s2 := ck.ordered(x.Right, first, second)
+		f1 := ck.occurs(x.Left, first)
+		g1 := ck.occurs(x.Left, second)
+		f2 := ck.occurs(x.Right, first)
+		g2 := ck.occurs(x.Right, second)
+		return ordInfo{
+			// An interleaving preserves each side's internal order, so
+			// a side that forces the ordering forces it globally;
+			// cross-side orderings are never forced (the adversarial
+			// interleaving can flip them).
+			must: s1.must || s2.must,
+			may:  s1.may || s2.may || (f1.may && g2.may) || (f2.may && g1.may),
+		}
+	case sral.If:
+		s1 := ck.ordered(x.Then, first, second)
+		s2 := ck.ordered(x.Else, first, second)
+		return ordInfo{must: s1.must && s2.must, may: s1.may || s2.may}
+	case sral.While:
+		sb := ck.ordered(x.Body, first, second)
+		fb := ck.occurs(x.Body, first)
+		gb := ck.occurs(x.Body, second)
+		return ordInfo{
+			// ε ∈ traces(while ...), so the ordering is never forced.
+			must: false,
+			// Two iterations witness first-then-second across bodies.
+			may: sb.may || (fb.may && gb.may),
+		}
+	default:
+		return ordInfo{}
+	}
+}
+
+// countRange computes [lo, hi] bounds on the number of σ-selected
+// accesses over all traces of the program; hi is Unbounded when a loop
+// body can contribute.
+func (ck *checker) countRange(p sral.Node, sel model.Selector) (lo, hi int) {
+	switch x := p.(type) {
+	case sral.Prim:
+		if sel.SelectAccess(ck.stampedAccess(x)) {
+			return 1, 1
+		}
+		return 0, 0
+	case sral.Seq:
+		lo1, hi1 := ck.countRange(x.First, sel)
+		lo2, hi2 := ck.countRange(x.Second, sel)
+		return lo1 + lo2, addBound(hi1, hi2)
+	case sral.Par:
+		lo1, hi1 := ck.countRange(x.Left, sel)
+		lo2, hi2 := ck.countRange(x.Right, sel)
+		return lo1 + lo2, addBound(hi1, hi2)
+	case sral.If:
+		lo1, hi1 := ck.countRange(x.Then, sel)
+		lo2, hi2 := ck.countRange(x.Else, sel)
+		return min(lo1, lo2), max(hi1, hi2)
+	case sral.While:
+		_, hiB := ck.countRange(x.Body, sel)
+		if hiB > 0 {
+			return 0, Unbounded
+		}
+		return 0, 0
+	default:
+		return 0, 0
+	}
+}
+
+func addBound(a, b int) int {
+	if a == Unbounded || b == Unbounded {
+		return Unbounded
+	}
+	return a + b
+}
+
+// Explanation is the per-subformula verdict tree produced by Explain,
+// used by diagnostic tools to show *why* a program was admitted or
+// rejected.
+type Explanation struct {
+	Formula  string
+	Verdict  Verdict
+	Children []*Explanation
+}
+
+// Explain checks P against C and records the verdict of every
+// subformula.
+func Explain(p sral.Node, c Constraint, obj model.ObjectID) *Explanation {
+	ck := &checker{obj: obj}
+	return explain(ck, p, c)
+}
+
+func explain(ck *checker, p sral.Node, c Constraint) *Explanation {
+	e := &Explanation{Formula: String(c), Verdict: ck.verdict(p, c)}
+	switch x := c.(type) {
+	case And:
+		e.Children = []*Explanation{explain(ck, p, x.Left), explain(ck, p, x.Right)}
+	case Or:
+		e.Children = []*Explanation{explain(ck, p, x.Left), explain(ck, p, x.Right)}
+	case Not:
+		e.Children = []*Explanation{explain(ck, p, x.C)}
+	}
+	return e
+}
+
+// String renders the explanation tree with indentation.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	var rec func(x *Explanation, depth int)
+	rec = func(x *Explanation, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-12s %s\n", x.Verdict, x.Formula)
+		for _, ch := range x.Children {
+			rec(ch, depth+1)
+		}
+	}
+	rec(e, 0)
+	return b.String()
+}

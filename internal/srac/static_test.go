@@ -1,0 +1,338 @@
+package srac
+
+import (
+	"math/rand"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/sral"
+	"stac/internal/trace"
+)
+
+func TestVerdictString(t *testing.T) {
+	if AllTraces.String() != "all-traces" || NoTrace.String() != "no-trace" || Mixed.String() != "mixed" {
+		t.Fatal("Verdict strings wrong")
+	}
+}
+
+func TestVerdictNegate(t *testing.T) {
+	if AllTraces.Negate() != NoTrace || NoTrace.Negate() != AllTraces || Mixed.Negate() != Mixed {
+		t.Fatal("Negate wrong")
+	}
+}
+
+func TestCheckConstants(t *testing.T) {
+	p := sral.MustParse("read f1 @ s1")
+	if CheckProgram(p, TrueC{}, "o1") != AllTraces {
+		t.Fatal("T")
+	}
+	if CheckProgram(p, FalseC{}, "o1") != NoTrace {
+		t.Fatal("F")
+	}
+}
+
+func TestCheckAtom(t *testing.T) {
+	p := sral.MustParse("read f1 @ s1; write f2 @ s1")
+	tests := []struct {
+		src  string
+		want Verdict
+	}{
+		{"[read f1 @ s1]", AllTraces},
+		{"[o1: read f1 @ s1]", AllTraces}, // object stamping
+		{"[o2: read f1 @ s1]", NoTrace},   // different object
+		{"[read f9 @ s1]", NoTrace},
+		{"[* f1 @ *]", AllTraces},
+	}
+	for _, tt := range tests {
+		if got := CheckProgram(p, MustParse(tt.src), "o1"); got != tt.want {
+			t.Errorf("check(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestCheckAtomBranching(t *testing.T) {
+	p := sral.MustParse("if x > 0 then { read f1 @ s1 } else { read f2 @ s1 }")
+	if got := CheckProgram(p, MustParse("[read f1 @ s1]"), "o1"); got != Mixed {
+		t.Fatalf("branch-only atom = %v, want mixed", got)
+	}
+	both := sral.MustParse("if x > 0 then { read f1 @ s1; read f3 @ s1 } else { read f3 @ s1 }")
+	if got := CheckProgram(both, MustParse("[read f3 @ s1]"), "o1"); got != AllTraces {
+		t.Fatalf("atom in both branches = %v, want all-traces", got)
+	}
+}
+
+func TestCheckAtomLoop(t *testing.T) {
+	p := sral.MustParse("while x > 0 do { read f1 @ s1 }")
+	// Zero iterations possible: never must, but may.
+	if got := CheckProgram(p, MustParse("[read f1 @ s1]"), "o1"); got != Mixed {
+		t.Fatalf("loop atom = %v, want mixed", got)
+	}
+}
+
+func TestCheckOrdered(t *testing.T) {
+	tests := []struct {
+		prog, cons string
+		want       Verdict
+	}{
+		{"read f1 @ s1; write f2 @ s1", "[read f1 @ s1] >> [write f2 @ s1]", AllTraces},
+		{"write f2 @ s1; read f1 @ s1", "[read f1 @ s1] >> [write f2 @ s1]", NoTrace},
+		// Order forced inside one side of a parallel composition.
+		{"{ read f1 @ s1; write f2 @ s1 } || read f3 @ s2", "[read f1 @ s1] >> [write f2 @ s1]", AllTraces},
+		// Cross-side ordering is possible but never forced.
+		{"read f1 @ s1 || write f2 @ s1", "[read f1 @ s1] >> [write f2 @ s1]", Mixed},
+		// Branch-dependent ordering.
+		{"if x > 0 then { read f1 @ s1; write f2 @ s1 } else { write f2 @ s1 }", "[read f1 @ s1] >> [write f2 @ s1]", Mixed},
+		// Loop can witness the order across iterations but may run zero times.
+		{"while x > 0 do { read f1 @ s1; write f2 @ s1 }", "[read f1 @ s1] >> [write f2 @ s1]", Mixed},
+		// Accesses entirely absent.
+		{"read f9 @ s9", "[read f1 @ s1] >> [write f2 @ s1]", NoTrace},
+		// Only the first access present: ordering impossible.
+		{"read f1 @ s1", "[read f1 @ s1] >> [write f2 @ s1]", NoTrace},
+		// A single access never witnesses a ⊗ a.
+		{"read f1 @ s1", "[read f1 @ s1] >> [read f1 @ s1]", NoTrace},
+		// But two do.
+		{"read f1 @ s1; read f1 @ s1", "[read f1 @ s1] >> [read f1 @ s1]", AllTraces},
+	}
+	for _, tt := range tests {
+		p := sral.MustParse(tt.prog)
+		c := MustParse(tt.cons)
+		if got := CheckProgram(p, c, "o1"); got != tt.want {
+			t.Errorf("check(%q, %q) = %v, want %v", tt.prog, tt.cons, got, tt.want)
+		}
+	}
+}
+
+func TestCheckCount(t *testing.T) {
+	tests := []struct {
+		prog, cons string
+		want       Verdict
+	}{
+		{"read f1 @ s1; read f1 @ s1", "count(0, 5, sigma[r=f1])", AllTraces},
+		{"read f1 @ s1; read f1 @ s1", "count(2, 2, sigma[r=f1])", AllTraces},
+		{"read f1 @ s1; read f1 @ s1", "count(3, 5, sigma[r=f1])", NoTrace},
+		{"read f1 @ s1; read f1 @ s1", "count(0, 1, sigma[r=f1])", NoTrace},
+		{"if x > 0 then { read f1 @ s1 } else { skip }", "count(0, 1, sigma[r=f1])", AllTraces},
+		{"if x > 0 then { read f1 @ s1 } else { skip }", "count(1, 1, sigma[r=f1])", Mixed},
+		{"while x > 0 do { read f1 @ s1 }", "count(0, 5, sigma[r=f1])", Mixed},
+		{"while x > 0 do { read f1 @ s1 }", "count(0, inf, sigma[r=f1])", AllTraces},
+		{"while x > 0 do { ch ! 1 }", "count(0, 0, sigma[r=f1])", AllTraces},
+		{"read f1 @ s1 || read f1 @ s2", "count(2, 2, sigma[r=f1])", AllTraces},
+		{"while x > 0 do { read f1 @ s1 }", "count(1, inf, sigma[r=f1])", Mixed},
+	}
+	for _, tt := range tests {
+		p := sral.MustParse(tt.prog)
+		c := MustParse(tt.cons)
+		if got := CheckProgram(p, c, "o1"); got != tt.want {
+			t.Errorf("check(%q, %q) = %v, want %v", tt.prog, tt.cons, got, tt.want)
+		}
+	}
+}
+
+func TestCheckCountSelectorObjectStamping(t *testing.T) {
+	p := sral.MustParse("read f1 @ s1")
+	c := Count{Min: 1, Max: 1, Sel: model.Selector{Objects: []model.ObjectID{"o1"}}}
+	if got := CheckProgram(p, c, "o1"); got != AllTraces {
+		t.Fatalf("stamped count = %v", got)
+	}
+	if got := CheckProgram(p, c, "o2"); got != NoTrace {
+		t.Fatalf("foreign-object count = %v", got)
+	}
+}
+
+func TestCheckConnectives(t *testing.T) {
+	p := sral.MustParse("read f1 @ s1; write f2 @ s1")
+	all := MustParse("[read f1 @ s1]")
+	none := MustParse("[read f9 @ s1]")
+	mixed := Require(model.Access{Op: "read", Resource: "f1", Server: "s1"})
+	mixedProg := sral.MustParse("if x > 0 then { read f1 @ s1 } else { skip }")
+
+	if CheckProgram(p, And{Left: all, Right: all}, "o1") != AllTraces {
+		t.Fatal("all∧all")
+	}
+	if CheckProgram(p, And{Left: all, Right: none}, "o1") != NoTrace {
+		t.Fatal("all∧none")
+	}
+	if CheckProgram(p, Or{Left: none, Right: all}, "o1") != AllTraces {
+		t.Fatal("none∨all")
+	}
+	if CheckProgram(p, Or{Left: none, Right: none}, "o1") != NoTrace {
+		t.Fatal("none∨none")
+	}
+	if CheckProgram(p, Not{C: all}, "o1") != NoTrace {
+		t.Fatal("¬all")
+	}
+	if CheckProgram(p, Not{C: none}, "o1") != AllTraces {
+		t.Fatal("¬none")
+	}
+	if CheckProgram(mixedProg, And{Left: TrueC{}, Right: mixed}, "o1") != Mixed {
+		t.Fatal("T∧mixed")
+	}
+	if CheckProgram(mixedProg, Or{Left: FalseC{}, Right: mixed}, "o1") != Mixed {
+		t.Fatal("F∨mixed")
+	}
+}
+
+func TestMustMay(t *testing.T) {
+	p := sral.MustParse("if x > 0 then { read f1 @ s1 } else { skip }")
+	c := MustParse("[read f1 @ s1]")
+	if Must(p, c, "o1") {
+		t.Fatal("Must over mixed")
+	}
+	if !May(p, c, "o1") {
+		t.Fatal("May over mixed")
+	}
+	if !Must(sral.MustParse("read f1 @ s1"), c, "o1") {
+		t.Fatal("Must over certain")
+	}
+	if May(sral.MustParse("read f9 @ s9"), c, "o1") {
+		t.Fatal("May over impossible")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	p := sral.MustParse("read f1 @ s1")
+	c := MustParse("[read f1 @ s1] and not [read f9 @ s9]")
+	e := Explain(p, c, "o1")
+	if e.Verdict != AllTraces {
+		t.Fatalf("root verdict = %v", e.Verdict)
+	}
+	if len(e.Children) != 2 {
+		t.Fatalf("children = %d", len(e.Children))
+	}
+	if e.Children[1].Verdict != AllTraces || len(e.Children[1].Children) != 1 {
+		t.Fatalf("negation child = %+v", e.Children[1])
+	}
+	s := e.String()
+	if len(s) == 0 {
+		t.Fatal("empty explanation")
+	}
+}
+
+// --- Soundness: static verdicts vs exhaustive enumeration ------------
+
+func randomCheckProgram(r *rand.Rand, depth int) sral.Node {
+	accs := []sral.Prim{
+		sral.AccessOp("read", "f1", "s1"),
+		sral.AccessOp("write", "f2", "s1"),
+		sral.AccessOp("read", "f3", "s2"),
+	}
+	if depth <= 0 {
+		if r.Intn(4) == 0 {
+			return sral.Skip{}
+		}
+		return accs[r.Intn(len(accs))]
+	}
+	switch r.Intn(4) {
+	case 0:
+		return sral.Seq{First: randomCheckProgram(r, depth-1), Second: randomCheckProgram(r, depth-1)}
+	case 1:
+		return sral.If{Cond: sral.Opaque{Name: "c"}, Then: randomCheckProgram(r, depth-1), Else: randomCheckProgram(r, depth-1)}
+	case 2:
+		return sral.Par{Left: randomCheckProgram(r, depth-1), Right: randomCheckProgram(r, depth-1)}
+	default:
+		return randomCheckProgram(r, depth-1)
+	}
+}
+
+// Property (soundness of Theorem 3.2's checker): on loop-free
+// programs, AllTraces implies every enumerated trace satisfies and
+// NoTrace implies none does.
+func TestStaticSoundnessOnEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		p := randomCheckProgram(r, 3)
+		c := randomConstraint(r, 2)
+		set, exact := sral.Traces(p, sral.TraceOptions{MaxTraces: -1})
+		if !exact {
+			t.Fatalf("loop-free enumeration inexact for %s", sral.String(p))
+		}
+		// Match the static checker's object attribution.
+		stamped := stampSet(set, "o1")
+		verdict := CheckProgram(p, c, "o1")
+		all := SatisfiesAll(stamped, c, nil)
+		any := SatisfiesAny(stamped, c, nil)
+		switch verdict {
+		case AllTraces:
+			if !all {
+				t.Fatalf("iteration %d: verdict all-traces but a trace fails\nP = %s\nC = %s",
+					i, sral.String(p), String(c))
+			}
+		case NoTrace:
+			if any {
+				t.Fatalf("iteration %d: verdict no-trace but a trace satisfies\nP = %s\nC = %s",
+					i, sral.String(p), String(c))
+			}
+		}
+	}
+}
+
+// Property: the checker is exact (never Mixed unless truly mixed) on
+// the negation-free, disjunction-free fragment over atoms and counts
+// for sequential loop-free programs.
+func TestStaticExactnessOnConjunctiveFragment(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for i := 0; i < 300; i++ {
+		p := randomSeqOnlyProgram(r, 3)
+		c := randomConjunctiveConstraint(r, 2)
+		set, _ := sral.Traces(p, sral.TraceOptions{MaxTraces: -1})
+		stamped := stampSet(set, "o1")
+		verdict := CheckProgram(p, c, "o1")
+		all := SatisfiesAll(stamped, c, nil)
+		any := SatisfiesAny(stamped, c, nil)
+		want := Mixed
+		switch {
+		case all:
+			want = AllTraces
+		case !any:
+			want = NoTrace
+		}
+		if verdict != want {
+			t.Fatalf("iteration %d: verdict %v, enumeration says %v\nP = %s\nC = %s",
+				i, verdict, want, sral.String(p), String(c))
+		}
+	}
+}
+
+func randomSeqOnlyProgram(r *rand.Rand, depth int) sral.Node {
+	accs := []sral.Prim{
+		sral.AccessOp("read", "f1", "s1"),
+		sral.AccessOp("write", "f2", "s1"),
+		sral.AccessOp("read", "f3", "s2"),
+	}
+	if depth <= 0 {
+		return accs[r.Intn(len(accs))]
+	}
+	return sral.Seq{First: randomSeqOnlyProgram(r, depth-1), Second: randomSeqOnlyProgram(r, depth-1)}
+}
+
+func randomConjunctiveConstraint(r *rand.Rand, depth int) Constraint {
+	accs := []model.Access{
+		{Op: "read", Resource: "f1", Server: "s1"},
+		{Op: "write", Resource: "f2", Server: "s1"},
+		{Op: "read", Resource: "f3", Server: "s2"},
+	}
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Require(accs[r.Intn(len(accs))])
+		case 1:
+			lo := r.Intn(3)
+			return Count{Min: lo, Max: lo + r.Intn(4), Sel: model.Selector{Ops: []model.Operation{"read"}}}
+		default:
+			return Before(accs[r.Intn(len(accs))], accs[r.Intn(len(accs))])
+		}
+	}
+	return And{Left: randomConjunctiveConstraint(r, depth-1), Right: randomConjunctiveConstraint(r, depth-1)}
+}
+
+func stampSet(s *trace.Set, o model.ObjectID) *trace.Set {
+	out := trace.NewSet()
+	for _, tr := range s.Traces() {
+		stamped := make(trace.Trace, len(tr))
+		for i, a := range tr {
+			stamped[i] = a.WithObject(o)
+		}
+		out.Add(stamped)
+	}
+	return out
+}

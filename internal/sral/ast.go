@@ -1,0 +1,391 @@
+// Package sral implements the Shared Resource Access Language of
+// Definition 3.1:
+//
+//	a ::= op r @ s | ch?x | ch!e | signal(ξ) | wait(ξ)
+//	    | a1 ; a2 | if c then a1 else a2 | while c do a | a1 || a2
+//
+// The language is structured and compositional: a mobile object
+// program is constructed recursively from primitive accesses. The
+// package provides the AST, an expression sub-language for the
+// boolean conditions c and arithmetic channel payloads e, a concrete
+// text syntax with parser and printer, the trace-model semantics of
+// Definition 3.2 (built on package trace), and the constructive
+// synthesis of Theorem 3.1 (every regular trace model is traces(P)
+// for some SRAL program P).
+package sral
+
+import (
+	"fmt"
+
+	"stac/internal/model"
+)
+
+// Node is an SRAL program fragment. The zero values of the concrete
+// node types are not meaningful; construct nodes with the builder
+// functions or the parser.
+type Node interface {
+	isNode()
+	// Size is the number of constructs in the fragment — the program
+	// size m of Theorem 3.2. Conditions and expressions count 1 for
+	// the construct that owns them.
+	Size() int
+}
+
+// Prim is the primitive shared-resource access "op r @ s". The object
+// component of the access is left empty in program text; the
+// interpreter stamps the executing mobile object onto it.
+type Prim struct {
+	Op       model.Operation
+	Resource model.ResourceID
+	Server   model.ServerID
+}
+
+// Recv is the channel input "ch ? x": receive a value from channel ch
+// into variable x, blocking while the channel is empty.
+type Recv struct {
+	Ch  model.ChannelID
+	Var model.VarID
+}
+
+// Send is the channel output "ch ! e": append the value of arithmetic
+// expression e to channel ch, waking any blocked receivers.
+type Send struct {
+	Ch   model.ChannelID
+	Expr Expr
+}
+
+// Signal performs the signalling half of order synchronisation:
+// signal(ξ) must be performed before wait(ξ) can proceed.
+type Signal struct {
+	Sig model.SignalID
+}
+
+// Wait blocks until signal(ξ) has been performed.
+type Wait struct {
+	Sig model.SignalID
+}
+
+// Seq is the sequential composition "a1 ; a2".
+type Seq struct {
+	First, Second Node
+}
+
+// If is the conditional composition "if c then a1 else a2".
+type If struct {
+	Cond Cond
+	Then Node
+	Else Node
+}
+
+// While is the loop "while c do a".
+type While struct {
+	Cond Cond
+	Body Node
+}
+
+// Par is the parallel composition "a1 || a2" whose trace model is the
+// interleaving traces(a1) # traces(a2) (Definition 3.2).
+type Par struct {
+	Left, Right Node
+}
+
+// Skip is the empty program; traces(Skip) = {ε}. It is the unit of
+// sequential composition and the implicit else-branch of a one-armed
+// conditional.
+type Skip struct{}
+
+func (Prim) isNode()   {}
+func (Recv) isNode()   {}
+func (Send) isNode()   {}
+func (Signal) isNode() {}
+func (Wait) isNode()   {}
+func (Seq) isNode()    {}
+func (If) isNode()     {}
+func (While) isNode()  {}
+func (Par) isNode()    {}
+func (Skip) isNode()   {}
+
+func (Prim) Size() int   { return 1 }
+func (Recv) Size() int   { return 1 }
+func (s Send) Size() int { return 1 }
+func (Signal) Size() int { return 1 }
+func (Wait) Size() int   { return 1 }
+func (Skip) Size() int   { return 1 }
+
+func (s Seq) Size() int   { return 1 + s.First.Size() + s.Second.Size() }
+func (i If) Size() int    { return 1 + i.Then.Size() + i.Else.Size() }
+func (w While) Size() int { return 1 + w.Body.Size() }
+func (p Par) Size() int   { return 1 + p.Left.Size() + p.Right.Size() }
+
+// Access returns the access tuple denoted by the primitive (with an
+// empty object component).
+func (p Prim) Access() model.Access {
+	return model.Access{Op: p.Op, Resource: p.Resource, Server: p.Server}
+}
+
+// --- Builders -------------------------------------------------------
+
+// AccessOp builds the primitive access "op r @ s".
+func AccessOp(op model.Operation, r model.ResourceID, s model.ServerID) Prim {
+	return Prim{Op: op, Resource: r, Server: s}
+}
+
+// SeqOf folds the given program fragments into a right-nested
+// sequential composition. SeqOf() is Skip; SeqOf(p) is p.
+func SeqOf(nodes ...Node) Node {
+	switch len(nodes) {
+	case 0:
+		return Skip{}
+	case 1:
+		return nodes[0]
+	}
+	return Seq{First: nodes[0], Second: SeqOf(nodes[1:]...)}
+}
+
+// ParOf folds the given program fragments into a right-nested parallel
+// composition. ParOf() is Skip; ParOf(p) is p.
+func ParOf(nodes ...Node) Node {
+	switch len(nodes) {
+	case 0:
+		return Skip{}
+	case 1:
+		return nodes[0]
+	}
+	return Par{Left: nodes[0], Right: ParOf(nodes[1:]...)}
+}
+
+// IfThen builds a one-armed conditional whose else branch is Skip.
+func IfThen(c Cond, then Node) If {
+	return If{Cond: c, Then: then, Else: Skip{}}
+}
+
+// Loop builds "while c do body".
+func Loop(c Cond, body Node) While { return While{Cond: c, Body: body} }
+
+// Repeat builds a program that performs body exactly n times, using a
+// counter variable ctr: ctr is received... SRAL has no assignment, so
+// Repeat unrolls the body n times sequentially. It is a convenience
+// for tests and workloads; the paper notes that counting traces like
+// "r1 accessed n times then r2 accessed n times" (for unbounded n)
+// are beyond regular trace models, but any fixed n is expressible.
+func Repeat(n int, body Node) Node {
+	if n <= 0 {
+		return Skip{}
+	}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = body
+	}
+	return SeqOf(nodes...)
+}
+
+// --- Traversal ------------------------------------------------------
+
+// Walk calls fn on n and every descendant in pre-order. It stops early
+// when fn returns false.
+func Walk(n Node, fn func(Node) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !fn(n) {
+		return false
+	}
+	switch x := n.(type) {
+	case Seq:
+		return Walk(x.First, fn) && Walk(x.Second, fn)
+	case If:
+		return Walk(x.Then, fn) && Walk(x.Else, fn)
+	case While:
+		return Walk(x.Body, fn)
+	case Par:
+		return Walk(x.Left, fn) && Walk(x.Right, fn)
+	}
+	return true
+}
+
+// Accesses returns the set of distinct access tuples (with empty
+// object component) that occur syntactically in the program, in
+// first-occurrence order.
+func Accesses(n Node) []model.Access {
+	var out []model.Access
+	seen := map[model.Access]bool{}
+	Walk(n, func(m Node) bool {
+		if p, ok := m.(Prim); ok {
+			a := p.Access()
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Servers returns the distinct servers named by the program's
+// primitive accesses, in first-occurrence order. Together with the
+// program's sequencing it determines the itinerary a mobile object
+// needs to execute the program.
+func Servers(n Node) []model.ServerID {
+	var out []model.ServerID
+	seen := map[model.ServerID]bool{}
+	Walk(n, func(m Node) bool {
+		if p, ok := m.(Prim); ok && !seen[p.Server] {
+			seen[p.Server] = true
+			out = append(out, p.Server)
+		}
+		return true
+	})
+	return out
+}
+
+// Channels returns the distinct channels used by the program.
+func Channels(n Node) []model.ChannelID {
+	var out []model.ChannelID
+	seen := map[model.ChannelID]bool{}
+	add := func(c model.ChannelID) {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	Walk(n, func(m Node) bool {
+		switch x := m.(type) {
+		case Recv:
+			add(x.Ch)
+		case Send:
+			add(x.Ch)
+		}
+		return true
+	})
+	return out
+}
+
+// Signals returns the distinct synchronisation signals used by the
+// program.
+func Signals(n Node) []model.SignalID {
+	var out []model.SignalID
+	seen := map[model.SignalID]bool{}
+	add := func(s model.SignalID) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	Walk(n, func(m Node) bool {
+		switch x := m.(type) {
+		case Signal:
+			add(x.Sig)
+		case Wait:
+			add(x.Sig)
+		}
+		return true
+	})
+	return out
+}
+
+// Validate checks structural well-formedness: no nil children, valid
+// primitive accesses, and well-formed conditions/expressions.
+func Validate(n Node) error {
+	if n == nil {
+		return fmt.Errorf("sral: nil program")
+	}
+	var err error
+	Walk(n, func(m Node) bool {
+		switch x := m.(type) {
+		case Prim:
+			if e := x.Access().Validate(); e != nil {
+				err = fmt.Errorf("sral: %w", e)
+				return false
+			}
+		case Recv:
+			if x.Ch == "" || x.Var == "" {
+				err = fmt.Errorf("sral: receive needs channel and variable")
+				return false
+			}
+		case Send:
+			if x.Ch == "" {
+				err = fmt.Errorf("sral: send needs a channel")
+				return false
+			}
+			if x.Expr == nil {
+				err = fmt.Errorf("sral: send needs an expression")
+				return false
+			}
+		case Signal:
+			if x.Sig == "" {
+				err = fmt.Errorf("sral: signal needs a signal id")
+				return false
+			}
+		case Wait:
+			if x.Sig == "" {
+				err = fmt.Errorf("sral: wait needs a signal id")
+				return false
+			}
+		case Seq:
+			if x.First == nil || x.Second == nil {
+				err = fmt.Errorf("sral: sequential composition with nil operand")
+				return false
+			}
+		case If:
+			if x.Cond == nil || x.Then == nil || x.Else == nil {
+				err = fmt.Errorf("sral: conditional with nil condition or branch")
+				return false
+			}
+		case While:
+			if x.Cond == nil || x.Body == nil {
+				err = fmt.Errorf("sral: loop with nil condition or body")
+				return false
+			}
+		case Par:
+			if x.Left == nil || x.Right == nil {
+				err = fmt.Errorf("sral: parallel composition with nil operand")
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}
+
+// Equal reports structural equality of two programs, comparing
+// conditions and expressions by their printed form.
+func Equal(a, b Node) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case Prim:
+		y, ok := b.(Prim)
+		return ok && x == y
+	case Recv:
+		y, ok := b.(Recv)
+		return ok && x == y
+	case Send:
+		y, ok := b.(Send)
+		return ok && x.Ch == y.Ch && ExprString(x.Expr) == ExprString(y.Expr)
+	case Signal:
+		y, ok := b.(Signal)
+		return ok && x == y
+	case Wait:
+		y, ok := b.(Wait)
+		return ok && x == y
+	case Skip:
+		_, ok := b.(Skip)
+		return ok
+	case Seq:
+		y, ok := b.(Seq)
+		return ok && Equal(x.First, y.First) && Equal(x.Second, y.Second)
+	case If:
+		y, ok := b.(If)
+		return ok && CondString(x.Cond) == CondString(y.Cond) &&
+			Equal(x.Then, y.Then) && Equal(x.Else, y.Else)
+	case While:
+		y, ok := b.(While)
+		return ok && CondString(x.Cond) == CondString(y.Cond) && Equal(x.Body, y.Body)
+	case Par:
+		y, ok := b.(Par)
+		return ok && Equal(x.Left, y.Left) && Equal(x.Right, y.Right)
+	}
+	return false
+}

@@ -1,0 +1,242 @@
+package sral
+
+import (
+	"strings"
+	"testing"
+
+	"stac/internal/model"
+)
+
+func prim(op, r, s string) Prim {
+	return AccessOp(model.Operation(op), model.ResourceID(r), model.ServerID(s))
+}
+
+func TestSizeCountsConstructs(t *testing.T) {
+	tests := []struct {
+		name string
+		n    Node
+		want int
+	}{
+		{"prim", prim("read", "f1", "s1"), 1},
+		{"skip", Skip{}, 1},
+		{"seq", Seq{First: prim("read", "f1", "s1"), Second: prim("write", "f2", "s1")}, 3},
+		{"if", If{Cond: True, Then: prim("read", "f1", "s1"), Else: Skip{}}, 3},
+		{"while", While{Cond: True, Body: prim("read", "f1", "s1")}, 2},
+		{"par", Par{Left: prim("read", "f1", "s1"), Right: prim("read", "f2", "s2")}, 3},
+		{"recv", Recv{Ch: "c", Var: "x"}, 1},
+		{"send", Send{Ch: "c", Expr: Lit(1)}, 1},
+		{"signal", Signal{Sig: "e"}, 1},
+		{"wait", Wait{Sig: "e"}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.n.Size(); got != tt.want {
+				t.Errorf("Size = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSeqOfAndParOf(t *testing.T) {
+	if _, ok := SeqOf().(Skip); !ok {
+		t.Fatal("SeqOf() should be Skip")
+	}
+	p := prim("read", "f1", "s1")
+	if !Equal(SeqOf(p), p) {
+		t.Fatal("SeqOf(p) should be p")
+	}
+	three := SeqOf(p, p, p)
+	if three.Size() != 5 { // p ; (p ; p) = 2 seq nodes + 3 prims
+		t.Fatalf("SeqOf(p,p,p).Size = %d, want 5", three.Size())
+	}
+	if _, ok := ParOf().(Skip); !ok {
+		t.Fatal("ParOf() should be Skip")
+	}
+	par := ParOf(p, p, p)
+	if par.Size() != 5 {
+		t.Fatalf("ParOf(p,p,p).Size = %d, want 5", par.Size())
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	p := prim("read", "f1", "s1")
+	if _, ok := Repeat(0, p).(Skip); !ok {
+		t.Fatal("Repeat(0) should be Skip")
+	}
+	if _, ok := Repeat(-3, p).(Skip); !ok {
+		t.Fatal("Repeat(<0) should be Skip")
+	}
+	r3 := Repeat(3, p)
+	set, exact := Traces(r3, TraceOptions{})
+	if !exact || set.Len() != 1 {
+		t.Fatalf("traces(Repeat(3,p)) = %d traces, exact=%v", set.Len(), exact)
+	}
+	if got := len(set.Traces()[0]); got != 3 {
+		t.Fatalf("Repeat(3) trace length = %d", got)
+	}
+}
+
+func TestWalkPreOrderAndEarlyStop(t *testing.T) {
+	p := SeqOf(prim("read", "f1", "s1"), prim("write", "f2", "s1"), prim("read", "f3", "s2"))
+	var kinds []string
+	Walk(p, func(n Node) bool {
+		switch n.(type) {
+		case Seq:
+			kinds = append(kinds, "seq")
+		case Prim:
+			kinds = append(kinds, "prim")
+		}
+		return true
+	})
+	want := []string{"seq", "prim", "seq", "prim", "prim"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("Walk order = %v, want %v", kinds, want)
+	}
+	count := 0
+	Walk(p, func(n Node) bool {
+		count++
+		return count < 2 // stop after two nodes
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d nodes", count)
+	}
+}
+
+func TestAccessesDedupAndOrder(t *testing.T) {
+	p := SeqOf(
+		prim("read", "f1", "s1"),
+		prim("write", "f2", "s1"),
+		prim("read", "f1", "s1"), // duplicate
+	)
+	got := Accesses(p)
+	if len(got) != 2 {
+		t.Fatalf("Accesses = %v", got)
+	}
+	if got[0].Resource != "f1" || got[1].Resource != "f2" {
+		t.Fatalf("Accesses order wrong: %v", got)
+	}
+}
+
+func TestServersChannelsSignals(t *testing.T) {
+	p := SeqOf(
+		prim("read", "f1", "s1"),
+		Recv{Ch: "c1", Var: "x"},
+		Send{Ch: "c2", Expr: V("x")},
+		Signal{Sig: "done"},
+		Wait{Sig: "go"},
+		prim("write", "f2", "s2"),
+		prim("read", "f3", "s1"),
+	)
+	if s := Servers(p); len(s) != 2 || s[0] != "s1" || s[1] != "s2" {
+		t.Fatalf("Servers = %v", s)
+	}
+	if c := Channels(p); len(c) != 2 || c[0] != "c1" || c[1] != "c2" {
+		t.Fatalf("Channels = %v", c)
+	}
+	if e := Signals(p); len(e) != 2 || e[0] != "done" || e[1] != "go" {
+		t.Fatalf("Signals = %v", e)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := SeqOf(prim("read", "f1", "s1"), IfThen(True, prim("write", "f2", "s1")))
+	if err := Validate(good); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	bad := []Node{
+		nil,
+		Prim{Op: "read"}, // missing resource/server
+		Recv{Ch: "c"},    // missing variable
+		Send{Ch: "c"},    // missing expression
+		Send{Expr: Lit(1)},
+		Signal{},
+		Wait{},
+		Seq{First: prim("read", "f1", "s1")}, // nil second
+		If{Cond: True, Then: prim("read", "f1", "s1")},
+		While{Cond: True},
+		Par{Left: prim("read", "f1", "s1")},
+	}
+	for i, n := range bad {
+		if err := Validate(n); err == nil {
+			t.Errorf("bad program %d accepted", i)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	p1 := MustParse("read f1 @ s1; write f2 @ s1")
+	p2 := MustParse("read f1 @ s1; write f2 @ s1")
+	p3 := MustParse("read f1 @ s1; write f2 @ s2")
+	if !Equal(p1, p2) {
+		t.Fatal("identical programs not Equal")
+	}
+	if Equal(p1, p3) {
+		t.Fatal("different programs Equal")
+	}
+	if !Equal(nil, nil) || Equal(p1, nil) || Equal(nil, p1) {
+		t.Fatal("nil handling wrong")
+	}
+}
+
+func TestEnvMapAndExprEval(t *testing.T) {
+	env := EnvMap{"x": 3, "y": 4}
+	tests := []struct {
+		e    Expr
+		want int64
+	}{
+		{Lit(5), 5},
+		{V("x"), 3},
+		{V("missing"), 0},
+		{Add(V("x"), V("y")), 7},
+		{Sub(V("x"), V("y")), -1},
+		{Mul(V("x"), V("y")), 12},
+		{Div(Lit(9), V("x")), 3},
+		{Div(Lit(9), Lit(0)), 0}, // fail-safe division
+	}
+	for _, tt := range tests {
+		if got := tt.e.EvalExpr(env); got != tt.want {
+			t.Errorf("%s = %d, want %d", ExprString(tt.e), got, tt.want)
+		}
+	}
+	if got := (VarRef{Var: "x"}).EvalExpr(nil); got != 0 {
+		t.Errorf("nil env lookup = %d", got)
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	env := EnvMap{"x": 3}
+	tests := []struct {
+		c    Cond
+		want bool
+	}{
+		{True, true},
+		{False, false},
+		{Gt(V("x"), Lit(2)), true},
+		{Lt(V("x"), Lit(2)), false},
+		{Eq(V("x"), Lit(3)), true},
+		{Cmp{Op: CmpNe, Left: V("x"), Right: Lit(3)}, false},
+		{Cmp{Op: CmpLe, Left: V("x"), Right: Lit(3)}, true},
+		{Cmp{Op: CmpGe, Left: V("x"), Right: Lit(4)}, false},
+		{And{Left: True, Right: False}, false},
+		{Or{Left: False, Right: True}, true},
+		{Not{C: True}, false},
+		{Opaque{Name: "g"}, false}, // nil Fn is fail-safe false
+		{Guard("g", func() bool { return true }), true},
+	}
+	for _, tt := range tests {
+		if got := tt.c.EvalCond(env); got != tt.want {
+			t.Errorf("%s = %v, want %v", CondString(tt.c), got, tt.want)
+		}
+	}
+}
+
+func TestCondVars(t *testing.T) {
+	c, err := ParseCond("x > 0 && y + x < 10 or z == 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := CondVars(c)
+	if len(vars) != 3 || vars[0] != "x" || vars[1] != "y" || vars[2] != "z" {
+		t.Fatalf("CondVars = %v", vars)
+	}
+}

@@ -1,0 +1,53 @@
+package sral_test
+
+import (
+	"fmt"
+
+	"stac/internal/sral"
+)
+
+func ExampleParse() {
+	p, err := sral.Parse(`
+		read manifest @ s1;
+		if x > 0 then { write report @ s2 } else { write report @ s3 }
+	`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sral.String(p))
+	fmt.Println("size:", p.Size())
+	// Output:
+	// read manifest @ s1; if x > 0 then { write report @ s2 } else { write report @ s3 }
+	// size: 5
+}
+
+func ExampleTraces() {
+	p := sral.MustParse("read a @ s1; { write b @ s1 || write c @ s2 }")
+	set, exact := sral.Traces(p, sral.TraceOptions{})
+	fmt.Println("exact:", exact)
+	for _, t := range set.Traces() {
+		fmt.Println(t)
+	}
+	// Output:
+	// exact: true
+	// <read a @ s1, write b @ s1, write c @ s2>
+	// <read a @ s1, write c @ s2, write b @ s1>
+}
+
+func ExampleSynthesize() {
+	// Theorem 3.1: any regular trace model is traces(P) for some P.
+	m, err := sral.ParseRegular("(read f1 @ s1 | read f2 @ s1) . (write log @ s2)*")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sral.String(sral.Synthesize(m)))
+	// Output:
+	// if guard:choice then { read f1 @ s1 } else { read f2 @ s1 }; while guard:more do { write log @ s2 }
+}
+
+func ExampleSimplify() {
+	p := sral.MustParse("skip; read f @ s1; { skip || skip }; while x > 0 do { skip }")
+	fmt.Println(sral.String(sral.Simplify(p)))
+	// Output:
+	// read f @ s1
+}

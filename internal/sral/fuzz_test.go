@@ -1,0 +1,71 @@
+package sral
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the SRAL parser never panics and that
+// accepted inputs round-trip: print(parse(x)) reparses to an equal
+// program.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"read f1 @ s1",
+		"read f1 @ s1; write f2 @ s1",
+		"read f1 @ s1 || read f2 @ s2",
+		"if x > 0 then { read f1 @ s1 } else { skip }",
+		"while guard:more do { ch ? x; ch ! x + 1 }",
+		"signal(a); wait(b)",
+		"{ read f @ s }",
+		"if (x + 1) > 2 && y < 3 or x == 0 then skip",
+		"while x < 5 do { read f1 @ s1 # comment\n }",
+		"((", "@", "if", "read", "ch ?", "ch !",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := String(p)
+		q, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its printed form %q: %v", src, printed, err)
+		}
+		if !Equal(p, q) {
+			t.Fatalf("round trip changed program: %q -> %q -> %q", src, printed, String(q))
+		}
+	})
+}
+
+// FuzzParseRegular checks that the regular-model parser never panics
+// and that every accepted model can be synthesised and enumerated.
+func FuzzParseRegular(f *testing.F) {
+	for _, s := range []string{
+		"read f1 @ s1",
+		"eps",
+		"(read f1 @ s1 | read f2 @ s1) . (write f3 @ s2)*",
+		"a b @ c", "|", "(", "*",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseRegular(src)
+		if err != nil {
+			return
+		}
+		p := Synthesize(m)
+		if err := Validate(p); err != nil {
+			t.Fatalf("synthesised invalid program from %q: %v", src, err)
+		}
+		opts := TraceOptions{MaxLoopReps: 2, MaxTraces: 256}
+		got, _ := Traces(p, opts)
+		want, _ := Enumerate(m, opts)
+		// Budgeted enumerations may truncate differently; only compare
+		// when both are within budget.
+		if got.Len() < 256 && want.Len() < 256 && !got.Equal(want) {
+			t.Fatalf("synthesis mismatch for %q", src)
+		}
+	})
+}

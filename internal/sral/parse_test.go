@@ -1,0 +1,292 @@
+package sral
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"stac/internal/model"
+)
+
+func TestParsePrimitive(t *testing.T) {
+	n, err := Parse("read f1 @ s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := n.(Prim)
+	if !ok {
+		t.Fatalf("parsed %T", n)
+	}
+	if p.Op != "read" || p.Resource != "f1" || p.Server != "s1" {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func TestParseChannelOps(t *testing.T) {
+	n := MustParse("ch ? x; ch ! x + 1")
+	seq, ok := n.(Seq)
+	if !ok {
+		t.Fatalf("parsed %T", n)
+	}
+	r, ok := seq.First.(Recv)
+	if !ok || r.Ch != "ch" || r.Var != "x" {
+		t.Fatalf("recv = %+v", seq.First)
+	}
+	s, ok := seq.Second.(Send)
+	if !ok || s.Ch != "ch" {
+		t.Fatalf("send = %+v", seq.Second)
+	}
+	if got := s.Expr.EvalExpr(EnvMap{"x": 41}); got != 42 {
+		t.Fatalf("send expr = %d", got)
+	}
+}
+
+func TestParseSignalWait(t *testing.T) {
+	n := MustParse("signal(done); wait(go)")
+	seq := n.(Seq)
+	if sg, ok := seq.First.(Signal); !ok || sg.Sig != "done" {
+		t.Fatalf("signal = %+v", seq.First)
+	}
+	if w, ok := seq.Second.(Wait); !ok || w.Sig != "go" {
+		t.Fatalf("wait = %+v", seq.Second)
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	n := MustParse("if x > 0 then { write f2 @ s1 } else { write f3 @ s1 }")
+	i, ok := n.(If)
+	if !ok {
+		t.Fatalf("parsed %T", n)
+	}
+	if !i.Cond.EvalCond(EnvMap{"x": 1}) || i.Cond.EvalCond(EnvMap{"x": -1}) {
+		t.Fatal("condition wrong")
+	}
+	if _, ok := i.Then.(Prim); !ok {
+		t.Fatalf("then = %T", i.Then)
+	}
+}
+
+func TestParseIfWithoutElse(t *testing.T) {
+	n := MustParse("if true then read f1 @ s1")
+	i := n.(If)
+	if _, ok := i.Else.(Skip); !ok {
+		t.Fatalf("implicit else = %T", i.Else)
+	}
+}
+
+func TestParseWhile(t *testing.T) {
+	n := MustParse("while x < 10 do { read f1 @ s1; ch ! x }")
+	w, ok := n.(While)
+	if !ok {
+		t.Fatalf("parsed %T", n)
+	}
+	if _, ok := w.Body.(Seq); !ok {
+		t.Fatalf("body = %T", w.Body)
+	}
+}
+
+func TestParsePrecedenceSeqBindsTighterThanPar(t *testing.T) {
+	n := MustParse("read f1 @ s1; read f2 @ s1 || read f3 @ s2")
+	p, ok := n.(Par)
+	if !ok {
+		t.Fatalf("top node = %T, want Par", n)
+	}
+	if _, ok := p.Left.(Seq); !ok {
+		t.Fatalf("left of || = %T, want Seq", p.Left)
+	}
+}
+
+func TestParseBracesOverridePrecedence(t *testing.T) {
+	n := MustParse("read f1 @ s1; { read f2 @ s1 || read f3 @ s2 }")
+	s, ok := n.(Seq)
+	if !ok {
+		t.Fatalf("top node = %T, want Seq", n)
+	}
+	if _, ok := s.Second.(Par); !ok {
+		t.Fatalf("second of ; = %T, want Par", s.Second)
+	}
+}
+
+func TestParseGuardCondition(t *testing.T) {
+	n := MustParse("if guard:ResultVerify then read f1 @ s1")
+	i := n.(If)
+	o, ok := i.Cond.(Opaque)
+	if !ok || o.Name != "ResultVerify" {
+		t.Fatalf("cond = %+v", i.Cond)
+	}
+}
+
+func TestParseCondConnectives(t *testing.T) {
+	c, err := ParseCond("!(x > 1) && true or x == 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// or is lowest precedence: (!(x>1) && true) or (x==2)
+	if _, ok := c.(Or); !ok {
+		t.Fatalf("cond = %T", c)
+	}
+	if !c.EvalCond(EnvMap{"x": 0}) {
+		t.Fatal("x=0 should satisfy")
+	}
+	if !c.EvalCond(EnvMap{"x": 2}) {
+		t.Fatal("x=2 should satisfy")
+	}
+	if c.EvalCond(EnvMap{"x": 5}) {
+		t.Fatal("x=5 should not satisfy")
+	}
+}
+
+func TestParseParenthesisedComparisonFallback(t *testing.T) {
+	c, err := ParseCond("(x + 1) > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.EvalCond(EnvMap{"x": 2}) || c.EvalCond(EnvMap{"x": 1}) {
+		t.Fatal("parenthesised comparison mis-evaluated")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	n := MustParse("read f1 @ s1 # audit step one\n; write f2 @ s1")
+	if _, ok := n.(Seq); !ok {
+		t.Fatalf("parsed %T", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"read f1",            // missing @ server
+		"read f1 @",          // missing server
+		"read @ s1",          // missing resource
+		"if then read f @ s", // missing condition
+		"if true read f @ s", // missing then
+		"while true read f @ s",
+		"{ read f1 @ s1",       // unclosed brace
+		"read f1 @ s1 }",       // stray brace
+		"signal()",             // missing id
+		"wait",                 // missing parens
+		"ch ?",                 // missing var
+		"ch !",                 // missing expr
+		"read f1 @ s1 ;;",      // empty statement
+		"read f1 @ s1 $",       // illegal character
+		"if x then read f @ s", // condition is not boolean
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseCondErrors(t *testing.T) {
+	for _, src := range []string{"", "x >", "&& true", "x ~ 2", "(x > 1", "true extra"} {
+		if _, err := ParseCond(src); err == nil {
+			t.Errorf("ParseCond(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("not a program (")
+}
+
+// --- Round trips ------------------------------------------------------
+
+func TestPrintParseRoundTripFixed(t *testing.T) {
+	srcs := []string{
+		"read f1 @ s1",
+		"read f1 @ s1; write f2 @ s1",
+		"read f1 @ s1 || write f2 @ s2",
+		"read f1 @ s1; { read f2 @ s1 || read f3 @ s2 }; write f4 @ s1",
+		"if x > 0 then { write f2 @ s1 } else { write f3 @ s1 }",
+		"while guard:more do { read f1 @ s1 }",
+		"ch ? x; ch ! x * 2 + 1; signal(done); wait(go)",
+		"if (x + 1) > 2 && y < 3 or x == 0 then { skip } else { read f @ s }",
+		"while x < 5 do { read f1 @ s1; if x == 2 then { write f2 @ s1 } }",
+	}
+	for _, src := range srcs {
+		n1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		printed := String(n1)
+		n2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (printed %q): %v", src, printed, err)
+		}
+		if !Equal(n1, n2) {
+			t.Fatalf("round trip changed program:\n src: %s\n 1st: %s\n 2nd: %s", src, printed, String(n2))
+		}
+	}
+}
+
+// randomProgram builds a random well-formed program for round-trip
+// property testing.
+func randomProgram(r *rand.Rand, depth int) Node {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return Skip{}
+		case 1:
+			return Recv{Ch: "ch", Var: "x"}
+		case 2:
+			return Send{Ch: "ch", Expr: Add(V("x"), Lit(int64(r.Intn(9))))}
+		case 3:
+			return Signal{Sig: "ev"}
+		default:
+			return prim("read", "f"+string(rune('0'+r.Intn(4))), "s"+string(rune('0'+r.Intn(3))))
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return Seq{First: randomProgram(r, depth-1), Second: randomProgram(r, depth-1)}
+	case 1:
+		return If{Cond: Gt(V("x"), Lit(int64(r.Intn(5)))), Then: randomProgram(r, depth-1), Else: randomProgram(r, depth-1)}
+	case 2:
+		return While{Cond: Lt(V("x"), Lit(int64(r.Intn(5)))), Body: randomProgram(r, depth-1)}
+	default:
+		return Par{Left: randomProgram(r, depth-1), Right: randomProgram(r, depth-1)}
+	}
+}
+
+// Property: parse(print(P)) == P for random programs.
+func TestPrintParseRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		p := randomProgram(r, 3)
+		printed := String(p)
+		q, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("iteration %d: reparse of %q failed: %v", i, printed, err)
+		}
+		if !Equal(p, q) {
+			t.Fatalf("iteration %d: round trip changed program:\n%s\nvs\n%s", i, printed, String(q))
+		}
+	}
+}
+
+func TestPrettyContainsStructure(t *testing.T) {
+	p := MustParse("while x < 5 do { read f1 @ s1; write f2 @ s1 } || read f3 @ s2")
+	pretty := Pretty(p)
+	for _, want := range []string{"while x < 5 do {", "read f1 @ s1", "} || {"} {
+		if !strings.Contains(pretty, want) {
+			t.Fatalf("Pretty output missing %q:\n%s", want, pretty)
+		}
+	}
+}
+
+func TestAccessorStringForms(t *testing.T) {
+	if got := String(MustParse("skip")); got != "skip" {
+		t.Fatalf("skip prints as %q", got)
+	}
+	a := model.Access{Op: "read", Resource: "f1", Server: "s1"}
+	if got := String(Prim{Op: a.Op, Resource: a.Resource, Server: a.Server}); got != "read f1 @ s1" {
+		t.Fatalf("prim prints as %q", got)
+	}
+}

@@ -1,0 +1,282 @@
+package sral
+
+import (
+	"fmt"
+	"strings"
+
+	"stac/internal/model"
+	"stac/internal/trace"
+)
+
+// Regular is a regular trace model per Definition 3.3: built from
+// singleton access models by union, concatenation and Kleene closure
+// in finitely many steps. It is the specification side of Theorem 3.1
+// (regular completeness): for every regular trace model m there is an
+// SRAL program P with traces(P) = m; Synthesize constructs that P.
+type Regular interface {
+	isRegular()
+	// String renders the model in regular-expression-like notation.
+	String() string
+}
+
+// RAccess is the singleton model { <a> }.
+type RAccess struct{ A model.Access }
+
+// REpsilon is the singleton model { ε }. It is not one of the base
+// cases of Definition 3.3 but arises as X* with zero repetitions and
+// is convenient for algebra; Synthesize maps it to Skip.
+type REpsilon struct{}
+
+// RUnion is the union p1 ∪ p2.
+type RUnion struct{ Left, Right Regular }
+
+// RConcat is the concatenation p1 · p2.
+type RConcat struct{ Left, Right Regular }
+
+// RStar is the Kleene closure p*.
+type RStar struct{ X Regular }
+
+func (RAccess) isRegular()  {}
+func (REpsilon) isRegular() {}
+func (RUnion) isRegular()   {}
+func (RConcat) isRegular()  {}
+func (RStar) isRegular()    {}
+
+// String implements Regular.
+func (r RAccess) String() string { return "{<" + r.A.String() + ">}" }
+
+// String implements Regular.
+func (REpsilon) String() string { return "{ε}" }
+
+// String implements Regular.
+func (r RUnion) String() string {
+	return "(" + r.Left.String() + " ∪ " + r.Right.String() + ")"
+}
+
+// String implements Regular.
+func (r RConcat) String() string {
+	return "(" + r.Left.String() + " · " + r.Right.String() + ")"
+}
+
+// String implements Regular.
+func (r RStar) String() string { return r.X.String() + "*" }
+
+// Size returns the number of operators and atoms in the model.
+func Size(r Regular) int {
+	switch x := r.(type) {
+	case RUnion:
+		return 1 + Size(x.Left) + Size(x.Right)
+	case RConcat:
+		return 1 + Size(x.Left) + Size(x.Right)
+	case RStar:
+		return 1 + Size(x.X)
+	default:
+		return 1
+	}
+}
+
+// Enumerate produces the traces of a regular model, with the same
+// bounds as Traces. The boolean result reports exactness.
+func Enumerate(r Regular, opts TraceOptions) (*trace.Set, bool) {
+	switch x := r.(type) {
+	case RAccess:
+		return trace.NewSet(trace.Trace{x.A}), true
+	case REpsilon:
+		return trace.NewSet(trace.Empty), true
+	case RUnion:
+		a, okA := Enumerate(x.Left, opts)
+		b, okB := Enumerate(x.Right, opts)
+		return a.Union(b), okA && okB
+	case RConcat:
+		a, okA := Enumerate(x.Left, opts)
+		b, okB := Enumerate(x.Right, opts)
+		return trace.ConcatSets(a, b), okA && okB
+	case RStar:
+		a, okA := Enumerate(x.X, opts)
+		out, okK := trace.KleeneBounded(a, opts.loopReps(), opts.budget())
+		return out, okA && okK
+	}
+	return trace.NewSet(), true
+}
+
+// Synthesize constructs an SRAL program P with traces(P) = m, following
+// the constructive induction of Theorem 3.1:
+//
+//	{<a>}      ↦ a
+//	T ∪ V      ↦ if c then P_T else P_V   (c an opaque condition)
+//	T · V      ↦ P_T ; P_V
+//	T*         ↦ while c do P_T
+//
+// The conditions are opaque guards: Definition 3.2's trace semantics
+// ignores condition values (both branches and any number of loop
+// repetitions are possible), so any condition witnesses the equality.
+func Synthesize(r Regular) Node {
+	switch x := r.(type) {
+	case RAccess:
+		return Prim{Op: x.A.Op, Resource: x.A.Resource, Server: x.A.Server}
+	case REpsilon:
+		return Skip{}
+	case RUnion:
+		return If{
+			Cond: Opaque{Name: "choice"},
+			Then: Synthesize(x.Left),
+			Else: Synthesize(x.Right),
+		}
+	case RConcat:
+		return Seq{First: Synthesize(x.Left), Second: Synthesize(x.Right)}
+	case RStar:
+		return While{Cond: Opaque{Name: "more"}, Body: Synthesize(x.X)}
+	}
+	return Skip{}
+}
+
+// ParseRegular parses a regular trace model in a compact text syntax:
+//
+//	model  := concat { "|" concat }          (union)
+//	concat := star { "." star }              (concatenation)
+//	star   := atom { "*" }                   (Kleene closure)
+//	atom   := "(" model ")" | "eps"
+//	        | IDENT IDENT "@" IDENT          (an access op r @ s)
+//
+// Example: "(read f1 @ s1 | read f2 @ s1) . (write f3 @ s2)*".
+func ParseRegular(src string) (Regular, error) {
+	toks, err := lexRegular(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &regParser{toks: toks}
+	r, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("sral: regular model: unexpected %q", p.toks[p.pos])
+	}
+	return r, nil
+}
+
+func lexRegular(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == '|' || c == '.' || c == '*' || c == '@':
+			toks = append(toks, string(c))
+			i++
+		case isIdentStart(rune(c)) || (c >= '0' && c <= '9'):
+			j := i
+			for j < len(src) && isIdentRune(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("sral: regular model: illegal character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+type regParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *regParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *regParser) parseUnion() (Regular, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "|" {
+		p.pos++
+		right, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		left = RUnion{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *regParser) parseConcat() (Regular, error) {
+	left, err := p.parseStar()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "." {
+		p.pos++
+		right, err := p.parseStar()
+		if err != nil {
+			return nil, err
+		}
+		left = RConcat{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *regParser) parseStar() (Regular, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "*" {
+		p.pos++
+		atom = RStar{X: atom}
+	}
+	return atom, nil
+}
+
+func (p *regParser) parseAtom() (Regular, error) {
+	t := p.peek()
+	switch {
+	case t == "(":
+		p.pos++
+		inner, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("sral: regular model: expected \")\"")
+		}
+		p.pos++
+		return inner, nil
+	case t == "eps":
+		p.pos++
+		return REpsilon{}, nil
+	case t == "":
+		return nil, fmt.Errorf("sral: regular model: unexpected end of input")
+	case !strings.ContainsAny(t, "()|.*@"):
+		// Access: op r @ s.
+		p.pos++
+		r := p.peek()
+		if r == "" || strings.ContainsAny(r, "()|.*@") {
+			return nil, fmt.Errorf("sral: regular model: expected resource after %q", t)
+		}
+		p.pos++
+		if p.peek() != "@" {
+			return nil, fmt.Errorf("sral: regular model: expected \"@\" in access")
+		}
+		p.pos++
+		s := p.peek()
+		if s == "" || strings.ContainsAny(s, "()|.*@") {
+			return nil, fmt.Errorf("sral: regular model: expected server after \"@\"")
+		}
+		p.pos++
+		return RAccess{A: model.Access{
+			Op:       model.Operation(t),
+			Resource: model.ResourceID(r),
+			Server:   model.ServerID(s),
+		}}, nil
+	}
+	return nil, fmt.Errorf("sral: regular model: unexpected %q", t)
+}

@@ -1,0 +1,88 @@
+package sral
+
+// Simplify returns a program with the same trace model (Definition
+// 3.2) in a simpler form:
+//
+//   - Skip units are dropped from sequential and parallel composition
+//     (traces(skip; p) = traces(p), {ε} # T = T);
+//   - conditionals with constant conditions still keep BOTH branches
+//     in general — Definition 3.2 ignores condition values — but
+//     branches with identical structure collapse;
+//   - loops over ε-only bodies reduce to Skip (traces(p)* = {ε});
+//   - nested sequences right-normalise, giving parsers and printers a
+//     canonical shape.
+//
+// Channel and synchronisation actions are preserved: they are ε in the
+// trace model but carry runtime behaviour, so only structurally inert
+// Skip nodes are removed. Collapsing a conditional elides its
+// condition evaluation, so opaque guards should be side-effect free
+// when simplified programs are executed (the built-in conditions are).
+func Simplify(n Node) Node {
+	switch x := n.(type) {
+	case Seq:
+		first := Simplify(x.First)
+		second := Simplify(x.Second)
+		if isSkip(first) {
+			return second
+		}
+		if isSkip(second) {
+			return first
+		}
+		// Right-normalise: (a; b); c → a; (b; c).
+		if fs, ok := first.(Seq); ok {
+			return Simplify(Seq{First: fs.First, Second: Seq{First: fs.Second, Second: second}})
+		}
+		return Seq{First: first, Second: second}
+	case Par:
+		left := Simplify(x.Left)
+		right := Simplify(x.Right)
+		if isSkip(left) {
+			return right
+		}
+		if isSkip(right) {
+			return left
+		}
+		return Par{Left: left, Right: right}
+	case If:
+		then := Simplify(x.Then)
+		els := Simplify(x.Else)
+		if Equal(then, els) {
+			return then
+		}
+		return If{Cond: x.Cond, Then: then, Else: els}
+	case While:
+		body := Simplify(x.Body)
+		if !Stats(body).Infinite && Stats(body).MaxLen == 0 {
+			// The body contributes no accesses on any trace:
+			// traces(while c do p) = {ε}* = {ε}. Runtime-significant
+			// channel/sync actions keep the loop.
+			if onlyControl(body) {
+				return body
+			}
+		}
+		return While{Cond: x.Cond, Body: body}
+	default:
+		return n
+	}
+}
+
+func isSkip(n Node) bool {
+	_, ok := n.(Skip)
+	return ok
+}
+
+// onlyControl reports whether the node consists solely of Skip nodes
+// (no accesses, channels, signals or waits).
+func onlyControl(n Node) bool {
+	pure := true
+	Walk(n, func(m Node) bool {
+		switch m.(type) {
+		case Skip, Seq, Par, If, While:
+			return true
+		default:
+			pure = false
+			return false
+		}
+	})
+	return pure
+}

@@ -1,0 +1,80 @@
+package sral
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyFixed(t *testing.T) {
+	tests := []struct {
+		src, want string
+	}{
+		{"skip; read f @ s", "read f @ s"},
+		{"read f @ s; skip", "read f @ s"},
+		{"skip; skip", "skip"},
+		{"skip || read f @ s", "read f @ s"},
+		{"read f @ s || skip", "read f @ s"},
+		{"if x > 0 then { read f @ s } else { read f @ s }", "read f @ s"},
+		{"if x > 0 then { read f @ s } else { skip }", "if x > 0 then { read f @ s } else { skip }"},
+		{"while x > 0 do { skip }", "skip"},
+		// Loops with runtime-significant bodies survive.
+		{"while x > 0 do { ch ! 1 }", "while x > 0 do { ch ! 1 }"},
+		// Right-normalisation of nested sequences.
+		{"{ read a @ s; read b @ s }; read c @ s", "read a @ s; read b @ s; read c @ s"},
+	}
+	for _, tt := range tests {
+		got := String(Simplify(MustParse(tt.src)))
+		if got != tt.want {
+			t.Errorf("Simplify(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestSimplifyPreservesChannelOps(t *testing.T) {
+	src := "skip; ch ! 1; skip; signal(e); skip"
+	got := String(Simplify(MustParse(src)))
+	if got != "ch ! 1; signal(e)" {
+		t.Fatalf("Simplify = %q", got)
+	}
+}
+
+// Property: simplification preserves the trace model exactly on
+// bounded enumeration.
+func TestSimplifyPreservesTraces(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	// A trace budget keeps Par-heavy random programs from exploding;
+	// comparisons are skipped when either enumeration was truncated.
+	opts := TraceOptions{MaxLoopReps: 3, MaxTraces: 2000}
+	for i := 0; i < 300; i++ {
+		p := randomProgram(r, 4)
+		q := Simplify(p)
+		if err := Validate(q); err != nil {
+			t.Fatalf("iteration %d: simplified program invalid: %v\nfrom %s", i, err, String(p))
+		}
+		want, exactP := Traces(p, opts)
+		got, exactQ := Traces(q, opts)
+		if !exactP || !exactQ {
+			continue
+		}
+		if !got.Equal(want) {
+			t.Fatalf("iteration %d: simplification changed traces:\n%s\nvs\n%s",
+				i, String(p), String(q))
+		}
+		// Size never grows.
+		if q.Size() > p.Size() {
+			t.Fatalf("iteration %d: simplification grew the program: %d -> %d",
+				i, p.Size(), q.Size())
+		}
+	}
+}
+
+// Property: simplification is idempotent.
+func TestSimplifyIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(89))
+	for i := 0; i < 200; i++ {
+		p := Simplify(randomProgram(r, 4))
+		if !Equal(p, Simplify(p)) {
+			t.Fatalf("iteration %d: not idempotent: %s", i, String(p))
+		}
+	}
+}

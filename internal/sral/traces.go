@@ -1,0 +1,161 @@
+package sral
+
+import (
+	"math"
+
+	"stac/internal/trace"
+)
+
+// TraceOptions bounds the enumeration of a trace model. Programs with
+// loops have infinite trace models; MaxLoopReps bounds the number of
+// Kleene repetitions enumerated per loop and MaxTraces bounds the total
+// number of traces produced at any composition step.
+type TraceOptions struct {
+	// MaxLoopReps bounds loop unrolling. Zero selects the default (4).
+	MaxLoopReps int
+	// MaxTraces bounds the size of any produced trace set. Zero
+	// selects the default (4096); negative means unlimited.
+	MaxTraces int
+}
+
+func (o TraceOptions) loopReps() int {
+	if o.MaxLoopReps <= 0 {
+		return 4
+	}
+	return o.MaxLoopReps
+}
+
+func (o TraceOptions) budget() int {
+	if o.MaxTraces == 0 {
+		return 4096
+	}
+	return o.MaxTraces
+}
+
+// Traces computes the trace model of a program per Definition 3.2:
+//
+//	traces(a)                      = { <a> }      (a a shared access)
+//	traces(p1 ; p2)                = traces(p1) · traces(p2)
+//	traces(if c then p1 else p2)   = traces(p1) ∪ traces(p2)
+//	traces(p1 || p2)               = traces(p1) # traces(p2)
+//	traces(while c do p)           = traces(p)*
+//
+// Channel and synchronisation actions are not shared-resource accesses
+// and contribute ε. The boolean result reports whether the enumeration
+// is exact (no loop bound or budget was hit); when false the returned
+// set is a subset of the true trace model.
+func Traces(n Node, opts TraceOptions) (*trace.Set, bool) {
+	return tracesRec(n, opts)
+}
+
+func tracesRec(n Node, opts TraceOptions) (*trace.Set, bool) {
+	switch x := n.(type) {
+	case Prim:
+		return trace.NewSet(trace.Trace{x.Access()}), true
+	case Recv, Send, Signal, Wait, Skip:
+		return trace.NewSet(trace.Empty), true
+	case Seq:
+		a, okA := tracesRec(x.First, opts)
+		b, okB := tracesRec(x.Second, opts)
+		out := trace.ConcatSets(a, b)
+		return clampSet(out, opts, okA && okB)
+	case If:
+		a, okA := tracesRec(x.Then, opts)
+		b, okB := tracesRec(x.Else, opts)
+		return clampSet(a.Union(b), opts, okA && okB)
+	case Par:
+		a, okA := tracesRec(x.Left, opts)
+		b, okB := tracesRec(x.Right, opts)
+		out, okI := trace.InterleaveSets(a, b, opts.budget())
+		return out, okA && okB && okI
+	case While:
+		body, okB := tracesRec(x.Body, opts)
+		out, okK := trace.KleeneBounded(body, opts.loopReps(), opts.budget())
+		return out, okB && okK
+	case nil:
+		return trace.NewSet(), true
+	}
+	return trace.NewSet(trace.Empty), true
+}
+
+func clampSet(s *trace.Set, opts TraceOptions, exact bool) (*trace.Set, bool) {
+	budget := opts.budget()
+	if budget < 0 || s.Len() <= budget {
+		return s, exact
+	}
+	out := trace.NewSet()
+	for _, t := range s.Traces() {
+		if out.Len() >= budget {
+			break
+		}
+		out.Add(t)
+	}
+	return out, false
+}
+
+// TraceStats summarises a program's trace model without materialising
+// it: bounds on trace count and length computed structurally.
+type TraceStats struct {
+	// MinLen and MaxLen bound trace length; MaxLen is math.MaxInt for
+	// programs whose loops can produce accesses.
+	MinLen, MaxLen int
+	// CountLower is a lower bound on the number of distinct traces
+	// (exact for loop-free programs without shared sub-structure).
+	CountLower float64
+	// Infinite reports whether the trace model is infinite (a loop
+	// whose body performs at least one access on some trace).
+	Infinite bool
+}
+
+// Stats computes TraceStats structurally in O(|P|) time.
+func Stats(n Node) TraceStats {
+	switch x := n.(type) {
+	case Prim:
+		return TraceStats{MinLen: 1, MaxLen: 1, CountLower: 1}
+	case Recv, Send, Signal, Wait, Skip, nil:
+		return TraceStats{MinLen: 0, MaxLen: 0, CountLower: 1}
+	case Seq:
+		a, b := Stats(x.First), Stats(x.Second)
+		return TraceStats{
+			MinLen:     a.MinLen + b.MinLen,
+			MaxLen:     satAdd(a.MaxLen, b.MaxLen),
+			CountLower: a.CountLower * b.CountLower,
+			Infinite:   a.Infinite || b.Infinite,
+		}
+	case If:
+		a, b := Stats(x.Then), Stats(x.Else)
+		return TraceStats{
+			MinLen:     min(a.MinLen, b.MinLen),
+			MaxLen:     max(a.MaxLen, b.MaxLen),
+			CountLower: a.CountLower + b.CountLower,
+			Infinite:   a.Infinite || b.Infinite,
+		}
+	case Par:
+		a, b := Stats(x.Left), Stats(x.Right)
+		// Interleavings multiply counts by at least the binomial
+		// coefficient C(minLen_a+minLen_b, minLen_a); use the product
+		// as a cheap lower bound.
+		return TraceStats{
+			MinLen:     a.MinLen + b.MinLen,
+			MaxLen:     satAdd(a.MaxLen, b.MaxLen),
+			CountLower: a.CountLower * b.CountLower,
+			Infinite:   a.Infinite || b.Infinite,
+		}
+	case While:
+		b := Stats(x.Body)
+		out := TraceStats{MinLen: 0, CountLower: 1}
+		if b.MaxLen > 0 {
+			out.MaxLen = math.MaxInt
+			out.Infinite = true
+		}
+		return out
+	}
+	return TraceStats{CountLower: 1}
+}
+
+func satAdd(a, b int) int {
+	if a == math.MaxInt || b == math.MaxInt {
+		return math.MaxInt
+	}
+	return a + b
+}

@@ -1,0 +1,330 @@
+package sral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/trace"
+)
+
+func TestTracesPrimitive(t *testing.T) {
+	p := prim("read", "f1", "s1")
+	set, exact := Traces(p, TraceOptions{})
+	if !exact || set.Len() != 1 {
+		t.Fatalf("traces(a) = %d traces, exact=%v", set.Len(), exact)
+	}
+	if !set.Contains(trace.Trace{p.Access()}) {
+		t.Fatal("traces(a) missing <a>")
+	}
+}
+
+func TestTracesNonAccessConstructsAreEpsilon(t *testing.T) {
+	for _, n := range []Node{
+		Recv{Ch: "c", Var: "x"},
+		Send{Ch: "c", Expr: Lit(1)},
+		Signal{Sig: "e"},
+		Wait{Sig: "e"},
+		Skip{},
+	} {
+		set, exact := Traces(n, TraceOptions{})
+		if !exact || set.Len() != 1 || !set.Contains(trace.Empty) {
+			t.Fatalf("traces(%T) = %v", n, set.Traces())
+		}
+	}
+}
+
+func TestTracesSeq(t *testing.T) {
+	p := MustParse("read f1 @ s1; write f2 @ s1")
+	set, exact := Traces(p, TraceOptions{})
+	if !exact || set.Len() != 1 {
+		t.Fatalf("traces(a1;a2) = %d traces", set.Len())
+	}
+	want := trace.Trace{
+		model.Access{Op: "read", Resource: "f1", Server: "s1"},
+		model.Access{Op: "write", Resource: "f2", Server: "s1"},
+	}
+	if !set.Contains(want) {
+		t.Fatalf("traces(a1;a2) = %v", set.Traces())
+	}
+}
+
+func TestTracesIfIsUnion(t *testing.T) {
+	p := MustParse("if x > 0 then { write f2 @ s1 } else { write f3 @ s1 }")
+	set, exact := Traces(p, TraceOptions{})
+	if !exact || set.Len() != 2 {
+		t.Fatalf("traces(if) = %d traces", set.Len())
+	}
+}
+
+func TestTracesParIsInterleaving(t *testing.T) {
+	p := MustParse("{ read f1 @ s1; read f2 @ s1 } || { read f3 @ s2; read f4 @ s2 }")
+	set, exact := Traces(p, TraceOptions{})
+	if !exact {
+		t.Fatal("small par not exact")
+	}
+	if set.Len() != 6 { // C(4,2)
+		t.Fatalf("traces(par) = %d traces, want 6", set.Len())
+	}
+}
+
+func TestTracesWhileIsKleene(t *testing.T) {
+	p := MustParse("while guard:more do { read f1 @ s1 }")
+	set, exact := Traces(p, TraceOptions{MaxLoopReps: 3})
+	if exact {
+		t.Fatal("loop over access reported exact")
+	}
+	// ε, a, aa, aaa
+	if set.Len() != 4 {
+		t.Fatalf("traces(while)≤3 = %d traces", set.Len())
+	}
+	if !set.Contains(trace.Empty) {
+		t.Fatal("Kleene closure missing ε")
+	}
+}
+
+func TestTracesWhileOverEpsilonBodyIsExact(t *testing.T) {
+	p := MustParse("while guard:more do { ch ! 1 }")
+	set, exact := Traces(p, TraceOptions{})
+	if !exact || set.Len() != 1 || !set.Contains(trace.Empty) {
+		t.Fatalf("traces(while eps) = %v exact=%v", set.Traces(), exact)
+	}
+}
+
+func TestTracesBudget(t *testing.T) {
+	// 2^8 = 256 traces from 8 binary choices; cap at 10.
+	var nodes []Node
+	for i := 0; i < 8; i++ {
+		nodes = append(nodes, If{
+			Cond: Opaque{Name: "c"},
+			Then: prim("read", "f1", "s1"),
+			Else: prim("write", "f2", "s1"),
+		})
+	}
+	p := SeqOf(nodes...)
+	set, exact := Traces(p, TraceOptions{MaxTraces: 10})
+	if exact {
+		t.Fatal("budgeted enumeration reported exact")
+	}
+	if set.Len() > 10 {
+		t.Fatalf("budget exceeded: %d traces", set.Len())
+	}
+	full, exact := Traces(p, TraceOptions{MaxTraces: -1})
+	if !exact || full.Len() != 256 {
+		t.Fatalf("full enumeration = %d traces exact=%v", full.Len(), exact)
+	}
+}
+
+func TestTracesNilProgram(t *testing.T) {
+	set, exact := Traces(nil, TraceOptions{})
+	if !exact || set.Len() != 0 {
+		t.Fatalf("traces(nil) = %d traces", set.Len())
+	}
+}
+
+func TestStats(t *testing.T) {
+	tests := []struct {
+		src               string
+		minLen, maxLen    int
+		infinite          bool
+		countLowerAtLeast float64
+	}{
+		{"read f1 @ s1", 1, 1, false, 1},
+		{"skip", 0, 0, false, 1},
+		{"read f1 @ s1; write f2 @ s1", 2, 2, false, 1},
+		{"if x > 0 then { read f1 @ s1 } else { skip }", 0, 1, false, 2},
+		{"while x > 0 do { read f1 @ s1 }", 0, math.MaxInt, true, 1},
+		{"while x > 0 do { ch ! 1 }", 0, 0, false, 1},
+		{"read f1 @ s1 || read f2 @ s1", 2, 2, false, 1},
+	}
+	for _, tt := range tests {
+		st := Stats(MustParse(tt.src))
+		if st.MinLen != tt.minLen || st.MaxLen != tt.maxLen || st.Infinite != tt.infinite {
+			t.Errorf("Stats(%q) = %+v", tt.src, st)
+		}
+		if st.CountLower < tt.countLowerAtLeast {
+			t.Errorf("Stats(%q).CountLower = %v", tt.src, st.CountLower)
+		}
+	}
+}
+
+// Property: for loop-free programs, Stats length bounds hold for every
+// enumerated trace.
+func TestStatsBoundsHoldOnEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		p := loopFreeProgram(r, 3)
+		st := Stats(p)
+		set, exact := Traces(p, TraceOptions{MaxTraces: -1})
+		if !exact {
+			t.Fatalf("loop-free program not exact: %s", String(p))
+		}
+		for _, tr := range set.Traces() {
+			if len(tr) < st.MinLen || len(tr) > st.MaxLen {
+				t.Fatalf("trace %v violates bounds %+v for %s", tr, st, String(p))
+			}
+		}
+	}
+}
+
+func loopFreeProgram(r *rand.Rand, depth int) Node {
+	if depth <= 0 {
+		if r.Intn(3) == 0 {
+			return Skip{}
+		}
+		return prim("read", "f"+string(rune('0'+r.Intn(3))), "s1")
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Seq{First: loopFreeProgram(r, depth-1), Second: loopFreeProgram(r, depth-1)}
+	case 1:
+		return If{Cond: Opaque{Name: "c"}, Then: loopFreeProgram(r, depth-1), Else: loopFreeProgram(r, depth-1)}
+	default:
+		return Par{Left: loopFreeProgram(r, depth-1), Right: loopFreeProgram(r, depth-1)}
+	}
+}
+
+// --- Regular models and Theorem 3.1 ---------------------------------
+
+func TestParseRegular(t *testing.T) {
+	r, err := ParseRegular("(read f1 @ s1 | read f2 @ s1) . (write f3 @ s2)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.(RConcat); !ok {
+		t.Fatalf("parsed %T", r)
+	}
+	if Size(r) < 5 {
+		t.Fatalf("Size = %d", Size(r))
+	}
+}
+
+func TestParseRegularEpsilon(t *testing.T) {
+	r, err := ParseRegular("eps | read f1 @ s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, exact := Enumerate(r, TraceOptions{})
+	if !exact || set.Len() != 2 || !set.Contains(trace.Empty) {
+		t.Fatalf("Enumerate = %v exact=%v", set.Traces(), exact)
+	}
+}
+
+func TestParseRegularErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "(", "read f1", "read f1 @", "read @ s1", "|", "read f1 @ s1 )",
+		"read f1 @ s1 . ", "read f1 @ s1 $",
+	} {
+		if _, err := ParseRegular(src); err == nil {
+			t.Errorf("ParseRegular(%q) succeeded", src)
+		}
+	}
+}
+
+// Theorem 3.1 (regular completeness): traces(Synthesize(m)) = m on
+// bounded enumeration, for fixed models.
+func TestSynthesizeMatchesModelFixed(t *testing.T) {
+	srcs := []string{
+		"read f1 @ s1",
+		"eps",
+		"read f1 @ s1 | write f2 @ s1",
+		"read f1 @ s1 . write f2 @ s1",
+		"(read f1 @ s1)*",
+		"(read f1 @ s1 | write f2 @ s1) . (read f3 @ s2)* . write f4 @ s2",
+		"((read f1 @ s1 . write f2 @ s1) | eps)*",
+	}
+	opts := TraceOptions{MaxLoopReps: 3, MaxTraces: -1}
+	for _, src := range srcs {
+		m, err := ParseRegular(src)
+		if err != nil {
+			t.Fatalf("ParseRegular(%q): %v", src, err)
+		}
+		want, _ := Enumerate(m, opts)
+		got, _ := Traces(Synthesize(m), opts)
+		if !got.Equal(want) {
+			t.Fatalf("traces(Synthesize(%s)) != m:\ngot  %v\nwant %v",
+				src, got.Traces(), want.Traces())
+		}
+	}
+}
+
+func randomRegular(r *rand.Rand, depth int) Regular {
+	if depth <= 0 {
+		if r.Intn(6) == 0 {
+			return REpsilon{}
+		}
+		return RAccess{A: model.Access{
+			Op:       model.Operation([]string{"read", "write"}[r.Intn(2)]),
+			Resource: model.ResourceID("f" + string(rune('0'+r.Intn(3)))),
+			Server:   model.ServerID("s" + string(rune('0'+r.Intn(2)))),
+		}}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return RUnion{Left: randomRegular(r, depth-1), Right: randomRegular(r, depth-1)}
+	case 1:
+		return RConcat{Left: randomRegular(r, depth-1), Right: randomRegular(r, depth-1)}
+	case 2:
+		return RStar{X: randomRegular(r, depth-1)}
+	default:
+		return randomRegular(r, depth-1)
+	}
+}
+
+// Property (Theorem 3.1): for random regular models,
+// traces(Synthesize(m)) equals the model's bounded enumeration.
+func TestSynthesizeMatchesModelRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	opts := TraceOptions{MaxLoopReps: 2, MaxTraces: -1}
+	for i := 0; i < 150; i++ {
+		m := randomRegular(r, 3)
+		want, _ := Enumerate(m, opts)
+		got, _ := Traces(Synthesize(m), opts)
+		if !got.Equal(want) {
+			t.Fatalf("iteration %d: synthesis mismatch for %s:\ngot  %d traces\nwant %d traces",
+				i, m.String(), got.Len(), want.Len())
+		}
+	}
+}
+
+// Property: the synthesised program round-trips through the printer
+// and parser (guards print as guard:NAME and reparse as Opaque).
+func TestSynthesizedProgramsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		p := Synthesize(randomRegular(r, 3))
+		printed := String(p)
+		q, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of synthesised %q: %v", printed, err)
+		}
+		if !Equal(p, q) {
+			t.Fatalf("synthesised program changed by round trip: %q vs %q", printed, String(q))
+		}
+	}
+}
+
+func TestRegularString(t *testing.T) {
+	m := RConcat{
+		Left:  RUnion{Left: RAccess{A: model.Access{Op: "read", Resource: "f1", Server: "s1"}}, Right: REpsilon{}},
+		Right: RStar{X: RAccess{A: model.Access{Op: "write", Resource: "f2", Server: "s2"}}},
+	}
+	s := m.String()
+	for _, want := range []string{"read f1 @ s1", "∪", "·", "*", "{ε}"} {
+		if !containsStr(s, want) {
+			t.Fatalf("Regular String %q missing %q", s, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

@@ -1,0 +1,362 @@
+package temporal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The paper grounds its temporal constraints in duration calculus and
+// appeals to its decidability for Theorem 4.1 (permission validity
+// checking is decidable). This file implements a decidable fragment of
+// duration calculus over piecewise-constant boolean states:
+//
+//	D ::= ⌈P⌉ | ⌈¬P⌉ | ℓ ⊲ c | ∫P ⊲ c | ¬D | D ∧ D | D ∨ D | D ; D
+//
+// where P names a state function, ℓ is the length of the evaluation
+// interval, ∫P the accumulated duration P is 1 on it, ⊲ a comparison
+// against a rational constant, and ";" the chop modality. Evaluation
+// on an interval is exact; chop is decided by enumerating a finite,
+// complete set of candidate split points (segment boundaries, integral
+// crossing points for each constant, and midpoints between adjacent
+// candidates), which is what makes the fragment decidable.
+
+// DCOp is a comparison operator in duration-calculus atoms.
+type DCOp string
+
+// Comparison operators for ℓ and ∫P atoms.
+const (
+	DCLt DCOp = "<"
+	DCLe DCOp = "<="
+	DCEq DCOp = "=="
+	DCNe DCOp = "!="
+	DCGe DCOp = ">="
+	DCGt DCOp = ">"
+)
+
+func (op DCOp) apply(a, b float64) bool {
+	const eps = 1e-9
+	switch op {
+	case DCLt:
+		return a < b-eps
+	case DCLe:
+		return a <= b+eps
+	case DCEq:
+		return math.Abs(a-b) <= eps
+	case DCNe:
+		return math.Abs(a-b) > eps
+	case DCGe:
+		return a >= b-eps
+	case DCGt:
+		return a > b+eps
+	}
+	return false
+}
+
+// DCFormula is a duration-calculus formula.
+type DCFormula interface {
+	isDC()
+	// String renders the formula in conventional DC notation.
+	String() string
+}
+
+// Everywhere is ⌈P⌉ (Neg false) or ⌈¬P⌉ (Neg true): the interval is
+// non-empty and the (negated) state holds throughout it.
+type Everywhere struct {
+	P   string
+	Neg bool
+}
+
+// LenCmp is ℓ ⊲ c: the interval length compares to the constant.
+type LenCmp struct {
+	Op DCOp
+	C  float64
+}
+
+// IntegralCmp is ∫P ⊲ c: the accumulated duration of P on the
+// interval compares to the constant — the Expression 4.1 shape.
+type IntegralCmp struct {
+	P  string
+	Op DCOp
+	C  float64
+}
+
+// DCNot is ¬D.
+type DCNot struct{ D DCFormula }
+
+// DCAnd is D1 ∧ D2.
+type DCAnd struct{ Left, Right DCFormula }
+
+// DCOr is D1 ∨ D2.
+type DCOr struct{ Left, Right DCFormula }
+
+// Chop is D1 ; D2: the interval splits into a prefix satisfying D1
+// and a suffix satisfying D2.
+type Chop struct{ Left, Right DCFormula }
+
+func (Everywhere) isDC()  {}
+func (LenCmp) isDC()      {}
+func (IntegralCmp) isDC() {}
+func (DCNot) isDC()       {}
+func (DCAnd) isDC()       {}
+func (DCOr) isDC()        {}
+func (Chop) isDC()        {}
+
+// String implements DCFormula.
+func (d Everywhere) String() string {
+	if d.Neg {
+		return fmt.Sprintf("⌈¬%s⌉", d.P)
+	}
+	return fmt.Sprintf("⌈%s⌉", d.P)
+}
+
+// String implements DCFormula.
+func (d LenCmp) String() string { return fmt.Sprintf("ℓ %s %.6g", d.Op, d.C) }
+
+// String implements DCFormula.
+func (d IntegralCmp) String() string { return fmt.Sprintf("∫%s %s %.6g", d.P, d.Op, d.C) }
+
+// String implements DCFormula.
+func (d DCNot) String() string { return "¬(" + d.D.String() + ")" }
+
+// String implements DCFormula.
+func (d DCAnd) String() string { return "(" + d.Left.String() + " ∧ " + d.Right.String() + ")" }
+
+// String implements DCFormula.
+func (d DCOr) String() string { return "(" + d.Left.String() + " ∨ " + d.Right.String() + ")" }
+
+// String implements DCFormula.
+func (d Chop) String() string { return "(" + d.Left.String() + " ; " + d.Right.String() + ")" }
+
+// DCTrue holds on every interval (ℓ ≥ 0).
+func DCTrue() DCFormula { return LenCmp{Op: DCGe, C: 0} }
+
+// Somewhere is the derived modality ◇D ::= true ; D ; true — some
+// subinterval satisfies D.
+func Somewhere(d DCFormula) DCFormula {
+	return Chop{Left: DCTrue(), Right: Chop{Left: d, Right: DCTrue()}}
+}
+
+// Always is the derived modality □D ::= ¬◇¬D — every subinterval
+// satisfies D.
+func Always(d DCFormula) DCFormula {
+	return DCNot{D: Somewhere(DCNot{D: d})}
+}
+
+// WithinBudget is the Expression 4.1 safety shape as a reusable
+// formula: no prefix of the interval accumulates more than dur of the
+// named state, i.e. ¬((∫state > dur) ; true).
+func WithinBudget(state string, dur float64) DCFormula {
+	return DCNot{D: Chop{
+		Left:  IntegralCmp{P: state, Op: DCGt, C: dur},
+		Right: DCTrue(),
+	}}
+}
+
+// States binds state names to state functions for evaluation.
+type States map[string]*State
+
+func (ss States) get(name string) *State {
+	if s, ok := ss[name]; ok {
+		return s
+	}
+	return &State{} // unknown states are constant 0
+}
+
+// EvalDC decides whether the formula holds on the window interval
+// under the given state bindings.
+func EvalDC(f DCFormula, states States, window Interval) bool {
+	switch x := f.(type) {
+	case Everywhere:
+		if window.Empty() {
+			return false
+		}
+		in := states.get(x.P).Integral(window.Begin, window.End)
+		if x.Neg {
+			return in <= 1e-9
+		}
+		return math.Abs(in-window.Length()) <= 1e-9
+	case LenCmp:
+		return x.Op.apply(window.Length(), x.C)
+	case IntegralCmp:
+		return x.Op.apply(states.get(x.P).Integral(window.Begin, window.End), x.C)
+	case DCNot:
+		return !EvalDC(x.D, states, window)
+	case DCAnd:
+		return EvalDC(x.Left, states, window) && EvalDC(x.Right, states, window)
+	case DCOr:
+		return EvalDC(x.Left, states, window) || EvalDC(x.Right, states, window)
+	case Chop:
+		for _, m := range chopCandidates(f, states, window) {
+			if EvalDC(x.Left, states, Interval{window.Begin, m}) &&
+				EvalDC(x.Right, states, Interval{m, window.End}) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// chopCandidates returns a finite set of split points m ∈ [b, e] that
+// is complete for deciding D1 ; D2 on piecewise-constant states: for
+// every m the truth of each atom on [b,m] (resp. [m,e]) changes only
+// at segment boundaries or where a prefix/suffix integral crosses a
+// formula constant, so the satisfaction region of any boolean
+// combination is a finite union of intervals over those breakpoints —
+// and any non-empty region contains a breakpoint or a midpoint of two
+// adjacent ones.
+func chopCandidates(f DCFormula, states States, window Interval) []float64 {
+	pts := map[float64]bool{window.Begin: true, window.End: true}
+	// Segment boundaries of every referenced state.
+	for _, name := range dcStates(f) {
+		for _, seg := range states.get(name).SegmentsWithin(window) {
+			pts[seg.Interval.Begin] = true
+			pts[seg.Interval.End] = true
+		}
+	}
+	// Integral crossing points for each (state, constant) pair, from
+	// both ends, plus length-constant offsets.
+	for _, atom := range dcAtoms(f) {
+		switch a := atom.(type) {
+		case LenCmp:
+			addPoint(pts, window, window.Begin+a.C)
+			addPoint(pts, window, window.End-a.C)
+		case IntegralCmp:
+			st := states.get(a.P)
+			if m, ok := prefixIntegralCrossing(st, window, a.C); ok {
+				addPoint(pts, window, m)
+			}
+			if m, ok := suffixIntegralCrossing(st, window, a.C); ok {
+				addPoint(pts, window, m)
+			}
+		}
+	}
+	sorted := make([]float64, 0, len(pts))
+	for p := range pts {
+		sorted = append(sorted, p)
+	}
+	sort.Float64s(sorted)
+	// Midpoints cover open satisfaction regions.
+	out := make([]float64, 0, 2*len(sorted))
+	for i, p := range sorted {
+		out = append(out, p)
+		if i+1 < len(sorted) {
+			out = append(out, (p+sorted[i+1])/2)
+		}
+	}
+	return out
+}
+
+func addPoint(pts map[float64]bool, window Interval, p float64) {
+	if p >= window.Begin && p <= window.End {
+		pts[p] = true
+	}
+}
+
+// prefixIntegralCrossing finds the earliest m with
+// ∫_{b}^{m} P dt = c, if any.
+func prefixIntegralCrossing(st *State, window Interval, c float64) (float64, bool) {
+	if c < 0 {
+		return 0, false
+	}
+	if c == 0 {
+		return window.Begin, true
+	}
+	acc := 0.0
+	for _, seg := range st.SegmentsWithin(window) {
+		if !seg.Value {
+			continue
+		}
+		l := seg.Interval.Length()
+		if acc+l >= c {
+			return seg.Interval.Begin + (c - acc), true
+		}
+		acc += l
+	}
+	return 0, false
+}
+
+// suffixIntegralCrossing finds the latest m with ∫_{m}^{e} P dt = c,
+// if any.
+func suffixIntegralCrossing(st *State, window Interval, c float64) (float64, bool) {
+	if c < 0 {
+		return 0, false
+	}
+	if c == 0 {
+		return window.End, true
+	}
+	segs := st.SegmentsWithin(window)
+	acc := 0.0
+	for i := len(segs) - 1; i >= 0; i-- {
+		seg := segs[i]
+		if !seg.Value {
+			continue
+		}
+		l := seg.Interval.Length()
+		if acc+l >= c {
+			return seg.Interval.End - (c - acc), true
+		}
+		acc += l
+	}
+	return 0, false
+}
+
+// dcStates returns the distinct state names referenced by the formula.
+func dcStates(f DCFormula) []string {
+	var out []string
+	seen := map[string]bool{}
+	var rec func(DCFormula)
+	rec = func(f DCFormula) {
+		switch x := f.(type) {
+		case Everywhere:
+			if !seen[x.P] {
+				seen[x.P] = true
+				out = append(out, x.P)
+			}
+		case IntegralCmp:
+			if !seen[x.P] {
+				seen[x.P] = true
+				out = append(out, x.P)
+			}
+		case DCNot:
+			rec(x.D)
+		case DCAnd:
+			rec(x.Left)
+			rec(x.Right)
+		case DCOr:
+			rec(x.Left)
+			rec(x.Right)
+		case Chop:
+			rec(x.Left)
+			rec(x.Right)
+		}
+	}
+	rec(f)
+	return out
+}
+
+// dcAtoms returns every comparison atom in the formula.
+func dcAtoms(f DCFormula) []DCFormula {
+	var out []DCFormula
+	var rec func(DCFormula)
+	rec = func(f DCFormula) {
+		switch x := f.(type) {
+		case LenCmp, IntegralCmp:
+			out = append(out, x)
+		case DCNot:
+			rec(x.D)
+		case DCAnd:
+			rec(x.Left)
+			rec(x.Right)
+		case DCOr:
+			rec(x.Left)
+			rec(x.Right)
+		case Chop:
+			rec(x.Left)
+			rec(x.Right)
+		}
+	}
+	rec(f)
+	return out
+}

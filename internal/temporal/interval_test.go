@@ -1,0 +1,230 @@
+package temporal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func iv(b, e float64) Interval { return Interval{Begin: b, End: e} }
+
+func TestIntervalBasics(t *testing.T) {
+	x := iv(1, 3)
+	if x.Length() != 2 || x.Empty() {
+		t.Fatalf("interval basics: %+v", x)
+	}
+	if !x.Contains(1) || x.Contains(3) || !x.Contains(2.5) || x.Contains(0.9) {
+		t.Fatal("right-open containment wrong")
+	}
+	if !iv(3, 3).Empty() || !iv(4, 2).Empty() {
+		t.Fatal("empty detection wrong")
+	}
+	if iv(4, 2).Length() != 0 {
+		t.Fatal("inverted interval should have length 0")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	got := iv(1, 5).Intersect(iv(3, 8))
+	if got != iv(3, 5) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if !iv(1, 2).Intersect(iv(3, 4)).Empty() {
+		t.Fatal("disjoint intersect not empty")
+	}
+	if !iv(1, 3).Overlaps(iv(2, 4)) || iv(1, 2).Overlaps(iv(2, 3)) {
+		t.Fatal("Overlaps wrong (touching is not overlapping)")
+	}
+}
+
+func TestIntervalSetAddMerges(t *testing.T) {
+	s := NewIntervalSet(iv(1, 2), iv(4, 5))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Add(iv(2, 4)) // bridges both (touching merges)
+	if s.Len() != 1 {
+		t.Fatalf("merge failed: %v", s)
+	}
+	if got := s.Intervals()[0]; got != iv(1, 5) {
+		t.Fatalf("merged = %v", got)
+	}
+	s.Add(iv(7, 7)) // empty ignored
+	if s.Len() != 1 {
+		t.Fatal("empty interval added")
+	}
+}
+
+func TestIntervalSetAddUnsorted(t *testing.T) {
+	s := NewIntervalSet(iv(10, 12), iv(0, 1), iv(5, 6), iv(0.5, 5.5))
+	if !s.Canonical() {
+		t.Fatalf("not canonical: %v", s)
+	}
+	if s.Duration() != (1+5.5-0.5)+2 { // [0,6) and [10,12)
+		t.Fatalf("Duration = %v (%v)", s.Duration(), s)
+	}
+}
+
+func TestIntervalSetRemove(t *testing.T) {
+	s := NewIntervalSet(iv(0, 10))
+	s.Remove(iv(3, 5))
+	if s.Len() != 2 || s.Duration() != 8 {
+		t.Fatalf("Remove split wrong: %v", s)
+	}
+	if s.Contains(4) || !s.Contains(2) || !s.Contains(5) {
+		t.Fatalf("Remove containment wrong: %v", s)
+	}
+	s.Remove(iv(-1, 11))
+	if !s.IsEmpty() {
+		t.Fatalf("Remove all failed: %v", s)
+	}
+	s.Remove(iv(0, 1)) // removing from empty is fine
+}
+
+func TestIntervalSetContainsBoundaries(t *testing.T) {
+	s := NewIntervalSet(iv(1, 2), iv(3, 4))
+	for _, tt := range []struct {
+		t    float64
+		want bool
+	}{{0.99, false}, {1, true}, {1.99, true}, {2, false}, {2.5, false}, {3, true}, {4, false}} {
+		if got := s.Contains(tt.t); got != tt.want {
+			t.Errorf("Contains(%v) = %v", tt.t, got)
+		}
+	}
+}
+
+func TestDurationWithin(t *testing.T) {
+	s := NewIntervalSet(iv(0, 2), iv(4, 6))
+	if got := s.DurationWithin(iv(1, 5)); got != 2 {
+		t.Fatalf("DurationWithin = %v", got)
+	}
+	if got := s.DurationWithin(iv(10, 20)); got != 0 {
+		t.Fatalf("DurationWithin outside = %v", got)
+	}
+}
+
+func TestUnionIntersectComplement(t *testing.T) {
+	a := NewIntervalSet(iv(0, 2), iv(4, 6))
+	b := NewIntervalSet(iv(1, 5))
+	u := a.Union(b)
+	if u.Duration() != 6 || u.Len() != 1 {
+		t.Fatalf("Union = %v", u)
+	}
+	in := a.Intersect(b)
+	if in.Duration() != 2 || in.Len() != 2 { // [1,2) and [4,5)
+		t.Fatalf("Intersect = %v", in)
+	}
+	c := a.ComplementWithin(iv(0, 6))
+	if c.Duration() != 2 || !c.Contains(3) || c.Contains(1) {
+		t.Fatalf("Complement = %v", c)
+	}
+	// Union/Intersect must not mutate operands.
+	if a.Duration() != 4 || b.Duration() != 4 {
+		t.Fatal("set ops mutated operands")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := NewIntervalSet(iv(0, 1))
+	c := a.Clone()
+	c.Add(iv(5, 6))
+	if a.Len() != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if (&IntervalSet{}).String() != "∅" {
+		t.Fatal("empty set string")
+	}
+	s := NewIntervalSet(iv(0, 1)).String()
+	if s == "" || s == "∅" {
+		t.Fatalf("set string = %q", s)
+	}
+}
+
+// Property: sets stay canonical and duration equals the sum over
+// canonical intervals under random Add/Remove sequences; membership
+// agrees with a brute-force reference.
+func TestIntervalSetRandomOps(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		s := NewIntervalSet()
+		type op struct {
+			add  bool
+			b, e float64
+		}
+		var ops []op
+		for i := 0; i < 40; i++ {
+			b := math.Floor(r.Float64()*40) / 2
+			e := b + math.Floor(r.Float64()*10)/2
+			ops = append(ops, op{r.Intn(3) != 0, b, e})
+		}
+		for _, o := range ops {
+			if o.add {
+				s.Add(iv(o.b, o.e))
+			} else {
+				s.Remove(iv(o.b, o.e))
+			}
+			if !s.Canonical() {
+				t.Fatalf("trial %d: set not canonical after %+v: %v", trial, o, s)
+			}
+		}
+		// Reference membership via replay on a fine grid.
+		for probe := 0.25; probe < 25; probe += 0.5 {
+			want := false
+			for _, o := range ops {
+				if probe >= o.b && probe < o.e {
+					want = o.add
+				}
+			}
+			if got := s.Contains(probe); got != want {
+				t.Fatalf("trial %d: Contains(%v) = %v, want %v (%v)", trial, probe, got, want, s)
+			}
+		}
+	}
+}
+
+// Property: duration is additive over disjoint windows.
+func TestDurationAdditivity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewIntervalSet()
+		for i := 0; i < 10; i++ {
+			b := r.Float64() * 50
+			s.Add(iv(b, b+r.Float64()*10))
+		}
+		mid := r.Float64() * 60
+		total := s.DurationWithin(iv(0, 60))
+		split := s.DurationWithin(iv(0, mid)) + s.DurationWithin(iv(mid, 60))
+		return math.Abs(total-split) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: complement twice within a window is the original
+// restricted to the window.
+func TestComplementInvolution(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	window := iv(0, 100)
+	for trial := 0; trial < 50; trial++ {
+		s := NewIntervalSet()
+		for i := 0; i < 8; i++ {
+			b := r.Float64() * 90
+			s.Add(iv(b, b+r.Float64()*10))
+		}
+		restricted := s.Intersect(NewIntervalSet(window))
+		double := s.ComplementWithin(window).ComplementWithin(window)
+		if math.Abs(restricted.Duration()-double.Duration()) > 1e-9 {
+			t.Fatalf("involution duration mismatch: %v vs %v", restricted, double)
+		}
+		for probe := 0.5; probe < 100; probe += 1.0 {
+			if restricted.Contains(probe) != double.Contains(probe) {
+				t.Fatalf("involution membership mismatch at %v", probe)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package temporal
+
+// State is a boolean-valued state function over continuous time,
+// Time → {0, 1}, represented by the (canonical) set of intervals on
+// which the state is 1 — the piecewise-constant functions of the
+// duration-calculus model in Section 4. The zero value is the
+// constant-0 state, ready to use.
+type State struct {
+	on IntervalSet
+}
+
+// NewState builds a state that is 1 exactly on the given intervals.
+func NewState(on ...Interval) *State {
+	s := &State{}
+	for _, iv := range on {
+		s.on.Add(iv)
+	}
+	return s
+}
+
+// SetOn makes the state 1 on [from, to).
+func (s *State) SetOn(from, to float64) { s.on.Add(Interval{Begin: from, End: to}) }
+
+// SetOff makes the state 0 on [from, to).
+func (s *State) SetOff(from, to float64) { s.on.Remove(Interval{Begin: from, End: to}) }
+
+// At returns the state value at time t.
+func (s *State) At(t float64) bool { return s.on.Contains(t) }
+
+// Integral computes the duration-calculus integral ∫_b^e s(t) dt —
+// the accumulated time the state is 1 over [b, e).
+func (s *State) Integral(b, e float64) float64 {
+	return s.on.DurationWithin(Interval{Begin: b, End: e})
+}
+
+// OnIntervals returns the canonical intervals on which the state is 1.
+func (s *State) OnIntervals() []Interval { return s.on.Intervals() }
+
+// SegmentsWithin returns the maximal constant segments of the state
+// restricted to window, in order, alternating values as needed. Each
+// segment carries the state's value on it. The segment boundaries are
+// the only candidate chop points a duration-calculus formula needs to
+// consider, which is what makes satisfaction checking decidable for
+// piecewise-constant states (Theorem 4.1).
+func (s *State) SegmentsWithin(window Interval) []Segment {
+	if window.Empty() {
+		return nil
+	}
+	var segs []Segment
+	cursor := window.Begin
+	for _, iv := range s.on.Intervals() {
+		clipped := iv.Intersect(window)
+		if clipped.Empty() {
+			continue
+		}
+		if clipped.Begin > cursor {
+			segs = append(segs, Segment{Interval{cursor, clipped.Begin}, false})
+		}
+		segs = append(segs, Segment{clipped, true})
+		cursor = clipped.End
+	}
+	if cursor < window.End {
+		segs = append(segs, Segment{Interval{cursor, window.End}, false})
+	}
+	return segs
+}
+
+// Segment is a maximal constant piece of a state function.
+type Segment struct {
+	Interval Interval
+	Value    bool
+}
+
+// And returns the pointwise conjunction of two states.
+func (s *State) And(o *State) *State {
+	return &State{on: *s.on.Intersect(&o.on)}
+}
+
+// Or returns the pointwise disjunction of two states.
+func (s *State) Or(o *State) *State {
+	return &State{on: *s.on.Union(&o.on)}
+}
+
+// NotWithin returns the pointwise negation of the state restricted to
+// window (the complement of an unbounded state is not representable).
+func (s *State) NotWithin(window Interval) *State {
+	return &State{on: *s.on.ComplementWithin(window)}
+}
+
+// Clone returns an independent copy.
+func (s *State) Clone() *State { return &State{on: *s.on.Clone()} }

@@ -1,0 +1,259 @@
+package temporal
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Scheme selects the base time t_b of Expression 4.1.
+type Scheme int
+
+// Base-time schemes (Section 4): with t_b the arrival time at the
+// current server the temporal constraint restricts validity per
+// server; with t_b the first arrival it governs the object's entire
+// execution across servers.
+const (
+	// GlobalBase accumulates valid time over the mobile object's whole
+	// life-cycle: t_b = t_1, the arrival at the first server.
+	GlobalBase Scheme = iota
+	// PerServerBase resets the accumulation on every server arrival:
+	// t_b = t_i, the arrival at the current server s_i.
+	PerServerBase
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	if s == PerServerBase {
+		return "per-server"
+	}
+	return "global"
+}
+
+// Infinite is the validity duration of a time-insensitive permission.
+const Infinite = math.MaxFloat64
+
+// Tracker enforces the temporal constraint of Expression 4.1 for one
+// (permission, mobile object) pair:
+//
+//	valid(perm, t) = 1  ⇔  active(perm, t) = 1 ∧
+//	                       ∫_{t_b}^{t} valid(perm, u) du ≤ dur(perm)
+//
+// It records the valid-state function as the permission is activated
+// and deactivated, integrates it exactly, and reports the permission
+// state (inactive / active-but-invalid / valid) at any time. A Tracker
+// is safe for concurrent use.
+type Tracker struct {
+	mu sync.Mutex
+	// budget is dur(perm): the validity duration.
+	budget float64
+	scheme Scheme
+
+	// valid is the recorded valid-state function on the object's time
+	// line (for the current epoch under PerServerBase).
+	valid State
+	// accumulated is the integral of valid over closed activations in
+	// the current epoch.
+	accumulated float64
+	active      bool
+	activeSince float64
+	// baseSet records whether t_b has been established.
+	baseSet bool
+	base    float64
+}
+
+// NewTracker creates a tracker for a permission with validity duration
+// dur (seconds; Infinite for time-insensitive resources) under the
+// given base-time scheme.
+func NewTracker(dur float64, scheme Scheme) *Tracker {
+	if dur < 0 {
+		dur = 0
+	}
+	return &Tracker{budget: dur, scheme: scheme}
+}
+
+// Budget returns dur(perm).
+func (tr *Tracker) Budget() float64 { return tr.budget }
+
+// Scheme returns the tracker's base-time scheme.
+func (tr *Tracker) Scheme() Scheme { return tr.scheme }
+
+// ArriveServer records the mobile object's arrival at a server at time
+// now. Under PerServerBase this starts a new epoch: the base time and
+// the accumulated valid duration reset, so the permission's budget
+// applies to each server independently. Under GlobalBase only the
+// first arrival establishes t_b.
+func (tr *Tracker) ArriveServer(now float64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.scheme == PerServerBase {
+		// Close any open activation into the old epoch, then reset.
+		tr.closeActivationLocked(now)
+		tr.valid = State{}
+		tr.accumulated = 0
+		tr.base = now
+		tr.baseSet = true
+		return
+	}
+	if !tr.baseSet {
+		tr.base = now
+		tr.baseSet = true
+	}
+}
+
+// Activate marks the permission active at time now (role assigned and
+// activated in a session, spatial constraints satisfied). Activating
+// an already-active tracker is a no-op.
+func (tr *Tracker) Activate(now float64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if !tr.baseSet {
+		tr.base = now
+		tr.baseSet = true
+	}
+	if tr.active {
+		return
+	}
+	tr.active = true
+	tr.activeSince = now
+}
+
+// Deactivate marks the permission inactive at time now (role
+// deactivated or session ended), closing the current valid period.
+func (tr *Tracker) Deactivate(now float64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.closeActivationLocked(now)
+}
+
+func (tr *Tracker) closeActivationLocked(now float64) {
+	if !tr.active {
+		return
+	}
+	if now > tr.activeSince {
+		// Only time spent within budget counts as valid state; once
+		// the integral reaches dur(perm) the state is
+		// active-but-invalid and contributes nothing.
+		validUntil := tr.activeSince + math.Max(0, tr.budget-tr.accumulated)
+		end := math.Min(now, validUntil)
+		if end > tr.activeSince {
+			tr.valid.SetOn(tr.activeSince, end)
+			tr.accumulated += end - tr.activeSince
+		}
+	}
+	tr.active = false
+}
+
+// accumulatedAt returns ∫_{t_b}^{now} valid dt without mutating state.
+func (tr *Tracker) accumulatedAt(now float64) float64 {
+	acc := tr.accumulated
+	if tr.active && now > tr.activeSince {
+		open := now - tr.activeSince
+		remaining := math.Max(0, tr.budget-tr.accumulated)
+		acc += math.Min(open, remaining)
+	}
+	return acc
+}
+
+// PermState is the three-state permission status of Section 4.
+type PermState int
+
+// Permission states: a permission is inactive when not activated in a
+// session; an active permission is valid while the accumulated valid
+// duration is within dur(perm) and active-but-invalid afterwards.
+const (
+	Inactive PermState = iota
+	ActiveInvalid
+	Valid
+)
+
+// String implements fmt.Stringer.
+func (s PermState) String() string {
+	switch s {
+	case Inactive:
+		return "inactive"
+	case ActiveInvalid:
+		return "active-but-invalid"
+	default:
+		return "valid"
+	}
+}
+
+// StateAt returns the permission state at time now.
+func (tr *Tracker) StateAt(now float64) PermState {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if !tr.active {
+		return Inactive
+	}
+	if tr.accumulatedAt(now) >= tr.budget && tr.budget != Infinite {
+		return ActiveInvalid
+	}
+	return Valid
+}
+
+// ValidAt reports valid(perm, now) — Expression 4.1.
+func (tr *Tracker) ValidAt(now float64) bool { return tr.StateAt(now) == Valid }
+
+// Remaining returns the unused validity duration at time now
+// (Infinite for time-insensitive permissions).
+func (tr *Tracker) Remaining(now float64) float64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.budget == Infinite {
+		return Infinite
+	}
+	return math.Max(0, tr.budget-tr.accumulatedAt(now))
+}
+
+// Accumulated returns ∫_{t_b}^{now} valid(perm, u) du.
+func (tr *Tracker) Accumulated(now float64) float64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.accumulatedAt(now)
+}
+
+// ExpiryAt returns the absolute time at which an active permission
+// becomes invalid if it stays active, and whether such a time exists
+// (false when inactive or time-insensitive).
+func (tr *Tracker) ExpiryAt(now float64) (float64, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if !tr.active || tr.budget == Infinite {
+		return 0, false
+	}
+	remaining := math.Max(0, tr.budget-tr.accumulatedAt(now))
+	return now + remaining, true
+}
+
+// ValidState returns a copy of the recorded valid-state function
+// (current epoch), closed off at time now — the input to
+// duration-calculus queries.
+func (tr *Tracker) ValidState(now float64) *State {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	st := tr.valid.Clone()
+	if tr.active && now > tr.activeSince {
+		validUntil := tr.activeSince + math.Max(0, tr.budget-tr.accumulated)
+		end := math.Min(now, validUntil)
+		if end > tr.activeSince {
+			st.SetOn(tr.activeSince, end)
+		}
+	}
+	return st
+}
+
+// Base returns the established base time t_b and whether it is set.
+func (tr *Tracker) Base() (float64, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.base, tr.baseSet
+}
+
+// String summarises the tracker for diagnostics.
+func (tr *Tracker) String() string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return fmt.Sprintf("tracker{dur=%.6g scheme=%s active=%v accumulated=%.6g}",
+		tr.budget, tr.scheme, tr.active, tr.accumulated)
+}

@@ -1,0 +1,270 @@
+package temporal
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimClock(t *testing.T) {
+	c := NewSimClock(10)
+	if c.Now() != 10 {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Advance(5)
+	if c.Now() != 15 {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Advance(-3) // ignored
+	if c.Now() != 15 {
+		t.Fatal("negative advance moved clock")
+	}
+	c.Set(20)
+	if c.Now() != 20 {
+		t.Fatal("Set forward failed")
+	}
+	c.Set(1) // backward jump ignored
+	if c.Now() != 20 {
+		t.Fatal("Set moved clock backwards")
+	}
+}
+
+func TestSimClockConcurrent(t *testing.T) {
+	c := NewSimClock(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(0.001)
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if math.Abs(c.Now()-8.0) > 1e-6 {
+		t.Fatalf("concurrent advance lost updates: %v", c.Now())
+	}
+}
+
+func TestRealClockMonotone(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("real clock not advancing: %v -> %v", a, b)
+	}
+}
+
+func TestSkewedClock(t *testing.T) {
+	base := NewSimClock(100)
+	sk := &SkewedClock{Base: base, Offset: 7}
+	if sk.Now() != 107 {
+		t.Fatalf("offset clock = %v", sk.Now())
+	}
+	drift := &SkewedClock{Base: base, Offset: 0, Rate: 2}
+	if drift.Now() != 200 {
+		t.Fatalf("drift clock = %v", drift.Now())
+	}
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	tr := NewTracker(10, GlobalBase)
+	if tr.StateAt(0) != Inactive {
+		t.Fatal("fresh tracker not inactive")
+	}
+	tr.ArriveServer(0)
+	tr.Activate(1)
+	if tr.StateAt(5) != Valid {
+		t.Fatalf("state at 5 = %v", tr.StateAt(5))
+	}
+	if got := tr.Accumulated(5); got != 4 {
+		t.Fatalf("accumulated = %v", got)
+	}
+	if got := tr.Remaining(5); got != 6 {
+		t.Fatalf("remaining = %v", got)
+	}
+	exp, ok := tr.ExpiryAt(5)
+	if !ok || exp != 11 {
+		t.Fatalf("expiry = %v ok=%v", exp, ok)
+	}
+	// Budget exhausted at t = 11.
+	if tr.StateAt(11) != ActiveInvalid {
+		t.Fatalf("state at 11 = %v", tr.StateAt(11))
+	}
+	if tr.ValidAt(11) {
+		t.Fatal("valid after budget exhausted")
+	}
+	if got := tr.Remaining(20); got != 0 {
+		t.Fatalf("remaining after exhaustion = %v", got)
+	}
+	if got := tr.Accumulated(20); got != 10 {
+		t.Fatalf("accumulated capped = %v", got)
+	}
+}
+
+func TestTrackerDeactivatePausesAccumulation(t *testing.T) {
+	tr := NewTracker(10, GlobalBase)
+	tr.Activate(0)
+	tr.Deactivate(4) // 4 used
+	if tr.StateAt(6) != Inactive {
+		t.Fatal("deactivated tracker not inactive")
+	}
+	if got := tr.Accumulated(100); got != 4 {
+		t.Fatalf("accumulated while inactive = %v", got)
+	}
+	tr.Activate(100)
+	if tr.StateAt(105) != Valid {
+		t.Fatal("re-activated not valid")
+	}
+	// Remaining budget 6: invalid from t=106.
+	if tr.StateAt(106) != ActiveInvalid {
+		t.Fatalf("state at 106 = %v", tr.StateAt(106))
+	}
+}
+
+func TestTrackerIdempotentTransitions(t *testing.T) {
+	tr := NewTracker(10, GlobalBase)
+	tr.Activate(0)
+	tr.Activate(3) // no-op: still counting from 0
+	if got := tr.Accumulated(5); got != 5 {
+		t.Fatalf("double activate changed accounting: %v", got)
+	}
+	tr.Deactivate(5)
+	tr.Deactivate(7) // no-op
+	if got := tr.Accumulated(10); got != 5 {
+		t.Fatalf("double deactivate changed accounting: %v", got)
+	}
+}
+
+func TestTrackerPerServerScheme(t *testing.T) {
+	tr := NewTracker(5, PerServerBase)
+	tr.ArriveServer(0)
+	tr.Activate(0)
+	if tr.StateAt(4) != Valid {
+		t.Fatal("not valid on first server")
+	}
+	if tr.StateAt(6) != ActiveInvalid {
+		t.Fatal("not invalid after budget on first server")
+	}
+	// Migrating resets the epoch: full budget again, but the open
+	// activation is closed (role must be re-activated on arrival).
+	tr.ArriveServer(10)
+	if tr.StateAt(10) != Inactive {
+		t.Fatalf("state after migration = %v", tr.StateAt(10))
+	}
+	tr.Activate(10)
+	if got := tr.Remaining(10); got != 5 {
+		t.Fatalf("remaining after migration = %v", got)
+	}
+	if tr.StateAt(14) != Valid || tr.StateAt(16) != ActiveInvalid {
+		t.Fatal("per-server budget not enforced on second server")
+	}
+}
+
+func TestTrackerGlobalSchemeSpansServers(t *testing.T) {
+	tr := NewTracker(5, GlobalBase)
+	tr.ArriveServer(0)
+	tr.Activate(0)
+	tr.Deactivate(3)
+	tr.ArriveServer(10) // must NOT reset under the global scheme
+	tr.Activate(10)
+	// 3 used; remaining 2 → invalid from 12.
+	if tr.StateAt(11) != Valid {
+		t.Fatalf("state at 11 = %v", tr.StateAt(11))
+	}
+	if tr.StateAt(12.5) != ActiveInvalid {
+		t.Fatalf("state at 12.5 = %v", tr.StateAt(12.5))
+	}
+	base, ok := tr.Base()
+	if !ok || base != 0 {
+		t.Fatalf("global base = %v ok=%v", base, ok)
+	}
+}
+
+func TestTrackerInfiniteBudget(t *testing.T) {
+	tr := NewTracker(Infinite, GlobalBase)
+	tr.Activate(0)
+	if tr.StateAt(1e12) != Valid {
+		t.Fatal("time-insensitive permission expired")
+	}
+	if tr.Remaining(1e12) != Infinite {
+		t.Fatal("remaining not infinite")
+	}
+	if _, ok := tr.ExpiryAt(5); ok {
+		t.Fatal("infinite budget has an expiry")
+	}
+}
+
+func TestTrackerNegativeDurationClamped(t *testing.T) {
+	tr := NewTracker(-3, GlobalBase)
+	tr.Activate(0)
+	if tr.StateAt(0.1) != ActiveInvalid {
+		t.Fatal("negative duration should behave as zero budget")
+	}
+}
+
+func TestTrackerValidState(t *testing.T) {
+	tr := NewTracker(5, GlobalBase)
+	tr.Activate(0)
+	tr.Deactivate(2)
+	tr.Activate(4)
+	st := tr.ValidState(6)
+	// Valid on [0,2) and [4,6): integral 4.
+	if got := st.Integral(0, 10); got != 4 {
+		t.Fatalf("valid-state integral = %v (%v)", got, st.OnIntervals())
+	}
+	// The open activation beyond the budget is clipped.
+	st2 := tr.ValidState(20)
+	if got := st2.Integral(0, 20); got != 5 {
+		t.Fatalf("clipped valid-state integral = %v", got)
+	}
+	// Expression 4.1 as a DC formula over the tracker's state.
+	f := DCNot{Chop{
+		Left:  IntegralCmp{P: "valid", Op: DCGt, C: tr.Budget()},
+		Right: LenCmp{Op: DCGe, C: 0},
+	}}
+	if !EvalDC(f, States{"valid": st2}, iv(0, 20)) {
+		t.Fatal("tracker state violates Expression 4.1")
+	}
+}
+
+func TestTrackerExpiryWhenInactive(t *testing.T) {
+	tr := NewTracker(5, GlobalBase)
+	if _, ok := tr.ExpiryAt(0); ok {
+		t.Fatal("inactive tracker has expiry")
+	}
+}
+
+func TestTrackerConcurrentUse(t *testing.T) {
+	tr := NewTracker(1000, GlobalBase)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				now := float64(k*500 + j)
+				tr.Activate(now)
+				tr.ValidAt(now)
+				tr.Remaining(now)
+				tr.Deactivate(now + 0.5)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// No assertion beyond absence of races (run with -race).
+	_ = tr.String()
+}
+
+func TestSchemeAndStateStrings(t *testing.T) {
+	if GlobalBase.String() != "global" || PerServerBase.String() != "per-server" {
+		t.Fatal("scheme strings")
+	}
+	if Inactive.String() != "inactive" || ActiveInvalid.String() != "active-but-invalid" || Valid.String() != "valid" {
+		t.Fatal("state strings")
+	}
+}

@@ -1,0 +1,332 @@
+// Package trace implements the trace model of SRAL programs
+// (Section 3.2 of the paper).
+//
+// A trace is the sequence of shared-resource accesses observed while a
+// mobile object executes its program; traces(P) — the set of all traces
+// a program P can perform — is P's trace model. The package provides
+// the three trace operators of the paper (concatenation, interleaving
+// and Kleene closure), trace models as explicit finite sets, and a
+// budgeted enumerator used by the baseline checker and by the
+// regular-completeness property tests.
+//
+// Trace models of programs with loops are infinite; Model represents
+// them with an explicit Kleene structure so that bounded enumeration
+// and membership queries remain possible.
+package trace
+
+import (
+	"sort"
+	"strings"
+
+	"stac/internal/model"
+)
+
+// Trace is a finite sequence of shared-resource accesses, in the order
+// they are (or would be) performed.
+type Trace []model.Access
+
+// Empty is the empty trace ε.
+var Empty = Trace{}
+
+// Concat returns the concatenation t·v: t followed by v. The receiver
+// is not modified.
+func (t Trace) Concat(v Trace) Trace {
+	out := make(Trace, 0, len(t)+len(v))
+	out = append(out, t...)
+	out = append(out, v...)
+	return out
+}
+
+// Head returns the first access of the trace. It panics on an empty
+// trace; callers guard with len(t) > 0, mirroring the paper's
+// definition which only applies head to non-empty traces.
+func (t Trace) Head() model.Access { return t[0] }
+
+// Tail returns the trace consisting of the rest of the accesses.
+func (t Trace) Tail() Trace { return t[1:] }
+
+// Contains reports whether access a occurs anywhere in the trace.
+func (t Trace) Contains(a model.Access) bool {
+	for _, x := range t {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexOf returns the position of the first occurrence of a, or -1.
+func (t Trace) IndexOf(a model.Access) int {
+	for i, x := range t {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// Count returns the number of accesses in the trace selected by sel.
+func (t Trace) Count(sel model.Selector) int {
+	n := 0
+	for _, x := range t {
+		if sel.SelectAccess(x) {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports element-wise equality of two traces.
+func (t Trace) Equal(v Trace) bool {
+	if len(t) != len(v) {
+		return false
+	}
+	for i := range t {
+		if t[i] != v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the trace with its own backing array.
+func (t Trace) Clone() Trace {
+	out := make(Trace, len(t))
+	copy(out, t)
+	return out
+}
+
+// Key returns a canonical string form of the trace, usable as a map
+// key for set semantics.
+func (t Trace) Key() string {
+	var b strings.Builder
+	for i, a := range t {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(string(a.Object))
+		b.WriteByte('\x1e')
+		b.WriteString(string(a.Op))
+		b.WriteByte('\x1e')
+		b.WriteString(string(a.Resource))
+		b.WriteByte('\x1e')
+		b.WriteString(string(a.Server))
+	}
+	return b.String()
+}
+
+// String renders the trace as "<a1, a2, ...>" in the paper's angle
+// bracket notation.
+func (t Trace) String() string {
+	parts := make([]string, len(t))
+	for i, a := range t {
+		parts[i] = a.String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Interleave returns all interleavings of t and v (the t#v operator of
+// Definition 3.2), defined recursively:
+//
+//	ε # v = {v}
+//	t # ε = {t}
+//	t # v = { head(t)·x | x ∈ tail(t)#v } ∪ { head(v)·x | x ∈ t#tail(v) }
+//
+// The result has C(len(t)+len(v), len(t)) elements when all accesses
+// are distinct; callers that interleave long traces should use
+// InterleaveBudget.
+func Interleave(t, v Trace) []Trace {
+	out, _ := InterleaveBudget(t, v, -1)
+	return out
+}
+
+// InterleaveBudget is Interleave with a cap on the number of produced
+// traces. A negative budget means unlimited. The boolean result is
+// false when the budget was exhausted before all interleavings were
+// produced.
+func InterleaveBudget(t, v Trace, budget int) ([]Trace, bool) {
+	var out []Trace
+	complete := true
+	var rec func(prefix Trace, t, v Trace) bool
+	rec = func(prefix Trace, t, v Trace) bool {
+		if budget >= 0 && len(out) >= budget {
+			complete = false
+			return false
+		}
+		if len(t) == 0 {
+			out = append(out, prefix.Concat(v))
+			return true
+		}
+		if len(v) == 0 {
+			out = append(out, prefix.Concat(t))
+			return true
+		}
+		if !rec(prefix.Concat(Trace{t.Head()}), t.Tail(), v) {
+			return false
+		}
+		return rec(prefix.Concat(Trace{v.Head()}), t, v.Tail())
+	}
+	rec(Empty, t, v)
+	return out, complete
+}
+
+// Set is a finite set of traces with set (deduplicated) semantics.
+type Set struct {
+	byKey map[string]Trace
+}
+
+// NewSet builds a trace set from the given traces, removing duplicates.
+func NewSet(traces ...Trace) *Set {
+	s := &Set{byKey: make(map[string]Trace, len(traces))}
+	for _, t := range traces {
+		s.Add(t)
+	}
+	return s
+}
+
+// Add inserts a trace into the set.
+func (s *Set) Add(t Trace) {
+	if s.byKey == nil {
+		s.byKey = make(map[string]Trace)
+	}
+	s.byKey[t.Key()] = t
+}
+
+// Contains reports membership of t in the set.
+func (s *Set) Contains(t Trace) bool {
+	if s == nil || s.byKey == nil {
+		return false
+	}
+	_, ok := s.byKey[t.Key()]
+	return ok
+}
+
+// Len returns the number of distinct traces in the set.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.byKey)
+}
+
+// Traces returns the traces in a deterministic (sorted-by-key) order.
+func (s *Set) Traces() []Trace {
+	if s == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Trace, len(keys))
+	for i, k := range keys {
+		out[i] = s.byKey[k]
+	}
+	return out
+}
+
+// Equal reports whether two sets contain exactly the same traces.
+func (s *Set) Equal(o *Set) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for k := range s.byKey {
+		if _, ok := o.byKey[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ o as a new set.
+func (s *Set) Union(o *Set) *Set {
+	out := NewSet()
+	for _, t := range s.Traces() {
+		out.Add(t)
+	}
+	for _, t := range o.Traces() {
+		out.Add(t)
+	}
+	return out
+}
+
+// ConcatSets lifts concatenation to trace sets:
+// A·B = { t·v | t ∈ A, v ∈ B }.
+func ConcatSets(a, b *Set) *Set {
+	out := NewSet()
+	for _, t := range a.Traces() {
+		for _, v := range b.Traces() {
+			out.Add(t.Concat(v))
+		}
+	}
+	return out
+}
+
+// InterleaveSets lifts interleaving to trace sets:
+// A#B = ∪ { t#v | t ∈ A, v ∈ B }. Budget caps the total number of
+// produced traces (negative = unlimited); the boolean result reports
+// completeness.
+func InterleaveSets(a, b *Set, budget int) (*Set, bool) {
+	out := NewSet()
+	complete := true
+	for _, t := range a.Traces() {
+		for _, v := range b.Traces() {
+			remaining := -1
+			if budget >= 0 {
+				remaining = budget - out.Len()
+				if remaining <= 0 {
+					return out, false
+				}
+			}
+			traces, ok := InterleaveBudget(t, v, remaining)
+			if !ok {
+				complete = false
+			}
+			for _, x := range traces {
+				out.Add(x)
+			}
+		}
+	}
+	return out, complete
+}
+
+// KleeneBounded returns the set of concatenations of at most maxReps
+// traces drawn from a (with repetition): ∪_{i=0..maxReps} A^i, capped
+// at budget traces (negative = unlimited). It is the bounded
+// approximation of the Kleene closure A* used by the enumeration
+// baseline. The boolean result reports whether the bound and budget
+// were not hit (i.e. the result is exactly A* — true only when A ⊆ {ε}).
+func KleeneBounded(a *Set, maxReps, budget int) (*Set, bool) {
+	out := NewSet(Empty)
+	frontier := NewSet(Empty)
+	complete := onlyEmpty(a)
+	for i := 0; i < maxReps; i++ {
+		next := ConcatSets(frontier, a)
+		grew := false
+		for _, t := range next.Traces() {
+			if !out.Contains(t) {
+				if budget >= 0 && out.Len() >= budget {
+					return out, false
+				}
+				out.Add(t)
+				grew = true
+			}
+		}
+		if !grew {
+			// Fixed point: A* fully enumerated.
+			return out, true
+		}
+		frontier = next
+	}
+	return out, complete
+}
+
+func onlyEmpty(a *Set) bool {
+	for _, t := range a.Traces() {
+		if len(t) > 0 {
+			return false
+		}
+	}
+	return true
+}

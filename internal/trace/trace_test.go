@@ -1,0 +1,372 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stac/internal/model"
+)
+
+func acc(op, r, s string) model.Access {
+	return model.Access{Op: model.Operation(op), Resource: model.ResourceID(r), Server: model.ServerID(s)}
+}
+
+var (
+	a1 = acc("read", "f1", "s1")
+	a2 = acc("write", "f2", "s1")
+	a3 = acc("read", "f3", "s2")
+	a4 = acc("execute", "f4", "s2")
+)
+
+func TestConcat(t *testing.T) {
+	tr := Trace{a1}.Concat(Trace{a2, a3})
+	want := Trace{a1, a2, a3}
+	if !tr.Equal(want) {
+		t.Fatalf("Concat = %v, want %v", tr, want)
+	}
+}
+
+func TestConcatDoesNotAliasReceiver(t *testing.T) {
+	base := make(Trace, 1, 4)
+	base[0] = a1
+	first := base.Concat(Trace{a2})
+	second := base.Concat(Trace{a3})
+	if !first.Equal(Trace{a1, a2}) {
+		t.Fatalf("first concat corrupted: %v", first)
+	}
+	if !second.Equal(Trace{a1, a3}) {
+		t.Fatalf("second concat corrupted: %v", second)
+	}
+}
+
+func TestHeadTail(t *testing.T) {
+	tr := Trace{a1, a2, a3}
+	if tr.Head() != a1 {
+		t.Fatalf("Head = %v", tr.Head())
+	}
+	if !tr.Tail().Equal(Trace{a2, a3}) {
+		t.Fatalf("Tail = %v", tr.Tail())
+	}
+}
+
+func TestContainsIndexCount(t *testing.T) {
+	tr := Trace{a1, a2, a1, a3}
+	if !tr.Contains(a1) || tr.Contains(a4) {
+		t.Fatal("Contains wrong")
+	}
+	if tr.IndexOf(a2) != 1 || tr.IndexOf(a4) != -1 {
+		t.Fatal("IndexOf wrong")
+	}
+	if n := tr.Count(model.Selector{Resources: []model.ResourceID{"f1"}}); n != 2 {
+		t.Fatalf("Count = %d, want 2", n)
+	}
+	if n := tr.Count(model.Selector{}); n != 4 {
+		t.Fatalf("empty selector Count = %d, want 4", n)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := Trace{a1, a2}
+	c := tr.Clone()
+	c[0] = a3
+	if tr[0] != a1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestKeyDistinguishesTraces(t *testing.T) {
+	if (Trace{a1, a2}).Key() == (Trace{a2, a1}).Key() {
+		t.Fatal("Key collision for different orders")
+	}
+	if (Trace{a1}).Key() == (Trace{a1, a1}).Key() {
+		t.Fatal("Key collision for different lengths")
+	}
+	if Empty.Key() != "" {
+		t.Fatalf("empty trace key = %q", Empty.Key())
+	}
+}
+
+func TestKeyComponentBoundaries(t *testing.T) {
+	// "ab"+"c" vs "a"+"bc" in adjacent components must not collide.
+	x := Trace{{Object: "ab", Op: "c", Resource: "r", Server: "s"}}
+	y := Trace{{Object: "a", Op: "bc", Resource: "r", Server: "s"}}
+	if x.Key() == y.Key() {
+		t.Fatal("Key collision across component boundaries")
+	}
+}
+
+func TestInterleaveBaseCases(t *testing.T) {
+	got := Interleave(Empty, Trace{a1, a2})
+	if len(got) != 1 || !got[0].Equal(Trace{a1, a2}) {
+		t.Fatalf("ε # v = %v", got)
+	}
+	got = Interleave(Trace{a1}, Empty)
+	if len(got) != 1 || !got[0].Equal(Trace{a1}) {
+		t.Fatalf("t # ε = %v", got)
+	}
+}
+
+func TestInterleaveTwoSingletons(t *testing.T) {
+	got := Interleave(Trace{a1}, Trace{a2})
+	if len(got) != 2 {
+		t.Fatalf("|a1 # a2| = %d, want 2", len(got))
+	}
+	set := NewSet(got...)
+	if !set.Contains(Trace{a1, a2}) || !set.Contains(Trace{a2, a1}) {
+		t.Fatalf("a1 # a2 = %v", got)
+	}
+}
+
+// binomial computes C(n, k).
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1
+	for i := 0; i < k; i++ {
+		res = res * (n - i) / (i + 1)
+	}
+	return res
+}
+
+func TestInterleaveCardinality(t *testing.T) {
+	// With all-distinct accesses, |t#v| = C(len(t)+len(v), len(t)).
+	t1 := Trace{a1, a2}
+	t2 := Trace{a3, a4}
+	got := Interleave(t1, t2)
+	if want := binomial(4, 2); len(got) != want {
+		t.Fatalf("|t#v| = %d, want %d", len(got), want)
+	}
+	// Every interleaving preserves the relative order of each operand.
+	for _, tr := range got {
+		if tr.IndexOf(a1) > tr.IndexOf(a2) {
+			t.Fatalf("interleaving broke order of t1: %v", tr)
+		}
+		if tr.IndexOf(a3) > tr.IndexOf(a4) {
+			t.Fatalf("interleaving broke order of t2: %v", tr)
+		}
+		if len(tr) != 4 {
+			t.Fatalf("interleaving has wrong length: %v", tr)
+		}
+	}
+}
+
+func TestInterleaveBudget(t *testing.T) {
+	t1 := Trace{a1, a2, a3}
+	t2 := Trace{a4, a4, a4}
+	got, complete := InterleaveBudget(t1, t2, 3)
+	if complete {
+		t.Fatal("budgeted interleave reported complete")
+	}
+	if len(got) != 3 {
+		t.Fatalf("budget not respected: %d traces", len(got))
+	}
+	all, complete := InterleaveBudget(t1, t2, -1)
+	if !complete {
+		t.Fatal("unlimited interleave reported incomplete")
+	}
+	if len(all) != binomial(6, 3) {
+		t.Fatalf("|t#v| = %d, want %d", len(all), binomial(6, 3))
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(Trace{a1}, Trace{a1}, Trace{a2})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (dedup)", s.Len())
+	}
+	if !s.Contains(Trace{a1}) || s.Contains(Trace{a3}) {
+		t.Fatal("Contains wrong")
+	}
+	var nilSet *Set
+	if nilSet.Contains(Trace{a1}) || nilSet.Len() != 0 || nilSet.Traces() != nil {
+		t.Fatal("nil set should behave as empty")
+	}
+}
+
+func TestSetAddOnZeroValue(t *testing.T) {
+	var s Set
+	s.Add(Trace{a1})
+	if !s.Contains(Trace{a1}) {
+		t.Fatal("Add on zero-value Set failed")
+	}
+}
+
+func TestSetTracesDeterministic(t *testing.T) {
+	s := NewSet(Trace{a2}, Trace{a1}, Trace{a3})
+	first := s.Traces()
+	for i := 0; i < 5; i++ {
+		again := s.Traces()
+		if len(again) != len(first) {
+			t.Fatal("Traces length changed")
+		}
+		for j := range again {
+			if !again[j].Equal(first[j]) {
+				t.Fatal("Traces order not deterministic")
+			}
+		}
+	}
+}
+
+func TestSetEqualAndUnion(t *testing.T) {
+	s1 := NewSet(Trace{a1}, Trace{a2})
+	s2 := NewSet(Trace{a2}, Trace{a1})
+	if !s1.Equal(s2) {
+		t.Fatal("order-insensitive equality failed")
+	}
+	s3 := NewSet(Trace{a3})
+	u := s1.Union(s3)
+	if u.Len() != 3 || !u.Contains(Trace{a3}) || !u.Contains(Trace{a1}) {
+		t.Fatalf("Union wrong: %v", u.Traces())
+	}
+	// Union must not mutate operands.
+	if s1.Len() != 2 || s3.Len() != 1 {
+		t.Fatal("Union mutated operand")
+	}
+}
+
+func TestConcatSets(t *testing.T) {
+	a := NewSet(Trace{a1}, Trace{a2})
+	b := NewSet(Trace{a3}, Trace{a4})
+	got := ConcatSets(a, b)
+	if got.Len() != 4 {
+		t.Fatalf("|A·B| = %d, want 4", got.Len())
+	}
+	if !got.Contains(Trace{a1, a3}) || !got.Contains(Trace{a2, a4}) {
+		t.Fatalf("A·B missing elements: %v", got.Traces())
+	}
+}
+
+func TestConcatSetsWithEpsilon(t *testing.T) {
+	a := NewSet(Trace{a1})
+	eps := NewSet(Empty)
+	if got := ConcatSets(a, eps); !got.Equal(a) {
+		t.Fatalf("A·{ε} = %v, want A", got.Traces())
+	}
+	if got := ConcatSets(eps, a); !got.Equal(a) {
+		t.Fatalf("{ε}·A = %v, want A", got.Traces())
+	}
+}
+
+func TestInterleaveSets(t *testing.T) {
+	a := NewSet(Trace{a1})
+	b := NewSet(Trace{a2})
+	got, complete := InterleaveSets(a, b, -1)
+	if !complete || got.Len() != 2 {
+		t.Fatalf("A#B = %v complete=%v", got.Traces(), complete)
+	}
+	capped, complete := InterleaveSets(NewSet(Trace{a1, a2}), NewSet(Trace{a3, a4}), 2)
+	if complete || capped.Len() > 2 {
+		t.Fatalf("budgeted InterleaveSets: len=%d complete=%v", capped.Len(), complete)
+	}
+}
+
+func TestKleeneBounded(t *testing.T) {
+	a := NewSet(Trace{a1})
+	got, exact := KleeneBounded(a, 3, -1)
+	// {ε, a1, a1a1, a1a1a1}
+	if got.Len() != 4 {
+		t.Fatalf("|A*≤3| = %d, want 4", got.Len())
+	}
+	if exact {
+		t.Fatal("bounded closure of non-empty trace reported exact")
+	}
+	if !got.Contains(Empty) || !got.Contains(Trace{a1, a1, a1}) {
+		t.Fatalf("A* missing members: %v", got.Traces())
+	}
+}
+
+func TestKleeneBoundedFixedPoint(t *testing.T) {
+	// {ε}* = {ε}: fixed point reached, so the closure is exact.
+	got, exact := KleeneBounded(NewSet(Empty), 10, -1)
+	if !exact || got.Len() != 1 || !got.Contains(Empty) {
+		t.Fatalf("{ε}* = %v exact=%v", got.Traces(), exact)
+	}
+}
+
+func TestKleeneBoundedBudget(t *testing.T) {
+	a := NewSet(Trace{a1}, Trace{a2})
+	got, exact := KleeneBounded(a, 10, 5)
+	if exact {
+		t.Fatal("budgeted closure reported exact")
+	}
+	if got.Len() > 5 {
+		t.Fatalf("budget exceeded: %d", got.Len())
+	}
+}
+
+// --- Properties -----------------------------------------------------
+
+func randomTrace(r *rand.Rand, maxLen int) Trace {
+	pool := []model.Access{a1, a2, a3, a4}
+	n := r.Intn(maxLen + 1)
+	tr := make(Trace, n)
+	for i := range tr {
+		tr[i] = pool[r.Intn(len(pool))]
+	}
+	return tr
+}
+
+// Property: concatenation is associative.
+func TestConcatAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		x, y, z := randomTrace(r, 5), randomTrace(r, 5), randomTrace(r, 5)
+		if !x.Concat(y).Concat(z).Equal(x.Concat(y.Concat(z))) {
+			t.Fatalf("(x·y)·z != x·(y·z) for %v %v %v", x, y, z)
+		}
+	}
+}
+
+// Property: interleaving is commutative as a set and preserves length.
+func TestInterleaveCommutativeAsSet(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		x, y := randomTrace(r, 4), randomTrace(r, 4)
+		xy := NewSet(Interleave(x, y)...)
+		yx := NewSet(Interleave(y, x)...)
+		if !xy.Equal(yx) {
+			t.Fatalf("x#y != y#x for %v %v", x, y)
+		}
+		for _, tr := range xy.Traces() {
+			if len(tr) != len(x)+len(y) {
+				t.Fatalf("interleaving changed length: %v", tr)
+			}
+		}
+	}
+}
+
+// Property: every member of a bounded Kleene closure splits into
+// members of the base set; verified by counting selected accesses.
+func TestKleeneMembersComposeFromBase(t *testing.T) {
+	base := NewSet(Trace{a1, a2})
+	closed, _ := KleeneBounded(base, 4, -1)
+	selA1 := model.Selector{Resources: []model.ResourceID{"f1"}}
+	selA2 := model.Selector{Resources: []model.ResourceID{"f2"}}
+	for _, tr := range closed.Traces() {
+		if tr.Count(selA1) != tr.Count(selA2) {
+			t.Fatalf("closure member not a repetition of base: %v", tr)
+		}
+		if len(tr)%2 != 0 {
+			t.Fatalf("closure member has odd length: %v", tr)
+		}
+	}
+}
+
+// Property via testing/quick: trace set membership is stable under
+// Clone.
+func TestSetContainsClone(t *testing.T) {
+	f := func(ops []uint8) bool {
+		pool := []model.Access{a1, a2, a3, a4}
+		tr := make(Trace, 0, len(ops))
+		for _, o := range ops {
+			tr = append(tr, pool[int(o)%len(pool)])
+		}
+		s := NewSet(tr)
+		return s.Contains(tr.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+// Package workload generates synthetic programs, constraints,
+// itineraries and module graphs for tests, benchmarks and the
+// experiment harness. All generators are deterministic functions of
+// the caller-supplied *rand.Rand so experiments are reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stac/internal/digraph"
+	"stac/internal/model"
+	"stac/internal/srac"
+	"stac/internal/sral"
+)
+
+// Vocabulary bounds the identifier space of generated artefacts.
+type Vocabulary struct {
+	Servers   []model.ServerID
+	Resources []model.ResourceID
+	Ops       []model.Operation
+}
+
+// DefaultVocabulary returns a vocabulary with s servers, r resources
+// and the three file-system operations.
+func DefaultVocabulary(s, r int) Vocabulary {
+	v := Vocabulary{Ops: []model.Operation{model.OpRead, model.OpWrite, model.OpExecute}}
+	for i := 0; i < s; i++ {
+		v.Servers = append(v.Servers, model.ServerID(fmt.Sprintf("s%d", i+1)))
+	}
+	for i := 0; i < r; i++ {
+		v.Resources = append(v.Resources, model.ResourceID(fmt.Sprintf("f%d", i+1)))
+	}
+	return v
+}
+
+func (v Vocabulary) access(r *rand.Rand) sral.Prim {
+	return sral.Prim{
+		Op:       v.Ops[r.Intn(len(v.Ops))],
+		Resource: v.Resources[r.Intn(len(v.Resources))],
+		Server:   v.Servers[r.Intn(len(v.Servers))],
+	}
+}
+
+func (v Vocabulary) accessPattern(r *rand.Rand) model.Access {
+	a := v.access(r).Access()
+	// Occasionally wildcard the server so constraints span sites.
+	if r.Intn(3) == 0 {
+		a.Server = ""
+	}
+	return a
+}
+
+// ProgramOptions tunes random program generation.
+type ProgramOptions struct {
+	// Size is the target construct count (the m of Theorem 3.2); the
+	// generated size is within a small factor of it.
+	Size int
+	// LoopFraction and ParFraction steer the construct mix; the rest
+	// splits between sequences and conditionals. Values in [0, 1].
+	LoopFraction, ParFraction float64
+	// LoopFree forbids while-constructs regardless of LoopFraction
+	// (needed when the consumer enumerates traces exactly).
+	LoopFree bool
+}
+
+// Program generates a random well-formed SRAL program of roughly
+// opts.Size constructs over the vocabulary.
+func Program(r *rand.Rand, v Vocabulary, opts ProgramOptions) sral.Node {
+	if opts.Size <= 1 {
+		return v.access(r)
+	}
+	p := r.Float64()
+	switch {
+	case !opts.LoopFree && p < opts.LoopFraction:
+		// Loop bodies get the remaining budget.
+		body := Program(r, v, shrink(opts, opts.Size-1))
+		return sral.While{Cond: sral.Lt(sral.V("x"), sral.Lit(int64(r.Intn(8)))), Body: body}
+	case p < opts.LoopFraction+opts.ParFraction:
+		left := Program(r, v, shrink(opts, opts.Size/2))
+		right := Program(r, v, shrink(opts, opts.Size-1-opts.Size/2))
+		return sral.Par{Left: left, Right: right}
+	case p < opts.LoopFraction+opts.ParFraction+0.25:
+		then := Program(r, v, shrink(opts, opts.Size/2))
+		els := Program(r, v, shrink(opts, opts.Size-1-opts.Size/2))
+		return sral.If{Cond: sral.Gt(sral.V("x"), sral.Lit(int64(r.Intn(8)))), Then: then, Else: els}
+	default:
+		first := Program(r, v, shrink(opts, opts.Size/2))
+		second := Program(r, v, shrink(opts, opts.Size-1-opts.Size/2))
+		return sral.Seq{First: first, Second: second}
+	}
+}
+
+func shrink(opts ProgramOptions, size int) ProgramOptions {
+	opts.Size = size
+	return opts
+}
+
+// LinearProgram generates a purely sequential program of exactly n
+// accesses — the workload for measuring per-construct checker cost
+// without branching noise.
+func LinearProgram(r *rand.Rand, v Vocabulary, n int) sral.Node {
+	nodes := make([]sral.Node, n)
+	for i := range nodes {
+		nodes[i] = v.access(r)
+	}
+	return sral.SeqOf(nodes...)
+}
+
+// ConstraintOptions tunes random constraint generation.
+type ConstraintOptions struct {
+	// Size is the target construct count (the n of Theorem 3.2).
+	Size int
+	// NegationFree omits ¬ (and therefore →), keeping the checker in
+	// its exact fragment.
+	NegationFree bool
+}
+
+// Constraint generates a random SRAC constraint of roughly opts.Size
+// constructs over the vocabulary.
+func Constraint(r *rand.Rand, v Vocabulary, opts ConstraintOptions) srac.Constraint {
+	if opts.Size <= 1 {
+		switch r.Intn(4) {
+		case 0:
+			return srac.Require(v.accessPattern(r))
+		case 1:
+			return srac.Before(v.accessPattern(r), v.accessPattern(r))
+		case 2:
+			lo := r.Intn(3)
+			hi := lo + r.Intn(6)
+			if r.Intn(4) == 0 {
+				hi = srac.Unbounded
+			}
+			return srac.Count{Min: lo, Max: hi, Sel: randomSelector(r, v)}
+		default:
+			if r.Intn(2) == 0 {
+				return srac.TrueC{}
+			}
+			return srac.Require(v.accessPattern(r))
+		}
+	}
+	kinds := 2
+	if !opts.NegationFree {
+		kinds = 3
+	}
+	switch r.Intn(kinds) {
+	case 0:
+		return srac.And{
+			Left:  Constraint(r, v, shrinkC(opts, opts.Size/2)),
+			Right: Constraint(r, v, shrinkC(opts, opts.Size-1-opts.Size/2)),
+		}
+	case 1:
+		return srac.Or{
+			Left:  Constraint(r, v, shrinkC(opts, opts.Size/2)),
+			Right: Constraint(r, v, shrinkC(opts, opts.Size-1-opts.Size/2)),
+		}
+	default:
+		return srac.Not{C: Constraint(r, v, shrinkC(opts, opts.Size-1))}
+	}
+}
+
+func shrinkC(opts ConstraintOptions, size int) ConstraintOptions {
+	opts.Size = size
+	return opts
+}
+
+func randomSelector(r *rand.Rand, v Vocabulary) model.Selector {
+	var sel model.Selector
+	if r.Intn(2) == 0 {
+		sel.Resources = []model.ResourceID{v.Resources[r.Intn(len(v.Resources))]}
+	}
+	if r.Intn(3) == 0 {
+		sel.Ops = []model.Operation{v.Ops[r.Intn(len(v.Ops))]}
+	}
+	if r.Intn(3) == 0 {
+		sel.Servers = []model.ServerID{v.Servers[r.Intn(len(v.Servers))]}
+	}
+	return sel
+}
+
+// Itinerary generates a random server visiting order of length n
+// (servers may repeat, consecutive repeats avoided).
+func Itinerary(r *rand.Rand, v Vocabulary, n int) []model.ServerID {
+	out := make([]model.ServerID, 0, n)
+	last := -1
+	for i := 0; i < n; i++ {
+		k := r.Intn(len(v.Servers))
+		if k == last && len(v.Servers) > 1 {
+			k = (k + 1) % len(v.Servers)
+		}
+		out = append(out, v.Servers[k])
+		last = k
+	}
+	return out
+}
+
+// TourProgram generates a sequential program that reads one resource
+// at each itinerary stop — the roaming workload of the enforcement
+// experiments.
+func TourProgram(r *rand.Rand, v Vocabulary, itinerary []model.ServerID) sral.Node {
+	nodes := make([]sral.Node, len(itinerary))
+	for i, s := range itinerary {
+		nodes[i] = sral.Prim{
+			Op:       model.OpRead,
+			Resource: v.Resources[r.Intn(len(v.Resources))],
+			Server:   s,
+		}
+	}
+	return sral.SeqOf(nodes...)
+}
+
+// ModuleGraph generates a random acyclic dependency digraph with n
+// modules spread over the vocabulary's servers, with edge probability
+// p between each ordered pair (higher index depends on lower, so the
+// graph is acyclic by construction).
+func ModuleGraph(r *rand.Rand, v Vocabulary, n int, p float64) *digraph.Graph {
+	g := digraph.NewGraph()
+	ids := make([]digraph.ModuleID, n)
+	for i := range ids {
+		ids[i] = digraph.ModuleID(fmt.Sprintf("m%03d", i))
+		srv := v.Servers[r.Intn(len(v.Servers))]
+		content := make([]byte, 64)
+		r.Read(content)
+		if err := g.AddModule(ids[i], srv, content); err != nil {
+			panic(err) // ids are unique by construction
+		}
+	}
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if r.Float64() < p {
+				if err := g.AddDep(ids[i], ids[j]); err != nil {
+					panic(err) // acyclic by construction
+				}
+			}
+		}
+	}
+	return g
+}

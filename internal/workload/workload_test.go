@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"stac/internal/srac"
+	"stac/internal/sral"
+)
+
+func TestDefaultVocabulary(t *testing.T) {
+	v := DefaultVocabulary(3, 5)
+	if len(v.Servers) != 3 || len(v.Resources) != 5 || len(v.Ops) != 3 {
+		t.Fatalf("vocabulary = %+v", v)
+	}
+	if v.Servers[0] != "s1" || v.Resources[4] != "f5" {
+		t.Fatalf("naming = %+v", v)
+	}
+}
+
+func TestProgramGeneration(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	v := DefaultVocabulary(3, 5)
+	for _, size := range []int{1, 5, 20, 100, 500} {
+		p := Program(r, v, ProgramOptions{Size: size, LoopFraction: 0.1, ParFraction: 0.1})
+		if err := sral.Validate(p); err != nil {
+			t.Fatalf("size %d: invalid program: %v", size, err)
+		}
+		got := p.Size()
+		if got < size/2 || got > size*3 {
+			t.Fatalf("size %d: generated %d constructs", size, got)
+		}
+	}
+}
+
+func TestProgramDeterministic(t *testing.T) {
+	v := DefaultVocabulary(3, 5)
+	opts := ProgramOptions{Size: 50, LoopFraction: 0.2, ParFraction: 0.2}
+	p1 := Program(rand.New(rand.NewSource(7)), v, opts)
+	p2 := Program(rand.New(rand.NewSource(7)), v, opts)
+	if !sral.Equal(p1, p2) {
+		t.Fatal("same seed produced different programs")
+	}
+}
+
+func TestProgramLoopFree(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	v := DefaultVocabulary(3, 5)
+	for i := 0; i < 50; i++ {
+		p := Program(r, v, ProgramOptions{Size: 30, LoopFraction: 0.9, LoopFree: true})
+		hasLoop := false
+		sral.Walk(p, func(n sral.Node) bool {
+			if _, ok := n.(sral.While); ok {
+				hasLoop = true
+				return false
+			}
+			return true
+		})
+		if hasLoop {
+			t.Fatal("LoopFree program contains a loop")
+		}
+	}
+}
+
+func TestLinearProgram(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	v := DefaultVocabulary(3, 5)
+	p := LinearProgram(r, v, 10)
+	if got := len(sral.Accesses(p)); got == 0 {
+		t.Fatal("no accesses")
+	}
+	// 10 prims + 9 seqs.
+	if p.Size() != 19 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+}
+
+func TestConstraintGeneration(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	v := DefaultVocabulary(3, 5)
+	for _, size := range []int{1, 5, 20, 100} {
+		c := Constraint(r, v, ConstraintOptions{Size: size})
+		if err := srac.Validate(c); err != nil {
+			t.Fatalf("size %d: invalid constraint: %v", size, err)
+		}
+		got := c.Size()
+		if got < size/2 || got > size*3 {
+			t.Fatalf("size %d: generated %d constructs", size, got)
+		}
+	}
+}
+
+func TestConstraintNegationFree(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	v := DefaultVocabulary(3, 5)
+	for i := 0; i < 50; i++ {
+		c := Constraint(r, v, ConstraintOptions{Size: 20, NegationFree: true})
+		hasNot := false
+		srac.Walk(c, func(x srac.Constraint) bool {
+			if _, ok := x.(srac.Not); ok {
+				hasNot = true
+				return false
+			}
+			return true
+		})
+		if hasNot {
+			t.Fatal("NegationFree constraint contains ¬")
+		}
+	}
+}
+
+func TestItinerary(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	v := DefaultVocabulary(4, 5)
+	it := Itinerary(r, v, 20)
+	if len(it) != 20 {
+		t.Fatalf("len = %d", len(it))
+	}
+	for i := 1; i < len(it); i++ {
+		if it[i] == it[i-1] {
+			t.Fatal("consecutive repeat in itinerary")
+		}
+	}
+}
+
+func TestTourProgram(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	v := DefaultVocabulary(4, 5)
+	it := Itinerary(r, v, 6)
+	p := TourProgram(r, v, it)
+	if err := sral.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	// The program's server order follows the itinerary.
+	var servers []string
+	sral.Walk(p, func(n sral.Node) bool {
+		if pr, ok := n.(sral.Prim); ok {
+			servers = append(servers, string(pr.Server))
+		}
+		return true
+	})
+	if len(servers) != 6 {
+		t.Fatalf("accesses = %v", servers)
+	}
+	for i, s := range servers {
+		if s != string(it[i]) {
+			t.Fatalf("stop %d = %s, want %s", i, s, it[i])
+		}
+	}
+}
+
+func TestModuleGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	v := DefaultVocabulary(3, 5)
+	g := ModuleGraph(r, v, 20, 0.3)
+	if len(g.Modules()) != 20 {
+		t.Fatalf("modules = %d", len(g.Modules()))
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		t.Fatalf("generated graph not acyclic: %v", err)
+	}
+	// Pristine graph verifies clean.
+	for id, ok := range g.Verify() {
+		if !ok {
+			t.Fatalf("module %s failed pristine verification", id)
+		}
+	}
+}
