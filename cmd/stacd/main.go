@@ -6,12 +6,22 @@
 //
 //	stacd -policy policy.stac -servers s1,s2,s3 -listen 127.0.0.1:0 \
 //	      -resource s1:fileA=hello -resource s2:fileB=world \
-//	      -issue-credentials
+//	      -issue-credentials \
+//	      -read-timeout 2m -write-timeout 30s -max-conns 1024 \
+//	      -max-line-bytes 1048576
 //
 // Each server binds its own port (ephemeral with port 0) and the bound
 // addresses print one per line as "<server> <addr>". With
 // -issue-credentials a signed demo credential prints per policy user,
 // so stacctl or a custom client can authenticate immediately.
+//
+// The transport-reliability flags bound what a slow, stalled or
+// hostile network peer can cost the daemon: -read-timeout disconnects
+// idle clients, -write-timeout bounds response delivery, -max-conns
+// caps concurrently served connections (excess dials queue in the
+// accept backlog), and -max-line-bytes caps one JSON-lines request
+// (oversized requests get a structured error before the connection
+// closes).
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"stac/internal/core"
 	"stac/internal/model"
@@ -48,6 +59,20 @@ type options struct {
 	key        string
 	issueCreds bool
 	resources  resourceFlags
+
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	maxConns     int
+	maxLineBytes int
+}
+
+func (o options) daemonConfig() server.DaemonConfig {
+	return server.DaemonConfig{
+		ReadTimeout:  o.readTimeout,
+		WriteTimeout: o.writeTimeout,
+		MaxConns:     o.maxConns,
+		MaxLineBytes: o.maxLineBytes,
+	}
 }
 
 func main() {
@@ -58,6 +83,10 @@ func main() {
 	flag.StringVar(&opts.key, "key", "stac-demo-key", "coalition signing key")
 	flag.BoolVar(&opts.issueCreds, "issue-credentials", false, "print a signed credential per policy user")
 	flag.Var(&opts.resources, "resource", "host a resource: server:name=content (repeatable)")
+	flag.DurationVar(&opts.readTimeout, "read-timeout", 2*time.Minute, "per-connection wait for the next request; 0 disables")
+	flag.DurationVar(&opts.writeTimeout, "write-timeout", 30*time.Second, "per-response write deadline; 0 disables")
+	flag.IntVar(&opts.maxConns, "max-conns", 1024, "concurrent connection cap per server; 0 = unlimited")
+	flag.IntVar(&opts.maxLineBytes, "max-line-bytes", server.DefaultMaxLineBytes, "per-request size cap in bytes")
 	flag.Parse()
 
 	daemons, err := start(opts, os.Stdout)
@@ -104,7 +133,7 @@ func start(opts options, w io.Writer) ([]*server.Daemon, error) {
 		if err != nil {
 			return fail(err)
 		}
-		d := server.NewDaemon(srv)
+		d := server.NewDaemonWith(srv, opts.daemonConfig())
 		addr, err := d.Listen(opts.listen)
 		if err != nil {
 			return fail(err)

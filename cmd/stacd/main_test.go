@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"stac/internal/model"
 	"stac/internal/proof"
@@ -114,5 +117,57 @@ func TestResourceFlags(t *testing.T) {
 	}
 	if r.String() != "a:b=c,d:e=f" {
 		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestDaemonConfigFromFlags(t *testing.T) {
+	opts := options{
+		readTimeout:  time.Minute,
+		writeTimeout: 5 * time.Second,
+		maxConns:     7,
+		maxLineBytes: 4096,
+	}
+	cfg := opts.daemonConfig()
+	want := server.DaemonConfig{
+		ReadTimeout:  time.Minute,
+		WriteTimeout: 5 * time.Second,
+		MaxConns:     7,
+		MaxLineBytes: 4096,
+	}
+	if cfg != want {
+		t.Fatalf("daemonConfig = %+v, want %+v", cfg, want)
+	}
+}
+
+func TestStartAppliesTransportLimits(t *testing.T) {
+	var out strings.Builder
+	daemons, err := start(options{
+		policyPath:   writePolicy(t),
+		servers:      "s1",
+		listen:       "127.0.0.1:0",
+		key:          "test-key",
+		maxLineBytes: 256,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(daemons)
+	addr := strings.Fields(strings.TrimSpace(out.String()))[1]
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	big := `{"type":"info","token":"` + strings.Repeat("x", 1024) + `"}` + "\n"
+	if _, err := conn.Write([]byte(big)); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply, "256-byte limit") {
+		t.Fatalf("oversized request reply = %q", reply)
 	}
 }

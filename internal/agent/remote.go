@@ -2,7 +2,10 @@ package agent
 
 import (
 	"fmt"
+	"math/rand"
+	"net"
 	"sync"
+	"time"
 
 	"stac/internal/channel"
 	"stac/internal/model"
@@ -17,6 +20,16 @@ import (
 // the next server, and the execution proofs ride along in the agent's
 // store, imported into every new connection.
 //
+// The runtime assumes the coalition network is unreliable: dials and
+// accesses that fail with transport errors (resets, timeouts, dropped
+// connections) are retried with jittered exponential backoff, and a
+// retried access carries an idempotency key so the server returns its
+// original verdict instead of consuming a validity budget twice. The
+// proof history lives in the agent's store, so a connection lost
+// mid-hop never loses proofs: the replacement connection re-imports
+// the full history before re-authenticating. Application-level
+// verdicts — denials, authentication failures — are never retried.
+//
 // Channel and signal operations synchronise execution branches of the
 // SAME device through the runtime's local hub; cross-device teamwork
 // over the network uses the in-process coalition emulation instead.
@@ -27,8 +40,35 @@ type RemoteRuntime struct {
 	// first use when nil.
 	Hub *channel.Hub
 
-	once sync.Once
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// IOTimeout bounds each request/response round trip (default
+	// 10s).
+	IOTimeout time.Duration
+	// Retries is the number of retry attempts per step after a
+	// transient transport failure. Zero means DefaultRetries;
+	// negative disables retrying.
+	Retries int
+	// Backoff is the base delay before the first retry; it doubles
+	// per attempt with ±50% deterministic jitter and is capped at
+	// 100× the base (default 5ms).
+	Backoff time.Duration
+	// Seed drives the backoff jitter (default 1), keeping retry
+	// schedules reproducible.
+	Seed int64
+	// Dial overrides the transport (e.g. to inject faults); nil uses
+	// TCP.
+	Dial func(addr string) (net.Conn, error)
+
+	once    sync.Once
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
 }
+
+// DefaultRetries is the per-step transient-failure retry budget when
+// RemoteRuntime.Retries is zero.
+const DefaultRetries = 3
 
 func (rt *RemoteRuntime) hub() *channel.Hub {
 	rt.once.Do(func() {
@@ -37,6 +77,60 @@ func (rt *RemoteRuntime) hub() *channel.Hub {
 		}
 	})
 	return rt.Hub
+}
+
+func (rt *RemoteRuntime) retries() int {
+	switch {
+	case rt.Retries < 0:
+		return 0
+	case rt.Retries == 0:
+		return DefaultRetries
+	default:
+		return rt.Retries
+	}
+}
+
+func (rt *RemoteRuntime) clientConfig() server.ClientConfig {
+	cfg := server.ClientConfig{
+		DialTimeout: rt.DialTimeout,
+		IOTimeout:   rt.IOTimeout,
+		Dial:        rt.Dial,
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.IOTimeout == 0 {
+		cfg.IOTimeout = 10 * time.Second
+	}
+	return cfg
+}
+
+// backoffDelay computes the jittered exponential backoff before retry
+// attempt (1-based).
+func (rt *RemoteRuntime) backoffDelay(attempt int) time.Duration {
+	base := rt.Backoff
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < 100*base; i++ {
+		d *= 2
+	}
+	if d > 100*base {
+		d = 100 * base
+	}
+	rt.rngOnce.Do(func() {
+		seed := rt.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		rt.rng = rand.New(rand.NewSource(seed))
+	})
+	rt.rngMu.Lock()
+	jitter := rt.rng.Float64()
+	rt.rngMu.Unlock()
+	// ±50% jitter decorrelates concurrent branches retrying together.
+	return time.Duration(float64(d) * (0.5 + jitter))
 }
 
 // Launch runs the agent to completion over TCP. It is synchronous;
@@ -81,6 +175,19 @@ type remoteBranch struct {
 	client *server.Client
 }
 
+// sleepBackoff waits out the retry backoff, aborting early if the
+// agent is recalled.
+func (b *remoteBranch) sleepBackoff(attempt int) error {
+	t := time.NewTimer(b.rt.backoffDelay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-b.agent.abort:
+		return fmt.Errorf("agent %s: %w", b.agent.ID, ErrAborted)
+	}
+}
+
 func (b *remoteBranch) moveTo(s model.ServerID) error {
 	if b.loc == s && b.client != nil {
 		return nil
@@ -90,24 +197,42 @@ func (b *remoteBranch) moveTo(s model.ServerID) error {
 	if !ok {
 		return fmt.Errorf("agent %s: %w: %q has no address", b.agent.ID, model.ErrUnknownServer, s)
 	}
-	cl, err := server.Dial(addr)
-	if err != nil {
-		return fmt.Errorf("agent %s: migrate to %s: %w", b.agent.ID, s, err)
+	var lastErr error
+	for attempt := 0; attempt <= b.rt.retries(); attempt++ {
+		if attempt > 0 {
+			if err := b.sleepBackoff(attempt); err != nil {
+				return err
+			}
+		}
+		cl, err := server.DialConfig(addr, b.rt.clientConfig())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// The carried history enters the new connection before
+		// authentication, so the server sees the full cross-site
+		// trace. A redial after a mid-migration reset re-imports it,
+		// so no proof is ever lost to the network.
+		cl.ImportProofs(b.agent.Proofs.All())
+		if err := cl.Auth(b.agent.Credential); err != nil {
+			cl.Close()
+			if !server.IsTransient(err) {
+				// The server decided: the credential is bad, the
+				// object unknown. Retrying cannot change that.
+				return fmt.Errorf("agent %s: arrival at %s: %w", b.agent.ID, s, err)
+			}
+			lastErr = err
+			continue
+		}
+		b.loc = s
+		b.client = cl
+		b.agent.recordVisit(s)
+		if b.agent.Hooks.OnArrival != nil {
+			b.agent.Hooks.OnArrival(s)
+		}
+		return nil
 	}
-	// The carried history enters the new connection before
-	// authentication, so the server sees the full cross-site trace.
-	cl.ImportProofs(b.agent.Proofs.All())
-	if err := cl.Auth(b.agent.Credential); err != nil {
-		cl.Close()
-		return fmt.Errorf("agent %s: arrival at %s: %w", b.agent.ID, s, err)
-	}
-	b.loc = s
-	b.client = cl
-	b.agent.recordVisit(s)
-	if b.agent.Hooks.OnArrival != nil {
-		b.agent.Hooks.OnArrival(s)
-	}
-	return nil
+	return fmt.Errorf("agent %s: migrate to %s: %w", b.agent.ID, s, lastErr)
 }
 
 func (b *remoteBranch) leave() {
@@ -120,6 +245,35 @@ func (b *remoteBranch) leave() {
 	_ = b.client.Depart()
 	b.client.Close()
 	b.client = nil
+}
+
+// access performs one shared-resource access with transparent
+// reconnect-and-retry on transport failures. The idempotency key is
+// fixed before the first attempt, so a retry after a lost response
+// returns the server's original verdict and proof.
+func (b *remoteBranch) access(x sral.Prim) ([]byte, error) {
+	id := server.NewRequestID()
+	var data []byte
+	var err error
+	for attempt := 0; ; attempt++ {
+		data, err = b.client.AccessID(id, x.Op, x.Resource, b.programText, nil)
+		if err == nil || !server.IsTransient(err) || attempt >= b.rt.retries() {
+			return data, err
+		}
+		if serr := b.sleepBackoff(attempt + 1); serr != nil {
+			return nil, serr
+		}
+		// The connection is suspect; re-arrive at the same server.
+		// The server sees a genuine departure and arrival, exactly as
+		// if the device had dropped off the network and returned.
+		b.client.Close()
+		b.client = nil
+		loc := b.loc
+		b.loc = ""
+		if merr := b.moveTo(loc); merr != nil {
+			return nil, merr
+		}
+	}
 }
 
 func (b *remoteBranch) exec(n sral.Node) error {
@@ -139,7 +293,7 @@ func (b *remoteBranch) exec(n sral.Node) error {
 		if err := b.moveTo(x.Server); err != nil {
 			return err
 		}
-		data, err := b.client.Access(x.Op, x.Resource, b.programText, nil)
+		data, err := b.access(x)
 		if err != nil {
 			return fmt.Errorf("agent %s: %s %s @ %s: %w", b.agent.ID, x.Op, x.Resource, x.Server, err)
 		}

@@ -1,0 +1,78 @@
+package core
+
+// Engine-level boundary tests for the temporal constraint: the access
+// at which the accumulated valid time reaches dur(perm) EXACTLY is
+// the first denied one, under both base-time schemes.
+
+import (
+	"strings"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/temporal"
+)
+
+func TestAuthorizeExactBudgetBoundaryGlobal(t *testing.T) {
+	e, sess, clk := testEngine(t, nil, 10, temporal.GlobalBase)
+	a := model.NewAccess("o1", "read", "f1", "s1")
+	e.ObjectArrived("o1", "s1")
+	e.ActivatePermissions(sess, "o1")
+
+	clk.Advance(9.999999)
+	if d := e.Authorize(req(sess, a)); !d.Granted {
+		t.Fatalf("denied strictly inside the budget: %s", d)
+	}
+	clk.Advance(0.000001) // now exactly dur(perm) accumulated
+	d := e.Authorize(req(sess, a))
+	if d.Granted {
+		t.Fatal("granted at the exact budget boundary")
+	}
+	if d.Temporal != temporal.ActiveInvalid || !strings.Contains(d.Reason, "active-but-invalid") {
+		t.Fatalf("boundary decision = %+v", d)
+	}
+	if got := e.RemainingValidity("o1", "p-read-f1"); got != 0 {
+		t.Fatalf("remaining validity at boundary = %v, want exactly 0", got)
+	}
+}
+
+func TestAuthorizeExactBudgetPerServerRegainsOnMigration(t *testing.T) {
+	e, sess, clk := testEngine(t, nil, 10, temporal.PerServerBase)
+	e.ObjectArrived("o1", "s1")
+	e.ActivatePermissions(sess, "o1")
+	clk.Advance(10) // the per-server budget is spent to the instant
+	if d := e.Authorize(req(sess, model.NewAccess("o1", "read", "f1", "s1"))); d.Granted {
+		t.Fatal("granted at the exact per-server boundary")
+	}
+
+	// Migrating at that very instant opens a fresh epoch with the
+	// full budget on the new server.
+	e.ObjectArrived("o1", "s2")
+	e.ActivatePermissions(sess, "o1")
+	if got := e.RemainingValidity("o1", "p-read-f1"); got != 10 {
+		t.Fatalf("remaining after migration = %v, want the full budget", got)
+	}
+	if d := e.Authorize(req(sess, model.NewAccess("o1", "read", "f1", "s2"))); !d.Granted {
+		t.Fatalf("denied after per-server epoch reset: %s", d)
+	}
+	clk.Advance(10) // and the new epoch expires at its own boundary
+	if d := e.Authorize(req(sess, model.NewAccess("o1", "read", "f1", "s2"))); d.Granted {
+		t.Fatal("granted at the second epoch's exact boundary")
+	}
+}
+
+func TestAuthorizeExactBudgetGlobalDeniesAfterMigration(t *testing.T) {
+	e, sess, clk := testEngine(t, nil, 10, temporal.GlobalBase)
+	e.ObjectArrived("o1", "s1")
+	e.ActivatePermissions(sess, "o1")
+	clk.Advance(6)
+	e.ObjectArrived("o1", "s2") // t_b stays the first arrival
+	e.ActivatePermissions(sess, "o1")
+	clk.Advance(4) // 6 + 4 == dur(perm) exactly
+	d := e.Authorize(req(sess, model.NewAccess("o1", "read", "f1", "s2")))
+	if d.Granted {
+		t.Fatal("granted at the exact global boundary after migration")
+	}
+	if got := e.RemainingValidity("o1", "p-read-f1"); got != 0 {
+		t.Fatalf("remaining after migration = %v, want exactly 0", got)
+	}
+}

@@ -1,0 +1,272 @@
+// Package faults provides deterministic in-process fault injection
+// for the coalition TCP transport. It wraps net.Conn, net.Listener and
+// dial functions so that tests can subject the JSON-lines protocol to
+// the failure modes of a real coalition network — injected latency,
+// connection resets, partial writes and outright dial failures —
+// without any wall-clock dependence in the *decisions*: every fault is
+// drawn from a PRNG seeded from (Seed, connection index, I/O op
+// index), so a given seed produces the same fault schedule on every
+// run regardless of machine speed or goroutine scheduling within a
+// connection. (Across connections, indices follow dial/accept order;
+// a single sequential client is therefore fully deterministic.)
+//
+// The injector keeps the byte stream prefix-consistent: a faulted
+// write delivers a prefix of the intended bytes and then resets, never
+// corrupted or reordered bytes. A peer therefore observes either a
+// complete JSON line, a truncated one followed by EOF/reset, or a
+// reset between lines — exactly the failure surface a robust transport
+// must survive.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root cause of every failure the injector
+// manufactures; errors.Is(err, ErrInjected) identifies them.
+var ErrInjected = errors.New("faults: injected fault")
+
+// ErrReset marks an injected connection reset.
+var ErrReset = fmt.Errorf("%w: connection reset", ErrInjected)
+
+// ErrDialFailed marks an injected dial failure.
+var ErrDialFailed = fmt.Errorf("%w: dial failed", ErrInjected)
+
+// Config selects the fault mix. All probabilities are per I/O
+// operation in [0, 1]; zero disables the corresponding fault.
+type Config struct {
+	// Seed drives every fault decision. Two injectors with the same
+	// Config produce identical fault schedules.
+	Seed int64
+	// DelayProb is the chance an I/O operation is delayed by a
+	// uniform duration in (0, MaxDelay]. Delays exercise timeout
+	// handling without affecting the fault schedule (decisions never
+	// read the clock).
+	DelayProb float64
+	// MaxDelay bounds each injected delay. Zero disables delays.
+	MaxDelay time.Duration
+	// ChunkProb is the chance a write is split into several smaller
+	// writes (partial writes at the transport level). Harmless to a
+	// correct peer; fatal to one that assumes whole-message reads.
+	ChunkProb float64
+	// WriteResetProb is the chance a write delivers only a prefix of
+	// its bytes and then resets the connection.
+	WriteResetProb float64
+	// ReadResetProb is the chance a read resets the connection
+	// instead of delivering data.
+	ReadResetProb float64
+	// DialFailProb is the chance a dial attempt fails outright.
+	DialFailProb float64
+	// MaxFaults bounds the total number of resets plus dial failures
+	// injected across the injector's lifetime, so that bounded retry
+	// loops are guaranteed to converge. Zero means unlimited.
+	MaxFaults int
+}
+
+// Stats counts the faults injected so far.
+type Stats struct {
+	Conns        int
+	Delays       int
+	Chunks       int
+	WriteResets  int
+	ReadResets   int
+	DialFailures int
+}
+
+// Total returns the number of injected hard faults (resets and dial
+// failures), the quantity bounded by Config.MaxFaults.
+func (s Stats) Total() int { return s.WriteResets + s.ReadResets + s.DialFailures }
+
+// Injector wraps connections, listeners and dialers with the
+// configured fault mix. Safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu      sync.Mutex
+	conns   int64
+	dialRNG *rand.Rand
+	stats   Stats
+}
+
+// New creates an injector.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, dialRNG: rand.New(rand.NewSource(mix(cfg.Seed, -1)))}
+}
+
+// mix decorrelates per-connection PRNG streams (splitmix64 finalizer).
+func mix(seed, idx int64) int64 {
+	z := uint64(seed) + uint64(idx+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// spend consumes one unit of the hard-fault budget; it reports false
+// when the budget is exhausted (the fault must then be suppressed).
+func (in *Injector) spend(counter *int) bool {
+	if in.cfg.MaxFaults > 0 && in.stats.Total() >= in.cfg.MaxFaults {
+		return false
+	}
+	*counter++
+	return true
+}
+
+// Wrap returns c with the injector's fault mix applied to its I/O.
+func (in *Injector) Wrap(c net.Conn) net.Conn {
+	in.mu.Lock()
+	idx := in.conns
+	in.conns++
+	in.stats.Conns++
+	in.mu.Unlock()
+	return &conn{Conn: c, in: in, rng: rand.New(rand.NewSource(mix(in.cfg.Seed, idx)))}
+}
+
+// Listener wraps ln so every accepted connection is fault-injected.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+// Dialer wraps a dial function with injected dial failures and
+// fault-injected connections. A nil dial uses net.Dial("tcp", addr).
+func (in *Injector) Dialer(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return func(addr string) (net.Conn, error) {
+		in.mu.Lock()
+		fail := in.cfg.DialFailProb > 0 && in.dialRNG.Float64() < in.cfg.DialFailProb &&
+			in.spend(&in.stats.DialFailures)
+		in.mu.Unlock()
+		if fail {
+			return nil, fmt.Errorf("faults: dial %s: %w", addr, ErrDialFailed)
+		}
+		c, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(c), nil
+	}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(c), nil
+}
+
+// conn applies the fault mix to one connection. Each conn owns a
+// private PRNG, so its fault schedule depends only on its own I/O op
+// sequence, never on other connections or the clock.
+type conn struct {
+	net.Conn
+	in  *Injector
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// decide draws one fault decision; it must run under c.mu so the op
+// index (the PRNG position) is well defined.
+func (c *conn) decide(prob float64) bool {
+	return prob > 0 && c.rng.Float64() < prob
+}
+
+// delay draws an injected delay (0 when none).
+func (c *conn) delay() time.Duration {
+	cfg := &c.in.cfg
+	if cfg.MaxDelay <= 0 || !c.decide(cfg.DelayProb) {
+		return 0
+	}
+	c.in.mu.Lock()
+	c.in.stats.Delays++
+	c.in.mu.Unlock()
+	return time.Duration(1 + c.rng.Int63n(int64(cfg.MaxDelay)))
+}
+
+// reset tears the connection down, emulating a peer RST: subsequent
+// I/O on either side fails.
+func (c *conn) reset(op string) error {
+	_ = c.Conn.Close()
+	return &net.OpError{Op: op, Net: "tcp", Err: ErrReset}
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	d := c.delay()
+	doReset := c.decide(c.in.cfg.ReadResetProb)
+	if doReset {
+		c.in.mu.Lock()
+		doReset = c.in.spend(&c.in.stats.ReadResets)
+		c.in.mu.Unlock()
+	}
+	c.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if doReset {
+		return 0, c.reset("read")
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	d := c.delay()
+	doReset := c.decide(c.in.cfg.WriteResetProb)
+	var keep int
+	if doReset {
+		c.in.mu.Lock()
+		doReset = c.in.spend(&c.in.stats.WriteResets)
+		c.in.mu.Unlock()
+		if doReset && len(p) > 0 {
+			keep = c.rng.Intn(len(p)) // deliver a strict prefix
+		}
+	}
+	doChunk := !doReset && len(p) > 1 && c.decide(c.in.cfg.ChunkProb)
+	var cut int
+	if doChunk {
+		c.in.mu.Lock()
+		c.in.stats.Chunks++
+		c.in.mu.Unlock()
+		cut = 1 + c.rng.Intn(len(p)-1)
+	}
+	c.mu.Unlock()
+
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if doReset {
+		n := 0
+		if keep > 0 {
+			n, _ = c.Conn.Write(p[:keep])
+		}
+		return n, c.reset("write")
+	}
+	if doChunk {
+		n, err := c.Conn.Write(p[:cut])
+		if err != nil {
+			return n, err
+		}
+		m, err := c.Conn.Write(p[cut:])
+		return n + m, err
+	}
+	return c.Conn.Write(p)
+}

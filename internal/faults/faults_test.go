@@ -1,0 +1,173 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+// schedule runs a fixed I/O script against a fresh injector and
+// records the per-op outcomes.
+func schedule(t *testing.T, seed int64) ([]bool, Stats) {
+	t.Helper()
+	in := New(Config{Seed: seed, WriteResetProb: 0.3, ChunkProb: 0.3, MaxFaults: 5})
+	var outcomes []bool
+	for conns := 0; conns < 4; conns++ {
+		client, srv := net.Pipe()
+		go func() { _, _ = io.Copy(io.Discard, srv) }()
+		fc := in.Wrap(client)
+		for op := 0; op < 8; op++ {
+			_, err := fc.Write(make([]byte, 64))
+			outcomes = append(outcomes, err == nil)
+		}
+		fc.Close()
+		srv.Close()
+	}
+	return outcomes, in.Stats()
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, sa := schedule(t, 42)
+	b, sb := schedule(t, 42)
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: outcomes differ across identical seeds", i)
+		}
+	}
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	c, _ := schedule(t, 43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault schedules (suspicious)")
+	}
+}
+
+func TestMaxFaultsBudget(t *testing.T) {
+	in := New(Config{Seed: 7, WriteResetProb: 1, MaxFaults: 3})
+	resets := 0
+	for i := 0; i < 10; i++ {
+		client, srv := net.Pipe()
+		go func() { _, _ = io.Copy(io.Discard, srv) }()
+		fc := in.Wrap(client)
+		if _, err := fc.Write([]byte("hello world")); err != nil {
+			if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrReset) {
+				t.Fatalf("reset error not marked injected: %v", err)
+			}
+			resets++
+		}
+		fc.Close()
+		srv.Close()
+	}
+	if resets != 3 {
+		t.Fatalf("resets = %d, want exactly the MaxFaults budget of 3", resets)
+	}
+	if got := in.Stats().Total(); got != 3 {
+		t.Fatalf("stats total = %d", got)
+	}
+}
+
+func TestChunkingPreservesBytes(t *testing.T) {
+	in := New(Config{Seed: 11, ChunkProb: 1})
+	client, srv := net.Pipe()
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go func() { defer close(done); _, _ = io.Copy(&got, srv) }()
+	fc := in.Wrap(client)
+	want := []byte("the quick brown fox jumps over the lazy dog")
+	for i := 0; i < 5; i++ {
+		if _, err := fc.Write(want); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc.Close()
+	<-done
+	if got.Len() != 5*len(want) {
+		t.Fatalf("received %d bytes, want %d", got.Len(), 5*len(want))
+	}
+	if !bytes.Equal(got.Bytes()[:len(want)], want) {
+		t.Fatal("chunked write corrupted bytes")
+	}
+	if in.Stats().Chunks == 0 {
+		t.Fatal("no chunked writes recorded")
+	}
+}
+
+func TestWriteResetDeliversStrictPrefix(t *testing.T) {
+	in := New(Config{Seed: 3, WriteResetProb: 1, MaxFaults: 1})
+	client, srv := net.Pipe()
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go func() { defer close(done); _, _ = io.Copy(&got, srv) }()
+	fc := in.Wrap(client)
+	want := []byte("0123456789abcdef")
+	n, err := fc.Write(want)
+	if err == nil {
+		t.Fatal("write with WriteResetProb=1 succeeded")
+	}
+	<-done
+	if n >= len(want) {
+		t.Fatalf("reset delivered %d of %d bytes, want a strict prefix", n, len(want))
+	}
+	if !bytes.Equal(got.Bytes(), want[:got.Len()]) {
+		t.Fatal("delivered bytes are not a prefix of the intended write")
+	}
+}
+
+func TestDialerAndListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Config{Seed: 5, DialFailProb: 1, MaxFaults: 1})
+	fln := in.Listener(ln)
+	defer fln.Close()
+	go func() {
+		for {
+			c, err := fln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = io.Copy(c, c) }() // echo
+		}
+	}()
+
+	dial := in.Dialer(nil)
+	if _, err := dial(ln.Addr().String()); !errors.Is(err, ErrDialFailed) {
+		t.Fatalf("first dial = %v, want injected failure", err)
+	}
+	// Budget spent: the retry must connect and echo.
+	c, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("second dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("echo = %q", buf)
+	}
+	// One successful dial and one accept, both wrapped.
+	if in.Stats().Conns != 2 {
+		t.Fatalf("conns wrapped = %d, want 2", in.Stats().Conns)
+	}
+}

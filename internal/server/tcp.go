@@ -6,9 +6,12 @@ import (
 	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
+	"time"
 
 	"stac/internal/model"
 	"stac/internal/proof"
@@ -30,6 +33,15 @@ import (
 // coalition devices present their complete history (Section 2 assumes
 // cooperative, trustworthy participants), so omission attacks are out
 // of scope, as they are for the paper's prototype.
+//
+// The transport assumes a hostile network rather than a hostile peer:
+// connections may reset mid-message, writes may land partially, and
+// clients may stall. The daemon bounds every connection with read and
+// write deadlines, caps concurrent connections and per-message sizes,
+// answers malformed or oversized input with a structured error before
+// closing, and deduplicates retried access requests by client-chosen
+// request ID so a retry after a lost response cannot consume a
+// validity budget twice.
 
 // wire messages.
 type wireRequest struct {
@@ -43,6 +55,11 @@ type wireRequest struct {
 	Program  string        `json:"program,omitempty"` // SRAL text
 	Proofs   []proof.Proof `json:"proofs,omitempty"`
 	Payload  []byte        `json:"payload,omitempty"`
+	// ID, when set on an access request, makes it idempotent: a
+	// retry with the same ID returns the recorded response instead of
+	// re-executing, so a client that lost a response to a connection
+	// reset can retry safely.
+	ID string `json:"id,omitempty"`
 }
 
 type wireResponse struct {
@@ -61,20 +78,99 @@ type wireResponse struct {
 	AuditTotal int      `json:"audit_total,omitempty"`
 }
 
+// Transport limits and defaults.
+const (
+	// DefaultMaxLineBytes caps one JSON-lines message.
+	DefaultMaxLineBytes = 16 << 20
+	// DefaultDedupWindow is how many access responses the daemon
+	// retains for idempotent retries.
+	DefaultDedupWindow = 1024
+)
+
+// DaemonConfig tunes the daemon's robustness knobs. The zero value
+// keeps the historical behaviour: no deadlines, unlimited
+// connections, 16 MiB message cap.
+type DaemonConfig struct {
+	// ReadTimeout bounds the wait for the next request on a
+	// connection; an idle client is disconnected when it fires. Zero
+	// disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response. Zero disables.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections; excess dials
+	// queue in the accept backlog. Zero means unlimited.
+	MaxConns int
+	// MaxLineBytes caps one request line; an oversized request gets a
+	// structured error response and the connection closes. Zero means
+	// DefaultMaxLineBytes.
+	MaxLineBytes int
+	// DedupWindow is the number of recent access responses retained
+	// for idempotent retry (see wireRequest.ID). Zero means
+	// DefaultDedupWindow; negative disables deduplication.
+	DedupWindow int
+}
+
+func (c DaemonConfig) maxLine() int {
+	if c.MaxLineBytes <= 0 {
+		return DefaultMaxLineBytes
+	}
+	return c.MaxLineBytes
+}
+
+func (c DaemonConfig) dedupWindow() int {
+	if c.DedupWindow == 0 {
+		return DefaultDedupWindow
+	}
+	if c.DedupWindow < 0 {
+		return 0
+	}
+	return c.DedupWindow
+}
+
 // Daemon exposes one coalition server over TCP.
 type Daemon struct {
 	srv *Server
+	cfg DaemonConfig
 	ln  net.Listener
+	sem chan struct{} // MaxConns slots; nil when unlimited
 
+	quit     chan struct{}
 	mu       sync.Mutex
 	subjects map[string]*Subject
+	conns    map[net.Conn]struct{}
+	seen     map[dedupKey]wireResponse
+	seenFIFO []dedupKey
 	closed   bool
 	wg       sync.WaitGroup
 }
 
-// NewDaemon wraps a coalition server for network exposure.
-func NewDaemon(s *Server) *Daemon {
-	return &Daemon{srv: s, subjects: make(map[string]*Subject)}
+// dedupKey identifies one logical access request across reconnects:
+// the retrying client re-authenticates, so the key is the object
+// identity plus the client-chosen request ID, not the session token.
+type dedupKey struct {
+	obj model.ObjectID
+	id  string
+}
+
+// NewDaemon wraps a coalition server for network exposure with
+// default (permissive) limits.
+func NewDaemon(s *Server) *Daemon { return NewDaemonWith(s, DaemonConfig{}) }
+
+// NewDaemonWith wraps a coalition server with explicit transport
+// limits.
+func NewDaemonWith(s *Server, cfg DaemonConfig) *Daemon {
+	d := &Daemon{
+		srv:      s,
+		cfg:      cfg,
+		quit:     make(chan struct{}),
+		subjects: make(map[string]*Subject),
+		conns:    make(map[net.Conn]struct{}),
+		seen:     make(map[dedupKey]wireResponse),
+	}
+	if cfg.MaxConns > 0 {
+		d.sem = make(chan struct{}, cfg.MaxConns)
+	}
+	return d
 }
 
 // Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the
@@ -84,19 +180,37 @@ func (d *Daemon) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("server: listen: %w", err)
 	}
+	return d.Serve(ln), nil
+}
+
+// Serve starts serving on a caller-provided listener (which may wrap
+// the raw TCP listener, e.g. for fault injection) and returns its
+// address. The daemon owns ln from here on.
+func (d *Daemon) Serve(ln net.Listener) string {
 	d.ln = ln
 	d.wg.Add(1)
 	go d.acceptLoop()
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
 }
 
 func (d *Daemon) acceptLoop() {
 	defer d.wg.Done()
 	for {
+		if d.sem != nil {
+			select {
+			case d.sem <- struct{}{}:
+			case <-d.quit:
+				return
+			}
+		}
 		conn, err := d.ln.Accept()
 		if err != nil {
+			if d.sem != nil {
+				<-d.sem
+			}
 			return // listener closed
 		}
+		d.track(conn)
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
@@ -105,7 +219,27 @@ func (d *Daemon) acceptLoop() {
 	}
 }
 
-// Close stops the daemon and waits for in-flight connections.
+func (d *Daemon) track(conn net.Conn) {
+	d.mu.Lock()
+	d.conns[conn] = struct{}{}
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		// Lost the race with Close: wake any pending read so the
+		// handler drains immediately.
+		_ = conn.SetReadDeadline(time.Now())
+	}
+}
+
+func (d *Daemon) untrack(conn net.Conn) {
+	d.mu.Lock()
+	delete(d.conns, conn)
+	d.mu.Unlock()
+}
+
+// Close stops the daemon gracefully: it stops accepting, wakes idle
+// connections, lets in-flight requests finish and deliver their
+// responses, and waits for every connection handler to drain.
 func (d *Daemon) Close() error {
 	d.mu.Lock()
 	if d.closed {
@@ -113,6 +247,13 @@ func (d *Daemon) Close() error {
 		return nil
 	}
 	d.closed = true
+	close(d.quit)
+	// A connection blocked reading its next request holds no in-flight
+	// access; expiring its read deadline wakes it without touching
+	// writes, so responses already being sent still go out.
+	for conn := range d.conns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
 	d.mu.Unlock()
 	var err error
 	if d.ln != nil {
@@ -122,11 +263,70 @@ func (d *Daemon) Close() error {
 	return err
 }
 
+// armRead sets the per-request read deadline. It reports false once
+// the daemon is draining, and never overrides the immediate deadline
+// Close sets (both run under d.mu).
+func (d *Daemon) armRead(conn net.Conn) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false
+	}
+	if d.cfg.ReadTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(d.cfg.ReadTimeout))
+	}
+	return true
+}
+
+// reply writes one response line under the write deadline; it reports
+// whether the connection is still usable.
+func (d *Daemon) reply(conn net.Conn, resp wireResponse) bool {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return false
+	}
+	b = append(b, '\n')
+	if d.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(d.cfg.WriteTimeout))
+	}
+	_, err = conn.Write(b)
+	return err == nil
+}
+
+// errLineTooLong marks a request exceeding the per-message cap.
+var errLineTooLong = errors.New("request line exceeds limit")
+
+// readLine reads one newline-terminated message of at most max bytes.
+// Unlike bufio.Scanner it distinguishes "too long" from transport
+// errors, so the daemon can answer with a structured error.
+func readLine(r *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if len(line) > max {
+			return nil, errLineTooLong
+		}
+		switch err {
+		case nil:
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return line, err
+		}
+	}
+}
+
 func (d *Daemon) serveConn(conn net.Conn) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	enc := json.NewEncoder(conn)
+	defer func() {
+		conn.Close()
+		d.untrack(conn)
+		if d.sem != nil {
+			<-d.sem
+		}
+	}()
+	br := bufio.NewReader(conn)
 	// Track the subjects authenticated over this connection so a drop
 	// departs them.
 	var tokens []string
@@ -135,16 +335,56 @@ func (d *Daemon) serveConn(conn net.Conn) {
 			d.depart(tok)
 		}
 	}()
-	for sc.Scan() {
+	for {
+		if !d.armRead(conn) {
+			return // draining
+		}
+		line, err := readLine(br, d.cfg.maxLine())
+		if err != nil {
+			if errors.Is(err, errLineTooLong) {
+				d.reply(conn, wireResponse{Error: fmt.Sprintf(
+					"request exceeds %d-byte limit", d.cfg.maxLine())})
+			}
+			return
+		}
 		var req wireRequest
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			_ = enc.Encode(wireResponse{Error: "malformed request: " + err.Error()})
+		if err := json.Unmarshal(line, &req); err != nil {
+			d.reply(conn, wireResponse{Error: "malformed request: " + err.Error()})
 			return
 		}
 		resp := d.handle(&req, &tokens)
-		if err := enc.Encode(resp); err != nil {
+		if !d.reply(conn, resp) {
 			return
 		}
+	}
+}
+
+// cached returns the recorded response for an idempotent access
+// retry.
+func (d *Daemon) cached(key dedupKey) (wireResponse, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	resp, ok := d.seen[key]
+	return resp, ok
+}
+
+// record retains an access response for idempotent retry, evicting
+// the oldest entries beyond the dedup window.
+func (d *Daemon) record(key dedupKey, resp wireResponse) {
+	window := d.cfg.dedupWindow()
+	if window == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.seen[key]; ok {
+		return
+	}
+	d.seen[key] = resp
+	d.seenFIFO = append(d.seenFIFO, key)
+	for len(d.seenFIFO) > window {
+		delete(d.seen, d.seenFIFO[0])
+		d.seenFIFO = d.seenFIFO[1:]
 	}
 }
 
@@ -179,6 +419,13 @@ func (d *Daemon) handle(req *wireRequest, tokens *[]string) wireResponse {
 		if !ok {
 			return wireResponse{Error: "access: unknown or expired token"}
 		}
+		var key dedupKey
+		if req.ID != "" && d.cfg.dedupWindow() > 0 {
+			key = dedupKey{obj: sub.Object, id: req.ID}
+			if resp, ok := d.cached(key); ok {
+				return resp
+			}
+		}
 		ctx := RequestContext{Payload: req.Payload}
 		if req.Program != "" {
 			prog, err := sral.Parse(req.Program)
@@ -188,18 +435,34 @@ func (d *Daemon) handle(req *wireRequest, tokens *[]string) wireResponse {
 			ctx.Program = prog
 		}
 		// Rebuild the carried proof history, verifying signatures.
+		// Duplicate copies of one proof collapse to one event: a
+		// replayed proof must not double-count toward counting
+		// constraints (in either direction).
 		store := proof.NewStore(d.srv.coalition.Signer)
+		carried := make(map[string]struct{}, len(req.Proofs))
 		for _, p := range req.Proofs {
+			if _, dup := carried[p.Sig]; dup {
+				continue
+			}
+			carried[p.Sig] = struct{}{}
 			if err := store.Add(p); err != nil {
 				return wireResponse{Error: "access: carried proof rejected: " + err.Error()}
 			}
 		}
 		ctx.Store = store
+		var resp wireResponse
 		res, err := d.srv.Request(sub, model.Operation(req.Op), model.ResourceID(req.Resource), ctx)
 		if err != nil {
-			return wireResponse{Error: err.Error()}
+			resp = wireResponse{Error: err.Error()}
+		} else {
+			resp = wireResponse{OK: true, Data: res.Data, Proof: &res.Proof}
 		}
-		return wireResponse{OK: true, Data: res.Data, Proof: &res.Proof}
+		if req.ID != "" {
+			// Record grants AND denials: a retried request must see
+			// the same verdict the engine originally reached.
+			d.record(key, resp)
+		}
+		return resp
 
 	case "audit":
 		// The monitoring interface of the daemon: recent decisions in
@@ -242,50 +505,148 @@ func newToken() string {
 	return hex.EncodeToString(b[:])
 }
 
+// NewRequestID returns a fresh idempotency key for one logical access
+// request; retries of the same logical access reuse it.
+func NewRequestID() string { return newToken() }
+
+// ServerError is an application-level error reported by the daemon in
+// a well-formed response — an authentication failure, an access
+// denial, a malformed program. It is the non-retryable complement of
+// transport failures: the server made a decision and retrying the
+// same request cannot change it.
+type ServerError struct {
+	Msg string
+}
+
+// Error implements error, passing the daemon's message (which already
+// carries its package prefix) through verbatim.
+func (e *ServerError) Error() string { return e.Msg }
+
+// Is lets errors.Is match the coalition sentinel errors through the
+// wire boundary, where only the rendered message survives.
+func (e *ServerError) Is(target error) bool {
+	switch target {
+	case ErrDenied, ErrAuthFailed:
+		return strings.Contains(e.Msg, target.Error())
+	}
+	return false
+}
+
+// IsTransient reports whether err is a transport-level failure worth
+// retrying (reset, timeout, dropped connection) as opposed to a
+// decision the server actually made.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *ServerError
+	return !errors.As(err, &se)
+}
+
+// ClientConfig tunes the client side of the transport. The zero value
+// keeps the historical behaviour: blocking dial, no I/O deadlines.
+type ClientConfig struct {
+	// DialTimeout bounds connection establishment. Zero disables.
+	DialTimeout time.Duration
+	// IOTimeout bounds each request/response round trip. Zero
+	// disables.
+	IOTimeout time.Duration
+	// MaxLineBytes caps one response line. Zero means
+	// DefaultMaxLineBytes.
+	MaxLineBytes int
+	// Dial overrides the transport (e.g. for fault injection); nil
+	// uses net.Dial("tcp", addr) under DialTimeout.
+	Dial func(addr string) (net.Conn, error)
+}
+
+func (c ClientConfig) maxLine() int {
+	if c.MaxLineBytes <= 0 {
+		return DefaultMaxLineBytes
+	}
+	return c.MaxLineBytes
+}
+
 // Client is the mobile-device side of the TCP protocol: it connects to
 // one coalition server, authenticates, performs accesses and collects
 // proofs.
 type Client struct {
 	conn net.Conn
-	sc   *bufio.Scanner
-	enc  *json.Encoder
+	cfg  ClientConfig
+	br   *bufio.Reader
 	mu   sync.Mutex
 
 	token  string
 	proofs []proof.Proof
+	// seen dedups carried proofs by signature: an idempotent replay
+	// returns the same proof again, and it must not inflate the
+	// carried history.
+	seen map[string]struct{}
 }
 
-// Dial connects to a coalition daemon.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a coalition daemon with default settings.
+func Dial(addr string) (*Client, error) { return DialConfig(addr, ClientConfig{}) }
+
+// DialConfig connects to a coalition daemon with explicit transport
+// settings.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, cfg.DialTimeout)
+		}
+	}
+	conn, err := dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &Client{conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+	return NewClient(conn, cfg), nil
+}
+
+// NewClient wraps an established connection (which may be
+// fault-injected or otherwise non-TCP) as a protocol client.
+func NewClient(conn net.Conn, cfg ClientConfig) *Client {
+	return &Client{conn: conn, cfg: cfg, br: bufio.NewReader(conn), seen: make(map[string]struct{})}
+}
+
+// addProof records a proof unless an identical copy (same signature)
+// is already carried.
+func (c *Client) addProof(p proof.Proof) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.seen[p.Sig]; dup {
+		return
+	}
+	c.seen[p.Sig] = struct{}{}
+	c.proofs = append(c.proofs, p)
 }
 
 func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.enc.Encode(req); err != nil {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return wireResponse{}, fmt.Errorf("server: encode: %w", err)
+	}
+	b = append(b, '\n')
+	if c.cfg.IOTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.cfg.IOTimeout))
+	}
+	if _, err := c.conn.Write(b); err != nil {
 		return wireResponse{}, fmt.Errorf("server: send: %w", err)
 	}
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
-			return wireResponse{}, fmt.Errorf("server: recv: %w", err)
-		}
-		return wireResponse{}, fmt.Errorf("server: connection closed")
+	line, err := readLine(c.br, c.cfg.maxLine())
+	if err != nil {
+		return wireResponse{}, fmt.Errorf("server: recv: %w", err)
 	}
 	var resp wireResponse
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+	if err := json.Unmarshal(line, &resp); err != nil {
 		return wireResponse{}, fmt.Errorf("server: decode: %w", err)
 	}
 	if !resp.OK {
 		// The daemon's error strings already carry their package
-		// prefix; pass them through verbatim.
-		return resp, fmt.Errorf("%s", resp.Error)
+		// prefix; pass them through verbatim, typed so callers can
+		// tell a server decision from a transport failure.
+		return resp, &ServerError{Msg: resp.Error}
 	}
 	return resp, nil
 }
@@ -318,9 +679,18 @@ func (c *Client) Auth(cred proof.Credential) error {
 // Access performs one shared-resource access, carrying the client's
 // accumulated proofs as history and the optional program text.
 func (c *Client) Access(op model.Operation, res model.ResourceID, program string, payload []byte) ([]byte, error) {
+	return c.AccessID(NewRequestID(), op, res, program, payload)
+}
+
+// AccessID performs one shared-resource access under a caller-chosen
+// idempotency key: retrying with the same id after a transport
+// failure returns the server's original verdict (and proof) without
+// re-executing the access.
+func (c *Client) AccessID(id string, op model.Operation, res model.ResourceID, program string, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	req := wireRequest{
 		Type:     "access",
+		ID:       id,
 		Token:    c.token,
 		Op:       string(op),
 		Resource: string(res),
@@ -334,9 +704,7 @@ func (c *Client) Access(op model.Operation, res model.ResourceID, program string
 		return nil, err
 	}
 	if resp.Proof != nil {
-		c.mu.Lock()
-		c.proofs = append(c.proofs, *resp.Proof)
-		c.mu.Unlock()
+		c.addProof(*resp.Proof)
 	}
 	return resp.Data, nil
 }
@@ -351,9 +719,9 @@ func (c *Client) Proofs() []proof.Proof {
 // ImportProofs seeds the client's carried history (e.g. when migrating
 // from another server).
 func (c *Client) ImportProofs(ps []proof.Proof) {
-	c.mu.Lock()
-	c.proofs = append(c.proofs, ps...)
-	c.mu.Unlock()
+	for _, p := range ps {
+		c.addProof(p)
+	}
 }
 
 // AuditLog fetches the server's recent decision records (rendered)

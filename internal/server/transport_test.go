@@ -1,0 +1,277 @@
+package server
+
+// Tests for the robustness layer of the TCP transport: message size
+// caps, connection caps, deadlines, graceful drain and idempotent
+// retry. The protocol-level behaviour is covered in tcp_test.go.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"stac/internal/model"
+)
+
+// startDaemonWith exposes one server with explicit limits.
+func startDaemonWith(t *testing.T, c *Coalition, id model.ServerID, cfg DaemonConfig) (*Daemon, string) {
+	t.Helper()
+	srv, err := c.Server(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDaemonWith(srv, cfg)
+	addr, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	return d, addr
+}
+
+// rawRoundTrip sends one raw line and decodes the single-line reply.
+func rawRoundTrip(t *testing.T, conn net.Conn, line []byte) wireResponse {
+	t.Helper()
+	if _, err := conn.Write(line); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	var wr wireResponse
+	if err := json.Unmarshal(resp, &wr); err != nil {
+		t.Fatalf("decode reply %q: %v", resp, err)
+	}
+	return wr
+}
+
+func expectClosed(t *testing.T, conn net.Conn) {
+	t.Helper()
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection still open, want server-side close")
+	}
+}
+
+func TestTCPOversizedRequestStructuredError(t *testing.T) {
+	c, _ := newCoalition(t)
+	_, addr := startDaemonWith(t, c, "s1", DaemonConfig{MaxLineBytes: 512})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	big := append([]byte(`{"type":"info","token":"`+strings.Repeat("x", 2048)+`"}`), '\n')
+	wr := rawRoundTrip(t, conn, big)
+	if wr.OK || !strings.Contains(wr.Error, "512-byte limit") {
+		t.Fatalf("oversized request reply = %+v", wr)
+	}
+	expectClosed(t, conn)
+}
+
+func TestTCPMalformedRequestStructuredError(t *testing.T) {
+	c, _ := newCoalition(t)
+	_, addr := startDaemonWith(t, c, "s1", DaemonConfig{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wr := rawRoundTrip(t, conn, []byte("this is not json\n"))
+	if wr.OK || !strings.Contains(wr.Error, "malformed request") {
+		t.Fatalf("malformed request reply = %+v", wr)
+	}
+	expectClosed(t, conn)
+}
+
+func TestTCPMaxConnsQueuesExcessClients(t *testing.T) {
+	c, _ := newCoalition(t)
+	_, addr := startDaemonWith(t, c, "s1", DaemonConfig{MaxConns: 1})
+
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c1.Info(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second client connects (TCP backlog) but is not served
+	// until the first disconnects.
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	served := make(chan error, 1)
+	go func() {
+		_, _, err := c2.Info()
+		served <- err
+	}()
+	select {
+	case err := <-served:
+		t.Fatalf("second client served while the cap was full: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	c1.Close()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("second client after slot freed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second client never served after slot freed")
+	}
+}
+
+func TestTCPReadTimeoutDisconnectsIdleClient(t *testing.T) {
+	c, _ := newCoalition(t)
+	_, addr := startDaemonWith(t, c, "s1", DaemonConfig{ReadTimeout: 50 * time.Millisecond})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing; the server must hang up on its own.
+	expectClosed(t, conn)
+}
+
+func TestDaemonCloseDrainsIdleConnections(t *testing.T) {
+	c, _ := newCoalition(t)
+	d, addr := startDaemonWith(t, c, "s1", DaemonConfig{}) // no deadlines configured
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(cred(c, "o1", "owner", "traveler")); err != nil {
+		t.Fatal(err)
+	}
+	// The client now idles with an open authenticated connection;
+	// Close must still return promptly, departing the subject.
+	done := make(chan error, 1)
+	go func() { done <- d.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close hung on an idle connection")
+	}
+}
+
+func TestTCPIdempotentRetryDoesNotDoubleConsume(t *testing.T) {
+	c, _ := newCoalition(t)
+	d, addr := startDaemonWith(t, c, "s1", DaemonConfig{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(cred(c, "o1", "owner", "traveler")); err != nil {
+		t.Fatal(err)
+	}
+	// The policy caps rsw reads at 2 coalition-wide. Replaying one
+	// logical request must burn only one of them.
+	id := NewRequestID()
+	if _, err := cl.AccessID(id, model.OpRead, "rsw", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cl.AccessID(id, model.OpRead, "rsw", "", nil); err != nil {
+			t.Fatalf("idempotent replay %d: %v", i, err)
+		}
+	}
+	// One audited decision so far: replays short-circuit the engine.
+	if _, total := d.srv.Audit(); total != 1 {
+		t.Fatalf("audited decisions after replays = %d, want 1", total)
+	}
+	// The second unit of the budget is still available...
+	if _, err := cl.Access(model.OpRead, "rsw", "", nil); err != nil {
+		t.Fatalf("second distinct access: %v", err)
+	}
+	// ...and the third distinct access is denied; the denial is also
+	// replayed verbatim.
+	id3 := NewRequestID()
+	_, err = cl.AccessID(id3, model.OpRead, "rsw", "", nil)
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("third distinct access = %v, want denial", err)
+	}
+	_, err2 := cl.AccessID(id3, model.OpRead, "rsw", "", nil)
+	if err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("replayed denial differs: %v vs %v", err, err2)
+	}
+	if _, total := d.srv.Audit(); total != 3 {
+		t.Fatalf("audited decisions = %d, want 3", total)
+	}
+	// Exactly two proofs were ever issued for the ceiling of two.
+	granted := 0
+	records, _ := d.srv.Audit()
+	for _, r := range records {
+		if r.Granted {
+			granted++
+		}
+	}
+	if granted != 2 {
+		t.Fatalf("granted = %d, want 2", granted)
+	}
+}
+
+func TestServerErrorTyping(t *testing.T) {
+	c, _ := newCoalition(t)
+	_, addr := startDaemonWith(t, c, "s1", DaemonConfig{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// An application-level verdict is not transient and matches the
+	// sentinel through the wire boundary.
+	err = cl.Auth(cred(c, "unknown-object", "owner", "traveler"))
+	if err == nil {
+		t.Fatal("unknown object authenticated")
+	}
+	if IsTransient(err) {
+		t.Fatalf("auth verdict classified transient: %v", err)
+	}
+	if !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("auth verdict does not match ErrAuthFailed: %v", err)
+	}
+	// A torn connection is transient.
+	cl.conn.Close()
+	_, _, err = cl.Info()
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("transport failure not transient: %v", err)
+	}
+}
+
+func TestDedupWindowEviction(t *testing.T) {
+	c, _ := newCoalition(t)
+	d, addr := startDaemonWith(t, c, "s1", DaemonConfig{DedupWindow: 2})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(cred(c, "o1", "owner", "traveler")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Access(model.OpRead, "f-s1", "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.mu.Lock()
+	retained := len(d.seen)
+	d.mu.Unlock()
+	if retained != 2 {
+		t.Fatalf("dedup cache retained %d entries, want window of 2", retained)
+	}
+}
