@@ -21,6 +21,7 @@ import (
 	"stac/internal/core"
 	"stac/internal/faults"
 	"stac/internal/model"
+	"stac/internal/obs"
 	"stac/internal/server"
 	"stac/internal/sral"
 	"stac/internal/temporal"
@@ -76,6 +77,10 @@ func runChaosTour(t *testing.T, inj *faults.Injector) chaosOutcome {
 	clk := temporal.NewSimClock(0)
 	c := server.NewCoalition(clk, []byte("chaos-key"))
 	c.EnableLedger()
+	// A per-run registry isolates this tour's metrics so they reconcile
+	// exactly against its audit trail, faults and all.
+	reg := obs.NewRegistry()
+	c.Engine.SetObs(reg)
 	if err := core.LoadPolicyString(c.Engine, chaosPolicy); err != nil {
 		t.Fatal(err)
 	}
@@ -98,6 +103,7 @@ func runChaosTour(t *testing.T, inj *faults.Injector) chaosOutcome {
 			ReadTimeout:  2 * time.Second,
 			WriteTimeout: 2 * time.Second,
 			MaxConns:     16,
+			Obs:          reg,
 		})
 		addr, err := d.Listen("127.0.0.1:0")
 		if err != nil {
@@ -119,6 +125,7 @@ func runChaosTour(t *testing.T, inj *faults.Injector) chaosOutcome {
 		Retries:     30,
 		Backoff:     time.Millisecond,
 		Seed:        99,
+		Obs:         reg,
 	}
 	if inj != nil {
 		rt.Dial = inj.Dialer(nil)
@@ -146,6 +153,31 @@ func runChaosTour(t *testing.T, inj *faults.Injector) chaosOutcome {
 			if r.Granted {
 				out.granted++
 			}
+		}
+	}
+
+	// Metrics/audit reconciliation: every decision the audit trail
+	// records was counted exactly once by the engine's decision
+	// counters — faults cause retries and redials, but deduplication
+	// keeps the engine's view identical to the fault-free run's.
+	if got := reg.CounterValue("stac_authz_granted_total", ""); got != int64(out.granted) {
+		t.Fatalf("granted counter = %d, audit trail grants = %d", got, out.granted)
+	}
+	auditDenied := int64(len(out.decisions) - out.granted)
+	if got := reg.SumCounters("stac_authz_denied_total"); got != auditDenied {
+		t.Fatalf("denied counters = %d, audit trail denials = %d", got, auditDenied)
+	}
+	if got := reg.HistogramCount("stac_authz_seconds", ""); got != int64(len(out.decisions)) {
+		t.Fatalf("latency histogram count = %d, audit trail decisions = %d", got, len(out.decisions))
+	}
+	// After a full drain no connection is in flight on any daemon.
+	for _, d := range daemons {
+		_ = d.Close()
+	}
+	for _, id := range chaosServers {
+		lbl := obs.Label("server", string(id))
+		if got := reg.GaugeValue("stac_server_inflight_connections", lbl); got != 0 {
+			t.Fatalf("daemon %s reports %d in-flight connections after close", id, got)
 		}
 	}
 	return out

@@ -11,3 +11,7 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+# Benchmark smoke: one iteration each, so a broken benchmark (or a
+# regression that panics only on the bench path) fails CI without
+# paying for a real measurement run.
+go test -bench . -benchtime=1x -run '^$' ./...

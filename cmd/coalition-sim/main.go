@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"stac/internal/experiments"
+	"stac/internal/obs"
 )
 
 func main() {
@@ -23,6 +24,7 @@ func main() {
 	full := flag.Bool("full", false, "run full-scale sweeps")
 	list := flag.Bool("list", false, "list experiments and exit")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured Markdown tables")
+	stats := flag.Bool("stats", true, "print the decision-path metric totals after the run")
 	flag.Parse()
 
 	if *list {
@@ -53,5 +55,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "coalition-sim:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *stats {
+		// Every engine the experiments built reported into the default
+		// registry; the totals summarise the whole run's decision path.
+		fmt.Println("## run metrics")
+		fmt.Println()
+		obs.WriteTable(os.Stdout, obs.Default)
 	}
 }

@@ -26,9 +26,13 @@ package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,6 +41,7 @@ import (
 
 	"stac/internal/core"
 	"stac/internal/model"
+	"stac/internal/obs"
 	"stac/internal/server"
 	"stac/internal/temporal"
 )
@@ -64,6 +69,10 @@ type options struct {
 	writeTimeout time.Duration
 	maxConns     int
 	maxLineBytes int
+
+	// metricsAddr, when set, serves the observability endpoints
+	// (/metrics, /debug/vars, /debug/pprof) on one extra HTTP listener.
+	metricsAddr string
 }
 
 func (o options) daemonConfig() server.DaemonConfig {
@@ -87,9 +96,10 @@ func main() {
 	flag.DurationVar(&opts.writeTimeout, "write-timeout", 30*time.Second, "per-response write deadline; 0 disables")
 	flag.IntVar(&opts.maxConns, "max-conns", 1024, "concurrent connection cap per server; 0 = unlimited")
 	flag.IntVar(&opts.maxLineBytes, "max-line-bytes", server.DefaultMaxLineBytes, "per-request size cap in bytes")
+	flag.StringVar(&opts.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address; empty disables")
 	flag.Parse()
 
-	daemons, err := start(opts, os.Stdout)
+	app, err := start(opts, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stacd:", err)
 		os.Exit(1)
@@ -98,13 +108,36 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	shutdown(daemons)
+	shutdown(app)
 }
 
-// start builds the coalition, binds every daemon and writes the
-// address (and credential) lines to w. The caller owns the returned
-// daemons and must Close them (via shutdown).
-func start(opts options, w io.Writer) ([]*server.Daemon, error) {
+// app is everything start brought up and shutdown must tear down.
+type app struct {
+	daemons   []*server.Daemon
+	metricsLn net.Listener
+}
+
+// metricsMux builds the observability endpoints: Prometheus text on
+// /metrics, the expvar JSON mirror on /debug/vars, and the standard
+// pprof profiles under /debug/pprof/.
+func metricsMux() *http.ServeMux {
+	obs.PublishExpvar("stac", obs.Default)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(obs.Default))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// start builds the coalition, binds every daemon (and the metrics
+// listener when configured) and writes the address (and credential)
+// lines to w. The caller owns the returned app and must Close it (via
+// shutdown).
+func start(opts options, w io.Writer) (*app, error) {
 	c := server.NewCoalition(temporal.NewRealClock(), []byte(opts.key))
 
 	if opts.policyPath != "" {
@@ -119,9 +152,9 @@ func start(opts options, w io.Writer) ([]*server.Daemon, error) {
 		}
 	}
 
-	var daemons []*server.Daemon
-	fail := func(err error) ([]*server.Daemon, error) {
-		shutdown(daemons)
+	a := &app{}
+	fail := func(err error) (*app, error) {
+		shutdown(a)
 		return nil, err
 	}
 	for _, id := range strings.Split(opts.servers, ",") {
@@ -138,8 +171,18 @@ func start(opts options, w io.Writer) ([]*server.Daemon, error) {
 		if err != nil {
 			return fail(err)
 		}
-		daemons = append(daemons, d)
+		a.daemons = append(a.daemons, d)
 		fmt.Fprintf(w, "%s %s\n", id, addr)
+	}
+
+	if opts.metricsAddr != "" {
+		ln, err := net.Listen("tcp", opts.metricsAddr)
+		if err != nil {
+			return fail(err)
+		}
+		a.metricsLn = ln
+		go func() { _ = http.Serve(ln, metricsMux()) }()
+		fmt.Fprintf(w, "metrics %s\n", ln.Addr())
 	}
 
 	for _, spec := range opts.resources {
@@ -176,11 +219,17 @@ func start(opts options, w io.Writer) ([]*server.Daemon, error) {
 			fmt.Fprintf(w, "credential %s %s\n", u, blob)
 		}
 	}
-	return daemons, nil
+	return a, nil
 }
 
-func shutdown(daemons []*server.Daemon) {
-	for _, d := range daemons {
+func shutdown(a *app) {
+	if a == nil {
+		return
+	}
+	for _, d := range a.daemons {
 		_ = d.Close()
+	}
+	if a.metricsLn != nil {
+		_ = a.metricsLn.Close()
 	}
 }

@@ -3,7 +3,9 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -104,6 +106,79 @@ func TestStartErrors(t *testing.T) {
 				t.Fatal("start succeeded")
 			}
 		})
+	}
+}
+
+func TestStartServesMetricsEndpoints(t *testing.T) {
+	var out strings.Builder
+	app, err := start(options{
+		policyPath:  writePolicy(t),
+		servers:     "s1",
+		listen:      "127.0.0.1:0",
+		key:         "test-key",
+		metricsAddr: "127.0.0.1:0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(app)
+
+	var metricsAddr string
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if rest, ok := strings.CutPrefix(line, "metrics "); ok {
+			metricsAddr = rest
+		}
+	}
+	if metricsAddr == "" {
+		t.Fatalf("no metrics line in output:\n%s", out.String())
+	}
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + metricsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// /metrics speaks the Prometheus text format and exposes the
+	// engine's pre-registered decision counters.
+	body, ct := get("/metrics")
+	if !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE stac_authz_granted_total counter",
+		"stac_authz_denied_total{reason=",
+		"# TYPE stac_authz_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// /debug/vars carries the expvar JSON mirror.
+	body, _ = get("/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["stac"]; !ok {
+		t.Fatal("/debug/vars has no stac group")
+	}
+
+	// pprof answers on the standard paths.
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
 	}
 }
 

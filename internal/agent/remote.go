@@ -9,6 +9,7 @@ import (
 
 	"stac/internal/channel"
 	"stac/internal/model"
+	"stac/internal/obs"
 	"stac/internal/server"
 	"stac/internal/sral"
 )
@@ -59,11 +60,53 @@ type RemoteRuntime struct {
 	// Dial overrides the transport (e.g. to inject faults); nil uses
 	// TCP.
 	Dial func(addr string) (net.Conn, error)
+	// Obs selects the metrics registry the runtime reports retries,
+	// backoff sleeps and hop latency into; nil means obs.Default. Set
+	// it before the first Launch.
+	Obs *obs.Registry
 
 	once    sync.Once
 	rngOnce sync.Once
 	rngMu   sync.Mutex
 	rng     *rand.Rand
+
+	metOnce sync.Once
+	met     *rtMetrics
+}
+
+// rtMetrics holds the runtime's resolved metric handles.
+type rtMetrics struct {
+	dialRetries   *obs.Counter
+	accessRetries *obs.Counter
+	backoff       *obs.Histogram
+	hop           *obs.Histogram
+}
+
+// hopBuckets span a LAN round trip up to backoff-laden recoveries.
+var hopBuckets = []float64{
+	100e-6, 500e-6, 1e-3, 5e-3, 25e-3, 100e-3, 500e-3, 2.5, 10,
+}
+
+func (rt *RemoteRuntime) metrics() *rtMetrics {
+	rt.metOnce.Do(func() {
+		r := rt.Obs
+		if r == nil {
+			r = obs.Default
+		}
+		rt.met = &rtMetrics{
+			dialRetries: r.Counter("stac_agent_retries_total",
+				obs.Label("phase", "dial"),
+				"Transient-failure retries by the remote agent runtime, by phase."),
+			accessRetries: r.Counter("stac_agent_retries_total",
+				obs.Label("phase", "access"),
+				"Transient-failure retries by the remote agent runtime, by phase."),
+			backoff: r.Histogram("stac_agent_backoff_seconds", "",
+				"Time the runtime slept in retry backoff.", hopBuckets),
+			hop: r.Histogram("stac_agent_hop_seconds", "",
+				"Migration (dial + history import + auth) latency per completed hop.", hopBuckets),
+		}
+	})
+	return rt.met
 }
 
 // DefaultRetries is the per-step transient-failure retry budget when
@@ -178,7 +221,9 @@ type remoteBranch struct {
 // sleepBackoff waits out the retry backoff, aborting early if the
 // agent is recalled.
 func (b *remoteBranch) sleepBackoff(attempt int) error {
-	t := time.NewTimer(b.rt.backoffDelay(attempt))
+	delay := b.rt.backoffDelay(attempt)
+	b.rt.metrics().backoff.Observe(delay)
+	t := time.NewTimer(delay)
 	defer t.Stop()
 	select {
 	case <-t.C:
@@ -197,9 +242,11 @@ func (b *remoteBranch) moveTo(s model.ServerID) error {
 	if !ok {
 		return fmt.Errorf("agent %s: %w: %q has no address", b.agent.ID, model.ErrUnknownServer, s)
 	}
+	hopStart := time.Now()
 	var lastErr error
 	for attempt := 0; attempt <= b.rt.retries(); attempt++ {
 		if attempt > 0 {
+			b.rt.metrics().dialRetries.Inc()
 			if err := b.sleepBackoff(attempt); err != nil {
 				return err
 			}
@@ -226,6 +273,7 @@ func (b *remoteBranch) moveTo(s model.ServerID) error {
 		}
 		b.loc = s
 		b.client = cl
+		b.rt.metrics().hop.ObserveSince(hopStart)
 		b.agent.recordVisit(s)
 		if b.agent.Hooks.OnArrival != nil {
 			b.agent.Hooks.OnArrival(s)
@@ -260,6 +308,7 @@ func (b *remoteBranch) access(x sral.Prim) ([]byte, error) {
 		if err == nil || !server.IsTransient(err) || attempt >= b.rt.retries() {
 			return data, err
 		}
+		b.rt.metrics().accessRetries.Inc()
 		if serr := b.sleepBackoff(attempt + 1); serr != nil {
 			return nil, serr
 		}

@@ -120,13 +120,14 @@ func classPermKey(id ClassID) rbac.PermID {
 // its own spec otherwise. Callers hold no engine lock.
 func (e *Engine) resolveTemporal(ps PermSpec) (key rbac.PermID, dur float64, scheme temporal.Scheme) {
 	e.mu.Lock()
-	cid, classed := e.classOf[ps.Perm.ID]
-	var c Class
-	if classed {
-		c = e.classes[cid]
-	}
-	e.mu.Unlock()
-	if classed {
+	defer e.mu.Unlock()
+	return e.resolveTemporalLocked(ps)
+}
+
+// resolveTemporalLocked is resolveTemporal with e.mu already held.
+func (e *Engine) resolveTemporalLocked(ps PermSpec) (key rbac.PermID, dur float64, scheme temporal.Scheme) {
+	if cid, classed := e.classOf[ps.Perm.ID]; classed {
+		c := e.classes[cid]
 		return classPermKey(cid), c.duration(), c.Scheme
 	}
 	return ps.Perm.ID, ps.duration(), ps.Scheme

@@ -20,8 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"stac/internal/model"
+	"stac/internal/obs"
 	"stac/internal/rbac"
 	"stac/internal/srac"
 	"stac/internal/sral"
@@ -112,6 +115,9 @@ type Decision struct {
 	ProgramVerdict srac.Verdict
 	// Temporal is the permission's temporal state at decision time.
 	Temporal temporal.PermState
+	// Deny classifies a denial for metrics and audit queries; empty on
+	// grants.
+	Deny DenyReason
 	// Reason is a human-readable explanation of a denial.
 	Reason string
 }
@@ -137,6 +143,13 @@ type Engine struct {
 
 	clock temporal.Clock
 
+	// met holds the resolved metric handles; swapped atomically by
+	// SetObs so the Authorize hot path never takes e.mu for metrics.
+	met atomic.Pointer[engineMetrics]
+	// incremental flags the counting fast path (see incremental.go);
+	// atomic so eligibility checks stay outside the engine lock.
+	incremental atomic.Bool
+
 	mu       sync.Mutex
 	specs    map[rbac.PermID]PermSpec
 	trackers map[trackerKey]*temporal.Tracker
@@ -145,9 +158,8 @@ type Engine struct {
 	classes map[ClassID]Class
 	classOf map[rbac.PermID]ClassID
 	// incremental counting state (see incremental.go).
-	incremental bool
-	counters    map[string]int
-	selectors   map[string]model.Selector
+	counters  map[string]int
+	selectors map[string]model.Selector
 	// arrived records the objects that have announced arrival at a
 	// server, so trackers created later inherit the base time.
 	lastArrival map[model.ObjectID]float64
@@ -166,7 +178,7 @@ func NewEngine(clock temporal.Clock) *Engine {
 	if clock == nil {
 		clock = temporal.NewSimClock(0)
 	}
-	return &Engine{
+	e := &Engine{
 		RBAC:        rbac.NewSystem(),
 		clock:       clock,
 		specs:       make(map[rbac.PermID]PermSpec),
@@ -176,10 +188,21 @@ func NewEngine(clock temporal.Clock) *Engine {
 		lastArrival: make(map[model.ObjectID]float64),
 		hasArrived:  make(map[model.ObjectID]bool),
 	}
+	e.met.Store(newEngineMetrics(obs.Default))
+	return e
 }
 
 // Clock returns the engine's clock.
 func (e *Engine) Clock() temporal.Clock { return e.clock }
+
+// SetObs points the engine's decision-path metrics at a registry
+// other than obs.Default — tests and embedders use it to reconcile one
+// engine's counters in isolation. Call it during setup, before serving
+// traffic, so no decision lands between two registries.
+func (e *Engine) SetObs(r *obs.Registry) { e.met.Store(newEngineMetrics(r)) }
+
+// Obs returns the registry the engine currently reports into.
+func (e *Engine) Obs() *obs.Registry { return e.met.Load().reg }
 
 // DefinePermission registers a permission together with its
 // spatio-temporal specification.
@@ -194,7 +217,7 @@ func (e *Engine) DefinePermission(ps PermSpec) error {
 	}
 	e.mu.Lock()
 	e.specs[ps.Perm.ID] = ps
-	if e.incremental {
+	if e.incremental.Load() {
 		e.registerSelectorsLocked(ps)
 	}
 	e.mu.Unlock()
@@ -216,9 +239,16 @@ func (e *Engine) Spec(id rbac.PermID) (PermSpec, error) {
 // a permission for an object — the permission's own tracker, or its
 // class pool when the permission is classed.
 func (e *Engine) tracker(obj model.ObjectID, ps PermSpec) *temporal.Tracker {
-	id, dur, scheme := e.resolveTemporal(ps)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.trackerLocked(obj, ps)
+}
+
+// trackerLocked is tracker with e.mu already held — the shape that lets
+// ActivatePermissions resolve a whole session's trackers under ONE
+// lock acquisition instead of re-locking per permission.
+func (e *Engine) trackerLocked(obj model.ObjectID, ps PermSpec) *temporal.Tracker {
+	id, dur, scheme := e.resolveTemporalLocked(ps)
 	key := trackerKey{obj: obj, perm: id}
 	tr, ok := e.trackers[key]
 	if !ok {
@@ -248,17 +278,33 @@ func (e *Engine) ObjectArrived(obj model.ObjectID, server model.ServerID) {
 	}
 }
 
+// sessionTrackers snapshots the specs and resolves (creating if
+// needed) the trackers for every permission the session confers, under
+// a single e.mu acquisition. The trackers are internally locked, so
+// callers mutate them after release — the engine lock covers only the
+// map lookups, not the temporal bookkeeping.
+func (e *Engine) sessionTrackers(sess *rbac.Session, obj model.ObjectID) []*temporal.Tracker {
+	perms := sess.Permissions()
+	trs := make([]*temporal.Tracker, 0, len(perms))
+	e.mu.Lock()
+	for _, p := range perms {
+		ps, ok := e.specs[p.ID]
+		if !ok {
+			ps = PermSpec{Perm: p}
+		}
+		trs = append(trs, e.trackerLocked(obj, ps))
+	}
+	e.mu.Unlock()
+	return trs
+}
+
 // ActivatePermissions marks every permission conferred by the
 // session's active roles as temporally active for the object —
 // role activation starts the validity accumulation of Section 4.
 func (e *Engine) ActivatePermissions(sess *rbac.Session, obj model.ObjectID) {
 	now := e.clock.Now()
-	for _, p := range sess.Permissions() {
-		ps, err := e.Spec(p.ID)
-		if err != nil {
-			ps = PermSpec{Perm: p}
-		}
-		e.tracker(obj, ps).Activate(now)
+	for _, tr := range e.sessionTrackers(sess, obj) {
+		tr.Activate(now)
 	}
 }
 
@@ -266,12 +312,8 @@ func (e *Engine) ActivatePermissions(sess *rbac.Session, obj model.ObjectID) {
 // permissions (role deactivation or session end).
 func (e *Engine) DeactivatePermissions(sess *rbac.Session, obj model.ObjectID) {
 	now := e.clock.Now()
-	for _, p := range sess.Permissions() {
-		ps, err := e.Spec(p.ID)
-		if err != nil {
-			ps = PermSpec{Perm: p}
-		}
-		e.tracker(obj, ps).Deactivate(now)
+	for _, tr := range e.sessionTrackers(sess, obj) {
+		tr.Deactivate(now)
 	}
 }
 
@@ -282,17 +324,30 @@ func (e *Engine) DeactivatePermissions(sess *rbac.Session, obj model.ObjectID) {
 // and prefix evaluation of the post-state history), and the temporal
 // validity (Expression 4.1).
 func (e *Engine) Authorize(req Request) Decision {
+	m := e.met.Load()
+	start := time.Now()
+	d := e.authorize(req, m)
+	m.recordDecision(d, time.Since(start))
+	return d
+}
+
+// authorize is the uninstrumented decision body; Authorize wraps it
+// with timing and per-outcome accounting.
+func (e *Engine) authorize(req Request, m *engineMetrics) Decision {
 	d := Decision{Spatial: srac.Satisfied, ProgramVerdict: srac.AllTraces, Temporal: temporal.Inactive}
 	if req.Session == nil {
+		d.Deny = DenyNoSession
 		d.Reason = "no session (unauthenticated subject)"
 		return d
 	}
 	if err := req.Access.Validate(); err != nil {
+		d.Deny = DenyInvalidAccess
 		d.Reason = err.Error()
 		return d
 	}
 	perm, ok := req.Session.PermissionFor(req.Access)
 	if !ok {
+		d.Deny = DenyRBAC
 		d.Reason = fmt.Sprintf("no active role of %q confers a permission covering %s",
 			req.Session.User(), req.Access)
 		return d
@@ -316,9 +371,12 @@ func (e *Engine) Authorize(req Request) Decision {
 		// actions cannot be decided from this object's program alone,
 		// so they are left to the runtime history check.
 		if req.Program != nil && !srac.MentionsOtherObject(stamped, obj) {
+			checkStart := time.Now()
 			d.ProgramVerdict = srac.CheckProgram(req.Program, stamped, obj)
+			m.staticCheck.ObserveSince(checkStart)
 			if d.ProgramVerdict == srac.NoTrace {
 				d.Spatial = srac.Violated
+				d.Deny = DenyProgram
 				d.Reason = fmt.Sprintf("program can never satisfy spatial constraint %s",
 					srac.String(ps.Spatial))
 				return d
@@ -327,13 +385,17 @@ func (e *Engine) Authorize(req Request) Decision {
 		if e.incrementalEligible(ps) {
 			// Counting-only fast path: decide from engine counters in
 			// O(|C|), no history scan (see incremental.go).
+			evalStart := time.Now()
 			d.Spatial = e.evalIncremental(stamped, req.Access)
+			m.prefixEval.ObserveSince(evalStart)
 			if d.Spatial == srac.Violated {
+				d.Deny = DenySpatialViolated
 				d.Reason = fmt.Sprintf("spatial constraint %s irreversibly violated",
 					srac.String(ps.Spatial))
 				return d
 			}
 			if ps.Mode == Strict && d.Spatial != srac.Satisfied {
+				d.Deny = DenySpatialStrict
 				d.Reason = fmt.Sprintf("spatial constraint %s not yet satisfied (strict mode)",
 					srac.String(ps.Spatial))
 				return d
@@ -343,14 +405,20 @@ func (e *Engine) Authorize(req Request) Decision {
 			// is hypothetically performed and proven.
 			hyp := req.History.Concat(trace.Trace{req.Access})
 			oracle := srac.HypotheticalOracle(req.Proofs, req.Access)
+			evalStart := time.Now()
 			d.Spatial = srac.EvalPrefix(hyp, stamped, oracle)
+			strictOK := d.Spatial != srac.Violated &&
+				(ps.Mode != Strict || srac.SatisfiesTrace(hyp, stamped, oracle))
+			m.prefixEval.ObserveSince(evalStart)
 			if d.Spatial == srac.Violated {
+				d.Deny = DenySpatialViolated
 				d.Reason = fmt.Sprintf("spatial constraint %s irreversibly violated",
 					srac.String(ps.Spatial))
 				return d
 			}
-			if ps.Mode == Strict && !srac.SatisfiesTrace(hyp, stamped, oracle) {
+			if !strictOK {
 				d.Spatial = srac.Pending
+				d.Deny = DenySpatialStrict
 				d.Reason = fmt.Sprintf("spatial constraint %s not yet satisfied (strict mode)",
 					srac.String(ps.Spatial))
 				return d
@@ -366,6 +434,11 @@ func (e *Engine) Authorize(req Request) Decision {
 	tr.Activate(now)
 	d.Temporal = tr.StateAt(now)
 	if d.Temporal != temporal.Valid {
+		if d.Temporal == temporal.ActiveInvalid {
+			d.Deny = DenyTemporalExhausted
+		} else {
+			d.Deny = DenyTemporalInactive
+		}
 		_, dur, scheme := e.resolveTemporal(ps)
 		d.Reason = fmt.Sprintf("permission %q is %s (validity duration %.6gs, scheme %s)",
 			perm.ID, d.Temporal, dur, scheme)

@@ -51,7 +51,6 @@ func selKey(sel model.Selector) string {
 func (e *Engine) EnableIncrementalCounting() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.incremental = true
 	if e.counters == nil {
 		e.counters = make(map[string]int)
 	}
@@ -59,6 +58,9 @@ func (e *Engine) EnableIncrementalCounting() {
 	for _, ps := range e.specs {
 		e.registerSelectorsLocked(ps)
 	}
+	// Flip the flag last, after the counter state exists: eligibility
+	// checks read it without the lock.
+	e.incremental.Store(true)
 }
 
 // registerSelectorsLocked indexes the counting selectors of a spec so
@@ -91,11 +93,11 @@ func (e *Engine) registerSelectorsLocked(ps PermSpec) {
 // alongside the global one; selectors that already restrict objects
 // count all matching accesses, mirroring the ledger-backed scan path.
 func (e *Engine) RecordGrant(a model.Access) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.incremental {
+	if !e.incremental.Load() {
 		return
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for key, sel := range e.selectors {
 		if sel.SelectAccess(a) {
 			e.counters[key]++
@@ -110,78 +112,77 @@ func (e *Engine) RecordGrant(a model.Access) {
 	}
 }
 
-// countFor returns the recorded count for the (already stamped)
-// selector.
-func (e *Engine) countFor(sel model.Selector) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// countForLocked returns the recorded count for the (already stamped)
+// selector; e.mu must be held.
+func (e *Engine) countForLocked(sel model.Selector) int {
 	return e.counters[selKey(sel)]
 }
 
 // evalIncremental decides a counting-only constraint against the
 // engine counters plus the hypothetical requested access, mirroring
-// srac.EvalPrefix's three-valued semantics.
+// srac.EvalPrefixStable's three-valued semantics (including the
+// stability-aware negation). One lock acquisition covers the whole
+// walk — counter reads are plain map lookups under it.
 func (e *Engine) evalIncremental(c srac.Constraint, hyp model.Access) srac.Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, _ := e.evalIncrementalLocked(c, hyp)
+	return s
+}
+
+func (e *Engine) evalIncrementalLocked(c srac.Constraint, hyp model.Access) (srac.Status, bool) {
 	switch x := c.(type) {
 	case srac.TrueC:
-		return srac.Satisfied
+		return srac.Satisfied, true
 	case srac.FalseC:
-		return srac.Violated
+		return srac.Violated, true
 	case srac.Count:
-		n := e.countFor(x.Sel)
+		n := e.countForLocked(x.Sel)
 		if x.Sel.SelectAccess(hyp) {
 			n++
 		}
 		switch {
 		case n > x.Max:
-			return srac.Violated
+			return srac.Violated, true
 		case n >= x.Min:
-			return srac.Satisfied
+			// Mirrors srac.evalPrefix: future grants only grow the
+			// count, so satisfaction is stable iff there is no ceiling.
+			return srac.Satisfied, x.Max == srac.Unbounded
 		default:
-			return srac.Pending
+			return srac.Pending, false
 		}
 	case srac.And:
-		l := e.evalIncremental(x.Left, hyp)
-		r := e.evalIncremental(x.Right, hyp)
+		l, lst := e.evalIncrementalLocked(x.Left, hyp)
+		r, rst := e.evalIncrementalLocked(x.Right, hyp)
 		switch {
 		case l == srac.Violated || r == srac.Violated:
-			return srac.Violated
+			return srac.Violated, true
 		case l == srac.Satisfied && r == srac.Satisfied:
-			return srac.Satisfied
+			return srac.Satisfied, lst && rst
 		default:
-			return srac.Pending
+			return srac.Pending, false
 		}
 	case srac.Or:
-		l := e.evalIncremental(x.Left, hyp)
-		r := e.evalIncremental(x.Right, hyp)
+		l, lst := e.evalIncrementalLocked(x.Left, hyp)
+		r, rst := e.evalIncrementalLocked(x.Right, hyp)
 		switch {
 		case l == srac.Satisfied || r == srac.Satisfied:
-			return srac.Satisfied
+			return srac.Satisfied, (l == srac.Satisfied && lst) || (r == srac.Satisfied && rst)
 		case l == srac.Violated && r == srac.Violated:
-			return srac.Violated
+			return srac.Violated, true
 		default:
-			return srac.Pending
+			return srac.Pending, false
 		}
 	case srac.Not:
-		switch e.evalIncremental(x.C, hyp) {
-		case srac.Satisfied:
-			return srac.Violated
-		case srac.Violated:
-			return srac.Satisfied
-		default:
-			return srac.Pending
-		}
+		return srac.NegateStable(e.evalIncrementalLocked(x.C, hyp))
 	}
-	return srac.Pending
+	return srac.Pending, false
 }
 
 // incrementalEligible reports whether the request can take the counter
 // fast path.
 func (e *Engine) incrementalEligible(ps PermSpec) bool {
-	e.mu.Lock()
-	on := e.incremental
-	e.mu.Unlock()
-	return on && ps.Spatial != nil && countingOnly(ps.Spatial)
+	return e.incremental.Load() && ps.Spatial != nil && countingOnly(ps.Spatial)
 }
 
 // Counters returns a diagnostic snapshot of the engine's counters,

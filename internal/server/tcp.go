@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"stac/internal/model"
+	"stac/internal/obs"
 	"stac/internal/proof"
 	"stac/internal/sral"
 )
@@ -108,6 +109,9 @@ type DaemonConfig struct {
 	// for idempotent retry (see wireRequest.ID). Zero means
 	// DefaultDedupWindow; negative disables deduplication.
 	DedupWindow int
+	// Obs selects the metrics registry the daemon reports into; nil
+	// means obs.Default. (A pointer keeps DaemonConfig comparable.)
+	Obs *obs.Registry
 }
 
 func (c DaemonConfig) maxLine() int {
@@ -127,10 +131,62 @@ func (c DaemonConfig) dedupWindow() int {
 	return c.DedupWindow
 }
 
+// dmetrics holds one daemon's resolved metric handles, labelled by
+// server ID so several daemons can share one registry.
+type dmetrics struct {
+	conns    *obs.Counter
+	inflight *obs.Gauge
+	requests map[string]*obs.Counter // by wire request type
+	dedup    *obs.Counter
+	oversize *obs.Counter
+	malform  *obs.Counter
+}
+
+// wireTypes are the request types the daemon accounts per-type; an
+// unknown type lands on the "unknown" counter.
+var wireTypes = []string{"info", "auth", "access", "audit", "depart", "unknown"}
+
+func newDMetrics(r *obs.Registry, server model.ServerID) *dmetrics {
+	if r == nil {
+		r = obs.Default
+	}
+	srv := obs.Label("server", string(server))
+	m := &dmetrics{
+		conns: r.Counter("stac_server_connections_total", srv,
+			"Connections accepted by the coalition daemon."),
+		inflight: r.Gauge("stac_server_inflight_connections", srv,
+			"Connections currently being served."),
+		requests: make(map[string]*obs.Counter, len(wireTypes)),
+		dedup: r.Counter("stac_server_dedup_hits_total", srv,
+			"Access retries answered from the idempotency cache."),
+		oversize: r.Counter("stac_server_rejects_total",
+			obs.Labels(obs.Label("reason", "oversize"), srv),
+			"Requests rejected before handling, by reason."),
+		malform: r.Counter("stac_server_rejects_total",
+			obs.Labels(obs.Label("reason", "malformed"), srv),
+			"Requests rejected before handling, by reason."),
+	}
+	for _, t := range wireTypes {
+		m.requests[t] = r.Counter("stac_server_requests_total",
+			obs.Labels(srv, obs.Label("type", t)),
+			"Wire requests handled, by type.")
+	}
+	return m
+}
+
+func (m *dmetrics) request(typ string) {
+	c, ok := m.requests[typ]
+	if !ok {
+		c = m.requests["unknown"]
+	}
+	c.Inc()
+}
+
 // Daemon exposes one coalition server over TCP.
 type Daemon struct {
 	srv *Server
 	cfg DaemonConfig
+	met *dmetrics
 	ln  net.Listener
 	sem chan struct{} // MaxConns slots; nil when unlimited
 
@@ -162,6 +218,7 @@ func NewDaemonWith(s *Server, cfg DaemonConfig) *Daemon {
 	d := &Daemon{
 		srv:      s,
 		cfg:      cfg,
+		met:      newDMetrics(cfg.Obs, s.ID()),
 		quit:     make(chan struct{}),
 		subjects: make(map[string]*Subject),
 		conns:    make(map[net.Conn]struct{}),
@@ -319,9 +376,12 @@ func readLine(r *bufio.Reader, max int) ([]byte, error) {
 }
 
 func (d *Daemon) serveConn(conn net.Conn) {
+	d.met.conns.Inc()
+	d.met.inflight.Inc()
 	defer func() {
 		conn.Close()
 		d.untrack(conn)
+		d.met.inflight.Dec()
 		if d.sem != nil {
 			<-d.sem
 		}
@@ -342,6 +402,7 @@ func (d *Daemon) serveConn(conn net.Conn) {
 		line, err := readLine(br, d.cfg.maxLine())
 		if err != nil {
 			if errors.Is(err, errLineTooLong) {
+				d.met.oversize.Inc()
 				d.reply(conn, wireResponse{Error: fmt.Sprintf(
 					"request exceeds %d-byte limit", d.cfg.maxLine())})
 			}
@@ -349,9 +410,11 @@ func (d *Daemon) serveConn(conn net.Conn) {
 		}
 		var req wireRequest
 		if err := json.Unmarshal(line, &req); err != nil {
+			d.met.malform.Inc()
 			d.reply(conn, wireResponse{Error: "malformed request: " + err.Error()})
 			return
 		}
+		d.met.request(req.Type)
 		resp := d.handle(&req, &tokens)
 		if !d.reply(conn, resp) {
 			return
@@ -423,6 +486,7 @@ func (d *Daemon) handle(req *wireRequest, tokens *[]string) wireResponse {
 		if req.ID != "" && d.cfg.dedupWindow() > 0 {
 			key = dedupKey{obj: sub.Object, id: req.ID}
 			if resp, ok := d.cached(key); ok {
+				d.met.dedup.Inc()
 				return resp
 			}
 		}

@@ -35,8 +35,21 @@ var NoneProven ProofOracle = OracleFunc(func(model.Access) bool { return false }
 //	t ⊨ a           iff a ∈ t and Pr(a)
 //	t ⊨ a1 ⊗ a2     iff ∃ t1·t2 = t with a1 ∈ t1, a2 ∈ t2,
 //	                    Pr(a1) and Pr(a2)
-//	t ⊨ #(m,n,σ)    iff m ≤ |σ(t)| ≤ n
+//	t ⊨ #(m,n,σ)    iff m ≤ |σ(t)| ≤ n, over proof-backed accesses
 //	∧, ∨, ¬          as usual
+//
+// On the proof oracle and counting: Definition 3.6 writes |σ(t)| over
+// the trace, but the model's premise (Section 2) is that a mobile
+// object's claimed history is only credible where an execution proof
+// attests it — which is why the atom and ordering cases require
+// Pr(a). We read the counting atom the same way: #(m, n, σ) counts
+// only the σ-selected accesses the oracle attests, through the shared
+// countProven helper used by both SatisfiesTrace and EvalPrefix.
+// Counting raw trace entries would let an unattested (e.g. replayed or
+// fabricated) access consume a ceiling or satisfy a floor that the
+// proof-carrying design says it must not. With the default AllProven
+// oracle (hypothetical traces, static checking) the two readings
+// coincide.
 //
 // Constraint atoms are access patterns: an atom with an empty
 // component matches any access agreeing on the non-empty components.
@@ -59,12 +72,7 @@ func SatisfiesTrace(t trace.Trace, c Constraint, pr ProofOracle) bool {
 		}
 		return firstMatch(t, x.Second, i+1, pr) >= 0
 	case Count:
-		n := 0
-		for _, a := range t {
-			if x.Sel.SelectAccess(a) {
-				n++
-			}
-		}
+		n := countProven(t, x.Sel, pr)
 		return n >= x.Min && n <= x.Max
 	case And:
 		return SatisfiesTrace(t, x.Left, pr) && SatisfiesTrace(t, x.Right, pr)
@@ -74,6 +82,20 @@ func SatisfiesTrace(t trace.Trace, c Constraint, pr ProofOracle) bool {
 		return !SatisfiesTrace(t, x.C, pr)
 	}
 	return false
+}
+
+// countProven counts the proof-backed accesses in t selected by sel —
+// the |σ(t)| of Definition 3.6 under the proof-carrying reading (see
+// the SatisfiesTrace comment). Both SatisfiesTrace and EvalPrefix
+// count through this helper so the two relations cannot drift.
+func countProven(t trace.Trace, sel model.Selector, pr ProofOracle) int {
+	n := 0
+	for _, a := range t {
+		if sel.SelectAccess(a) && pr.Proven(a) {
+			n++
+		}
+	}
+	return n
 }
 
 // firstMatch returns the index of the first access at or after from

@@ -1,0 +1,192 @@
+package srac
+
+import (
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/trace"
+)
+
+// Regression tests for the negation unsoundness: the old negate mapped
+// Satisfied to Violated unconditionally, so ¬#(m, n, σ) over a count
+// inside [m, n] was reported as irreversibly violated even though an
+// extension crossing the ceiling satisfies the negation. These tests
+// fail against the old mapping and pin the NegateStable semantics.
+
+func TestNegateStableMapping(t *testing.T) {
+	tests := []struct {
+		in         Status
+		inStable   bool
+		want       Status
+		wantStable bool
+	}{
+		{Satisfied, true, Violated, true},
+		{Satisfied, false, Pending, false},
+		{Violated, true, Satisfied, true},
+		{Violated, false, Satisfied, true}, // Violated is stable by definition
+		{Pending, false, Pending, false},
+	}
+	for _, tt := range tests {
+		got, gotStable := NegateStable(tt.in, tt.inStable)
+		if got != tt.want || gotStable != tt.wantStable {
+			t.Errorf("NegateStable(%v, %v) = (%v, %v), want (%v, %v)",
+				tt.in, tt.inStable, got, gotStable, tt.want, tt.wantStable)
+		}
+	}
+}
+
+func TestEvalPrefixNegatedCountIsPending(t *testing.T) {
+	// ¬#(0, 2, σ): "eventually more than two rsw executions". With the
+	// count inside [0, 2] the inner atom is Satisfied but UNSTABLE —
+	// further executions can push it over the ceiling — so the negation
+	// is Pending, not Violated.
+	sel := model.Selector{Resources: []model.ResourceID{"rsw"}}
+	c := Not{C: Count{Min: 0, Max: 2, Sel: sel}}
+	a := model.NewAccess("o1", "execute", "rsw", "s1")
+
+	for _, hist := range []trace.Trace{
+		trace.Empty,
+		{a},
+		{a, a},
+	} {
+		if got := EvalPrefix(hist, c, nil); got != Pending {
+			t.Fatalf("¬count over %d in-range accesses = %v, want pending", len(hist), got)
+		}
+	}
+	// The extension the old semantics ruled out: a third execution
+	// crosses the ceiling, satisfying the negation for good.
+	over := trace.Trace{a, a, a}
+	if got, stable := EvalPrefixStable(over, c, nil); got != Satisfied || !stable {
+		t.Fatalf("¬count over ceiling = (%v, %v), want (satisfied, true)", got, stable)
+	}
+}
+
+func TestEvalPrefixNegatedUnboundedCount(t *testing.T) {
+	// ¬#(2, ∞, σ): once two selected accesses are witnessed the inner
+	// count is Satisfied AND stable (no ceiling to cross back), so the
+	// negation really is irreversibly Violated.
+	sel := model.Selector{Resources: []model.ResourceID{"rsw"}}
+	c := Not{C: Count{Min: 2, Max: Unbounded, Sel: sel}}
+	a := model.NewAccess("o1", "execute", "rsw", "s1")
+
+	if got := EvalPrefix(trace.Trace{a}, c, nil); got != Pending {
+		t.Fatalf("below min = %v, want pending", got)
+	}
+	if got, stable := EvalPrefixStable(trace.Trace{a, a}, c, nil); got != Violated || !stable {
+		t.Fatalf("at min = (%v, %v), want (violated, true)", got, stable)
+	}
+}
+
+func TestEvalPrefixCountImplication(t *testing.T) {
+	// #(1, 2, σ) → a desugars to ¬count ∨ a. With the count in range
+	// and the consequent unwitnessed, the verdict must stay Pending:
+	// the consequent can still happen, and so can a ceiling crossing.
+	// Under the old negate the left disjunct was Violated, so an
+	// unwitnessed consequent made the whole implication Violated.
+	sel := model.Selector{Resources: []model.ResourceID{"rsw"}}
+	cons := model.Access{Op: "write", Resource: "log", Server: "s1"}
+	c := Implies(Count{Min: 1, Max: 2, Sel: sel}, Require(cons))
+	a := model.NewAccess("o1", "execute", "rsw", "s1")
+
+	if got := EvalPrefix(trace.Trace{a}, c, nil); got != Pending {
+		t.Fatalf("in-range count, unwitnessed consequent = %v, want pending", got)
+	}
+	// Witnessing the consequent satisfies the implication.
+	withCons := trace.Trace{a, model.NewAccess("o1", "write", "log", "s1")}
+	if got := EvalPrefix(withCons, c, nil); got != Satisfied {
+		t.Fatalf("witnessed consequent = %v, want satisfied", got)
+	}
+	// The hardest shape: count → F. Pre-fix this was Violated on any
+	// in-range count; soundly it is Pending until the ceiling is
+	// crossed (then Satisfied: the antecedent is irreversibly false).
+	toF := Implies(Count{Min: 0, Max: 1, Sel: sel}, FalseC{})
+	if got := EvalPrefix(trace.Trace{a}, toF, nil); got != Pending {
+		t.Fatalf("count→F in range = %v, want pending", got)
+	}
+	if got := EvalPrefix(trace.Trace{a, a}, toF, nil); got != Satisfied {
+		t.Fatalf("count→F over ceiling = %v, want satisfied", got)
+	}
+}
+
+func TestEvalPrefixNestedNegation(t *testing.T) {
+	sel := model.Selector{Resources: []model.ResourceID{"rsw"}}
+	a := model.NewAccess("o1", "execute", "rsw", "s1")
+
+	// ¬¬count: the inner Satisfied is unstable, so the double negation
+	// conservatively stays Pending (it cannot claim Satisfied: the
+	// inner negation is Pending, and ¬Pending is Pending).
+	dnCount := Not{C: Not{C: Count{Min: 0, Max: 2, Sel: sel}}}
+	if got := EvalPrefix(trace.Trace{a}, dnCount, nil); got != Pending {
+		t.Fatalf("¬¬count in range = %v, want pending", got)
+	}
+
+	// ¬¬atom over a witnessed atom: the inner Satisfied is stable, so
+	// the double negation recovers Satisfied (and stability).
+	dnAtom := Not{C: Not{C: Require(model.Access{Op: "execute", Resource: "rsw"})}}
+	if got, stable := EvalPrefixStable(trace.Trace{a}, dnAtom, nil); got != Satisfied || !stable {
+		t.Fatalf("¬¬witnessed atom = (%v, %v), want (satisfied, true)", got, stable)
+	}
+	if got := EvalPrefix(trace.Empty, dnAtom, nil); got != Pending {
+		t.Fatalf("¬¬unwitnessed atom = %v, want pending", got)
+	}
+}
+
+func TestEvalPrefixStableBits(t *testing.T) {
+	sel := model.Selector{Resources: []model.ResourceID{"rsw"}}
+	a := model.NewAccess("o1", "execute", "rsw", "s1")
+	atom := Require(model.Access{Op: "execute", Resource: "rsw"})
+	tests := []struct {
+		name       string
+		c          Constraint
+		hist       trace.Trace
+		want       Status
+		wantStable bool
+	}{
+		{"witnessed atom", atom, trace.Trace{a}, Satisfied, true},
+		{"unwitnessed atom", atom, trace.Empty, Pending, false},
+		{"bounded count in range", Count{Min: 0, Max: 2, Sel: sel}, trace.Trace{a}, Satisfied, false},
+		{"unbounded count at min", Count{Min: 1, Max: Unbounded, Sel: sel}, trace.Trace{a}, Satisfied, true},
+		{"count over ceiling", Count{Min: 0, Max: 0, Sel: sel}, trace.Trace{a}, Violated, true},
+		{"and of stable+unstable", And{Left: atom, Right: Count{Min: 0, Max: 2, Sel: sel}}, trace.Trace{a}, Satisfied, false},
+		{"or picks stable side", Or{Left: atom, Right: Count{Min: 0, Max: 2, Sel: sel}}, trace.Trace{a}, Satisfied, true},
+	}
+	for _, tt := range tests {
+		got, stable := EvalPrefixStable(tt.hist, tt.c, nil)
+		if got != tt.want || stable != tt.wantStable {
+			t.Errorf("%s: = (%v, %v), want (%v, %v)", tt.name, got, stable, tt.want, tt.wantStable)
+		}
+	}
+}
+
+// Regression for the counting/oracle mismatch: #(m, n, σ) must count
+// only proof-backed accesses, like the atom and ordering cases, in
+// both trace satisfaction and prefix evaluation.
+func TestCountIgnoresUnprovenAccesses(t *testing.T) {
+	sel := model.Selector{Resources: []model.ResourceID{"rsw"}}
+	a := model.NewAccess("o1", "execute", "rsw", "s1")
+	proven := model.NewAccess("o2", "execute", "rsw", "s1")
+	oracle := OracleFunc(func(x model.Access) bool { return x.Object == "o2" })
+
+	ceiling := Count{Min: 0, Max: 1, Sel: sel}
+	// Three matching accesses, but only one attested: the ceiling holds.
+	hist := trace.Trace{a, a, proven}
+	if !SatisfiesTrace(hist, ceiling, oracle) {
+		t.Fatal("unproven accesses consumed the ceiling in SatisfiesTrace")
+	}
+	if got := EvalPrefix(hist, ceiling, oracle); got != Satisfied {
+		t.Fatalf("EvalPrefix counted unproven accesses: %v", got)
+	}
+
+	floor := Count{Min: 2, Max: Unbounded, Sel: sel}
+	// Unproven accesses must not satisfy a floor either.
+	if SatisfiesTrace(hist, floor, oracle) {
+		t.Fatal("unproven accesses satisfied the floor in SatisfiesTrace")
+	}
+	if got := EvalPrefix(hist, floor, oracle); got != Pending {
+		t.Fatalf("EvalPrefix floor over unproven accesses = %v, want pending", got)
+	}
+	// With everything attested the floor is met.
+	if got := EvalPrefix(trace.Trace{proven, proven}, floor, oracle); got != Satisfied {
+		t.Fatal("proven accesses did not satisfy the floor")
+	}
+}

@@ -15,14 +15,17 @@ type Status int
 
 // Prefix-evaluation outcomes.
 const (
-	// Satisfied: the history already satisfies the constraint, and
-	// satisfaction is stable for the constructs that can only be
-	// strengthened by more accesses.
+	// Satisfied: the history already satisfies the constraint. Whether
+	// satisfaction is STABLE (no extension can lose it) depends on the
+	// construct: a witnessed atom stays witnessed, but a count within a
+	// finite ceiling can still be pushed over it. EvalPrefixStable
+	// reports the distinction; it is what makes negation sound.
 	Satisfied Status = iota
 	// Violated: no extension of the history can satisfy the
 	// constraint (an irreversible violation).
 	Violated
-	// Pending: not satisfied yet, but some extension could satisfy it.
+	// Pending: the constraint is not satisfied by the history, but the
+	// verdict is not irreversible — an extension may satisfy it.
 	Pending
 )
 
@@ -38,16 +41,34 @@ func (s Status) String() string {
 	}
 }
 
-// negate flips Satisfied and Violated. For Pending the conservative
-// answer is Pending.
-func (s Status) negate() Status {
-	switch s {
-	case Satisfied:
-		return Violated
-	case Violated:
-		return Satisfied
+// NegateStable derives the prefix status of ¬C from the status and
+// stability of C. It is the sound replacement for the naive
+// Satisfied↔Violated swap, which is wrong for unstable satisfaction:
+// a counting atom #(m, n, σ) with the count inside [m, n] is Satisfied
+// but an extension can push the count past n, so ¬#(m, n, σ) is merely
+// Pending — denying it as "irreversibly violated" (as the swap did)
+// is a wrong verdict in Admissible mode.
+//
+//   - Satisfied, stable  → Violated (every extension satisfies C, so
+//     none satisfies ¬C — truly irreversible), and the verdict is
+//     itself stable.
+//   - Satisfied, unstable → Pending (¬C unsatisfied now, but some
+//     extension may unsatisfy C).
+//   - Violated → Satisfied, stable (no extension satisfies C, so every
+//     extension satisfies ¬C).
+//   - Pending → Pending (conservative: C is unsatisfied now, so ¬C
+//     holds on the current prefix, but three-valued enforcement only
+//     needs "not Violated" here and stays conservative).
+func NegateStable(s Status, stable bool) (Status, bool) {
+	switch {
+	case s == Satisfied && stable:
+		return Violated, true
+	case s == Satisfied:
+		return Pending, false
+	case s == Violated:
+		return Satisfied, true
 	default:
-		return Pending
+		return Pending, false
 	}
 }
 
@@ -56,72 +77,94 @@ func (s Status) negate() Status {
 //   - Atom a: Satisfied once a proof-backed match is in the history,
 //     otherwise Pending (the access can still happen).
 //   - a1 ⊗ a2: Satisfied once witnessed in order; otherwise Pending.
-//   - #(m, n, σ): Violated when the count already exceeds n (more
-//     accesses only increase it); Satisfied within [m, n]; Pending
-//     below m.
+//   - #(m, n, σ): Violated when the proof-backed count already exceeds
+//     n (more accesses only increase it); Satisfied within [m, n];
+//     Pending below m.
 //   - Connectives combine three-valued: ∧ is Violated if either side
-//     is, Satisfied if both are; ∨ dually; ¬ swaps Satisfied and
-//     Violated and is conservative (Pending) on Pending operands.
+//     is, Satisfied if both are; ∨ dually; ¬ follows NegateStable —
+//     it only yields Violated when the operand's satisfaction is
+//     stable, so ¬count over an in-range count is Pending, not
+//     Violated.
 //
 // Enforcement denies on Violated and may grant on Satisfied or
 // Pending; the static program checker additionally rules out programs
 // that can never satisfy the constraint.
 func EvalPrefix(t trace.Trace, c Constraint, pr ProofOracle) Status {
+	s, _ := EvalPrefixStable(t, c, pr)
+	return s
+}
+
+// EvalPrefixStable is EvalPrefix plus a stability bit: stable reports
+// that the returned status cannot change under ANY extension of the
+// history. Violated is stable by definition (it means exactly that no
+// extension satisfies); Satisfied is stable for witnessed atoms and
+// orderings, for counts with an unbounded ceiling, and for
+// combinations thereof; Pending is never stable (it means exactly
+// that the verdict can still move).
+func EvalPrefixStable(t trace.Trace, c Constraint, pr ProofOracle) (status Status, stable bool) {
 	if pr == nil {
 		pr = AllProven
 	}
+	return evalPrefix(t, c, pr)
+}
+
+func evalPrefix(t trace.Trace, c Constraint, pr ProofOracle) (Status, bool) {
 	switch x := c.(type) {
 	case TrueC:
-		return Satisfied
+		return Satisfied, true
 	case FalseC:
-		return Violated
+		return Violated, true
 	case Atom:
 		if firstMatch(t, x.A, 0, pr) >= 0 {
-			return Satisfied
+			// The witness is in the history for good: satisfaction is
+			// stable under extension.
+			return Satisfied, true
 		}
-		return Pending
+		return Pending, false
 	case Ordered:
 		i := firstMatch(t, x.First, 0, pr)
 		if i >= 0 && firstMatch(t, x.Second, i+1, pr) >= 0 {
-			return Satisfied
+			return Satisfied, true
 		}
-		return Pending
+		return Pending, false
 	case Count:
-		n := t.Count(x.Sel)
+		n := countProven(t, x.Sel, pr)
 		switch {
 		case n > x.Max:
-			return Violated
+			return Violated, true
 		case n >= x.Min:
-			return Satisfied
+			// Extensions can only grow the count, so satisfaction is
+			// stable exactly when there is no ceiling to cross.
+			return Satisfied, x.Max == Unbounded
 		default:
-			return Pending
+			return Pending, false
 		}
 	case And:
-		l := EvalPrefix(t, x.Left, pr)
-		r := EvalPrefix(t, x.Right, pr)
+		l, lst := evalPrefix(t, x.Left, pr)
+		r, rst := evalPrefix(t, x.Right, pr)
 		switch {
 		case l == Violated || r == Violated:
-			return Violated
+			return Violated, true
 		case l == Satisfied && r == Satisfied:
-			return Satisfied
+			return Satisfied, lst && rst
 		default:
-			return Pending
+			return Pending, false
 		}
 	case Or:
-		l := EvalPrefix(t, x.Left, pr)
-		r := EvalPrefix(t, x.Right, pr)
+		l, lst := evalPrefix(t, x.Left, pr)
+		r, rst := evalPrefix(t, x.Right, pr)
 		switch {
 		case l == Satisfied || r == Satisfied:
-			return Satisfied
+			return Satisfied, (l == Satisfied && lst) || (r == Satisfied && rst)
 		case l == Violated && r == Violated:
-			return Violated
+			return Violated, true
 		default:
-			return Pending
+			return Pending, false
 		}
 	case Not:
-		return EvalPrefix(t, x.C, pr).negate()
+		return NegateStable(evalPrefix(t, x.C, pr))
 	}
-	return Pending
+	return Pending, false
 }
 
 // AdmitsExtension reports whether the history can still lead to

@@ -13,8 +13,12 @@ package srac
 //
 // Equivalence is with respect to trace satisfaction (Definition 3.6):
 // for every trace t and oracle pr, t ⊨ C iff t ⊨ Simplify(C). The
-// prefix-evaluation status is also preserved, because the identities
-// hold in the three-valued reading as well.
+// prefix-evaluation status is also preserved. For ¬¬C = C that takes
+// care: when C contains a counting atom with a finite ceiling, C can
+// be Satisfied-but-unstable, where the sound negation (NegateStable)
+// makes ¬¬C only Pending — so double-negation elimination is applied
+// only when satisfactionStable reports every Satisfied verdict of C is
+// stable.
 func Simplify(c Constraint) Constraint {
 	switch x := c.(type) {
 	case And:
@@ -57,7 +61,9 @@ func Simplify(c Constraint) Constraint {
 		case FalseC:
 			return TrueC{}
 		case Not:
-			return y.C
+			if satisfactionStable(y.C) {
+				return y.C
+			}
 		}
 		return Not{C: inner}
 	case Count:
@@ -68,6 +74,24 @@ func Simplify(c Constraint) Constraint {
 	default:
 		return c
 	}
+}
+
+// satisfactionStable reports whether every Satisfied prefix verdict
+// the constraint can produce is stable under trace extension — true
+// exactly when no counting atom carries a finite ceiling (witnessed
+// atoms and orderings cannot be un-witnessed, and an unbounded count
+// cannot be pushed over a ceiling). For such constraints ¬¬C = C also
+// holds in the three-valued prefix reading.
+func satisfactionStable(c Constraint) bool {
+	ok := true
+	Walk(c, func(x Constraint) bool {
+		if cnt, isCnt := x.(Count); isCnt && cnt.Max != Unbounded {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
 }
 
 func isTrue(c Constraint) bool {
