@@ -1,11 +1,21 @@
 #!/bin/sh
-# Tier-1 verification loop: build, vet, test, then test again under
-# the race detector. Run from the repository root; any failure aborts.
+# Tier-1 verification loop: format gate, build, vet, test, then test
+# again under the race detector. Run from the repository root; any
+# failure aborts.
 #
 # A note on the race pass: the seed tree was already race-clean when
 # -race joined this loop, so a failure here means a regression, not
 # pre-existing debt.
 set -eux
+
+# Formatting is a hard gate: any file gofmt would rewrite fails the
+# run, with the offenders listed.
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
 
 go build ./...
 go vet ./...
@@ -13,5 +23,16 @@ go test ./...
 go test -race ./...
 # Benchmark smoke: one iteration each, so a broken benchmark (or a
 # regression that panics only on the bench path) fails CI without
-# paying for a real measurement run.
-go test -bench . -benchtime=1x -run '^$' ./...
+# paying for a real measurement run. The output lands in a file first
+# (a pipe would mask go test's exit status under set -e), then gets
+# distilled into BENCH_pr3.json for the CI artifact.
+go test -bench . -benchtime=1x -benchmem -run '^$' ./... >bench_smoke.txt
+awk '
+    BEGIN { print "[" }
+    /^Benchmark/ && $8 == "allocs/op" {
+        if (n++) printf ",\n"
+        printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", $1, $3, $7
+    }
+    END { print "\n]" }
+' bench_smoke.txt >BENCH_pr3.json
+rm bench_smoke.txt

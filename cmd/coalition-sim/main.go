@@ -20,11 +20,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment IDs (F1, E1..E9) or \"all\"")
+	exp := flag.String("exp", "all", "comma-separated experiment IDs (F1, E1..E10) or \"all\"")
 	full := flag.Bool("full", false, "run full-scale sweeps")
 	list := flag.Bool("list", false, "list experiments and exit")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured Markdown tables")
 	stats := flag.Bool("stats", true, "print the decision-path metric totals after the run")
+	traceOut := flag.String("trace-out", "", "record decision span trees and write them to this file as Chrome trace-event JSON")
 	flag.Parse()
 
 	if *list {
@@ -50,11 +51,34 @@ func main() {
 	if *markdown {
 		format = experiments.Markdown
 	}
+	if *traceOut != "" {
+		// Experiment engines fall back to the process-wide tracer, so
+		// opting its sampling on records a span tree per decision.
+		obs.DefaultTracer.SetSampling(true)
+	}
 	for _, id := range ids {
 		if err := experiments.RunFormat(os.Stdout, id, scale, format); err != nil {
 			fmt.Fprintln(os.Stderr, "coalition-sim:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coalition-sim:", err)
+			os.Exit(1)
+		}
+		spans := obs.DefaultTracer.Store().Spans()
+		err = obs.WriteChromeTrace(f, spans)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coalition-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", len(spans), *traceOut)
 	}
 
 	if *stats {

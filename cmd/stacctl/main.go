@@ -8,6 +8,13 @@
 //	stacctl check -object o1 -constraint C P   # static check P ⊨ C
 //	stacctl check-trace -constraint C trace    # evaluate an executed trace
 //	stacctl explain -object o1 -constraint C P # per-subformula verdicts
+//	stacctl explain -addr host:port <decision-id>
+//	                                           # explain a recorded decision
+//	                                           # via a daemon's /debug/explain
+//	stacctl explain -audit log.jsonl <decision-id>
+//	                                           # same, scanning a JSONL log
+//	stacctl trace -addr host:port [<trace-id>] # list traces / render one
+//	stacctl trace -file run.json [<trace-id>]  # render an exported trace
 //	stacctl traces -max 20 P                   # enumerate traces(P)
 //	stacctl synth '<regular model>'            # Theorem 3.1 synthesis
 //	stacctl policy [-dump] policy.stac         # validate / re-emit a policy
@@ -58,7 +65,15 @@ func run(args []string) error {
 	case "check-trace":
 		return cmdCheckTrace(rest)
 	case "explain":
+		// Two modes share the name: -addr/-audit explain one recorded
+		// runtime decision; otherwise it is the legacy static
+		// per-subformula program check.
+		if explainWantsDecision(rest) {
+			return cmdExplainDecision(rest)
+		}
 		return cmdCheck(rest, true)
+	case "trace":
+		return cmdTrace(rest)
 	case "traces":
 		return cmdTraces(rest)
 	case "synth":

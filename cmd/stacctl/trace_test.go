@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stac/internal/core"
+	"stac/internal/obs"
+	"stac/internal/server"
+	"stac/internal/srac"
+)
+
+// exportedTrace builds a Chrome trace-event export from a real span
+// tree so the renderer is exercised against what obs actually emits.
+func exportedTrace(t *testing.T) (raw []byte, traceID string) {
+	t.Helper()
+	tr := obs.NewTracer(16)
+	tc := tr.NewContext()
+	root, ctx := tr.StartSpan(tc, "itinerary")
+	root.SetService("agent")
+	child, cctx := tr.StartSpan(ctx, "authorize")
+	child.SetService("engine")
+	child.SetAttr("decision_id", "d-0011223344556677")
+	leaf, _ := tr.StartSpan(cctx, "prefix_eval")
+	leaf.SetService("engine")
+	leaf.Finish()
+	child.Finish()
+	root.Finish()
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, tr.Store().Spans()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tc.Trace.String()
+}
+
+func TestRenderChromeTrace(t *testing.T) {
+	raw, id := exportedTrace(t)
+	var out bytes.Buffer
+	if err := renderChromeTrace(&out, raw, id); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "trace "+id+" (3 spans)") {
+		t.Fatalf("header missing:\n%s", got)
+	}
+	// Indentation mirrors the span tree, services bracketed, the
+	// decision attribute preserved.
+	for _, want := range []string{
+		"\n  itinerary [agent]",
+		"\n    authorize [engine]",
+		"\n      prefix_eval [engine]",
+		"decision_id=d-0011223344556677",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("rendered tree lacks %q:\n%s", want, got)
+		}
+	}
+	// Raw span-identity args stay out of the display.
+	if strings.Contains(got, "span_id=") || strings.Contains(got, "trace_id=") {
+		t.Fatalf("identity args leaked:\n%s", got)
+	}
+
+	// Filtering to an absent trace fails loudly.
+	if err := renderChromeTrace(&bytes.Buffer{}, raw, "ffffffffffffffffffffffffffffffff"); err == nil {
+		t.Fatal("absent trace rendered")
+	}
+	// Garbage input is an error, not a panic.
+	if err := renderChromeTrace(&bytes.Buffer{}, []byte("not json"), ""); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}
+
+func TestExplainWantsDecision(t *testing.T) {
+	cases := []struct {
+		args []string
+		want bool
+	}{
+		{[]string{"-addr", "127.0.0.1:9090", "d-1"}, true},
+		{[]string{"-addr=127.0.0.1:9090", "d-1"}, true},
+		{[]string{"-audit", "log.jsonl", "d-1"}, true},
+		{[]string{"-audit=log.jsonl", "d-1"}, true},
+		{[]string{"-policy", "p.stac", "prog"}, false},
+		{nil, false},
+	}
+	for _, tc := range cases {
+		if got := explainWantsDecision(tc.args); got != tc.want {
+			t.Fatalf("explainWantsDecision(%v) = %v", tc.args, got)
+		}
+	}
+}
+
+func TestScanAuditLogAndRenderExplain(t *testing.T) {
+	denial := server.AuditEntry{
+		DecisionID:     "d-aaaaaaaaaaaaaaaa",
+		TraceID:        "0102030405060708090a0b0c0d0e0f10",
+		Time:           12,
+		Server:         "s3",
+		Object:         "dev-1",
+		Op:             "read",
+		Resource:       "doc",
+		Perm:           "p-doc",
+		DenyReason:     "spatial_violated",
+		Reason:         "spatial constraint violated",
+		SpatialStatus:  "violated",
+		ProgramVerdict: "accepted",
+		TemporalState:  "within budget",
+		Explanation: &core.Explanation{
+			Clause: "count(0, 2, sigma)",
+			Detail: "count 3 exceeds ceiling 2",
+			Counts: []srac.CountWindow{{Selector: "sigma", Min: 0, Max: 2, Observed: 3}},
+		},
+	}
+	grant := server.AuditEntry{DecisionID: "d-bbbbbbbbbbbbbbbb", Granted: true, Server: "s1"}
+
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	var lines []string
+	for _, e := range []server.AuditEntry{grant, denial} {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(b))
+	}
+	content := lines[0] + "\n" + "not json\n\n" + lines[1] + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scan skips blank and unparseable lines and finds the entry.
+	e, err := scanAuditLog(path, denial.DecisionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Server != "s3" || e.Explanation == nil {
+		t.Fatalf("scanned entry = %+v", e)
+	}
+	if _, err := scanAuditLog(path, "d-0000000000000000"); err == nil ||
+		!strings.Contains(err.Error(), "not found") {
+		t.Fatalf("missing-id error = %v", err)
+	}
+
+	var out bytes.Buffer
+	renderExplain(&out, e)
+	got := out.String()
+	for _, want := range []string{
+		"decision d-aaaaaaaaaaaaaaaa @ s3 — DENIED (spatial_violated)",
+		"trace:    0102030405060708090a0b0c0d0e0f10",
+		"access:   read doc @ s3 by dev-1 (t=12)",
+		"perm:     p-doc",
+		"violated clause: count(0, 2, sigma)",
+		"detail:   count 3 exceeds ceiling 2",
+		"window:   sigma: observed 3 of window [0,2]",
+		"reason:   spatial constraint violated",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("transcript lacks %q:\n%s", want, got)
+		}
+	}
+
+	out.Reset()
+	renderExplain(&out, grant)
+	if !strings.Contains(out.String(), "— GRANTED") {
+		t.Fatalf("grant transcript:\n%s", out.String())
+	}
+}

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
@@ -71,8 +72,18 @@ type options struct {
 	maxLineBytes int
 
 	// metricsAddr, when set, serves the observability endpoints
-	// (/metrics, /debug/vars, /debug/pprof) on one extra HTTP listener.
+	// (/metrics, /debug/vars, /debug/pprof, /debug/trace,
+	// /debug/explain) on one extra HTTP listener.
 	metricsAddr string
+
+	// trace samples a span tree per decision into an in-memory ring,
+	// exported as Chrome trace-event JSON on /debug/trace.
+	trace bool
+	// traceCapacity bounds the span ring (0 = obs default).
+	traceCapacity int
+	// auditLog, when set, appends every authorisation decision as one
+	// JSON line (server.AuditEntry) to this file.
+	auditLog string
 }
 
 func (o options) daemonConfig() server.DaemonConfig {
@@ -97,6 +108,9 @@ func main() {
 	flag.IntVar(&opts.maxConns, "max-conns", 1024, "concurrent connection cap per server; 0 = unlimited")
 	flag.IntVar(&opts.maxLineBytes, "max-line-bytes", server.DefaultMaxLineBytes, "per-request size cap in bytes")
 	flag.StringVar(&opts.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address; empty disables")
+	flag.BoolVar(&opts.trace, "trace", true, "record a span tree per decision (export on /debug/trace)")
+	flag.IntVar(&opts.traceCapacity, "trace-capacity", 0, "in-memory span ring capacity; 0 = default")
+	flag.StringVar(&opts.auditLog, "audit-log", "", "append every decision as a JSON line to this file; empty disables")
 	flag.Parse()
 
 	app, err := start(opts, os.Stdout)
@@ -113,14 +127,18 @@ func main() {
 
 // app is everything start brought up and shutdown must tear down.
 type app struct {
-	daemons   []*server.Daemon
-	metricsLn net.Listener
+	daemons    []*server.Daemon
+	metricsLn  net.Listener
+	metricsSrv *http.Server
+	auditFile  *os.File
 }
 
 // metricsMux builds the observability endpoints: Prometheus text on
-// /metrics, the expvar JSON mirror on /debug/vars, and the standard
-// pprof profiles under /debug/pprof/.
-func metricsMux() *http.ServeMux {
+// /metrics, the expvar JSON mirror on /debug/vars, the standard pprof
+// profiles under /debug/pprof/, the coalition's span ring as Chrome
+// trace-event JSON on /debug/trace, and decision explanations on
+// /debug/explain?id=<decision-id>.
+func metricsMux(c *server.Coalition, tracer *obs.Tracer) *http.ServeMux {
 	obs.PublishExpvar("stac", obs.Default)
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(obs.Default))
@@ -130,6 +148,23 @@ func metricsMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/trace", obs.TraceHandler(tracer.Store()))
+	mux.HandleFunc("/debug/explain", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id parameter", http.StatusBadRequest)
+			return
+		}
+		rec, ok := c.Explain(id)
+		if !ok {
+			http.Error(w, "unknown decision id (window may have evicted it)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rec.Entry())
+	})
 	return mux
 }
 
@@ -152,10 +187,23 @@ func start(opts options, w io.Writer) (*app, error) {
 		}
 	}
 
+	tracer := obs.NewTracer(opts.traceCapacity)
+	tracer.SetSampling(opts.trace)
+	c.Engine.SetTracer(tracer)
+
 	a := &app{}
 	fail := func(err error) (*app, error) {
 		shutdown(a)
 		return nil, err
+	}
+
+	if opts.auditLog != "" {
+		f, err := os.OpenFile(opts.auditLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fail(err)
+		}
+		a.auditFile = f
+		c.SetAuditSink(f)
 	}
 	for _, id := range strings.Split(opts.servers, ",") {
 		id = strings.TrimSpace(id)
@@ -181,7 +229,10 @@ func start(opts options, w io.Writer) (*app, error) {
 			return fail(err)
 		}
 		a.metricsLn = ln
-		go func() { _ = http.Serve(ln, metricsMux()) }()
+		// Own the server so shutdown can drain in-flight scrapes
+		// instead of snapping the listener out from under them.
+		a.metricsSrv = &http.Server{Handler: metricsMux(c, tracer)}
+		go func() { _ = a.metricsSrv.Serve(ln) }()
 		fmt.Fprintf(w, "metrics %s\n", ln.Addr())
 	}
 
@@ -229,7 +280,16 @@ func shutdown(a *app) {
 	for _, d := range a.daemons {
 		_ = d.Close()
 	}
-	if a.metricsLn != nil {
+	if a.metricsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := a.metricsSrv.Shutdown(ctx); err != nil {
+			_ = a.metricsSrv.Close()
+		}
+		cancel()
+	} else if a.metricsLn != nil {
 		_ = a.metricsLn.Close()
+	}
+	if a.auditFile != nil {
+		_ = a.auditFile.Close()
 	}
 }

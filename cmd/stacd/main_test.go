@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"stac/internal/model"
+	"stac/internal/obs"
 	"stac/internal/proof"
 	"stac/internal/server"
 )
@@ -244,5 +245,172 @@ func TestStartAppliesTransportLimits(t *testing.T) {
 	}
 	if !strings.Contains(reply, "256-byte limit") {
 		t.Fatalf("oversized request reply = %q", reply)
+	}
+}
+
+const ceilingPolicy = `
+user device-1
+role worker
+permission p-doc read doc @ * {
+    spatial count(0, 2, sigma[r=doc])
+}
+grant worker p-doc
+assign device-1 worker
+`
+
+// The observability listener serves the span ring on /debug/trace and
+// resolves decision IDs on /debug/explain, with every decision also
+// landing in the -audit-log JSONL file.
+func TestStartServesTraceAndExplainEndpoints(t *testing.T) {
+	policy := filepath.Join(t.TempDir(), "policy.stac")
+	if err := os.WriteFile(policy, []byte(ceilingPolicy), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	auditPath := filepath.Join(t.TempDir(), "audit.jsonl")
+	var out strings.Builder
+	app, err := start(options{
+		policyPath:  policy,
+		servers:     "s1",
+		listen:      "127.0.0.1:0",
+		key:         "test-key",
+		issueCreds:  true,
+		metricsAddr: "127.0.0.1:0",
+		trace:       true,
+		auditLog:    auditPath,
+		resources:   resourceFlags{"s1:doc=payload"},
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(app)
+
+	var s1Addr, metricsAddr string
+	var cred proof.Credential
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		switch {
+		case strings.HasPrefix(line, "s1 "):
+			s1Addr = strings.TrimPrefix(line, "s1 ")
+		case strings.HasPrefix(line, "metrics "):
+			metricsAddr = strings.TrimPrefix(line, "metrics ")
+		case strings.HasPrefix(line, "credential "):
+			blob := strings.SplitN(line, " ", 3)[2]
+			if err := json.Unmarshal([]byte(blob), &cred); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Two grants, then a count-ceiling denial, all under one trace.
+	cl, err := server.Dial(s1Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(cred); err != nil {
+		t.Fatal(err)
+	}
+	tc := obs.NewTracer(1).NewContext()
+	cl.SetTrace(tc)
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Access(model.OpRead, "doc", "", nil); err != nil {
+			t.Fatalf("grant %d: %v", i+1, err)
+		}
+	}
+	_, err = cl.Access(model.OpRead, "doc", "", nil)
+	se, ok := err.(*server.ServerError)
+	if !ok || se.DecisionID == "" {
+		t.Fatalf("denial error = %v", err)
+	}
+
+	// /debug/trace?id= exports the itinerary as Chrome trace events.
+	resp, err := http.Get("http://" + metricsAddr + "/debug/trace?id=" + tc.Trace.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace status %d: %s", resp.StatusCode, body)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range chrome.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"wire.access", "authorize", "prefix_eval"} {
+		if !names[want] {
+			t.Fatalf("trace export lacks %q span (have %v)", want, names)
+		}
+	}
+
+	// /debug/explain resolves the denial to its violated clause.
+	resp, err = http.Get("http://" + metricsAddr + "/debug/explain?id=" + se.DecisionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/explain status %d: %s", resp.StatusCode, body)
+	}
+	var entry server.AuditEntry
+	if err := json.Unmarshal(body, &entry); err != nil {
+		t.Fatalf("/debug/explain not JSON: %v", err)
+	}
+	if entry.Granted || entry.Explanation == nil ||
+		!strings.Contains(entry.Explanation.Detail, "count 3 exceeds ceiling 2") {
+		t.Fatalf("explain entry = %s", body)
+	}
+	if entry.TraceID != tc.Trace.String() {
+		t.Fatalf("explain trace = %q, want %q", entry.TraceID, tc.Trace)
+	}
+
+	// Missing and unknown IDs answer 400 / 404.
+	if resp, err = http.Get("http://" + metricsAddr + "/debug/explain"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing id status = %d", resp.StatusCode)
+	}
+	if resp, err = http.Get("http://" + metricsAddr + "/debug/explain?id=d-ffffffffffffffff"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status = %d", resp.StatusCode)
+	}
+
+	// The audit log carries one JSON line per decision.
+	shutdown(app)
+	app.daemons = nil // idempotent deferred shutdown
+	app.metricsSrv = nil
+	app.auditFile = nil
+	data, err := os.ReadFile(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("audit log has %d lines, want 3:\n%s", len(lines), data)
+	}
+	var last server.AuditEntry
+	if err := json.Unmarshal([]byte(lines[2]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Granted || last.DecisionID != se.DecisionID {
+		t.Fatalf("audit tail = %+v, want denial %s", last, se.DecisionID)
+	}
+
+	// After Shutdown the metrics port no longer accepts connections.
+	if _, err := http.Get("http://" + metricsAddr + "/metrics"); err == nil {
+		t.Fatal("metrics listener still serving after shutdown")
 	}
 }

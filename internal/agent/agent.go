@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"stac/internal/model"
+	"stac/internal/obs"
 	"stac/internal/proof"
 	"stac/internal/server"
 	"stac/internal/sral"
@@ -178,8 +179,15 @@ var ErrNoProgram = errors.New("agent: no program")
 // Launch runs the agent to completion inside the coalition,
 // interpreting its SRAL program and migrating between servers as the
 // program's accesses require. It is synchronous; run it in a
-// goroutine for concurrent agents.
+// goroutine for concurrent agents. Each launch mints one trace from
+// the coalition engine's tracer — the in-process counterpart of the
+// remote runtime's itinerary trace.
 func Launch(c *server.Coalition, ag *Agent) error {
+	return LaunchTraced(c, c.Engine.Tracer().NewContext(), ag)
+}
+
+// LaunchTraced is Launch under a caller-minted trace context.
+func LaunchTraced(c *server.Coalition, tc obs.TraceContext, ag *Agent) error {
 	if ag.Program == nil {
 		ag.finish(ErrNoProgram)
 		return ErrNoProgram
@@ -188,7 +196,10 @@ func Launch(c *server.Coalition, ag *Agent) error {
 		ag.finish(err)
 		return err
 	}
-	ctx := &branch{coalition: c, agent: ag, cancel: ag.abort}
+	sp, btc := c.Engine.Tracer().StartSpan(tc, "itinerary")
+	sp.SetService("agent")
+	sp.SetAttr("agent", string(ag.ID))
+	ctx := &branch{coalition: c, agent: ag, cancel: ag.abort, tc: btc}
 	// Establish the starting location.
 	start := ag.Home
 	if start == "" {
@@ -204,6 +215,10 @@ func Launch(c *server.Coalition, ag *Agent) error {
 		err = ctx.exec(ag.Program)
 	}
 	ctx.leave()
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.Finish()
 	ag.finish(err)
 	return err
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"stac/internal/model"
+	"stac/internal/obs"
 	"stac/internal/server"
 	"stac/internal/sral"
 )
@@ -16,6 +17,9 @@ import (
 type branch struct {
 	coalition *server.Coalition
 	agent     *Agent
+	// tc is the branch's trace context (child of the itinerary root);
+	// Par clones inherit it, so forks stay within one trace.
+	tc obs.TraceContext
 
 	// loc is the server the branch currently resides at; nil subject
 	// means not authenticated anywhere yet.
@@ -86,6 +90,7 @@ func (b *branch) exec(n sral.Node) error {
 		res, err := b.srv.Request(b.subject, x.Op, x.Resource, server.RequestContext{
 			Program: b.agent.Program,
 			Store:   b.agent.Proofs,
+			Trace:   b.tc,
 		})
 		if err != nil {
 			return fmt.Errorf("agent %s: %s %s @ %s: %w", b.agent.ID, x.Op, x.Resource, x.Server, err)
@@ -141,7 +146,7 @@ func (b *branch) exec(n sral.Node) error {
 		// Fork a clone branch for the right side; both sides share the
 		// agent but roam independently. The left side continues in
 		// this branch so its final location is the branch's location.
-		clone := &branch{coalition: b.coalition, agent: b.agent, cancel: b.cancel}
+		clone := &branch{coalition: b.coalition, agent: b.agent, cancel: b.cancel, tc: b.tc}
 		// The clone starts co-located with its parent; snapshot the
 		// location before forking, since the parent keeps roaming.
 		origin := b.loc

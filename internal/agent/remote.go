@@ -64,6 +64,11 @@ type RemoteRuntime struct {
 	// backoff sleeps and hop latency into; nil means obs.Default. Set
 	// it before the first Launch.
 	Obs *obs.Registry
+	// Tracer mints one trace per Launch (the whole itinerary) and
+	// records the runtime's hop and access spans; nil means
+	// obs.DefaultTracer. The trace context propagates to every daemon
+	// the itinerary touches, so one trace ID spans all hops.
+	Tracer *obs.Tracer
 
 	once    sync.Once
 	rngOnce sync.Once
@@ -112,6 +117,13 @@ func (rt *RemoteRuntime) metrics() *rtMetrics {
 // DefaultRetries is the per-step transient-failure retry budget when
 // RemoteRuntime.Retries is zero.
 const DefaultRetries = 3
+
+func (rt *RemoteRuntime) tracer() *obs.Tracer {
+	if rt.Tracer != nil {
+		return rt.Tracer
+	}
+	return obs.DefaultTracer
+}
 
 func (rt *RemoteRuntime) hub() *channel.Hub {
 	rt.once.Do(func() {
@@ -178,8 +190,17 @@ func (rt *RemoteRuntime) backoffDelay(attempt int) time.Duration {
 
 // Launch runs the agent to completion over TCP. It is synchronous;
 // errors carry the failing step. The agent's proof store accumulates
-// every issued proof, exactly as with the in-process Launch.
+// every issued proof, exactly as with the in-process Launch. Each
+// launch mints one trace — the itinerary — whose context propagates to
+// every daemon the agent visits.
 func (rt *RemoteRuntime) Launch(ag *Agent) error {
+	return rt.LaunchTraced(rt.tracer().NewContext(), ag)
+}
+
+// LaunchTraced is Launch under a caller-minted trace context, so the
+// caller knows the itinerary's trace ID up front (e.g. to fetch its
+// span tree afterwards).
+func (rt *RemoteRuntime) LaunchTraced(tc obs.TraceContext, ag *Agent) error {
 	if ag.Program == nil {
 		ag.finish(ErrNoProgram)
 		return ErrNoProgram
@@ -188,7 +209,13 @@ func (rt *RemoteRuntime) Launch(ag *Agent) error {
 		ag.finish(err)
 		return err
 	}
-	b := &remoteBranch{rt: rt, agent: ag, programText: sral.String(ag.Program)}
+	// The itinerary root span parents every hop and access, across
+	// every server the agent visits.
+	tr := rt.tracer()
+	sp, ctx := tr.StartSpan(tc, "itinerary")
+	sp.SetService("agent")
+	sp.SetAttr("agent", string(ag.ID))
+	b := &remoteBranch{rt: rt, agent: ag, programText: sral.String(ag.Program), tc: ctx}
 	start := ag.Home
 	if start == "" {
 		if servers := sral.Servers(ag.Program); len(servers) > 0 {
@@ -203,6 +230,10 @@ func (rt *RemoteRuntime) Launch(ag *Agent) error {
 		err = b.exec(ag.Program)
 	}
 	b.leave()
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.Finish()
 	ag.finish(err)
 	return err
 }
@@ -213,6 +244,9 @@ type remoteBranch struct {
 	rt          *RemoteRuntime
 	agent       *Agent
 	programText string
+	// tc is the branch's trace context (child of the itinerary root);
+	// Par clones inherit it, so forks stay within one trace.
+	tc obs.TraceContext
 
 	loc    model.ServerID
 	client *server.Client
@@ -243,11 +277,16 @@ func (b *remoteBranch) moveTo(s model.ServerID) error {
 		return fmt.Errorf("agent %s: %w: %q has no address", b.agent.ID, model.ErrUnknownServer, s)
 	}
 	hopStart := time.Now()
+	sp, _ := b.rt.tracer().StartSpan(b.tc, "hop")
+	sp.SetService("agent")
+	sp.SetAttr("server", string(s))
 	var lastErr error
 	for attempt := 0; attempt <= b.rt.retries(); attempt++ {
 		if attempt > 0 {
 			b.rt.metrics().dialRetries.Inc()
 			if err := b.sleepBackoff(attempt); err != nil {
+				sp.SetAttr("error", err.Error())
+				sp.Finish()
 				return err
 			}
 		}
@@ -266,6 +305,8 @@ func (b *remoteBranch) moveTo(s model.ServerID) error {
 			if !server.IsTransient(err) {
 				// The server decided: the credential is bad, the
 				// object unknown. Retrying cannot change that.
+				sp.SetAttr("error", err.Error())
+				sp.Finish()
 				return fmt.Errorf("agent %s: arrival at %s: %w", b.agent.ID, s, err)
 			}
 			lastErr = err
@@ -274,13 +315,18 @@ func (b *remoteBranch) moveTo(s model.ServerID) error {
 		b.loc = s
 		b.client = cl
 		b.rt.metrics().hop.ObserveSince(hopStart)
+		sp.SetAttr("attempts", fmt.Sprintf("%d", attempt+1))
+		sp.Finish()
 		b.agent.recordVisit(s)
 		if b.agent.Hooks.OnArrival != nil {
 			b.agent.Hooks.OnArrival(s)
 		}
 		return nil
 	}
-	return fmt.Errorf("agent %s: migrate to %s: %w", b.agent.ID, s, lastErr)
+	err := fmt.Errorf("agent %s: migrate to %s: %w", b.agent.ID, s, lastErr)
+	sp.SetAttr("error", err.Error())
+	sp.Finish()
+	return err
 }
 
 func (b *remoteBranch) leave() {
@@ -301,15 +347,28 @@ func (b *remoteBranch) leave() {
 // returns the server's original verdict and proof.
 func (b *remoteBranch) access(x sral.Prim) ([]byte, error) {
 	id := server.NewRequestID()
+	// One span covers the whole retry loop; the span's context rides
+	// each wire request, so the daemon's spans parent under it even
+	// across reconnects.
+	sp, ctx := b.rt.tracer().StartSpan(b.tc, "access")
+	sp.SetService("agent")
+	sp.SetAttr("op", string(x.Op))
+	sp.SetAttr("resource", string(x.Resource))
+	sp.SetAttr("server", string(x.Server))
+	// When unsampled, ctx is b.tc unchanged: the bare trace identity
+	// still propagates, so audit records correlate without spans.
 	var data []byte
 	var err error
+	attempts := 1
 	for attempt := 0; ; attempt++ {
-		data, err = b.client.AccessID(id, x.Op, x.Resource, b.programText, nil)
+		data, err = b.client.AccessTraced(ctx, id, x.Op, x.Resource, b.programText, nil)
 		if err == nil || !server.IsTransient(err) || attempt >= b.rt.retries() {
-			return data, err
+			break
 		}
 		b.rt.metrics().accessRetries.Inc()
 		if serr := b.sleepBackoff(attempt + 1); serr != nil {
+			sp.SetAttr("error", serr.Error())
+			sp.Finish()
 			return nil, serr
 		}
 		// The connection is suspect; re-arrive at the same server.
@@ -320,9 +379,18 @@ func (b *remoteBranch) access(x sral.Prim) ([]byte, error) {
 		loc := b.loc
 		b.loc = ""
 		if merr := b.moveTo(loc); merr != nil {
+			sp.SetAttr("error", merr.Error())
+			sp.Finish()
 			return nil, merr
 		}
+		attempts++
 	}
+	sp.SetAttr("attempts", fmt.Sprintf("%d", attempts))
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.Finish()
+	return data, err
 }
 
 func (b *remoteBranch) exec(n sral.Node) error {
@@ -403,7 +471,7 @@ func (b *remoteBranch) exec(n sral.Node) error {
 		return nil
 
 	case sral.Par:
-		clone := &remoteBranch{rt: b.rt, agent: b.agent, programText: b.programText}
+		clone := &remoteBranch{rt: b.rt, agent: b.agent, programText: b.programText, tc: b.tc}
 		origin := b.loc
 		var wg sync.WaitGroup
 		var rightErr error

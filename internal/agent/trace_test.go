@@ -1,0 +1,78 @@
+package agent
+
+import (
+	"testing"
+
+	"stac/internal/obs"
+)
+
+// An in-process launch keeps every hop of the itinerary — and every
+// engine decision it triggers — inside one trace.
+func TestLaunchTracesWholeItinerary(t *testing.T) {
+	c, _ := newCoalition(t)
+	tracer := obs.NewTracer(256)
+	c.Engine.SetTracer(tracer)
+	ag := newAgent(t, c, "o1", "read f-s1 @ s1; read f-s2 @ s2; read f-s3 @ s3")
+	tc := tracer.NewContext()
+	if err := LaunchTraced(c, tc, ag); err != nil {
+		t.Fatal(err)
+	}
+	spans := tracer.Store().Trace(tc.Trace)
+	if len(spans) == 0 {
+		t.Fatal("no spans for the launch trace")
+	}
+	for _, sp := range tracer.Store().Spans() {
+		if sp.TraceID != tc.Trace {
+			t.Fatalf("span %s escaped the trace: %s", sp.Name, sp.TraceID)
+		}
+	}
+	names := map[string]int{}
+	var root obs.Span
+	for _, sp := range spans {
+		names[sp.Name]++
+		if sp.Name == "itinerary" {
+			root = sp
+		}
+	}
+	if names["itinerary"] != 1 || names["authorize"] != 3 || names["server.request"] != 3 {
+		t.Fatalf("span census = %v", names)
+	}
+	if root.Service != "agent" || !root.Parent.IsZero() {
+		t.Fatalf("itinerary root = %+v", root)
+	}
+	// server.request spans descend from the itinerary root.
+	for _, sp := range spans {
+		if sp.Name == "server.request" && sp.Parent != root.SpanID {
+			t.Fatalf("server.request parent = %s, want %s", sp.Parent, root.SpanID)
+		}
+	}
+
+	// Launch (the convenience wrapper) mints its own trace from the
+	// engine's tracer.
+	before := len(tracer.Store().TraceIDs())
+	ag2 := newAgent(t, c, "o2", "read f-s1 @ s1")
+	if err := Launch(c, ag2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tracer.Store().TraceIDs()); got != before+1 {
+		t.Fatalf("trace count = %d, want %d", got, before+1)
+	}
+}
+
+// Parallel clones inherit the launch trace: forked branches stay
+// within the itinerary.
+func TestParallelClonesShareTrace(t *testing.T) {
+	c, _ := newCoalition(t)
+	tracer := obs.NewTracer(256)
+	c.Engine.SetTracer(tracer)
+	ag := newAgent(t, c, "o1", "read f-s1 @ s1 || read f-s2 @ s2")
+	tc := tracer.NewContext()
+	if err := LaunchTraced(c, tc, ag); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range tracer.Store().Spans() {
+		if sp.TraceID != tc.Trace {
+			t.Fatalf("span %s escaped the trace: %s", sp.Name, sp.TraceID)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -105,6 +106,12 @@ type Request struct {
 // Decision explains an authorisation outcome.
 type Decision struct {
 	Granted bool
+	// ID identifies this decision for cross-correlation (wire reply,
+	// audit record, trace span). Minted by AuthorizeTraced when the
+	// decision is traced; callers that persist untraced decisions mint
+	// one with obs.NewDecisionID — the engine leaves it empty on the
+	// unsampled hot path to keep that path allocation-free.
+	ID string
 	// Perm is the permission that covered the access (when any).
 	Perm rbac.PermID
 	// Spatial is the prefix-evaluation status of the spatial
@@ -120,6 +127,9 @@ type Decision struct {
 	Deny DenyReason
 	// Reason is a human-readable explanation of a denial.
 	Reason string
+	// Explanation attributes a denial to the specific violated SRAC
+	// subformula or the exhausted temporal budget; nil on grants.
+	Explanation *Explanation
 }
 
 // String implements fmt.Stringer.
@@ -146,6 +156,10 @@ type Engine struct {
 	// met holds the resolved metric handles; swapped atomically by
 	// SetObs so the Authorize hot path never takes e.mu for metrics.
 	met atomic.Pointer[engineMetrics]
+	// tracer records the per-decision span tree; swapped atomically by
+	// SetTracer for the same reason. Defaults to obs.DefaultTracer
+	// (sampling off), so an untraced engine pays only a nil-check.
+	tracer atomic.Pointer[obs.Tracer]
 	// incremental flags the counting fast path (see incremental.go);
 	// atomic so eligibility checks stay outside the engine lock.
 	incremental atomic.Bool
@@ -189,6 +203,7 @@ func NewEngine(clock temporal.Clock) *Engine {
 		hasArrived:  make(map[model.ObjectID]bool),
 	}
 	e.met.Store(newEngineMetrics(obs.Default))
+	e.tracer.Store(obs.DefaultTracer)
 	return e
 }
 
@@ -203,6 +218,19 @@ func (e *Engine) SetObs(r *obs.Registry) { e.met.Store(newEngineMetrics(r)) }
 
 // Obs returns the registry the engine currently reports into.
 func (e *Engine) Obs() *obs.Registry { return e.met.Load().reg }
+
+// SetTracer points the engine's decision span tree at a tracer other
+// than obs.DefaultTracer (nil restores the default). Like SetObs, call
+// it during setup.
+func (e *Engine) SetTracer(t *obs.Tracer) {
+	if t == nil {
+		t = obs.DefaultTracer
+	}
+	e.tracer.Store(t)
+}
+
+// Tracer returns the tracer the engine currently records spans into.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer.Load() }
 
 // DefinePermission registers a permission together with its
 // spatio-temporal specification.
@@ -324,16 +352,41 @@ func (e *Engine) DeactivatePermissions(sess *rbac.Session, obj model.ObjectID) {
 // and prefix evaluation of the post-state history), and the temporal
 // validity (Expression 4.1).
 func (e *Engine) Authorize(req Request) Decision {
+	return e.AuthorizeTraced(obs.TraceContext{}, req)
+}
+
+// AuthorizeTraced is Authorize under a propagated trace context: when
+// the context is sampled (and the engine's tracer is recording), the
+// decision emits a span tree — authorize → static_check / prefix_eval
+// / temporal_check — and the Decision carries a freshly minted ID
+// correlating it with the spans. With an invalid or unsampled context
+// the tracing cost is a few branches and the ID stays empty (lazy
+// minting: persistent consumers mint one themselves).
+func (e *Engine) AuthorizeTraced(tc obs.TraceContext, req Request) Decision {
 	m := e.met.Load()
+	t := e.tracer.Load()
+	sp, ctx := t.StartSpan(tc, "authorize")
 	start := time.Now()
-	d := e.authorize(req, m)
+	d := e.authorize(ctx, t, req, m)
 	m.recordDecision(d, time.Since(start))
+	if sp != nil {
+		d.ID = obs.NewDecisionID()
+		sp.SetService("engine")
+		sp.SetAttr("decision_id", d.ID)
+		sp.SetAttr("object", string(req.Access.Object))
+		sp.SetAttr("access", req.Access.String())
+		sp.SetAttr("granted", strconv.FormatBool(d.Granted))
+		if !d.Granted {
+			sp.SetAttr("deny", string(d.Deny))
+		}
+		sp.Finish()
+	}
 	return d
 }
 
-// authorize is the uninstrumented decision body; Authorize wraps it
-// with timing and per-outcome accounting.
-func (e *Engine) authorize(req Request, m *engineMetrics) Decision {
+// authorize is the uninstrumented decision body; AuthorizeTraced wraps
+// it with timing, per-outcome accounting and the decision span.
+func (e *Engine) authorize(tc obs.TraceContext, t *obs.Tracer, req Request, m *engineMetrics) Decision {
 	d := Decision{Spatial: srac.Satisfied, ProgramVerdict: srac.AllTraces, Temporal: temporal.Inactive}
 	if req.Session == nil {
 		d.Deny = DenyNoSession
@@ -371,33 +424,49 @@ func (e *Engine) authorize(req Request, m *engineMetrics) Decision {
 		// actions cannot be decided from this object's program alone,
 		// so they are left to the runtime history check.
 		if req.Program != nil && !srac.MentionsOtherObject(stamped, obj) {
+			csp, _ := t.StartSpan(tc, "static_check")
+			csp.SetService("engine")
 			checkStart := time.Now()
 			d.ProgramVerdict = srac.CheckProgram(req.Program, stamped, obj)
 			m.staticCheck.ObserveSince(checkStart)
+			csp.SetAttr("verdict", d.ProgramVerdict.String())
+			csp.Finish()
 			if d.ProgramVerdict == srac.NoTrace {
 				d.Spatial = srac.Violated
 				d.Deny = DenyProgram
 				d.Reason = fmt.Sprintf("program can never satisfy spatial constraint %s",
 					srac.String(ps.Spatial))
+				d.Explanation = &Explanation{
+					Constraint: srac.String(ps.Spatial),
+					Clause:     srac.String(stamped),
+					Detail:     "static check: no trace of the declared program satisfies the constraint",
+				}
 				return d
 			}
 		}
 		if e.incrementalEligible(ps) {
 			// Counting-only fast path: decide from engine counters in
 			// O(|C|), no history scan (see incremental.go).
+			esp, _ := t.StartSpan(tc, "prefix_eval")
+			esp.SetService("engine")
 			evalStart := time.Now()
 			d.Spatial = e.evalIncremental(stamped, req.Access)
 			m.prefixEval.ObserveSince(evalStart)
+			esp.SetAttr("path", "incremental")
+			esp.SetAttr("status", d.Spatial.String())
+			esp.Finish()
 			if d.Spatial == srac.Violated {
 				d.Deny = DenySpatialViolated
 				d.Reason = fmt.Sprintf("spatial constraint %s irreversibly violated",
 					srac.String(ps.Spatial))
+				d.Explanation = spatialExplanation(ps.Spatial, e.attributeIncremental(stamped, req.Access))
 				return d
 			}
 			if ps.Mode == Strict && d.Spatial != srac.Satisfied {
 				d.Deny = DenySpatialStrict
 				d.Reason = fmt.Sprintf("spatial constraint %s not yet satisfied (strict mode)",
 					srac.String(ps.Spatial))
+				d.Explanation = spatialExplanation(ps.Spatial, e.attributeIncremental(stamped, req.Access))
 				return d
 			}
 		} else {
@@ -405,15 +474,22 @@ func (e *Engine) authorize(req Request, m *engineMetrics) Decision {
 			// is hypothetically performed and proven.
 			hyp := req.History.Concat(trace.Trace{req.Access})
 			oracle := srac.HypotheticalOracle(req.Proofs, req.Access)
+			esp, _ := t.StartSpan(tc, "prefix_eval")
+			esp.SetService("engine")
 			evalStart := time.Now()
 			d.Spatial = srac.EvalPrefix(hyp, stamped, oracle)
 			strictOK := d.Spatial != srac.Violated &&
 				(ps.Mode != Strict || srac.SatisfiesTrace(hyp, stamped, oracle))
 			m.prefixEval.ObserveSince(evalStart)
+			esp.SetAttr("path", "scan")
+			esp.SetAttr("status", d.Spatial.String())
+			esp.SetAttr("history_len", strconv.Itoa(len(hyp)))
+			esp.Finish()
 			if d.Spatial == srac.Violated {
 				d.Deny = DenySpatialViolated
 				d.Reason = fmt.Sprintf("spatial constraint %s irreversibly violated",
 					srac.String(ps.Spatial))
+				d.Explanation = spatialExplanation(ps.Spatial, srac.Attribute(hyp, stamped, oracle))
 				return d
 			}
 			if !strictOK {
@@ -421,18 +497,23 @@ func (e *Engine) authorize(req Request, m *engineMetrics) Decision {
 				d.Deny = DenySpatialStrict
 				d.Reason = fmt.Sprintf("spatial constraint %s not yet satisfied (strict mode)",
 					srac.String(ps.Spatial))
+				d.Explanation = spatialExplanation(ps.Spatial, srac.Attribute(hyp, stamped, oracle))
 				return d
 			}
 		}
 	}
 
 	// --- Temporal validity (Expression 4.1). ---
+	tsp, _ := t.StartSpan(tc, "temporal_check")
+	tsp.SetService("engine")
 	tr := e.tracker(obj, ps)
 	now := e.clock.Now()
 	// Role activation in this session implies the permission is
 	// active; make sure the tracker reflects it (idempotent).
 	tr.Activate(now)
 	d.Temporal = tr.StateAt(now)
+	tsp.SetAttr("state", d.Temporal.String())
+	tsp.Finish()
 	if d.Temporal != temporal.Valid {
 		if d.Temporal == temporal.ActiveInvalid {
 			d.Deny = DenyTemporalExhausted
@@ -442,6 +523,20 @@ func (e *Engine) authorize(req Request, m *engineMetrics) Decision {
 		_, dur, scheme := e.resolveTemporal(ps)
 		d.Reason = fmt.Sprintf("permission %q is %s (validity duration %.6gs, scheme %s)",
 			perm.ID, d.Temporal, dur, scheme)
+		budget := dur
+		if budget == temporal.Infinite {
+			budget = -1
+		}
+		remaining := tr.Remaining(now)
+		if remaining == temporal.Infinite {
+			remaining = -1
+		}
+		d.Explanation = &Explanation{Temporal: &TemporalExplanation{
+			Consumed:  tr.Accumulated(now),
+			Budget:    budget,
+			Remaining: remaining,
+			Scheme:    scheme.String(),
+		}}
 		return d
 	}
 

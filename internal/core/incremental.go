@@ -179,6 +179,44 @@ func (e *Engine) evalIncrementalLocked(c srac.Constraint, hyp model.Access) (sra
 	return srac.Pending, false
 }
 
+// attributeIncremental explains a counting-only constraint's status
+// from the engine counters plus the hypothetical requested access —
+// the attribution counterpart of evalIncremental, sharing its leaf
+// semantics through srac.CountLeafEval so the two verdicts agree.
+func (e *Engine) attributeIncremental(c srac.Constraint, hyp model.Access) srac.Attribution {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	count := func(x srac.Count) int {
+		n := e.countForLocked(x.Sel)
+		if x.Sel.SelectAccess(hyp) {
+			n++
+		}
+		return n
+	}
+	a := srac.AttributeWith(c, srac.CountLeafEval(count))
+	if a.Clause != nil && len(a.Counts) > 0 {
+		// Fill the observed counts of the attributed clause from the
+		// same counter reads the verdict used.
+		a.Counts = a.Counts[:0]
+		srac.Walk(a.Clause, func(x srac.Constraint) bool {
+			if cnt, ok := x.(srac.Count); ok {
+				max := cnt.Max
+				if max == srac.Unbounded {
+					max = -1
+				}
+				a.Counts = append(a.Counts, srac.CountWindow{
+					Selector: cnt.Sel.String(),
+					Min:      cnt.Min,
+					Max:      max,
+					Observed: count(cnt),
+				})
+			}
+			return true
+		})
+	}
+	return a
+}
+
 // incrementalEligible reports whether the request can take the counter
 // fast path.
 func (e *Engine) incrementalEligible(ps PermSpec) bool {

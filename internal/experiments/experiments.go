@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 )
 
 // Runner is one experiment of the harness.
@@ -11,45 +12,52 @@ type Runner func(Scale) (*Table, error)
 
 // All maps experiment IDs to their runners.
 var All = map[string]Runner{
-	"F1": F1,
-	"E1": E1,
-	"E2": E2,
-	"E3": E3,
-	"E4": E4,
-	"E5": E5,
-	"E6": E6,
-	"E7": E7,
-	"E8": E8,
-	"E9": E9,
+	"F1":  F1,
+	"E1":  E1,
+	"E2":  E2,
+	"E3":  E3,
+	"E4":  E4,
+	"E5":  E5,
+	"E6":  E6,
+	"E7":  E7,
+	"E8":  E8,
+	"E9":  E9,
+	"E10": E10,
 }
 
 // Titles gives the one-line description of each experiment without
 // running it.
 var Titles = map[string]string{
-	"F1": "Figure 1 module-dependency audit (8 modules, 3 servers)",
-	"E1": "Theorem 3.2 — static checking scales as O(m·n)",
-	"E2": "Enumeration baseline vs polynomial checker (branch sweep)",
-	"E3": "Theorem 4.1 — temporal validity checking cost vs state intervals",
-	"E4": "Enforcement overhead per access (roaming agent)",
-	"E5": "TRBAC-style role explosion vs coordinated model",
-	"E6": "Section 6 audit: sequential vs ParPattern clones",
-	"E7": "Theorem 3.1 — synthesis of regular trace models",
-	"E8": "Companion coordination via the coalition ledger",
-	"E9": "No-global-clock tolerance: enforcement under server clock skew",
+	"F1":  "Figure 1 module-dependency audit (8 modules, 3 servers)",
+	"E1":  "Theorem 3.2 — static checking scales as O(m·n)",
+	"E2":  "Enumeration baseline vs polynomial checker (branch sweep)",
+	"E3":  "Theorem 4.1 — temporal validity checking cost vs state intervals",
+	"E4":  "Enforcement overhead per access (roaming agent)",
+	"E5":  "TRBAC-style role explosion vs coordinated model",
+	"E6":  "Section 6 audit: sequential vs ParPattern clones",
+	"E7":  "Theorem 3.1 — synthesis of regular trace models",
+	"E8":  "Companion coordination via the coalition ledger",
+	"E9":  "No-global-clock tolerance: enforcement under server clock skew",
+	"E10": "Tracing overhead per access: untraced vs sampling-off vs sampled",
 }
 
 // IDs returns the experiment identifiers in canonical order (F1 first,
-// then E1..E9).
+// then E1..E10 numerically).
 func IDs() []string {
 	out := make([]string, 0, len(All))
 	for id := range All {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		// F* before E*, then lexical.
+		// F* before E*, then numeric within a letter ("E10" after "E9").
 		fi, fj := out[i][0] == 'F', out[j][0] == 'F'
 		if fi != fj {
 			return fi
+		}
+		ni, _ := strconv.Atoi(out[i][1:])
+		nj, _ := strconv.Atoi(out[j][1:])
+		if ni != nj {
+			return ni < nj
 		}
 		return out[i] < out[j]
 	})

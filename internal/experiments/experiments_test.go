@@ -10,7 +10,7 @@ import (
 
 func TestIDsOrder(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 10 || ids[0] != "F1" || ids[1] != "E1" || ids[9] != "E9" {
+	if len(ids) != 11 || ids[0] != "F1" || ids[1] != "E1" || ids[9] != "E9" || ids[10] != "E10" {
 		t.Fatalf("IDs = %v", ids)
 	}
 }
@@ -269,5 +269,26 @@ func TestRunFormatMarkdown(t *testing.T) {
 	}
 	if err := RunFormat(&buf, "nope", Quick, Markdown); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestE10Quick(t *testing.T) {
+	tb, err := E10(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	spans := map[string]string{}
+	for _, row := range tb.Rows {
+		spans[row[0]] = row[4]
+	}
+	// Only the sampled run records spans; the off modes record none.
+	if spans["untraced"] != "0" || spans["sampling-off"] != "0" {
+		t.Fatalf("untraced/off spans = %v", spans)
+	}
+	if n, err := strconv.Atoi(spans["sampled"]); err != nil || n == 0 {
+		t.Fatalf("sampled spans = %q", spans["sampled"])
 	}
 }

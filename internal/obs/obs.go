@@ -161,6 +161,16 @@ func escapeLabel(v string) string {
 	return r.Replace(v)
 }
 
+// escapeHelp escapes a HELP line per the exposition format: only the
+// backslash and newline are special there (quotes are fine).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
 func (r *Registry) child(name, labels, help, kind string, mk func() any) any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -294,7 +304,7 @@ func WritePrometheus(w io.Writer, regs ...*Registry) {
 	for _, r := range regs {
 		for _, f := range r.snapshot() {
 			if f.help != "" {
-				fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+				fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 			}
 			fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
 			for _, labels := range sortedLabels(f.children) {

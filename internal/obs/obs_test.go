@@ -178,3 +178,61 @@ func TestHistogramKindMismatchPanics(t *testing.T) {
 	r.Counter("m", "", "")
 	r.Gauge("m", "", "")
 }
+
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", Label("path", "a\"b\\c\nd"), "line one\nline two \\ backslash").Inc()
+	var b strings.Builder
+	WritePrometheus(&b, r)
+	out := b.String()
+	// HELP text escapes backslash and newline (quotes stay literal).
+	if !strings.Contains(out, `# HELP esc_total line one\nline two \\ backslash`) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	// Label values additionally escape the double quote.
+	if !strings.Contains(out, `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+	// The exposition must stay one-directive-per-line: no raw newline
+	// may survive inside a HELP or sample line.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "line two") || strings.HasPrefix(line, "d\"}") {
+			t.Fatalf("raw newline leaked into exposition:\n%s", out)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserveAndRender(t *testing.T) {
+	// Observations race against exposition renders; -race must stay
+	// quiet and the final count must not lose updates.
+	r := NewRegistry()
+	h := r.Histogram("race_seconds", "", "", []float64{0.001, 0.01, 0.1})
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 2000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				h.Observe(time.Duration(i*j%3000) * time.Microsecond)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			WritePrometheus(&b, r)
+			if !strings.Contains(b.String(), "race_seconds_count") {
+				t.Error("render lost the histogram")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	tc := tr.NewContext()
+	if !tc.Valid() || !tc.Sampled {
+		t.Fatalf("NewContext = %+v", tc)
+	}
+	wire := tc.String()
+	if len(wire) != 32+1+16+1+2 {
+		t.Fatalf("wire form %q has length %d", wire, len(wire))
+	}
+	back, ok := ParseTraceContext(wire)
+	if !ok || back != tc {
+		t.Fatalf("round trip %q -> %+v (ok=%v), want %+v", wire, back, ok, tc)
+	}
+
+	// A bare trace ID parses as an unsampled context without a parent.
+	bare, ok := ParseTraceContext(tc.Trace.String())
+	if !ok || bare.Trace != tc.Trace || bare.Sampled || !bare.Span.IsZero() {
+		t.Fatalf("bare parse = %+v (ok=%v)", bare, ok)
+	}
+
+	for _, bad := range []string{"", "xyz", strings.Repeat("0", 32), strings.Repeat("g", 32)} {
+		if _, ok := ParseTraceContext(bad); ok {
+			t.Errorf("ParseTraceContext(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceContextInvalidRendersEmpty(t *testing.T) {
+	if s := (TraceContext{}).String(); s != "" {
+		t.Fatalf("zero context renders %q", s)
+	}
+}
+
+func TestStartSpanParenting(t *testing.T) {
+	tr := NewTracer(16)
+	tc := tr.NewContext()
+	root, ctx := tr.StartSpan(tc, "root")
+	if root == nil {
+		t.Fatal("sampled StartSpan returned nil span")
+	}
+	child, _ := tr.StartSpan(ctx, "child")
+	root.Finish()
+	child.Finish()
+	if child.Parent != root.SpanID {
+		t.Fatalf("child.Parent = %s, want %s", child.Parent, root.SpanID)
+	}
+	if child.TraceID != tc.Trace || root.TraceID != tc.Trace {
+		t.Fatal("spans left the trace")
+	}
+	if got := tr.Store().Len(); got != 2 {
+		t.Fatalf("store holds %d spans, want 2", got)
+	}
+}
+
+func TestUnsampledSpansAreNoOps(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetSampling(false)
+	sp, ctx := tr.StartSpan(tr.NewContext(), "x")
+	if sp != nil {
+		t.Fatal("unsampled context produced a real span")
+	}
+	// All span methods must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.SetService("svc")
+	sp.Finish()
+	if got := sp.Context(); got.Valid() {
+		t.Fatalf("nil span context = %+v", got)
+	}
+	if ctx.Sampled {
+		t.Fatal("context sampled with sampling off")
+	}
+	if tr.Store().Len() != 0 {
+		t.Fatal("no-op spans were recorded")
+	}
+
+	// A sampled context against a tracer whose sampling was since
+	// turned off also records nothing.
+	tr2 := NewTracer(16)
+	tc := tr2.NewContext()
+	tr2.SetSampling(false)
+	if sp, _ := tr2.StartSpan(tc, "y"); sp != nil {
+		t.Fatal("sampling-off tracer produced a span")
+	}
+
+	// Nil tracer: everything no-ops.
+	var nilTracer *Tracer
+	if sp, _ := nilTracer.StartSpan(tc, "z"); sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	if nilTracer.Sampling() {
+		t.Fatal("nil tracer samples")
+	}
+	if nilTracer.Store() != nil {
+		t.Fatal("nil tracer has a store")
+	}
+}
+
+func TestTraceStoreEvictionOrder(t *testing.T) {
+	st := NewTraceStore(4)
+	for i := 0; i < 7; i++ {
+		st.Add(Span{Name: fmt.Sprintf("s%d", i)})
+	}
+	if st.Len() != 4 || st.Total() != 7 {
+		t.Fatalf("Len=%d Total=%d, want 4/7", st.Len(), st.Total())
+	}
+	got := st.Spans()
+	want := []string{"s3", "s4", "s5", "s6"}
+	for i, sp := range got {
+		if sp.Name != want[i] {
+			t.Fatalf("retained[%d] = %s, want %s (all: %v)", i, sp.Name, want[i], names(got))
+		}
+	}
+}
+
+func names(spans []Span) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+func TestChromeTraceExportParses(t *testing.T) {
+	tr := NewTracer(16)
+	tc := tr.NewContext()
+	root, ctx := tr.StartSpan(tc, "authorize")
+	root.SetService("engine")
+	child, _ := tr.StartSpan(ctx, "prefix_eval")
+	child.SetService("engine")
+	child.SetAttr("path", "scan")
+	child.Finish()
+	root.Finish()
+
+	var buf strings.Builder
+	if err := WriteChromeTrace(&buf, tr.Store().Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &ct); err != nil {
+		t.Fatalf("export not JSON: %v\n%s", err, buf.String())
+	}
+	var complete, meta int
+	for _, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Args["trace_id"] != tc.Trace.String() {
+				t.Fatalf("event %s trace_id = %q", ev.Name, ev.Args["trace_id"])
+			}
+			if ev.Name == "prefix_eval" {
+				if ev.Args["parent_id"] == "" || ev.Args["path"] != "scan" {
+					t.Fatalf("child args = %v", ev.Args)
+				}
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2 || meta != 1 {
+		t.Fatalf("complete=%d meta=%d, want 2/1", complete, meta)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := NewTracer(16)
+	tc := tr.NewContext()
+	sp, _ := tr.StartSpan(tc, "authorize")
+	sp.Finish()
+	h := TraceHandler(tr.Store())
+
+	// List mode.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("list status %d", rec.Code)
+	}
+	var list struct {
+		Traces []struct {
+			ID    string `json:"id"`
+			Spans int    `json:"spans"`
+		} `json:"traces"`
+		Total int `json:"total_spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].ID != tc.Trace.String() || list.Total != 1 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Export mode.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id="+tc.Trace.String(), nil))
+	if rec.Code != 200 {
+		t.Fatalf("export status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !json.Valid(rec.Body.Bytes()) {
+		t.Fatal("export not JSON")
+	}
+
+	// Bad ID → 400; unknown ID → 404; nil store → 404.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id=nothex", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad id status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id="+strings.Repeat("ab", 16), nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown id status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	TraceHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil store status %d", rec.Code)
+	}
+}
+
+func TestNewDecisionID(t *testing.T) {
+	a, b := NewDecisionID(), NewDecisionID()
+	if !strings.HasPrefix(a, "d-") || len(a) != 2+16 {
+		t.Fatalf("decision id %q", a)
+	}
+	if a == b {
+		t.Fatal("decision ids collide")
+	}
+}

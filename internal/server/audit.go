@@ -1,11 +1,14 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sync"
 
 	"stac/internal/core"
 	"stac/internal/model"
+	"stac/internal/obs"
 )
 
 // This file provides the agent-monitoring facility of the Naplet
@@ -24,8 +27,12 @@ type AuditRecord struct {
 	// Granted reports the outcome; Reason explains denials.
 	Granted bool
 	Reason  string
-	// Decision carries the engine's full decision record.
+	// Decision carries the engine's full decision record (its ID is
+	// the correlation key shared with wire replies and trace spans).
 	Decision core.Decision
+	// TraceID identifies the itinerary trace the decision belongs to
+	// ("" for untraced requests).
+	TraceID string
 }
 
 // String implements fmt.Stringer.
@@ -106,20 +113,126 @@ func (s *Server) SetAuditCapacity(capacity int) {
 	s.mu.Unlock()
 }
 
-// recordDecision appends an authorisation outcome to the audit log.
-func (s *Server) recordDecision(a model.Access, granted bool, reason string, dec core.Decision) {
+// recordDecision appends an authorisation outcome to the audit log and
+// the coalition's JSONL sink (when one is set).
+func (s *Server) recordDecision(a model.Access, granted bool, reason string, dec core.Decision, tc obs.TraceContext) {
 	s.mu.RLock()
 	log := s.audit
 	s.mu.RUnlock()
-	if log == nil {
-		return
-	}
-	log.add(AuditRecord{
+	rec := AuditRecord{
 		Time:     s.localNow(),
 		Server:   s.id,
 		Access:   a,
 		Granted:  granted,
 		Reason:   reason,
 		Decision: dec,
-	})
+	}
+	if tc.Valid() {
+		rec.TraceID = tc.Trace.String()
+	}
+	if log != nil {
+		log.add(rec)
+	}
+	s.coalition.writeAuditEntry(rec.Entry())
+}
+
+// AuditEntry is the flat JSON form of an audit record — one line of
+// the coalition's JSONL audit log, carrying everything `stacctl
+// explain` needs: the correlation IDs, the outcome, and the denial
+// explanation (violated SRAC clause with its count windows, or the
+// temporal budget arithmetic).
+type AuditEntry struct {
+	DecisionID     string            `json:"decision_id"`
+	TraceID        string            `json:"trace_id,omitempty"`
+	Time           float64           `json:"time"`
+	Server         string            `json:"server"`
+	Object         string            `json:"object"`
+	Op             string            `json:"op"`
+	Resource       string            `json:"resource"`
+	Granted        bool              `json:"granted"`
+	Perm           string            `json:"perm,omitempty"`
+	DenyReason     string            `json:"deny_reason,omitempty"`
+	Reason         string            `json:"reason,omitempty"`
+	SpatialStatus  string            `json:"spatial_status"`
+	ProgramVerdict string            `json:"program_verdict"`
+	TemporalState  string            `json:"temporal_state"`
+	Explanation    *core.Explanation `json:"explanation,omitempty"`
+}
+
+// Entry converts the record to its flat JSONL form.
+func (r AuditRecord) Entry() AuditEntry {
+	return AuditEntry{
+		DecisionID:     r.Decision.ID,
+		TraceID:        r.TraceID,
+		Time:           r.Time,
+		Server:         string(r.Server),
+		Object:         string(r.Access.Object),
+		Op:             string(r.Access.Op),
+		Resource:       string(r.Access.Resource),
+		Granted:        r.Granted,
+		Perm:           string(r.Decision.Perm),
+		DenyReason:     string(r.Decision.Deny),
+		Reason:         r.Reason,
+		SpatialStatus:  r.Decision.Spatial.String(),
+		ProgramVerdict: r.Decision.ProgramVerdict.String(),
+		TemporalState:  r.Decision.Temporal.String(),
+		Explanation:    r.Decision.Explanation,
+	}
+}
+
+// SetAuditSink directs every coalition server's decisions to w as JSON
+// lines (nil disables). The write happens outside the request's fast
+// path locks but inside the request, so a slow sink slows requests —
+// hand it a buffered or async writer if that matters.
+func (c *Coalition) SetAuditSink(w io.Writer) {
+	c.auditMu.Lock()
+	c.auditSink = w
+	c.auditMu.Unlock()
+}
+
+func (c *Coalition) writeAuditEntry(e AuditEntry) {
+	c.auditMu.Lock()
+	defer c.auditMu.Unlock()
+	if c.auditSink == nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	_, _ = c.auditSink.Write(b)
+}
+
+// find returns the retained record with the given decision ID.
+func (l *auditLog) find(decisionID string) (AuditRecord, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.buf {
+		if l.buf[i].Decision.ID == decisionID {
+			return l.buf[i], true
+		}
+	}
+	return AuditRecord{}, false
+}
+
+// Explain looks a decision up by ID across every coalition server's
+// retained audit window — the lookup behind `stacctl explain` and the
+// daemon's /debug/explain endpoint.
+func (c *Coalition) Explain(decisionID string) (AuditRecord, bool) {
+	if decisionID == "" {
+		return AuditRecord{}, false
+	}
+	for _, s := range c.Servers() {
+		s.mu.RLock()
+		log := s.audit
+		s.mu.RUnlock()
+		if log == nil {
+			continue
+		}
+		if rec, ok := log.find(decisionID); ok {
+			return rec, true
+		}
+	}
+	return AuditRecord{}, false
 }

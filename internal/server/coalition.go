@@ -15,12 +15,14 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
 	"stac/internal/channel"
 	"stac/internal/core"
 	"stac/internal/model"
+	"stac/internal/obs"
 	"stac/internal/proof"
 	"stac/internal/rbac"
 	"stac/internal/registry"
@@ -57,6 +59,12 @@ type Coalition struct {
 	ledger *proof.Store
 	// migrations counts completed migrations, for experiment reports.
 	migrations int
+
+	// auditSink, when set, receives every authorisation decision of
+	// every coalition server as one JSON line (see AuditEntry) — the
+	// durable counterpart of the per-server in-memory audit rings.
+	auditMu   sync.Mutex
+	auditSink io.Writer
 }
 
 // NewCoalition creates a coalition with the given clock (nil for a
@@ -297,18 +305,29 @@ func (s *Server) Request(sub *Subject, op model.Operation, res model.ResourceID,
 	if oracle == nil && prog.Store != nil {
 		oracle = prog.Store
 	}
-	dec := s.coalition.Engine.Authorize(core.Request{
+	sp, ctx := s.coalition.Engine.Tracer().StartSpan(prog.Trace, "server.request")
+	sp.SetService("server:" + string(s.id))
+	sp.SetAttr("access", access.String())
+	defer sp.Finish()
+	dec := s.coalition.Engine.AuthorizeTraced(ctx, core.Request{
 		Session: sub.Session,
 		Access:  access,
 		Program: prog.Program,
 		History: history,
 		Proofs:  oracle,
 	})
+	if dec.ID == "" {
+		// Unsampled path: the engine leaves the ID empty to stay
+		// allocation-free; mint it here, where the audit record (and
+		// eventually the proof HMAC) dominate the cost anyway.
+		dec.ID = obs.NewDecisionID()
+	}
+	sp.SetAttr("decision_id", dec.ID)
 	if !dec.Granted {
 		s.mu.Lock()
 		s.denies++
 		s.mu.Unlock()
-		s.recordDecision(access, false, dec.Reason, dec)
+		s.recordDecision(access, false, dec.Reason, dec, prog.Trace)
 		return AccessResult{Decision: dec}, fmt.Errorf("%w: %s", ErrDenied, dec.Reason)
 	}
 
@@ -318,7 +337,7 @@ func (s *Server) Request(sub *Subject, op model.Operation, res model.ResourceID,
 	if !ok && op != model.OpWrite {
 		s.denies++
 		s.mu.Unlock()
-		s.recordDecision(access, false, "unknown resource", dec)
+		s.recordDecision(access, false, "unknown resource", dec, prog.Trace)
 		return AccessResult{Decision: dec}, fmt.Errorf("%w: %q at %q", model.ErrUnknownResource, res, s.id)
 	}
 	var data []byte
@@ -345,7 +364,7 @@ func (s *Server) Request(sub *Subject, op model.Operation, res model.ResourceID,
 	}
 	// Feed the engine's incremental counters (no-op unless enabled).
 	s.coalition.Engine.RecordGrant(access)
-	s.recordDecision(access, true, "", dec)
+	s.recordDecision(access, true, "", dec, prog.Trace)
 	return AccessResult{Data: data, Proof: pr, Decision: dec}, nil
 }
 
@@ -363,6 +382,9 @@ type RequestContext struct {
 	Proofs srac.ProofOracle
 	// Payload is the content for write operations.
 	Payload []byte
+	// Trace is the propagated trace context of the itinerary this
+	// request belongs to (zero for untraced requests).
+	Trace obs.TraceContext
 }
 
 // History derives the executed trace from the proof store.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/rand"
 	"encoding/base64"
 	"encoding/hex"
@@ -61,6 +62,10 @@ type wireRequest struct {
 	// re-executing, so a client that lost a response to a connection
 	// reset can retry safely.
 	ID string `json:"id,omitempty"`
+	// Trace is the propagated trace context of the itinerary this
+	// request belongs to, in obs.TraceContext wire form
+	// ("<traceid>-<spanid>-<01|00>").
+	Trace string `json:"trace,omitempty"`
 }
 
 type wireResponse struct {
@@ -77,6 +82,13 @@ type wireResponse struct {
 	// audit
 	Audit      []string `json:"audit,omitempty"`
 	AuditTotal int      `json:"audit_total,omitempty"`
+	// Trace echoes the request's trace context so the client can
+	// correlate this reply — including a structured reject — with the
+	// coalition's audit records and exported spans.
+	Trace string `json:"trace,omitempty"`
+	// DecisionID identifies the authorisation decision behind an
+	// access reply (grant or denial); feed it to `stacctl explain`.
+	DecisionID string `json:"decision_id,omitempty"`
 }
 
 // Transport limits and defaults.
@@ -362,7 +374,9 @@ func readLine(r *bufio.Reader, max int) ([]byte, error) {
 		chunk, err := r.ReadSlice('\n')
 		line = append(line, chunk...)
 		if len(line) > max {
-			return nil, errLineTooLong
+			// Return the partial line with the error: the daemon mines
+			// it for the trace context to echo in the reject.
+			return line, errLineTooLong
 		}
 		switch err {
 		case nil:
@@ -404,14 +418,16 @@ func (d *Daemon) serveConn(conn net.Conn) {
 			if errors.Is(err, errLineTooLong) {
 				d.met.oversize.Inc()
 				d.reply(conn, wireResponse{Error: fmt.Sprintf(
-					"request exceeds %d-byte limit", d.cfg.maxLine())})
+					"request exceeds %d-byte limit", d.cfg.maxLine()),
+					Trace: extractTrace(line)})
 			}
 			return
 		}
 		var req wireRequest
 		if err := json.Unmarshal(line, &req); err != nil {
 			d.met.malform.Inc()
-			d.reply(conn, wireResponse{Error: "malformed request: " + err.Error()})
+			d.reply(conn, wireResponse{Error: "malformed request: " + err.Error(),
+				Trace: extractTrace(line)})
 			return
 		}
 		d.met.request(req.Type)
@@ -420,6 +436,38 @@ func (d *Daemon) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// extractTrace best-effort recovers the trace context from a raw (and
+// possibly truncated or malformed) request line, so even a reject that
+// never parsed can be correlated with the itinerary that sent it. It
+// returns the canonical wire form, or "" when none is found.
+func extractTrace(line []byte) string {
+	const key = `"trace":"`
+	i := bytes.Index(line, []byte(key))
+	if i < 0 {
+		return ""
+	}
+	rest := line[i+len(key):]
+	j := bytes.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	tc, ok := obs.ParseTraceContext(string(rest[:j]))
+	if !ok {
+		return ""
+	}
+	return tc.String()
+}
+
+// extractTraceString canonicalises a trace-context wire string (""
+// when invalid).
+func extractTraceString(s string) string {
+	tc, ok := obs.ParseTraceContext(s)
+	if !ok {
+		return ""
+	}
+	return tc.String()
 }
 
 // cached returns the recorded response for an idempotent access
@@ -487,14 +535,34 @@ func (d *Daemon) handle(req *wireRequest, tokens *[]string) wireResponse {
 			key = dedupKey{obj: sub.Object, id: req.ID}
 			if resp, ok := d.cached(key); ok {
 				d.met.dedup.Inc()
+				// Echo the RETRY's trace context (the original decision
+				// ID stays — it names the verdict being replayed).
+				resp.Trace = extractTraceString(req.Trace)
 				return resp
 			}
 		}
-		ctx := RequestContext{Payload: req.Payload}
+		tracer := d.srv.coalition.Engine.Tracer()
+		tc, hasTC := obs.ParseTraceContext(req.Trace)
+		if !hasTC && tracer.Sampling() {
+			// Untraced caller against a tracing daemon: mint a context
+			// so the decision is still explorable server-side.
+			tc = tracer.NewContext()
+		}
+		wsp, wctx := tracer.StartSpan(tc, "wire.access")
+		wsp.SetService("daemon:" + string(d.srv.ID()))
+		wsp.SetAttr("op", req.Op)
+		wsp.SetAttr("resource", req.Resource)
+		ctx := RequestContext{Payload: req.Payload, Trace: wctx}
+		echo := ""
+		if tc.Valid() {
+			echo = tc.String()
+		}
 		if req.Program != "" {
 			prog, err := sral.Parse(req.Program)
 			if err != nil {
-				return wireResponse{Error: "access: bad program: " + err.Error()}
+				wsp.SetAttr("error", "bad program")
+				wsp.Finish()
+				return wireResponse{Error: "access: bad program: " + err.Error(), Trace: echo}
 			}
 			ctx.Program = prog
 		}
@@ -510,7 +578,9 @@ func (d *Daemon) handle(req *wireRequest, tokens *[]string) wireResponse {
 			}
 			carried[p.Sig] = struct{}{}
 			if err := store.Add(p); err != nil {
-				return wireResponse{Error: "access: carried proof rejected: " + err.Error()}
+				wsp.SetAttr("error", "carried proof rejected")
+				wsp.Finish()
+				return wireResponse{Error: "access: carried proof rejected: " + err.Error(), Trace: echo}
 			}
 		}
 		ctx.Store = store
@@ -521,6 +591,11 @@ func (d *Daemon) handle(req *wireRequest, tokens *[]string) wireResponse {
 		} else {
 			resp = wireResponse{OK: true, Data: res.Data, Proof: &res.Proof}
 		}
+		resp.Trace = echo
+		resp.DecisionID = res.Decision.ID
+		wsp.SetAttr("decision_id", res.Decision.ID)
+		wsp.SetAttr("granted", fmt.Sprintf("%t", res.Decision.Granted))
+		wsp.Finish()
 		if req.ID != "" {
 			// Record grants AND denials: a retried request must see
 			// the same verdict the engine originally reached.
@@ -580,6 +655,12 @@ func NewRequestID() string { return newToken() }
 // same request cannot change it.
 type ServerError struct {
 	Msg string
+	// DecisionID names the authorisation decision behind a denial
+	// ("" when the reject never reached the engine); `stacctl explain`
+	// resolves it to the violated constraint.
+	DecisionID string
+	// TraceID is the itinerary trace the reject belongs to ("").
+	TraceID string
 }
 
 // Error implements error, passing the daemon's message (which already
@@ -640,6 +721,7 @@ type Client struct {
 	mu   sync.Mutex
 
 	token  string
+	trace  obs.TraceContext
 	proofs []proof.Proof
 	// seen dedups carried proofs by signature: an idempotent replay
 	// returns the same proof again, and it must not inflate the
@@ -710,7 +792,11 @@ func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
 		// The daemon's error strings already carry their package
 		// prefix; pass them through verbatim, typed so callers can
 		// tell a server decision from a transport failure.
-		return resp, &ServerError{Msg: resp.Error}
+		se := &ServerError{Msg: resp.Error, DecisionID: resp.DecisionID}
+		if tc, ok := obs.ParseTraceContext(resp.Trace); ok {
+			se.TraceID = tc.Trace.String()
+		}
+		return resp, se
 	}
 	return resp, nil
 }
@@ -746,11 +832,30 @@ func (c *Client) Access(op model.Operation, res model.ResourceID, program string
 	return c.AccessID(NewRequestID(), op, res, program, payload)
 }
 
+// SetTrace attaches an itinerary trace context to the client: every
+// subsequent access request propagates it to the daemon, so the hops
+// of one itinerary share a trace ID across servers. The zero context
+// detaches.
+func (c *Client) SetTrace(tc obs.TraceContext) {
+	c.mu.Lock()
+	c.trace = tc
+	c.mu.Unlock()
+}
+
 // AccessID performs one shared-resource access under a caller-chosen
 // idempotency key: retrying with the same id after a transport
 // failure returns the server's original verdict (and proof) without
 // re-executing the access.
 func (c *Client) AccessID(id string, op model.Operation, res model.ResourceID, program string, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	tc := c.trace
+	c.mu.Unlock()
+	return c.AccessTraced(tc, id, op, res, program, payload)
+}
+
+// AccessTraced is AccessID under an explicit trace context (overriding
+// any SetTrace default for this one request).
+func (c *Client) AccessTraced(tc obs.TraceContext, id string, op model.Operation, res model.ResourceID, program string, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	req := wireRequest{
 		Type:     "access",
@@ -761,6 +866,7 @@ func (c *Client) AccessID(id string, op model.Operation, res model.ResourceID, p
 		Program:  program,
 		Proofs:   append([]proof.Proof(nil), c.proofs...),
 		Payload:  payload,
+		Trace:    tc.String(),
 	}
 	c.mu.Unlock()
 	resp, err := c.roundTrip(req)
