@@ -11,7 +11,10 @@ package stac
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strings"
 	"testing"
@@ -116,6 +119,33 @@ func runChaosTour(t *testing.T, inj *faults.Injector) chaosOutcome {
 		for _, d := range daemons {
 			_ = d.Close()
 		}
+	}()
+
+	// A fleet watcher stays attached for the whole tour: the SSE
+	// decision stream must neither perturb verdicts nor leak goroutines
+	// once Drain releases it (the caller's leak assertion covers this
+	// path too).
+	dbg := server.NewDebugServer(c, daemons, nil,
+		server.DebugConfig{Registry: reg, Heartbeat: 50 * time.Millisecond})
+	dts := httptest.NewServer(dbg.Mux())
+	watchResp, werr := http.Get(dts.URL + "/debug/watch")
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	watchDrained := make(chan struct{})
+	go func() {
+		defer close(watchDrained)
+		_, _ = io.Copy(io.Discard, watchResp.Body)
+	}()
+	defer func() {
+		dbg.Drain()
+		select {
+		case <-watchDrained:
+		case <-time.After(5 * time.Second):
+			t.Error("SSE watch stream still open after Drain")
+		}
+		watchResp.Body.Close()
+		dts.Close()
 	}()
 
 	rt := &agent.RemoteRuntime{

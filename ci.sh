@@ -25,7 +25,7 @@ go test -race ./...
 # regression that panics only on the bench path) fails CI without
 # paying for a real measurement run. The output lands in a file first
 # (a pipe would mask go test's exit status under set -e), then gets
-# distilled into BENCH_pr3.json for the CI artifact.
+# distilled into BENCH_pr4.json for the CI artifact.
 go test -bench . -benchtime=1x -benchmem -run '^$' ./... >bench_smoke.txt
 awk '
     BEGIN { print "[" }
@@ -34,5 +34,9 @@ awk '
         printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", $1, $3, $7
     }
     END { print "\n]" }
-' bench_smoke.txt >BENCH_pr3.json
+' bench_smoke.txt >BENCH_pr4.json
 rm bench_smoke.txt
+# Compare against the committed previous-PR baseline. Regressions
+# beyond 25% ns/op surface as CI warnings (benchdiff exits 0 on
+# warnings — a 1x smoke run is too noisy to gate on).
+go run ./cmd/benchdiff BENCH_pr3.json BENCH_pr4.json

@@ -1,0 +1,138 @@
+// Command benchdiff compares two benchmark summary files (the
+// BENCH_prN.json artifacts ci.sh distils from the bench smoke run) and
+// reports per-benchmark deltas. Regressions beyond the threshold are
+// emitted as GitHub Actions "::warning::" annotations so CI surfaces
+// them without failing the build — a -benchtime=1x smoke run is too
+// noisy to gate on, but plenty to catch an order-of-magnitude slip.
+//
+// Usage:
+//
+//	benchdiff [-threshold 25] old.json new.json
+//
+// A missing old file is not an error (first run after a rename): the
+// tool notes it and exits 0. The exit status is 0 unless the inputs
+// are unreadable or malformed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// benchResult mirrors one entry of the ci.sh bench summary.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// delta is one compared benchmark.
+type delta struct {
+	Name     string
+	Old, New float64
+	// Pct is the ns/op change in percent (+ = slower).
+	Pct float64
+}
+
+// compare matches results by name and computes ns/op deltas; it also
+// returns benchmarks present on only one side.
+func compare(old, new []benchResult) (deltas []delta, added, removed []string) {
+	oldBy := make(map[string]benchResult, len(old))
+	for _, b := range old {
+		oldBy[b.Name] = b
+	}
+	seen := make(map[string]bool, len(new))
+	for _, b := range new {
+		seen[b.Name] = true
+		o, ok := oldBy[b.Name]
+		if !ok {
+			added = append(added, b.Name)
+			continue
+		}
+		d := delta{Name: b.Name, Old: o.NsPerOp, New: b.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.Pct = (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		deltas = append(deltas, d)
+	}
+	for _, b := range old {
+		if !seen[b.Name] {
+			removed = append(removed, b.Name)
+		}
+	}
+	return deltas, added, removed
+}
+
+// report renders the comparison; regressions beyond thresholdPct
+// become ::warning:: annotations. It returns the regression count.
+func report(w io.Writer, deltas []delta, added, removed []string, thresholdPct float64) int {
+	regressions := 0
+	for _, d := range deltas {
+		marker := " "
+		if d.Pct > thresholdPct {
+			marker = "!"
+			regressions++
+			fmt.Fprintf(w, "::warning title=bench regression::%s ns/op %+.1f%% (%.6g -> %.6g), threshold %g%%\n",
+				d.Name, d.Pct, d.Old, d.New, thresholdPct)
+		}
+		fmt.Fprintf(w, "%s %-60s %12.6g -> %-12.6g %+7.1f%%\n", marker, d.Name, d.Old, d.New, d.Pct)
+	}
+	for _, n := range added {
+		fmt.Fprintf(w, "+ %-60s (new benchmark)\n", n)
+	}
+	for _, n := range removed {
+		fmt.Fprintf(w, "- %-60s (removed)\n", n)
+	}
+	fmt.Fprintf(w, "# %d compared, %d regression(s) beyond %g%%, %d added, %d removed\n",
+		len(deltas), regressions, thresholdPct, len(added), len(removed))
+	return regressions
+}
+
+func load(path string) ([]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []benchResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 25, "flag ns/op regressions beyond this percentage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [-threshold pct] old.json new.json")
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	if _, err := os.Stat(oldPath); os.IsNotExist(err) {
+		fmt.Fprintf(w, "# no baseline %s — nothing to compare\n", oldPath)
+		return nil
+	}
+	old, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	deltas, added, removed := compare(old, cur)
+	report(w, deltas, added, removed, *threshold)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareFlagsRegressionsAndChurn(t *testing.T) {
+	old := []benchResult{
+		{Name: "BenchmarkFast", NsPerOp: 100},
+		{Name: "BenchmarkSlow", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}
+	cur := []benchResult{
+		{Name: "BenchmarkFast", NsPerOp: 110},  // +10% — under threshold
+		{Name: "BenchmarkSlow", NsPerOp: 1500}, // +50% — regression
+		{Name: "BenchmarkNew", NsPerOp: 7},
+	}
+	deltas, added, removed := compare(old, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if len(added) != 1 || added[0] != "BenchmarkNew" {
+		t.Fatalf("added = %v", added)
+	}
+	if len(removed) != 1 || removed[0] != "BenchmarkGone" {
+		t.Fatalf("removed = %v", removed)
+	}
+
+	var buf bytes.Buffer
+	if n := report(&buf, deltas, added, removed, 25); n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "::warning title=bench regression::BenchmarkSlow") {
+		t.Fatalf("no warning annotation:\n%s", out)
+	}
+	if strings.Contains(out, "::warning title=bench regression::BenchmarkFast") {
+		t.Fatalf("under-threshold delta flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "1 regression(s) beyond 25%") {
+		t.Fatalf("summary line:\n%s", out)
+	}
+}
+
+func TestCompareZeroBaselineDoesNotDivide(t *testing.T) {
+	deltas, _, _ := compare(
+		[]benchResult{{Name: "B", NsPerOp: 0}},
+		[]benchResult{{Name: "B", NsPerOp: 10}},
+	)
+	if len(deltas) != 1 || deltas[0].Pct != 0 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+}
+
+func TestRunToleratesMissingBaseline(t *testing.T) {
+	dir := t.TempDir()
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(newPath, []byte(`[{"name":"B","ns_per_op":1}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{filepath.Join(dir, "absent.json"), newPath}, &buf); err != nil {
+		t.Fatalf("missing baseline should not error: %v", err)
+	}
+	if !strings.Contains(buf.String(), "no baseline") {
+		t.Fatalf("output = %q", buf.String())
+	}
+}
+
+func TestRunComparesFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(`[{"name":"B","ns_per_op":100,"allocs_per_op":3}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(`[{"name":"B","ns_per_op":400,"allocs_per_op":3}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{oldPath, newPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "::warning") {
+		t.Fatalf("300%% regression not flagged:\n%s", buf.String())
+	}
+
+	if err := run([]string{"-threshold", "1000", oldPath, newPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{oldPath}, &buf); err == nil {
+		t.Fatal("single argument accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad, newPath}, &buf); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}

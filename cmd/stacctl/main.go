@@ -22,6 +22,10 @@
 //	                                           # dry-run a program against
 //	                                           # a policy and print the
 //	                                           # decision trail
+//	stacctl top -members m1=host:port,m2=...   # live merged fleet table
+//	stacctl watch -members m1=host:port,...    # stream decisions as they
+//	                                           # happen (filter -object,
+//	                                           # -perm, -verdict, -server)
 //
 // Program and policy arguments may be file paths (tried first) or
 // literal text.
@@ -52,7 +56,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: stacctl <parse-program|parse-constraint|check|explain|traces|synth|policy> ...")
+		return fmt.Errorf("usage: stacctl <parse-program|parse-constraint|check|explain|traces|synth|policy|simulate|top|watch> ...")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -82,6 +86,10 @@ func run(args []string) error {
 		return cmdPolicy(rest)
 	case "simulate":
 		return cmdSimulate(rest)
+	case "top":
+		return cmdTop(rest)
+	case "watch":
+		return cmdWatch(rest)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}

@@ -27,13 +27,11 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -73,8 +71,14 @@ type options struct {
 
 	// metricsAddr, when set, serves the observability endpoints
 	// (/metrics, /debug/vars, /debug/pprof, /debug/trace,
-	// /debug/explain) on one extra HTTP listener.
+	// /debug/explain, /debug/budgets, /debug/snapshot, /debug/watch,
+	// /healthz, /readyz) on one extra HTTP listener.
 	metricsAddr string
+
+	// budgetSampleInterval drives the background temporal-budget
+	// sampler feeding the burn-rate/ETA gauges (0 disables; scrapes
+	// still sample on demand).
+	budgetSampleInterval time.Duration
 
 	// trace samples a span tree per decision into an in-memory ring,
 	// exported as Chrome trace-event JSON on /debug/trace.
@@ -107,7 +111,8 @@ func main() {
 	flag.DurationVar(&opts.writeTimeout, "write-timeout", 30*time.Second, "per-response write deadline; 0 disables")
 	flag.IntVar(&opts.maxConns, "max-conns", 1024, "concurrent connection cap per server; 0 = unlimited")
 	flag.IntVar(&opts.maxLineBytes, "max-line-bytes", server.DefaultMaxLineBytes, "per-request size cap in bytes")
-	flag.StringVar(&opts.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address; empty disables")
+	flag.StringVar(&opts.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/* and health probes on this address; empty disables")
+	flag.DurationVar(&opts.budgetSampleInterval, "budget-sample-interval", 10*time.Second, "background temporal-budget sampling interval; 0 disables")
 	flag.BoolVar(&opts.trace, "trace", true, "record a span tree per decision (export on /debug/trace)")
 	flag.IntVar(&opts.traceCapacity, "trace-capacity", 0, "in-memory span ring capacity; 0 = default")
 	flag.StringVar(&opts.auditLog, "audit-log", "", "append every decision as a JSON line to this file; empty disables")
@@ -130,42 +135,8 @@ type app struct {
 	daemons    []*server.Daemon
 	metricsLn  net.Listener
 	metricsSrv *http.Server
+	debug      *server.DebugServer
 	auditFile  *os.File
-}
-
-// metricsMux builds the observability endpoints: Prometheus text on
-// /metrics, the expvar JSON mirror on /debug/vars, the standard pprof
-// profiles under /debug/pprof/, the coalition's span ring as Chrome
-// trace-event JSON on /debug/trace, and decision explanations on
-// /debug/explain?id=<decision-id>.
-func metricsMux(c *server.Coalition, tracer *obs.Tracer) *http.ServeMux {
-	obs.PublishExpvar("stac", obs.Default)
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", obs.Handler(obs.Default))
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/debug/trace", obs.TraceHandler(tracer.Store()))
-	mux.HandleFunc("/debug/explain", func(w http.ResponseWriter, r *http.Request) {
-		id := r.URL.Query().Get("id")
-		if id == "" {
-			http.Error(w, "missing id parameter", http.StatusBadRequest)
-			return
-		}
-		rec, ok := c.Explain(id)
-		if !ok {
-			http.Error(w, "unknown decision id (window may have evicted it)", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(rec.Entry())
-	})
-	return mux
 }
 
 // start builds the coalition, binds every daemon (and the metrics
@@ -229,9 +200,11 @@ func start(opts options, w io.Writer) (*app, error) {
 			return fail(err)
 		}
 		a.metricsLn = ln
+		a.debug = server.NewDebugServer(c, a.daemons, tracer, server.DebugConfig{})
+		a.debug.StartBudgetSampler(opts.budgetSampleInterval)
 		// Own the server so shutdown can drain in-flight scrapes
 		// instead of snapping the listener out from under them.
-		a.metricsSrv = &http.Server{Handler: metricsMux(c, tracer)}
+		a.metricsSrv = &http.Server{Handler: a.debug.Mux()}
 		go func() { _ = a.metricsSrv.Serve(ln) }()
 		fmt.Fprintf(w, "metrics %s\n", ln.Addr())
 	}
@@ -279,6 +252,11 @@ func shutdown(a *app) {
 	}
 	for _, d := range a.daemons {
 		_ = d.Close()
+	}
+	if a.debug != nil {
+		// Release SSE watch streams first: Shutdown waits for in-flight
+		// handlers, and a watch handler never finishes on its own.
+		a.debug.Drain()
 	}
 	if a.metricsSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -414,3 +414,146 @@ func TestStartServesTraceAndExplainEndpoints(t *testing.T) {
 		t.Fatal("metrics listener still serving after shutdown")
 	}
 }
+
+// The observability listener serves the fleet-telemetry endpoints:
+// versioned snapshots, health probes and the SSE decision watch — and
+// shutdown drains an attached watcher instead of hanging on it.
+func TestStartServesFleetEndpoints(t *testing.T) {
+	var out strings.Builder
+	app, err := start(options{
+		policyPath:           writePolicy(t),
+		servers:              "s1",
+		listen:               "127.0.0.1:0",
+		key:                  "test-key",
+		issueCreds:           true,
+		metricsAddr:          "127.0.0.1:0",
+		resources:            resourceFlags{"s1:fileA=hello"},
+		budgetSampleInterval: time.Millisecond,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(app)
+
+	var s1Addr, metricsAddr string
+	var cred proof.Credential
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		switch {
+		case strings.HasPrefix(line, "s1 "):
+			s1Addr = strings.TrimPrefix(line, "s1 ")
+		case strings.HasPrefix(line, "metrics "):
+			metricsAddr = strings.TrimPrefix(line, "metrics ")
+		case strings.HasPrefix(line, "credential "):
+			if err := json.Unmarshal([]byte(strings.SplitN(line, " ", 3)[2]), &cred); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Attach a watcher before deciding anything.
+	watchResp, err := http.Get("http://" + metricsAddr + "/debug/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watchResp.Body.Close()
+	if ct := watchResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/debug/watch content type = %q", ct)
+	}
+	watchLines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(watchResp.Body)
+		for sc.Scan() {
+			watchLines <- sc.Text()
+		}
+		close(watchLines)
+	}()
+
+	cl, err := server.Dial(s1Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(cred); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Access(model.OpRead, "fileA", "", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The watcher receives the grant as an SSE decision event.
+	deadline := time.After(5 * time.Second)
+	var event string
+	for event == "" {
+		select {
+		case line, ok := <-watchLines:
+			if !ok {
+				t.Fatal("watch stream closed before the decision")
+			}
+			if strings.HasPrefix(line, "data: ") {
+				event = strings.TrimPrefix(line, "data: ")
+			}
+		case <-deadline:
+			t.Fatal("no decision event on /debug/watch")
+		}
+	}
+	var entry server.AuditEntry
+	if err := json.Unmarshal([]byte(event), &entry); err != nil {
+		t.Fatalf("watch event %q: %v", event, err)
+	}
+	if !entry.Granted || entry.Object != "device-1" {
+		t.Fatalf("watch entry = %+v", entry)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + metricsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/debug/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/snapshot status %d", code)
+	}
+	var snap server.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != server.SnapshotVersion || snap.Grants != 1 ||
+		len(snap.Conns) != 1 || snap.Conns[0].Inflight != 1 || snap.Watchers != 1 {
+		t.Fatalf("snapshot = %s", body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	code, body = get("/readyz")
+	if code != http.StatusOK || !strings.Contains(string(body), "policy_loaded") {
+		t.Fatalf("/readyz = %d %s", code, body)
+	}
+	if code, _ := get("/debug/budgets"); code != http.StatusOK {
+		t.Fatalf("/debug/budgets status %d", code)
+	}
+
+	// Shutdown with the watcher still attached: Drain must release the
+	// SSE handler so http.Server.Shutdown completes promptly.
+	done := make(chan struct{})
+	go func() { shutdown(app); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung on attached watcher")
+	}
+	for {
+		if _, ok := <-watchLines; !ok {
+			break
+		}
+	}
+	app.daemons = nil // idempotent deferred shutdown
+	app.metricsSrv = nil
+	app.debug = nil
+	app.auditFile = nil
+}

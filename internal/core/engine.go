@@ -167,6 +167,9 @@ type Engine struct {
 	mu       sync.Mutex
 	specs    map[rbac.PermID]PermSpec
 	trackers map[trackerKey]*temporal.Tracker
+	// budgets holds the per-tracker consumption time series fed by
+	// SampleBudgets (see budget.go); lazily created per tracker.
+	budgets map[trackerKey]*obs.TimeSeries
 	// classes aggregate validity durations across permissions (the
 	// conclusion's future-work extension; see aggregate.go).
 	classes map[ClassID]Class
@@ -197,6 +200,7 @@ func NewEngine(clock temporal.Clock) *Engine {
 		clock:       clock,
 		specs:       make(map[rbac.PermID]PermSpec),
 		trackers:    make(map[trackerKey]*temporal.Tracker),
+		budgets:     make(map[trackerKey]*obs.TimeSeries),
 		classes:     make(map[ClassID]Class),
 		classOf:     make(map[rbac.PermID]ClassID),
 		lastArrival: make(map[model.ObjectID]float64),

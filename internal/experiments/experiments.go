@@ -23,6 +23,7 @@ var All = map[string]Runner{
 	"E8":  E8,
 	"E9":  E9,
 	"E10": E10,
+	"E11": E11,
 }
 
 // Titles gives the one-line description of each experiment without
@@ -39,6 +40,7 @@ var Titles = map[string]string{
 	"E8":  "Companion coordination via the coalition ledger",
 	"E9":  "No-global-clock tolerance: enforcement under server clock skew",
 	"E10": "Tracing overhead per access: untraced vs sampling-off vs sampled",
+	"E11": "Fleet telemetry overhead: baseline vs snapshot scraping vs SSE watch",
 }
 
 // IDs returns the experiment identifiers in canonical order (F1 first,

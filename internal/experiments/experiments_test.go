@@ -10,7 +10,7 @@ import (
 
 func TestIDsOrder(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 11 || ids[0] != "F1" || ids[1] != "E1" || ids[9] != "E9" || ids[10] != "E10" {
+	if len(ids) != 12 || ids[0] != "F1" || ids[1] != "E1" || ids[10] != "E10" || ids[11] != "E11" {
 		t.Fatalf("IDs = %v", ids)
 	}
 }
@@ -290,5 +290,41 @@ func TestE10Quick(t *testing.T) {
 	}
 	if n, err := strconv.Atoi(spans["sampled"]); err != nil || n == 0 {
 		t.Fatalf("sampled spans = %q", spans["sampled"])
+	}
+}
+
+func TestE11Quick(t *testing.T) {
+	tb, err := E11(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	byMode := map[string][]string{}
+	for _, row := range tb.Rows {
+		byMode[row[0]] = row
+	}
+	// Baseline attaches no observer, so it records no scrapes or
+	// events; the observed modes must actually have observed the tour.
+	if byMode["baseline"][4] != "0" || byMode["baseline"][5] != "0" {
+		t.Fatalf("baseline observed something: %v", byMode["baseline"])
+	}
+	if n, err := strconv.Atoi(byMode["scraped"][4]); err != nil || n == 0 {
+		t.Fatalf("scraped row recorded no scrapes: %v", byMode["scraped"])
+	}
+	// Watch events: delivered + dropped must account for every
+	// decision seen by at least one subscriber (non-blocking fan-out
+	// may drop under pressure, but never invents events).
+	ev, err := strconv.Atoi(byMode["watched"][5])
+	if err != nil {
+		t.Fatalf("watched events = %v", byMode["watched"])
+	}
+	dropped, err := strconv.Atoi(byMode["watched"][6])
+	if err != nil {
+		t.Fatalf("watched dropped = %v", byMode["watched"])
+	}
+	if ev+dropped == 0 {
+		t.Fatalf("watch subscribers saw nothing: %v", byMode["watched"])
 	}
 }

@@ -1,0 +1,341 @@
+package federate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"stac/internal/server"
+)
+
+// Member is one coalition daemon to scrape: BaseURL is the root of its
+// observability listener (the stacd -metrics-addr server), e.g.
+// "http://127.0.0.1:9100".
+type Member struct {
+	Name    string `json:"name"`
+	BaseURL string `json:"base_url"`
+}
+
+// MemberState is one member's contribution to a fleet view.
+type MemberState struct {
+	Member
+	// Reachable reports a successful scrape; Err carries the failure.
+	Reachable bool   `json:"reachable"`
+	Err       string `json:"err,omitempty"`
+	// Snapshot is the member's document (zero when unreachable).
+	Snapshot server.Snapshot `json:"snapshot"`
+}
+
+// BudgetRollup is the fleet-wide state of one (object, permission)
+// temporal budget, merged per its base-time scheme: global budgets sum
+// consumption across members (one coalition-wide accumulated total),
+// per-server budgets keep the hottest member's figures.
+type BudgetRollup struct {
+	Object string  `json:"object"`
+	Perm   string  `json:"perm"`
+	Scheme string  `json:"scheme"`
+	Budget float64 `json:"budget_s"`
+	// Consumed/Remaining follow the scheme's merge rule.
+	Consumed  float64 `json:"consumed_s"`
+	Remaining float64 `json:"remaining_s"`
+	// BurnRate is the fleet-wide consumption velocity (s/s); ETA the
+	// seconds until exhaustion at that velocity (-1 unknown, 0 spent).
+	BurnRate float64 `json:"burn_rate"`
+	ETA      float64 `json:"eta_s"`
+	// Members counts members holding state for this budget.
+	Members int `json:"members"`
+}
+
+// ServerRollup is one coalition server's counters as seen by one
+// member (the per-server view; members host disjoint server sets).
+type ServerRollup struct {
+	Member string `json:"member"`
+	Server string `json:"server"`
+	Grants int    `json:"grants"`
+	Denies int    `json:"denies"`
+}
+
+// Rollup is the coalition-global aggregate across reachable members.
+type Rollup struct {
+	Members     int `json:"members"`
+	Unreachable int `json:"unreachable"`
+	Grants      int `json:"grants"`
+	Denies      int `json:"denies"`
+	Decisions   int `json:"decisions"`
+	Migrations  int `json:"migrations"`
+	Watchers    int `json:"watchers"`
+	// AuditSinkErrors sums decisions lost from durable logs fleet-wide.
+	AuditSinkErrors int64 `json:"audit_sink_errors"`
+}
+
+// Anomaly is one cross-server condition the poller flagged.
+type Anomaly struct {
+	// Kind is "unreachable", "budget-exhaustion", "deny-spike" or
+	// "policy-divergence".
+	Kind string `json:"kind"`
+	// Member names the affected member ("" for fleet-wide conditions).
+	Member string `json:"member,omitempty"`
+	// Subject narrows the anomaly (a budget's "object/perm", a digest).
+	Subject string `json:"subject,omitempty"`
+	Detail  string `json:"detail"`
+}
+
+// FleetView is one merged observation of the whole coalition.
+type FleetView struct {
+	Members   []MemberState  `json:"members"`
+	Global    Rollup         `json:"global"`
+	PerServer []ServerRollup `json:"per_server"`
+	Budgets   []BudgetRollup `json:"budgets"`
+	Anomalies []Anomaly      `json:"anomalies"`
+}
+
+// Config tunes the poller's anomaly thresholds.
+type Config struct {
+	// Client performs the scrapes (nil = a 5 s-timeout default).
+	Client *http.Client
+	// BudgetTail is the ?tail= passed to /debug/snapshot (0 = server
+	// default).
+	BudgetTail int
+	// ExhaustionHorizon flags budgets whose fleet ETA falls at or
+	// under this many seconds (0 = 60).
+	ExhaustionHorizon float64
+	// DenySpikeRatio flags a member whose denials since the previous
+	// poll exceed this fraction of its new decisions (0 = 0.5), once
+	// at least DenySpikeMin new decisions arrived (0 = 10).
+	DenySpikeRatio float64
+	DenySpikeMin   int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if c.ExhaustionHorizon == 0 {
+		c.ExhaustionHorizon = 60
+	}
+	if c.DenySpikeRatio == 0 {
+		c.DenySpikeRatio = 0.5
+	}
+	if c.DenySpikeMin == 0 {
+		c.DenySpikeMin = 10
+	}
+	return c
+}
+
+// Poller scrapes a fixed member set and merges fleet views. Poll keeps
+// per-member history between rounds for rate anomalies; one Poller per
+// fleet, reused across rounds.
+type Poller struct {
+	members []Member
+	cfg     Config
+
+	mu   sync.Mutex
+	prev map[string]server.Snapshot
+}
+
+// NewPoller builds a poller over the given members.
+func NewPoller(members []Member, cfg Config) *Poller {
+	return &Poller{
+		members: members,
+		cfg:     cfg.withDefaults(),
+		prev:    make(map[string]server.Snapshot),
+	}
+}
+
+// Scrape fetches one member's snapshot document.
+func Scrape(ctx context.Context, client *http.Client, m Member, tail int) (server.Snapshot, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	url := m.BaseURL + "/debug/snapshot"
+	if tail != 0 {
+		url += fmt.Sprintf("?tail=%d", tail)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return server.Snapshot{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return server.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return server.Snapshot{}, fmt.Errorf("federate: %s: %s: %s", m.Name, resp.Status, body)
+	}
+	var snap server.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return server.Snapshot{}, fmt.Errorf("federate: %s: decode: %w", m.Name, err)
+	}
+	if snap.Version > server.SnapshotVersion {
+		return server.Snapshot{}, fmt.Errorf("federate: %s: snapshot version %d newer than supported %d",
+			m.Name, snap.Version, server.SnapshotVersion)
+	}
+	return snap, nil
+}
+
+// Poll scrapes every member concurrently and merges the results.
+func (p *Poller) Poll(ctx context.Context) FleetView {
+	states := make([]MemberState, len(p.members))
+	var wg sync.WaitGroup
+	for i, m := range p.members {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			states[i] = MemberState{Member: m}
+			snap, err := Scrape(ctx, p.cfg.Client, m, p.cfg.BudgetTail)
+			if err != nil {
+				states[i].Err = err.Error()
+				return
+			}
+			states[i].Reachable = true
+			states[i].Snapshot = snap
+		}(i, m)
+	}
+	wg.Wait()
+	return p.merge(states)
+}
+
+// Merge builds a fleet view from already-collected member states —
+// the pure half of Poll, usable on snapshots obtained out of band.
+func (p *Poller) Merge(states []MemberState) FleetView { return p.merge(states) }
+
+func (p *Poller) merge(states []MemberState) FleetView {
+	v := FleetView{Members: states}
+	budgets := make(map[string]*BudgetRollup)
+	digests := make(map[string][]string) // digest -> member names
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, st := range states {
+		if !st.Reachable {
+			v.Global.Unreachable++
+			v.Anomalies = append(v.Anomalies, Anomaly{
+				Kind: "unreachable", Member: st.Name, Detail: st.Err,
+			})
+			continue
+		}
+		snap := st.Snapshot
+		v.Global.Members++
+		v.Global.Grants += snap.Grants
+		v.Global.Denies += snap.Denies
+		v.Global.Decisions += snap.Decisions
+		v.Global.Migrations += snap.Migrations
+		v.Global.Watchers += snap.Watchers
+		v.Global.AuditSinkErrors += snap.AuditSinkErrors
+		digests[snap.PolicyDigest] = append(digests[snap.PolicyDigest], st.Name)
+
+		for _, s := range snap.Servers {
+			v.PerServer = append(v.PerServer, ServerRollup{
+				Member: st.Name, Server: s.ID, Grants: s.Grants, Denies: s.Denies,
+			})
+		}
+		for _, b := range snap.Budgets {
+			key := b.Object + "\x00" + b.Perm
+			r, ok := budgets[key]
+			if !ok {
+				r = &BudgetRollup{Object: b.Object, Perm: b.Perm, Scheme: b.Scheme, Budget: b.Budget}
+				budgets[key] = r
+			}
+			r.Members++
+			if b.Scheme == "global" {
+				// One coalition-wide budget: activity anywhere burns it.
+				r.Consumed += b.Consumed
+				r.BurnRate += b.BurnRate
+			} else {
+				// Budget restarts per server: track the hottest member.
+				if b.Consumed > r.Consumed {
+					r.Consumed = b.Consumed
+				}
+				if b.BurnRate > r.BurnRate {
+					r.BurnRate = b.BurnRate
+				}
+			}
+		}
+
+		// Deny-rate spike vs the member's previous poll.
+		if prev, ok := p.prev[st.Name]; ok {
+			dDen := snap.Denies - prev.Denies
+			dDec := snap.Decisions - prev.Decisions
+			if dDec >= p.cfg.DenySpikeMin && float64(dDen) > p.cfg.DenySpikeRatio*float64(dDec) {
+				v.Anomalies = append(v.Anomalies, Anomaly{
+					Kind: "deny-spike", Member: st.Name,
+					Detail: fmt.Sprintf("%d of %d new decisions denied", dDen, dDec),
+				})
+			}
+		}
+		p.prev[st.Name] = snap
+	}
+
+	for _, r := range budgets {
+		r.Remaining = r.Budget - r.Consumed
+		if r.Remaining < 0 {
+			r.Remaining = 0
+		}
+		switch {
+		case r.Remaining == 0:
+			r.ETA = 0
+		case r.BurnRate > 0:
+			r.ETA = r.Remaining / r.BurnRate
+		default:
+			r.ETA = -1
+		}
+		if r.ETA >= 0 && r.ETA <= p.cfg.ExhaustionHorizon {
+			v.Anomalies = append(v.Anomalies, Anomaly{
+				Kind:    "budget-exhaustion",
+				Subject: r.Object + "/" + r.Perm,
+				Detail: fmt.Sprintf("%.3gs of %.3gs budget left, ETA %.3gs at %.3g s/s",
+					r.Remaining, r.Budget, r.ETA, r.BurnRate),
+			})
+		}
+		v.Budgets = append(v.Budgets, *r)
+	}
+	sort.Slice(v.Budgets, func(i, j int) bool {
+		a, b := v.Budgets[i], v.Budgets[j]
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Perm < b.Perm
+	})
+	sort.Slice(v.PerServer, func(i, j int) bool {
+		a, b := v.PerServer[i], v.PerServer[j]
+		if a.Member != b.Member {
+			return a.Member < b.Member
+		}
+		return a.Server < b.Server
+	})
+
+	if len(digests) > 1 {
+		parts := make([]string, 0, len(digests))
+		for d, names := range digests {
+			short := d
+			if len(short) > 12 {
+				short = short[:12]
+			}
+			sort.Strings(names)
+			parts = append(parts, fmt.Sprintf("%s:%v", short, names))
+		}
+		sort.Strings(parts)
+		v.Anomalies = append(v.Anomalies, Anomaly{
+			Kind:   "policy-divergence",
+			Detail: fmt.Sprintf("members disagree on policy digest: %v", parts),
+		})
+	}
+	sort.Slice(v.Anomalies, func(i, j int) bool {
+		a, b := v.Anomalies[i], v.Anomalies[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Member != b.Member {
+			return a.Member < b.Member
+		}
+		return a.Subject < b.Subject
+	})
+	return v
+}

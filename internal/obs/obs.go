@@ -21,6 +21,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -60,6 +61,17 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is a gauge holding a float64 — budget seconds, burn
+// rates and other fractional quantities the int64 Gauge cannot carry.
+// Stores and loads are single atomic operations on the bit pattern.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram records a latency distribution in fixed buckets. The sum
 // is kept in integer nanoseconds so Observe is a few atomic adds with
@@ -201,6 +213,25 @@ func (r *Registry) Gauge(name, labels, help string) *Gauge {
 	return r.child(name, labels, help, kindGauge, func() any { return new(Gauge) }).(*Gauge)
 }
 
+// FloatGauge returns (registering if needed) the float gauge
+// name{labels}. A family is either integer or float gauges, never a
+// mix: the first registration fixes the child type.
+func (r *Registry) FloatGauge(name, labels, help string) *FloatGauge {
+	return r.child(name, labels, help, kindGauge, func() any { return new(FloatGauge) }).(*FloatGauge)
+}
+
+// FloatGaugeValue returns the value of float gauge name{labels}, or 0.
+func (r *Registry) FloatGaugeValue(name, labels string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok && f.kind == kindGauge {
+		if g, ok := f.children[labels].(*FloatGauge); ok {
+			return g.Value()
+		}
+	}
+	return 0
+}
+
 // Histogram returns (registering if needed) the histogram name{labels}
 // with the given bucket bounds (nil for DefBuckets). Bounds are fixed
 // by the first registration.
@@ -313,6 +344,8 @@ func WritePrometheus(w io.Writer, regs ...*Registry) {
 					fmt.Fprintf(w, "%s %d\n", series(f.name, labels, ""), m.Value())
 				case *Gauge:
 					fmt.Fprintf(w, "%s %d\n", series(f.name, labels, ""), m.Value())
+				case *FloatGauge:
+					fmt.Fprintf(w, "%s %s\n", series(f.name, labels, ""), fmtFloat(m.Value()))
 				case *Histogram:
 					var cum int64
 					for i, b := range m.bounds {
@@ -355,6 +388,10 @@ func WriteTable(w io.Writer, regs ...*Registry) {
 				case *Gauge:
 					if v := m.Value(); v != 0 {
 						add(n, strconv.FormatInt(v, 10))
+					}
+				case *FloatGauge:
+					if v := m.Value(); v != 0 {
+						add(n, fmtFloat(v))
 					}
 				case *Histogram:
 					if c := m.Count(); c != 0 {
@@ -414,6 +451,8 @@ func PublishExpvar(name string, regs ...*Registry) {
 					case *Counter:
 						out[n] = m.Value()
 					case *Gauge:
+						out[n] = m.Value()
+					case *FloatGauge:
 						out[n] = m.Value()
 					case *Histogram:
 						v := map[string]any{"count": m.Count(), "sum_seconds": m.Sum().Seconds()}

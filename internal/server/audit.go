@@ -133,7 +133,9 @@ func (s *Server) recordDecision(a model.Access, granted bool, reason string, dec
 	if log != nil {
 		log.add(rec)
 	}
-	s.coalition.writeAuditEntry(rec.Entry())
+	entry := rec.Entry()
+	s.coalition.writeAuditEntry(entry)
+	s.coalition.publishDecision(entry)
 }
 
 // AuditEntry is the flat JSON form of an audit record — one line of
@@ -183,11 +185,23 @@ func (r AuditRecord) Entry() AuditEntry {
 // SetAuditSink directs every coalition server's decisions to w as JSON
 // lines (nil disables). The write happens outside the request's fast
 // path locks but inside the request, so a slow sink slows requests —
-// hand it a buffered or async writer if that matters.
+// hand it a buffered or async writer if that matters. Replacing the
+// sink clears any recorded write failure.
 func (c *Coalition) SetAuditSink(w io.Writer) {
 	c.auditMu.Lock()
 	c.auditSink = w
+	c.auditSinkErr = nil
 	c.auditMu.Unlock()
+}
+
+// AuditSinkStatus reports whether a JSONL sink is configured, the most
+// recent write failure (nil when the last append succeeded), and the
+// total number of failed appends. A failing sink means decisions are
+// being LOST from the durable log — /readyz degrades on it.
+func (c *Coalition) AuditSinkStatus() (configured bool, lastErr error, errors int64) {
+	c.auditMu.Lock()
+	defer c.auditMu.Unlock()
+	return c.auditSink != nil, c.auditSinkErr, c.auditSinkErrs
 }
 
 func (c *Coalition) writeAuditEntry(e AuditEntry) {
@@ -198,10 +212,25 @@ func (c *Coalition) writeAuditEntry(e AuditEntry) {
 	}
 	b, err := json.Marshal(e)
 	if err != nil {
+		c.auditSinkFailedLocked(err)
 		return
 	}
 	b = append(b, '\n')
-	_, _ = c.auditSink.Write(b)
+	if _, err := c.auditSink.Write(b); err != nil {
+		c.auditSinkFailedLocked(err)
+		return
+	}
+	c.auditSinkErr = nil
+}
+
+// auditSinkFailedLocked records one lost decision: the sticky error
+// degrades /readyz until a write succeeds (or the sink is replaced),
+// and the counter surfaces the loss on /metrics.
+func (c *Coalition) auditSinkFailedLocked(err error) {
+	c.auditSinkErr = err
+	c.auditSinkErrs++
+	c.Engine.Obs().Counter("stac_audit_sink_errors_total", "",
+		"Audit JSONL sink appends that failed (decisions lost from the durable log).").Inc()
 }
 
 // find returns the retained record with the given decision ID.

@@ -63,8 +63,17 @@ type Coalition struct {
 	// auditSink, when set, receives every authorisation decision of
 	// every coalition server as one JSON line (see AuditEntry) — the
 	// durable counterpart of the per-server in-memory audit rings.
-	auditMu   sync.Mutex
-	auditSink io.Writer
+	// auditSinkErr holds the most recent write failure (nil after a
+	// successful write), so /readyz can report a sink that is losing
+	// decisions; auditSinkErrs counts every failed append.
+	auditMu       sync.Mutex
+	auditSink     io.Writer
+	auditSinkErr  error
+	auditSinkErrs int64
+
+	// bus broadcasts every decision to /debug/watch subscribers (see
+	// watch.go).
+	bus decisionBus
 }
 
 // NewCoalition creates a coalition with the given clock (nil for a

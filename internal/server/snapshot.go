@@ -1,0 +1,145 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"time"
+
+	"stac/internal/core"
+)
+
+// The federated health snapshot: one versioned JSON document
+// capturing everything a fleet poller needs from a daemon in a single
+// scrape — decision counters, temporal-budget series tails,
+// connection/drain state and the policy digest. internal/obs/federate
+// merges these documents across coalition members.
+
+// SnapshotVersion is the schema version of the snapshot document.
+// Consumers must reject documents with a greater major version.
+const SnapshotVersion = 1
+
+// Snapshot is one daemon-process view of its coalition state.
+type Snapshot struct {
+	// Version is the document schema version (SnapshotVersion).
+	Version int `json:"version"`
+	// Time is the engine clock reading at snapshot time; WallTime is
+	// the host's wall clock, for cross-fleet correlation.
+	Time     float64   `json:"time"`
+	WallTime time.Time `json:"wall_time"`
+	// PolicyDigest fingerprints the loaded policy (SHA-256 of its
+	// canonical dump): members of one coalition should agree on it.
+	PolicyDigest string `json:"policy_digest"`
+	// Servers carries the per-server decision counters.
+	Servers []ServerSnapshot `json:"servers"`
+	// Budgets is the sampled temporal-budget state of every
+	// finite-duration (object, permission) tracker, series tails
+	// included.
+	Budgets []core.BudgetStatus `json:"budgets"`
+	// Conns is the transport state of each TCP daemon in the process.
+	Conns []DaemonStats `json:"conns,omitempty"`
+	// Grants/Denies/Decisions aggregate the per-server counters.
+	Grants    int `json:"grants"`
+	Denies    int `json:"denies"`
+	Decisions int `json:"decisions"`
+	// Migrations counts completed mobile-object migrations.
+	Migrations int `json:"migrations"`
+	// Watchers and WatchDropped describe the decision stream: live
+	// /debug/watch subscribers and events lost to slow ones.
+	Watchers     int   `json:"watchers"`
+	WatchDropped int64 `json:"watch_dropped"`
+	// AuditSinkErrors counts decisions lost by a failing JSONL sink.
+	AuditSinkErrors int64 `json:"audit_sink_errors"`
+}
+
+// ServerSnapshot is one coalition server's decision counters.
+type ServerSnapshot struct {
+	ID     string `json:"id"`
+	Grants int    `json:"grants"`
+	Denies int    `json:"denies"`
+	// AuditRetained/AuditTotal size the in-memory audit window.
+	AuditRetained int `json:"audit_retained"`
+	AuditTotal    int `json:"audit_total"`
+}
+
+// DaemonStats is the connection/drain state of one TCP daemon.
+type DaemonStats struct {
+	Server string `json:"server"`
+	// Inflight is the number of connections currently being served;
+	// ConnsTotal counts every connection ever accepted.
+	Inflight   int   `json:"inflight"`
+	ConnsTotal int64 `json:"conns_total"`
+	// MaxConns is the configured cap (0 = unlimited); Saturated
+	// reports Inflight >= MaxConns.
+	MaxConns  int  `json:"max_conns"`
+	Saturated bool `json:"saturated"`
+	// Draining reports a daemon whose Close has begun.
+	Draining bool `json:"draining"`
+	// Subjects is the number of authenticated sessions; DedupEntries
+	// the retained idempotency cache size.
+	Subjects     int `json:"subjects"`
+	DedupEntries int `json:"dedup_entries"`
+}
+
+// Stats returns the daemon's current connection/drain state.
+func (d *Daemon) Stats() DaemonStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := DaemonStats{
+		Server:       string(d.srv.ID()),
+		Inflight:     len(d.conns),
+		ConnsTotal:   d.connsTotal,
+		MaxConns:     d.cfg.MaxConns,
+		Draining:     d.closed,
+		Subjects:     len(d.subjects),
+		DedupEntries: len(d.seen),
+	}
+	st.Saturated = st.MaxConns > 0 && st.Inflight >= st.MaxConns
+	return st
+}
+
+// Snapshot assembles the versioned snapshot document. budgetTail
+// bounds the series tail per budget (0 omits series, negative keeps
+// the full retained window); daemons, when given, contribute their
+// transport state. Taking a snapshot samples the budgets, so scraping
+// also feeds the burn-rate window.
+func (c *Coalition) Snapshot(budgetTail int, daemons ...*Daemon) Snapshot {
+	snap := Snapshot{
+		Version:      SnapshotVersion,
+		Time:         c.Engine.Clock().Now(),
+		WallTime:     time.Now(),
+		PolicyDigest: PolicyDigest(c.Engine),
+		Budgets:      c.Engine.SampleBudgets(budgetTail),
+		Migrations:   c.Migrations(),
+		Watchers:     c.Watchers(),
+		WatchDropped: c.WatchDropped(),
+	}
+	_, _, sinkErrs := c.AuditSinkStatus()
+	snap.AuditSinkErrors = sinkErrs
+	for _, s := range c.Servers() {
+		grants, denies := s.Counters()
+		records, total := s.Audit()
+		snap.Servers = append(snap.Servers, ServerSnapshot{
+			ID:            string(s.ID()),
+			Grants:        grants,
+			Denies:        denies,
+			AuditRetained: len(records),
+			AuditTotal:    total,
+		})
+		snap.Grants += grants
+		snap.Denies += denies
+	}
+	snap.Decisions = snap.Grants + snap.Denies
+	for _, d := range daemons {
+		snap.Conns = append(snap.Conns, d.Stats())
+	}
+	return snap
+}
+
+// PolicyDigest fingerprints an engine's loaded policy: the SHA-256 of
+// its canonical textual dump, hex-encoded. Two coalition members
+// running the same policy produce the same digest regardless of load
+// order, because DumpPolicy emits a normalised form.
+func PolicyDigest(e *core.Engine) string {
+	sum := sha256.Sum256([]byte(core.DumpPolicy(e)))
+	return hex.EncodeToString(sum[:])
+}

@@ -202,14 +202,15 @@ type Daemon struct {
 	ln  net.Listener
 	sem chan struct{} // MaxConns slots; nil when unlimited
 
-	quit     chan struct{}
-	mu       sync.Mutex
-	subjects map[string]*Subject
-	conns    map[net.Conn]struct{}
-	seen     map[dedupKey]wireResponse
-	seenFIFO []dedupKey
-	closed   bool
-	wg       sync.WaitGroup
+	quit       chan struct{}
+	mu         sync.Mutex
+	subjects   map[string]*Subject
+	conns      map[net.Conn]struct{}
+	connsTotal int64
+	seen       map[dedupKey]wireResponse
+	seenFIFO   []dedupKey
+	closed     bool
+	wg         sync.WaitGroup
 }
 
 // dedupKey identifies one logical access request across reconnects:
@@ -291,6 +292,7 @@ func (d *Daemon) acceptLoop() {
 func (d *Daemon) track(conn net.Conn) {
 	d.mu.Lock()
 	d.conns[conn] = struct{}{}
+	d.connsTotal++
 	closed := d.closed
 	d.mu.Unlock()
 	if closed {

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"sync"
+)
+
+// The decision watch: a broadcast bus carrying every authorisation
+// decision the coalition makes, feeding the /debug/watch SSE stream
+// and `stacctl watch`. The bus must never slow the decision path, so
+// publishing is non-blocking — a subscriber that stops draining loses
+// events (counted, surfaced in snapshots) rather than stalling the
+// SecurityManager.
+
+// decisionBus fans decision entries out to subscribers.
+type decisionBus struct {
+	mu      sync.Mutex
+	subs    map[int]chan AuditEntry
+	next    int
+	dropped int64
+}
+
+// defaultWatchBuffer is the per-subscriber queue when the caller asks
+// for 0.
+const defaultWatchBuffer = 64
+
+// WatchDecisions subscribes to the coalition's decision stream: every
+// authorisation outcome (grant or denial, any server) is delivered as
+// its audit entry. The returned cancel function unsubscribes and
+// closes the channel; it is safe to call more than once. Delivery is
+// best-effort: when the subscriber's buffer (buffer, 0 for a default)
+// is full the event is dropped and counted, never blocking the
+// decision path.
+func (c *Coalition) WatchDecisions(buffer int) (<-chan AuditEntry, func()) {
+	if buffer <= 0 {
+		buffer = defaultWatchBuffer
+	}
+	ch := make(chan AuditEntry, buffer)
+	b := &c.bus
+	b.mu.Lock()
+	if b.subs == nil {
+		b.subs = make(map[int]chan AuditEntry)
+	}
+	id := b.next
+	b.next++
+	b.subs[id] = ch
+	b.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			if _, ok := b.subs[id]; ok {
+				delete(b.subs, id)
+				close(ch)
+			}
+			b.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Watchers returns the number of live decision subscribers.
+func (c *Coalition) Watchers() int {
+	c.bus.mu.Lock()
+	defer c.bus.mu.Unlock()
+	return len(c.bus.subs)
+}
+
+// WatchDropped returns the number of decision events dropped on full
+// subscriber buffers since the coalition started.
+func (c *Coalition) WatchDropped() int64 {
+	c.bus.mu.Lock()
+	defer c.bus.mu.Unlock()
+	return c.bus.dropped
+}
+
+// publishDecision delivers one decision to every subscriber without
+// blocking.
+func (c *Coalition) publishDecision(e AuditEntry) {
+	b := &c.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, ch := range b.subs {
+		select {
+		case ch <- e:
+		default:
+			b.dropped++
+		}
+	}
+}
