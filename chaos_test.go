@@ -25,6 +25,7 @@ import (
 	"stac/internal/faults"
 	"stac/internal/model"
 	"stac/internal/obs"
+	"stac/internal/obs/record"
 	"stac/internal/server"
 	"stac/internal/sral"
 	"stac/internal/temporal"
@@ -69,13 +70,20 @@ type chaosOutcome struct {
 	ledger    int      // proofs the coalition issued in total
 	granted   int      // granted decisions across all audit logs
 	denied    bool     // the tour ended in a denial
+
+	// Flight-recorder state, populated only when a WAL was attached.
+	// equal() ignores these: recorder health may differ between runs,
+	// verdicts must not.
+	recorder     *record.Status
+	recorderErrs int64
 }
 
 // runChaosTour runs the 8-stop tour. With a nil injector the network
 // behaves perfectly; otherwise every client-side connection goes
-// through the fault injector. It returns the outcome and the number
-// of goroutines alive after full shutdown.
-func runChaosTour(t *testing.T, inj *faults.Injector) chaosOutcome {
+// through the fault injector. A non-nil wal attaches a flight
+// recorder writing to it — the recorder must never change verdicts,
+// even when the wal itself fails.
+func runChaosTour(t *testing.T, inj *faults.Injector, wal io.Writer) chaosOutcome {
 	t.Helper()
 	clk := temporal.NewSimClock(0)
 	c := server.NewCoalition(clk, []byte("chaos-key"))
@@ -86,6 +94,9 @@ func runChaosTour(t *testing.T, inj *faults.Injector) chaosOutcome {
 	c.Engine.SetObs(reg)
 	if err := core.LoadPolicyString(c.Engine, chaosPolicy); err != nil {
 		t.Fatal(err)
+	}
+	if wal != nil {
+		c.Engine.SetRecorder(record.New(record.Config{Capacity: 64, WAL: wal, Registry: reg}))
 	}
 	for _, id := range chaosServers {
 		srv, err := c.AddServer(id)
@@ -167,6 +178,11 @@ func runChaosTour(t *testing.T, inj *faults.Injector) chaosOutcome {
 	err := rt.Launch(rover)
 
 	out := chaosOutcome{proofs: rover.Proofs.Len(), ledger: c.Ledger().Len()}
+	if rec := c.Engine.Recorder(); rec != nil {
+		st := rec.Status()
+		out.recorder = &st
+		out.recorderErrs = reg.CounterValue("stac_recorder_errors_total", "")
+	}
 	if err != nil {
 		if !errors.Is(err, server.ErrDenied) {
 			t.Fatalf("tour failed with a non-verdict error: %v", err)
@@ -247,7 +263,7 @@ func chaosInjector(seed int64) *faults.Injector {
 // audited decisions, proof counts and final verdict as the fault-free
 // run — and a repeated seed reproduces its run exactly.
 func TestChaosVerdictsMatchFaultFreeRun(t *testing.T) {
-	base := runChaosTour(t, nil)
+	base := runChaosTour(t, nil, nil)
 	// Sanity-pin the fault-free shape: 5 grants, then a denial.
 	if !base.denied || base.proofs != 5 || base.granted != 5 || base.ledger != 5 {
 		t.Fatalf("fault-free run shape = %+v", base)
@@ -258,7 +274,7 @@ func TestChaosVerdictsMatchFaultFreeRun(t *testing.T) {
 
 	for _, seed := range []int64{1, 2, 3} {
 		in := chaosInjector(seed)
-		got := runChaosTour(t, in)
+		got := runChaosTour(t, in, nil)
 		if !got.equal(base) {
 			t.Fatalf("seed %d: outcome diverged from fault-free run\nfaults: %+v\nbase: %+v\ngot:  %+v\nbase decisions: %v\ngot decisions:  %v",
 				seed, in.Stats(), base, got, base.decisions, got.decisions)
@@ -267,8 +283,8 @@ func TestChaosVerdictsMatchFaultFreeRun(t *testing.T) {
 
 	// Determinism of the harness itself: same seed, same fault stats.
 	a, b := chaosInjector(2), chaosInjector(2)
-	_ = runChaosTour(t, a)
-	_ = runChaosTour(t, b)
+	_ = runChaosTour(t, a, nil)
+	_ = runChaosTour(t, b, nil)
 	if a.Stats() != b.Stats() {
 		t.Fatalf("same seed produced different fault schedules: %+v vs %+v", a.Stats(), b.Stats())
 	}
@@ -283,7 +299,7 @@ func TestChaosNoProofForDeniedAccessAndNoGoroutineLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for _, seed := range []int64{5, 6, 7, 8} {
 		in := chaosInjector(seed)
-		out := runChaosTour(t, in)
+		out := runChaosTour(t, in, nil)
 		if out.ledger != out.granted {
 			t.Fatalf("seed %d: ledger holds %d proofs for %d granted decisions", seed, out.ledger, out.granted)
 		}
@@ -359,5 +375,55 @@ func TestChaosServerSideListenerFaults(t *testing.T) {
 	if rover.Proofs.Len() != 5 || c.Ledger().Len() != 5 {
 		t.Fatalf("proofs = %d, ledger = %d, want 5/5 (stats %+v)",
 			rover.Proofs.Len(), c.Ledger().Len(), in.Stats())
+	}
+}
+
+// TestChaosWALDiskFullDegradesToRingOnly fills the flight-recorder
+// WAL volume mid-tour. The recorder must degrade to ring-only —
+// verdicts byte-identical to the fault-free run, the in-memory ring
+// still recording — and announce the loss through
+// stac_recorder_errors_total exactly once (a full disk is one
+// incident, not one alert per decision), never by failing an
+// authorization.
+func TestChaosWALDiskFullDegradesToRingOnly(t *testing.T) {
+	base := runChaosTour(t, nil, nil)
+
+	// ~1 record of budget: the WAL dies almost immediately.
+	disk := faults.NewDiskFullWriter(io.Discard, 200)
+	got := runChaosTour(t, nil, disk)
+	if !disk.Failed() {
+		t.Fatal("disk never filled — budget too large for the tour's record volume")
+	}
+	if !base.equal(got) {
+		t.Fatalf("verdicts changed under a full WAL:\nbase %+v\ngot  %+v", base, got)
+	}
+
+	st := got.recorder
+	if st == nil {
+		t.Fatal("no recorder status captured")
+	}
+	if !st.WALConfigured || !st.WALDegraded {
+		t.Fatalf("recorder status = %+v, want a configured, degraded WAL", st)
+	}
+	if !strings.Contains(st.WALError, "disk full") {
+		t.Fatalf("WALError = %q, want the disk-full cause", st.WALError)
+	}
+	if st.Errors != 1 || got.recorderErrs != 1 {
+		t.Fatalf("recorder errors = %d (metric %d), want exactly 1", st.Errors, got.recorderErrs)
+	}
+	// The ring outlived the WAL: every record of the tour is still
+	// retained in memory (tour volume < ring capacity).
+	if st.Total == 0 || int(st.Total) != st.Retained {
+		t.Fatalf("ring retained %d of %d records after WAL failure", st.Retained, st.Total)
+	}
+
+	// Same property under network chaos: a fault-injected tour with a
+	// dead-on-arrival WAL still reproduces the fault-free verdicts.
+	chaotic := runChaosTour(t, chaosInjector(1), faults.NewDiskFullWriter(io.Discard, 0))
+	if !base.equal(chaotic) {
+		t.Fatalf("verdicts changed under chaos + full WAL:\nbase %+v\ngot  %+v", base, chaotic)
+	}
+	if chaotic.recorderErrs != 1 {
+		t.Fatalf("chaotic run recorder errors metric = %d, want 1", chaotic.recorderErrs)
 	}
 }

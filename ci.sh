@@ -21,11 +21,21 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+# Fuzz smoke: a couple of seconds per target, so a crasher in any
+# parser/decoder surfaces in CI without a dedicated fuzzing job. The
+# seed corpora also run as plain tests in the passes above; this adds
+# a short randomised probe on top.
+go test -run '^$' -fuzz '^FuzzRecordDecode$' -fuzztime 2s ./internal/obs/record
+go test -run '^$' -fuzz '^FuzzLoadPolicy$' -fuzztime 2s ./internal/core
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 2s ./internal/srac
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 2s ./internal/sral
+go test -run '^$' -fuzz '^FuzzParseRegular$' -fuzztime 2s ./internal/sral
+
 # Benchmark smoke: one iteration each, so a broken benchmark (or a
 # regression that panics only on the bench path) fails CI without
 # paying for a real measurement run. The output lands in a file first
 # (a pipe would mask go test's exit status under set -e), then gets
-# distilled into BENCH_pr4.json for the CI artifact.
+# distilled into BENCH_pr5.json for the CI artifact.
 go test -bench . -benchtime=1x -benchmem -run '^$' ./... >bench_smoke.txt
 awk '
     BEGIN { print "[" }
@@ -34,9 +44,9 @@ awk '
         printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", $1, $3, $7
     }
     END { print "\n]" }
-' bench_smoke.txt >BENCH_pr4.json
+' bench_smoke.txt >BENCH_pr5.json
 rm bench_smoke.txt
 # Compare against the committed previous-PR baseline. Regressions
 # beyond 25% ns/op surface as CI warnings (benchdiff exits 0 on
 # warnings — a 1x smoke run is too noisy to gate on).
-go run ./cmd/benchdiff BENCH_pr3.json BENCH_pr4.json
+go run ./cmd/benchdiff BENCH_pr4.json BENCH_pr5.json

@@ -94,7 +94,13 @@ func runTop(w io.Writer, p *federate.Poller, interval time.Duration, iterations 
 func renderTop(w io.Writer, v federate.FleetView) {
 	g := v.Global
 	fmt.Fprintf(w, "fleet: %d/%d members up — %d decisions (%d grants, %d denies), %d migrations, %d watchers\n",
-		g.Members, g.Members+g.Unreachable, g.Decisions, g.Grants, g.Denies, g.Migrations, g.Watchers)
+		g.Members, g.Members+g.Unreachable+g.Skipped, g.Decisions, g.Grants, g.Denies, g.Migrations, g.Watchers)
+	if g.Skipped > 0 {
+		fmt.Fprintf(w, "NOTE: %d member(s) skipped for snapshot version skew (deploy in flight?)\n", g.Skipped)
+	}
+	if g.ShadowFlips > 0 {
+		fmt.Fprintf(w, "shadow: %d verdict flip(s) against the candidate policy fleet-wide\n", g.ShadowFlips)
+	}
 	if g.AuditSinkErrors > 0 {
 		fmt.Fprintf(w, "WARNING: %d decisions lost to failing audit sinks\n", g.AuditSinkErrors)
 	}
@@ -116,8 +122,28 @@ func renderTop(w io.Writer, v federate.FleetView) {
 				b.Object+"/"+b.Perm, b.Scheme, secs(b.Consumed), secs(b.Remaining), b.BurnRate, eta, b.Members)
 		}
 	}
+	if len(v.Coverage) > 0 {
+		var dead []federate.CoverageRollup
+		for _, c := range v.Coverage {
+			if c.Dead() {
+				dead = append(dead, c)
+			}
+		}
+		fmt.Fprintf(w, "\ncoverage: %d clause(s) tracked, %d dead\n", len(v.Coverage), len(dead))
+		for _, c := range dead {
+			path := c.Path
+			if path == "" {
+				path = "."
+			}
+			fmt.Fprintf(w, "  dead %s %s: %s (evaluated %d, never decisive)\n",
+				c.Perm, path, c.Clause, c.Evaluated)
+		}
+	}
 	for _, m := range v.Members {
-		if !m.Reachable {
+		switch {
+		case m.Skipped:
+			fmt.Fprintf(w, "\nmember %s SKIPPED: %s\n", m.Name, m.Err)
+		case !m.Reachable:
 			fmt.Fprintf(w, "\nmember %s UNREACHABLE: %s\n", m.Name, m.Err)
 		}
 	}
@@ -150,6 +176,7 @@ func cmdWatch(args []string) error {
 	perm := fs.String("perm", "", "only decisions attributed to this permission")
 	verdict := fs.String("verdict", "", "grant or deny; empty streams both")
 	serverFilter := fs.String("server", "", "only decisions made by this coalition server")
+	flips := fs.Bool("flips", false, "only shadow-policy verdict flips")
 	maxEvents := fs.Int("n", 0, "stop after this many events; 0 = until interrupted")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -158,13 +185,16 @@ func cmdWatch(args []string) error {
 	if err != nil {
 		return fmt.Errorf("watch: %w", err)
 	}
-	f := watchQuery{object: *object, perm: *perm, verdict: *verdict, server: *serverFilter}
+	f := watchQuery{object: *object, perm: *perm, verdict: *verdict, server: *serverFilter, flips: *flips}
 	return runWatch(context.Background(), os.Stdout, nil, members, f, *maxEvents)
 }
 
 // watchQuery is the server-side filter forwarded as query parameters.
+// flips is client-side: it selects the `flip` SSE events instead of
+// the `decision` ones.
 type watchQuery struct {
 	object, perm, verdict, server string
+	flips                         bool
 }
 
 func (q watchQuery) encode() string {
@@ -252,10 +282,26 @@ func watchMember(ctx context.Context, client *http.Client, m federate.Member, q 
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	// A shadow flip arrives TWICE: once under `event: decision`, once
+	// under `event: flip`. Track the event name so each outcome renders
+	// once — plain watch keeps decision events, -flips keeps flip ones.
+	event := ""
+	want := "decision"
+	if q.flips {
+		want = "flip"
+	}
 	for sc.Scan() {
-		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		line := sc.Text()
+		if name, ok := strings.CutPrefix(line, "event: "); ok {
+			event = name
+			continue
+		}
+		data, ok := strings.CutPrefix(line, "data: ")
 		if !ok {
-			continue // event:/comment/heartbeat/blank lines
+			continue // comment/heartbeat/blank lines
+		}
+		if event != want {
+			continue
 		}
 		var e server.AuditEntry
 		if err := json.Unmarshal([]byte(data), &e); err != nil {
@@ -283,6 +329,19 @@ func renderWatchLine(member string, e server.AuditEntry) string {
 	line += " decision=" + e.DecisionID
 	if e.TraceID != "" {
 		line += " trace=" + e.TraceID
+	}
+	if sv := e.Shadow; sv != nil && sv.Flip {
+		shadow := "shadow=GRANT"
+		if !sv.Granted {
+			shadow = "shadow=DENY"
+		}
+		line += " FLIP " + shadow
+		if sv.Clause != "" {
+			line += fmt.Sprintf(" clause=%q", sv.Clause)
+		}
+		if sv.Detail != "" {
+			line += " detail=" + strconv.Quote(sv.Detail)
+		}
 	}
 	return line
 }

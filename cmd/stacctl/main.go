@@ -25,7 +25,12 @@
 //	stacctl top -members m1=host:port,m2=...   # live merged fleet table
 //	stacctl watch -members m1=host:port,...    # stream decisions as they
 //	                                           # happen (filter -object,
-//	                                           # -perm, -verdict, -server)
+//	                                           # -perm, -verdict, -server;
+//	                                           # -flips for shadow flips)
+//	stacctl replay -wal w.jsonl -policy P      # verify a recorded stream
+//	                                           # replays deterministically
+//	stacctl diff -wal w.jsonl -policy C        # verdict flips the candidate
+//	                                           # policy C would cause
 //
 // Program and policy arguments may be file paths (tried first) or
 // literal text.
@@ -56,7 +61,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: stacctl <parse-program|parse-constraint|check|explain|traces|synth|policy|simulate|top|watch> ...")
+		return fmt.Errorf("usage: stacctl <parse-program|parse-constraint|check|explain|traces|synth|policy|simulate|top|watch|replay|diff> ...")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -90,6 +95,10 @@ func run(args []string) error {
 		return cmdTop(rest)
 	case "watch":
 		return cmdWatch(rest)
+	case "replay":
+		return cmdReplay(rest)
+	case "diff":
+		return cmdDiff(rest)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}

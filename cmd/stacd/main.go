@@ -41,6 +41,7 @@ import (
 	"stac/internal/core"
 	"stac/internal/model"
 	"stac/internal/obs"
+	"stac/internal/obs/record"
 	"stac/internal/server"
 	"stac/internal/temporal"
 )
@@ -88,6 +89,21 @@ type options struct {
 	// auditLog, when set, appends every authorisation decision as one
 	// JSON line (server.AuditEntry) to this file.
 	auditLog string
+
+	// record turns on the decision flight recorder; recordCapacity
+	// bounds its in-memory ring; recordWAL, when set, additionally
+	// appends every record as a JSON line to this file — the stream
+	// stacctl replay/diff consumes.
+	record         bool
+	recordCapacity int
+	recordWAL      string
+	// shadowPolicy, when set, loads this policy file for live shadow
+	// evaluation: every request is decided by both policies, flips are
+	// counted and streamed, the served verdict never changes.
+	shadowPolicy string
+	// coverage tracks per-clause SRAC evaluation counts (served on
+	// /debug/coverage and folded into /debug/snapshot).
+	coverage bool
 }
 
 func (o options) daemonConfig() server.DaemonConfig {
@@ -116,6 +132,11 @@ func main() {
 	flag.BoolVar(&opts.trace, "trace", true, "record a span tree per decision (export on /debug/trace)")
 	flag.IntVar(&opts.traceCapacity, "trace-capacity", 0, "in-memory span ring capacity; 0 = default")
 	flag.StringVar(&opts.auditLog, "audit-log", "", "append every decision as a JSON line to this file; empty disables")
+	flag.BoolVar(&opts.record, "record", false, "keep a decision flight-recorder ring for replay")
+	flag.IntVar(&opts.recordCapacity, "record-capacity", 4096, "flight-recorder ring capacity")
+	flag.StringVar(&opts.recordWAL, "record-wal", "", "append every flight-recorder event as a JSON line to this file (implies -record); empty disables")
+	flag.StringVar(&opts.shadowPolicy, "shadow-policy", "", "evaluate this candidate policy file alongside the served one; flips are reported, verdicts unchanged")
+	flag.BoolVar(&opts.coverage, "coverage", true, "track per-clause SRAC evaluation coverage (/debug/coverage)")
 	flag.Parse()
 
 	app, err := start(opts, os.Stdout)
@@ -137,6 +158,7 @@ type app struct {
 	metricsSrv *http.Server
 	debug      *server.DebugServer
 	auditFile  *os.File
+	walFile    *os.File
 }
 
 // start builds the coalition, binds every daemon (and the metrics
@@ -175,6 +197,30 @@ func start(opts options, w io.Writer) (*app, error) {
 		}
 		a.auditFile = f
 		c.SetAuditSink(f)
+	}
+	if opts.coverage {
+		c.Engine.EnableCoverage()
+	}
+	if opts.record || opts.recordWAL != "" {
+		cfg := record.Config{Capacity: opts.recordCapacity, Registry: c.Engine.Obs()}
+		if opts.recordWAL != "" {
+			f, err := os.OpenFile(opts.recordWAL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fail(err)
+			}
+			a.walFile = f
+			cfg.WAL = f
+		}
+		c.Engine.SetRecorder(record.New(cfg))
+	}
+	if opts.shadowPolicy != "" {
+		src, err := os.ReadFile(opts.shadowPolicy)
+		if err != nil {
+			return fail(err)
+		}
+		if err := c.SetShadowPolicy(string(src)); err != nil {
+			return fail(err)
+		}
 	}
 	for _, id := range strings.Split(opts.servers, ",") {
 		id = strings.TrimSpace(id)
@@ -269,5 +315,8 @@ func shutdown(a *app) {
 	}
 	if a.auditFile != nil {
 		_ = a.auditFile.Close()
+	}
+	if a.walFile != nil {
+		_ = a.walFile.Close()
 	}
 }

@@ -12,8 +12,10 @@ import (
 	"testing"
 	"time"
 
+	"stac/internal/core"
 	"stac/internal/model"
 	"stac/internal/obs"
+	"stac/internal/obs/record"
 	"stac/internal/proof"
 	"stac/internal/server"
 )
@@ -556,4 +558,130 @@ func TestStartServesFleetEndpoints(t *testing.T) {
 	app.metricsSrv = nil
 	app.debug = nil
 	app.auditFile = nil
+}
+
+func TestStartWiresRecorderShadowAndCoverage(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "decisions.wal")
+	// A policy WITH a spatial clause, so coverage has cells to count.
+	covPolicy := "user device-1\nrole worker\npermission p-read read * @ * {\n    spatial count(0, 5, sigma[op=read])\n}\ngrant worker p-read\nassign device-1 worker\n"
+	covPath := filepath.Join(dir, "policy.stac")
+	if err := os.WriteFile(covPath, []byte(covPolicy), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Candidate policy without the read permission: every grant flips.
+	shadowPath := filepath.Join(dir, "shadow.stac")
+	if err := os.WriteFile(shadowPath, []byte("user device-1\nrole worker\nassign device-1 worker\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	app, err := start(options{
+		policyPath:     covPath,
+		servers:        "s1",
+		listen:         "127.0.0.1:0",
+		key:            "test-key",
+		issueCreds:     true,
+		resources:      resourceFlags{"s1:fileA=hello"},
+		metricsAddr:    "127.0.0.1:0",
+		record:         true,
+		recordCapacity: 128,
+		recordWAL:      walPath,
+		shadowPolicy:   shadowPath,
+		coverage:       true,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(app)
+
+	var addr, metricsAddr string
+	var cred proof.Credential
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if rest, ok := strings.CutPrefix(line, "metrics "); ok {
+			metricsAddr = rest
+		} else if rest, ok := strings.CutPrefix(line, "s1 "); ok {
+			addr = rest
+		} else if rest, ok := strings.CutPrefix(line, "credential device-1 "); ok {
+			if err := json.Unmarshal([]byte(rest), &cred); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cl, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(cred); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Access(model.OpRead, "fileA", "", nil); err != nil {
+		t.Fatalf("shadow policy changed the served verdict: %v", err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + metricsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	// The flip and the recorder's activity surface on /metrics, along
+	// with the Go runtime self-telemetry.
+	body := get("/metrics")
+	for _, want := range []string{"stac_shadow_flip_total 1", "stac_recorder_records_total", "stac_go_goroutines"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+
+	// /debug/coverage lists the served policy's clause census.
+	var cov []map[string]any
+	if err := json.Unmarshal([]byte(get("/debug/coverage")), &cov); err != nil {
+		t.Fatalf("/debug/coverage not JSON: %v", err)
+	}
+	if len(cov) == 0 {
+		t.Fatal("/debug/coverage empty")
+	}
+
+	// /debug/snapshot carries the v2 fields.
+	var snap server.Snapshot
+	if err := json.Unmarshal([]byte(get("/debug/snapshot")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 2 || snap.ShadowDigest == "" || snap.ShadowFlips != 1 ||
+		snap.Recorder == nil || snap.Recorder.Total == 0 || snap.Runtime.Goroutines < 1 {
+		t.Fatalf("snapshot v2 fields = %+v", snap)
+	}
+
+	// The WAL on disk replays deterministically through a fresh engine.
+	shutdown(app)
+	app.daemons, app.metricsSrv, app.debug, app.walFile = nil, nil, nil, nil
+	wal, err := os.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	recs, err := record.ReadAll(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("WAL empty")
+	}
+	res, err := core.Replay(covPolicy, recs, core.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic() || res.Decisions == 0 {
+		t.Fatalf("replay = %+v", res)
+	}
 }

@@ -1,0 +1,189 @@
+package core
+
+// SRAC clause coverage: with coverage enabled, every spatial prefix
+// evaluation also records, per subformula of the permission's
+// constraint, how often the clause was evaluated, what it evaluated
+// to, and how often it was DECISIVE — the clause srac.Attribute blames
+// the whole verdict on. Aggregated over traffic this exposes dead
+// clauses (never evaluated, or never decisive) that a policy author
+// can tighten or delete; /debug/coverage serves it and the federate
+// poller folds it across the coalition.
+
+import (
+	"sort"
+
+	"stac/internal/model"
+	"stac/internal/rbac"
+	"stac/internal/srac"
+	"stac/internal/trace"
+)
+
+// covKey addresses one clause of one permission's spatial constraint.
+type covKey struct {
+	perm rbac.PermID
+	path string
+}
+
+// covCell accumulates one clause's outcomes; guarded by e.covMu.
+type covCell struct {
+	clause    string
+	evaluated int64
+	satisfied int64
+	violated  int64
+	pending   int64
+	decisive  int64
+}
+
+// ClauseCoverage is the exported per-clause tally (one row of
+// /debug/coverage).
+type ClauseCoverage struct {
+	// Perm and Path address the clause; Clause is its concrete syntax
+	// (from the policy's unstamped constraint, so rows are comparable
+	// across objects and members).
+	Perm   string `json:"perm"`
+	Path   string `json:"path"`
+	Clause string `json:"clause"`
+	// Evaluated counts prefix evaluations that reached the clause;
+	// Satisfied/Violated/Pending split them by outcome; Decisive
+	// counts evaluations whose whole-constraint verdict was attributed
+	// to this clause.
+	Evaluated int64 `json:"evaluated"`
+	Satisfied int64 `json:"satisfied"`
+	Violated  int64 `json:"violated"`
+	Pending   int64 `json:"pending"`
+	Decisive  int64 `json:"decisive"`
+}
+
+// Dead reports whether the clause never decided anything: either no
+// evaluation ever reached it, or it was never the decisive clause.
+func (c ClauseCoverage) Dead() bool { return c.Decisive == 0 }
+
+// EnableCoverage turns on clause-coverage accounting and pre-seeds a
+// cell for every clause of every registered permission, so clauses
+// that never get evaluated still appear (with zero counts) — absence
+// of evidence is the finding, not a missing row.
+func (e *Engine) EnableCoverage() {
+	e.mu.Lock()
+	specs := make([]PermSpec, 0, len(e.specs))
+	for _, ps := range e.specs {
+		specs = append(specs, ps)
+	}
+	e.mu.Unlock()
+	e.covMu.Lock()
+	if e.cov == nil {
+		e.cov = make(map[covKey]*covCell)
+	}
+	for _, ps := range specs {
+		e.seedCoverageLocked(ps)
+	}
+	e.covMu.Unlock()
+	e.covEnabled.Store(true)
+}
+
+// CoverageEnabled reports whether clause coverage is being recorded.
+func (e *Engine) CoverageEnabled() bool { return e.covEnabled.Load() }
+
+func (e *Engine) seedCoverageLocked(ps PermSpec) {
+	if ps.Spatial == nil {
+		return
+	}
+	srac.WalkPaths(ps.Spatial, func(path string, c srac.Constraint) {
+		key := covKey{perm: ps.Perm.ID, path: path}
+		if _, ok := e.cov[key]; !ok {
+			e.cov[key] = &covCell{clause: srac.String(c)}
+		}
+	})
+}
+
+// Coverage returns the per-clause tallies, sorted by permission then
+// clause path (parents before children).
+func (e *Engine) Coverage() []ClauseCoverage {
+	e.covMu.Lock()
+	out := make([]ClauseCoverage, 0, len(e.cov))
+	for key, cell := range e.cov {
+		out = append(out, ClauseCoverage{
+			Perm:      string(key.perm),
+			Path:      key.path,
+			Clause:    cell.clause,
+			Evaluated: cell.evaluated,
+			Satisfied: cell.satisfied,
+			Violated:  cell.violated,
+			Pending:   cell.pending,
+			Decisive:  cell.decisive,
+		})
+	}
+	e.covMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Perm != out[j].Perm {
+			return out[i].Perm < out[j].Perm
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// applyCoverage folds one evaluation's node outcomes into the cells.
+// Clause text comes from the policy's unstamped constraint resolved
+// by path, NOT the stamped evaluation tree, so one row covers every
+// requesting object.
+func (e *Engine) applyCoverage(perm rbac.PermID, unstamped srac.Constraint, nodes []srac.NodeCoverage) {
+	e.covMu.Lock()
+	defer e.covMu.Unlock()
+	if e.cov == nil {
+		e.cov = make(map[covKey]*covCell)
+	}
+	for _, n := range nodes {
+		key := covKey{perm: perm, path: n.Path}
+		cell, ok := e.cov[key]
+		if !ok {
+			cell = &covCell{}
+			if c, found := srac.SubclauseAt(unstamped, n.Path); found {
+				cell.clause = srac.String(c)
+			}
+			e.cov[key] = cell
+		}
+		cell.evaluated++
+		switch n.Status {
+		case srac.Satisfied:
+			cell.satisfied++
+		case srac.Violated:
+			cell.violated++
+		default:
+			cell.pending++
+		}
+		if n.Decisive {
+			cell.decisive++
+		}
+	}
+}
+
+// coverScan records coverage for a scan-path evaluation: the stamped
+// constraint against the hypothetical post-state history.
+func (e *Engine) coverScan(perm rbac.PermID, unstamped, stamped srac.Constraint, hyp trace.Trace, oracle srac.ProofOracle) {
+	nodes, _ := srac.Cover(stamped, srac.TraceLeafEval(hyp, oracle))
+	e.applyCoverage(perm, unstamped, nodes)
+}
+
+// coverIncremental records coverage for a counter-path evaluation.
+// The counter reads are snapshotted under e.mu first and Cover runs
+// lock-free over the snapshot, so e.mu and e.covMu are never held
+// together.
+func (e *Engine) coverIncremental(perm rbac.PermID, unstamped, stamped srac.Constraint, hyp model.Access) {
+	counts := make(map[string]int)
+	e.mu.Lock()
+	srac.Walk(stamped, func(c srac.Constraint) bool {
+		if cnt, ok := c.(srac.Count); ok {
+			n := e.countForLocked(cnt.Sel)
+			if cnt.Sel.SelectAccess(hyp) {
+				n++
+			}
+			counts[selKey(cnt.Sel)] = n
+		}
+		return true
+	})
+	e.mu.Unlock()
+	nodes, _ := srac.Cover(stamped, srac.CountLeafEval(func(x srac.Count) int {
+		return counts[selKey(x.Sel)]
+	}))
+	e.applyCoverage(perm, unstamped, nodes)
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +11,17 @@ import (
 	"stac/internal/srac"
 	"stac/internal/temporal"
 )
+
+// PolicyDigest fingerprints an engine's loaded policy: the SHA-256 of
+// its canonical textual dump, hex-encoded. Two coalition members
+// running the same policy produce the same digest regardless of load
+// order, because DumpPolicy emits a normalised form. The flight
+// recorder stamps it on every record so replays can tell whether they
+// run the policy that produced the stream.
+func PolicyDigest(e *Engine) string {
+	sum := sha256.Sum256([]byte(DumpPolicy(e)))
+	return hex.EncodeToString(sum[:])
+}
 
 // DumpPolicy renders the engine's policy in the text format LoadPolicy
 // accepts, so a running coalition's configuration can be exported,

@@ -26,6 +26,7 @@ import (
 
 	"stac/internal/model"
 	"stac/internal/obs"
+	"stac/internal/obs/record"
 	"stac/internal/rbac"
 	"stac/internal/srac"
 	"stac/internal/sral"
@@ -163,6 +164,13 @@ type Engine struct {
 	// incremental flags the counting fast path (see incremental.go);
 	// atomic so eligibility checks stay outside the engine lock.
 	incremental atomic.Bool
+	// recorder is the attached decision flight recorder (see
+	// record.go); nil when recording is off. Atomic for the same
+	// hot-path reason as met and tracer.
+	recorder atomic.Pointer[record.Recorder]
+	// coverage aggregates per-clause SRAC outcomes (see coverage.go);
+	// the flag is atomic so disabled engines pay one load per decision.
+	covEnabled atomic.Bool
 
 	mu       sync.Mutex
 	specs    map[rbac.PermID]PermSpec
@@ -181,6 +189,12 @@ type Engine struct {
 	// server, so trackers created later inherit the base time.
 	lastArrival map[model.ObjectID]float64
 	hasArrived  map[model.ObjectID]bool
+
+	// covMu guards cov, the per-permission SRAC clause coverage cells
+	// (see coverage.go). A separate lock so coverage bookkeeping never
+	// contends with the tracker/spec map on the decision path.
+	covMu sync.Mutex
+	cov   map[covKey]*covCell
 }
 
 type trackerKey struct {
@@ -253,6 +267,11 @@ func (e *Engine) DefinePermission(ps PermSpec) error {
 		e.registerSelectorsLocked(ps)
 	}
 	e.mu.Unlock()
+	if e.covEnabled.Load() {
+		e.covMu.Lock()
+		e.seedCoverageLocked(ps)
+		e.covMu.Unlock()
+	}
 	return nil
 }
 
@@ -299,6 +318,7 @@ func (e *Engine) trackerLocked(obj model.ObjectID, ps PermSpec) *temporal.Tracke
 // under the global scheme only the first arrival establishes t_b.
 func (e *Engine) ObjectArrived(obj model.ObjectID, server model.ServerID) {
 	now := e.clock.Now()
+	e.recordArrive(obj, server, now)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.lastArrival[obj] = now
@@ -335,6 +355,7 @@ func (e *Engine) sessionTrackers(sess *rbac.Session, obj model.ObjectID) []*temp
 // role activation starts the validity accumulation of Section 4.
 func (e *Engine) ActivatePermissions(sess *rbac.Session, obj model.ObjectID) {
 	now := e.clock.Now()
+	e.recordSession(record.KindActivate, sess, obj, now)
 	for _, tr := range e.sessionTrackers(sess, obj) {
 		tr.Activate(now)
 	}
@@ -344,6 +365,7 @@ func (e *Engine) ActivatePermissions(sess *rbac.Session, obj model.ObjectID) {
 // permissions (role deactivation or session end).
 func (e *Engine) DeactivatePermissions(sess *rbac.Session, obj model.ObjectID) {
 	now := e.clock.Now()
+	e.recordSession(record.KindDeactivate, sess, obj, now)
 	for _, tr := range e.sessionTrackers(sess, obj) {
 		tr.Deactivate(now)
 	}
@@ -385,6 +407,7 @@ func (e *Engine) AuthorizeTraced(tc obs.TraceContext, req Request) Decision {
 		}
 		sp.Finish()
 	}
+	e.recordDecide(tc, req, d)
 	return d
 }
 
@@ -459,6 +482,9 @@ func (e *Engine) authorize(tc obs.TraceContext, t *obs.Tracer, req Request, m *e
 			esp.SetAttr("path", "incremental")
 			esp.SetAttr("status", d.Spatial.String())
 			esp.Finish()
+			if e.covEnabled.Load() {
+				e.coverIncremental(perm.ID, ps.Spatial, stamped, req.Access)
+			}
 			if d.Spatial == srac.Violated {
 				d.Deny = DenySpatialViolated
 				d.Reason = fmt.Sprintf("spatial constraint %s irreversibly violated",
@@ -489,6 +515,9 @@ func (e *Engine) authorize(tc obs.TraceContext, t *obs.Tracer, req Request, m *e
 			esp.SetAttr("status", d.Spatial.String())
 			esp.SetAttr("history_len", strconv.Itoa(len(hyp)))
 			esp.Finish()
+			if e.covEnabled.Load() {
+				e.coverScan(perm.ID, ps.Spatial, stamped, hyp, oracle)
+			}
 			if d.Spatial == srac.Violated {
 				d.Deny = DenySpatialViolated
 				d.Reason = fmt.Sprintf("spatial constraint %s irreversibly violated",

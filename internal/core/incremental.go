@@ -84,8 +84,11 @@ func (e *Engine) registerSelectorsLocked(ps PermSpec) {
 }
 
 // RecordGrant tells the engine an access was actually performed (the
-// proof was issued). Servers call it once per granted access; it is a
-// no-op unless incremental counting is enabled.
+// proof was issued). Servers call it once per granted access; the
+// counter update is a no-op unless incremental counting is enabled,
+// but the flight recorder logs the grant in either mode — so a
+// stream recorded by a scan-mode engine still carries the state
+// signal a forced-incremental replay needs.
 //
 // Counters are keyed by the canonical selector string. For a policy
 // selector without an object restriction, the per-requester variant
@@ -93,6 +96,7 @@ func (e *Engine) registerSelectorsLocked(ps PermSpec) {
 // alongside the global one; selectors that already restrict objects
 // count all matching accesses, mirroring the ledger-backed scan path.
 func (e *Engine) RecordGrant(a model.Access) {
+	e.recordGrantEvent(a)
 	if !e.incremental.Load() {
 		return
 	}

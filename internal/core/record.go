@@ -1,0 +1,162 @@
+package core
+
+// Flight-recorder hooks: when a recorder is attached the engine
+// captures, per replay-relevant event (arrival, permission
+// activation/deactivation, executed grant, authorisation decision),
+// the complete input record core.Replay needs to reproduce the
+// decision stream offline. The recorder pointer is atomic so the
+// unrecorded hot path pays exactly one nil-check per event.
+
+import (
+	"encoding/json"
+
+	"stac/internal/model"
+	"stac/internal/obs"
+	"stac/internal/obs/record"
+	"stac/internal/rbac"
+	"stac/internal/sral"
+	"stac/internal/temporal"
+)
+
+// SetRecorder attaches (or, with nil, detaches) a decision flight
+// recorder. The engine stamps its current policy digest onto the
+// recorder, so attach AFTER loading the policy. Like SetObs, call it
+// during setup; swapping mid-traffic loses no decisions but may
+// interleave digests.
+func (e *Engine) SetRecorder(r *record.Recorder) {
+	if r != nil {
+		r.SetPolicyDigest(PolicyDigest(e))
+	}
+	e.recorder.Store(r)
+}
+
+// Recorder returns the attached flight recorder (nil when recording
+// is off).
+func (e *Engine) Recorder() *record.Recorder { return e.recorder.Load() }
+
+func (e *Engine) recordArrive(obj model.ObjectID, server model.ServerID, now float64) {
+	rec := e.recorder.Load()
+	if rec == nil {
+		return
+	}
+	rec.Append(record.Record{
+		Kind:   record.KindArrive,
+		Time:   now,
+		Object: string(obj),
+		Server: string(server),
+	})
+}
+
+func (e *Engine) recordSession(kind string, sess *rbac.Session, obj model.ObjectID, now float64) {
+	rec := e.recorder.Load()
+	if rec == nil {
+		return
+	}
+	rec.Append(record.Record{
+		Kind:   kind,
+		Time:   now,
+		Object: string(obj),
+		User:   string(sess.User()),
+		Roles:  roleNames(sess),
+	})
+}
+
+func (e *Engine) recordGrantEvent(a model.Access) {
+	rec := e.recorder.Load()
+	if rec == nil {
+		return
+	}
+	rec.Append(record.Record{
+		Kind:     record.KindGrant,
+		Time:     e.clock.Now(),
+		Object:   string(a.Object),
+		Server:   string(a.Server),
+		Op:       string(a.Op),
+		Resource: string(a.Resource),
+	})
+}
+
+func (e *Engine) recordDecide(tc obs.TraceContext, req Request, d Decision) {
+	rec := e.recorder.Load()
+	if rec == nil {
+		return
+	}
+	r := record.Record{
+		Kind:        record.KindDecide,
+		Time:        e.clock.Now(),
+		Object:      string(req.Access.Object),
+		Server:      string(req.Access.Server),
+		Op:          string(req.Access.Op),
+		Resource:    string(req.Access.Resource),
+		Incremental: e.incremental.Load(),
+
+		Granted:        d.Granted,
+		Perm:           string(d.Perm),
+		Deny:           string(d.Deny),
+		Reason:         d.Reason,
+		Spatial:        d.Spatial.String(),
+		ProgramVerdict: d.ProgramVerdict.String(),
+		Temporal:       d.Temporal.String(),
+		DecisionID:     d.ID,
+	}
+	if req.Session != nil {
+		r.User = string(req.Session.User())
+		r.Roles = roleNames(req.Session)
+	}
+	// The history is recorded with each entry's proof verdict AT
+	// DECISION TIME, so a replay reproduces the oracle's answers
+	// without re-deriving proofs.
+	if n := len(req.History); n > 0 {
+		r.History = make([]record.HistoryEntry, 0, n)
+		for _, a := range req.History {
+			r.History = append(r.History, record.HistoryEntry{
+				Object:   string(a.Object),
+				Op:       string(a.Op),
+				Resource: string(a.Resource),
+				Server:   string(a.Server),
+				Proven:   req.Proofs == nil || req.Proofs.Proven(a),
+			})
+		}
+	}
+	if req.Program != nil {
+		r.Program = sral.String(req.Program)
+	}
+	if tc.Valid() {
+		r.TraceID = tc.Trace.String()
+	}
+	if d.Explanation != nil {
+		if b, err := json.Marshal(d.Explanation); err == nil {
+			r.Explanation = b
+		}
+	}
+	// Active-permission snapshot: the covering permission's consumed
+	// temporal budget vs dur(perm) under its base-time scheme.
+	if d.Perm != "" {
+		ps, err := e.Spec(d.Perm)
+		if err != nil {
+			ps = PermSpec{Perm: rbac.Permission{ID: d.Perm}}
+		}
+		_, dur, scheme := e.resolveTemporal(ps)
+		r.Budget = dur
+		if dur == temporal.Infinite {
+			r.Budget = -1
+		}
+		r.Scheme = scheme.String()
+		if tr, _, ok := e.trackerFor(req.Access.Object, d.Perm); ok {
+			r.Consumed = tr.Accumulated(r.Time)
+		}
+	}
+	rec.Append(r)
+}
+
+func roleNames(sess *rbac.Session) []string {
+	roles := sess.ActiveRoles()
+	if len(roles) == 0 {
+		return nil
+	}
+	out := make([]string, len(roles))
+	for i, rid := range roles {
+		out[i] = string(rid)
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+package core
+
+// Offline replay of a recorded decision stream: feed the flight
+// recorder's records back through a FRESH engine under a simulated
+// clock and either assert verdict-for-verdict equality with the live
+// run (Replay — the determinism oracle) or re-decide every request
+// under a CANDIDATE policy and report the verdict flips with the SRAC
+// clause responsible (ShadowDiff — offline what-if analysis, the
+// concrete counterpart of the symbolic reachability analyses in the
+// related spatial/temporal verification work).
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"stac/internal/model"
+	"stac/internal/obs/record"
+	"stac/internal/rbac"
+	"stac/internal/srac"
+	"stac/internal/sral"
+	"stac/internal/temporal"
+	"stac/internal/trace"
+)
+
+// ReplayOptions tunes a replay run.
+type ReplayOptions struct {
+	// Incremental forces the replay engine into incremental counting
+	// mode. When false, the mode is auto-detected from the stream's
+	// decide records (they carry the live engine's mode flag).
+	Incremental bool
+	// Coverage enables clause-coverage accounting on the replay
+	// engine, so an offline run can report which clauses of the
+	// (candidate) policy were decisive over the recorded traffic.
+	Coverage bool
+}
+
+// Divergence is one field of one replayed decision that differs from
+// the recorded outcome.
+type Divergence struct {
+	Seq        uint64 `json:"seq"`
+	DecisionID string `json:"decision_id,omitempty"`
+	Access     string `json:"access"`
+	Field      string `json:"field"`
+	Recorded   string `json:"recorded"`
+	Replayed   string `json:"replayed"`
+}
+
+// ReplayResult summarises a determinism replay.
+type ReplayResult struct {
+	// Decisions is the number of decide records replayed.
+	Decisions int `json:"decisions"`
+	// PolicyMismatch reports that the replay engine's policy digest
+	// differs from the digest stamped on the records — divergences are
+	// then expected, not a determinism failure.
+	PolicyMismatch bool   `json:"policy_mismatch,omitempty"`
+	RecordedDigest string `json:"recorded_digest,omitempty"`
+	ReplayDigest   string `json:"replay_digest,omitempty"`
+	// Divergences lists every field of every decision that failed to
+	// reproduce; empty means the stream replayed bit-identically.
+	Divergences []Divergence `json:"divergences,omitempty"`
+	// Coverage is the replay engine's clause coverage (with
+	// ReplayOptions.Coverage).
+	Coverage []ClauseCoverage `json:"coverage,omitempty"`
+}
+
+// Deterministic reports whether every recorded verdict and
+// explanation reproduced exactly.
+func (r *ReplayResult) Deterministic() bool { return len(r.Divergences) == 0 }
+
+// Replay feeds the recorded stream through a fresh engine running
+// policySrc under a SimClock and compares every replayed decision —
+// verdict, covering permission, deny reason, spatial/program/temporal
+// statuses and the full explanation — against the recorded outcome.
+// Decision IDs are excluded (they are minted randomly).
+func Replay(policySrc string, records []record.Record, opts ReplayOptions) (*ReplayResult, error) {
+	res := &ReplayResult{}
+	eng, err := replayStream(policySrc, records, opts, func(rec record.Record, d Decision) {
+		res.Decisions++
+		acc := rec.Op + " " + rec.Resource + " @ " + rec.Server
+		diff := func(field, recorded, replayed string) {
+			if recorded != replayed {
+				res.Divergences = append(res.Divergences, Divergence{
+					Seq: rec.Seq, DecisionID: rec.DecisionID, Access: acc,
+					Field: field, Recorded: recorded, Replayed: replayed,
+				})
+			}
+		}
+		diff("granted", strconv.FormatBool(rec.Granted), strconv.FormatBool(d.Granted))
+		diff("perm", rec.Perm, string(d.Perm))
+		diff("deny", rec.Deny, string(d.Deny))
+		diff("reason", rec.Reason, d.Reason)
+		diff("spatial", rec.Spatial, d.Spatial.String())
+		diff("program_verdict", rec.ProgramVerdict, d.ProgramVerdict.String())
+		diff("temporal", rec.Temporal, d.Temporal.String())
+		diff("explanation", string(rec.Explanation), explanationJSON(d.Explanation))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if digest := recordedDigest(records); digest != "" {
+		res.RecordedDigest = digest
+		res.ReplayDigest = PolicyDigest(eng)
+		res.PolicyMismatch = res.ReplayDigest != digest
+	}
+	if opts.Coverage {
+		res.Coverage = eng.Coverage()
+	}
+	return res, nil
+}
+
+// Flip is one decision whose verdict changed under the candidate
+// policy.
+type Flip struct {
+	Seq        uint64  `json:"seq"`
+	DecisionID string  `json:"decision_id,omitempty"`
+	Time       float64 `json:"time"`
+	Object     string  `json:"object"`
+	Access     string  `json:"access"`
+	// RecordedGranted is the live verdict, CandidateGranted the
+	// candidate policy's.
+	RecordedGranted  bool `json:"recorded_granted"`
+	CandidateGranted bool `json:"candidate_granted"`
+	// Deny/Reason describe the denying side of the flip (the candidate
+	// decision for grant→deny, the recorded one for deny→grant).
+	Deny   string `json:"deny,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	// Clause is the SRAC subformula the denying side's verdict is
+	// attributed to (empty for temporal or RBAC flips, where Detail
+	// carries the budget or role arithmetic instead).
+	Clause string `json:"clause,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// DiffReport summarises a shadow diff: the recorded stream re-decided
+// under a candidate policy.
+type DiffReport struct {
+	Decisions       int    `json:"decisions"`
+	RecordedDigest  string `json:"recorded_digest,omitempty"`
+	CandidateDigest string `json:"candidate_digest"`
+	// Flips lists every decision whose verdict changed, in stream
+	// order.
+	Flips []Flip `json:"flips,omitempty"`
+	// Coverage is the candidate policy's clause coverage over the
+	// recorded traffic (with ReplayOptions.Coverage).
+	Coverage []ClauseCoverage `json:"coverage,omitempty"`
+}
+
+// ShadowDiff replays the recorded stream against candidateSrc and
+// reports every verdict flip, attributing each to the SRAC clause
+// (or temporal budget) responsible on the denying side.
+func ShadowDiff(candidateSrc string, records []record.Record, opts ReplayOptions) (*DiffReport, error) {
+	rep := &DiffReport{}
+	eng, err := replayStream(candidateSrc, records, opts, func(rec record.Record, d Decision) {
+		rep.Decisions++
+		if d.Granted == rec.Granted {
+			return
+		}
+		f := Flip{
+			Seq: rec.Seq, DecisionID: rec.DecisionID, Time: rec.Time,
+			Object:           rec.Object,
+			Access:           rec.Op + " " + rec.Resource + " @ " + rec.Server,
+			RecordedGranted:  rec.Granted,
+			CandidateGranted: d.Granted,
+		}
+		if !d.Granted {
+			// grant → deny: the candidate decision explains itself.
+			f.Deny = string(d.Deny)
+			f.Reason = d.Reason
+			f.Clause, f.Detail = explainFlip(d.Explanation)
+		} else {
+			// deny → grant: the recorded explanation names what the
+			// candidate policy relaxed.
+			f.Deny = rec.Deny
+			f.Reason = rec.Reason
+			var ex Explanation
+			if len(rec.Explanation) > 0 && json.Unmarshal(rec.Explanation, &ex) == nil {
+				f.Clause, f.Detail = explainFlip(&ex)
+			}
+		}
+		rep.Flips = append(rep.Flips, f)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.RecordedDigest = recordedDigest(records)
+	rep.CandidateDigest = PolicyDigest(eng)
+	if opts.Coverage {
+		rep.Coverage = eng.Coverage()
+	}
+	return rep, nil
+}
+
+// explainFlip condenses an explanation into (clause, detail) for a
+// flip row: spatial denials name the violated clause, temporal ones
+// carry the budget arithmetic in the detail.
+func explainFlip(ex *Explanation) (clause, detail string) {
+	if ex == nil {
+		return "", ""
+	}
+	if ex.Temporal != nil {
+		budget := "inf"
+		if ex.Temporal.Budget >= 0 {
+			budget = fmt.Sprintf("%.6gs", ex.Temporal.Budget)
+		}
+		return "", fmt.Sprintf("temporal budget: consumed %.6gs of %s (%s scheme)",
+			ex.Temporal.Consumed, budget, ex.Temporal.Scheme)
+	}
+	return ex.Clause, ex.Detail
+}
+
+// recordedDigest returns the policy digest stamped on the stream ("",
+// when the stream is empty or unstamped).
+func recordedDigest(records []record.Record) string {
+	for _, rec := range records {
+		if rec.Policy != "" {
+			return rec.Policy
+		}
+	}
+	return ""
+}
+
+// replayStream drives a fresh engine (policy policySrc, SimClock)
+// through the recorded event stream in sequence order, calling visit
+// for every decide record with the replayed decision. It returns the
+// engine so callers can inspect digests, counters and coverage.
+func replayStream(policySrc string, records []record.Record, opts ReplayOptions, visit func(record.Record, Decision)) (*Engine, error) {
+	clk := temporal.NewSimClock(0)
+	e := NewEngine(clk)
+	if err := LoadPolicyString(e, policySrc); err != nil {
+		return nil, fmt.Errorf("replay: load policy: %w", err)
+	}
+	incremental := opts.Incremental
+	for _, rec := range records {
+		if rec.Kind == record.KindDecide && rec.Incremental {
+			incremental = true
+			break
+		}
+	}
+	if incremental {
+		e.EnableIncrementalCounting()
+	}
+	if opts.Coverage {
+		e.EnableCoverage()
+	}
+
+	sessions := make(map[string]*rbac.Session)
+	for i, rec := range records {
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("replay: record %d: %w", i, err)
+		}
+		clk.Set(rec.Time)
+		obj := model.ObjectID(rec.Object)
+		switch rec.Kind {
+		case record.KindArrive:
+			e.ObjectArrived(obj, model.ServerID(rec.Server))
+		case record.KindActivate:
+			// Mirror server.Authenticate: a re-authentication replaces
+			// the object's session.
+			if old := sessions[rec.Object]; old != nil {
+				old.Close()
+			}
+			sess := replaySession(e, rec.User, rec.Roles)
+			sessions[rec.Object] = sess
+			if sess != nil {
+				e.ActivatePermissions(sess, obj)
+			}
+		case record.KindDeactivate:
+			// Mirror server.Depart: deactivate but keep the session —
+			// the live engine deactivates before closing, and a decide
+			// record may still follow under another member's session.
+			if sess := sessions[rec.Object]; sess != nil {
+				e.DeactivatePermissions(sess, obj)
+			}
+		case record.KindGrant:
+			e.RecordGrant(model.Access{
+				Object:   obj,
+				Op:       model.Operation(rec.Op),
+				Resource: model.ResourceID(rec.Resource),
+				Server:   model.ServerID(rec.Server),
+			})
+		case record.KindDecide:
+			sess := sessions[rec.Object]
+			if sess == nil && rec.User != "" {
+				// Mid-flight recording: the activation predates the
+				// stream. Best-effort recreate the subject; temporal
+				// activation happens inside Authorize (idempotent).
+				sess = replaySession(e, rec.User, rec.Roles)
+				sessions[rec.Object] = sess
+			}
+			visit(rec, e.Authorize(replayRequest(sess, rec)))
+		}
+	}
+	return e, nil
+}
+
+// replaySession recreates a subject: a session for the user with the
+// recorded roles activated. Roles the (candidate) policy no longer
+// assigns are skipped — that is exactly the counterfactual a shadow
+// diff must surface as RBAC denials. Returns nil when the user is
+// unknown to the policy.
+func replaySession(e *Engine, user string, roles []string) *rbac.Session {
+	sess, err := e.RBAC.CreateSession(rbac.UserID(user))
+	if err != nil {
+		return nil
+	}
+	for _, r := range roles {
+		_ = sess.ActivateRole(rbac.RoleID(r)) // best-effort by design
+	}
+	return sess
+}
+
+// replayRequest reconstructs the Authorize input from a decide
+// record: the access, the proof-backed history with the RECORDED
+// oracle verdicts, and the declared program.
+func replayRequest(sess *rbac.Session, rec record.Record) Request {
+	req := Request{
+		Session: sess,
+		Access: model.Access{
+			Object:   model.ObjectID(rec.Object),
+			Op:       model.Operation(rec.Op),
+			Resource: model.ResourceID(rec.Resource),
+			Server:   model.ServerID(rec.Server),
+		},
+	}
+	if len(rec.History) > 0 {
+		proven := make(map[model.Access]bool, len(rec.History))
+		hist := make(trace.Trace, 0, len(rec.History))
+		for _, h := range rec.History {
+			a := model.Access{
+				Object:   model.ObjectID(h.Object),
+				Op:       model.Operation(h.Op),
+				Resource: model.ResourceID(h.Resource),
+				Server:   model.ServerID(h.Server),
+			}
+			hist = append(hist, a)
+			proven[a] = h.Proven
+		}
+		req.History = hist
+		req.Proofs = srac.OracleFunc(func(a model.Access) bool { return proven[a] })
+	}
+	if rec.Program != "" {
+		if n, err := sral.Parse(rec.Program); err == nil {
+			req.Program = n
+		}
+	}
+	return req
+}
+
+// explanationJSON canonicalises an explanation for comparison — the
+// same json.Marshal the recorder used, so equal explanations yield
+// equal bytes.
+func explanationJSON(ex *Explanation) string {
+	if ex == nil {
+		return ""
+	}
+	b, err := json.Marshal(ex)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}

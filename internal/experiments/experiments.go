@@ -24,6 +24,7 @@ var All = map[string]Runner{
 	"E9":  E9,
 	"E10": E10,
 	"E11": E11,
+	"E12": E12,
 }
 
 // Titles gives the one-line description of each experiment without
@@ -41,6 +42,7 @@ var Titles = map[string]string{
 	"E9":  "No-global-clock tolerance: enforcement under server clock skew",
 	"E10": "Tracing overhead per access: untraced vs sampling-off vs sampled",
 	"E11": "Fleet telemetry overhead: baseline vs snapshot scraping vs SSE watch",
+	"E12": "Flight-recorder overhead: off vs ring-only vs ring+WAL",
 }
 
 // IDs returns the experiment identifiers in canonical order (F1 first,

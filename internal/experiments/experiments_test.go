@@ -10,7 +10,7 @@ import (
 
 func TestIDsOrder(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 12 || ids[0] != "F1" || ids[1] != "E1" || ids[10] != "E10" || ids[11] != "E11" {
+	if len(ids) != 13 || ids[0] != "F1" || ids[1] != "E1" || ids[10] != "E10" || ids[12] != "E12" {
 		t.Fatalf("IDs = %v", ids)
 	}
 }

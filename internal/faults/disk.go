@@ -1,0 +1,48 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrDiskFull marks an injected out-of-space write failure.
+var ErrDiskFull = fmt.Errorf("%w: disk full", ErrInjected)
+
+// DiskFullWriter wraps an io.Writer with a byte budget, modelling a
+// log volume filling up. Writes pass through until one would exceed
+// the budget; that write and every later one fail with ErrDiskFull —
+// a full disk does not recover on its own, so the failure is sticky,
+// matching the contract flight-recorder WAL consumers must degrade
+// under. Writes never partially apply: a record either lands whole or
+// not at all.
+type DiskFullWriter struct {
+	mu        sync.Mutex
+	w         io.Writer
+	remaining int
+	failed    bool
+}
+
+// NewDiskFullWriter returns a writer that accepts at most capacity
+// bytes before reporting ErrDiskFull forever after.
+func NewDiskFullWriter(w io.Writer, capacity int) *DiskFullWriter {
+	return &DiskFullWriter{w: w, remaining: capacity}
+}
+
+func (d *DiskFullWriter) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed || len(p) > d.remaining {
+		d.failed = true
+		return 0, ErrDiskFull
+	}
+	d.remaining -= len(p)
+	return d.w.Write(p)
+}
+
+// Failed reports whether the budget has been exhausted.
+func (d *DiskFullWriter) Failed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed
+}

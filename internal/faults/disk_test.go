@@ -1,0 +1,34 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestDiskFullWriterStickyBudget(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewDiskFullWriter(&buf, 10)
+
+	if n, err := w.Write([]byte("hello")); err != nil || n != 5 {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	// 5 bytes of budget left; an 8-byte write must fail whole, not
+	// land a prefix.
+	if _, err := w.Write([]byte("toolarge")); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("over-budget write: %v", err)
+	}
+	if !errors.Is(ErrDiskFull, ErrInjected) {
+		t.Fatal("ErrDiskFull should unwrap to ErrInjected")
+	}
+	if !w.Failed() {
+		t.Fatal("writer should report failed")
+	}
+	// Sticky: even a write that would have fit now fails.
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("post-failure write: %v", err)
+	}
+	if got := buf.String(); got != "hello" {
+		t.Fatalf("underlying writer saw %q, want only the pre-failure bytes", got)
+	}
+}

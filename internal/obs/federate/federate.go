@@ -3,6 +3,7 @@ package federate
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +13,12 @@ import (
 
 	"stac/internal/server"
 )
+
+// ErrVersionSkew marks a member whose snapshot document is NEWER than
+// this poller understands. A mixed-version fleet is a deploy in
+// flight, not an outage: the member is skipped from the merge (and
+// flagged) rather than treated as unreachable.
+var ErrVersionSkew = errors.New("federate: snapshot version newer than supported")
 
 // Member is one coalition daemon to scrape: BaseURL is the root of its
 // observability listener (the stacd -metrics-addr server), e.g.
@@ -27,6 +34,10 @@ type MemberState struct {
 	// Reachable reports a successful scrape; Err carries the failure.
 	Reachable bool   `json:"reachable"`
 	Err       string `json:"err,omitempty"`
+	// Skipped reports a member that answered with a snapshot version
+	// newer than this poller supports — excluded from the merge but
+	// distinct from unreachable.
+	Skipped bool `json:"skipped,omitempty"`
 	// Snapshot is the member's document (zero when unreachable).
 	Snapshot server.Snapshot `json:"snapshot"`
 }
@@ -64,19 +75,42 @@ type ServerRollup struct {
 type Rollup struct {
 	Members     int `json:"members"`
 	Unreachable int `json:"unreachable"`
-	Grants      int `json:"grants"`
-	Denies      int `json:"denies"`
-	Decisions   int `json:"decisions"`
-	Migrations  int `json:"migrations"`
-	Watchers    int `json:"watchers"`
+	// Skipped counts members excluded for snapshot version skew.
+	Skipped    int `json:"skipped,omitempty"`
+	Grants     int `json:"grants"`
+	Denies     int `json:"denies"`
+	Decisions  int `json:"decisions"`
+	Migrations int `json:"migrations"`
+	Watchers   int `json:"watchers"`
 	// AuditSinkErrors sums decisions lost from durable logs fleet-wide.
 	AuditSinkErrors int64 `json:"audit_sink_errors"`
+	// ShadowFlips sums live shadow-policy disagreements fleet-wide.
+	ShadowFlips int64 `json:"shadow_flips,omitempty"`
 }
+
+// CoverageRollup is one SRAC clause's evaluation census merged across
+// the fleet. A clause no member ever found decisive is dead policy
+// coalition-wide — exactly the signal a single daemon cannot produce.
+type CoverageRollup struct {
+	Perm      string `json:"perm"`
+	Path      string `json:"path"`
+	Clause    string `json:"clause"`
+	Evaluated int64  `json:"evaluated"`
+	Satisfied int64  `json:"satisfied"`
+	Violated  int64  `json:"violated"`
+	Pending   int64  `json:"pending"`
+	Decisive  int64  `json:"decisive"`
+	// Members counts members reporting this clause.
+	Members int `json:"members"`
+}
+
+// Dead reports a clause that never decided a verdict anywhere.
+func (c CoverageRollup) Dead() bool { return c.Decisive == 0 }
 
 // Anomaly is one cross-server condition the poller flagged.
 type Anomaly struct {
-	// Kind is "unreachable", "budget-exhaustion", "deny-spike" or
-	// "policy-divergence".
+	// Kind is "unreachable", "budget-exhaustion", "deny-spike",
+	// "policy-divergence", "version-skew" or "dead-clause".
 	Kind string `json:"kind"`
 	// Member names the affected member ("" for fleet-wide conditions).
 	Member string `json:"member,omitempty"`
@@ -91,7 +125,10 @@ type FleetView struct {
 	Global    Rollup         `json:"global"`
 	PerServer []ServerRollup `json:"per_server"`
 	Budgets   []BudgetRollup `json:"budgets"`
-	Anomalies []Anomaly      `json:"anomalies"`
+	// Coverage is the fleet-merged SRAC clause census (empty when no
+	// member tracks coverage).
+	Coverage  []CoverageRollup `json:"coverage,omitempty"`
+	Anomalies []Anomaly        `json:"anomalies"`
 }
 
 // Config tunes the poller's anomaly thresholds.
@@ -174,8 +211,8 @@ func Scrape(ctx context.Context, client *http.Client, m Member, tail int) (serve
 		return server.Snapshot{}, fmt.Errorf("federate: %s: decode: %w", m.Name, err)
 	}
 	if snap.Version > server.SnapshotVersion {
-		return server.Snapshot{}, fmt.Errorf("federate: %s: snapshot version %d newer than supported %d",
-			m.Name, snap.Version, server.SnapshotVersion)
+		return server.Snapshot{}, fmt.Errorf("%w: %s: version %d, supported %d",
+			ErrVersionSkew, m.Name, snap.Version, server.SnapshotVersion)
 	}
 	return snap, nil
 }
@@ -192,6 +229,7 @@ func (p *Poller) Poll(ctx context.Context) FleetView {
 			snap, err := Scrape(ctx, p.cfg.Client, m, p.cfg.BudgetTail)
 			if err != nil {
 				states[i].Err = err.Error()
+				states[i].Skipped = errors.Is(err, ErrVersionSkew)
 				return
 			}
 			states[i].Reachable = true
@@ -209,11 +247,19 @@ func (p *Poller) Merge(states []MemberState) FleetView { return p.merge(states) 
 func (p *Poller) merge(states []MemberState) FleetView {
 	v := FleetView{Members: states}
 	budgets := make(map[string]*BudgetRollup)
+	coverage := make(map[string]*CoverageRollup)
 	digests := make(map[string][]string) // digest -> member names
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, st := range states {
+		if st.Skipped {
+			v.Global.Skipped++
+			v.Anomalies = append(v.Anomalies, Anomaly{
+				Kind: "version-skew", Member: st.Name, Detail: st.Err,
+			})
+			continue
+		}
 		if !st.Reachable {
 			v.Global.Unreachable++
 			v.Anomalies = append(v.Anomalies, Anomaly{
@@ -229,7 +275,23 @@ func (p *Poller) merge(states []MemberState) FleetView {
 		v.Global.Migrations += snap.Migrations
 		v.Global.Watchers += snap.Watchers
 		v.Global.AuditSinkErrors += snap.AuditSinkErrors
+		v.Global.ShadowFlips += snap.ShadowFlips
 		digests[snap.PolicyDigest] = append(digests[snap.PolicyDigest], st.Name)
+
+		for _, cc := range snap.Coverage {
+			key := cc.Perm + "\x00" + cc.Path
+			r, ok := coverage[key]
+			if !ok {
+				r = &CoverageRollup{Perm: cc.Perm, Path: cc.Path, Clause: cc.Clause}
+				coverage[key] = r
+			}
+			r.Evaluated += cc.Evaluated
+			r.Satisfied += cc.Satisfied
+			r.Violated += cc.Violated
+			r.Pending += cc.Pending
+			r.Decisive += cc.Decisive
+			r.Members++
+		}
 
 		for _, s := range snap.Servers {
 			v.PerServer = append(v.PerServer, ServerRollup{
@@ -309,6 +371,27 @@ func (p *Poller) merge(states []MemberState) FleetView {
 			return a.Member < b.Member
 		}
 		return a.Server < b.Server
+	})
+
+	for _, r := range coverage {
+		v.Coverage = append(v.Coverage, *r)
+		// A dead clause is only evidence once the fleet has actually
+		// decided something — on an idle coalition every clause is
+		// trivially dead.
+		if r.Dead() && v.Global.Decisions > 0 {
+			v.Anomalies = append(v.Anomalies, Anomaly{
+				Kind:    "dead-clause",
+				Subject: r.Perm + "/" + r.Path,
+				Detail:  fmt.Sprintf("clause %q never decided a verdict across %d member(s)", r.Clause, r.Members),
+			})
+		}
+	}
+	sort.Slice(v.Coverage, func(i, j int) bool {
+		a, b := v.Coverage[i], v.Coverage[j]
+		if a.Perm != b.Perm {
+			return a.Perm < b.Perm
+		}
+		return a.Path < b.Path
 	})
 
 	if len(digests) > 1 {

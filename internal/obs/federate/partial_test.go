@@ -1,0 +1,160 @@
+package federate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"stac/internal/core"
+	"stac/internal/server"
+)
+
+// Partial-failure behaviour of the fleet poller: empty member sets,
+// fully-unreachable fleets, and members running a NEWER snapshot
+// schema (a deploy in flight) must all degrade to well-formed views,
+// never errors.
+
+func TestPollZeroMembers(t *testing.T) {
+	p := NewPoller(nil, Config{})
+	v := p.Poll(context.Background())
+	if len(v.Members) != 0 || v.Global.Members != 0 || v.Global.Unreachable != 0 {
+		t.Fatalf("empty fleet view = %+v", v.Global)
+	}
+	if len(v.Anomalies) != 0 {
+		t.Fatalf("empty fleet produced anomalies: %+v", v.Anomalies)
+	}
+}
+
+func TestPollAllMembersUnreachable(t *testing.T) {
+	members := []Member{
+		{Name: "a", BaseURL: "http://127.0.0.1:1"}, // reserved port: refused
+		{Name: "b", BaseURL: "http://127.0.0.1:1"},
+	}
+	p := NewPoller(members, Config{})
+	v := p.Poll(context.Background())
+	if v.Global.Members != 0 || v.Global.Unreachable != 2 {
+		t.Fatalf("global = %+v, want 0 members / 2 unreachable", v.Global)
+	}
+	if len(v.Anomalies) != 2 {
+		t.Fatalf("anomalies = %+v, want one unreachable per member", v.Anomalies)
+	}
+	for _, a := range v.Anomalies {
+		if a.Kind != "unreachable" || a.Detail == "" {
+			t.Errorf("anomaly = %+v", a)
+		}
+	}
+	if v.Global.Decisions != 0 || len(v.Budgets) != 0 || len(v.Coverage) != 0 {
+		t.Errorf("all-unreachable rollup carries data: %+v", v)
+	}
+}
+
+func TestPollSkipsNewerSnapshotVersion(t *testing.T) {
+	// A member from the future: snapshot version SnapshotVersion+1.
+	future := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"version":%d,"grants":999,"decisions":999}`, server.SnapshotVersion+1)
+	}))
+	defer future.Close()
+	// A contemporary member.
+	now := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(server.Snapshot{
+			Version: server.SnapshotVersion, PolicyDigest: "d1",
+			Grants: 4, Denies: 1, Decisions: 5,
+		})
+	}))
+	defer now.Close()
+
+	p := NewPoller([]Member{
+		{Name: "future", BaseURL: future.URL},
+		{Name: "now", BaseURL: now.URL},
+	}, Config{})
+	v := p.Poll(context.Background())
+
+	if v.Global.Members != 1 || v.Global.Skipped != 1 || v.Global.Unreachable != 0 {
+		t.Fatalf("global = %+v, want 1 member / 1 skipped / 0 unreachable", v.Global)
+	}
+	// The future member's counters must NOT pollute the rollup.
+	if v.Global.Grants != 4 || v.Global.Decisions != 5 {
+		t.Fatalf("global counters = %+v, polluted by skipped member", v.Global)
+	}
+	var skew *Anomaly
+	for i := range v.Anomalies {
+		if v.Anomalies[i].Kind == "version-skew" {
+			skew = &v.Anomalies[i]
+		}
+		if v.Anomalies[i].Kind == "unreachable" {
+			t.Errorf("version skew reported as unreachable: %+v", v.Anomalies[i])
+		}
+	}
+	if skew == nil || skew.Member != "future" {
+		t.Fatalf("anomalies = %+v, want a version-skew entry for future", v.Anomalies)
+	}
+	for _, m := range v.Members {
+		if m.Name == "future" && (!m.Skipped || m.Reachable) {
+			t.Errorf("future member state = %+v, want skipped, not reachable", m)
+		}
+	}
+}
+
+func TestMergeCoverageAndShadowRollup(t *testing.T) {
+	p := NewPoller(nil, Config{})
+	cc := func(perm, path, clause string, evaluated, decisive int64) core.ClauseCoverage {
+		return core.ClauseCoverage{Perm: perm, Path: path, Clause: clause,
+			Evaluated: evaluated, Satisfied: evaluated, Decisive: decisive}
+	}
+	v := p.Merge([]MemberState{
+		reachable("a", server.Snapshot{
+			PolicyDigest: "d", Grants: 3, Decisions: 3, ShadowFlips: 2,
+			Coverage: []core.ClauseCoverage{
+				cc("p-read", "", "count(0, 2, sigma[r=rsw])", 3, 3),
+				cc("p-read", "l", "dead-subclause", 0, 0),
+			},
+		}),
+		reachable("b", server.Snapshot{
+			PolicyDigest: "d", Grants: 1, Decisions: 1, ShadowFlips: 1,
+			Coverage: []core.ClauseCoverage{
+				cc("p-read", "", "count(0, 2, sigma[r=rsw])", 1, 1),
+				cc("p-read", "l", "dead-subclause", 0, 0),
+			},
+		}),
+	})
+	if v.Global.ShadowFlips != 3 {
+		t.Errorf("ShadowFlips = %d, want 3", v.Global.ShadowFlips)
+	}
+	if len(v.Coverage) != 2 {
+		t.Fatalf("coverage rollup = %+v", v.Coverage)
+	}
+	root := v.Coverage[0]
+	if root.Path != "" || root.Evaluated != 4 || root.Decisive != 4 || root.Members != 2 || root.Dead() {
+		t.Errorf("root rollup = %+v", root)
+	}
+	dead := v.Coverage[1]
+	if dead.Path != "l" || !dead.Dead() {
+		t.Errorf("dead rollup = %+v", dead)
+	}
+	var found bool
+	for _, a := range v.Anomalies {
+		if a.Kind == "dead-clause" {
+			found = true
+			if a.Subject != "p-read/l" {
+				t.Errorf("dead-clause subject = %q", a.Subject)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no dead-clause anomaly in %+v", v.Anomalies)
+	}
+
+	// An idle fleet (zero decisions) must not cry dead-clause.
+	idle := p.Merge([]MemberState{
+		reachable("a", server.Snapshot{PolicyDigest: "d",
+			Coverage: []core.ClauseCoverage{cc("p-read", "", "c", 0, 0)}}),
+	})
+	for _, a := range idle.Anomalies {
+		if a.Kind == "dead-clause" {
+			t.Errorf("idle fleet flagged dead clause: %+v", a)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package record is the decision flight recorder: a fixed-capacity
+// ring (plus an optional JSONL write-ahead log) that captures, per
+// engine event, everything needed to replay the coalition's
+// authorisation decisions offline — the determinism oracle behind
+// core.Replay and the input stream behind core.ShadowDiff.
+//
+// # Record schema
+//
+// A recorded stream is a sequence of Record values, one JSON object
+// per line in the WAL form. Every record carries:
+//
+//   - schema: the schema version of the record (SchemaVersion).
+//   - seq: a per-recorder monotone sequence number starting at 1.
+//     Replays process records in seq order.
+//   - kind: one of "arrive", "activate", "deactivate", "grant",
+//     "decide".
+//   - time: the engine clock reading (seconds) when the event was
+//     recorded.
+//   - policy: the SHA-256 digest of the policy loaded in the engine
+//     (core.PolicyDigest), stamped by the recorder so a replay can
+//     detect that it is running a different policy than the one that
+//     produced the stream.
+//
+// The event kinds mirror the engine's replay-relevant surface:
+//
+//   - "arrive" (ObjectArrived): object + server. Resets per-server
+//     temporal base times.
+//   - "activate"/"deactivate" (ActivatePermissions /
+//     DeactivatePermissions): object, user and the session's active
+//     roles. These open and close the temporal validity accumulation
+//     of Section 4, so replays must reproduce them at the recorded
+//     times to reproduce budget-exhaustion verdicts.
+//   - "grant" (RecordGrant, incremental counting mode only): the
+//     executed access feeding the engine's counters. Replaying these
+//     — rather than inferring execution from decide verdicts —
+//     reproduces the counter state exactly even when a server denied
+//     an engine-granted access for non-policy reasons (unknown
+//     resource).
+//   - "decide" (Authorize/AuthorizeTraced): the complete replayable
+//     input — subject (user + active roles), the requested
+//     "op resource @ server" access, the proof-backed history with a
+//     per-entry proven bit (the oracle's verdict at decision time),
+//     the declared SRAL program text, and the incremental-mode flag —
+//     plus the full outcome: verdict, covering permission, deny
+//     reason, spatial/program/temporal statuses, decision and trace
+//     IDs, the denial explanation (JSON), and the covering
+//     permission's temporal budget snapshot (consumed vs dur(perm)
+//     and base-time scheme).
+//
+// # Versioning rules
+//
+// SchemaVersion is bumped whenever a field changes meaning or a new
+// field is required to replay correctly. Decode accepts any schema
+// in [1, SchemaVersion] (older records may lack newer optional
+// fields; replay treats them as zero) and rejects records with a
+// NEWER schema than it understands — forward compatibility is the
+// reader's job to refuse, not to guess. Unknown JSON fields are
+// ignored on decode, so adding optional fields is not a schema bump.
+//
+// # Fidelity caveats
+//
+// Replay is exact under a simulated clock when the recorder was
+// attached before any traffic: every verdict, deny reason and
+// explanation reproduces bit-for-bit. Two sources of divergence are
+// inherent and documented rather than hidden: (1) under a real
+// clock, the record's time is read after the decision's own clock
+// read, so budget arithmetic can differ by the intervening
+// microseconds near an exhaustion boundary; (2) a recorder attached
+// mid-flight misses the activation history that seeded the temporal
+// budgets, so consumed-budget state starts from the first recorded
+// event.
+//
+// # WAL degradation
+//
+// The WAL is strictly best-effort: the first write failure (disk
+// full, closed file) permanently degrades the recorder to ring-only
+// operation, increments stac_recorder_errors_total, and surfaces in
+// Status — authorisations are never failed or slowed by a broken
+// WAL. The in-memory ring keeps recording.
+package record

@@ -1,0 +1,289 @@
+package record
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"stac/internal/obs"
+)
+
+// SchemaVersion is the record schema this package writes and the
+// newest it can read. See doc.go for the versioning rules.
+const SchemaVersion = 1
+
+// Event kinds. See doc.go for what each captures.
+const (
+	KindArrive     = "arrive"
+	KindActivate   = "activate"
+	KindDeactivate = "deactivate"
+	KindGrant      = "grant"
+	KindDecide     = "decide"
+)
+
+// HistoryEntry is one access of the proof-backed history carried by a
+// decide record. Proven is the proof oracle's verdict on the entry at
+// decision time, so a replay reproduces the exact scan-path
+// semantics without re-deriving proofs.
+type HistoryEntry struct {
+	Object   string `json:"object"`
+	Op       string `json:"op"`
+	Resource string `json:"resource"`
+	Server   string `json:"server"`
+	Proven   bool   `json:"proven"`
+}
+
+// Record is one recorded engine event. Field presence depends on
+// Kind; unused fields are omitted from the JSON form.
+type Record struct {
+	Schema int     `json:"schema"`
+	Seq    uint64  `json:"seq"`
+	Kind   string  `json:"kind"`
+	Time   float64 `json:"time"`
+	// Policy is the SHA-256 digest of the engine's loaded policy.
+	Policy string `json:"policy,omitempty"`
+
+	// Object/Server locate the event; on decide and grant records the
+	// four access fields (Object, Op, Resource, Server) form the
+	// requested "op resource @ server" access.
+	Object   string `json:"object,omitempty"`
+	Server   string `json:"server,omitempty"`
+	Op       string `json:"op,omitempty"`
+	Resource string `json:"resource,omitempty"`
+
+	// User/Roles identify the subject (activate, deactivate, decide).
+	User  string   `json:"user,omitempty"`
+	Roles []string `json:"roles,omitempty"`
+
+	// Decide inputs.
+	History     []HistoryEntry `json:"history,omitempty"`
+	Program     string         `json:"program,omitempty"`
+	Incremental bool           `json:"incremental,omitempty"`
+
+	// Decide outcome.
+	Granted        bool            `json:"granted,omitempty"`
+	Perm           string          `json:"perm,omitempty"`
+	Deny           string          `json:"deny,omitempty"`
+	Reason         string          `json:"reason,omitempty"`
+	Spatial        string          `json:"spatial,omitempty"`
+	ProgramVerdict string          `json:"program_verdict,omitempty"`
+	Temporal       string          `json:"temporal,omitempty"`
+	DecisionID     string          `json:"decision_id,omitempty"`
+	TraceID        string          `json:"trace_id,omitempty"`
+	Explanation    json.RawMessage `json:"explanation,omitempty"`
+
+	// Temporal budget snapshot of the covering permission at decision
+	// time: consumed valid duration vs dur(perm) (-1 = infinite),
+	// under the named base-time scheme.
+	Consumed float64 `json:"consumed_s,omitempty"`
+	Budget   float64 `json:"budget_s,omitempty"`
+	Scheme   string  `json:"scheme,omitempty"`
+}
+
+// Validate checks the structural invariants every readable record
+// must satisfy.
+func (r Record) Validate() error {
+	if r.Schema < 1 {
+		return fmt.Errorf("record: missing schema version")
+	}
+	if r.Schema > SchemaVersion {
+		return fmt.Errorf("record: schema %d newer than supported %d", r.Schema, SchemaVersion)
+	}
+	switch r.Kind {
+	case KindArrive, KindActivate, KindDeactivate, KindGrant, KindDecide:
+	default:
+		return fmt.Errorf("record: unknown kind %q", r.Kind)
+	}
+	return nil
+}
+
+// Encode writes the record as one JSON line.
+func Encode(w io.Writer, r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Decode parses one JSON line into a validated record.
+func Decode(line []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(line, &r); err != nil {
+		return Record{}, fmt.Errorf("record: decode: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// ReadAll decodes a JSONL stream (a WAL file) into records, skipping
+// blank lines. The first malformed line aborts with its line number.
+func ReadAll(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := Decode(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Config configures a Recorder.
+type Config struct {
+	// Capacity bounds the in-memory ring (<= 0 selects 1024).
+	Capacity int
+	// WAL, when non-nil, receives every record as one JSON line. A
+	// failed write permanently degrades the recorder to ring-only.
+	WAL io.Writer
+	// Registry receives stac_recorder_* metrics (nil = obs.Default).
+	Registry *obs.Registry
+	// PolicyDigest is stamped onto every record (core.PolicyDigest of
+	// the engine's loaded policy). Attach the recorder after loading
+	// the policy so the digest matches the decisions it governs.
+	PolicyDigest string
+}
+
+const defaultCapacity = 1024
+
+// Status is the recorder's observable state, folded into the daemon
+// snapshot.
+type Status struct {
+	// Total counts every record ever appended; Retained is the
+	// current ring occupancy.
+	Total    uint64 `json:"total"`
+	Retained int    `json:"retained"`
+	Capacity int    `json:"capacity"`
+	// WALConfigured reports a WAL was attached; WALDegraded that it
+	// failed and the recorder fell back to ring-only.
+	WALConfigured bool   `json:"wal_configured"`
+	WALDegraded   bool   `json:"wal_degraded"`
+	WALError      string `json:"wal_error,omitempty"`
+	// Errors counts failed WAL appends (== stac_recorder_errors_total).
+	Errors int64 `json:"errors"`
+	// PolicyDigest is the digest stamped on new records.
+	PolicyDigest string `json:"policy_digest,omitempty"`
+}
+
+// Recorder is the flight recorder: a fixed-capacity ring of records
+// plus the optional WAL. Safe for concurrent use; Append never fails
+// the caller.
+type Recorder struct {
+	mu     sync.Mutex
+	buf    []Record
+	next   int
+	total  uint64
+	wal    io.Writer
+	walErr error
+	policy string
+
+	records *obs.Counter
+	errs    *obs.Counter
+}
+
+// New creates a recorder.
+func New(cfg Config) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = defaultCapacity
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &Recorder{
+		buf:    make([]Record, 0, cfg.Capacity),
+		wal:    cfg.WAL,
+		policy: cfg.PolicyDigest,
+		records: reg.Counter("stac_recorder_records_total", "",
+			"Engine events captured by the decision flight recorder."),
+		errs: reg.Counter("stac_recorder_errors_total", "",
+			"Recorder WAL appends that failed (recorder degraded to ring-only)."),
+	}
+}
+
+// SetPolicyDigest replaces the digest stamped on subsequent records
+// (after a policy reload).
+func (r *Recorder) SetPolicyDigest(d string) {
+	r.mu.Lock()
+	r.policy = d
+	r.mu.Unlock()
+}
+
+// Append stamps the record (schema, seq, policy digest) and stores
+// it: ring always, WAL until its first failure. It never returns an
+// error — a broken WAL degrades recording, not authorisation.
+func (r *Recorder) Append(rec Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	rec.Schema = SchemaVersion
+	rec.Seq = r.total
+	rec.Policy = r.policy
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.records.Inc()
+	if r.wal != nil && r.walErr == nil {
+		if err := Encode(r.wal, rec); err != nil {
+			// Sticky degradation: one failure silences the WAL for
+			// good. The ring keeps recording and the counter + Status
+			// surface the loss.
+			r.walErr = err
+			r.errs.Inc()
+		}
+	}
+}
+
+// Records returns the retained records in append order.
+func (r *Recorder) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		out = append(out, r.buf...)
+	} else {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	}
+	return out
+}
+
+// Status reports the recorder's current state.
+func (r *Recorder) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Status{
+		Total:         r.total,
+		Retained:      len(r.buf),
+		Capacity:      cap(r.buf),
+		WALConfigured: r.wal != nil,
+		WALDegraded:   r.walErr != nil,
+		Errors:        r.errs.Value(),
+		PolicyDigest:  r.policy,
+	}
+	if r.walErr != nil {
+		st.WALError = r.walErr.Error()
+	}
+	return st
+}

@@ -1,0 +1,231 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"stac/internal/obs"
+)
+
+func TestAppendStampsAndRetains(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := New(Config{Capacity: 4, Registry: reg, PolicyDigest: "abc"})
+	for i := 0; i < 3; i++ {
+		r.Append(Record{Kind: KindDecide, Time: float64(i), Object: fmt.Sprintf("o%d", i)})
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Schema != SchemaVersion {
+			t.Errorf("rec %d schema = %d, want %d", i, rec.Schema, SchemaVersion)
+		}
+		if rec.Seq != uint64(i+1) {
+			t.Errorf("rec %d seq = %d, want %d", i, rec.Seq, i+1)
+		}
+		if rec.Policy != "abc" {
+			t.Errorf("rec %d policy = %q, want abc", i, rec.Policy)
+		}
+	}
+	if got := reg.CounterValue("stac_recorder_records_total", ""); got != 3 {
+		t.Errorf("stac_recorder_records_total = %d, want 3", got)
+	}
+	st := r.Status()
+	if st.Total != 3 || st.Retained != 3 || st.Capacity != 4 || st.WALConfigured || st.WALDegraded {
+		t.Errorf("unexpected status %+v", st)
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := New(Config{Capacity: 3, Registry: obs.NewRegistry()})
+	for i := 1; i <= 5; i++ {
+		r.Append(Record{Kind: KindGrant, Object: fmt.Sprintf("o%d", i)})
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d records, want 3", len(recs))
+	}
+	for i, want := range []string{"o3", "o4", "o5"} {
+		if recs[i].Object != want {
+			t.Errorf("recs[%d].Object = %q, want %q", i, recs[i].Object, want)
+		}
+		if recs[i].Seq != uint64(i+3) {
+			t.Errorf("recs[%d].Seq = %d, want %d", i, recs[i].Seq, i+3)
+		}
+	}
+	if st := r.Status(); st.Total != 5 || st.Retained != 3 {
+		t.Errorf("status total/retained = %d/%d, want 5/3", st.Total, st.Retained)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	var wal bytes.Buffer
+	r := New(Config{Capacity: 2, WAL: &wal, Registry: obs.NewRegistry(), PolicyDigest: "d1"})
+	in := []Record{
+		{Kind: KindArrive, Time: 0, Object: "o1", Server: "s1"},
+		{Kind: KindActivate, Time: 0, Object: "o1", User: "u1", Roles: []string{"r1", "r2"}},
+		{Kind: KindDecide, Time: 1.5, Object: "o1", Server: "s1", Op: "read", Resource: "f",
+			User: "u1", Roles: []string{"r1"},
+			History: []HistoryEntry{{Object: "o1", Op: "read", Resource: "f", Server: "s0", Proven: true}},
+			Granted: true, Perm: "p1", Spatial: "satisfied", Temporal: "valid",
+			DecisionID: "d-0011223344556677", TraceID: "t-1",
+			Consumed: 1.5, Budget: 30, Scheme: "global"},
+		{Kind: KindGrant, Time: 1.5, Object: "o1", Server: "s1", Op: "read", Resource: "f"},
+		{Kind: KindDeactivate, Time: 2, Object: "o1", User: "u1"},
+	}
+	for _, rec := range in {
+		r.Append(rec)
+	}
+	// The WAL keeps everything even though the ring holds only 2.
+	got, err := ReadAll(bytes.NewReader(wal.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("WAL holds %d records, want %d", len(got), len(in))
+	}
+	for i := range in {
+		want := in[i]
+		want.Schema = SchemaVersion
+		want.Seq = uint64(i + 1)
+		want.Policy = "d1"
+		a, _ := encodeString(got[i])
+		b, _ := encodeString(want)
+		if a != b {
+			t.Errorf("record %d round-trip mismatch:\n got %s\nwant %s", i, a, b)
+		}
+	}
+}
+
+func encodeString(r Record) (string, error) {
+	var b bytes.Buffer
+	err := Encode(&b, r)
+	return b.String(), err
+}
+
+func TestDecodeRejectsBadRecords(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"not json", "{"},
+		{"missing schema", `{"kind":"decide"}`},
+		{"newer schema", fmt.Sprintf(`{"schema":%d,"kind":"decide"}`, SchemaVersion+1)},
+		{"unknown kind", `{"schema":1,"kind":"launch"}`},
+	}
+	for _, tc := range cases {
+		if _, err := Decode([]byte(tc.line)); err == nil {
+			t.Errorf("%s: Decode accepted %q", tc.name, tc.line)
+		}
+	}
+}
+
+func TestDecodeIgnoresUnknownFields(t *testing.T) {
+	rec, err := Decode([]byte(`{"schema":1,"kind":"arrive","object":"o1","future_field":42}`))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if rec.Object != "o1" {
+		t.Errorf("Object = %q, want o1", rec.Object)
+	}
+}
+
+func TestReadAllSkipsBlanksAndReportsLine(t *testing.T) {
+	src := `{"schema":1,"kind":"arrive","object":"o1"}
+
+{"schema":1,"kind":"grant","object":"o1"}
+`
+	recs, err := ReadAll(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	bad := src + "{broken\n"
+	if _, err := ReadAll(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("ReadAll on malformed line: err = %v, want line 4 mention", err)
+	}
+}
+
+type failAfter struct {
+	n    int
+	errs int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		f.errs++
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestWALFailureDegradesToRingOnly(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := &failAfter{n: 2}
+	r := New(Config{Capacity: 8, WAL: w, Registry: reg})
+	for i := 0; i < 5; i++ {
+		r.Append(Record{Kind: KindDecide})
+	}
+	st := r.Status()
+	if !st.WALConfigured || !st.WALDegraded {
+		t.Fatalf("status = %+v, want configured+degraded", st)
+	}
+	if !strings.Contains(st.WALError, "disk full") {
+		t.Errorf("WALError = %q, want disk full", st.WALError)
+	}
+	if st.Errors != 1 {
+		t.Errorf("Errors = %d, want 1 (sticky degradation, not per-append)", st.Errors)
+	}
+	if got := reg.CounterValue("stac_recorder_errors_total", ""); got != 1 {
+		t.Errorf("stac_recorder_errors_total = %d, want 1", got)
+	}
+	if w.errs != 1 {
+		t.Errorf("writer saw %d failed writes, want exactly 1 (degradation is sticky)", w.errs)
+	}
+	// The ring kept everything.
+	if got := len(r.Records()); got != 5 {
+		t.Errorf("ring holds %d records, want 5", got)
+	}
+}
+
+func TestSetPolicyDigest(t *testing.T) {
+	r := New(Config{Capacity: 4, Registry: obs.NewRegistry(), PolicyDigest: "old"})
+	r.Append(Record{Kind: KindArrive})
+	r.SetPolicyDigest("new")
+	r.Append(Record{Kind: KindArrive})
+	recs := r.Records()
+	if recs[0].Policy != "old" || recs[1].Policy != "new" {
+		t.Errorf("policies = %q, %q; want old, new", recs[0].Policy, recs[1].Policy)
+	}
+	if st := r.Status(); st.PolicyDigest != "new" {
+		t.Errorf("Status.PolicyDigest = %q, want new", st.PolicyDigest)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	r := New(Config{Capacity: 64, Registry: obs.NewRegistry()})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				r.Append(Record{Kind: KindDecide})
+				r.Records()
+				r.Status()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if st := r.Status(); st.Total != 400 || st.Retained != 64 {
+		t.Errorf("status total/retained = %d/%d, want 400/64", st.Total, st.Retained)
+	}
+}

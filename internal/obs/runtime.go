@@ -1,0 +1,101 @@
+package obs
+
+// Go runtime self-telemetry: heap, GC pause and goroutine-scheduling
+// latency sampled from runtime/metrics and runtime.MemStats, published
+// as stac_go_* gauges so a loaded daemon's /metrics page shows whether
+// the process itself — not the policy — is the bottleneck.
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// RuntimeStats is one sample of the Go runtime's health.
+type RuntimeStats struct {
+	// HeapAllocBytes is live heap; HeapSysBytes is what the runtime
+	// holds from the OS for the heap.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	// Goroutines is the current goroutine count.
+	Goroutines int `json:"goroutines"`
+	// GCCycles counts completed GC cycles; LastGCPause and
+	// TotalGCPause are stop-the-world pause seconds.
+	GCCycles     uint32  `json:"gc_cycles"`
+	LastGCPause  float64 `json:"last_gc_pause_s"`
+	TotalGCPause float64 `json:"total_gc_pause_s"`
+	// SchedLatencyP50/P99 approximate how long runnable goroutines
+	// waited for a thread (seconds), from /sched/latencies:seconds.
+	SchedLatencyP50 float64 `json:"sched_latency_p50_s"`
+	SchedLatencyP99 float64 `json:"sched_latency_p99_s"`
+}
+
+// SampleRuntime reads the runtime's current state.
+func SampleRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := RuntimeStats{
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		Goroutines:     runtime.NumGoroutine(),
+		GCCycles:       ms.NumGC,
+		TotalGCPause:   float64(ms.PauseTotalNs) / 1e9,
+	}
+	if ms.NumGC > 0 {
+		st.LastGCPause = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+	}
+	samples := []metrics.Sample{{Name: "/sched/latencies:seconds"}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() == metrics.KindFloat64Histogram {
+		h := samples[0].Value.Float64Histogram()
+		st.SchedLatencyP50 = histQuantile(h, 0.50)
+		st.SchedLatencyP99 = histQuantile(h, 0.99)
+	}
+	return st
+}
+
+// histQuantile approximates quantile q of a runtime/metrics histogram
+// by bucket midpoint (lower/upper bound at the unbounded edges).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			switch {
+			case math.IsInf(lo, -1):
+				return hi
+			case math.IsInf(hi, 1):
+				return lo
+			default:
+				return (lo + hi) / 2
+			}
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// PublishRuntime samples the runtime and mirrors the sample into
+// stac_go_* gauges on the registry, returning it. Called on every
+// /metrics scrape and /debug/snapshot, so the gauges are as fresh as
+// the page that reports them.
+func PublishRuntime(reg *Registry) RuntimeStats {
+	st := SampleRuntime()
+	reg.Gauge("stac_go_heap_alloc_bytes", "", "Live heap bytes.").Set(int64(st.HeapAllocBytes))
+	reg.Gauge("stac_go_heap_sys_bytes", "", "Heap bytes held from the OS.").Set(int64(st.HeapSysBytes))
+	reg.Gauge("stac_go_goroutines", "", "Current goroutine count.").Set(int64(st.Goroutines))
+	reg.Gauge("stac_go_gc_cycles_total", "", "Completed GC cycles.").Set(int64(st.GCCycles))
+	reg.FloatGauge("stac_go_gc_pause_last_seconds", "", "Most recent GC stop-the-world pause.").Set(st.LastGCPause)
+	reg.FloatGauge("stac_go_gc_pause_total_seconds", "", "Cumulative GC stop-the-world pause.").Set(st.TotalGCPause)
+	reg.FloatGauge("stac_go_sched_latency_p50_seconds", "", "Median goroutine scheduling latency.").Set(st.SchedLatencyP50)
+	reg.FloatGauge("stac_go_sched_latency_p99_seconds", "", "P99 goroutine scheduling latency.").Set(st.SchedLatencyP99)
+	return st
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestSampleRuntime(t *testing.T) {
+	runtime.GC() // guarantee at least one cycle so pause fields are live
+	st := SampleRuntime()
+	if st.HeapAllocBytes == 0 {
+		t.Error("HeapAllocBytes = 0")
+	}
+	if st.HeapSysBytes < st.HeapAllocBytes {
+		t.Errorf("HeapSysBytes %d < HeapAllocBytes %d", st.HeapSysBytes, st.HeapAllocBytes)
+	}
+	if st.Goroutines < 1 {
+		t.Errorf("Goroutines = %d", st.Goroutines)
+	}
+	if st.GCCycles == 0 {
+		t.Error("GCCycles = 0 after runtime.GC()")
+	}
+	if st.TotalGCPause < st.LastGCPause || st.LastGCPause < 0 {
+		t.Errorf("pause totals inconsistent: last %g total %g", st.LastGCPause, st.TotalGCPause)
+	}
+	if st.SchedLatencyP99 < st.SchedLatencyP50 {
+		t.Errorf("sched latency p99 %g < p50 %g", st.SchedLatencyP99, st.SchedLatencyP50)
+	}
+}
+
+func TestPublishRuntime(t *testing.T) {
+	reg := NewRegistry()
+	st := PublishRuntime(reg)
+	if got := reg.GaugeValue("stac_go_goroutines", ""); got != int64(st.Goroutines) {
+		t.Errorf("stac_go_goroutines = %d, want %d", got, st.Goroutines)
+	}
+	if got := reg.GaugeValue("stac_go_heap_alloc_bytes", ""); got != int64(st.HeapAllocBytes) {
+		t.Errorf("stac_go_heap_alloc_bytes = %d, want %d", got, st.HeapAllocBytes)
+	}
+	if got := reg.FloatGaugeValue("stac_go_gc_pause_total_seconds", ""); got != st.TotalGCPause {
+		t.Errorf("stac_go_gc_pause_total_seconds = %g, want %g", got, st.TotalGCPause)
+	}
+
+	// The gauges surface in the Prometheus text exposition.
+	rr := httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body, _ := io.ReadAll(rr.Result().Body)
+	for _, name := range []string{"stac_go_goroutines", "stac_go_heap_alloc_bytes", "stac_go_sched_latency_p99_seconds"} {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{1, 2, 1},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	if got := histQuantile(h, 0.5); got != 1.5 {
+		t.Errorf("q50 = %g, want 1.5 (midpoint of the covering bucket)", got)
+	}
+	if got := histQuantile(h, 0.99); got != 2.5 {
+		t.Errorf("q99 = %g, want 2.5", got)
+	}
+	edges := &metrics.Float64Histogram{
+		Counts:  []uint64{5, 0, 5},
+		Buckets: []float64{math.Inf(-1), 1, 2, math.Inf(1)},
+	}
+	if got := histQuantile(edges, 0.01); got != 1 {
+		t.Errorf("open lower bucket: q1 = %g, want upper bound 1", got)
+	}
+	if got := histQuantile(edges, 0.99); got != 2 {
+		t.Errorf("open upper bucket: q99 = %g, want lower bound 2", got)
+	}
+	if got := histQuantile(&metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}, 0.5); got != 0 {
+		t.Errorf("empty histogram: q50 = %g, want 0", got)
+	}
+}

@@ -33,6 +33,9 @@ type AuditRecord struct {
 	// TraceID identifies the itinerary trace the decision belongs to
 	// ("" for untraced requests).
 	TraceID string
+	// Shadow is the candidate policy's verdict for the same request
+	// (nil unless shadow evaluation is enabled).
+	Shadow *ShadowVerdict
 }
 
 // String implements fmt.Stringer.
@@ -115,7 +118,7 @@ func (s *Server) SetAuditCapacity(capacity int) {
 
 // recordDecision appends an authorisation outcome to the audit log and
 // the coalition's JSONL sink (when one is set).
-func (s *Server) recordDecision(a model.Access, granted bool, reason string, dec core.Decision, tc obs.TraceContext) {
+func (s *Server) recordDecision(a model.Access, granted bool, reason string, dec core.Decision, tc obs.TraceContext, shadow *ShadowVerdict) {
 	s.mu.RLock()
 	log := s.audit
 	s.mu.RUnlock()
@@ -126,6 +129,7 @@ func (s *Server) recordDecision(a model.Access, granted bool, reason string, dec
 		Granted:  granted,
 		Reason:   reason,
 		Decision: dec,
+		Shadow:   shadow,
 	}
 	if tc.Valid() {
 		rec.TraceID = tc.Trace.String()
@@ -159,6 +163,7 @@ type AuditEntry struct {
 	ProgramVerdict string            `json:"program_verdict"`
 	TemporalState  string            `json:"temporal_state"`
 	Explanation    *core.Explanation `json:"explanation,omitempty"`
+	Shadow         *ShadowVerdict    `json:"shadow,omitempty"`
 }
 
 // Entry converts the record to its flat JSONL form.
@@ -179,6 +184,7 @@ func (r AuditRecord) Entry() AuditEntry {
 		ProgramVerdict: r.Decision.ProgramVerdict.String(),
 		TemporalState:  r.Decision.Temporal.String(),
 		Explanation:    r.Decision.Explanation,
+		Shadow:         r.Shadow,
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"stac/internal/channel"
 	"stac/internal/core"
@@ -74,6 +75,10 @@ type Coalition struct {
 	// bus broadcasts every decision to /debug/watch subscribers (see
 	// watch.go).
 	bus decisionBus
+
+	// shadow, when set, holds the candidate policy evaluated alongside
+	// the served one (see shadow.go).
+	shadow atomic.Pointer[shadowState]
 }
 
 // NewCoalition creates a coalition with the given clock (nil for a
@@ -269,6 +274,7 @@ func (s *Server) Authenticate(cred proof.Credential) (*Subject, error) {
 
 	eng.ObjectArrived(cred.Object, s.id)
 	eng.ActivatePermissions(sess, cred.Object)
+	s.coalition.shadowArrive(cred, s.id)
 	s.coalition.RecordMigration()
 	return sub, nil
 }
@@ -277,6 +283,7 @@ func (s *Server) Authenticate(cred proof.Credential) (*Subject, error) {
 // pausing its temporal accumulation on this server.
 func (s *Server) Depart(sub *Subject) {
 	s.coalition.Engine.DeactivatePermissions(sub.Session, sub.Object)
+	s.coalition.shadowDepart(sub.Object, s.id)
 	sub.Session.Close()
 	s.mu.Lock()
 	delete(s.sessions, string(sub.Object))
@@ -318,13 +325,14 @@ func (s *Server) Request(sub *Subject, op model.Operation, res model.ResourceID,
 	sp.SetService("server:" + string(s.id))
 	sp.SetAttr("access", access.String())
 	defer sp.Finish()
-	dec := s.coalition.Engine.AuthorizeTraced(ctx, core.Request{
+	req := core.Request{
 		Session: sub.Session,
 		Access:  access,
 		Program: prog.Program,
 		History: history,
 		Proofs:  oracle,
-	})
+	}
+	dec := s.coalition.Engine.AuthorizeTraced(ctx, req)
 	if dec.ID == "" {
 		// Unsampled path: the engine leaves the ID empty to stay
 		// allocation-free; mint it here, where the audit record (and
@@ -332,11 +340,14 @@ func (s *Server) Request(sub *Subject, op model.Operation, res model.ResourceID,
 		dec.ID = obs.NewDecisionID()
 	}
 	sp.SetAttr("decision_id", dec.ID)
+	// The shadow verdict (nil unless -shadow-policy is loaded) compares
+	// against the ENGINE verdict; it never affects the served outcome.
+	sv := s.coalition.shadowEval(req, dec)
 	if !dec.Granted {
 		s.mu.Lock()
 		s.denies++
 		s.mu.Unlock()
-		s.recordDecision(access, false, dec.Reason, dec, prog.Trace)
+		s.recordDecision(access, false, dec.Reason, dec, prog.Trace, sv)
 		return AccessResult{Decision: dec}, fmt.Errorf("%w: %s", ErrDenied, dec.Reason)
 	}
 
@@ -346,7 +357,7 @@ func (s *Server) Request(sub *Subject, op model.Operation, res model.ResourceID,
 	if !ok && op != model.OpWrite {
 		s.denies++
 		s.mu.Unlock()
-		s.recordDecision(access, false, "unknown resource", dec, prog.Trace)
+		s.recordDecision(access, false, "unknown resource", dec, prog.Trace, sv)
 		return AccessResult{Decision: dec}, fmt.Errorf("%w: %q at %q", model.ErrUnknownResource, res, s.id)
 	}
 	var data []byte
@@ -373,7 +384,7 @@ func (s *Server) Request(sub *Subject, op model.Operation, res model.ResourceID,
 	}
 	// Feed the engine's incremental counters (no-op unless enabled).
 	s.coalition.Engine.RecordGrant(access)
-	s.recordDecision(access, true, "", dec, prog.Trace)
+	s.recordDecision(access, true, "", dec, prog.Trace, sv)
 	return AccessResult{Data: data, Proof: pr, Decision: dec}, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"stac/internal/core"
 	"stac/internal/obs"
 )
 
@@ -72,7 +73,12 @@ func NewDebugServer(c *Coalition, daemons []*Daemon, tracer *obs.Tracer, cfg Deb
 func (h *DebugServer) Mux() *http.ServeMux {
 	obs.PublishExpvar("stac", h.cfg.Registry)
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", obs.Handler(h.cfg.Registry))
+	metricsHandler := obs.Handler(h.cfg.Registry)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Refresh the stac_go_* runtime gauges on every scrape.
+		obs.PublishRuntime(h.cfg.Registry)
+		metricsHandler.ServeHTTP(w, r)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -83,6 +89,7 @@ func (h *DebugServer) Mux() *http.ServeMux {
 	mux.HandleFunc("/debug/explain", h.handleExplain)
 	mux.HandleFunc("/debug/budgets", h.handleBudgets)
 	mux.HandleFunc("/debug/snapshot", h.handleSnapshot)
+	mux.HandleFunc("/debug/coverage", h.handleCoverage)
 	mux.HandleFunc("/healthz", h.handleHealthz)
 	mux.HandleFunc("/readyz", h.handleReadyz)
 	mux.HandleFunc("/debug/watch", h.handleWatch)
@@ -162,6 +169,22 @@ func (h *DebugServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, h.c.Snapshot(tail, h.daemons...))
+}
+
+// handleCoverage serves the per-clause SRAC evaluation census: every
+// subformula of every permission's spatial constraint with its
+// evaluated/satisfied/violated/pending/decisive counts. A clause with
+// zero decisive evaluations never changed a verdict — dead policy.
+func (h *DebugServer) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	if !h.c.Engine.CoverageEnabled() {
+		http.Error(w, "clause coverage disabled on this daemon", http.StatusNotFound)
+		return
+	}
+	cov := h.c.Engine.Coverage()
+	if cov == nil {
+		cov = []core.ClauseCoverage{}
+	}
+	writeJSON(w, cov)
 }
 
 func (h *DebugServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -272,6 +295,12 @@ func (h *DebugServer) handleWatch(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			fmt.Fprintf(w, "event: decision\ndata: %s\n\n", b)
+			if e.Shadow != nil && e.Shadow.Flip {
+				// A shadow-policy disagreement gets its own event so
+				// clients can watch flips without parsing every
+				// decision.
+				fmt.Fprintf(w, "event: flip\ndata: %s\n\n", b)
+			}
 			fl.Flush()
 		case <-beat.C:
 			fmt.Fprint(w, ": heartbeat\n\n")

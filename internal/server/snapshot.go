@@ -1,11 +1,11 @@
 package server
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"time"
 
 	"stac/internal/core"
+	"stac/internal/obs"
+	"stac/internal/obs/record"
 )
 
 // The federated health snapshot: one versioned JSON document
@@ -15,8 +15,15 @@ import (
 // merges these documents across coalition members.
 
 // SnapshotVersion is the schema version of the snapshot document.
-// Consumers must reject documents with a greater major version.
-const SnapshotVersion = 1
+// Consumers must skip documents with a greater version (a mixed-build
+// fleet is a deploy in flight, not an error — see federate).
+//
+// Version history:
+//
+//	1 — counters, budgets, conns, policy digest
+//	2 — adds shadow-policy state, SRAC clause coverage, Go runtime
+//	    self-telemetry and flight-recorder status
+const SnapshotVersion = 2
 
 // Snapshot is one daemon-process view of its coalition state.
 type Snapshot struct {
@@ -49,6 +56,19 @@ type Snapshot struct {
 	WatchDropped int64 `json:"watch_dropped"`
 	// AuditSinkErrors counts decisions lost by a failing JSONL sink.
 	AuditSinkErrors int64 `json:"audit_sink_errors"`
+	// ShadowDigest fingerprints the candidate policy under live shadow
+	// evaluation ("" when none is loaded); ShadowFlips counts verdicts
+	// where it disagreed with the served policy.
+	ShadowDigest string `json:"shadow_digest,omitempty"`
+	ShadowFlips  int64  `json:"shadow_flips,omitempty"`
+	// Coverage is the per-clause SRAC evaluation census (empty unless
+	// the engine has coverage enabled). Dead clauses — never decisive —
+	// are the fleet-level signal stacctl top surfaces.
+	Coverage []core.ClauseCoverage `json:"coverage,omitempty"`
+	// Runtime is the Go runtime's health at snapshot time.
+	Runtime obs.RuntimeStats `json:"runtime"`
+	// Recorder reports the decision flight recorder (nil when off).
+	Recorder *record.Status `json:"recorder,omitempty"`
 }
 
 // ServerSnapshot is one coalition server's decision counters.
@@ -112,6 +132,18 @@ func (c *Coalition) Snapshot(budgetTail int, daemons ...*Daemon) Snapshot {
 		Migrations:   c.Migrations(),
 		Watchers:     c.Watchers(),
 		WatchDropped: c.WatchDropped(),
+		Runtime:      obs.PublishRuntime(c.Engine.Obs()),
+	}
+	if enabled, digest, flips := c.ShadowInfo(); enabled {
+		snap.ShadowDigest = digest
+		snap.ShadowFlips = flips
+	}
+	if c.Engine.CoverageEnabled() {
+		snap.Coverage = c.Engine.Coverage()
+	}
+	if rec := c.Engine.Recorder(); rec != nil {
+		st := rec.Status()
+		snap.Recorder = &st
 	}
 	_, _, sinkErrs := c.AuditSinkStatus()
 	snap.AuditSinkErrors = sinkErrs
@@ -135,11 +167,9 @@ func (c *Coalition) Snapshot(budgetTail int, daemons ...*Daemon) Snapshot {
 	return snap
 }
 
-// PolicyDigest fingerprints an engine's loaded policy: the SHA-256 of
-// its canonical textual dump, hex-encoded. Two coalition members
-// running the same policy produce the same digest regardless of load
-// order, because DumpPolicy emits a normalised form.
+// PolicyDigest fingerprints an engine's loaded policy. It delegates
+// to core.PolicyDigest so the server, the flight recorder and the
+// federate poller agree on the fingerprint byte-for-byte.
 func PolicyDigest(e *core.Engine) string {
-	sum := sha256.Sum256([]byte(core.DumpPolicy(e)))
-	return hex.EncodeToString(sum[:])
+	return core.PolicyDigest(e)
 }

@@ -171,35 +171,7 @@ func AttributeWith(c Constraint, leaf LeafEval) Attribution {
 // attribution counterpart of EvalPrefixStable, with identical Status
 // and Stable.
 func Attribute(t trace.Trace, c Constraint, pr ProofOracle) Attribution {
-	if pr == nil {
-		pr = AllProven
-	}
-	return AttributeWith(c, func(leaf Constraint) (Status, bool, string) {
-		switch x := leaf.(type) {
-		case TrueC:
-			return Satisfied, true, "constant T"
-		case FalseC:
-			return Violated, true, "constant F"
-		case Atom:
-			if i := firstMatch(t, x.A, 0, pr); i >= 0 {
-				return Satisfied, true, fmt.Sprintf("witnessed at history position %d", i)
-			}
-			return Pending, false, "no proof-backed occurrence yet"
-		case Ordered:
-			i := firstMatch(t, x.First, 0, pr)
-			if i < 0 {
-				return Pending, false, "first access not yet witnessed"
-			}
-			if j := firstMatch(t, x.Second, i+1, pr); j >= 0 {
-				return Satisfied, true, fmt.Sprintf("witnessed in order at positions %d and %d", i, j)
-			}
-			return Pending, false, fmt.Sprintf("first access witnessed at position %d, second still pending", i)
-		case Count:
-			n := countProven(t, x.Sel, pr)
-			return countLeaf(x, n)
-		}
-		return Pending, false, fmt.Sprintf("unknown construct %T", leaf)
-	}).withObserved(t, pr)
+	return AttributeWith(c, TraceLeafEval(t, pr)).withObserved(t, pr)
 }
 
 // countLeaf is the shared leaf verdict for a counting atom given its

@@ -1,0 +1,246 @@
+package srac
+
+// Clause coverage: one prefix evaluation's outcome at EVERY node of
+// the constraint tree, plus which node the overall verdict is
+// attributed to. Aggregated over traffic (core/coverage.go) this
+// answers "which clauses of the policy ever decide anything" — dead
+// clauses are candidates for tightening or deletion, and a clause
+// that is never decisive cannot be blamed for any denial.
+//
+// Cover is the coverage counterpart of AttributeWith: its recursion
+// is the same transcription of evalPrefix, so the (Status, Stable)
+// it reports for the root — and for every interior node — equal the
+// engine's verdict on that subformula. The equivalence with
+// AttributeWith is property-tested over a formula corpus.
+
+import (
+	"fmt"
+
+	"stac/internal/trace"
+)
+
+// NodeCoverage is one subformula's outcome in a single prefix
+// evaluation, addressed by its path from the root: "" is the root,
+// then one letter per step — 'l'/'r' into a conjunction or
+// disjunction, 'n' under a negation. Paths are stable across
+// evaluations of the same constraint, so they key aggregation.
+type NodeCoverage struct {
+	Path   string
+	Status Status
+	Stable bool
+	// Decisive marks the node the whole-constraint verdict is
+	// attributed to (AttributeWith's Clause); exactly one node per
+	// evaluation is decisive.
+	Decisive bool
+}
+
+// Cover evaluates the constraint with the given leaf evaluator and
+// returns per-node coverage (pre-order left-to-right by path) plus
+// the root attribution, which equals AttributeWith(c, leaf) field for
+// field.
+func Cover(c Constraint, leaf LeafEval) ([]NodeCoverage, Attribution) {
+	var out []NodeCoverage
+	a, decisive := coverNode(c, "", leaf, &out)
+	for i := range out {
+		if out[i].Path == decisive {
+			out[i].Decisive = true
+		}
+	}
+	// Reverse the post-order accumulation into pre-order: parents
+	// before children reads naturally in reports.
+	sortNodes(out)
+	return out, a
+}
+
+// coverNode mirrors AttributeWith's connective logic, additionally
+// appending each node's outcome and returning the path of the node
+// the verdict is attributed to.
+func coverNode(c Constraint, path string, leaf LeafEval, out *[]NodeCoverage) (Attribution, string) {
+	var a Attribution
+	decisive := path
+	switch x := c.(type) {
+	case And:
+		l, lp := coverNode(x.Left, path+"l", leaf, out)
+		r, rp := coverNode(x.Right, path+"r", leaf, out)
+		switch {
+		case l.Status == Violated:
+			a, decisive = l, lp
+		case r.Status == Violated:
+			a, decisive = r, rp
+		case l.Status == Satisfied && r.Status == Satisfied:
+			a = Attribution{
+				Status: Satisfied, Stable: l.Stable && r.Stable,
+				Clause: c, Detail: "both conjuncts satisfied",
+				Counts: append(append([]CountWindow{}, l.Counts...), r.Counts...),
+			}
+		case l.Status == Pending:
+			l.Status = Pending
+			l.Stable = false
+			a, decisive = l, lp
+		default:
+			r.Status = Pending
+			r.Stable = false
+			a, decisive = r, rp
+		}
+	case Or:
+		l, lp := coverNode(x.Left, path+"l", leaf, out)
+		r, rp := coverNode(x.Right, path+"r", leaf, out)
+		switch {
+		case l.Status == Satisfied && l.Stable:
+			a, decisive = l, lp
+		case r.Status == Satisfied && r.Stable:
+			a, decisive = r, rp
+		case l.Status == Satisfied:
+			a, decisive = l, lp
+		case r.Status == Satisfied:
+			a, decisive = r, rp
+		case l.Status == Violated && r.Status == Violated:
+			a = Attribution{
+				Status: Violated, Stable: true, Clause: c,
+				Detail: fmt.Sprintf("both alternatives violated: %s; %s", l.Detail, r.Detail),
+				Counts: append(append([]CountWindow{}, l.Counts...), r.Counts...),
+			}
+		case l.Status == Pending:
+			l.Status = Pending
+			l.Stable = false
+			a, decisive = l, lp
+		default:
+			r.Status = Pending
+			r.Stable = false
+			a, decisive = r, rp
+		}
+	case Not:
+		// AttributeWith always blames the negation node itself, so the
+		// Not node is decisive regardless of the operand's path.
+		in, _ := coverNode(x.C, path+"n", leaf, out)
+		st, stable := NegateStable(in.Status, in.Stable)
+		a = Attribution{Status: st, Stable: stable, Clause: c, Counts: in.Counts}
+		switch st {
+		case Violated:
+			a.Detail = fmt.Sprintf("negated subformula stably satisfied (%s)", in.Detail)
+		case Satisfied:
+			a.Detail = fmt.Sprintf("negated subformula violated (%s)", in.Detail)
+		default:
+			if in.Status == Satisfied {
+				a.Detail = fmt.Sprintf("negated subformula satisfied but not stably (%s)", in.Detail)
+			} else {
+				a.Detail = fmt.Sprintf("negated subformula still pending (%s)", in.Detail)
+			}
+		}
+	default:
+		st, stable, detail := leaf(c)
+		a = Attribution{Status: st, Stable: stable, Clause: c, Detail: detail}
+		if cnt, ok := c.(Count); ok {
+			max := cnt.Max
+			if max == Unbounded {
+				max = -1
+			}
+			a.Counts = []CountWindow{{Selector: cnt.Sel.String(), Min: cnt.Min, Max: max, Observed: -1}}
+		}
+	}
+	*out = append(*out, NodeCoverage{Path: path, Status: a.Status, Stable: a.Stable})
+	return a, decisive
+}
+
+// sortNodes orders coverage by path: parents before children, left
+// subtree before right (lexicographic order on paths does exactly
+// that, since every child path extends its parent's).
+func sortNodes(nodes []NodeCoverage) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].Path < nodes[j-1].Path; j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}
+
+// WalkPaths visits every node of the constraint tree with its
+// coverage path, pre-order. Aggregators use it to pre-seed cells so
+// clauses that never get evaluated still show up (as dead).
+func WalkPaths(c Constraint, fn func(path string, c Constraint)) {
+	walkPaths(c, "", fn)
+}
+
+func walkPaths(c Constraint, path string, fn func(string, Constraint)) {
+	fn(path, c)
+	switch x := c.(type) {
+	case And:
+		walkPaths(x.Left, path+"l", fn)
+		walkPaths(x.Right, path+"r", fn)
+	case Or:
+		walkPaths(x.Left, path+"l", fn)
+		walkPaths(x.Right, path+"r", fn)
+	case Not:
+		walkPaths(x.C, path+"n", fn)
+	}
+}
+
+// SubclauseAt resolves a coverage path against a constraint tree,
+// returning the subformula the path addresses (false when the path
+// does not exist in this tree — a stale path from another policy).
+func SubclauseAt(c Constraint, path string) (Constraint, bool) {
+	for i := 0; i < len(path); i++ {
+		switch x := c.(type) {
+		case And:
+			switch path[i] {
+			case 'l':
+				c = x.Left
+			case 'r':
+				c = x.Right
+			default:
+				return nil, false
+			}
+		case Or:
+			switch path[i] {
+			case 'l':
+				c = x.Left
+			case 'r':
+				c = x.Right
+			default:
+				return nil, false
+			}
+		case Not:
+			if path[i] != 'n' {
+				return nil, false
+			}
+			c = x.C
+		default:
+			return nil, false
+		}
+	}
+	return c, true
+}
+
+// TraceLeafEval is the trace-scan leaf evaluator Attribute uses:
+// leaves are decided against the proof-backed history t. Exposed so
+// Cover can run the scan path with the engine's exact leaf semantics.
+func TraceLeafEval(t trace.Trace, pr ProofOracle) LeafEval {
+	if pr == nil {
+		pr = AllProven
+	}
+	return func(leaf Constraint) (Status, bool, string) {
+		switch x := leaf.(type) {
+		case TrueC:
+			return Satisfied, true, "constant T"
+		case FalseC:
+			return Violated, true, "constant F"
+		case Atom:
+			if i := firstMatch(t, x.A, 0, pr); i >= 0 {
+				return Satisfied, true, fmt.Sprintf("witnessed at history position %d", i)
+			}
+			return Pending, false, "no proof-backed occurrence yet"
+		case Ordered:
+			i := firstMatch(t, x.First, 0, pr)
+			if i < 0 {
+				return Pending, false, "first access not yet witnessed"
+			}
+			if j := firstMatch(t, x.Second, i+1, pr); j >= 0 {
+				return Satisfied, true, fmt.Sprintf("witnessed in order at positions %d and %d", i, j)
+			}
+			return Pending, false, fmt.Sprintf("first access witnessed at position %d, second still pending", i)
+		case Count:
+			n := countProven(t, x.Sel, pr)
+			return countLeaf(x, n)
+		}
+		return Pending, false, fmt.Sprintf("unknown construct %T", leaf)
+	}
+}
