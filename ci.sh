@@ -50,3 +50,14 @@ rm bench_smoke.txt
 # beyond 25% ns/op surface as CI warnings (benchdiff exits 0 on
 # warnings — a 1x smoke run is too noisy to gate on).
 go run ./cmd/benchdiff BENCH_pr4.json BENCH_pr5.json
+
+# Load smoke: a short scenario-matrix run over real TCP — one churn
+# and one hostile scenario against the coordinated engine and the RBAC
+# floor, time boxes capped to keep the whole smoke near ten seconds.
+# The summary diffs against the committed LOAD_pr6.json baseline:
+# drift warns at 50%, and a throughput collapse beyond 90% fails the
+# build (cross-machine load numbers are noisy, order-of-magnitude
+# slips are not).
+go run ./cmd/stacload -scenarios scenarios -systems stac,rbac \
+    -only churn,hostile -trials 1 -duration-cap 1s -out LOAD_pr6.new.json
+go run ./cmd/benchdiff -threshold 50 -fail-over 90 LOAD_pr6.json LOAD_pr6.new.json

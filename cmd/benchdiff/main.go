@@ -1,25 +1,39 @@
-// Command benchdiff compares two benchmark summary files (the
-// BENCH_prN.json artifacts ci.sh distils from the bench smoke run) and
-// reports per-benchmark deltas. Regressions beyond the threshold are
-// emitted as GitHub Actions "::warning::" annotations so CI surfaces
-// them without failing the build — a -benchtime=1x smoke run is too
-// noisy to gate on, but plenty to catch an order-of-magnitude slip.
+// Command benchdiff compares two performance summary files and reports
+// per-entry deltas. It understands two formats, auto-detected from the
+// file contents:
+//
+//   - bench summaries (JSON array) — the BENCH_prN.json artifacts
+//     ci.sh distils from the bench smoke run; compared by ns/op.
+//   - load summaries (JSON object with a "runs" array) — the
+//     LOAD_prN.json artifacts cmd/stacload emits; compared by
+//     throughput (ops/s drop) and tail latency (p99 rise) per
+//     (scenario, system) cell, trials averaged.
 //
 // Usage:
 //
-//	benchdiff [-threshold 25] old.json new.json
+//	benchdiff [-threshold 25] [-fail-over 0] old.json new.json
+//
+// Regressions beyond -threshold are emitted as GitHub Actions
+// "::warning::" annotations so CI surfaces them without failing the
+// build — smoke runs are too noisy to gate on tightly. When -fail-over
+// is set (> 0), a gating regression beyond that percentage makes
+// benchdiff exit non-zero, which is how CI turns an order-of-magnitude
+// slip into a hard failure while leaving noise-level drift as
+// warnings. Only ns/op and throughput gate; p99 rises warn but never
+// fail (tail latency on a shared CI box is too volatile to gate on).
 //
 // A missing old file is not an error (first run after a rename): the
-// tool notes it and exits 0. The exit status is 0 unless the inputs
-// are unreadable or malformed.
+// tool notes it and exits 0.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // benchResult mirrors one entry of the ci.sh bench summary.
@@ -29,16 +43,37 @@ type benchResult struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// delta is one compared benchmark.
-type delta struct {
-	Name     string
-	Old, New float64
-	// Pct is the ns/op change in percent (+ = slower).
-	Pct float64
+// loadRun mirrors one matrix cell of a cmd/stacload summary (only the
+// fields the diff needs).
+type loadRun struct {
+	Scenario       string  `json:"scenario"`
+	System         string  `json:"system"`
+	Trial          int     `json:"trial"`
+	ThroughputOpsS float64 `json:"throughput_ops_s"`
+	P99US          float64 `json:"p99_us"`
 }
 
-// compare matches results by name and computes ns/op deltas; it also
-// returns benchmarks present on only one side.
+// loadSummary is the envelope of a LOAD_*.json document.
+type loadSummary struct {
+	Schema int       `json:"schema"`
+	Runs   []loadRun `json:"runs"`
+}
+
+// delta is one compared entry. Pct is the regression in percent
+// (+ = worse): slower ns/op, lower throughput, higher p99. Gate marks
+// deltas -fail-over may fail the build on: ns/op and throughput
+// qualify, tail latency is warn-only (p99 on a shared CI box swings
+// several-fold run to run; throughput collapses are the real signal).
+type delta struct {
+	Name     string
+	Unit     string
+	Old, New float64
+	Pct      float64
+	Gate     bool
+}
+
+// compare matches bench results by name and computes ns/op deltas; it
+// also returns benchmarks present on only one side.
 func compare(old, new []benchResult) (deltas []delta, added, removed []string) {
 	oldBy := make(map[string]benchResult, len(old))
 	for _, b := range old {
@@ -52,7 +87,7 @@ func compare(old, new []benchResult) (deltas []delta, added, removed []string) {
 			added = append(added, b.Name)
 			continue
 		}
-		d := delta{Name: b.Name, Old: o.NsPerOp, New: b.NsPerOp}
+		d := delta{Name: b.Name, Unit: "ns/op", Old: o.NsPerOp, New: b.NsPerOp, Gate: true}
 		if o.NsPerOp > 0 {
 			d.Pct = (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 		}
@@ -66,67 +101,160 @@ func compare(old, new []benchResult) (deltas []delta, added, removed []string) {
 	return deltas, added, removed
 }
 
+// loadCell is the per-(scenario, system) aggregate of a load summary,
+// trials averaged.
+type loadCell struct {
+	throughput float64
+	p99        float64
+}
+
+func aggregateLoad(runs []loadRun) map[string]loadCell {
+	sums := map[string]loadCell{}
+	counts := map[string]int{}
+	for _, r := range runs {
+		key := r.Scenario + "/" + r.System
+		c := sums[key]
+		c.throughput += r.ThroughputOpsS
+		c.p99 += r.P99US
+		sums[key] = c
+		counts[key]++
+	}
+	for key, c := range sums {
+		n := float64(counts[key])
+		sums[key] = loadCell{throughput: c.throughput / n, p99: c.p99 / n}
+	}
+	return sums
+}
+
+// compareLoad diffs two load summaries cell by cell: a throughput drop
+// and a p99 rise are each one delta, both oriented so + = worse.
+func compareLoad(old, new []loadRun) (deltas []delta, added, removed []string) {
+	oldBy, newBy := aggregateLoad(old), aggregateLoad(new)
+	var keys []string
+	for key := range newBy {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		n := newBy[key]
+		o, ok := oldBy[key]
+		if !ok {
+			added = append(added, key)
+			continue
+		}
+		dt := delta{Name: key, Unit: "ops/s", Old: o.throughput, New: n.throughput, Gate: true}
+		if o.throughput > 0 {
+			dt.Pct = (o.throughput - n.throughput) / o.throughput * 100
+		}
+		dp := delta{Name: key, Unit: "p99us", Old: o.p99, New: n.p99}
+		if o.p99 > 0 {
+			dp.Pct = (n.p99 - o.p99) / o.p99 * 100
+		}
+		deltas = append(deltas, dt, dp)
+	}
+	var oldKeys []string
+	for key := range oldBy {
+		oldKeys = append(oldKeys, key)
+	}
+	sort.Strings(oldKeys)
+	for _, key := range oldKeys {
+		if _, ok := newBy[key]; !ok {
+			removed = append(removed, key)
+		}
+	}
+	return deltas, added, removed
+}
+
 // report renders the comparison; regressions beyond thresholdPct
-// become ::warning:: annotations. It returns the regression count.
-func report(w io.Writer, deltas []delta, added, removed []string, thresholdPct float64) int {
-	regressions := 0
+// become ::warning:: annotations. It returns the worst regression
+// percentage among gating deltas and the total regression count.
+func report(w io.Writer, deltas []delta, added, removed []string, thresholdPct float64) (worst float64, regressions int) {
 	for _, d := range deltas {
 		marker := " "
+		if d.Gate && d.Pct > worst {
+			worst = d.Pct
+		}
 		if d.Pct > thresholdPct {
 			marker = "!"
 			regressions++
-			fmt.Fprintf(w, "::warning title=bench regression::%s ns/op %+.1f%% (%.6g -> %.6g), threshold %g%%\n",
-				d.Name, d.Pct, d.Old, d.New, thresholdPct)
+			fmt.Fprintf(w, "::warning title=perf regression::%s %s %+.1f%% worse (%.6g -> %.6g), threshold %g%%\n",
+				d.Name, d.Unit, d.Pct, d.Old, d.New, thresholdPct)
 		}
-		fmt.Fprintf(w, "%s %-60s %12.6g -> %-12.6g %+7.1f%%\n", marker, d.Name, d.Old, d.New, d.Pct)
+		fmt.Fprintf(w, "%s %-54s %6s %12.6g -> %-12.6g %+7.1f%%\n",
+			marker, d.Name, d.Unit, d.Old, d.New, d.Pct)
 	}
 	for _, n := range added {
-		fmt.Fprintf(w, "+ %-60s (new benchmark)\n", n)
+		fmt.Fprintf(w, "+ %-60s (new entry)\n", n)
 	}
 	for _, n := range removed {
 		fmt.Fprintf(w, "- %-60s (removed)\n", n)
 	}
 	fmt.Fprintf(w, "# %d compared, %d regression(s) beyond %g%%, %d added, %d removed\n",
 		len(deltas), regressions, thresholdPct, len(added), len(removed))
-	return regressions
+	return worst, regressions
 }
 
-func load(path string) ([]benchResult, error) {
+// load reads one summary file, auto-detecting the format: a JSON array
+// is a bench summary, a JSON object with "runs" is a load summary.
+func load(path string) (bench []benchResult, runs []loadRun, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var out []benchResult
-	if err := json.Unmarshal(data, &out); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var s loadSummary
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if s.Runs == nil {
+			return nil, nil, fmt.Errorf("%s: JSON object without a \"runs\" array", path)
+		}
+		return nil, s.Runs, nil
 	}
-	return out, nil
+	if err := json.Unmarshal(data, &bench); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return bench, nil, nil
 }
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
-	threshold := fs.Float64("threshold", 25, "flag ns/op regressions beyond this percentage")
+	threshold := fs.Float64("threshold", 25, "warn about regressions beyond this percentage")
+	failOver := fs.Float64("fail-over", 0, "exit non-zero when a regression exceeds this percentage (0 = never fail)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: benchdiff [-threshold pct] old.json new.json")
+		return fmt.Errorf("usage: benchdiff [-threshold pct] [-fail-over pct] old.json new.json")
 	}
 	oldPath, newPath := fs.Arg(0), fs.Arg(1)
 	if _, err := os.Stat(oldPath); os.IsNotExist(err) {
 		fmt.Fprintf(w, "# no baseline %s — nothing to compare\n", oldPath)
 		return nil
 	}
-	old, err := load(oldPath)
+	oldBench, oldRuns, err := load(oldPath)
 	if err != nil {
 		return err
 	}
-	cur, err := load(newPath)
+	newBench, newRuns, err := load(newPath)
 	if err != nil {
 		return err
 	}
-	deltas, added, removed := compare(old, cur)
-	report(w, deltas, added, removed, *threshold)
+	var deltas []delta
+	var added, removed []string
+	switch {
+	case oldRuns != nil && newRuns != nil:
+		deltas, added, removed = compareLoad(oldRuns, newRuns)
+	case oldRuns == nil && newRuns == nil:
+		deltas, added, removed = compare(oldBench, newBench)
+	default:
+		return fmt.Errorf("cannot compare a bench summary against a load summary (%s vs %s)", oldPath, newPath)
+	}
+	worst, _ := report(w, deltas, added, removed, *threshold)
+	if *failOver > 0 && worst > *failOver {
+		return fmt.Errorf("worst regression %.1f%% exceeds -fail-over %g%%", worst, *failOver)
+	}
 	return nil
 }
 

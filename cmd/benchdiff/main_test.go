@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,14 +32,18 @@ func TestCompareFlagsRegressionsAndChurn(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if n := report(&buf, deltas, added, removed, 25); n != 1 {
+	worst, n := report(&buf, deltas, added, removed, 25)
+	if n != 1 {
 		t.Fatalf("regressions = %d, want 1\n%s", n, buf.String())
 	}
+	if worst < 49 || worst > 51 {
+		t.Fatalf("worst = %g, want ~50", worst)
+	}
 	out := buf.String()
-	if !strings.Contains(out, "::warning title=bench regression::BenchmarkSlow") {
+	if !strings.Contains(out, "::warning title=perf regression::BenchmarkSlow") {
 		t.Fatalf("no warning annotation:\n%s", out)
 	}
-	if strings.Contains(out, "::warning title=bench regression::BenchmarkFast") {
+	if strings.Contains(out, "::warning title=perf regression::BenchmarkFast") {
 		t.Fatalf("under-threshold delta flagged:\n%s", out)
 	}
 	if !strings.Contains(out, "1 regression(s) beyond 25%") {
@@ -101,5 +106,156 @@ func TestRunComparesFiles(t *testing.T) {
 	}
 	if err := run([]string{bad, newPath}, &buf); err == nil {
 		t.Fatal("malformed baseline accepted")
+	}
+}
+
+// --- -fail-over gating ------------------------------------------------
+
+func TestRunFailOverGatesBenchRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(`[{"name":"B","ns_per_op":100}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(`[{"name":"B","ns_per_op":300}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// +200% regression: beyond -fail-over 90 it must error...
+	err := run([]string{"-fail-over", "90", oldPath, newPath}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "exceeds -fail-over") {
+		t.Fatalf("fail-over did not gate: %v", err)
+	}
+	// ...below it (or with gating off) it must not.
+	if err := run([]string{"-fail-over", "250", oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("under fail-over errored: %v", err)
+	}
+	if err := run([]string{oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("fail-over unset errored: %v", err)
+	}
+}
+
+// --- load-summary mode ------------------------------------------------
+
+const loadOld = `{
+  "schema": 1,
+  "runs": [
+    {"scenario": "churn", "system": "stac", "trial": 0, "throughput_ops_s": 5000, "p99_us": 2000},
+    {"scenario": "churn", "system": "stac", "trial": 1, "throughput_ops_s": 6000, "p99_us": 2200},
+    {"scenario": "churn", "system": "rbac", "trial": 0, "throughput_ops_s": 12000, "p99_us": 900}
+  ]
+}`
+
+const loadNew = `{
+  "schema": 1,
+  "runs": [
+    {"scenario": "churn", "system": "stac", "trial": 0, "throughput_ops_s": 1000, "p99_us": 2100},
+    {"scenario": "churn", "system": "rbac", "trial": 0, "throughput_ops_s": 12500, "p99_us": 880},
+    {"scenario": "hostile", "system": "stac", "trial": 0, "throughput_ops_s": 800, "p99_us": 5000}
+  ]
+}`
+
+func TestCompareLoadThroughputAndTail(t *testing.T) {
+	var oldS, newS loadSummary
+	mustUnmarshal(t, loadOld, &oldS)
+	mustUnmarshal(t, loadNew, &newS)
+	deltas, added, removed := compareLoad(oldS.Runs, newS.Runs)
+	// churn/rbac and churn/stac each contribute ops/s + p99us deltas.
+	if len(deltas) != 4 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	byKey := map[string]delta{}
+	for _, d := range deltas {
+		byKey[d.Name+" "+d.Unit] = d
+	}
+	// churn/stac trials averaged: 5500 ops/s -> 1000 = ~81.8% drop.
+	d := byKey["churn/stac ops/s"]
+	if d.Pct < 81 || d.Pct > 83 {
+		t.Fatalf("churn/stac throughput drop = %+v", d)
+	}
+	// rbac got slightly faster: Pct must be negative (improvement).
+	if d := byKey["churn/rbac ops/s"]; d.Pct >= 0 {
+		t.Fatalf("churn/rbac improvement not negative: %+v", d)
+	}
+	if len(added) != 1 || added[0] != "hostile/stac" {
+		t.Fatalf("added = %v", added)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("removed = %v", removed)
+	}
+}
+
+func TestRunFailOverGatesLoadThroughput(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "LOAD_old.json")
+	newPath := filepath.Join(dir, "LOAD_new.json")
+	if err := os.WriteFile(oldPath, []byte(loadOld), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(loadNew), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-fail-over", "50", oldPath, newPath}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "exceeds -fail-over") {
+		t.Fatalf("throughput collapse not gated: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "churn/stac") {
+		t.Fatalf("report missing cell key:\n%s", buf.String())
+	}
+	// Warn-only when -fail-over is unset.
+	buf.Reset()
+	if err := run([]string{oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("warn-only run errored: %v", err)
+	}
+	if !strings.Contains(buf.String(), "::warning") {
+		t.Fatalf("no warning in warn-only mode:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsMixedFormats(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.json")
+	loadPath := filepath.Join(dir, "load.json")
+	if err := os.WriteFile(benchPath, []byte(`[{"name":"B","ns_per_op":1}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(loadPath, []byte(loadOld), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{benchPath, loadPath}, &buf); err == nil {
+		t.Fatal("mixed formats accepted")
+	}
+}
+
+func mustUnmarshal(t *testing.T, s string, v any) {
+	t.Helper()
+	if err := json.Unmarshal([]byte(s), v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFailOverIgnoresTailLatency: p99 swings on a shared CI box are
+// warn-only — only a throughput collapse may fail the build.
+func TestRunFailOverIgnoresTailLatency(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	oldDoc := `{"schema":1,"runs":[{"scenario":"s","system":"stac","throughput_ops_s":1000,"p99_us":100}]}`
+	newDoc := `{"schema":1,"runs":[{"scenario":"s","system":"stac","throughput_ops_s":990,"p99_us":10000}]}`
+	if err := os.WriteFile(oldPath, []byte(oldDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fail-over", "50", oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("100x p99 rise must not gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "::warning") {
+		t.Fatalf("p99 rise not even warned:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScenarioValidateDefaultsAndErrors(t *testing.T) {
+	s := Scenario{Name: "x"}
+	if err := s.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers != 4 || s.DurationMS != 2000 || s.Servers != 3 || s.Resources != 8 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.Policy.Flavor != "mixed" || s.Policy.Permissions != s.Resources {
+		t.Fatalf("policy defaults not applied: %+v", s.Policy)
+	}
+	if err := (&Scenario{}).validate(); err == nil {
+		t.Fatal("nameless scenario accepted")
+	}
+	bad := Scenario{Name: "x", Policy: PolicyAxis{Flavor: "quantum"}}
+	if err := bad.validate(); err == nil {
+		t.Fatal("unknown flavor accepted")
+	}
+}
+
+func TestLoadScenariosSortsAndRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("b.json", `{"name": "bravo"}`)
+	write("a.json", `{"name": "alpha"}`)
+	write("ignored.txt", "not a scenario")
+	got, err := loadScenarios(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "alpha" || got[1].Name != "bravo" {
+		t.Fatalf("scenarios = %+v", got)
+	}
+	write("c.json", `{"name": "c", "warp_factor": 9}`)
+	if _, err := loadScenarios(dir); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestCommittedScenariosParse(t *testing.T) {
+	got, err := loadScenarios("../../scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 8 {
+		t.Fatalf("only %d committed scenarios", len(got))
+	}
+	names := map[string]bool{}
+	for _, sc := range got {
+		if names[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+	}
+	for _, want := range []string{"churn", "hostile", "counts", "temporal"} {
+		if !names[want] {
+			t.Fatalf("committed scenario %q missing", want)
+		}
+	}
+}
+
+func TestFilterScenarios(t *testing.T) {
+	all := []Scenario{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	got, err := filterScenarios(all, "c, a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File order is preserved regardless of filter order.
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "c" {
+		t.Fatalf("filtered = %+v", got)
+	}
+	if _, err := filterScenarios(all, "a,ghost"); err == nil ||
+		!strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unknown scenario not reported: %v", err)
+	}
+	if got, _ := filterScenarios(all, ""); len(got) != 3 {
+		t.Fatal("empty filter must keep all")
+	}
+}
+
+func TestParseSystems(t *testing.T) {
+	got, err := parseSystems("stac, rbac")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("parseSystems: %v %v", got, err)
+	}
+	if _, err := parseSystems("stac,dac"); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	if _, err := parseSystems(","); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct{ p, want float64 }{
+		{50, 50}, {95, 100}, {99, 100}, {10, 10}, {0, 10}, {100, 100},
+	} {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Fatalf("p%g = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %g", got)
+	}
+}
+
+func TestAggregateFoldsWorkers(t *testing.T) {
+	workers := []workerStats{
+		{latUS: []float64{100, 300}, grants: 1, denies: 1, itineraries: 2},
+		{latUS: []float64{200}, grants: 1, rejects: 1, hostileRejects: 2, transport: 1, replays: 5, itineraries: 1},
+	}
+	r := aggregate("sc", "stac", 1, 2.0, workers, 42, 1<<20)
+	if r.Ops != 3 || r.Grants != 2 || r.Denies != 1 {
+		t.Fatalf("ops = %+v", r)
+	}
+	if r.Rejects != 3 || r.Transport != 1 || r.Replays != 5 || r.Itineraries != 3 {
+		t.Fatalf("tallies = %+v", r)
+	}
+	if r.ThroughputOpsS != 1.5 {
+		t.Fatalf("throughput = %g", r.ThroughputOpsS)
+	}
+	if r.P50US != 200 || r.MaxUS != 300 {
+		t.Fatalf("latencies = %+v", r)
+	}
+	if r.MaxGoroutines != 42 || r.MaxHeapBytes != 1<<20 {
+		t.Fatalf("peaks = %+v", r)
+	}
+}
+
+func TestWorkerStatsRecordExcludesTransportLatency(t *testing.T) {
+	var st workerStats
+	st.record(outGrant, 100*time.Microsecond)
+	st.record(outDeny, 200*time.Microsecond)
+	st.record(outReject, 300*time.Microsecond)
+	st.record(outErr, 400*time.Microsecond)
+	if len(st.latUS) != 3 {
+		t.Fatalf("latency samples = %d, want 3 (outErr excluded)", len(st.latUS))
+	}
+	if st.grants != 1 || st.denies != 1 || st.rejects != 1 || st.transport != 1 {
+		t.Fatalf("tallies = %+v", st)
+	}
+}
+
+func TestSummaryRoundTripsThroughJSON(t *testing.T) {
+	in := Summary{Schema: LoadSchemaVersion, Runs: []RunResult{{
+		Scenario: "churn", System: "stac", Ops: 10, ThroughputOpsS: 5,
+	}}}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Summary
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != in.Schema || len(out.Runs) != 1 || out.Runs[0].ThroughputOpsS != 5 {
+		t.Fatalf("round trip = %+v", out)
+	}
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"stac/internal/workload"
+)
+
+// A scenario file is one cell-row of the load matrix: a JSON document
+// describing the traffic shape (workers, itineraries, churn), the
+// policy axis (size, constraint flavour), the fault axis (injected
+// network latency/resets via internal/faults) and the hostile axis
+// (malformed frames, oversize lines, replay floods). One scenario runs
+// against every selected system, so the axes — not the system — define
+// the workload.
+
+// Scenario is the schema of one scenario file.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Seed drives every generator in the scenario (itinerary plans,
+	// fault schedules). Same seed, same traffic — byte-identical plans
+	// are guaranteed by the workload golden tests.
+	Seed int64 `json:"seed"`
+	// Workers is the concurrent client count.
+	Workers int `json:"workers"`
+	// DurationMS time-boxes one trial (open loop: workers run
+	// itineraries until the box closes).
+	DurationMS int `json:"duration_ms"`
+	// ThinkTimeMS sleeps between accesses (0 = closed loop at full
+	// speed).
+	ThinkTimeMS int `json:"think_time_ms,omitempty"`
+
+	// Servers and Resources size the coalition and its shared state.
+	Servers   int `json:"servers"`
+	Resources int `json:"resources"`
+
+	// ItineraryLen and AccessesPerHop shape each itinerary: hops per
+	// tour and accesses per hop. Long-lived tours stress carried proof
+	// history; single-hop tours are bursts.
+	ItineraryLen   int `json:"itinerary_len"`
+	AccessesPerHop int `json:"accesses_per_hop"`
+	// Churn, when true, departs and re-arrives on every hop (connection
+	// and subject churn storms). When false, workers keep one
+	// authenticated connection per server for the whole run.
+	Churn bool `json:"churn"`
+	// ProofHistory caps the proof history carried across itineraries:
+	// 0 drops proofs between itineraries, N carries them until the
+	// history reaches N proofs and then resets. Larger caps stress the
+	// history-verification and deep-copy paths.
+	ProofHistory int `json:"proof_history,omitempty"`
+
+	Policy  PolicyAxis  `json:"policy"`
+	Faults  FaultAxis   `json:"faults,omitempty"`
+	Hostile HostileAxis `json:"hostile,omitempty"`
+}
+
+// PolicyAxis sizes the generated policy.
+type PolicyAxis struct {
+	// Permissions is the total permission count (>= Resources; the
+	// surplus is ballast that scales the active permission set).
+	Permissions int `json:"permissions"`
+	// Flavor is count | temporal | mixed (workload.Flavor*).
+	Flavor string `json:"flavor"`
+	// CountMax is the counting ceiling of count-flavoured permissions.
+	CountMax int `json:"count_max,omitempty"`
+	// DurationS is the validity duration of temporal-flavoured
+	// permissions in seconds.
+	DurationS float64 `json:"duration_s,omitempty"`
+}
+
+// FaultAxis configures deterministic network fault injection on the
+// client side (internal/faults wraps every worker dial).
+type FaultAxis struct {
+	// DelayProb delays each I/O op with this probability…
+	DelayProb float64 `json:"delay_prob,omitempty"`
+	// …by up to MaxDelayMS milliseconds.
+	MaxDelayMS int `json:"max_delay_ms,omitempty"`
+	// ReadResetProb / WriteResetProb tear connections mid-request;
+	// workers count the failures and re-dial.
+	ReadResetProb  float64 `json:"read_reset_prob,omitempty"`
+	WriteResetProb float64 `json:"write_reset_prob,omitempty"`
+}
+
+func (f FaultAxis) enabled() bool {
+	return f.DelayProb > 0 || f.ReadResetProb > 0 || f.WriteResetProb > 0
+}
+
+// HostileAxis configures protocol-hostile client behaviour, per worker
+// per itinerary: raw malformed JSON frames, oversize lines beyond the
+// daemon's cap, and idempotency-key replay floods.
+type HostileAxis struct {
+	Malformed   int `json:"malformed,omitempty"`
+	Oversize    int `json:"oversize,omitempty"`
+	ReplayFlood int `json:"replay_flood,omitempty"`
+}
+
+func (h HostileAxis) enabled() bool {
+	return h.Malformed > 0 || h.Oversize > 0 || h.ReplayFlood > 0
+}
+
+// validate applies defaults and rejects nonsense.
+func (s *Scenario) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario without a name")
+	}
+	if s.Workers <= 0 {
+		s.Workers = 4
+	}
+	if s.DurationMS <= 0 {
+		s.DurationMS = 2000
+	}
+	if s.Servers <= 0 {
+		s.Servers = 3
+	}
+	if s.Resources <= 0 {
+		s.Resources = 8
+	}
+	if s.ItineraryLen <= 0 {
+		s.ItineraryLen = 3
+	}
+	if s.AccessesPerHop <= 0 {
+		s.AccessesPerHop = 2
+	}
+	if s.Policy.Permissions < s.Resources {
+		s.Policy.Permissions = s.Resources
+	}
+	switch s.Policy.Flavor {
+	case workload.FlavorCount, workload.FlavorTemporal, workload.FlavorMixed:
+	case "":
+		s.Policy.Flavor = workload.FlavorMixed
+	default:
+		return fmt.Errorf("scenario %s: unknown policy flavor %q", s.Name, s.Policy.Flavor)
+	}
+	return nil
+}
+
+// policySpec maps the scenario to the workload policy generator.
+func (s Scenario) policySpec() workload.PolicySpec {
+	return workload.PolicySpec{
+		Workers:     s.Workers,
+		Servers:     s.Servers,
+		Resources:   s.Resources,
+		Permissions: s.Policy.Permissions,
+		Flavor:      s.Policy.Flavor,
+		CountMax:    s.Policy.CountMax,
+		DurationS:   s.Policy.DurationS,
+	}
+}
+
+// loadScenarios reads every *.json file under dir, sorted by file
+// name, and validates each.
+func loadScenarios(dir string) ([]Scenario, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("stacload: scenarios: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("stacload: no *.json scenarios in %s", dir)
+	}
+	var out []Scenario
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, fmt.Errorf("stacload: %s: %w", n, err)
+		}
+		var sc Scenario
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sc); err != nil {
+			return nil, fmt.Errorf("stacload: %s: %w", n, err)
+		}
+		if err := sc.validate(); err != nil {
+			return nil, fmt.Errorf("stacload: %s: %w", n, err)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// filterScenarios keeps the named scenarios (comma-separated), in
+// their file order; an empty filter keeps all.
+func filterScenarios(all []Scenario, only string) ([]Scenario, error) {
+	if only == "" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(only, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	var out []Scenario
+	for _, sc := range all {
+		if want[sc.Name] {
+			out = append(out, sc)
+			delete(want, sc.Name)
+		}
+	}
+	if len(want) > 0 {
+		var missing []string
+		for n := range want {
+			missing = append(missing, n)
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("stacload: unknown scenario(s): %s", strings.Join(missing, ", "))
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net"
+	"time"
+
+	"stac/internal/model"
+	"stac/internal/proof"
+	"stac/internal/workload"
+)
+
+// The worker loop: each worker cycles through its deterministic
+// itinerary plan until the trial's time box closes. With churn, every
+// hop is a fresh arrive/access/depart cycle (connection and subject
+// storms); without, the worker keeps one authenticated session per
+// server and only the traffic moves. Carried proofs accumulate across
+// hops up to the scenario's proof-history cap, so long caps drive the
+// engine's history-verification and copy costs exactly like a
+// long-roaming device would.
+
+// workerStats is one worker's tally; workers are single-threaded so no
+// locking is needed until aggregation.
+type workerStats struct {
+	// latUS holds one round-trip latency sample (microseconds) per
+	// measured access — grants and denies both; a deny is a decision,
+	// not a failure.
+	latUS []float64
+
+	grants, denies, rejects, transport int
+	// replays counts answered replay-flood requests, kept out of the
+	// latency samples (a dedup cache hit is not a decision).
+	replays int
+	// hostileRejects counts structured rejects provoked on purpose
+	// (malformed frames, oversize lines).
+	hostileRejects int
+	// itineraries counts completed tours.
+	itineraries int
+}
+
+func (st *workerStats) record(o outcome, lat time.Duration) {
+	switch o {
+	case outGrant:
+		st.grants++
+	case outDeny:
+		st.denies++
+	case outReject:
+		st.rejects++
+	case outErr:
+		st.transport++
+		return // transport failures carry no decision latency
+	}
+	st.latUS = append(st.latUS, float64(lat.Nanoseconds())/1e3)
+}
+
+// runWorker drives one worker until ctx closes.
+func runWorker(ctx context.Context, sys system, sc Scenario, w int, st *workerStats) {
+	v := workload.DefaultVocabulary(sc.Servers, sc.Resources)
+	plan := workload.WorkerPlan(sc.Seed, w, v, sc.ItineraryLen, sc.AccessesPerHop)
+	serverIdx := make(map[model.ServerID]int, sc.Servers)
+	for i, id := range serverIDs(sc.Servers) {
+		serverIdx[id] = i
+	}
+	think := time.Duration(sc.ThinkTimeMS) * time.Millisecond
+
+	// Without churn, sessions persist across hops and itineraries.
+	cached := make(map[int]hopConn)
+	defer func() {
+		for _, c := range cached {
+			c.close(true)
+		}
+	}()
+	// carried is the proof history travelling with the worker's
+	// current tour.
+	var carried []proof.Proof
+
+	for ctx.Err() == nil {
+		for _, hop := range plan.Hops {
+			if ctx.Err() != nil {
+				return
+			}
+			si := serverIdx[hop.Server]
+			var conn hopConn
+			var err error
+			if sc.Churn {
+				conn, err = sys.connect(w, si)
+			} else if conn = cached[si]; conn == nil {
+				conn, err = sys.connect(w, si)
+				if err == nil {
+					cached[si] = conn
+				}
+			}
+			if err != nil {
+				st.transport++
+				continue // next hop; the dial may recover
+			}
+			conn.importProofs(carried)
+			for _, res := range hop.Resources {
+				if ctx.Err() != nil {
+					break
+				}
+				start := time.Now()
+				o, _ := conn.access(model.OpRead, res)
+				st.record(o, time.Since(start))
+				if o == outErr {
+					// The connection is torn; drop it and move on.
+					conn.close(false)
+					if !sc.Churn {
+						delete(cached, si)
+					}
+					conn = nil
+					break
+				}
+				if think > 0 {
+					sleepCtx(ctx, think)
+				}
+			}
+			if conn != nil {
+				carried = conn.proofs()
+				if sc.Churn {
+					conn.close(true)
+				}
+			}
+		}
+		st.itineraries++
+		if sc.ProofHistory <= 0 || len(carried) > sc.ProofHistory {
+			// History cap reached (or carrying disabled): the next tour
+			// starts fresh, like a newly arrived device.
+			carried = nil
+		}
+		if sc.Hostile.enabled() {
+			runHostile(ctx, sys, sc, w, st)
+			carried = nil
+		}
+	}
+}
+
+// runHostile is the protocol-hostile tail of an itinerary: raw
+// malformed frames, oversize lines and a replay flood. Every hostile
+// exchange expects a structured answer (or a clean close) from the
+// daemon — a hang or a crash shows up as transport errors and, in the
+// e2e tests, as a failed leak check.
+func runHostile(ctx context.Context, sys system, sc Scenario, w int, st *workerStats) {
+	addr := sys.addr(w)
+	for i := 0; i < sc.Hostile.Malformed && ctx.Err() == nil; i++ {
+		if sendRawFrame(addr, []byte(`{"type":"access","op":`+"\n")) {
+			st.hostileRejects++
+		} else {
+			st.transport++
+		}
+	}
+	if sc.Hostile.Oversize > 0 {
+		// One line beyond the daemon's cap; the reject must arrive
+		// before the connection closes.
+		line := bytes.Repeat([]byte("a"), daemonMaxLineBytes+1024)
+		line = append(line, '\n')
+		for i := 0; i < sc.Hostile.Oversize && ctx.Err() == nil; i++ {
+			if sendRawFrame(addr, line) {
+				st.hostileRejects++
+			} else {
+				st.transport++
+			}
+		}
+	}
+	if n := sc.Hostile.ReplayFlood; n > 0 && ctx.Err() == nil {
+		res := model.ResourceID("f1")
+		answered, err := sys.replayFlood(w, w%sys.numServers(), res, n)
+		st.replays += answered
+		if err != nil {
+			st.transport++
+		}
+	}
+}
+
+// sendRawFrame dials addr, writes one raw frame and reports whether a
+// response line came back (the structured reject) before the peer
+// closed the connection.
+func sendRawFrame(addr string, frame []byte) bool {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write(frame); err != nil {
+		return false
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	return err == nil && len(line) > 0
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,131 @@
+package baseline
+
+// The common harness interface of the load generator (cmd/stacload):
+// every comparison system — plain RBAC, the TRBAC and GTRBAC
+// simulators, and the coordinated engine itself on the stacload side —
+// answers the same point-in-time authorisation question, so one worker
+// loop can drive them all under identical traffic and the resulting
+// throughput/latency tables compare like with like.
+
+import (
+	"fmt"
+
+	"stac/internal/model"
+	"stac/internal/rbac"
+)
+
+// AccessRequest is one authorisation question posed to a comparison
+// system: may User perform Op on Resource at Server, T seconds after
+// the scenario epoch?
+type AccessRequest struct {
+	User     string           `json:"user"`
+	Op       model.Operation  `json:"op"`
+	Resource model.ResourceID `json:"resource"`
+	Server   model.ServerID   `json:"server"`
+	T        float64          `json:"t"`
+}
+
+// Access renders the request as the model's access tuple.
+func (r AccessRequest) Access() model.Access {
+	return model.Access{
+		Object:   model.ObjectID(r.User),
+		Op:       r.Op,
+		Resource: r.Resource,
+		Server:   r.Server,
+	}
+}
+
+// Decision is a comparison system's answer.
+type Decision struct {
+	Granted bool   `json:"granted"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// Authorizer is the harness interface: a named system answering access
+// requests. Implementations must be safe for concurrent use — the
+// load harness calls Authorize from many worker connections at once.
+type Authorizer interface {
+	Name() string
+	Authorize(AccessRequest) Decision
+}
+
+// --- plain RBAC ------------------------------------------------------
+
+// RBACAuthorizer answers from a plain RBAC system: granted iff some
+// authorized role of the user carries a covering permission. It has no
+// temporal or spatio-temporal dimension at all — the floor of the
+// comparison.
+type RBACAuthorizer struct {
+	Sys *rbac.System
+}
+
+// Name implements Authorizer.
+func (a RBACAuthorizer) Name() string { return "rbac" }
+
+// Authorize implements Authorizer.
+func (a RBACAuthorizer) Authorize(req AccessRequest) Decision {
+	acc := req.Access()
+	for _, role := range a.Sys.AuthorizedRoles(rbac.UserID(req.User)) {
+		for _, p := range a.Sys.RolePermissions(role) {
+			if p.Covers(acc) {
+				return Decision{Granted: true}
+			}
+		}
+	}
+	return Decision{Reason: "rbac: no authorized role carries a covering permission"}
+}
+
+// --- TRBAC / GTRBAC ---------------------------------------------------
+
+// PermNamer maps an access request to the permission identifier the
+// role structure grants; nil defaults to the resource name.
+type PermNamer func(AccessRequest) string
+
+func permName(f PermNamer, req AccessRequest) string {
+	if f != nil {
+		return f(req)
+	}
+	return string(req.Resource)
+}
+
+// TRBACAuthorizer answers from the TRBAC simulator: granted iff some
+// role enabled at T grants the permission. Role enabling is an
+// absolute periodic calendar — accumulated per-object budgets and
+// counting ceilings are inexpressible, which is exactly the gap the
+// scenario matrix measures.
+type TRBACAuthorizer struct {
+	Sim     *TRBACSim
+	PermFor PermNamer
+}
+
+// Name implements Authorizer.
+func (a TRBACAuthorizer) Name() string { return "trbac" }
+
+// Authorize implements Authorizer.
+func (a TRBACAuthorizer) Authorize(req AccessRequest) Decision {
+	perm := permName(a.PermFor, req)
+	if a.Sim.HoldsAt(perm, req.T) {
+		return Decision{Granted: true}
+	}
+	return Decision{Reason: fmt.Sprintf("trbac: no enabled role grants %q at t=%g", perm, req.T)}
+}
+
+// GTRBACAuthorizer answers from the GTRBAC simulator: granted iff some
+// role enabled at T is assigned to the user and grants the permission,
+// with both assignment windows active.
+type GTRBACAuthorizer struct {
+	Sim     *GTRBACSim
+	PermFor PermNamer
+}
+
+// Name implements Authorizer.
+func (a GTRBACAuthorizer) Name() string { return "gtrbac" }
+
+// Authorize implements Authorizer.
+func (a GTRBACAuthorizer) Authorize(req AccessRequest) Decision {
+	perm := permName(a.PermFor, req)
+	if a.Sim.HoldsAt(req.User, perm, req.T) {
+		return Decision{Granted: true}
+	}
+	return Decision{Reason: fmt.Sprintf("gtrbac: %s does not hold %q at t=%g", req.User, perm, req.T)}
+}

@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"stac/internal/model"
+	"stac/internal/rbac"
+)
+
+func req(user string, res model.ResourceID, t float64) AccessRequest {
+	return AccessRequest{User: user, Op: model.OpRead, Resource: res, Server: "s1", T: t}
+}
+
+func TestRBACAuthorizer(t *testing.T) {
+	sys := rbac.NewSystem()
+	if err := sys.AddUser("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddRole("reader"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AssignUserRole("alice", "reader"); err != nil {
+		t.Fatal(err)
+	}
+	p := rbac.Permission{ID: "p-f1", Resource: "f1"}
+	if err := sys.AddPermission(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.GrantPermission("reader", p.ID); err != nil {
+		t.Fatal(err)
+	}
+	a := RBACAuthorizer{Sys: sys}
+	if a.Name() != "rbac" {
+		t.Fatalf("name = %q", a.Name())
+	}
+	if d := a.Authorize(req("alice", "f1", 0)); !d.Granted {
+		t.Fatalf("covered access denied: %+v", d)
+	}
+	// Time is invisible to plain RBAC: same answer much later.
+	if d := a.Authorize(req("alice", "f1", 1e6)); !d.Granted {
+		t.Fatalf("rbac became time-sensitive: %+v", d)
+	}
+	if d := a.Authorize(req("alice", "f2", 0)); d.Granted || d.Reason == "" {
+		t.Fatalf("uncovered access granted: %+v", d)
+	}
+	if d := a.Authorize(req("mallory", "f1", 0)); d.Granted {
+		t.Fatalf("unknown user granted: %+v", d)
+	}
+}
+
+func TestTRBACAuthorizerWindows(t *testing.T) {
+	sim, err := NewTRBACSim([]TRBACRoleSpec{
+		// Open the first half of every 10-second cycle.
+		{Name: "shift", Enable: Periodic{Start: 0, Duration: 5, Period: 10}, Granted: []string{"p-f1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := TRBACAuthorizer{Sim: sim, PermFor: func(r AccessRequest) string {
+		return "p-" + string(r.Resource)
+	}}
+	if a.Name() != "trbac" {
+		t.Fatalf("name = %q", a.Name())
+	}
+	if d := a.Authorize(req("anyone", "f1", 2)); !d.Granted {
+		t.Fatalf("in-window access denied: %+v", d)
+	}
+	if d := a.Authorize(req("anyone", "f1", 7)); d.Granted {
+		t.Fatalf("out-of-window access granted: %+v", d)
+	}
+	// Next cycle re-opens.
+	if d := a.Authorize(req("anyone", "f1", 12)); !d.Granted {
+		t.Fatalf("next-cycle access denied: %+v", d)
+	}
+	if d := a.Authorize(req("anyone", "f9", 2)); d.Granted {
+		t.Fatalf("ungranted permission allowed: %+v", d)
+	}
+}
+
+func TestTRBACAuthorizerDefaultPermNamer(t *testing.T) {
+	sim, err := NewTRBACSim([]TRBACRoleSpec{
+		{Name: "r", Enable: Always, Granted: []string{"f1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := TRBACAuthorizer{Sim: sim} // nil PermFor: resource name is the permission
+	if d := a.Authorize(req("anyone", "f1", 0)); !d.Granted {
+		t.Fatalf("default perm namer: %+v", d)
+	}
+}
+
+func TestGTRBACAuthorizerUserSensitive(t *testing.T) {
+	sim := NewGTRBACSim()
+	if err := sim.AddRole("shift", Periodic{Start: 0, Duration: 5, Period: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AssignUser("alice", "shift", Always); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.GrantPermission("shift", "p-f1", Always); err != nil {
+		t.Fatal(err)
+	}
+	a := GTRBACAuthorizer{Sim: sim, PermFor: func(r AccessRequest) string {
+		return "p-" + string(r.Resource)
+	}}
+	if a.Name() != "gtrbac" {
+		t.Fatalf("name = %q", a.Name())
+	}
+	if d := a.Authorize(req("alice", "f1", 2)); !d.Granted {
+		t.Fatalf("in-window assigned access denied: %+v", d)
+	}
+	if d := a.Authorize(req("alice", "f1", 7)); d.Granted {
+		t.Fatalf("out-of-window access granted: %+v", d)
+	}
+	// Unlike TRBAC, GTRBAC knows who is asking.
+	if d := a.Authorize(req("mallory", "f1", 2)); d.Granted {
+		t.Fatalf("unassigned user granted: %+v", d)
+	}
+	if d := a.Authorize(req("mallory", "f1", 2)); !strings.Contains(d.Reason, "mallory") {
+		t.Fatalf("deny reason does not name the user: %+v", d)
+	}
+}

@@ -1,0 +1,237 @@
+package baseline
+
+// A minimal TCP front for an Authorizer, speaking the same JSON-lines
+// discipline as the coalition daemon (one request object per line, one
+// response object per line). The load harness serves every baseline
+// behind this shim so that RBAC/TRBAC/GTRBAC numbers include the same
+// network, framing and JSON costs the coordinated engine pays —
+// comparing an in-process map lookup against a TCP round trip would
+// flatter the baselines for free.
+//
+// Like the coalition daemon, malformed and oversized lines get a
+// structured error response before the connection closes; the shim
+// assumes a hostile network and bounds every read.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// HarnessMaxLineBytes caps one request or response line on the
+// baseline shim (identical to the cap stacload configures on the
+// coalition daemons so hostile oversize frames cost both sides alike).
+const HarnessMaxLineBytes = 64 << 10
+
+// harnessResponse is the wire reply: the decision plus a transport
+// error slot for malformed input.
+type harnessResponse struct {
+	Decision
+	Error string `json:"error,omitempty"`
+}
+
+// HarnessDaemon serves one Authorizer over TCP.
+type HarnessDaemon struct {
+	auth Authorizer
+	ln   net.Listener
+
+	readTimeout time.Duration
+	mu          sync.Mutex
+	conns       map[net.Conn]struct{}
+	closed      bool
+	wg          sync.WaitGroup
+}
+
+// ServeAuthorizer binds addr (e.g. "127.0.0.1:0") and serves a until
+// Close. It returns the daemon and the bound address.
+func ServeAuthorizer(a Authorizer, addr string) (*HarnessDaemon, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("baseline: listen: %w", err)
+	}
+	d := &HarnessDaemon{
+		auth:        a,
+		ln:          ln,
+		readTimeout: 2 * time.Minute,
+		conns:       make(map[net.Conn]struct{}),
+	}
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return d, ln.Addr().String(), nil
+}
+
+func (d *HarnessDaemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			conn.Close()
+			return
+		}
+		d.conns[conn] = struct{}{}
+		d.mu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serveConn(conn)
+		}()
+	}
+}
+
+func (d *HarnessDaemon) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		d.mu.Lock()
+		delete(d.conns, conn)
+		d.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		if d.readTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(d.readTimeout))
+		}
+		line, err := readHarnessLine(br, HarnessMaxLineBytes)
+		if err != nil {
+			if errors.Is(err, errHarnessLineTooLong) {
+				d.reply(conn, harnessResponse{Error: fmt.Sprintf(
+					"request exceeds %d-byte limit", HarnessMaxLineBytes)})
+			}
+			return
+		}
+		var req AccessRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			d.reply(conn, harnessResponse{Error: "malformed request: " + err.Error()})
+			return
+		}
+		if !d.reply(conn, harnessResponse{Decision: d.auth.Authorize(req)}) {
+			return
+		}
+	}
+}
+
+func (d *HarnessDaemon) reply(conn net.Conn, resp harnessResponse) bool {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return false
+	}
+	b = append(b, '\n')
+	_ = conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	_, err = conn.Write(b)
+	return err == nil
+}
+
+// Close stops accepting, wakes idle readers and waits for every
+// connection handler to drain.
+func (d *HarnessDaemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	for conn := range d.conns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	d.mu.Unlock()
+	err := d.ln.Close()
+	d.wg.Wait()
+	return err
+}
+
+var errHarnessLineTooLong = errors.New("baseline: request line exceeds limit")
+
+// readHarnessLine mirrors the coalition daemon's bounded line reader:
+// it distinguishes an oversized line from a transport error so the
+// shim can answer with a structured reject.
+func readHarnessLine(r *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if len(line) > max {
+			return line, errHarnessLineTooLong
+		}
+		switch err {
+		case nil:
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return line, err
+		}
+	}
+}
+
+// HarnessServerError is a structured reject the harness daemon
+// answered with (malformed or oversized input) — the shim's
+// counterpart of the coalition transport's ServerError, distinct from
+// a transport failure.
+type HarnessServerError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *HarnessServerError) Error() string { return "baseline: server: " + e.Msg }
+
+// HarnessClient is the worker side of the shim: one connection, one
+// in-flight request at a time.
+type HarnessClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+	mu   sync.Mutex
+}
+
+// DialHarness connects to a harness daemon. A nil dial uses
+// net.Dial("tcp", addr) — the load harness passes a fault-injected
+// dialer here to subject baselines to the same network faults.
+func DialHarness(addr string, dial func(addr string) (net.Conn, error)) (*HarnessClient, error) {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: dial %s: %w", addr, err)
+	}
+	return &HarnessClient{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// Authorize performs one request/response round trip. A Decision with
+// Granted=false and a nil error is a deny the system actually decided;
+// a non-nil error is a transport or protocol failure.
+func (c *HarnessClient) Authorize(req AccessRequest) (Decision, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, err := json.Marshal(req)
+	if err != nil {
+		return Decision{}, fmt.Errorf("baseline: encode: %w", err)
+	}
+	b = append(b, '\n')
+	_ = c.conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if _, err := c.conn.Write(b); err != nil {
+		return Decision{}, fmt.Errorf("baseline: send: %w", err)
+	}
+	line, err := readHarnessLine(c.br, HarnessMaxLineBytes)
+	if err != nil {
+		return Decision{}, fmt.Errorf("baseline: recv: %w", err)
+	}
+	var resp harnessResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return Decision{}, fmt.Errorf("baseline: decode: %w", err)
+	}
+	if resp.Error != "" {
+		return Decision{}, &HarnessServerError{Msg: resp.Error}
+	}
+	return resp.Decision, nil
+}
+
+// Close closes the connection.
+func (c *HarnessClient) Close() error { return c.conn.Close() }

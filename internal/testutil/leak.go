@@ -1,0 +1,86 @@
+// Package testutil holds small helpers shared by the integration and
+// end-to-end test suites. Its centrepiece is a TestMain-level resource
+// leak check: a package that opts in fails its test binary when, after
+// all tests pass, the process retains more goroutines or open file
+// descriptors than it started with. Per-test leak assertions catch the
+// loud leaks; this catches the slow drip a suite of TCP daemons,
+// watchers and load workers can accumulate across tests.
+package testutil
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+const (
+	// goroutineSlack tolerates the handful of goroutines the testing
+	// machinery and runtime keep alive after m.Run returns.
+	goroutineSlack = 4
+	// fdSlack tolerates descriptors the test framework itself holds
+	// (coverage/profile outputs, std streams).
+	fdSlack = 8
+	// drainGrace is how long the check waits for background handlers
+	// to unwind before declaring a leak.
+	drainGrace = 5 * time.Second
+)
+
+// Main wraps testing.M.Run with the leak check: call it from a
+// package's TestMain. The baseline is captured before any test runs;
+// after a fully passing run the process must drain back to it (within
+// the slack constants) before the grace expires. A failing test run is
+// reported as-is — leak noise on top of a real failure only obscures
+// it.
+func Main(m *testing.M) {
+	g0 := runtime.NumGoroutine()
+	f0 := openFDs()
+	code := m.Run()
+	if code == 0 {
+		if msg := Leaked(g0, f0, drainGrace); msg != "" {
+			fmt.Fprintln(os.Stderr, "testutil: "+msg)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Leaked polls until the process drains to the given goroutine and FD
+// baselines (plus slack) or the grace expires, returning "" on a clean
+// drain and a description of the leak otherwise. A negative fdBaseline
+// disables the FD check (platforms without /proc).
+func Leaked(goroutineBaseline, fdBaseline int, grace time.Duration) string {
+	// Idle keep-alive connections parked in the default HTTP transport
+	// are live FDs and goroutines, but they are cache, not leaks.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(grace)
+	for {
+		g := runtime.NumGoroutine()
+		f := openFDs()
+		gOK := g <= goroutineBaseline+goroutineSlack
+		fOK := fdBaseline < 0 || f < 0 || f <= fdBaseline+fdSlack
+		if gOK && fOK {
+			return ""
+		}
+		if time.Now().After(deadline) {
+			return fmt.Sprintf(
+				"resource leak after tests: goroutines %d (baseline %d, slack %d), open fds %d (baseline %d, slack %d)",
+				g, goroutineBaseline, goroutineSlack, f, fdBaseline, fdSlack)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// openFDs counts the process's open file descriptors via /proc
+// (Linux). It returns -1 where that interface is unavailable, which
+// disables the FD half of the check.
+func openFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	// The ReadDir itself holds one descriptor for the directory.
+	return len(ents) - 1
+}

@@ -1,0 +1,94 @@
+package testutil
+
+import (
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLeakedCleanProcessDrains(t *testing.T) {
+	if msg := Leaked(runtime.NumGoroutine(), openFDs(), time.Second); msg != "" {
+		t.Fatalf("clean process reported as leaking: %s", msg)
+	}
+}
+
+func TestLeakedDetectsGoroutineLeak(t *testing.T) {
+	g0 := runtime.NumGoroutine()
+	stop := make(chan struct{})
+	defer close(stop)
+	// Pin goroutines beyond the slack.
+	for i := 0; i < goroutineSlack+2; i++ {
+		go func() { <-stop }()
+	}
+	msg := Leaked(g0, -1, 100*time.Millisecond)
+	if !strings.Contains(msg, "resource leak") {
+		t.Fatalf("leak not detected: %q", msg)
+	}
+}
+
+func TestLeakedDetectsFDLeak(t *testing.T) {
+	f0 := openFDs()
+	if f0 < 0 {
+		t.Skip("no /proc/self/fd on this platform")
+	}
+	var mu sync.Mutex
+	var conns []net.Conn
+	hold := func(c net.Conn) {
+		mu.Lock()
+		conns = append(conns, c)
+		mu.Unlock()
+	}
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			hold(c)
+		}
+	}()
+	// Each dialled connection holds an FD on our side too.
+	for i := 0; i < fdSlack+4; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hold(c)
+	}
+	// Generous goroutine baseline so only the FD half can trip.
+	msg := Leaked(runtime.NumGoroutine()+100, f0, 100*time.Millisecond)
+	if !strings.Contains(msg, "resource leak") {
+		t.Fatalf("fd leak not detected: %q", msg)
+	}
+}
+
+func TestLeakedWaitsForDrain(t *testing.T) {
+	g0 := runtime.NumGoroutine()
+	done := make(chan struct{})
+	for i := 0; i < goroutineSlack+2; i++ {
+		go func() {
+			time.Sleep(150 * time.Millisecond)
+			<-done
+		}()
+	}
+	close(done)
+	// The goroutines unwind inside the grace window: no leak.
+	if msg := Leaked(g0, -1, 3*time.Second); msg != "" {
+		t.Fatalf("draining goroutines reported as leak: %s", msg)
+	}
+}

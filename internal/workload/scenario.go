@@ -1,0 +1,234 @@
+package workload
+
+// Scenario-matrix generators for the load harness (cmd/stacload): a
+// policy generator parameterised by size and constraint flavour, and
+// per-worker itinerary plans. Everything here is a pure function of
+// its inputs — the same spec and seed produce byte-identical output on
+// every run and under every GOMAXPROCS value, which the golden-seed
+// tests pin down. That determinism is what makes a scenario file a
+// reproducible experiment rather than a one-off traffic shape.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"stac/internal/model"
+)
+
+// Constraint flavours of a generated load policy.
+const (
+	// FlavorCount attaches a counting ceiling to every covering
+	// permission (count-heavy scenarios: denials appear when carried
+	// histories reach the ceiling).
+	FlavorCount = "count"
+	// FlavorTemporal attaches a validity duration to every covering
+	// permission (temporal-heavy scenarios: denials appear when a
+	// subject outlives its budget).
+	FlavorTemporal = "temporal"
+	// FlavorMixed alternates counting and temporal clauses and gives
+	// ballast permissions both.
+	FlavorMixed = "mixed"
+)
+
+// PolicySpec sizes a generated load policy. The generated policy is a
+// deterministic function of the spec alone.
+type PolicySpec struct {
+	// Workers is the number of load users (w0..wN-1), all assigned one
+	// role.
+	Workers int
+	// Servers and Resources bound the vocabulary (s1..sS, f1..fR).
+	Servers   int
+	Resources int
+	// Permissions is the total permission count. The first Resources
+	// permissions each cover one resource; the surplus is ballast on
+	// ghost resources that no itinerary touches, so it scales the
+	// per-decision active-permission set without changing verdicts.
+	Permissions int
+	// Flavor selects the constraint mix (Flavor* constants).
+	Flavor string
+	// CountMax is the counting ceiling of count-flavoured permissions.
+	CountMax int
+	// DurationS is the validity duration of temporal-flavoured
+	// permissions, in seconds.
+	DurationS float64
+}
+
+// PermDef describes one generated permission: which resource it
+// covers and which constraints it carries (zero values mean none).
+type PermDef struct {
+	ID       string
+	Resource model.ResourceID
+	CountMax int
+	// DurationS is 0 when the permission has no temporal clause.
+	DurationS float64
+}
+
+// GeneratedPolicy is the output of GeneratePolicy: the policy text in
+// the stacd format plus the structured view the baseline adapters
+// (plain RBAC, TRBAC, GTRBAC) build their equivalent models from.
+type GeneratedPolicy struct {
+	Text  string
+	Users []string
+	Role  string
+	// Cover holds one permission per vocabulary resource, in resource
+	// order; Ballast holds the surplus permissions on ghost resources.
+	Cover   []PermDef
+	Ballast []PermDef
+}
+
+// LoadRole is the single role every generated load policy grants
+// through.
+const LoadRole = "roam"
+
+// GeneratePolicy renders a load policy for the spec. It uses no
+// randomness: two calls with equal specs return identical text.
+func GeneratePolicy(spec PolicySpec) GeneratedPolicy {
+	if spec.Workers < 1 {
+		spec.Workers = 1
+	}
+	if spec.Servers < 1 {
+		spec.Servers = 1
+	}
+	if spec.Resources < 1 {
+		spec.Resources = 1
+	}
+	if spec.Permissions < spec.Resources {
+		spec.Permissions = spec.Resources
+	}
+	if spec.CountMax < 1 {
+		spec.CountMax = 8
+	}
+	if spec.DurationS <= 0 {
+		spec.DurationS = 3600
+	}
+
+	gp := GeneratedPolicy{Role: LoadRole}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# generated load policy: %d perms, flavor %s\n", spec.Permissions, spec.Flavor)
+	fmt.Fprintf(&b, "role %s\n", LoadRole)
+	for i := 0; i < spec.Workers; i++ {
+		u := fmt.Sprintf("w%d", i)
+		gp.Users = append(gp.Users, u)
+		fmt.Fprintf(&b, "user %s\n", u)
+		fmt.Fprintf(&b, "assign %s %s\n", u, LoadRole)
+	}
+
+	clauses := func(d *PermDef, i int) string {
+		var body strings.Builder
+		count, temporal := false, false
+		switch spec.Flavor {
+		case FlavorCount:
+			count = true
+		case FlavorTemporal:
+			temporal = true
+		default: // FlavorMixed and anything unrecognised
+			count = i%2 == 0
+			temporal = !count
+		}
+		if count {
+			d.CountMax = spec.CountMax
+			fmt.Fprintf(&body, "    spatial  count(0, %d, sigma[r=%s])\n", spec.CountMax, d.Resource)
+		}
+		if temporal {
+			d.DurationS = spec.DurationS
+			fmt.Fprintf(&body, "    duration %gs\n    scheme   global\n", spec.DurationS)
+		}
+		return body.String()
+	}
+
+	for i := 0; i < spec.Permissions; i++ {
+		var d PermDef
+		if i < spec.Resources {
+			d = PermDef{ID: fmt.Sprintf("p%d", i), Resource: model.ResourceID(fmt.Sprintf("f%d", i+1))}
+		} else {
+			d = PermDef{ID: fmt.Sprintf("p%d", i), Resource: model.ResourceID(fmt.Sprintf("ghost%d", i))}
+		}
+		fmt.Fprintf(&b, "permission %s * %s @ * {\n%s}\n", d.ID, d.Resource, clauses(&d, i))
+		fmt.Fprintf(&b, "grant %s %s\n", LoadRole, d.ID)
+		if i < spec.Resources {
+			gp.Cover = append(gp.Cover, d)
+		} else {
+			gp.Ballast = append(gp.Ballast, d)
+		}
+	}
+	gp.Text = b.String()
+	return gp
+}
+
+// PermFor returns the covering permission for a resource (zero PermDef
+// when the resource is outside the generated vocabulary).
+func (gp GeneratedPolicy) PermFor(res model.ResourceID) PermDef {
+	for _, d := range gp.Cover {
+		if d.Resource == res {
+			return d
+		}
+	}
+	return PermDef{}
+}
+
+// Hop is one stop of a worker's itinerary: the server visited and the
+// resources accessed there, in order.
+type Hop struct {
+	Server    model.ServerID
+	Resources []model.ResourceID
+}
+
+// Plan is one worker's complete itinerary plan. Workers cycle through
+// their plan for the duration of a load run.
+type Plan struct {
+	Worker int
+	Hops   []Hop
+}
+
+// String renders the plan canonically — the byte stream the golden
+// determinism tests fingerprint.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "worker %d\n", p.Worker)
+	for _, h := range p.Hops {
+		fmt.Fprintf(&b, "@%s:", h.Server)
+		for i, r := range h.Resources {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(string(r))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WorkerPlan derives the itinerary plan of one worker from the
+// scenario seed. Each worker owns a private PRNG stream decorrelated
+// by a splitmix64 finalizer, so a plan depends only on (seed, worker,
+// vocabulary, shape) — never on scheduling, other workers or
+// GOMAXPROCS.
+func WorkerPlan(seed int64, worker int, v Vocabulary, hops, perHop int) Plan {
+	if hops < 1 {
+		hops = 1
+	}
+	if perHop < 1 {
+		perHop = 1
+	}
+	r := rand.New(rand.NewSource(mixSeed(seed, int64(worker))))
+	order := Itinerary(r, v, hops)
+	p := Plan{Worker: worker, Hops: make([]Hop, hops)}
+	for i, srv := range order {
+		h := Hop{Server: srv, Resources: make([]model.ResourceID, perHop)}
+		for j := range h.Resources {
+			h.Resources[j] = v.Resources[r.Intn(len(v.Resources))]
+		}
+		p.Hops[i] = h
+	}
+	return p
+}
+
+// mixSeed decorrelates per-worker PRNG streams (splitmix64 finalizer,
+// mirroring internal/faults).
+func mixSeed(seed, idx int64) int64 {
+	z := uint64(seed) + uint64(idx+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,17 @@
+package stac
+
+import (
+	"testing"
+
+	"stac/internal/testutil"
+)
+
+// TestMain arms the suite-wide resource leak check for the root
+// integration, chaos, replay and trace suites: after a fully passing
+// run, the process must drain back to its goroutine and open-FD
+// baseline. Any daemon, watcher, poller or fault-injected connection a
+// test forgets to close fails the binary even though every individual
+// test passed.
+func TestMain(m *testing.M) {
+	testutil.Main(m)
+}
