@@ -33,9 +33,11 @@ go test -run '^$' -fuzz '^FuzzParseRegular$' -fuzztime 2s ./internal/sral
 
 # Benchmark smoke: one iteration each, so a broken benchmark (or a
 # regression that panics only on the bench path) fails CI without
-# paying for a real measurement run. The output lands in a file first
+# paying for a real measurement run. The sweep includes the E14
+# contention benchmarks (root package), so the sharded-engine parallel
+# path runs under CI every time. The output lands in a file first
 # (a pipe would mask go test's exit status under set -e), then gets
-# distilled into BENCH_pr5.json for the CI artifact.
+# distilled into BENCH_pr7.json for the CI artifact.
 go test -bench . -benchtime=1x -benchmem -run '^$' ./... >bench_smoke.txt
 awk '
     BEGIN { print "[" }
@@ -44,12 +46,12 @@ awk '
         printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", $1, $3, $7
     }
     END { print "\n]" }
-' bench_smoke.txt >BENCH_pr5.json
+' bench_smoke.txt >BENCH_pr7.json
 rm bench_smoke.txt
 # Compare against the committed previous-PR baseline. Regressions
 # beyond 25% ns/op surface as CI warnings (benchdiff exits 0 on
 # warnings — a 1x smoke run is too noisy to gate on).
-go run ./cmd/benchdiff BENCH_pr4.json BENCH_pr5.json
+go run ./cmd/benchdiff BENCH_pr5.json BENCH_pr7.json
 
 # Load smoke: a short scenario-matrix run over real TCP — one churn
 # and one hostile scenario against the coordinated engine and the RBAC

@@ -49,8 +49,8 @@ func (e *Engine) DefineClass(c Class) error {
 	if len(c.Members) == 0 {
 		return fmt.Errorf("core: class %q has no members", c.ID)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.policyMu.Lock()
+	defer e.policyMu.Unlock()
 	if _, ok := e.classes[c.ID]; ok {
 		return fmt.Errorf("core: class %q already defined", c.ID)
 	}
@@ -71,8 +71,8 @@ func (e *Engine) DefineClass(c Class) error {
 
 // ClassOf returns the class a permission belongs to, if any.
 func (e *Engine) ClassOf(id rbac.PermID) (Class, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.policyMu.RLock()
+	defer e.policyMu.RUnlock()
 	cid, ok := e.classOf[id]
 	if !ok {
 		return Class{}, false
@@ -82,8 +82,8 @@ func (e *Engine) ClassOf(id rbac.PermID) (Class, bool) {
 
 // Classes returns the defined classes sorted by ID.
 func (e *Engine) Classes() []Class {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.policyMu.RLock()
+	defer e.policyMu.RUnlock()
 	out := make([]Class, 0, len(e.classes))
 	for _, c := range e.classes {
 		out = append(out, c)
@@ -95,14 +95,19 @@ func (e *Engine) Classes() []Class {
 // ClassRemaining returns the unused pooled validity of a class for an
 // object.
 func (e *Engine) ClassRemaining(obj model.ObjectID, id ClassID) float64 {
-	e.mu.Lock()
+	e.policyMu.RLock()
 	c, ok := e.classes[id]
+	e.policyMu.RUnlock()
 	if !ok {
-		e.mu.Unlock()
 		return 0
 	}
-	tr, ok := e.trackers[trackerKey{obj: obj, perm: classPermKey(id)}]
-	e.mu.Unlock()
+	os, found := e.lookupObj(obj)
+	if !found {
+		return c.duration()
+	}
+	os.mu.Lock()
+	tr, ok := os.trackers[classPermKey(id)]
+	os.mu.Unlock()
 	if !ok {
 		return c.duration()
 	}
@@ -119,12 +124,13 @@ func classPermKey(id ClassID) rbac.PermID {
 // temporal parameters that govern it: its class pool when classed,
 // its own spec otherwise. Callers hold no engine lock.
 func (e *Engine) resolveTemporal(ps PermSpec) (key rbac.PermID, dur float64, scheme temporal.Scheme) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.policyMu.RLock()
+	defer e.policyMu.RUnlock()
 	return e.resolveTemporalLocked(ps)
 }
 
-// resolveTemporalLocked is resolveTemporal with e.mu already held.
+// resolveTemporalLocked is resolveTemporal with e.policyMu already
+// held (read suffices).
 func (e *Engine) resolveTemporalLocked(ps PermSpec) (key rbac.PermID, dur float64, scheme temporal.Scheme) {
 	if cid, classed := e.classOf[ps.Perm.ID]; classed {
 		c := e.classes[cid]

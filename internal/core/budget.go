@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"stac/internal/model"
 	"stac/internal/obs"
 	"stac/internal/temporal"
 )
@@ -67,59 +68,75 @@ const budgetSeriesCapacity = 128
 // are skipped.
 //
 // Sampling is deliberately off the Authorize hot path: a daemon
-// samples on a timer and on observability scrapes, so the cost is a
-// map walk under the engine lock plus one tracker lock each.
+// samples on a timer and on observability scrapes. The walk visits the
+// object-state shards one at a time, so in-flight decisions on other
+// shards proceed undisturbed.
 func (e *Engine) SampleBudgets(tail int) []BudgetStatus {
 	now := e.clock.Now()
 	reg := e.met.Load().reg
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]BudgetStatus, 0, len(e.trackers))
-	for key, tr := range e.trackers {
-		if tr.Budget() == temporal.Infinite {
-			continue
+	var out []BudgetStatus
+	for i := range e.shards {
+		sh := &e.shards[i]
+		type entry struct {
+			obj model.ObjectID
+			st  *objectState
 		}
-		ts, ok := e.budgets[key]
-		if !ok {
-			ts = obs.NewTimeSeries(budgetSeriesCapacity)
-			e.budgets[key] = ts
+		sh.mu.RLock()
+		objs := make([]entry, 0, len(sh.objs))
+		for obj, os := range sh.objs {
+			objs = append(objs, entry{obj: obj, st: os})
 		}
-		consumed := tr.Accumulated(now)
-		ts.Append(now, consumed)
-		window := ts.Samples()
+		sh.mu.RUnlock()
+		for _, en := range objs {
+			en.st.mu.Lock()
+			for perm, tr := range en.st.trackers {
+				if tr.Budget() == temporal.Infinite {
+					continue
+				}
+				ts, ok := en.st.budgets[perm]
+				if !ok {
+					ts = obs.NewTimeSeries(budgetSeriesCapacity)
+					en.st.budgets[perm] = ts
+				}
+				consumed := tr.Accumulated(now)
+				ts.Append(now, consumed)
+				window := ts.Samples()
 
-		st := BudgetStatus{
-			Object:    string(key.obj),
-			Perm:      string(key.perm),
-			Scheme:    tr.Scheme().String(),
-			State:     tr.StateAt(now).String(),
-			Consumed:  consumed,
-			Budget:    tr.Budget(),
-			Remaining: tr.Remaining(now),
-			ETA:       -1,
-			At:        now,
-		}
-		if rate, ok := obs.Rate(window); ok && rate > 0 {
-			st.BurnRate = rate
-			if st.Remaining > 0 {
-				st.ETA = st.Remaining / rate
-			} else {
-				st.ETA = 0
+				st := BudgetStatus{
+					Object:    string(en.obj),
+					Perm:      string(perm),
+					Scheme:    tr.Scheme().String(),
+					State:     tr.StateAt(now).String(),
+					Consumed:  consumed,
+					Budget:    tr.Budget(),
+					Remaining: tr.Remaining(now),
+					ETA:       -1,
+					At:        now,
+				}
+				if rate, ok := obs.Rate(window); ok && rate > 0 {
+					st.BurnRate = rate
+					if st.Remaining > 0 {
+						st.ETA = st.Remaining / rate
+					} else {
+						st.ETA = 0
+					}
+				} else if st.Remaining == 0 {
+					st.ETA = 0
+				}
+				switch {
+				case tail < 0:
+					st.Series = window
+				case tail > 0 && len(window) > tail:
+					st.Series = window[len(window)-tail:]
+				case tail > 0:
+					st.Series = window
+				}
+				e.publishBudgetGauges(reg, st)
+				out = append(out, st)
 			}
-		} else if st.Remaining == 0 {
-			st.ETA = 0
+			en.st.mu.Unlock()
 		}
-		switch {
-		case tail < 0:
-			st.Series = window
-		case tail > 0 && len(window) > tail:
-			st.Series = window[len(window)-tail:]
-		case tail > 0:
-			st.Series = window
-		}
-		e.publishBudgetGauges(reg, st)
-		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Object != out[j].Object {

@@ -63,12 +63,12 @@ func (c ClauseCoverage) Dead() bool { return c.Decisive == 0 }
 // that never get evaluated still appear (with zero counts) — absence
 // of evidence is the finding, not a missing row.
 func (e *Engine) EnableCoverage() {
-	e.mu.Lock()
+	e.policyMu.RLock()
 	specs := make([]PermSpec, 0, len(e.specs))
 	for _, ps := range e.specs {
 		specs = append(specs, ps)
 	}
-	e.mu.Unlock()
+	e.policyMu.RUnlock()
 	e.covMu.Lock()
 	if e.cov == nil {
 		e.cov = make(map[covKey]*covCell)
@@ -165,12 +165,12 @@ func (e *Engine) coverScan(perm rbac.PermID, unstamped, stamped srac.Constraint,
 }
 
 // coverIncremental records coverage for a counter-path evaluation.
-// The counter reads are snapshotted under e.mu first and Cover runs
-// lock-free over the snapshot, so e.mu and e.covMu are never held
-// together.
+// The counter reads are snapshotted under the counter read-lock first
+// and Cover runs lock-free over the snapshot, so e.cntMu and e.covMu
+// are never held together.
 func (e *Engine) coverIncremental(perm rbac.PermID, unstamped, stamped srac.Constraint, hyp model.Access) {
 	counts := make(map[string]int)
-	e.mu.Lock()
+	e.cntMu.RLock()
 	srac.Walk(stamped, func(c srac.Constraint) bool {
 		if cnt, ok := c.(srac.Count); ok {
 			n := e.countForLocked(cnt.Sel)
@@ -181,7 +181,7 @@ func (e *Engine) coverIncremental(perm rbac.PermID, unstamped, stamped srac.Cons
 		}
 		return true
 	})
-	e.mu.Unlock()
+	e.cntMu.RUnlock()
 	nodes, _ := srac.Cover(stamped, srac.CountLeafEval(func(x srac.Count) int {
 		return counts[selKey(x.Sel)]
 	}))

@@ -51,7 +51,7 @@ func DumpPolicy(e *Engine) string {
 		}
 	}
 
-	e.mu.Lock()
+	e.policyMu.RLock()
 	ids := make([]rbac.PermID, 0, len(e.specs))
 	for id := range e.specs {
 		ids = append(ids, id)
@@ -64,7 +64,7 @@ func DumpPolicy(e *Engine) string {
 	for _, c := range e.classes {
 		classes = append(classes, c)
 	}
-	e.mu.Unlock()
+	e.policyMu.RUnlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	sort.Slice(classes, func(i, j int) bool { return classes[i].ID < classes[j].ID })
 

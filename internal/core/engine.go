@@ -155,7 +155,7 @@ type Engine struct {
 	clock temporal.Clock
 
 	// met holds the resolved metric handles; swapped atomically by
-	// SetObs so the Authorize hot path never takes e.mu for metrics.
+	// SetObs so the Authorize hot path never takes a lock for metrics.
 	met atomic.Pointer[engineMetrics]
 	// tracer records the per-decision span tree; swapped atomically by
 	// SetTracer for the same reason. Defaults to obs.DefaultTracer
@@ -172,34 +172,134 @@ type Engine struct {
 	// the flag is atomic so disabled engines pay one load per decision.
 	covEnabled atomic.Bool
 
-	mu       sync.Mutex
+	// policyMu guards the read-mostly policy tables: permission specs
+	// and permission classes. Decisions only ever take the read lock;
+	// the write lock is held by DefinePermission/DefineClass (setup and
+	// policy reload), so concurrent authorizations never serialize on
+	// policy lookups.
+	policyMu sync.RWMutex
 	specs    map[rbac.PermID]PermSpec
-	trackers map[trackerKey]*temporal.Tracker
-	// budgets holds the per-tracker consumption time series fed by
-	// SampleBudgets (see budget.go); lazily created per tracker.
-	budgets map[trackerKey]*obs.TimeSeries
 	// classes aggregate validity durations across permissions (the
 	// conclusion's future-work extension; see aggregate.go).
 	classes map[ClassID]Class
 	classOf map[rbac.PermID]ClassID
-	// incremental counting state (see incremental.go).
+
+	// cntMu guards the incremental counting state (see incremental.go).
+	// evalIncremental holds the read lock across its whole constraint
+	// walk so a decision sees an atomic counter snapshot; RecordGrant
+	// takes the write lock per executed access.
+	cntMu     sync.RWMutex
 	counters  map[string]int
 	selectors map[string]model.Selector
-	// arrived records the objects that have announced arrival at a
-	// server, so trackers created later inherit the base time.
-	lastArrival map[model.ObjectID]float64
-	hasArrived  map[model.ObjectID]bool
+
+	// shards hold the per-object runtime state (temporal trackers,
+	// budget series, arrival bookkeeping, recorder history bases),
+	// hashed by object ID. Independent credentials land on independent
+	// shards — and even within a shard, the shard lock only covers the
+	// map lookup; mutation happens under the objectState's own lock.
+	shards [numShards]engineShard
 
 	// covMu guards cov, the per-permission SRAC clause coverage cells
 	// (see coverage.go). A separate lock so coverage bookkeeping never
-	// contends with the tracker/spec map on the decision path.
+	// contends with the tracker/spec state on the decision path.
 	covMu sync.Mutex
 	cov   map[covKey]*covCell
 }
 
-type trackerKey struct {
-	obj  model.ObjectID
-	perm rbac.PermID
+// numShards is the object-state shard count. Sized well above typical
+// core counts so hash collisions between concurrently active
+// credentials are rare; must be a power of two for the mask below.
+const numShards = 32
+
+// engineShard is one hashed slice of the per-object state table.
+type engineShard struct {
+	mu   sync.RWMutex
+	objs map[model.ObjectID]*objectState
+}
+
+// objectState is everything the engine tracks for one mobile object.
+// All of it used to live in engine-global maps behind one mutex; now
+// two objects only share a lock when they hash to the same shard, and
+// even then only for the get-or-create lookup.
+type objectState struct {
+	mu sync.Mutex
+	// trackers holds the temporal validity trackers keyed by the
+	// resolved tracker identity (the permission's own ID, or its class
+	// pool key when classed).
+	trackers map[rbac.PermID]*temporal.Tracker
+	// budgets holds the per-tracker consumption time series fed by
+	// SampleBudgets (see budget.go); lazily created per tracker.
+	budgets map[rbac.PermID]*obs.TimeSeries
+	// lastArrival/hasArrived record the object's server arrivals, so
+	// trackers created later inherit the base time.
+	lastArrival float64
+	hasArrived  bool
+
+	// recMu guards recHist and recProg: the proof-backed history
+	// entries the flight recorder has already emitted for this object,
+	// against which recordDecide delta-encodes the next decide record,
+	// and the declared program of the object's previous decide record,
+	// against which programs are interned (see record.go). A separate
+	// lock so recording never blocks the temporal bookkeeping above.
+	recMu   sync.Mutex
+	recHist []record.HistoryEntry
+	recProg sral.Node
+}
+
+// shardFor hashes an object ID onto its shard (FNV-1a).
+func (e *Engine) shardFor(obj model.ObjectID) *engineShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(obj); i++ {
+		h ^= uint32(obj[i])
+		h *= 16777619
+	}
+	return &e.shards[h&(numShards-1)]
+}
+
+// objState returns (creating if needed) the object's state. The fast
+// path is one shard read-lock and a map hit.
+func (e *Engine) objState(obj model.ObjectID) *objectState {
+	sh := e.shardFor(obj)
+	sh.mu.RLock()
+	os, ok := sh.objs[obj]
+	sh.mu.RUnlock()
+	if ok {
+		return os
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if os, ok = sh.objs[obj]; ok {
+		return os
+	}
+	os = &objectState{
+		trackers: make(map[rbac.PermID]*temporal.Tracker),
+		budgets:  make(map[rbac.PermID]*obs.TimeSeries),
+	}
+	sh.objs[obj] = os
+	return os
+}
+
+// lookupObj returns the object's state without creating it.
+func (e *Engine) lookupObj(obj model.ObjectID) (*objectState, bool) {
+	sh := e.shardFor(obj)
+	sh.mu.RLock()
+	os, ok := sh.objs[obj]
+	sh.mu.RUnlock()
+	return os, ok
+}
+
+// trackerLocked returns (creating if needed) the tracker for a
+// resolved tracker identity; s.mu must be held.
+func (s *objectState) trackerLocked(key rbac.PermID, dur float64, scheme temporal.Scheme) *temporal.Tracker {
+	tr, ok := s.trackers[key]
+	if !ok {
+		tr = temporal.NewTracker(dur, scheme)
+		if s.hasArrived {
+			tr.ArriveServer(s.lastArrival)
+		}
+		s.trackers[key] = tr
+	}
+	return tr
 }
 
 // NewEngine creates an engine over a fresh RBAC system using the given
@@ -210,15 +310,14 @@ func NewEngine(clock temporal.Clock) *Engine {
 		clock = temporal.NewSimClock(0)
 	}
 	e := &Engine{
-		RBAC:        rbac.NewSystem(),
-		clock:       clock,
-		specs:       make(map[rbac.PermID]PermSpec),
-		trackers:    make(map[trackerKey]*temporal.Tracker),
-		budgets:     make(map[trackerKey]*obs.TimeSeries),
-		classes:     make(map[ClassID]Class),
-		classOf:     make(map[rbac.PermID]ClassID),
-		lastArrival: make(map[model.ObjectID]float64),
-		hasArrived:  make(map[model.ObjectID]bool),
+		RBAC:    rbac.NewSystem(),
+		clock:   clock,
+		specs:   make(map[rbac.PermID]PermSpec),
+		classes: make(map[ClassID]Class),
+		classOf: make(map[rbac.PermID]ClassID),
+	}
+	for i := range e.shards {
+		e.shards[i].objs = make(map[model.ObjectID]*objectState)
 	}
 	e.met.Store(newEngineMetrics(obs.Default))
 	e.tracer.Store(obs.DefaultTracer)
@@ -261,12 +360,14 @@ func (e *Engine) DefinePermission(ps PermSpec) error {
 	if err := e.RBAC.AddPermission(ps.Perm); err != nil {
 		return err
 	}
-	e.mu.Lock()
+	e.policyMu.Lock()
 	e.specs[ps.Perm.ID] = ps
+	e.policyMu.Unlock()
 	if e.incremental.Load() {
+		e.cntMu.Lock()
 		e.registerSelectorsLocked(ps)
+		e.cntMu.Unlock()
 	}
-	e.mu.Unlock()
 	if e.covEnabled.Load() {
 		e.covMu.Lock()
 		e.seedCoverageLocked(ps)
@@ -277,8 +378,8 @@ func (e *Engine) DefinePermission(ps PermSpec) error {
 
 // Spec returns the spatio-temporal specification of a permission.
 func (e *Engine) Spec(id rbac.PermID) (PermSpec, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.policyMu.RLock()
+	defer e.policyMu.RUnlock()
 	ps, ok := e.specs[id]
 	if !ok {
 		return PermSpec{}, fmt.Errorf("%w: %q", ErrNoSpec, id)
@@ -290,63 +391,61 @@ func (e *Engine) Spec(id rbac.PermID) (PermSpec, error) {
 // a permission for an object — the permission's own tracker, or its
 // class pool when the permission is classed.
 func (e *Engine) tracker(obj model.ObjectID, ps PermSpec) *temporal.Tracker {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.trackerLocked(obj, ps)
-}
-
-// trackerLocked is tracker with e.mu already held — the shape that lets
-// ActivatePermissions resolve a whole session's trackers under ONE
-// lock acquisition instead of re-locking per permission.
-func (e *Engine) trackerLocked(obj model.ObjectID, ps PermSpec) *temporal.Tracker {
-	id, dur, scheme := e.resolveTemporalLocked(ps)
-	key := trackerKey{obj: obj, perm: id}
-	tr, ok := e.trackers[key]
-	if !ok {
-		tr = temporal.NewTracker(dur, scheme)
-		if e.hasArrived[obj] {
-			tr.ArriveServer(e.lastArrival[obj])
-		}
-		e.trackers[key] = tr
-	}
-	return tr
+	key, dur, scheme := e.resolveTemporal(ps)
+	os := e.objState(obj)
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	return os.trackerLocked(key, dur, scheme)
 }
 
 // ObjectArrived records that a mobile object has arrived at a server
 // at the current clock time. Under the per-server scheme this resets
 // the temporal budgets of all the object's permissions (t_b = t_i);
 // under the global scheme only the first arrival establishes t_b.
+// Only the arriving object's shard is touched — other credentials'
+// decisions proceed undisturbed.
 func (e *Engine) ObjectArrived(obj model.ObjectID, server model.ServerID) {
 	now := e.clock.Now()
 	e.recordArrive(obj, server, now)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.lastArrival[obj] = now
-	e.hasArrived[obj] = true
-	for key, tr := range e.trackers {
-		if key.obj == obj {
-			tr.ArriveServer(now)
-		}
+	os := e.objState(obj)
+	os.mu.Lock()
+	defer os.mu.Unlock()
+	os.lastArrival = now
+	os.hasArrived = true
+	for _, tr := range os.trackers {
+		tr.ArriveServer(now)
 	}
 }
 
-// sessionTrackers snapshots the specs and resolves (creating if
-// needed) the trackers for every permission the session confers, under
-// a single e.mu acquisition. The trackers are internally locked, so
-// callers mutate them after release — the engine lock covers only the
-// map lookups, not the temporal bookkeeping.
+// sessionTrackers snapshots the specs under one policy read-lock and
+// resolves (creating if needed) the trackers for every permission the
+// session confers under one objectState lock. The trackers are
+// internally locked, so callers mutate them after release.
 func (e *Engine) sessionTrackers(sess *rbac.Session, obj model.ObjectID) []*temporal.Tracker {
 	perms := sess.Permissions()
-	trs := make([]*temporal.Tracker, 0, len(perms))
-	e.mu.Lock()
+	type resolved struct {
+		key    rbac.PermID
+		dur    float64
+		scheme temporal.Scheme
+	}
+	rs := make([]resolved, 0, len(perms))
+	e.policyMu.RLock()
 	for _, p := range perms {
 		ps, ok := e.specs[p.ID]
 		if !ok {
 			ps = PermSpec{Perm: p}
 		}
-		trs = append(trs, e.trackerLocked(obj, ps))
+		key, dur, scheme := e.resolveTemporalLocked(ps)
+		rs = append(rs, resolved{key: key, dur: dur, scheme: scheme})
 	}
-	e.mu.Unlock()
+	e.policyMu.RUnlock()
+	os := e.objState(obj)
+	trs := make([]*temporal.Tracker, 0, len(rs))
+	os.mu.Lock()
+	for _, r := range rs {
+		trs = append(trs, os.trackerLocked(r.key, r.dur, r.scheme))
+	}
+	os.mu.Unlock()
 	return trs
 }
 
@@ -393,7 +492,7 @@ func (e *Engine) AuthorizeTraced(tc obs.TraceContext, req Request) Decision {
 	t := e.tracer.Load()
 	sp, ctx := t.StartSpan(tc, "authorize")
 	start := time.Now()
-	d := e.authorize(ctx, t, req, m)
+	d := e.authorize(ctx, t, req, m, nil)
 	m.recordDecision(d, time.Since(start))
 	if sp != nil {
 		d.ID = obs.NewDecisionID()
@@ -411,9 +510,57 @@ func (e *Engine) AuthorizeTraced(tc obs.TraceContext, req Request) Decision {
 	return d
 }
 
+// AuthorizeMany decides a burst of requests in one call — the entry
+// point for agents issuing accesses in batches. Decisions come back in
+// request order and are observable exactly as if each request went
+// through Authorize (same metrics, same flight-recorder records), but
+// the metric handles, tracer and permission-spec lookups are resolved
+// once per batch instead of once per request, so a burst against the
+// same few permissions never re-takes the policy read lock.
+func (e *Engine) AuthorizeMany(reqs []Request) []Decision {
+	out := make([]Decision, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	m := e.met.Load()
+	t := e.tracer.Load()
+	// Per-batch spec cache: the batch decides against one policy
+	// snapshot (a concurrent DefinePermission lands on the next batch).
+	cache := make(map[rbac.PermID]PermSpec, 8)
+	for i := range reqs {
+		start := time.Now()
+		d := e.authorize(obs.TraceContext{}, t, reqs[i], m, cache)
+		m.recordDecision(d, time.Since(start))
+		e.recordDecide(obs.TraceContext{}, reqs[i], d)
+		out[i] = d
+	}
+	return out
+}
+
+// specFor resolves a permission's spec, falling back to an
+// unconstrained spec for permissions registered directly on the RBAC
+// layer. With a non-nil cache (AuthorizeMany), repeated lookups skip
+// the policy read lock.
+func (e *Engine) specFor(perm rbac.Permission, cache map[rbac.PermID]PermSpec) PermSpec {
+	if cache != nil {
+		if ps, ok := cache[perm.ID]; ok {
+			return ps
+		}
+	}
+	ps, err := e.Spec(perm.ID)
+	if err != nil {
+		ps = PermSpec{Perm: perm}
+	}
+	if cache != nil {
+		cache[perm.ID] = ps
+	}
+	return ps
+}
+
 // authorize is the uninstrumented decision body; AuthorizeTraced wraps
-// it with timing, per-outcome accounting and the decision span.
-func (e *Engine) authorize(tc obs.TraceContext, t *obs.Tracer, req Request, m *engineMetrics) Decision {
+// it with timing, per-outcome accounting and the decision span. cache,
+// when non-nil, memoises spec lookups across a batch (AuthorizeMany).
+func (e *Engine) authorize(tc obs.TraceContext, t *obs.Tracer, req Request, m *engineMetrics, cache map[rbac.PermID]PermSpec) Decision {
 	d := Decision{Spatial: srac.Satisfied, ProgramVerdict: srac.AllTraces, Temporal: temporal.Inactive}
 	if req.Session == nil {
 		d.Deny = DenyNoSession
@@ -434,12 +581,9 @@ func (e *Engine) authorize(tc obs.TraceContext, t *obs.Tracer, req Request, m *e
 	}
 	d.Perm = perm.ID
 
-	ps, err := e.Spec(perm.ID)
-	if err != nil {
-		// Permission registered directly on the RBAC layer: treat as
-		// unconstrained (T, time-insensitive).
-		ps = PermSpec{Perm: perm}
-	}
+	// Permissions registered directly on the RBAC layer resolve to an
+	// unconstrained spec (T, time-insensitive).
+	ps := e.specFor(perm, cache)
 
 	obj := req.Access.Object
 
@@ -585,9 +729,13 @@ func (e *Engine) trackerFor(obj model.ObjectID, id rbac.PermID) (*temporal.Track
 		ps = PermSpec{Perm: rbac.Permission{ID: id}}
 	}
 	key, dur, _ := e.resolveTemporal(ps)
-	e.mu.Lock()
-	tr, ok := e.trackers[trackerKey{obj: obj, perm: key}]
-	e.mu.Unlock()
+	os, found := e.lookupObj(obj)
+	if !found {
+		return nil, dur, false
+	}
+	os.mu.Lock()
+	tr, ok := os.trackers[key]
+	os.mu.Unlock()
 	return tr, dur, ok
 }
 

@@ -49,22 +49,29 @@ func selKey(sel model.Selector) string {
 // to engine-side counters. Call it before any accesses are granted —
 // counters start at zero and only see grants made while enabled.
 func (e *Engine) EnableIncrementalCounting() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.policyMu.RLock()
+	specs := make([]PermSpec, 0, len(e.specs))
+	for _, ps := range e.specs {
+		specs = append(specs, ps)
+	}
+	e.policyMu.RUnlock()
+	e.cntMu.Lock()
 	if e.counters == nil {
 		e.counters = make(map[string]int)
 	}
 	// Register the selectors of already-defined counting-only specs.
-	for _, ps := range e.specs {
+	for _, ps := range specs {
 		e.registerSelectorsLocked(ps)
 	}
+	e.cntMu.Unlock()
 	// Flip the flag last, after the counter state exists: eligibility
 	// checks read it without the lock.
 	e.incremental.Store(true)
 }
 
 // registerSelectorsLocked indexes the counting selectors of a spec so
-// RecordGrant knows which counters an access touches.
+// RecordGrant knows which counters an access touches; e.cntMu must be
+// held for writing.
 func (e *Engine) registerSelectorsLocked(ps PermSpec) {
 	if ps.Spatial == nil || !countingOnly(ps.Spatial) {
 		return
@@ -100,8 +107,8 @@ func (e *Engine) RecordGrant(a model.Access) {
 	if !e.incremental.Load() {
 		return
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.cntMu.Lock()
+	defer e.cntMu.Unlock()
 	for key, sel := range e.selectors {
 		if sel.SelectAccess(a) {
 			e.counters[key]++
@@ -117,7 +124,7 @@ func (e *Engine) RecordGrant(a model.Access) {
 }
 
 // countForLocked returns the recorded count for the (already stamped)
-// selector; e.mu must be held.
+// selector; e.cntMu must be held (read or write).
 func (e *Engine) countForLocked(sel model.Selector) int {
 	return e.counters[selKey(sel)]
 }
@@ -125,11 +132,13 @@ func (e *Engine) countForLocked(sel model.Selector) int {
 // evalIncremental decides a counting-only constraint against the
 // engine counters plus the hypothetical requested access, mirroring
 // srac.EvalPrefixStable's three-valued semantics (including the
-// stability-aware negation). One lock acquisition covers the whole
-// walk — counter reads are plain map lookups under it.
+// stability-aware negation). The read lock is held across the whole
+// walk, so the decision sees an atomic counter snapshot relative to
+// RecordGrant — but concurrent decisions share the lock and never
+// serialize against each other.
 func (e *Engine) evalIncremental(c srac.Constraint, hyp model.Access) srac.Status {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.cntMu.RLock()
+	defer e.cntMu.RUnlock()
 	s, _ := e.evalIncrementalLocked(c, hyp)
 	return s
 }
@@ -188,8 +197,8 @@ func (e *Engine) evalIncrementalLocked(c srac.Constraint, hyp model.Access) (sra
 // the attribution counterpart of evalIncremental, sharing its leaf
 // semantics through srac.CountLeafEval so the two verdicts agree.
 func (e *Engine) attributeIncremental(c srac.Constraint, hyp model.Access) srac.Attribution {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.cntMu.RLock()
+	defer e.cntMu.RUnlock()
 	count := func(x srac.Count) int {
 		n := e.countForLocked(x.Sel)
 		if x.Sel.SelectAccess(hyp) {
@@ -230,8 +239,8 @@ func (e *Engine) incrementalEligible(ps PermSpec) bool {
 // Counters returns a diagnostic snapshot of the engine's counters,
 // keyed by canonical selector string.
 func (e *Engine) Counters() map[string]int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.cntMu.RLock()
+	defer e.cntMu.RUnlock()
 	out := make(map[string]int, len(e.counters))
 	for k, v := range e.counters {
 		out[k] = v

@@ -27,6 +27,21 @@ func (e *Engine) SetRecorder(r *record.Recorder) {
 	if r != nil {
 		r.SetPolicyDigest(PolicyDigest(e))
 	}
+	// A fresh recorder has no history context: drop every object's
+	// delta base and interned program so the first decide per object
+	// re-records both in full rather than referencing records the new
+	// stream never saw.
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for _, os := range sh.objs {
+			os.recMu.Lock()
+			os.recHist = nil
+			os.recProg = nil
+			os.recMu.Unlock()
+		}
+		sh.mu.RUnlock()
+	}
 	e.recorder.Store(r)
 }
 
@@ -103,24 +118,6 @@ func (e *Engine) recordDecide(tc obs.TraceContext, req Request, d Decision) {
 		r.User = string(req.Session.User())
 		r.Roles = roleNames(req.Session)
 	}
-	// The history is recorded with each entry's proof verdict AT
-	// DECISION TIME, so a replay reproduces the oracle's answers
-	// without re-deriving proofs.
-	if n := len(req.History); n > 0 {
-		r.History = make([]record.HistoryEntry, 0, n)
-		for _, a := range req.History {
-			r.History = append(r.History, record.HistoryEntry{
-				Object:   string(a.Object),
-				Op:       string(a.Op),
-				Resource: string(a.Resource),
-				Server:   string(a.Server),
-				Proven:   req.Proofs == nil || req.Proofs.Proven(a),
-			})
-		}
-	}
-	if req.Program != nil {
-		r.Program = sral.String(req.Program)
-	}
 	if tc.Valid() {
 		r.TraceID = tc.Trace.String()
 	}
@@ -145,6 +142,81 @@ func (e *Engine) recordDecide(tc obs.TraceContext, req Request, d Decision) {
 		if tr, _, ok := e.trackerFor(req.Access.Object, d.Perm); ok {
 			r.Consumed = tr.Accumulated(r.Time)
 		}
+	}
+	e.appendDecide(rec, req, r)
+}
+
+// appendDecide delta-encodes the request's proof-backed history
+// against the entries already recorded for the object and appends the
+// record. Over an N-access tour this keeps the WAL O(N) instead of
+// O(N²): each decide carries only the history suffix the stream has
+// not seen, with HistoryBase pointing at the shared prefix (schema 2).
+//
+// The declared program is interned the same way: an agent declares
+// one program and then decides against it for its whole itinerary, so
+// re-rendering it per decide made the program — not the history — the
+// residual O(N·|P|) recording cost. A decide whose program is
+// structurally equal to the object's previous one carries only the
+// ProgramCached flag.
+//
+// The recorded history carries each entry's proof verdict AT DECISION
+// TIME, so a replay reproduces the oracle's answers without
+// re-deriving proofs — which is also why the prefix comparison
+// re-queries the oracle: a proven bit that flipped (merged ledgers,
+// revoked proofs) must force a full re-record, or the replay would
+// reproduce stale verdicts. Any prefix mismatch — reordered entries
+// from a time-sorted ledger merge, a shrunk history after a session
+// swap — falls back to a complete re-record with HistoryBase 0.
+//
+// os.recMu is held across both the delta computation and the recorder
+// append, so concurrent decides for one object serialize here and
+// every record's base refers to the object's previous record in
+// stream order.
+func (e *Engine) appendDecide(rec *record.Recorder, req Request, r record.Record) {
+	os := e.objState(req.Access.Object)
+	os.recMu.Lock()
+	defer os.recMu.Unlock()
+	if req.Program != nil {
+		if os.recProg != nil && sral.Equal(os.recProg, req.Program) {
+			r.ProgramCached = true
+		} else {
+			r.Program = sral.String(req.Program)
+			os.recProg = req.Program
+		}
+	}
+	n := len(req.History)
+	base := len(os.recHist)
+	if base > n {
+		base = 0
+	} else {
+		for i := 0; i < base; i++ {
+			a := req.History[i]
+			prev := os.recHist[i]
+			if prev.Object != string(a.Object) || prev.Op != string(a.Op) ||
+				prev.Resource != string(a.Resource) || prev.Server != string(a.Server) ||
+				prev.Proven != (req.Proofs == nil || req.Proofs.Proven(a)) {
+				base = 0
+				break
+			}
+		}
+	}
+	if n > base {
+		r.History = make([]record.HistoryEntry, 0, n-base)
+		for _, a := range req.History[base:] {
+			r.History = append(r.History, record.HistoryEntry{
+				Object:   string(a.Object),
+				Op:       string(a.Op),
+				Resource: string(a.Resource),
+				Server:   string(a.Server),
+				Proven:   req.Proofs == nil || req.Proofs.Proven(a),
+			})
+		}
+	}
+	r.HistoryBase = base
+	if base == 0 {
+		os.recHist = r.History
+	} else {
+		os.recHist = append(os.recHist[:base], r.History...)
 	}
 	rec.Append(r)
 }

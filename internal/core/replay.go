@@ -245,6 +245,14 @@ func replayStream(policySrc string, records []record.Record, opts ReplayOptions,
 	}
 
 	sessions := make(map[string]*rbac.Session)
+	// histories accumulates each object's reconstructed proof-backed
+	// history: decide records delta-encode theirs against the previous
+	// record's (schema 2), so the stream is unfolded as it is walked.
+	histories := make(map[string][]record.HistoryEntry)
+	// programs likewise resolves interned decide programs: a record
+	// flagged ProgramCached reuses the object's previously declared
+	// program.
+	programs := make(map[string]sral.Node)
 	for i, rec := range records {
 		if err := rec.Validate(); err != nil {
 			return nil, fmt.Errorf("replay: record %d: %w", i, err)
@@ -288,10 +296,47 @@ func replayStream(policySrc string, records []record.Record, opts ReplayOptions,
 				sess = replaySession(e, rec.User, rec.Roles)
 				sessions[rec.Object] = sess
 			}
-			visit(rec, e.Authorize(replayRequest(sess, rec)))
+			hist, err := reconstructHistory(histories[rec.Object], rec)
+			if err != nil {
+				return nil, fmt.Errorf("replay: record %d: %w", i, err)
+			}
+			histories[rec.Object] = hist
+			// Mirror the live engine's interning: the cache advances
+			// only on an inline program (a no-program decide leaves it
+			// for later ProgramCached records). Best-effort, matching
+			// schema 1: an unparseable program replays as no program.
+			var prog sral.Node
+			if rec.Program != "" {
+				if n, err := sral.Parse(rec.Program); err == nil {
+					prog = n
+				}
+				programs[rec.Object] = prog
+			} else if rec.ProgramCached {
+				prog = programs[rec.Object]
+			}
+			visit(rec, e.Authorize(replayRequest(sess, rec, hist, prog)))
 		}
 	}
 	return e, nil
+}
+
+// reconstructHistory unfolds a decide record's delta-encoded history:
+// the first HistoryBase entries of the object's previously
+// reconstructed history followed by the record's own entries. Schema 1
+// records always have HistoryBase 0, so reconstruction is the identity
+// for them.
+func reconstructHistory(prev []record.HistoryEntry, rec record.Record) ([]record.HistoryEntry, error) {
+	if rec.HistoryBase > len(prev) {
+		return nil, fmt.Errorf("history base %d exceeds the object's %d reconstructed entries (truncated stream?)",
+			rec.HistoryBase, len(prev))
+	}
+	if rec.HistoryBase == 0 {
+		return rec.History, nil
+	}
+	full := make([]record.HistoryEntry, 0, rec.HistoryBase+len(rec.History))
+	full = append(full, prev[:rec.HistoryBase]...)
+	full = append(full, rec.History...)
+	return full, nil
 }
 
 // replaySession recreates a subject: a session for the user with the
@@ -311,9 +356,10 @@ func replaySession(e *Engine, user string, roles []string) *rbac.Session {
 }
 
 // replayRequest reconstructs the Authorize input from a decide
-// record: the access, the proof-backed history with the RECORDED
-// oracle verdicts, and the declared program.
-func replayRequest(sess *rbac.Session, rec record.Record) Request {
+// record: the access, the reconstructed proof-backed history with the
+// RECORDED oracle verdicts, and the (interning-resolved) declared
+// program.
+func replayRequest(sess *rbac.Session, rec record.Record, entries []record.HistoryEntry, prog sral.Node) Request {
 	req := Request{
 		Session: sess,
 		Access: model.Access{
@@ -323,10 +369,10 @@ func replayRequest(sess *rbac.Session, rec record.Record) Request {
 			Server:   model.ServerID(rec.Server),
 		},
 	}
-	if len(rec.History) > 0 {
-		proven := make(map[model.Access]bool, len(rec.History))
-		hist := make(trace.Trace, 0, len(rec.History))
-		for _, h := range rec.History {
+	if len(entries) > 0 {
+		proven := make(map[model.Access]bool, len(entries))
+		hist := make(trace.Trace, 0, len(entries))
+		for _, h := range entries {
 			a := model.Access{
 				Object:   model.ObjectID(h.Object),
 				Op:       model.Operation(h.Op),
@@ -339,11 +385,7 @@ func replayRequest(sess *rbac.Session, rec record.Record) Request {
 		req.History = hist
 		req.Proofs = srac.OracleFunc(func(a model.Access) bool { return proven[a] })
 	}
-	if rec.Program != "" {
-		if n, err := sral.Parse(rec.Program); err == nil {
-			req.Program = n
-		}
-	}
+	req.Program = prog
 	return req
 }
 

@@ -19,11 +19,13 @@ import (
 // E12 measures what the decision flight recorder costs a loaded
 // coalition: the same roaming tour runs with recording off, with the
 // in-memory ring only, and with ring plus JSONL WAL on a real file.
-// The ring append itself is a mutex-guarded store; the dominant cost
-// is capturing the replayable INPUT — each decide record deep-copies
-// the proof-backed history, which grows with itinerary length — so
-// recorder overhead tracks history size, and the WAL's JSON encoding
-// adds a further constant factor on top.
+// The ring append itself is a mutex-guarded store; the cost is
+// capturing the replayable INPUT. Under schema 1 that meant
+// deep-copying the proof-backed history and re-rendering the declared
+// program on every decide — O(N²) bytes over an N-access tour; since
+// schema 2 both are delta-encoded per object (history suffix +
+// interned program), so recorder overhead is a small constant per
+// access and the WAL grows O(N).
 func E12(scale Scale) (*Table, error) {
 	t := &Table{
 		ID:     "E12",

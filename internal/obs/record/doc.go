@@ -47,6 +47,29 @@
 //     permission's temporal budget snapshot (consumed vs dur(perm)
 //     and base-time scheme).
 //
+// # History delta encoding (schema 2)
+//
+// Schema 1 wrote the complete proof-backed history into every decide
+// record, making a WAL O(N²) in bytes over an N-access tour. Since
+// schema 2 the history is delta-encoded per object: history_base
+// names how many leading entries are shared with the object's
+// previous decide record's (reconstructed) history, and the record's
+// own history field carries only the suffix beyond that. Replay
+// reconstructs the full history per object as it walks the stream.
+// The engine falls back to a full re-record (history_base 0) whenever
+// the carried history is not an extension of what it last recorded —
+// a time-sorted ledger merge reordering entries, a proven bit
+// flipping, or a history shrinking after a session swap. Schema 1
+// streams read unchanged: their records always have history_base 0.
+//
+// The declared SRAL program is interned the same way: an agent
+// declares one program for its whole itinerary, so the program text
+// is written only on the first decide (per object) and whenever it
+// structurally changes; in between, decide records carry
+// program_cached instead and replay resolves the object's previous
+// inline program. A record with neither field declared no program.
+// Schema 1 streams always inline the program.
+//
 // # Versioning rules
 //
 // SchemaVersion is bumped whenever a field changes meaning or a new

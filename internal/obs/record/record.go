@@ -11,8 +11,11 @@ import (
 )
 
 // SchemaVersion is the record schema this package writes and the
-// newest it can read. See doc.go for the versioning rules.
-const SchemaVersion = 1
+// newest it can read. See doc.go for the versioning rules. Version 2
+// added HistoryBase (delta-encoded decide histories) and
+// ProgramCached (interned decide programs); version 1 streams carry
+// full histories and programs and read unchanged.
+const SchemaVersion = 2
 
 // Event kinds. See doc.go for what each captures.
 const (
@@ -57,10 +60,23 @@ type Record struct {
 	User  string   `json:"user,omitempty"`
 	Roles []string `json:"roles,omitempty"`
 
-	// Decide inputs.
+	// Decide inputs. History is delta-encoded since schema 2: the
+	// record's full proof-backed history is the first HistoryBase
+	// entries of the object's PREVIOUS decide record's (reconstructed)
+	// history, followed by this record's own History entries. A
+	// HistoryBase of 0 — every schema 1 record, and any record after a
+	// history reorder/shrink — means History is complete on its own.
 	History     []HistoryEntry `json:"history,omitempty"`
-	Program     string         `json:"program,omitempty"`
-	Incremental bool           `json:"incremental,omitempty"`
+	HistoryBase int            `json:"history_base,omitempty"`
+	// Program is the declared SRAL program, interned since schema 2:
+	// it is recorded in full only when it differs (structurally) from
+	// the program on the object's previous decide record;
+	// ProgramCached marks a decide whose program equals that previous
+	// one. An empty Program with ProgramCached false means the request
+	// declared no program (unchanged from schema 1).
+	Program       string `json:"program,omitempty"`
+	ProgramCached bool   `json:"program_cached,omitempty"`
+	Incremental   bool   `json:"incremental,omitempty"`
 
 	// Decide outcome.
 	Granted        bool            `json:"granted,omitempty"`
@@ -95,6 +111,18 @@ func (r Record) Validate() error {
 	case KindArrive, KindActivate, KindDeactivate, KindGrant, KindDecide:
 	default:
 		return fmt.Errorf("record: unknown kind %q", r.Kind)
+	}
+	if r.HistoryBase < 0 {
+		return fmt.Errorf("record: negative history base %d", r.HistoryBase)
+	}
+	if r.HistoryBase > 0 && r.Kind != KindDecide {
+		return fmt.Errorf("record: history base on %q record", r.Kind)
+	}
+	if r.ProgramCached && r.Kind != KindDecide {
+		return fmt.Errorf("record: cached program on %q record", r.Kind)
+	}
+	if r.ProgramCached && r.Program != "" {
+		return fmt.Errorf("record: cached program alongside inline program")
 	}
 	return nil
 }

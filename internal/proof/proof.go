@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"stac/internal/model"
+	"stac/internal/trace"
 )
 
 // Proof is an execution proof for one shared-resource access: server
@@ -122,6 +123,10 @@ type Store struct {
 	mu     sync.RWMutex
 	signer *Signer
 	proofs []Proof
+	// hist mirrors the proofs' access tuples in an append-only log, so
+	// Trace hands out zero-copy views instead of cloning the history
+	// on every decision (the E12/E13 deep-copy tax).
+	hist *trace.Log
 	// byAccess indexes proofs by exact access tuple.
 	byAccess map[model.Access][]int
 }
@@ -130,7 +135,7 @@ type Store struct {
 // verified against signer; a nil signer disables verification (used
 // for hypothetical traces in tests and workloads).
 func NewStore(signer *Signer) *Store {
-	return &Store{signer: signer, byAccess: make(map[model.Access][]int)}
+	return &Store{signer: signer, hist: trace.NewLog(0), byAccess: make(map[model.Access][]int)}
 }
 
 // Add verifies and records a proof.
@@ -144,6 +149,7 @@ func (st *Store) Add(p Proof) error {
 	defer st.mu.Unlock()
 	st.byAccess[p.Access] = append(st.byAccess[p.Access], len(st.proofs))
 	st.proofs = append(st.proofs, p)
+	st.hist.Append(p.Access)
 	return nil
 }
 
@@ -205,14 +211,13 @@ func (st *Store) Len() int {
 // ordering constraint (a1 ⊗ a2) depends on. TraceByTime gives the
 // timestamp ordering for callers that need it (e.g. merging histories
 // of different objects, where no causal order exists).
+//
+// The result is a ZERO-COPY view of the store's append-only history
+// log: taking it costs O(1) regardless of history length, it never
+// observes proofs added later, and callers must treat it as read-only
+// (appending to it copies, writing its elements is a bug).
 func (st *Store) Trace() []model.Access {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	out := make([]model.Access, len(st.proofs))
-	for i, p := range st.proofs {
-		out[i] = p.Access
-	}
-	return out
+	return st.hist.View()
 }
 
 // TraceByTime returns the access history ordered by proof timestamps
@@ -258,8 +263,19 @@ func (st *Store) Unmarshal(data []byte) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.proofs = fresh.proofs
+	st.hist = fresh.hist
 	st.byAccess = fresh.byAccess
 	return nil
+}
+
+// proofView returns a capacity-clamped read-only view of the proofs —
+// the copy-free counterpart of All for internal iteration. The proofs
+// slice is append-only (Unmarshal swaps the whole backing), so the
+// view stays valid across concurrent Adds.
+func (st *Store) proofView() []Proof {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.proofs[:len(st.proofs):len(st.proofs)]
 }
 
 // MergedTrace combines the access histories of several stores into one
@@ -273,7 +289,7 @@ func MergedTrace(stores ...*Store) []model.Access {
 		if st == nil {
 			continue
 		}
-		for _, p := range st.All() {
+		for _, p := range st.proofView() {
 			if seen[p.Sig] {
 				continue
 			}

@@ -866,7 +866,7 @@ func (c *Client) AccessTraced(tc obs.TraceContext, id string, op model.Operation
 		Op:       string(op),
 		Resource: string(res),
 		Program:  program,
-		Proofs:   append([]proof.Proof(nil), c.proofs...),
+		Proofs:   c.proofs[:len(c.proofs):len(c.proofs)],
 		Payload:  payload,
 		Trace:    tc.String(),
 	}
@@ -881,11 +881,16 @@ func (c *Client) AccessTraced(tc obs.TraceContext, id string, op model.Operation
 	return resp.Data, nil
 }
 
-// Proofs returns the execution proofs collected so far.
+// Proofs returns the execution proofs collected so far, as a shared
+// immutable view: the client's proof slice is append-only, so the
+// capacity-clamped view stays valid (and fixed) across later accesses
+// — a hostile 500-replay flood no longer pays a full slice copy per
+// request. Callers may append to the result (Go copies, len == cap)
+// but must not write its elements.
 func (c *Client) Proofs() []proof.Proof {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]proof.Proof(nil), c.proofs...)
+	return c.proofs[:len(c.proofs):len(c.proofs)]
 }
 
 // ImportProofs seeds the client's carried history (e.g. when migrating

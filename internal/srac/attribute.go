@@ -75,6 +75,19 @@ func (a Attribution) ClauseString() string {
 // engine's incremental counters.
 type LeafEval func(c Constraint) (status Status, stable bool, detail string)
 
+// mergeCounts combines the observed count windows of two subresults
+// (attribution and coverage share it). Constraints without counting
+// atoms — the common case — merge empty against empty, which costs no
+// allocation; a fresh slice is only built when either side observed
+// windows, so neither input is ever aliased or mutated.
+func mergeCounts(l, r []CountWindow) []CountWindow {
+	if len(l) == 0 && len(r) == 0 {
+		return nil
+	}
+	out := make([]CountWindow, 0, len(l)+len(r))
+	return append(append(out, l...), r...)
+}
+
 // AttributeWith explains a constraint's prefix status using the given
 // leaf evaluator for the atomic constructs. The connective logic is a
 // transcription of evalPrefix, so (Status, Stable) match it exactly.
@@ -92,7 +105,7 @@ func AttributeWith(c Constraint, leaf LeafEval) Attribution {
 			return Attribution{
 				Status: Satisfied, Stable: l.Stable && r.Stable,
 				Clause: c, Detail: "both conjuncts satisfied",
-				Counts: append(append([]CountWindow{}, l.Counts...), r.Counts...),
+				Counts: mergeCounts(l.Counts, r.Counts),
 			}
 		case l.Status == Pending:
 			l.Status = Pending
@@ -123,7 +136,7 @@ func AttributeWith(c Constraint, leaf LeafEval) Attribution {
 			return Attribution{
 				Status: Violated, Stable: true, Clause: c,
 				Detail: fmt.Sprintf("both alternatives violated: %s; %s", l.Detail, r.Detail),
-				Counts: append(append([]CountWindow{}, l.Counts...), r.Counts...),
+				Counts: mergeCounts(l.Counts, r.Counts),
 			}
 		case l.Status == Pending:
 			l.Status = Pending

@@ -71,7 +71,7 @@ func coverNode(c Constraint, path string, leaf LeafEval, out *[]NodeCoverage) (A
 			a = Attribution{
 				Status: Satisfied, Stable: l.Stable && r.Stable,
 				Clause: c, Detail: "both conjuncts satisfied",
-				Counts: append(append([]CountWindow{}, l.Counts...), r.Counts...),
+				Counts: mergeCounts(l.Counts, r.Counts),
 			}
 		case l.Status == Pending:
 			l.Status = Pending
@@ -98,7 +98,7 @@ func coverNode(c Constraint, path string, leaf LeafEval, out *[]NodeCoverage) (A
 			a = Attribution{
 				Status: Violated, Stable: true, Clause: c,
 				Detail: fmt.Sprintf("both alternatives violated: %s; %s", l.Detail, r.Detail),
-				Counts: append(append([]CountWindow{}, l.Counts...), r.Counts...),
+				Counts: mergeCounts(l.Counts, r.Counts),
 			}
 		case l.Status == Pending:
 			l.Status = Pending

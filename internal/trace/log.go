@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"sync"
+
+	"stac/internal/model"
+)
+
+// Log is an append-only access log with zero-copy read views — the
+// shared history structure the proof store (and anything else that
+// accumulates a mobile object's executed trace) hands to the SRAC
+// evaluators, the flight recorder and replay without cloning.
+//
+// The immutability contract: entries below a view's length are never
+// rewritten. Appends either fill spare capacity beyond every existing
+// view's length or reallocate the backing array; in both cases views
+// taken earlier keep reading exactly the accesses they saw at capture
+// time. View therefore returns a capacity-clamped slice — callers can
+// hold it across later appends, range it, even append to it (Go then
+// copies, because len == cap) — but must not write its elements.
+type Log struct {
+	mu  sync.RWMutex
+	buf Trace
+}
+
+// NewLog creates a log, pre-sizing the backing array for capacity
+// accesses (<= 0 starts empty).
+func NewLog(capacity int) *Log {
+	l := &Log{}
+	if capacity > 0 {
+		l.buf = make(Trace, 0, capacity)
+	}
+	return l
+}
+
+// Append adds accesses to the end of the log.
+func (l *Log) Append(accs ...model.Access) {
+	l.mu.Lock()
+	l.buf = append(l.buf, accs...)
+	l.mu.Unlock()
+}
+
+// View returns a zero-copy snapshot of the log: a capacity-clamped
+// slice over the backing array covering every access appended so far.
+// The snapshot never observes later appends.
+func (l *Log) View() Trace {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.buf[:len(l.buf):len(l.buf)]
+}
+
+// Len returns the number of accesses appended so far.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.buf)
+}
