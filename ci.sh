@@ -31,27 +31,41 @@ go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 2s ./internal/srac
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 2s ./internal/sral
 go test -run '^$' -fuzz '^FuzzParseRegular$' -fuzztime 2s ./internal/sral
 
+# Smoke outputs are build products, not sources: they land in
+# $ARTIFACTS_DIR (CI sets it and uploads the directory; locally it
+# defaults to a temp dir so nothing litters the working tree).
+ARTIFACTS=${ARTIFACTS_DIR:-$(mktemp -d)}
+mkdir -p "$ARTIFACTS"
+
 # Benchmark smoke: one iteration each, so a broken benchmark (or a
 # regression that panics only on the bench path) fails CI without
 # paying for a real measurement run. The sweep includes the E14
 # contention benchmarks (root package), so the sharded-engine parallel
 # path runs under CI every time. The output lands in a file first
-# (a pipe would mask go test's exit status under set -e), then gets
-# distilled into BENCH_pr7.json for the CI artifact.
-go test -bench . -benchtime=1x -benchmem -run '^$' ./... >bench_smoke.txt
-awk '
-    BEGIN { print "[" }
-    /^Benchmark/ && $8 == "allocs/op" {
-        if (n++) printf ",\n"
-        printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", $1, $3, $7
-    }
-    END { print "\n]" }
-' bench_smoke.txt >BENCH_pr7.json
-rm bench_smoke.txt
+# (a pipe would mask go test's exit status under set -e), then
+# `benchdiff -distill` turns it into the BENCH artifact — ns/op,
+# allocs/op and the host fingerprint benchdiff uses to flag
+# cross-machine comparisons.
+go test -bench . -benchtime=1x -benchmem -run '^$' ./... >"$ARTIFACTS/bench_smoke.txt"
+go run ./cmd/benchdiff -distill "$ARTIFACTS/bench_smoke.txt" >"$ARTIFACTS/BENCH_pr8.json"
 # Compare against the committed previous-PR baseline. Regressions
-# beyond 25% ns/op surface as CI warnings (benchdiff exits 0 on
-# warnings — a 1x smoke run is too noisy to gate on).
-go run ./cmd/benchdiff BENCH_pr5.json BENCH_pr7.json
+# beyond 25% (ns/op or allocs/op) surface as CI warnings (benchdiff
+# exits 0 on warnings — a 1x smoke run is too noisy to gate on).
+go run ./cmd/benchdiff BENCH_pr7.json "$ARTIFACTS/BENCH_pr8.json"
+
+# Contention-profile digest: rerun the E14 contention benchmarks with
+# mutex/block profiling on and distil each profile's hot frames into a
+# JSON digest next to the bench numbers, so a regression hunt starts
+# from "which lock got hot" instead of a raw pprof blob. On the
+# sharded engine the mutex digest is typically EMPTY — near-zero
+# contended unlocks is the property PR 7 bought, and a digest that
+# suddenly grows frames is exactly the regression signal this exists
+# to catch; the block digest always names the scheduler-wait frames.
+go test -bench 'E14_ContentionScaling|AuthorizeMany' -benchtime=1000x -run '^$' \
+    -mutexprofilefraction 16 -mutexprofile "$ARTIFACTS/mutex_smoke.pb.gz" \
+    -blockprofile "$ARTIFACTS/block_smoke.pb.gz" . >/dev/null
+go run ./cmd/benchdiff -digest mutex "$ARTIFACTS/mutex_smoke.pb.gz" >"$ARTIFACTS/PROFILE_mutex_pr8.json"
+go run ./cmd/benchdiff -digest block "$ARTIFACTS/block_smoke.pb.gz" >"$ARTIFACTS/PROFILE_block_pr8.json"
 
 # Load smoke: a short scenario-matrix run over real TCP — one churn
 # and one hostile scenario against the coordinated engine and the RBAC
@@ -61,5 +75,6 @@ go run ./cmd/benchdiff BENCH_pr5.json BENCH_pr7.json
 # build (cross-machine load numbers are noisy, order-of-magnitude
 # slips are not).
 go run ./cmd/stacload -scenarios scenarios -systems stac,rbac \
-    -only churn,hostile -trials 1 -duration-cap 1s -out LOAD_pr6.new.json
-go run ./cmd/benchdiff -threshold 50 -fail-over 90 LOAD_pr6.json LOAD_pr6.new.json
+    -only churn,hostile -trials 1 -duration-cap 1s -out "$ARTIFACTS/LOAD_pr8.json"
+go run ./cmd/benchdiff -threshold 50 -fail-over 90 LOAD_pr6.json "$ARTIFACTS/LOAD_pr8.json"
+echo "smoke artifacts in $ARTIFACTS"

@@ -1,17 +1,35 @@
 // Command benchdiff compares two performance summary files and reports
-// per-entry deltas. It understands two formats, auto-detected from the
-// file contents:
+// per-entry deltas. It understands three formats, auto-detected from
+// the file contents:
 //
-//   - bench summaries (JSON array) — the BENCH_prN.json artifacts
-//     ci.sh distils from the bench smoke run; compared by ns/op.
+//   - bench summaries — the BENCH_prN.json artifacts ci.sh distils
+//     from the bench smoke run, either the legacy bare JSON array or
+//     the v2 envelope {"host": {...}, "bench": [...]} that -distill
+//     emits; compared by ns/op AND allocs/op (both gate).
 //   - load summaries (JSON object with a "runs" array) — the
 //     LOAD_prN.json artifacts cmd/stacload emits; compared by
 //     throughput (ops/s drop) and tail latency (p99 rise) per
 //     (scenario, system) cell, trials averaged.
+//   - profile digests (JSON object with a "frames" array) — the
+//     hot-frame summaries -digest distils from pprof profiles;
+//     compared by flat-share shift per function, in percentage
+//     points. Digest deltas warn but never fail: frame shares answer
+//     "where did the regression go", not "is there one".
 //
 // Usage:
 //
 //	benchdiff [-threshold 25] [-fail-over 0] old.json new.json
+//	benchdiff -distill bench_output.txt            # go test -bench → JSON
+//	benchdiff -digest cpu [-top 10] profile.pb.gz  # pprof → digest JSON
+//
+// -distill parses `go test -bench` text output (use "-" for stdin)
+// and writes a v2 bench summary — benchmark names with ns/op and
+// allocs/op, stamped with the capturing host's fingerprint — to
+// stdout. It replaces the awk pipeline ci.sh used to carry.
+//
+// -digest parses a (possibly gzipped) pprof protobuf profile and
+// writes its top-N hot-leaf-frame digest as JSON to stdout, so CI can
+// archive "which frames were hot" next to "how fast was it".
 //
 // Regressions beyond -threshold are emitted as GitHub Actions
 // "::warning::" annotations so CI surfaces them without failing the
@@ -19,14 +37,23 @@
 // is set (> 0), a gating regression beyond that percentage makes
 // benchdiff exit non-zero, which is how CI turns an order-of-magnitude
 // slip into a hard failure while leaving noise-level drift as
-// warnings. Only ns/op and throughput gate; p99 rises warn but never
-// fail (tail latency on a shared CI box is too volatile to gate on).
+// warnings. ns/op, allocs/op and throughput gate; p99 rises and
+// digest share shifts warn but never fail (tail latency on a shared
+// CI box is too volatile to gate on, and a share shift is
+// attribution, not regression).
+//
+// When both sides carry a host fingerprint and they disagree on
+// anything that skews performance numbers (go version, CPU model,
+// core count), benchdiff emits a "::warning title=host mismatch::"
+// annotation before the deltas — the comparison still runs, but the
+// reader knows the machines differ.
 //
 // A missing old file is not an error (first run after a rename): the
 // tool notes it and exits 0.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -34,6 +61,10 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
+
+	"stac/internal/obs/perf"
 )
 
 // benchResult mirrors one entry of the ci.sh bench summary.
@@ -41,6 +72,13 @@ type benchResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchSummary is the v2 bench envelope -distill writes: results plus
+// the host fingerprint they were captured on.
+type benchSummary struct {
+	Host  perf.HostInfo `json:"host"`
+	Bench []benchResult `json:"bench"`
 }
 
 // loadRun mirrors one matrix cell of a cmd/stacload summary (only the
@@ -53,17 +91,42 @@ type loadRun struct {
 	P99US          float64 `json:"p99_us"`
 }
 
-// loadSummary is the envelope of a LOAD_*.json document.
+// loadSummary is the envelope of a LOAD_*.json document. Schema 2
+// adds the host fingerprint.
 type loadSummary struct {
-	Schema int       `json:"schema"`
-	Runs   []loadRun `json:"runs"`
+	Schema int           `json:"schema"`
+	Host   perf.HostInfo `json:"host"`
+	Runs   []loadRun     `json:"runs"`
+}
+
+// summary is one parsed input file in whichever of the three formats
+// it turned out to be. Exactly one of bench/runs/digest is set (bench
+// may legitimately be an empty non-nil slice).
+type summary struct {
+	host   perf.HostInfo
+	bench  []benchResult
+	runs   []loadRun
+	digest *perf.Digest
+}
+
+func (s summary) kind() string {
+	switch {
+	case s.runs != nil:
+		return "load"
+	case s.digest != nil:
+		return "digest"
+	default:
+		return "bench"
+	}
 }
 
 // delta is one compared entry. Pct is the regression in percent
-// (+ = worse): slower ns/op, lower throughput, higher p99. Gate marks
-// deltas -fail-over may fail the build on: ns/op and throughput
-// qualify, tail latency is warn-only (p99 on a shared CI box swings
-// several-fold run to run; throughput collapses are the real signal).
+// (+ = worse): slower ns/op, more allocs, lower throughput, higher
+// p99, a fatter profile share. Gate marks deltas -fail-over may fail
+// the build on: ns/op, allocs/op and throughput qualify; tail latency
+// and digest shares are warn-only (p99 on a shared CI box swings
+// several-fold run to run; a share shift locates a regression rather
+// than constituting one).
 type delta struct {
 	Name     string
 	Unit     string
@@ -72,8 +135,10 @@ type delta struct {
 	Gate     bool
 }
 
-// compare matches bench results by name and computes ns/op deltas; it
-// also returns benchmarks present on only one side.
+// compare matches bench results by name and computes ns/op and
+// allocs/op deltas; it also returns benchmarks present on only one
+// side. Allocation deltas are emitted only when either side allocates
+// at all — a 0→0 row is noise.
 func compare(old, new []benchResult) (deltas []delta, added, removed []string) {
 	oldBy := make(map[string]benchResult, len(old))
 	for _, b := range old {
@@ -92,6 +157,13 @@ func compare(old, new []benchResult) (deltas []delta, added, removed []string) {
 			d.Pct = (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 		}
 		deltas = append(deltas, d)
+		if o.AllocsPerOp > 0 || b.AllocsPerOp > 0 {
+			da := delta{Name: b.Name, Unit: "allocs/op", Old: o.AllocsPerOp, New: b.AllocsPerOp, Gate: true}
+			if o.AllocsPerOp > 0 {
+				da.Pct = (b.AllocsPerOp - o.AllocsPerOp) / o.AllocsPerOp * 100
+			}
+			deltas = append(deltas, da)
+		}
 	}
 	for _, b := range old {
 		if !seen[b.Name] {
@@ -165,6 +237,39 @@ func compareLoad(old, new []loadRun) (deltas []delta, added, removed []string) {
 	return deltas, added, removed
 }
 
+// compareDigest diffs two profile digests frame by frame. Old/New are
+// flat shares (0..1); Pct is the shift in percentage points of total
+// profile weight (+ = the frame got hotter). Never gates: it
+// attributes where time moved, it does not decide whether the move is
+// bad.
+func compareDigest(old, new *perf.Digest) (deltas []delta, added, removed []string) {
+	oldBy := make(map[string]perf.Frame, len(old.Frames))
+	for _, f := range old.Frames {
+		oldBy[f.Function] = f
+	}
+	seen := make(map[string]bool, len(new.Frames))
+	for _, f := range new.Frames {
+		seen[f.Function] = true
+		o, ok := oldBy[f.Function]
+		if !ok {
+			added = append(added, f.Function)
+			continue
+		}
+		deltas = append(deltas, delta{
+			Name: f.Function, Unit: "share",
+			Old: o.Share, New: f.Share,
+			Pct: (f.Share - o.Share) * 100,
+		})
+	}
+	for _, f := range old.Frames {
+		if !seen[f.Function] {
+			removed = append(removed, f.Function)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Pct > deltas[j].Pct })
+	return deltas, added, removed
+}
+
 // report renders the comparison; regressions beyond thresholdPct
 // become ::warning:: annotations. It returns the worst regression
 // percentage among gating deltas and the total regression count.
@@ -180,7 +285,7 @@ func report(w io.Writer, deltas []delta, added, removed []string, thresholdPct f
 			fmt.Fprintf(w, "::warning title=perf regression::%s %s %+.1f%% worse (%.6g -> %.6g), threshold %g%%\n",
 				d.Name, d.Unit, d.Pct, d.Old, d.New, thresholdPct)
 		}
-		fmt.Fprintf(w, "%s %-54s %6s %12.6g -> %-12.6g %+7.1f%%\n",
+		fmt.Fprintf(w, "%s %-54s %9s %12.6g -> %-12.6g %+7.1f%%\n",
 			marker, d.Name, d.Unit, d.Old, d.New, d.Pct)
 	}
 	for _, n := range added {
@@ -194,36 +299,153 @@ func report(w io.Writer, deltas []delta, added, removed []string, thresholdPct f
 	return worst, regressions
 }
 
-// load reads one summary file, auto-detecting the format: a JSON array
-// is a bench summary, a JSON object with "runs" is a load summary.
-func load(path string) (bench []benchResult, runs []loadRun, err error) {
+// load reads one summary file, auto-detecting the format: a JSON
+// array is a legacy bench summary; an object with "runs" is a load
+// summary, with "bench" a v2 bench summary, with "frames" a profile
+// digest.
+func load(path string) (summary, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return summary{}, err
 	}
 	trimmed := bytes.TrimSpace(data)
 	if len(trimmed) > 0 && trimmed[0] == '{' {
-		var s loadSummary
-		if err := json.Unmarshal(data, &s); err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		var probe struct {
+			Schema int             `json:"schema"`
+			Host   perf.HostInfo   `json:"host"`
+			Runs   []loadRun       `json:"runs"`
+			Bench  []benchResult   `json:"bench"`
+			Frames json.RawMessage `json:"frames"`
 		}
-		if s.Runs == nil {
-			return nil, nil, fmt.Errorf("%s: JSON object without a \"runs\" array", path)
+		if err := json.Unmarshal(data, &probe); err != nil {
+			return summary{}, fmt.Errorf("%s: %w", path, err)
 		}
-		return nil, s.Runs, nil
+		switch {
+		case probe.Runs != nil:
+			return summary{host: probe.Host, runs: probe.Runs}, nil
+		case probe.Bench != nil:
+			return summary{host: probe.Host, bench: probe.Bench}, nil
+		case probe.Frames != nil:
+			var d perf.Digest
+			if err := json.Unmarshal(data, &d); err != nil {
+				return summary{}, fmt.Errorf("%s: %w", path, err)
+			}
+			return summary{digest: &d}, nil
+		}
+		return summary{}, fmt.Errorf("%s: JSON object without a \"runs\", \"bench\" or \"frames\" array", path)
 	}
+	var bench []benchResult
 	if err := json.Unmarshal(data, &bench); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return summary{}, fmt.Errorf("%s: %w", path, err)
 	}
-	return bench, nil, nil
+	if bench == nil {
+		bench = []benchResult{}
+	}
+	return summary{bench: bench}, nil
+}
+
+// distill parses `go test -bench` text output into bench results. A
+// benchmark line looks like
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   3 allocs/op
+//
+// where the memory columns only appear under -benchmem; lines without
+// them still contribute ns/op.
+func distill(r io.Reader) ([]benchResult, error) {
+	var out []benchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		b := benchResult{Name: fields[0]}
+		matched := false
+		for i := 3; i < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i] {
+			case "ns/op":
+				b.NsPerOp = v
+				matched = true
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if matched {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+func runDistill(path string, w io.Writer) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	bench, err := distill(r)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(benchSummary{Host: perf.Host(), Bench: bench})
+}
+
+func runDigest(kind, path string, topN int, w io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	d, err := perf.DigestProfile(kind, raw, topN)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// reportHostMismatch warns when two summaries were captured on
+// machines whose differences skew performance numbers. Legacy files
+// without a fingerprint have zero-valued hosts, which Diff ignores
+// field by field.
+func reportHostMismatch(w io.Writer, old, new summary) {
+	for _, diff := range old.host.Diff(new.host) {
+		fmt.Fprintf(w, "::warning title=host mismatch::%s — comparison may be skewed\n", diff)
+	}
 }
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 25, "warn about regressions beyond this percentage")
 	failOver := fs.Float64("fail-over", 0, "exit non-zero when a regression exceeds this percentage (0 = never fail)")
+	distillMode := fs.Bool("distill", false, "parse `go test -bench` output (file or \"-\" for stdin) into a bench summary JSON on stdout")
+	digestKind := fs.String("digest", "", "parse a pprof profile file into a hot-frame digest JSON on stdout, labelled with this kind (cpu, mutex, block, heap)")
+	topN := fs.Int("top", 10, "number of hot frames to keep in -digest mode")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch {
+	case *distillMode:
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: benchdiff -distill bench_output.txt|-")
+		}
+		return runDistill(fs.Arg(0), w)
+	case *digestKind != "":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: benchdiff -digest kind [-top n] profile.pb.gz")
+		}
+		return runDigest(*digestKind, fs.Arg(0), *topN, w)
 	}
 	if fs.NArg() != 2 {
 		return fmt.Errorf("usage: benchdiff [-threshold pct] [-fail-over pct] old.json new.json")
@@ -233,23 +455,28 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "# no baseline %s — nothing to compare\n", oldPath)
 		return nil
 	}
-	oldBench, oldRuns, err := load(oldPath)
+	old, err := load(oldPath)
 	if err != nil {
 		return err
 	}
-	newBench, newRuns, err := load(newPath)
+	new, err := load(newPath)
 	if err != nil {
 		return err
 	}
+	if old.kind() != new.kind() {
+		return fmt.Errorf("cannot compare a %s summary against a %s summary (%s vs %s)",
+			old.kind(), new.kind(), oldPath, newPath)
+	}
+	reportHostMismatch(w, old, new)
 	var deltas []delta
 	var added, removed []string
-	switch {
-	case oldRuns != nil && newRuns != nil:
-		deltas, added, removed = compareLoad(oldRuns, newRuns)
-	case oldRuns == nil && newRuns == nil:
-		deltas, added, removed = compare(oldBench, newBench)
+	switch old.kind() {
+	case "load":
+		deltas, added, removed = compareLoad(old.runs, new.runs)
+	case "digest":
+		deltas, added, removed = compareDigest(old.digest, new.digest)
 	default:
-		return fmt.Errorf("cannot compare a bench summary against a load summary (%s vs %s)", oldPath, newPath)
+		deltas, added, removed = compare(old.bench, new.bench)
 	}
 	worst, _ := report(w, deltas, added, removed, *threshold)
 	if *failOver > 0 && worst > *failOver {

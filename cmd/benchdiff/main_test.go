@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"testing"
 )
@@ -258,4 +259,248 @@ func TestRunFailOverIgnoresTailLatency(t *testing.T) {
 	if !strings.Contains(buf.String(), "::warning") {
 		t.Fatalf("p99 rise not even warned:\n%s", buf.String())
 	}
+}
+
+// --- allocs/op gating -------------------------------------------------
+
+func TestCompareEmitsAllocDeltas(t *testing.T) {
+	deltas, _, _ := compare(
+		[]benchResult{
+			{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 10},
+			{Name: "BenchmarkZeroAlloc", NsPerOp: 100},
+		},
+		[]benchResult{
+			{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 30},
+			{Name: "BenchmarkZeroAlloc", NsPerOp: 100},
+		},
+	)
+	// A allocates: ns/op + allocs/op. ZeroAlloc never allocates on
+	// either side: ns/op only.
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	var alloc *delta
+	for i := range deltas {
+		if deltas[i].Unit == "allocs/op" {
+			alloc = &deltas[i]
+		}
+	}
+	if alloc == nil || alloc.Name != "BenchmarkA" {
+		t.Fatalf("no allocs delta: %+v", deltas)
+	}
+	if alloc.Pct < 199 || alloc.Pct > 201 || !alloc.Gate {
+		t.Fatalf("allocs delta = %+v, want +200%% gating", *alloc)
+	}
+}
+
+func TestRunFailOverGatesAllocRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	// ns/op flat, allocs tripled: only the allocation axis regresses.
+	if err := os.WriteFile(oldPath, []byte(`[{"name":"B","ns_per_op":100,"allocs_per_op":2}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(`[{"name":"B","ns_per_op":100,"allocs_per_op":6}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-fail-over", "90", oldPath, newPath}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "exceeds -fail-over") {
+		t.Fatalf("alloc regression did not gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "allocs/op") {
+		t.Fatalf("report missing allocs/op row:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-fail-over", "250", oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("under fail-over errored: %v", err)
+	}
+}
+
+// --- v2 bench envelope and host mismatch ------------------------------
+
+func TestRunV2BenchEnvelopeAndHostWarning(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	oldDoc := `{"host":{"go_version":"go1.24","goarch":"amd64","num_cpu":8,"gomaxprocs":8,"cpu_model":"Xeon"},
+		"bench":[{"name":"B","ns_per_op":100}]}`
+	newDoc := `{"host":{"go_version":"go1.24","goarch":"amd64","num_cpu":64,"gomaxprocs":64,"cpu_model":"EPYC"},
+		"bench":[{"name":"B","ns_per_op":105}]}`
+	if err := os.WriteFile(oldPath, []byte(oldDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{oldPath, newPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "::warning title=host mismatch::cpu_model: Xeon vs EPYC") {
+		t.Fatalf("no host-mismatch warning:\n%s", out)
+	}
+	if !strings.Contains(out, "num_cpu differs") {
+		t.Fatalf("core-count mismatch not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "1 compared") {
+		t.Fatalf("envelope entries not compared:\n%s", out)
+	}
+
+	// A v2 envelope against a legacy bare array still compares — the
+	// legacy side just has no fingerprint to mismatch on.
+	legacy := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`[{"name":"B","ns_per_op":100}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{legacy, newPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "host mismatch") {
+		t.Fatalf("fingerprint-less baseline produced a host warning:\n%s", buf.String())
+	}
+}
+
+// --- -distill mode ----------------------------------------------------
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: stac
+BenchmarkAuthorize-8         	  123456	      9876 ns/op	     512 B/op	      12 allocs/op
+BenchmarkAuthorizeParallel-8 	  654321	       123.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem-8             	     100	     55555 ns/op
+PASS
+ok  	stac	1.234s
+`
+
+func TestDistillParsesBenchOutput(t *testing.T) {
+	results, err := distill(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].Name != "BenchmarkAuthorize-8" || results[0].NsPerOp != 9876 || results[0].AllocsPerOp != 12 {
+		t.Fatalf("first result = %+v", results[0])
+	}
+	if results[1].NsPerOp != 123.4 || results[1].AllocsPerOp != 0 {
+		t.Fatalf("parallel result = %+v", results[1])
+	}
+	if results[2].Name != "BenchmarkNoMem-8" || results[2].NsPerOp != 55555 {
+		t.Fatalf("memless result = %+v", results[2])
+	}
+}
+
+func TestRunDistillRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(txt, []byte(benchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-distill", txt}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var s benchSummary
+	mustUnmarshal(t, buf.String(), &s)
+	if len(s.Bench) != 3 || s.Host.GoVersion == "" || s.Host.NumCPU == 0 {
+		t.Fatalf("distilled summary = %+v", s)
+	}
+	// The distilled file loads back as a bench summary and diffs
+	// against itself with zero regressions.
+	out := filepath.Join(dir, "BENCH.json")
+	if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-fail-over", "1", out, out}, &buf); err != nil {
+		t.Fatalf("self-diff errored: %v\n%s", err, buf.String())
+	}
+	if strings.Contains(buf.String(), "::warning") {
+		t.Fatalf("self-diff warned:\n%s", buf.String())
+	}
+}
+
+// --- digest mode and digest diffing -----------------------------------
+
+const digestOld = `{"kind":"mutex","unit":"nanoseconds","total":1000,"samples":10,
+	"frames":[{"function":"lockA","flat":600,"share":0.6},{"function":"lockB","flat":400,"share":0.4}]}`
+
+const digestNew = `{"kind":"mutex","unit":"nanoseconds","total":2000,"samples":20,
+	"frames":[{"function":"lockA","flat":1800,"share":0.9},{"function":"lockC","flat":200,"share":0.1}]}`
+
+func TestCompareDigestShareShift(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(digestOld), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(digestNew), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// lockA gained 30 points of share: warns beyond threshold 25 but
+	// must never gate, even with -fail-over set low.
+	if err := run([]string{"-fail-over", "5", oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("digest share shift gated: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "::warning title=perf regression::lockA share +30.0%") {
+		t.Fatalf("hot-frame shift not warned:\n%s", out)
+	}
+	if !strings.Contains(out, "+ lockC") || !strings.Contains(out, "- lockB") {
+		t.Fatalf("frame churn not reported:\n%s", out)
+	}
+
+	// Digest vs bench is a format mismatch.
+	benchPath := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(benchPath, []byte(`[{"name":"B","ns_per_op":1}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{oldPath, benchPath}, &buf); err == nil {
+		t.Fatal("digest vs bench accepted")
+	}
+}
+
+func TestRunDigestModeOnRealProfile(t *testing.T) {
+	// Capture a real heap profile, digest it through the CLI path, and
+	// check the output parses back as a digest summary.
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "heap.pb.gz")
+	f, err := os.Create(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	if err := run([]string{"-digest", "heap", "-top", "5", prof}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := loadFromBytes(t, dir, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.kind() != "digest" || s.digest.Kind != "heap" || len(s.digest.Frames) == 0 {
+		t.Fatalf("digest = %+v", s.digest)
+	}
+	if len(s.digest.Frames) > 5 {
+		t.Fatalf("-top 5 kept %d frames", len(s.digest.Frames))
+	}
+}
+
+func loadFromBytes(t *testing.T, dir string, data []byte) (summary, error) {
+	t.Helper()
+	path := filepath.Join(dir, "roundtrip.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return load(path)
 }

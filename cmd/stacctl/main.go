@@ -23,6 +23,11 @@
 //	                                           # a policy and print the
 //	                                           # decision trail
 //	stacctl top -members m1=host:port,m2=...   # live merged fleet table
+//	                                           # (incl. per-member hot
+//	                                           # lock stripe & SLO burn)
+//	stacctl slow -addr host:port               # slowest retained decision
+//	                                           # exemplars, resolved via
+//	                                           # /debug/explain
 //	stacctl watch -members m1=host:port,...    # stream decisions as they
 //	                                           # happen (filter -object,
 //	                                           # -perm, -verdict, -server;
@@ -61,7 +66,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: stacctl <parse-program|parse-constraint|check|explain|traces|synth|policy|simulate|top|watch|replay|diff> ...")
+		return fmt.Errorf("usage: stacctl <parse-program|parse-constraint|check|explain|traces|synth|policy|simulate|top|slow|watch|replay|diff> ...")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -93,6 +98,8 @@ func run(args []string) error {
 		return cmdSimulate(rest)
 	case "top":
 		return cmdTop(rest)
+	case "slow":
+		return cmdSlow(rest)
 	case "watch":
 		return cmdWatch(rest)
 	case "replay":

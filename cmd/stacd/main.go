@@ -41,6 +41,7 @@ import (
 	"stac/internal/core"
 	"stac/internal/model"
 	"stac/internal/obs"
+	"stac/internal/obs/perf"
 	"stac/internal/obs/record"
 	"stac/internal/server"
 	"stac/internal/temporal"
@@ -104,6 +105,30 @@ type options struct {
 	// coverage tracks per-clause SRAC evaluation counts (served on
 	// /debug/coverage and folded into /debug/snapshot).
 	coverage bool
+
+	// perfInterval drives the continuous-profiling ring: every interval
+	// the daemon captures CPU/mutex/block/heap pprof snapshots, served
+	// (digested and raw) on /debug/perf. 0 disables the ring;
+	// /debug/perf still reports the engine's lock-stripe telemetry.
+	perfInterval time.Duration
+	// perfCPUWindow bounds each round's CPU capture.
+	perfCPUWindow time.Duration
+	// mutexFraction / blockRate feed runtime.SetMutexProfileFraction
+	// and runtime.SetBlockProfileRate (0 leaves the runtime defaults —
+	// both profiles effectively off).
+	mutexFraction int
+	blockRate     int
+	// sloTarget / sloObjective attach a decision-latency SLO to the
+	// engine: sloObjective of decisions must finish within sloTarget.
+	// Zero target disables.
+	sloTarget    time.Duration
+	sloObjective float64
+
+	// registry, when non-nil, isolates the engine's metrics (and the
+	// /metrics exposition) from the process-wide obs.Default — a test
+	// hook: daemons in one test process otherwise share histogram
+	// families, so exemplars bleed between engines.
+	registry *obs.Registry
 }
 
 func (o options) daemonConfig() server.DaemonConfig {
@@ -137,6 +162,12 @@ func main() {
 	flag.StringVar(&opts.recordWAL, "record-wal", "", "append every flight-recorder event as a JSON line to this file (implies -record); empty disables")
 	flag.StringVar(&opts.shadowPolicy, "shadow-policy", "", "evaluate this candidate policy file alongside the served one; flips are reported, verdicts unchanged")
 	flag.BoolVar(&opts.coverage, "coverage", true, "track per-clause SRAC evaluation coverage (/debug/coverage)")
+	flag.DurationVar(&opts.perfInterval, "perf-interval", 0, "continuous-profiling capture interval (/debug/perf); 0 disables the ring")
+	flag.DurationVar(&opts.perfCPUWindow, "perf-cpu-window", 2*time.Second, "CPU profile duration per capture round")
+	flag.IntVar(&opts.mutexFraction, "mutex-profile-fraction", 0, "runtime mutex profile sampling fraction (1 = every event); 0 leaves it off")
+	flag.IntVar(&opts.blockRate, "block-profile-rate", 0, "runtime block profile rate in ns (1 = every event); 0 leaves it off")
+	flag.DurationVar(&opts.sloTarget, "slo-target", 0, "decision-latency SLO target; 0 disables SLO tracking")
+	flag.Float64Var(&opts.sloObjective, "slo-objective", 0.99, "fraction of decisions that must meet -slo-target")
 	flag.Parse()
 
 	app, err := start(opts, os.Stdout)
@@ -157,6 +188,7 @@ type app struct {
 	metricsLn  net.Listener
 	metricsSrv *http.Server
 	debug      *server.DebugServer
+	profiler   *perf.Profiler
 	auditFile  *os.File
 	walFile    *os.File
 }
@@ -167,6 +199,9 @@ type app struct {
 // shutdown).
 func start(opts options, w io.Writer) (*app, error) {
 	c := server.NewCoalition(temporal.NewRealClock(), []byte(opts.key))
+	if opts.registry != nil {
+		c.Engine.SetObs(opts.registry)
+	}
 
 	if opts.policyPath != "" {
 		f, err := os.Open(opts.policyPath)
@@ -240,13 +275,26 @@ func start(opts options, w io.Writer) (*app, error) {
 		fmt.Fprintf(w, "%s %s\n", id, addr)
 	}
 
+	if opts.sloTarget > 0 {
+		c.Engine.SetSLO(perf.SLO{Target: opts.sloTarget, Objective: opts.sloObjective})
+	}
+	if opts.perfInterval > 0 || opts.mutexFraction > 0 || opts.blockRate > 0 {
+		a.profiler = perf.NewProfiler(perf.ProfilerConfig{
+			Interval:      opts.perfInterval,
+			CPUWindow:     opts.perfCPUWindow,
+			MutexFraction: opts.mutexFraction,
+			BlockRate:     opts.blockRate,
+		})
+		a.profiler.Start()
+	}
+
 	if opts.metricsAddr != "" {
 		ln, err := net.Listen("tcp", opts.metricsAddr)
 		if err != nil {
 			return fail(err)
 		}
 		a.metricsLn = ln
-		a.debug = server.NewDebugServer(c, a.daemons, tracer, server.DebugConfig{})
+		a.debug = server.NewDebugServer(c, a.daemons, tracer, server.DebugConfig{Profiler: a.profiler, Registry: opts.registry})
 		a.debug.StartBudgetSampler(opts.budgetSampleInterval)
 		// Own the server so shutdown can drain in-flight scrapes
 		// instead of snapping the listener out from under them.
@@ -303,6 +351,9 @@ func shutdown(a *app) {
 		// Release SSE watch streams first: Shutdown waits for in-flight
 		// handlers, and a watch handler never finishes on its own.
 		a.debug.Drain()
+	}
+	if a.profiler != nil {
+		a.profiler.Stop()
 	}
 	if a.metricsSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

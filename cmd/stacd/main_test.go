@@ -657,9 +657,12 @@ func TestStartWiresRecorderShadowAndCoverage(t *testing.T) {
 	if err := json.Unmarshal([]byte(get("/debug/snapshot")), &snap); err != nil {
 		t.Fatal(err)
 	}
-	if snap.Version != 2 || snap.ShadowDigest == "" || snap.ShadowFlips != 1 ||
+	if snap.Version != 3 || snap.ShadowDigest == "" || snap.ShadowFlips != 1 ||
 		snap.Recorder == nil || snap.Recorder.Total == 0 || snap.Runtime.Goroutines < 1 {
-		t.Fatalf("snapshot v2 fields = %+v", snap)
+		t.Fatalf("snapshot versioned fields = %+v", snap)
+	}
+	if len(snap.Perf.Stripes) < 34 || len(snap.Perf.Exemplars) == 0 {
+		t.Fatalf("snapshot perf section = %+v", snap.Perf)
 	}
 
 	// The WAL on disk replays deterministically through a fresh engine.
@@ -683,5 +686,122 @@ func TestStartWiresRecorderShadowAndCoverage(t *testing.T) {
 	}
 	if !res.Deterministic() || res.Decisions == 0 {
 		t.Fatalf("replay = %+v", res)
+	}
+}
+
+// TestPerfExemplarResolvesThroughExplain drives a live daemon, forces
+// decisions through the engine, and asserts the tail-latency exemplars
+// published on /debug/perf and /metrics carry decision IDs that
+// resolve through /debug/explain — the exemplar-to-trace walkthrough
+// of E15, end to end.
+func TestPerfExemplarResolvesThroughExplain(t *testing.T) {
+	var out strings.Builder
+	app, err := start(options{
+		policyPath:  writePolicy(t),
+		servers:     "s1",
+		listen:      "127.0.0.1:0",
+		key:         "test-key",
+		issueCreds:  true,
+		resources:   resourceFlags{"s1:fileA=hello"},
+		metricsAddr: "127.0.0.1:0",
+		// A 1ns target every decision misses: the SLO gauges must show
+		// a saturated burn rate.
+		sloTarget:    time.Nanosecond,
+		sloObjective: 0.9,
+		// Isolated registry: sibling tests' engines share obs.Default,
+		// and their exemplars would not resolve in THIS daemon's audit.
+		registry: obs.NewRegistry(),
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(app)
+
+	var addr, metricsAddr string
+	var cred proof.Credential
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if rest, ok := strings.CutPrefix(line, "metrics "); ok {
+			metricsAddr = rest
+		} else if rest, ok := strings.CutPrefix(line, "s1 "); ok {
+			addr = rest
+		} else if rest, ok := strings.CutPrefix(line, "credential device-1 "); ok {
+			if err := json.Unmarshal([]byte(rest), &cred); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cl, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth(cred); err != nil {
+		t.Fatal(err)
+	}
+	// The first decision pays cold-path costs (lazily built session
+	// state), so it lands in a slow bucket and claims an exemplar; the
+	// follow-ups spread over the faster buckets.
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Access(model.OpRead, "fileA", "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + metricsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	var perfView struct {
+		Engine core.PerfStats `json:"engine"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/perf")), &perfView); err != nil {
+		t.Fatalf("/debug/perf not JSON: %v", err)
+	}
+	if len(perfView.Engine.Exemplars) == 0 {
+		t.Fatal("/debug/perf has no decision exemplars after 20 decisions")
+	}
+	// Every retained exemplar names a decision the audit window can
+	// explain.
+	for _, ex := range perfView.Engine.Exemplars {
+		if ex.DecisionID == "" {
+			t.Fatalf("exemplar without decision ID: %+v", ex)
+		}
+		var entry server.AuditEntry
+		if err := json.Unmarshal([]byte(get("/debug/explain?id="+ex.DecisionID)), &entry); err != nil {
+			t.Fatalf("explain %s: %v", ex.DecisionID, err)
+		}
+		if entry.DecisionID != ex.DecisionID || !entry.Granted {
+			t.Fatalf("explain %s = %+v", ex.DecisionID, entry)
+		}
+	}
+	if perfView.Engine.SLO.BurnRate < 9.9 {
+		t.Fatalf("SLO burn rate = %g, want ~10 with every decision over a 1ns target",
+			perfView.Engine.SLO.BurnRate)
+	}
+
+	// /metrics carries the per-stripe wait histograms, the exemplar
+	// annotations on the decision histogram, and the SLO gauges.
+	body := get("/metrics")
+	for _, want := range []string{
+		`stac_lock_wait_seconds_bucket{stripe="policy"`,
+		`stac_lock_wait_seconds_bucket{stripe="shard_`,
+		`# {decision_id="d-`,
+		"stac_slo_burn_rate",
+		"stac_shard_object_imbalance_ratio",
+		"stac_authz_batch_inflight",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
 	}
 }

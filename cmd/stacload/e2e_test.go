@@ -76,6 +76,63 @@ func TestE2EChurnAndHostileMatrix(t *testing.T) {
 	if r := byCell["churn/stac"]; r.MaxGoroutines <= 0 {
 		t.Fatalf("churn/stac never sampled /debug/snapshot: %+v", r)
 	}
+	// STAC cells carry the hot-path attribution: a hottest lock stripe
+	// and the slowest decision exemplars, each with a replayable ID.
+	// Baselines have no engine telemetry to report.
+	for _, cell := range []string{"churn/stac", "hostile/stac"} {
+		p := byCell[cell].Perf
+		if p == nil || p.HotStripe == "" || len(p.SlowExemplars) == 0 {
+			t.Fatalf("cell %s perf section incomplete: %+v", cell, p)
+		}
+		for _, ex := range p.SlowExemplars {
+			if ex.DecisionID == "" {
+				t.Fatalf("cell %s exemplar without decision ID: %+v", cell, ex)
+			}
+		}
+		if p.SlowestDecisionID == "" || p.Exemplars == 0 {
+			t.Fatalf("cell %s rollup incomplete: %+v", cell, p)
+		}
+	}
+	if byCell["churn/rbac"].Perf != nil {
+		t.Fatalf("rbac cell grew a perf section: %+v", byCell["churn/rbac"].Perf)
+	}
+}
+
+// TestE2EPolicySizeSLOAndDigests runs the policysize scenario — the
+// committed cell with an slo_target_ms axis — and checks the perf
+// section reports SLO health and a mutex hot-frame digest.
+func TestE2EPolicySizeSLOAndDigests(t *testing.T) {
+	var buf bytes.Buffer
+	opts := e2eOptions("policysize", "")
+	opts.systems = []string{"stac"}
+	sum, err := runMatrix(opts, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Runs) != 1 {
+		t.Fatalf("runs = %+v", sum.Runs)
+	}
+	p := sum.Runs[0].Perf
+	if p == nil || p.SLOTargetMS != 5 {
+		t.Fatalf("perf section = %+v", p)
+	}
+	// The SLO tracker observed every decision (burn rate may be 0 on a
+	// fast box — only the denominator is load-independent).
+	if p.SLOOverFraction < 0 || len(p.SlowExemplars) == 0 {
+		t.Fatalf("SLO/exemplars: %+v", p)
+	}
+	// At least one runtime profile (mutex or block) accumulated enough
+	// sampled events over the box to digest; whichever did must name
+	// real frames. (A short cell on an uncontended box can legitimately
+	// leave the mutex profile empty.)
+	if len(p.Digests) == 0 {
+		t.Fatalf("no profile digests captured: %+v", p)
+	}
+	for kind, d := range p.Digests {
+		if len(d.Frames) == 0 || d.Unit == "" || d.Kind != kind {
+			t.Fatalf("digest %s = %+v", kind, d)
+		}
+	}
 }
 
 // TestE2ECountsEnforcementGap runs the tight-count scenario: the
@@ -128,6 +185,9 @@ func TestE2ERunWritesSummaryFile(t *testing.T) {
 	}
 	if sum.Schema != LoadSchemaVersion || len(sum.Runs) != 1 {
 		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Host.GoVersion == "" || sum.Host.NumCPU == 0 {
+		t.Fatalf("summary missing host fingerprint: %+v", sum.Host)
 	}
 	if !bytes.Contains(buf.Bytes(), []byte("burst")) {
 		t.Fatalf("table missing scenario row:\n%s", buf.String())

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"stac/internal/obs/perf"
 	"stac/internal/workload"
 )
 
@@ -136,7 +137,9 @@ func runCell(sc Scenario, sysName string, trial int, durationCap time.Duration) 
 	peakMu.Lock()
 	g, h := peakG, peakHeap
 	peakMu.Unlock()
-	return aggregate(sc.Name, sysName, trial, elapsed, stats, g, h), nil
+	r := aggregate(sc.Name, sysName, trial, elapsed, stats, g, h)
+	r.Perf = sys.perfReport()
+	return r, nil
 }
 
 // runMatrix runs the full scenario × system × trial matrix and
@@ -155,6 +158,7 @@ func runMatrix(opts cliOptions, w io.Writer) (Summary, error) {
 	}
 	sum := Summary{
 		Schema: LoadSchemaVersion,
+		Host:   perf.Host(),
 		Note: fmt.Sprintf("stacload: %d scenario(s) x %d system(s) x %d trial(s)",
 			len(scenarios), len(opts.systems), opts.trials),
 	}

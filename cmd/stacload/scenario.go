@@ -55,6 +55,11 @@ type Scenario struct {
 	// history-verification and deep-copy paths.
 	ProofHistory int `json:"proof_history,omitempty"`
 
+	// SLOTargetMS attaches a latency SLO to the STAC engine for the
+	// run: decisions slower than this burn the error budget, and the
+	// cell's perf section reports the burn rate. 0 = no SLO.
+	SLOTargetMS float64 `json:"slo_target_ms,omitempty"`
+
 	Policy  PolicyAxis  `json:"policy"`
 	Faults  FaultAxis   `json:"faults,omitempty"`
 	Hostile HostileAxis `json:"hostile,omitempty"`

@@ -5,6 +5,10 @@ import (
 	"io"
 	"math"
 	"sort"
+
+	"stac/internal/obs"
+	"stac/internal/obs/federate"
+	"stac/internal/obs/perf"
 )
 
 // The LOAD_*.json summary schema: one RunResult per matrix cell trial,
@@ -12,11 +16,18 @@ import (
 // throughput regressions gate CI the same way.
 
 // LoadSchemaVersion is the schema version of a load summary document.
-const LoadSchemaVersion = 1
+//
+//	1: runs array only
+//	2: host fingerprint header + optional per-cell perf section
+//	   (lock contention, SLO burn, exemplars, profile digests)
+const LoadSchemaVersion = 2
 
 // Summary is the document stacload emits.
 type Summary struct {
 	Schema int `json:"schema"`
+	// Host fingerprints the machine the run was captured on, so
+	// benchdiff can flag cross-machine comparisons.
+	Host perf.HostInfo `json:"host"`
 	// Note describes the run (host, flags) for humans reading the
 	// artifact; benchdiff ignores it.
 	Note string      `json:"note,omitempty"`
@@ -50,6 +61,25 @@ type RunResult struct {
 	// trial (STAC) or in-process (baselines).
 	MaxGoroutines int    `json:"max_goroutines,omitempty"`
 	MaxHeapBytes  uint64 `json:"max_heap_bytes,omitempty"`
+
+	// Perf is the hot-path attribution for systems that expose it
+	// (STAC only): the hottest lock stripe, SLO burn, the slowest
+	// replayable decision exemplars, and mutex/block hot-frame digests
+	// captured at the end of the cell.
+	Perf *CellPerf `json:"perf,omitempty"`
+}
+
+// CellPerf is one cell's performance attribution: the same rollup the
+// fleet poller computes per member, plus the scenario's SLO target and
+// the cell-end profile digests.
+type CellPerf struct {
+	federate.MemberPerfRollup
+	SLOTargetMS float64 `json:"slo_target_ms,omitempty"`
+	// SlowExemplars are the slowest retained decision exemplars of the
+	// cell, each resolvable through the daemon's /debug/explain while
+	// it lives (the IDs outlive the run in the summary for diffing).
+	SlowExemplars []obs.Exemplar          `json:"slow_exemplars,omitempty"`
+	Digests       map[string]*perf.Digest `json:"profile_digests,omitempty"`
 }
 
 // percentile returns the p-th percentile (0..100) of sorted samples by

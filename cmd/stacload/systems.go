@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
+	"sort"
 	"time"
 
 	"stac/internal/baseline"
@@ -13,6 +15,8 @@ import (
 	"stac/internal/faults"
 	"stac/internal/model"
 	"stac/internal/obs"
+	"stac/internal/obs/federate"
+	"stac/internal/obs/perf"
 	"stac/internal/proof"
 	"stac/internal/rbac"
 	"stac/internal/server"
@@ -73,6 +77,9 @@ type system interface {
 	replayFlood(w, si int, res model.ResourceID, n int) (int, error)
 	// sample returns current goroutine count and heap bytes.
 	sample() (int, uint64)
+	// perfReport returns the cell's hot-path attribution after the
+	// load completes (nil on systems without one).
+	perfReport() *CellPerf
 	close()
 }
 
@@ -114,6 +121,13 @@ type stacSystem struct {
 	addrs   []string
 	creds   []proof.Credential
 	dial    dialFunc
+	sloMS   float64
+
+	// prevMutexFrac / prevBlockRate restore the process-global profile
+	// rates at teardown so one cell's sampling does not leak into the
+	// next system's numbers.
+	prevMutexFrac int
+	prevBlockRate int
 
 	debug      *server.DebugServer
 	metricsLn  net.Listener
@@ -126,10 +140,18 @@ type stacSystem struct {
 // per coalition server plus the /debug/snapshot endpoint the sampler
 // scrapes — the same wiring stacd performs.
 func bootSTAC(sc Scenario, gp workload.GeneratedPolicy) (*stacSystem, error) {
-	s := &stacSystem{dial: newDialer(sc)}
+	s := &stacSystem{dial: newDialer(sc), sloMS: sc.SLOTargetMS}
 	reg := obs.NewRegistry()
 	coal := server.NewCoalition(temporal.NewRealClock(), []byte("stacload-key"))
 	coal.Engine.SetObs(reg)
+	if sc.SLOTargetMS > 0 {
+		coal.Engine.SetSLO(perf.SLO{Target: time.Duration(sc.SLOTargetMS * float64(time.Millisecond))})
+	}
+	// Sampled mutex/block profiling for the cell-end hot-frame digest:
+	// cheap enough to leave on for the whole box, restored at close.
+	s.prevMutexFrac = runtime.SetMutexProfileFraction(64)
+	s.prevBlockRate = -1
+	runtime.SetBlockProfileRate(100_000)
 	tracer := obs.NewTracer(16)
 	tracer.SetSampling(false)
 	coal.Engine.SetTracer(tracer)
@@ -177,6 +199,32 @@ func bootSTAC(sc Scenario, gp workload.GeneratedPolicy) (*stacSystem, error) {
 			model.ObjectID(u), u+"@load", []string{gp.Role}))
 	}
 	return s, nil
+}
+
+// perfReport reduces the engine's perf stats (the same rollup the
+// fleet poller computes per member), keeps the three slowest decision
+// exemplars, and digests the runtime mutex/block profiles accumulated
+// over the cell.
+func (s *stacSystem) perfReport() *CellPerf {
+	ps := s.coal.Engine.PerfStats()
+	sort.Slice(ps.Exemplars, func(i, j int) bool { return ps.Exemplars[i].Value > ps.Exemplars[j].Value })
+	if len(ps.Exemplars) > 3 {
+		ps.Exemplars = ps.Exemplars[:3]
+	}
+	cp := &CellPerf{
+		MemberPerfRollup: federate.PerfRollup("stac", ps),
+		SLOTargetMS:      s.sloMS,
+	}
+	cp.SlowExemplars = ps.Exemplars
+	for _, kind := range []string{"mutex", "block"} {
+		if d, err := perf.CaptureDigest(kind, 5); err == nil && len(d.Frames) > 0 {
+			if cp.Digests == nil {
+				cp.Digests = map[string]*perf.Digest{}
+			}
+			cp.Digests[kind] = d
+		}
+	}
+	return cp
 }
 
 func (s *stacSystem) name() string    { return "stac" }
@@ -276,6 +324,10 @@ func (s *stacSystem) sample() (int, uint64) {
 }
 
 func (s *stacSystem) close() {
+	runtime.SetMutexProfileFraction(s.prevMutexFrac)
+	if s.prevBlockRate == -1 {
+		runtime.SetBlockProfileRate(0)
+	}
 	for _, d := range s.daemons {
 		_ = d.Close()
 	}
@@ -495,6 +547,8 @@ func (s *baselineSystem) sample() (int, uint64) {
 	st := obs.SampleRuntime()
 	return st.Goroutines, st.HeapAllocBytes
 }
+
+func (s *baselineSystem) perfReport() *CellPerf { return nil }
 
 func (s *baselineSystem) close() {
 	for _, d := range s.daemons {

@@ -26,6 +26,7 @@ import (
 
 	"stac/internal/model"
 	"stac/internal/obs"
+	"stac/internal/obs/perf"
 	"stac/internal/obs/record"
 	"stac/internal/rbac"
 	"stac/internal/srac"
@@ -172,12 +173,18 @@ type Engine struct {
 	// the flag is atomic so disabled engines pay one load per decision.
 	covEnabled atomic.Bool
 
+	// slo, when non-nil, classifies every decision latency against a
+	// latency objective and derives the burn rate (see perf.SLOTracker).
+	// Atomic like met/tracer; a nil tracker's methods are inert.
+	slo atomic.Pointer[perf.SLOTracker]
+
 	// policyMu guards the read-mostly policy tables: permission specs
 	// and permission classes. Decisions only ever take the read lock;
 	// the write lock is held by DefinePermission/DefineClass (setup and
 	// policy reload), so concurrent authorizations never serialize on
-	// policy lookups.
-	policyMu sync.RWMutex
+	// policy lookups. The perf wrapper samples wait/hold times per
+	// stripe; uninstrumented it is one nil-check over sync.RWMutex.
+	policyMu perf.RWMutex
 	specs    map[rbac.PermID]PermSpec
 	// classes aggregate validity durations across permissions (the
 	// conclusion's future-work extension; see aggregate.go).
@@ -188,7 +195,7 @@ type Engine struct {
 	// evalIncremental holds the read lock across its whole constraint
 	// walk so a decision sees an atomic counter snapshot; RecordGrant
 	// takes the write lock per executed access.
-	cntMu     sync.RWMutex
+	cntMu     perf.RWMutex
 	counters  map[string]int
 	selectors map[string]model.Selector
 
@@ -213,7 +220,7 @@ const numShards = 32
 
 // engineShard is one hashed slice of the per-object state table.
 type engineShard struct {
-	mu   sync.RWMutex
+	mu   perf.RWMutex
 	objs map[model.ObjectID]*objectState
 }
 
@@ -320,8 +327,22 @@ func NewEngine(clock temporal.Clock) *Engine {
 		e.shards[i].objs = make(map[model.ObjectID]*objectState)
 	}
 	e.met.Store(newEngineMetrics(obs.Default))
+	e.instrumentLocks(obs.Default)
 	e.tracer.Store(obs.DefaultTracer)
 	return e
+}
+
+// instrumentLocks points the engine's lock stripes at per-stripe
+// telemetry sinks in the given registry. The stripes share the
+// registry's histogram families, so engines reconciled onto the same
+// registry (the obs.Default case in tests) merge their stripe
+// telemetry exactly as they merge decision counters.
+func (e *Engine) instrumentLocks(r *obs.Registry) {
+	e.policyMu.Instrument(perf.NewLockStats(r, "policy"))
+	e.cntMu.Instrument(perf.NewLockStats(r, "counters"))
+	for i := range e.shards {
+		e.shards[i].mu.Instrument(perf.NewLockStats(r, fmt.Sprintf("shard_%02d", i)))
+	}
 }
 
 // Clock returns the engine's clock.
@@ -331,7 +352,29 @@ func (e *Engine) Clock() temporal.Clock { return e.clock }
 // other than obs.Default — tests and embedders use it to reconcile one
 // engine's counters in isolation. Call it during setup, before serving
 // traffic, so no decision lands between two registries.
-func (e *Engine) SetObs(r *obs.Registry) { e.met.Store(newEngineMetrics(r)) }
+func (e *Engine) SetObs(r *obs.Registry) {
+	e.met.Store(newEngineMetrics(r))
+	e.instrumentLocks(r)
+}
+
+// SetSLO attaches a latency SLO to the decision path: every decision
+// is classified against the target and the burn rate becomes available
+// through SLOSnapshot/PublishPerf. A zero Target detaches.
+func (e *Engine) SetSLO(slo perf.SLO) {
+	if slo.Target <= 0 {
+		e.slo.Store(nil)
+		return
+	}
+	e.slo.Store(perf.NewSLOTracker(slo))
+}
+
+// SLOSnapshot reports the attached SLO's health (zero snapshot when no
+// SLO is set).
+func (e *Engine) SLOSnapshot() perf.SLOSnapshot { return e.slo.Load().Snapshot() }
+
+// SLOTracker exposes the attached tracker (nil when no SLO is set) so
+// the daemon's budget sampler can append burn-rate samples.
+func (e *Engine) SLOTracker() *perf.SLOTracker { return e.slo.Load() }
 
 // Obs returns the registry the engine currently reports into.
 func (e *Engine) Obs() *obs.Registry { return e.met.Load().reg }
@@ -493,7 +536,9 @@ func (e *Engine) AuthorizeTraced(tc obs.TraceContext, req Request) Decision {
 	sp, ctx := t.StartSpan(tc, "authorize")
 	start := time.Now()
 	d := e.authorize(ctx, t, req, m, nil)
-	m.recordDecision(d, time.Since(start))
+	elapsed := time.Since(start)
+	m.recordDecision(d, elapsed)
+	e.slo.Load().Observe(elapsed)
 	if sp != nil {
 		d.ID = obs.NewDecisionID()
 		sp.SetService("engine")
@@ -506,6 +551,7 @@ func (e *Engine) AuthorizeTraced(tc obs.TraceContext, req Request) Decision {
 		}
 		sp.Finish()
 	}
+	m.captureExemplar(&d, elapsed, ctx)
 	e.recordDecide(tc, req, d)
 	return d
 }
@@ -524,13 +570,20 @@ func (e *Engine) AuthorizeMany(reqs []Request) []Decision {
 	}
 	m := e.met.Load()
 	t := e.tracer.Load()
+	m.batchInflight.Inc()
+	defer m.batchInflight.Dec()
+	m.batchSize.ObserveValue(float64(len(reqs)))
+	slo := e.slo.Load()
 	// Per-batch spec cache: the batch decides against one policy
 	// snapshot (a concurrent DefinePermission lands on the next batch).
 	cache := make(map[rbac.PermID]PermSpec, 8)
 	for i := range reqs {
 		start := time.Now()
 		d := e.authorize(obs.TraceContext{}, t, reqs[i], m, cache)
-		m.recordDecision(d, time.Since(start))
+		elapsed := time.Since(start)
+		m.recordDecision(d, elapsed)
+		slo.Observe(elapsed)
+		m.captureExemplar(&d, elapsed, obs.TraceContext{})
 		e.recordDecide(obs.TraceContext{}, reqs[i], d)
 		out[i] = d
 	}

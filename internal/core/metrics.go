@@ -63,7 +63,17 @@ type engineMetrics struct {
 	authorize   *obs.Histogram
 	prefixEval  *obs.Histogram
 	staticCheck *obs.Histogram
+	// batchSize distributes AuthorizeMany batch sizes (a value
+	// histogram: buckets are request counts, not seconds) and
+	// batchInflight gauges how many batches are currently decoding —
+	// together they show whether batching is actually amortising the
+	// per-request overhead or queueing behind the engine.
+	batchSize     *obs.Histogram
+	batchInflight *obs.Gauge
 }
+
+// batchBuckets span AuthorizeMany batch sizes.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 
 func newEngineMetrics(r *obs.Registry) *engineMetrics {
 	m := &engineMetrics{
@@ -77,13 +87,47 @@ func newEngineMetrics(r *obs.Registry) *engineMetrics {
 			"Spatial prefix-evaluation latency (scan or incremental path).", authzBuckets),
 		staticCheck: r.Histogram("stac_authz_static_check_seconds", "",
 			"check(P, C) static program-check latency.", authzBuckets),
+		batchSize: r.Histogram("stac_authz_batch_size", "",
+			"AuthorizeMany batch sizes (requests per call).", batchBuckets),
+		batchInflight: r.Gauge("stac_authz_batch_inflight", "",
+			"AuthorizeMany batches currently executing."),
 	}
+	// Decision-latency exemplars: each bucket of the authorize
+	// histogram retains the decision ID (and trace ID when sampled) of
+	// a recent bucket-max observation, so a p99 cell links to a
+	// replayable decision.
+	m.authorize.EnableExemplars(0)
 	for _, reason := range denyReasons {
 		m.denied[reason] = r.Counter("stac_authz_denied_total",
 			obs.Label("reason", string(reason)),
 			"Authorization denials by reason class.")
 	}
 	return m
+}
+
+// captureExemplar retains slow decisions in the authorize histogram's
+// exemplar slots, minting the decision ID lazily — only observations
+// that claim a slot (rare, by construction the slowest recent one per
+// bucket) pay the allocation, so the unsampled hot path stays
+// ID-free.
+func (m *engineMetrics) captureExemplar(d *Decision, elapsed time.Duration, tc obs.TraceContext) {
+	if !m.authorize.ExemplarQualifies(elapsed) {
+		return
+	}
+	if d.ID == "" {
+		d.ID = obs.NewDecisionID()
+	}
+	traceID := ""
+	if tc.Valid() {
+		traceID = tc.Trace.String()
+	}
+	m.authorize.RecordExemplar(elapsed, d.ID, traceID)
+}
+
+// DecisionExemplars returns the engine's currently retained decision
+// latency exemplars, ordered by bucket.
+func (e *Engine) DecisionExemplars() []obs.Exemplar {
+	return e.met.Load().authorize.Exemplars()
 }
 
 // recordDecision classifies one finished decision.

@@ -110,7 +110,8 @@ func (c CoverageRollup) Dead() bool { return c.Decisive == 0 }
 // Anomaly is one cross-server condition the poller flagged.
 type Anomaly struct {
 	// Kind is "unreachable", "budget-exhaustion", "deny-spike",
-	// "policy-divergence", "version-skew" or "dead-clause".
+	// "policy-divergence", "version-skew", "dead-clause", "slo-burn"
+	// or "lock-contention".
 	Kind string `json:"kind"`
 	// Member names the affected member ("" for fleet-wide conditions).
 	Member string `json:"member,omitempty"`
@@ -127,8 +128,11 @@ type FleetView struct {
 	Budgets   []BudgetRollup `json:"budgets"`
 	// Coverage is the fleet-merged SRAC clause census (empty when no
 	// member tracks coverage).
-	Coverage  []CoverageRollup `json:"coverage,omitempty"`
-	Anomalies []Anomaly        `json:"anomalies"`
+	Coverage []CoverageRollup `json:"coverage,omitempty"`
+	// Perf is one hot-path health row per reachable member (see
+	// perf.go): hottest stripe, SLO burn rate, slowest exemplar.
+	Perf      []MemberPerfRollup `json:"perf,omitempty"`
+	Anomalies []Anomaly          `json:"anomalies"`
 }
 
 // Config tunes the poller's anomaly thresholds.
@@ -146,6 +150,12 @@ type Config struct {
 	// at least DenySpikeMin new decisions arrived (0 = 10).
 	DenySpikeRatio float64
 	DenySpikeMin   int
+	// SLOBurnThreshold flags a member burning its latency error budget
+	// faster than this rate (0 = 1, i.e. exactly on budget).
+	SLOBurnThreshold float64
+	// ContentionRatio flags a member whose hottest lock stripe was
+	// contended on more than this fraction of acquisitions (0 = 0.25).
+	ContentionRatio float64
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +170,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DenySpikeMin == 0 {
 		c.DenySpikeMin = 10
+	}
+	if c.SLOBurnThreshold == 0 {
+		c.SLOBurnThreshold = 1
+	}
+	if c.ContentionRatio == 0 {
+		c.ContentionRatio = 0.25
 	}
 	return c
 }
@@ -410,6 +426,7 @@ func (p *Poller) merge(states []MemberState) FleetView {
 			Detail: fmt.Sprintf("members disagree on policy digest: %v", parts),
 		})
 	}
+	p.mergePerf(&v)
 	sort.Slice(v.Anomalies, func(i, j int) bool {
 		a, b := v.Anomalies[i], v.Anomalies[j]
 		if a.Kind != b.Kind {

@@ -1,0 +1,104 @@
+package federate
+
+import (
+	"fmt"
+	"sort"
+
+	"stac/internal/core"
+)
+
+// Fleet-level performance attribution: each member's snapshot carries
+// its engine's lock-stripe contention, shard imbalance, SLO burn rate
+// and decision exemplars (snapshot v3); the poller reduces those to
+// one row per member — which stripe is hottest, how fast the latency
+// budget is burning, and the single slowest replayable decision — so
+// `stacctl top` can name the fleet bottleneck instead of a percentile.
+
+// MemberPerfRollup is one member's hot-path health, reduced.
+type MemberPerfRollup struct {
+	Member string `json:"member"`
+	// HotStripe is the lock stripe with the most contended
+	// acquisitions; HotContention its contended/acquire ratio and
+	// HotWaitP99 its sampled wait-time p99 (seconds).
+	HotStripe     string  `json:"hot_stripe,omitempty"`
+	HotContention float64 `json:"hot_contention"`
+	HotWaitP99    float64 `json:"hot_wait_p99_s"`
+	// AcquireImbalance / ObjectImbalance are the member's max/mean
+	// shard ratios (1 = even).
+	AcquireImbalance float64 `json:"acquire_imbalance"`
+	ObjectImbalance  float64 `json:"object_imbalance"`
+	// SLOBurnRate / SLOOverFraction mirror the member's SLO tracker
+	// (zero when the member has no SLO attached).
+	SLOBurnRate     float64 `json:"slo_burn_rate"`
+	SLOOverFraction float64 `json:"slo_over_fraction"`
+	// SlowestSeconds / SlowestDecisionID identify the member's slowest
+	// retained decision exemplar — the request to replay first.
+	SlowestSeconds    float64 `json:"slowest_s"`
+	SlowestDecisionID string  `json:"slowest_decision_id,omitempty"`
+	SlowestTraceID    string  `json:"slowest_trace_id,omitempty"`
+	Exemplars         int     `json:"exemplars"`
+}
+
+// PerfRollup reduces one engine's perf section to its hot-path
+// summary. Exported because cmd/stacload performs the same reduction
+// per matrix cell.
+func PerfRollup(member string, p core.PerfStats) MemberPerfRollup {
+	r := MemberPerfRollup{
+		Member:           member,
+		AcquireImbalance: p.AcquireImbalance,
+		ObjectImbalance:  p.ObjectImbalance,
+		SLOBurnRate:      p.SLO.BurnRate,
+		SLOOverFraction:  p.SLO.OverFraction,
+		Exemplars:        len(p.Exemplars),
+	}
+	var hotContended int64 = -1
+	for _, s := range p.Stripes {
+		contended := s.Contended + s.RContended
+		if contended > hotContended {
+			hotContended = contended
+			r.HotStripe = s.Stripe
+			r.HotWaitP99 = s.WaitP99
+			if total := s.Acquire + s.RAcquire; total > 0 {
+				r.HotContention = float64(contended) / float64(total)
+			} else {
+				r.HotContention = 0
+			}
+		}
+	}
+	for _, e := range p.Exemplars {
+		if e.Value > r.SlowestSeconds {
+			r.SlowestSeconds = e.Value
+			r.SlowestDecisionID = e.DecisionID
+			r.SlowestTraceID = e.TraceID
+		}
+	}
+	return r
+}
+
+// mergePerf appends per-member perf rollups to the view and flags
+// burn-rate and contention anomalies.
+func (p *Poller) mergePerf(v *FleetView) {
+	for _, st := range v.Members {
+		if !st.Reachable || st.Skipped {
+			continue
+		}
+		r := PerfRollup(st.Name, st.Snapshot.Perf)
+		v.Perf = append(v.Perf, r)
+		if r.SLOBurnRate > p.cfg.SLOBurnThreshold {
+			v.Anomalies = append(v.Anomalies, Anomaly{
+				Kind: "slo-burn", Member: st.Name,
+				Subject: fmt.Sprintf("%.4gms target", st.Snapshot.Perf.SLO.TargetMs),
+				Detail: fmt.Sprintf("burn rate %.3g (%.3g%% of decisions over target, budget %.3g%%)",
+					r.SLOBurnRate, 100*r.SLOOverFraction, 100*(1-st.Snapshot.Perf.SLO.Objective)),
+			})
+		}
+		if r.HotContention > p.cfg.ContentionRatio {
+			v.Anomalies = append(v.Anomalies, Anomaly{
+				Kind: "lock-contention", Member: st.Name, Subject: r.HotStripe,
+				Detail: fmt.Sprintf("stripe %q contended on %.3g%% of acquisitions (wait p99 %.3gs)",
+					r.HotStripe, 100*r.HotContention, r.HotWaitP99),
+			})
+		}
+	}
+	sort.Slice(v.Perf, func(i, j int) bool { return v.Perf[i].Member < v.Perf[j].Member })
+}

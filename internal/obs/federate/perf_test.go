@@ -1,0 +1,98 @@
+package federate
+
+import (
+	"testing"
+
+	"stac/internal/core"
+	"stac/internal/obs"
+	"stac/internal/obs/perf"
+	"stac/internal/server"
+)
+
+func perfSnapshot(stripes []perf.LockSnapshot, slo perf.SLOSnapshot, exemplars []obs.Exemplar) server.Snapshot {
+	return server.Snapshot{
+		PolicyDigest: "d",
+		Perf: core.PerfStats{
+			Stripes:          stripes,
+			SLO:              slo,
+			Exemplars:        exemplars,
+			AcquireImbalance: 2,
+			ObjectImbalance:  1.5,
+		},
+	}
+}
+
+func TestMergePerfRollup(t *testing.T) {
+	p := NewPoller(nil, Config{})
+	v := p.Merge([]MemberState{
+		reachable("a", perfSnapshot(
+			[]perf.LockSnapshot{
+				{Stripe: "policy", Acquire: 100, RAcquire: 900, RContended: 10, WaitP99: 1e-5},
+				{Stripe: "shard_07", Acquire: 50, Contended: 40, WaitP99: 2e-3},
+			},
+			perf.SLOSnapshot{TargetMs: 5, Objective: 0.99, Total: 100, Over: 1, OverFraction: 0.01, BurnRate: 1},
+			[]obs.Exemplar{
+				{Value: 0.004, DecisionID: "d-fast"},
+				{Value: 0.052, DecisionID: "d-slow", TraceID: "t-slow"},
+			},
+		)),
+		{Member: Member{Name: "b"}, Err: "down"},
+	})
+	if len(v.Perf) != 1 {
+		t.Fatalf("perf rows = %+v", v.Perf)
+	}
+	r := v.Perf[0]
+	if r.Member != "a" || r.HotStripe != "shard_07" {
+		t.Fatalf("hot stripe: %+v", r)
+	}
+	if r.HotContention != 0.8 || r.HotWaitP99 != 2e-3 {
+		t.Fatalf("hot stripe stats: %+v", r)
+	}
+	if r.SlowestDecisionID != "d-slow" || r.SlowestTraceID != "t-slow" || r.Exemplars != 2 {
+		t.Fatalf("slowest exemplar: %+v", r)
+	}
+	if r.SLOBurnRate != 1 || r.AcquireImbalance != 2 {
+		t.Fatalf("slo/imbalance: %+v", r)
+	}
+	// Burn rate exactly 1 and contention 0.8 > default 0.25: only the
+	// contention anomaly fires (burn must EXCEED the threshold).
+	var kinds []string
+	for _, a := range v.Anomalies {
+		kinds = append(kinds, a.Kind)
+	}
+	wantContention := false
+	for _, a := range v.Anomalies {
+		if a.Kind == "slo-burn" {
+			t.Fatalf("burn rate 1.0 must not exceed threshold 1.0: %v", kinds)
+		}
+		if a.Kind == "lock-contention" && a.Member == "a" && a.Subject == "shard_07" {
+			wantContention = true
+		}
+	}
+	if !wantContention {
+		t.Fatalf("missing lock-contention anomaly: %v", kinds)
+	}
+}
+
+func TestMergePerfSLOBurnAnomaly(t *testing.T) {
+	p := NewPoller(nil, Config{})
+	v := p.Merge([]MemberState{
+		reachable("hot", perfSnapshot(
+			nil,
+			perf.SLOSnapshot{TargetMs: 5, Objective: 0.99, Total: 100, Over: 30, OverFraction: 0.3, BurnRate: 30},
+			nil,
+		)),
+	})
+	found := false
+	for _, a := range v.Anomalies {
+		if a.Kind == "slo-burn" && a.Member == "hot" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("burn rate 30 did not flag: %+v", v.Anomalies)
+	}
+	if len(v.Perf) != 1 || v.Perf[0].SLOBurnRate != 30 {
+		t.Fatalf("perf row: %+v", v.Perf)
+	}
+}

@@ -82,6 +82,9 @@ type Histogram struct {
 	inf     atomic.Int64
 	sumNs   atomic.Int64
 	count   atomic.Int64
+	// ex, when non-nil, retains per-bucket tail-latency exemplars (see
+	// exemplar.go). Attached once by EnableExemplars.
+	ex atomic.Pointer[exemplarStore]
 }
 
 // DefBuckets spans 1µs–5s, covering an in-process decision (µs) up to
@@ -118,6 +121,69 @@ func (h *Histogram) Observe(d time.Duration) {
 
 // ObserveSince records the time elapsed since start.
 func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
+
+// ObserveValue records one unitless observation — batch sizes, queue
+// depths — into a histogram whose bucket bounds were given in the same
+// unit. The sum is carried on the nanosecond ledger (scaled by 1e9) so
+// Sum().Seconds() and the exposition's _sum read back the plain value.
+func (h *Histogram) ObserveValue(v float64) {
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.sumNs.Add(int64(v * 1e9))
+	h.count.Add(1)
+}
+
+// Quantile estimates the q-th quantile (0..1) of the recorded
+// distribution from the bucket counts, interpolating linearly inside
+// the covering bucket (the lowest bucket interpolates from 0, the +Inf
+// bucket reports its lower bound). Good enough for stripe wait-time
+// tables and SLO eyeballing; not a substitute for real samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (target - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	// Quantile falls in the +Inf bucket: report the largest finite
+	// bound (the distribution's tail escaped the bucket layout).
+	return h.bounds[len(h.bounds)-1]
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -328,6 +394,20 @@ func series(name, labels, extra string) string {
 	}
 }
 
+// exemplarSuffix renders the OpenMetrics exemplar annotation for one
+// bucket line ("" when the bucket retains none).
+func exemplarSuffix(exemplars map[int]Exemplar, bucket int) string {
+	e, ok := exemplars[bucket]
+	if !ok {
+		return ""
+	}
+	labels := Label("decision_id", e.DecisionID)
+	if e.TraceID != "" {
+		labels = Labels(labels, Label("trace_id", e.TraceID))
+	}
+	return fmt.Sprintf(" # {%s} %s %.3f", labels, fmtFloat(e.Value), float64(e.Time.UnixMilli())/1e3)
+}
+
 // WritePrometheus renders every family of every registry in the
 // Prometheus text exposition format. Registries must not share family
 // names (components sharing a registry share families instead).
@@ -347,14 +427,22 @@ func WritePrometheus(w io.Writer, regs ...*Registry) {
 				case *FloatGauge:
 					fmt.Fprintf(w, "%s %s\n", series(f.name, labels, ""), fmtFloat(m.Value()))
 				case *Histogram:
+					// Exemplared histograms render an OpenMetrics-style
+					// "# {...} value ts" suffix on buckets that retain one.
+					exemplars := map[int]Exemplar{}
+					for _, e := range m.Exemplars() {
+						exemplars[e.Bucket] = e
+					}
 					var cum int64
 					for i, b := range m.bounds {
 						cum += m.buckets[i].Load()
-						fmt.Fprintf(w, "%s %d\n",
-							series(f.name+"_bucket", labels, `le="`+fmtFloat(b)+`"`), cum)
+						fmt.Fprintf(w, "%s %d%s\n",
+							series(f.name+"_bucket", labels, `le="`+fmtFloat(b)+`"`), cum,
+							exemplarSuffix(exemplars, i))
 					}
 					cum += m.inf.Load()
-					fmt.Fprintf(w, "%s %d\n", series(f.name+"_bucket", labels, `le="+Inf"`), cum)
+					fmt.Fprintf(w, "%s %d%s\n", series(f.name+"_bucket", labels, `le="+Inf"`), cum,
+						exemplarSuffix(exemplars, len(m.bounds)))
 					fmt.Fprintf(w, "%s %s\n", series(f.name+"_sum", labels, ""), fmtFloat(m.Sum().Seconds()))
 					fmt.Fprintf(w, "%s %d\n", series(f.name+"_count", labels, ""), m.Count())
 				}

@@ -1,0 +1,76 @@
+package perf
+
+import (
+	"os"
+	"runtime"
+	"strings"
+)
+
+// HostInfo describes the hardware and runtime a benchmark or load run
+// was captured on. It is embedded in BENCH_*.json and LOAD_*.json
+// headers so benchdiff can refuse to silently compare numbers from
+// different machines — the "was that regression just a different
+// container?" ambiguity from E14.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+}
+
+// Host captures the current process's host fingerprint.
+func Host() HostInfo {
+	return HostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel best-effort reads the CPU model name (linux /proc/cpuinfo);
+// empty when unreadable.
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		switch strings.TrimSpace(k) {
+		case "model name", "Model", "cpu model":
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+// Diff lists the fields on which two host fingerprints disagree in a
+// way that makes their performance numbers incomparable. GoVersion and
+// CPUModel differences matter; GOMAXPROCS matters because it bounds
+// parallel scaling; wall-clock noise does not appear here at all.
+func (h HostInfo) Diff(o HostInfo) []string {
+	var out []string
+	add := func(field, a, b string) {
+		if a != b && a != "" && b != "" {
+			out = append(out, field+": "+a+" vs "+b)
+		}
+	}
+	add("go_version", h.GoVersion, o.GoVersion)
+	add("goarch", h.GOARCH, o.GOARCH)
+	add("cpu_model", h.CPUModel, o.CPUModel)
+	if h.NumCPU != o.NumCPU && h.NumCPU != 0 && o.NumCPU != 0 {
+		out = append(out, "num_cpu differs")
+	}
+	if h.GOMAXPROCS != o.GOMAXPROCS && h.GOMAXPROCS != 0 && o.GOMAXPROCS != 0 {
+		out = append(out, "gomaxprocs differs")
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package perf
+
+import (
+	"sync"
+	"testing"
+
+	"stac/internal/obs"
+)
+
+// Lock-instrumentation overhead microbenchmarks (EXPERIMENTS E15): a
+// plain sync.RWMutex against the perf.RWMutex in both its detached
+// (nil stats, single atomic load extra) and instrumented (counter
+// bumps + 1/64-sampled timing) states. The engine's hot path takes
+// read locks, so the read side is the one that matters.
+
+func BenchmarkRWMutexRead(b *testing.B) {
+	b.Run("sync", func(b *testing.B) {
+		var mu sync.RWMutex
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mu.RLock()
+			mu.RUnlock()
+		}
+	})
+	b.Run("perf_detached", func(b *testing.B) {
+		var mu RWMutex
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mu.RLock()
+			mu.RUnlock()
+		}
+	})
+	b.Run("perf_instrumented", func(b *testing.B) {
+		var mu RWMutex
+		mu.Instrument(NewLockStats(obs.NewRegistry(), "bench"))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mu.RLock()
+			mu.RUnlock()
+		}
+	})
+}
+
+func BenchmarkRWMutexReadParallel(b *testing.B) {
+	b.Run("sync", func(b *testing.B) {
+		var mu sync.RWMutex
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				mu.RLock()
+				mu.RUnlock()
+			}
+		})
+	})
+	b.Run("perf_instrumented", func(b *testing.B) {
+		var mu RWMutex
+		mu.Instrument(NewLockStats(obs.NewRegistry(), "bench"))
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				mu.RLock()
+				mu.RUnlock()
+			}
+		})
+	})
+}
+
+func BenchmarkMutexWrite(b *testing.B) {
+	b.Run("sync", func(b *testing.B) {
+		var mu sync.Mutex
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mu.Lock()
+			mu.Unlock()
+		}
+	})
+	b.Run("perf_instrumented", func(b *testing.B) {
+		var mu Mutex
+		mu.Instrument(NewLockStats(obs.NewRegistry(), "bench"))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mu.Lock()
+			mu.Unlock()
+		}
+	})
+}

@@ -1,0 +1,269 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ProfilerConfig sizes the continuous-profiling ring.
+type ProfilerConfig struct {
+	// Interval between capture rounds; 0 disables the background loop
+	// (CaptureOnce still works for on-demand snapshots).
+	Interval time.Duration `json:"interval"`
+	// CPUWindow is how long each round's CPU profile records.
+	CPUWindow time.Duration `json:"cpu_window"`
+	// MutexFraction and BlockRate feed runtime.SetMutexProfileFraction
+	// and runtime.SetBlockProfileRate when positive; 0 leaves the
+	// runtime's settings untouched.
+	MutexFraction int `json:"mutex_fraction"`
+	BlockRate     int `json:"block_rate"`
+	// TopN frames retained per digest (default 10) and Ring snapshots
+	// retained (default 8).
+	TopN int `json:"top_n"`
+	Ring int `json:"ring"`
+}
+
+func (c ProfilerConfig) withDefaults() ProfilerConfig {
+	if c.CPUWindow <= 0 {
+		c.CPUWindow = 2 * time.Second
+	}
+	if c.TopN <= 0 {
+		c.TopN = 10
+	}
+	if c.Ring <= 0 {
+		c.Ring = 8
+	}
+	return c
+}
+
+// ProfileKinds are the profiles captured per round, in capture order.
+var ProfileKinds = []string{"cpu", "mutex", "block", "heap"}
+
+// Snapshot is one capture round: per-kind hot-frame digests plus the
+// raw profiles (kept for `go tool pprof` via the handler, excluded
+// from the JSON summary).
+type Snapshot struct {
+	Seq     int                `json:"seq"`
+	Start   time.Time          `json:"start"`
+	End     time.Time          `json:"end"`
+	Digests map[string]*Digest `json:"digests"`
+	Errors  map[string]string  `json:"errors,omitempty"`
+	Raw     map[string][]byte  `json:"-"`
+}
+
+// Profiler periodically captures CPU/mutex/block/heap pprof snapshots
+// into a fixed-size ring and serves them (digested and raw) over HTTP.
+type Profiler struct {
+	cfg ProfilerConfig
+
+	mu   sync.Mutex
+	ring []*Snapshot
+	seq  int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewProfiler creates a profiler and applies the mutex/block profile
+// rates. Call Start to begin the background loop.
+func NewProfiler(cfg ProfilerConfig) *Profiler {
+	cfg = cfg.withDefaults()
+	if cfg.MutexFraction > 0 {
+		runtime.SetMutexProfileFraction(cfg.MutexFraction)
+	}
+	if cfg.BlockRate > 0 {
+		runtime.SetBlockProfileRate(cfg.BlockRate)
+	}
+	return &Profiler{cfg: cfg}
+}
+
+// Config returns the effective configuration.
+func (p *Profiler) Config() ProfilerConfig { return p.cfg }
+
+// Start launches the capture loop (no-op when Interval is 0 or the
+// loop already runs).
+func (p *Profiler) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cfg.Interval <= 0 || p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop(p.stop, p.done)
+}
+
+// Stop halts the capture loop and waits for an in-flight round.
+func (p *Profiler) Stop() {
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (p *Profiler) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.CaptureOnce()
+		}
+	}
+}
+
+// CaptureOnce runs one capture round, appends it to the ring, and
+// returns it. The CPU capture blocks for CPUWindow; kinds that fail
+// (e.g. a CPU profile already running elsewhere) record an error and
+// the round proceeds with the rest.
+func (p *Profiler) CaptureOnce() *Snapshot {
+	s := &Snapshot{
+		Start:   time.Now(),
+		Digests: map[string]*Digest{},
+		Raw:     map[string][]byte{},
+	}
+	capture := func(kind string, raw []byte, err error) {
+		if err != nil {
+			if s.Errors == nil {
+				s.Errors = map[string]string{}
+			}
+			s.Errors[kind] = err.Error()
+			return
+		}
+		d, err := DigestProfile(kind, raw, p.cfg.TopN)
+		if err != nil {
+			if s.Errors == nil {
+				s.Errors = map[string]string{}
+			}
+			s.Errors[kind] = err.Error()
+			return
+		}
+		s.Digests[kind] = d
+		s.Raw[kind] = raw
+	}
+	raw, err := p.captureCPU()
+	capture("cpu", raw, err)
+	for _, kind := range []string{"mutex", "block", "heap"} {
+		raw, err := captureLookup(kind)
+		capture(kind, raw, err)
+	}
+	s.End = time.Now()
+
+	p.mu.Lock()
+	p.seq++
+	s.Seq = p.seq
+	p.ring = append(p.ring, s)
+	if len(p.ring) > p.cfg.Ring {
+		p.ring = p.ring[len(p.ring)-p.cfg.Ring:]
+	}
+	p.mu.Unlock()
+	return s
+}
+
+func (p *Profiler) captureCPU() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil, err
+	}
+	time.Sleep(p.cfg.CPUWindow)
+	pprof.StopCPUProfile()
+	return buf.Bytes(), nil
+}
+
+// CaptureDigest takes a one-shot digest of a runtime lookup profile
+// (mutex, block, heap) without a Profiler or its CPU window — the
+// cheap path load harnesses use to stamp a cell with its hot frames.
+func CaptureDigest(kind string, topN int) (*Digest, error) {
+	raw, err := captureLookup(kind)
+	if err != nil {
+		return nil, err
+	}
+	return DigestProfile(kind, raw, topN)
+}
+
+func captureLookup(kind string) ([]byte, error) {
+	prof := pprof.Lookup(kind)
+	if prof == nil {
+		return nil, fmt.Errorf("unknown profile %q", kind)
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteTo(&buf, 0); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Snapshots returns the retained ring, oldest first.
+func (p *Profiler) Snapshots() []*Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Snapshot(nil), p.ring...)
+}
+
+// Latest returns the most recent snapshot, or nil.
+func (p *Profiler) Latest() *Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ring) == 0 {
+		return nil
+	}
+	return p.ring[len(p.ring)-1]
+}
+
+// Handler serves the profiler over HTTP:
+//
+//	GET /debug/perf                 → JSON {config, snapshots: [digests…]}
+//	GET /debug/perf?kind=cpu        → latest raw cpu profile (pprof binary)
+//	GET /debug/perf?kind=cpu&seq=N  → that round's raw profile
+func (p *Profiler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		kind := r.URL.Query().Get("kind")
+		if kind == "" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Config    ProfilerConfig `json:"config"`
+				Snapshots []*Snapshot    `json:"snapshots"`
+			}{p.cfg, p.Snapshots()})
+			return
+		}
+		var snap *Snapshot
+		if seqStr := r.URL.Query().Get("seq"); seqStr != "" {
+			seq, err := strconv.Atoi(seqStr)
+			if err != nil {
+				http.Error(w, "bad seq", http.StatusBadRequest)
+				return
+			}
+			for _, s := range p.Snapshots() {
+				if s.Seq == seq {
+					snap = s
+					break
+				}
+			}
+		} else {
+			snap = p.Latest()
+		}
+		if snap == nil || snap.Raw[kind] == nil {
+			http.Error(w, "no such profile", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(snap.Raw[kind])
+	})
+}

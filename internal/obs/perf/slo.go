@@ -1,0 +1,100 @@
+package perf
+
+import (
+	"sync/atomic"
+	"time"
+
+	"stac/internal/obs"
+)
+
+// SLO is a latency service-level objective: at least Objective of
+// decisions must complete within Target.
+type SLO struct {
+	Target    time.Duration `json:"target"`
+	Objective float64       `json:"objective"`
+}
+
+// SLOTracker counts observations against an SLO and derives the
+// burn rate: the ratio of the observed over-target fraction to the
+// error budget (1 − objective). Burn rate 1.0 means the budget is
+// being consumed exactly as fast as it accrues; above 1.0 the SLO
+// will eventually be violated.
+type SLOTracker struct {
+	slo    SLO
+	total  atomic.Int64
+	over   atomic.Int64
+	series *obs.TimeSeries
+}
+
+// NewSLOTracker creates a tracker with a burn-rate series retaining
+// DefaultSeriesCapacity samples.
+func NewSLOTracker(slo SLO) *SLOTracker {
+	if slo.Objective <= 0 || slo.Objective >= 1 {
+		slo.Objective = 0.99
+	}
+	return &SLOTracker{slo: slo, series: obs.NewTimeSeries(0)}
+}
+
+// SLO returns the tracked objective.
+func (t *SLOTracker) SLO() SLO { return t.slo }
+
+// Observe classifies one decision latency. Nil-safe.
+func (t *SLOTracker) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.total.Add(1)
+	if d > t.slo.Target {
+		t.over.Add(1)
+	}
+}
+
+// SLOSnapshot is a point-in-time view of SLO health.
+type SLOSnapshot struct {
+	TargetMs     float64 `json:"target_ms"`
+	Objective    float64 `json:"objective"`
+	Total        int64   `json:"total"`
+	Over         int64   `json:"over"`
+	OverFraction float64 `json:"over_fraction"`
+	BurnRate     float64 `json:"burn_rate"`
+}
+
+// Snapshot returns current totals and burn rate. Nil-safe (zero
+// snapshot).
+func (t *SLOTracker) Snapshot() SLOSnapshot {
+	if t == nil {
+		return SLOSnapshot{}
+	}
+	total, over := t.total.Load(), t.over.Load()
+	s := SLOSnapshot{
+		TargetMs:  float64(t.slo.Target) / 1e6,
+		Objective: t.slo.Objective,
+		Total:     total,
+		Over:      over,
+	}
+	if total > 0 {
+		s.OverFraction = float64(over) / float64(total)
+		s.BurnRate = s.OverFraction / (1 - t.slo.Objective)
+	}
+	return s
+}
+
+// Sample appends the current burn rate to the tracker's time series at
+// clock reading `at` (seconds) and returns it, so burn-rate trajectory
+// is queryable alongside the PR 4 budget series.
+func (t *SLOTracker) Sample(at float64) float64 {
+	if t == nil {
+		return 0
+	}
+	br := t.Snapshot().BurnRate
+	t.series.Append(at, br)
+	return br
+}
+
+// Series exposes the burn-rate trajectory.
+func (t *SLOTracker) Series() *obs.TimeSeries {
+	if t == nil {
+		return nil
+	}
+	return t.series
+}

@@ -11,6 +11,7 @@ import (
 
 	"stac/internal/core"
 	"stac/internal/obs"
+	"stac/internal/obs/perf"
 )
 
 // DebugServer bundles the daemon's observability surface: Prometheus
@@ -40,6 +41,10 @@ type DebugConfig struct {
 	// Heartbeat is the SSE keep-alive comment interval for
 	// /debug/watch (0 = 15 s).
 	Heartbeat time.Duration
+	// Profiler, when non-nil, serves the continuous-profiling ring at
+	// /debug/perf (summary + raw pprof snapshots). The DebugServer does
+	// not own its lifecycle — the daemon Starts/Stops it.
+	Profiler *perf.Profiler
 }
 
 const (
@@ -75,8 +80,10 @@ func (h *DebugServer) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	metricsHandler := obs.Handler(h.cfg.Registry)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		// Refresh the stac_go_* runtime gauges on every scrape.
+		// Refresh the stac_go_* runtime gauges and the derived perf
+		// gauges (shard imbalance, SLO burn rate) on every scrape.
 		obs.PublishRuntime(h.cfg.Registry)
+		h.c.Engine.PublishPerf()
 		metricsHandler.ServeHTTP(w, r)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -90,6 +97,7 @@ func (h *DebugServer) Mux() *http.ServeMux {
 	mux.HandleFunc("/debug/budgets", h.handleBudgets)
 	mux.HandleFunc("/debug/snapshot", h.handleSnapshot)
 	mux.HandleFunc("/debug/coverage", h.handleCoverage)
+	mux.HandleFunc("/debug/perf", h.handlePerf)
 	mux.HandleFunc("/healthz", h.handleHealthz)
 	mux.HandleFunc("/readyz", h.handleReadyz)
 	mux.HandleFunc("/debug/watch", h.handleWatch)
@@ -185,6 +193,30 @@ func (h *DebugServer) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		cov = []core.ClauseCoverage{}
 	}
 	writeJSON(w, cov)
+}
+
+// handlePerf serves the hot-path performance view: the engine's
+// lock-stripe/imbalance/SLO/exemplar snapshot plus, when a profiler is
+// attached, the continuous-profiling digests. ?kind=cpu|mutex|block|heap
+// (optionally &seq=N) fetches a raw pprof snapshot for `go tool pprof`.
+func (h *DebugServer) handlePerf(w http.ResponseWriter, r *http.Request) {
+	p := h.cfg.Profiler
+	if r.URL.Query().Get("kind") != "" {
+		if p == nil {
+			http.Error(w, "profiler disabled on this daemon", http.StatusNotFound)
+			return
+		}
+		p.Handler().ServeHTTP(w, r)
+		return
+	}
+	out := struct {
+		Engine   core.PerfStats   `json:"engine"`
+		Profiles []*perf.Snapshot `json:"profiles,omitempty"`
+	}{Engine: h.c.Engine.PerfStats()}
+	if p != nil {
+		out.Profiles = p.Snapshots()
+	}
+	writeJSON(w, out)
 }
 
 func (h *DebugServer) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -186,7 +186,7 @@ func TestSetShadowPolicyRejectsBadSource(t *testing.T) {
 	}
 }
 
-func TestSnapshotV2Fields(t *testing.T) {
+func TestSnapshotVersionedFields(t *testing.T) {
 	c, _ := newCoalition(t)
 	c.Engine.SetObs(obs.NewRegistry())
 	if err := c.SetShadowPolicy(tightenedPolicy); err != nil {
@@ -204,8 +204,8 @@ func TestSnapshotV2Fields(t *testing.T) {
 	}
 
 	snap := c.Snapshot(0)
-	if snap.Version != SnapshotVersion || SnapshotVersion != 2 {
-		t.Fatalf("snapshot version = %d, want 2", snap.Version)
+	if snap.Version != SnapshotVersion || SnapshotVersion != 3 {
+		t.Fatalf("snapshot version = %d, want 3", snap.Version)
 	}
 	if snap.ShadowDigest == "" || snap.ShadowFlips != 1 {
 		t.Errorf("shadow fields = %q/%d, want digest + 1 flip", snap.ShadowDigest, snap.ShadowFlips)
@@ -218,5 +218,16 @@ func TestSnapshotV2Fields(t *testing.T) {
 	}
 	if snap.Recorder == nil || snap.Recorder.Total == 0 {
 		t.Errorf("recorder status = %+v, want recorded events", snap.Recorder)
+	}
+	// v3: the perf section carries every lock stripe and the decision
+	// exemplars the request above produced.
+	if len(snap.Perf.Stripes) < 34 {
+		t.Errorf("perf stripes = %d, want policy+counters+32 shards", len(snap.Perf.Stripes))
+	}
+	if snap.Perf.ObjectImbalance <= 0 {
+		t.Errorf("object imbalance = %g, want > 0 with one live object", snap.Perf.ObjectImbalance)
+	}
+	if len(snap.Perf.Exemplars) == 0 {
+		t.Error("perf section has no decision exemplars after a decision")
 	}
 }

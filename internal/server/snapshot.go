@@ -23,7 +23,9 @@ import (
 //	1 — counters, budgets, conns, policy digest
 //	2 — adds shadow-policy state, SRAC clause coverage, Go runtime
 //	    self-telemetry and flight-recorder status
-const SnapshotVersion = 2
+//	3 — adds the hot-path perf section (lock-stripe contention, shard
+//	    imbalance, SLO burn rate, decision-latency exemplars)
+const SnapshotVersion = 3
 
 // Snapshot is one daemon-process view of its coalition state.
 type Snapshot struct {
@@ -69,6 +71,10 @@ type Snapshot struct {
 	Runtime obs.RuntimeStats `json:"runtime"`
 	// Recorder reports the decision flight recorder (nil when off).
 	Recorder *record.Status `json:"recorder,omitempty"`
+	// Perf is the engine's hot-path health: per-stripe lock contention,
+	// shard imbalance, SLO burn rate and decision-latency exemplars
+	// (version ≥ 3).
+	Perf core.PerfStats `json:"perf"`
 }
 
 // ServerSnapshot is one coalition server's decision counters.
@@ -133,6 +139,7 @@ func (c *Coalition) Snapshot(budgetTail int, daemons ...*Daemon) Snapshot {
 		Watchers:     c.Watchers(),
 		WatchDropped: c.WatchDropped(),
 		Runtime:      obs.PublishRuntime(c.Engine.Obs()),
+		Perf:         c.Engine.PerfStats(),
 	}
 	if enabled, digest, flips := c.ShadowInfo(); enabled {
 		snap.ShadowDigest = digest
