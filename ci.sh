@@ -30,6 +30,7 @@ go test -run '^$' -fuzz '^FuzzLoadPolicy$' -fuzztime 2s ./internal/core
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 2s ./internal/srac
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 2s ./internal/sral
 go test -run '^$' -fuzz '^FuzzParseRegular$' -fuzztime 2s ./internal/sral
+go test -run '^$' -fuzz '^FuzzJournalDecode$' -fuzztime 2s ./internal/obs/journal
 
 # Smoke outputs are build products, not sources: they land in
 # $ARTIFACTS_DIR (CI sets it and uploads the directory; locally it
@@ -77,4 +78,12 @@ go run ./cmd/benchdiff -digest block "$ARTIFACTS/block_smoke.pb.gz" >"$ARTIFACTS
 go run ./cmd/stacload -scenarios scenarios -systems stac,rbac \
     -only churn,hostile -trials 1 -duration-cap 1s -out "$ARTIFACTS/LOAD_pr8.json"
 go run ./cmd/benchdiff -threshold 50 -fail-over 90 LOAD_pr6.json "$ARTIFACTS/LOAD_pr8.json"
+
+# Timeline smoke: the PR 9 acceptance e2e — three TCP daemons, one
+# clock skewed −5 s, a roaming itinerary — re-run with the artifact
+# dir set so it writes TIMELINE_pr9.json, then gate on the merged
+# stream being causally clean. (The test itself asserts much more;
+# the grep is the cheap tamper-check that the artifact says so too.)
+ARTIFACTS_DIR="$ARTIFACTS" go test -run '^TestTimelineMergesSkewedCoalition$' -count=1 .
+grep -q '"causality_violations": 0' "$ARTIFACTS/TIMELINE_pr9.json"
 echo "smoke artifacts in $ARTIFACTS"

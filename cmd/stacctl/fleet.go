@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,9 +22,18 @@ import (
 	"sync"
 	"time"
 
+	"stac/internal/agent"
 	"stac/internal/obs/federate"
 	"stac/internal/server"
 )
+
+// watchBackoff is the reconnect policy watch and timeline share: the
+// coalition-standard jittered exponential backoff (internal/agent),
+// rebased so the first retry waits ~100ms — a daemon restart, not a
+// dropped packet, is the common cause.
+func watchBackoff() *agent.Backoff {
+	return &agent.Backoff{Base: 100 * time.Millisecond, Cap: 5 * time.Second}
+}
 
 // parseMembers parses "-members name=host:port,name2=host2:port2".
 // The name is optional ("host:port" alone names the member after its
@@ -152,6 +162,18 @@ func renderTop(w io.Writer, v federate.FleetView) {
 				r.AcquireImbalance, r.SLOBurnRate, slowest, id)
 		}
 	}
+	if len(v.Clocks) > 0 {
+		fmt.Fprintf(w, "\n%-12s %10s %6s %8s %8s %10s\n",
+			"MEMBER", "SKEW", "TAILS", "MAXLAG", "GAPS", "RECONNECTS")
+		for _, c := range v.Clocks {
+			skew := "n/a"
+			if c.SkewKnown {
+				skew = fmt.Sprintf("%+.3fs", c.SkewSeconds)
+			}
+			fmt.Fprintf(w, "%-12s %10s %6d %8d %8d %10d\n",
+				c.Member, skew, c.Tails, c.MaxLagRecords, c.Gaps, c.Reconnects)
+		}
+	}
 	for _, m := range v.Members {
 		switch {
 		case m.Skipped:
@@ -258,7 +280,12 @@ func runWatch(ctx context.Context, w io.Writer, client *http.Client, members []f
 		wg.Add(1)
 		go func(i int, m federate.Member) {
 			defer wg.Done()
-			errs[i] = watchMember(ctx, client, m, q, emit)
+			onReconnect := func(attempt int, err error) {
+				mu.Lock()
+				defer mu.Unlock()
+				fmt.Fprintf(w, "# [%s] stream lost (%v), reconnect %d\n", m.Name, err, attempt)
+			}
+			errs[i] = watchMember(ctx, client, m, q, emit, onReconnect)
 		}(i, m)
 	}
 	wg.Wait()
@@ -277,12 +304,45 @@ func runWatch(ctx context.Context, w io.Writer, client *http.Client, members []f
 	return nil
 }
 
-// watchMember consumes one member's SSE stream, calling emit per
-// decision event.
-func watchMember(ctx context.Context, client *http.Client, m federate.Member, q watchQuery, emit func(string, server.AuditEntry)) error {
+// watchMember tails one member's SSE stream, calling emit per decision
+// event. A lost stream — the member restarted, the connection reset —
+// reconnects with jittered backoff for as long as ctx lives, so a
+// fleet watch survives rolling restarts; only a 4xx (the member has no
+// watch endpoint) ends the tail with an error.
+func watchMember(ctx context.Context, client *http.Client, m federate.Member, q watchQuery, emit func(string, server.AuditEntry), onReconnect func(int, error)) error {
+	pol := watchBackoff()
+	attempt := 0
+	for {
+		err := watchOnce(ctx, client, m, q, emit)
+		if ctx.Err() != nil {
+			return nil
+		}
+		var fatal *watchFatal
+		if errors.As(err, &fatal) {
+			return fatal.err
+		}
+		attempt++
+		if onReconnect != nil {
+			onReconnect(attempt, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(pol.Delay(attempt)):
+		}
+	}
+}
+
+// watchFatal marks an error reconnecting cannot fix (HTTP 4xx).
+type watchFatal struct{ err error }
+
+func (e *watchFatal) Error() string { return e.err.Error() }
+
+// watchOnce runs one watch connection to completion.
+func watchOnce(ctx context.Context, client *http.Client, m federate.Member, q watchQuery, emit func(string, server.AuditEntry)) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.BaseURL+"/debug/watch"+q.encode(), nil)
 	if err != nil {
-		return err
+		return &watchFatal{err}
 	}
 	resp, err := client.Do(req)
 	if err != nil {
@@ -291,7 +351,11 @@ func watchMember(ctx context.Context, client *http.Client, m federate.Member, q 
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		err := fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return &watchFatal{err}
+		}
+		return err
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
@@ -322,7 +386,10 @@ func watchMember(ctx context.Context, client *http.Client, m federate.Member, q 
 		}
 		emit(m.Name, e)
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("stream closed")
 }
 
 // renderWatchLine formats one streamed decision.

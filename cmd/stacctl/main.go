@@ -31,7 +31,13 @@
 //	stacctl watch -members m1=host:port,...    # stream decisions as they
 //	                                           # happen (filter -object,
 //	                                           # -perm, -verdict, -server;
-//	                                           # -flips for shadow flips)
+//	                                           # -flips for shadow flips;
+//	                                           # reconnects on restarts)
+//	stacctl timeline -members m1=host:port,... # merge every member's
+//	                                           # decision journal into one
+//	                                           # HLC-ordered causal stream,
+//	                                           # flag causality violations
+//	                                           # and clock skew
 //	stacctl replay -wal w.jsonl -policy P      # verify a recorded stream
 //	                                           # replays deterministically
 //	stacctl diff -wal w.jsonl -policy C        # verdict flips the candidate
@@ -66,7 +72,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: stacctl <parse-program|parse-constraint|check|explain|traces|synth|policy|simulate|top|slow|watch|replay|diff> ...")
+		return fmt.Errorf("usage: stacctl <parse-program|parse-constraint|check|explain|traces|synth|policy|simulate|top|slow|watch|timeline|replay|diff> ...")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -102,6 +108,8 @@ func run(args []string) error {
 		return cmdSlow(rest)
 	case "watch":
 		return cmdWatch(rest)
+	case "timeline":
+		return cmdTimeline(rest)
 	case "replay":
 		return cmdReplay(rest)
 	case "diff":

@@ -1,0 +1,262 @@
+package main
+
+// `stacctl timeline` is the coalition-wide causal decision timeline:
+// it tails every member's /debug/journal stream concurrently
+// (internal/obs/journal followers, resumable cursors, jittered
+// reconnect), merges the per-member streams into one HLC-ordered
+// coalition stream, and cross-checks the merged order against each
+// itinerary's hop order — a mobile agent's decisions must appear in
+// the order the agent experienced them, no matter how skewed the
+// members' wall clocks are. The run ends with a summary (events,
+// causality violations, per-member skew/lag/gap/reconnect counters)
+// that -json emits machine-readable for CI gating.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"stac/internal/obs/federate"
+	"stac/internal/obs/journal"
+)
+
+// cmdTimeline merges the fleet's decision journals.
+//
+//	stacctl timeline -members m1=127.0.0.1:9100,m2=... -duration 5s
+//	stacctl timeline -members ... -n 100 -json     # bounded, scriptable
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+	membersArg := fs.String("members", "", "comma-separated member list, name=host:port of each daemon's metrics listener")
+	cursor := fs.Uint64("cursor", 0, "resume each member's tail after this recorder sequence number")
+	maxEvents := fs.Int("n", 0, "stop after this many merged events; 0 = until -duration or interrupt")
+	duration := fs.Duration("duration", 0, "stop after this long; 0 = until -n or interrupt")
+	poll := fs.Duration("poll", 0, "server-side ring poll interval forwarded as ?poll= (0 = server default)")
+	jsonOut := fs.Bool("json", false, "emit the final summary as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	members, err := parseMembers(*membersArg)
+	if err != nil {
+		return fmt.Errorf("timeline: %w", err)
+	}
+	if *maxEvents <= 0 && *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "# timeline: no -n or -duration bound; streaming until interrupted")
+	}
+	opts := timelineOptions{
+		cursor:    *cursor,
+		maxEvents: *maxEvents,
+		duration:  *duration,
+		poll:      *poll,
+		jsonOut:   *jsonOut,
+	}
+	return runTimeline(context.Background(), os.Stdout, nil, members, opts)
+}
+
+type timelineOptions struct {
+	cursor    uint64
+	maxEvents int
+	duration  time.Duration
+	poll      time.Duration
+	jsonOut   bool
+}
+
+// timelineSummary is the end-of-run report; CI smoke greps its JSON
+// form for a zero causality_violations count.
+type timelineSummary struct {
+	Members             []journal.Status             `json:"members"`
+	Events              int                          `json:"events"`
+	CausalityViolations int                          `json:"causality_violations"`
+	Violations          []journal.CausalityViolation `json:"violations,omitempty"`
+	// MaxAbsSkewS / MaxSkewMember name the member whose clock is
+	// furthest from this process's (from journal meta wall readings).
+	MaxAbsSkewS   float64 `json:"max_abs_skew_s"`
+	MaxSkewMember string  `json:"max_skew_member,omitempty"`
+}
+
+// runTimeline tails every member, prints released events in merged
+// HLC order, and ends with the summary. client may be nil
+// (http.DefaultClient; streams must not time out).
+func runTimeline(ctx context.Context, w io.Writer, client *http.Client, members []federate.Member, o timelineOptions) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if o.duration > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, o.duration)
+		defer tcancel()
+	}
+
+	names := make([]string, len(members))
+	for i, m := range members {
+		names[i] = m.Name
+	}
+	merger := journal.NewMerger(names)
+
+	// mu guards the merger, the collected events and the writer; the
+	// per-member followers funnel through it, so the printed stream is
+	// the true merged order.
+	var mu sync.Mutex
+	var all []journal.Event
+	printed := 0
+	emitLocked := func(evs []journal.Event) {
+		for _, e := range evs {
+			all = append(all, e)
+			if o.maxEvents > 0 && printed >= o.maxEvents {
+				continue // keep collecting for the causality check
+			}
+			fmt.Fprintln(w, renderTimelineLine(e))
+			printed++
+			if o.maxEvents > 0 && printed >= o.maxEvents {
+				cancel()
+			}
+		}
+	}
+
+	followers := make([]*journal.Follower, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		f := &journal.Follower{
+			Name:    m.Name,
+			BaseURL: m.BaseURL,
+			Client:  client,
+			Cursor:  o.cursor,
+			Poll:    o.poll,
+			Delay:   watchBackoff().Delay,
+			OnReconnect: func(attempt int, err error) {
+				mu.Lock()
+				defer mu.Unlock()
+				fmt.Fprintf(w, "# [%s] stream lost (%v), reconnect %d\n", m.Name, err, attempt)
+			},
+		}
+		followers[i] = f
+		wg.Add(1)
+		go func(i int, f *journal.Follower) {
+			defer wg.Done()
+			errs[i] = f.Run(ctx, func(fr journal.Frame) {
+				mu.Lock()
+				defer mu.Unlock()
+				switch fr.Kind {
+				case journal.KindRecord:
+					evs, err := merger.Push(journal.NewEvent(f.Name, *fr.Record))
+					if err == nil {
+						emitLocked(evs)
+					}
+				case journal.KindMeta, journal.KindEnd:
+					// Only a caught-up meta is a watermark promise; the
+					// connect-time meta precedes the backlog replay.
+					if ts, ok := fr.Meta.Watermark(); ok {
+						if evs, err := merger.Advance(f.Name, ts); err == nil {
+							emitLocked(evs)
+						}
+					}
+				}
+			})
+			mu.Lock()
+			if evs, err := merger.Close(f.Name); err == nil {
+				emitLocked(evs)
+			}
+			mu.Unlock()
+		}(i, f)
+	}
+	wg.Wait()
+	mu.Lock()
+	emitLocked(merger.Flush())
+	events := all
+	mu.Unlock()
+
+	sum := timelineSummary{Events: len(events)}
+	sum.Violations = journal.CheckCausality(events)
+	sum.CausalityViolations = len(sum.Violations)
+	for _, f := range followers {
+		st := f.Status()
+		sum.Members = append(sum.Members, st)
+		if st.SkewKnown {
+			abs := st.SkewS
+			if abs < 0 {
+				abs = -abs
+			}
+			if abs > sum.MaxAbsSkewS {
+				sum.MaxAbsSkewS = abs
+				sum.MaxSkewMember = st.Member
+			}
+		}
+	}
+
+	if o.jsonOut {
+		b, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(b))
+	} else {
+		renderTimelineSummary(w, sum)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("timeline %s: %w", members[i].Name, err)
+		}
+	}
+	if sum.CausalityViolations > 0 {
+		return fmt.Errorf("timeline: %d causality violation(s)", sum.CausalityViolations)
+	}
+	return nil
+}
+
+// renderTimelineLine formats one merged event.
+func renderTimelineLine(e journal.Event) string {
+	r := e.Record
+	line := fmt.Sprintf("%s [%s] #%d %s", e.HLC, e.Member, r.Seq, r.Kind)
+	switch r.Kind {
+	case "decide":
+		verdict := "GRANT"
+		if !r.Granted {
+			verdict = "DENY"
+		}
+		line += fmt.Sprintf(" %s %s %s %s @ %s", verdict, r.Object, r.Op, r.Resource, r.Server)
+		if r.Perm != "" {
+			line += " perm=" + r.Perm
+		}
+		if !r.Granted && r.Deny != "" {
+			line += " deny=" + r.Deny
+		}
+		if r.TraceID != "" {
+			line += " trace=" + r.TraceID
+		}
+	case "arrive":
+		line += fmt.Sprintf(" %s @ %s", r.Object, r.Server)
+	case "grant":
+		line += fmt.Sprintf(" %s %s %s @ %s", r.Object, r.Op, r.Resource, r.Server)
+	default:
+		if r.User != "" {
+			line += " " + r.User
+		}
+	}
+	return line
+}
+
+func renderTimelineSummary(w io.Writer, s timelineSummary) {
+	fmt.Fprintf(w, "\ntimeline: %d events merged, %d causality violation(s)\n",
+		s.Events, s.CausalityViolations)
+	for _, v := range s.Violations {
+		fmt.Fprintf(w, "  VIOLATION trace=%s: %s\n", v.TraceID, v.Detail)
+	}
+	fmt.Fprintf(w, "%-12s %10s %8s %6s %10s %10s\n",
+		"MEMBER", "CURSOR", "LAG", "GAPS", "RECONNECTS", "SKEW")
+	for _, m := range s.Members {
+		skew := "n/a"
+		if m.SkewKnown {
+			skew = fmt.Sprintf("%+.3fs", m.SkewS)
+		}
+		fmt.Fprintf(w, "%-12s %10d %8d %6d %10d %10s\n",
+			m.Member, m.Cursor, m.Lag, m.Gaps, m.Reconnects, skew)
+	}
+	if s.MaxSkewMember != "" {
+		fmt.Fprintf(w, "max skew: %s at %.3fs\n", s.MaxSkewMember, s.MaxAbsSkewS)
+	}
+}

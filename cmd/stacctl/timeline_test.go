@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"stac/internal/model"
+	"stac/internal/obs/federate"
+	"stac/internal/obs/record"
+	"stac/internal/server"
+)
+
+const timelinePolicy = `
+user o1
+role roamer
+permission p read * @ *
+grant roamer p
+assign o1 roamer
+`
+
+// startJournaledFleet is startFleet plus a flight recorder per member
+// (the journal tail 404s without one) and a little cross-member
+// traffic, returning the members and the fleet-wide record count.
+func startJournaledFleet(t *testing.T, n int) ([]federate.Member, int) {
+	t.Helper()
+	fleet := startFleet(t, n, []byte("timeline-key"), timelinePolicy)
+	for _, m := range fleet {
+		m.c.Engine.SetRecorder(record.New(record.Config{Capacity: 256, Registry: m.c.Engine.Obs()}))
+	}
+	cred := fleet[0].c.Signer.IssueCredential("o1", "owner@coalition", []string{"roamer"})
+	for round := 0; round < 2; round++ {
+		for _, m := range fleet {
+			cl, err := server.Dial(m.addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Auth(cred); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cl.Access(model.OpRead, "f", "", nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Depart(); err != nil {
+				t.Fatal(err)
+			}
+			cl.Close()
+		}
+	}
+	members := make([]federate.Member, len(fleet))
+	total := 0
+	for i, m := range fleet {
+		members[i] = m.member()
+		total += int(m.c.Engine.Recorder().Status().Total)
+	}
+	if total == 0 {
+		t.Fatal("fleet recorded nothing")
+	}
+	return members, total
+}
+
+func TestTimelineMergesFleetJSON(t *testing.T) {
+	members, total := startJournaledFleet(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var buf bytes.Buffer
+	opts := timelineOptions{maxEvents: total, poll: 50 * time.Millisecond, jsonOut: true}
+	if err := runTimeline(ctx, &buf, nil, members, opts); err != nil {
+		t.Fatalf("runTimeline: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+
+	// Event lines precede the JSON summary; every merged line names a
+	// member and a record kind.
+	jsonAt := strings.Index(out, "{")
+	if jsonAt < 0 {
+		t.Fatalf("no JSON summary in output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out[:jsonAt]), "\n")
+	if len(lines) != total {
+		t.Fatalf("printed %d event lines, want %d:\n%s", len(lines), total, out)
+	}
+	sawMember := map[string]bool{}
+	for _, line := range lines {
+		for _, m := range members {
+			if strings.Contains(line, "["+m.Name+"]") {
+				sawMember[m.Name] = true
+			}
+		}
+	}
+	if len(sawMember) != len(members) {
+		t.Fatalf("merged stream missing members: %v\n%s", sawMember, out)
+	}
+
+	var sum timelineSummary
+	if err := json.Unmarshal([]byte(out[jsonAt:]), &sum); err != nil {
+		t.Fatalf("summary JSON: %v\n%s", err, out[jsonAt:])
+	}
+	if sum.Events != total || sum.CausalityViolations != 0 {
+		t.Fatalf("summary = %+v, want %d events, 0 violations", sum, total)
+	}
+	if len(sum.Members) != len(members) {
+		t.Fatalf("summary members = %+v", sum.Members)
+	}
+	for _, st := range sum.Members {
+		if st.Cursor == 0 {
+			t.Fatalf("member %s never advanced its cursor: %+v", st.Member, st)
+		}
+	}
+}
+
+func TestTimelineRendersTextSummary(t *testing.T) {
+	members, total := startJournaledFleet(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var buf bytes.Buffer
+	opts := timelineOptions{maxEvents: total, poll: 50 * time.Millisecond}
+	if err := runTimeline(ctx, &buf, nil, members, opts); err != nil {
+		t.Fatalf("runTimeline: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "causality violation(s)") || !strings.Contains(out, "MEMBER") {
+		t.Fatalf("summary not rendered:\n%s", out)
+	}
+}
+
+func TestTimelineArgErrors(t *testing.T) {
+	if err := run([]string{"timeline"}); err == nil {
+		t.Fatal("timeline without members accepted")
+	}
+	if err := run([]string{"timeline", "-members", " , "}); err == nil {
+		t.Fatal("timeline with empty member list accepted")
+	}
+}

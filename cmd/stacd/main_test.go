@@ -657,12 +657,19 @@ func TestStartWiresRecorderShadowAndCoverage(t *testing.T) {
 	if err := json.Unmarshal([]byte(get("/debug/snapshot")), &snap); err != nil {
 		t.Fatal(err)
 	}
-	if snap.Version != 3 || snap.ShadowDigest == "" || snap.ShadowFlips != 1 ||
+	if snap.Version != 4 || snap.ShadowDigest == "" || snap.ShadowFlips != 1 ||
 		snap.Recorder == nil || snap.Recorder.Total == 0 || snap.Runtime.Goroutines < 1 {
 		t.Fatalf("snapshot versioned fields = %+v", snap)
 	}
 	if len(snap.Perf.Stripes) < 34 || len(snap.Perf.Exemplars) == 0 {
 		t.Fatalf("snapshot perf section = %+v", snap.Perf)
+	}
+	// v4: HLC reading plus journal tail state (recorder is on).
+	if snap.HLC == "" || snap.HLCWallUnix == 0 {
+		t.Fatalf("snapshot HLC fields = %q/%g", snap.HLC, snap.HLCWallUnix)
+	}
+	if snap.Journal == nil {
+		t.Fatal("snapshot missing journal tail state")
 	}
 
 	// The WAL on disk replays deterministically through a fresh engine.

@@ -1,0 +1,62 @@
+package agent
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is the coalition-standard retry delay policy: jittered
+// exponential backoff, doubling from Base per attempt up to a cap,
+// with ±50% deterministic jitter so concurrent retriers decorrelate
+// without losing reproducibility. It is the policy RemoteRuntime uses
+// between migration and access retries; stream followers (stacctl
+// watch/top/timeline) reuse it for reconnects so the whole toolchain
+// hammers a recovering daemon the same gentle way.
+//
+// The zero value is ready to use: Base defaults to 5ms, Cap to
+// 100×Base, Seed to 1. Safe for concurrent use.
+type Backoff struct {
+	// Base is the delay before the first retry (default 5ms).
+	Base time.Duration
+	// Cap bounds the exponential growth (default 100×Base).
+	Cap time.Duration
+	// Seed drives the jitter (default 1), keeping retry schedules
+	// reproducible.
+	Seed int64
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+// Delay returns the jittered delay before retry attempt (1-based).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	cap := b.Cap
+	if cap <= 0 {
+		cap = 100 * base
+	}
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	b.once.Do(func() {
+		seed := b.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		b.rng = rand.New(rand.NewSource(seed))
+	})
+	b.mu.Lock()
+	jitter := b.rng.Float64()
+	b.mu.Unlock()
+	// ±50% jitter decorrelates concurrent branches retrying together.
+	return time.Duration(float64(d) * (0.5 + jitter))
+}

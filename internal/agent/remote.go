@@ -2,12 +2,12 @@ package agent
 
 import (
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"stac/internal/channel"
+	"stac/internal/hlc"
 	"stac/internal/model"
 	"stac/internal/obs"
 	"stac/internal/server"
@@ -71,9 +71,15 @@ type RemoteRuntime struct {
 	Tracer *obs.Tracer
 
 	once    sync.Once
-	rngOnce sync.Once
-	rngMu   sync.Mutex
-	rng     *rand.Rand
+	polOnce sync.Once
+	pol     *Backoff
+
+	// hlcOnce guards the runtime's hybrid logical clock: one clock per
+	// runtime, shared by every dialled connection across every branch,
+	// so the agent's causal history is a single chain no matter how the
+	// itinerary forks or reconnects.
+	hlcOnce sync.Once
+	hlcClk  *hlc.Clock
 
 	metOnce sync.Once
 	met     *rtMetrics
@@ -161,31 +167,27 @@ func (rt *RemoteRuntime) clientConfig() server.ClientConfig {
 }
 
 // backoffDelay computes the jittered exponential backoff before retry
-// attempt (1-based).
+// attempt (1-based), delegating to the shared Backoff policy.
 func (rt *RemoteRuntime) backoffDelay(attempt int) time.Duration {
-	base := rt.Backoff
-	if base <= 0 {
-		base = 5 * time.Millisecond
-	}
-	d := base
-	for i := 1; i < attempt && d < 100*base; i++ {
-		d *= 2
-	}
-	if d > 100*base {
-		d = 100 * base
-	}
-	rt.rngOnce.Do(func() {
-		seed := rt.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		rt.rng = rand.New(rand.NewSource(seed))
+	rt.polOnce.Do(func() {
+		rt.pol = &Backoff{Base: rt.Backoff, Seed: rt.Seed}
 	})
-	rt.rngMu.Lock()
-	jitter := rt.rng.Float64()
-	rt.rngMu.Unlock()
-	// ±50% jitter decorrelates concurrent branches retrying together.
-	return time.Duration(float64(d) * (0.5 + jitter))
+	return rt.pol.Delay(attempt)
+}
+
+// HLC returns the runtime's hybrid logical clock (created on first
+// use, over the host wall clock). Every connection the runtime dials
+// shares it: each request carries the clock's reading and each reply's
+// stamp is folded back in, so decisions along the itinerary — across
+// servers with skewed clocks — form one causal chain the coalition
+// timeline can order.
+func (rt *RemoteRuntime) HLC() *hlc.Clock {
+	rt.hlcOnce.Do(func() {
+		if rt.hlcClk == nil {
+			rt.hlcClk = hlc.New(nil)
+		}
+	})
+	return rt.hlcClk
 }
 
 // Launch runs the agent to completion over TCP. It is synchronous;
@@ -295,6 +297,10 @@ func (b *remoteBranch) moveTo(s model.ServerID) error {
 			lastErr = err
 			continue
 		}
+		// The itinerary-wide HLC rides every connection: requests carry
+		// its reading, replies advance it, so hop N+1's decisions are
+		// causally after hop N's even across skewed daemons.
+		cl.SetHLC(b.rt.HLC())
 		// The carried history enters the new connection before
 		// authentication, so the server sees the full cross-site
 		// trace. A redial after a mid-migration reset re-imports it,

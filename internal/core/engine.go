@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"stac/internal/hlc"
 	"stac/internal/model"
 	"stac/internal/obs"
 	"stac/internal/obs/perf"
@@ -132,6 +133,13 @@ type Decision struct {
 	// Explanation attributes a denial to the specific violated SRAC
 	// subformula or the exhausted temporal budget; nil on grants.
 	Explanation *Explanation
+	// HLC is the decision's hybrid logical timestamp: every decision
+	// ticks the engine's HLC, the stamp rides the wire reply, and the
+	// requesting agent folds it into its own clock — so decisions that
+	// causally follow each other (hops of one itinerary) carry
+	// strictly increasing timestamps coalition-wide even under clock
+	// skew. Journal records and audit entries reuse this exact stamp.
+	HLC hlc.Timestamp
 }
 
 // String implements fmt.Stringer.
@@ -177,6 +185,11 @@ type Engine struct {
 	// latency objective and derives the burn rate (see perf.SLOTracker).
 	// Atomic like met/tracer; a nil tracker's methods are inert.
 	slo atomic.Pointer[perf.SLOTracker]
+
+	// hlcClock is the engine's hybrid logical clock (see Decision.HLC).
+	// Atomic only so SetHLCWall (tests, skew injection) can swap the
+	// wall source without racing the decision path.
+	hlcClock atomic.Pointer[hlc.Clock]
 
 	// policyMu guards the read-mostly policy tables: permission specs
 	// and permission classes. Decisions only ever take the read lock;
@@ -329,6 +342,7 @@ func NewEngine(clock temporal.Clock) *Engine {
 	e.met.Store(newEngineMetrics(obs.Default))
 	e.instrumentLocks(obs.Default)
 	e.tracer.Store(obs.DefaultTracer)
+	e.hlcClock.Store(hlc.New(hlc.WallFromTemporal(clock)))
 	return e
 }
 
@@ -347,6 +361,22 @@ func (e *Engine) instrumentLocks(r *obs.Registry) {
 
 // Clock returns the engine's clock.
 func (e *Engine) Clock() temporal.Clock { return e.clock }
+
+// HLC returns the engine's hybrid logical clock. Servers observe
+// request timestamps on it before deciding, so the decision stamp
+// dominates everything the requester had seen.
+func (e *Engine) HLC() *hlc.Clock { return e.hlcClock.Load() }
+
+// SetHLCWall replaces the HLC's physical wall source — clock-skew
+// injection for tests (faults.WallSkew) and the hook a deployment
+// with a disciplined time service would use. The logical component
+// restarts; causal monotonicity against previously issued stamps is
+// only preserved going forward if the new source is not behind the
+// old one by more than the logical counter can absorb, so swap before
+// traffic, not during.
+func (e *Engine) SetHLCWall(wall func() int64) {
+	e.hlcClock.Store(hlc.New(wall))
+}
 
 // SetObs points the engine's decision-path metrics at a registry
 // other than obs.Default — tests and embedders use it to reconcile one
@@ -536,6 +566,7 @@ func (e *Engine) AuthorizeTraced(tc obs.TraceContext, req Request) Decision {
 	sp, ctx := t.StartSpan(tc, "authorize")
 	start := time.Now()
 	d := e.authorize(ctx, t, req, m, nil)
+	d.HLC = e.hlcClock.Load().Now()
 	elapsed := time.Since(start)
 	m.recordDecision(d, elapsed)
 	e.slo.Load().Observe(elapsed)
@@ -580,6 +611,7 @@ func (e *Engine) AuthorizeMany(reqs []Request) []Decision {
 	for i := range reqs {
 		start := time.Now()
 		d := e.authorize(obs.TraceContext{}, t, reqs[i], m, cache)
+		d.HLC = e.hlcClock.Load().Now()
 		elapsed := time.Since(start)
 		m.recordDecision(d, elapsed)
 		slo.Observe(elapsed)

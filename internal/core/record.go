@@ -57,6 +57,7 @@ func (e *Engine) recordArrive(obj model.ObjectID, server model.ServerID, now flo
 	rec.Append(record.Record{
 		Kind:   record.KindArrive,
 		Time:   now,
+		HLC:    e.hlcClock.Load().Now().String(),
 		Object: string(obj),
 		Server: string(server),
 	})
@@ -70,6 +71,7 @@ func (e *Engine) recordSession(kind string, sess *rbac.Session, obj model.Object
 	rec.Append(record.Record{
 		Kind:   kind,
 		Time:   now,
+		HLC:    e.hlcClock.Load().Now().String(),
 		Object: string(obj),
 		User:   string(sess.User()),
 		Roles:  roleNames(sess),
@@ -84,6 +86,7 @@ func (e *Engine) recordGrantEvent(a model.Access) {
 	rec.Append(record.Record{
 		Kind:     record.KindGrant,
 		Time:     e.clock.Now(),
+		HLC:      e.hlcClock.Load().Now().String(),
 		Object:   string(a.Object),
 		Server:   string(a.Server),
 		Op:       string(a.Op),
@@ -97,8 +100,12 @@ func (e *Engine) recordDecide(tc obs.TraceContext, req Request, d Decision) {
 		return
 	}
 	r := record.Record{
-		Kind:        record.KindDecide,
-		Time:        e.clock.Now(),
+		Kind: record.KindDecide,
+		Time: e.clock.Now(),
+		// The decide record reuses the decision's own stamp (the one
+		// on the wire reply), not a fresh tick: the journal event and
+		// what the requesting agent observed must be the same instant.
+		HLC:         d.HLC.String(),
 		Object:      string(req.Access.Object),
 		Server:      string(req.Access.Server),
 		Op:          string(req.Access.Op),

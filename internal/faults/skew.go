@@ -1,0 +1,19 @@
+package faults
+
+import "time"
+
+// WallSkew returns a wall-clock source (nanoseconds) offset from base
+// by delta — clock-skew injection for the hybrid logical clock. A nil
+// base reads the host wall clock, so
+//
+//	engine.SetHLCWall(faults.WallSkew(nil, -5*time.Second))
+//
+// models a coalition member whose clock runs five seconds behind the
+// rest of the fleet.
+func WallSkew(base func() int64, delta time.Duration) func() int64 {
+	if base == nil {
+		base = func() int64 { return time.Now().UnixNano() }
+	}
+	d := int64(delta)
+	return func() int64 { return base() + d }
+}

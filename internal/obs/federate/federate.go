@@ -38,6 +38,14 @@ type MemberState struct {
 	// newer than this poller supports — excluded from the merge but
 	// distinct from unreachable.
 	Skipped bool `json:"skipped,omitempty"`
+	// SkewSeconds estimates the member's physical clock offset from the
+	// poller's own: the snapshot's raw wall reading (hlc_wall_unix_s)
+	// minus the scrape's midpoint. Positive = member's clock is ahead.
+	// SkewKnown gates the estimate — false when the member predates
+	// snapshot v4 or runs a simulated clock whose "wall" is nowhere
+	// near Unix time (see skewCredibleSeconds).
+	SkewSeconds float64 `json:"skew_s"`
+	SkewKnown   bool    `json:"skew_known"`
 	// Snapshot is the member's document (zero when unreachable).
 	Snapshot server.Snapshot `json:"snapshot"`
 }
@@ -110,8 +118,8 @@ func (c CoverageRollup) Dead() bool { return c.Decisive == 0 }
 // Anomaly is one cross-server condition the poller flagged.
 type Anomaly struct {
 	// Kind is "unreachable", "budget-exhaustion", "deny-spike",
-	// "policy-divergence", "version-skew", "dead-clause", "slo-burn"
-	// or "lock-contention".
+	// "policy-divergence", "version-skew", "dead-clause", "slo-burn",
+	// "lock-contention", "clock-skew" or "journal-lag".
 	Kind string `json:"kind"`
 	// Member names the affected member ("" for fleet-wide conditions).
 	Member string `json:"member,omitempty"`
@@ -131,8 +139,11 @@ type FleetView struct {
 	Coverage []CoverageRollup `json:"coverage,omitempty"`
 	// Perf is one hot-path health row per reachable member (see
 	// perf.go): hottest stripe, SLO burn rate, slowest exemplar.
-	Perf      []MemberPerfRollup `json:"perf,omitempty"`
-	Anomalies []Anomaly          `json:"anomalies"`
+	Perf []MemberPerfRollup `json:"perf,omitempty"`
+	// Clocks is one clock/journal health row per reachable member (see
+	// clocks.go): HLC reading, physical skew estimate, tail lag.
+	Clocks    []ClockRollup `json:"clocks,omitempty"`
+	Anomalies []Anomaly     `json:"anomalies"`
 }
 
 // Config tunes the poller's anomaly thresholds.
@@ -156,6 +167,12 @@ type Config struct {
 	// ContentionRatio flags a member whose hottest lock stripe was
 	// contended on more than this fraction of acquisitions (0 = 0.25).
 	ContentionRatio float64
+	// SkewThreshold flags a member whose physical clock skew estimate
+	// exceeds this many seconds in either direction (0 = 1).
+	SkewThreshold float64
+	// JournalLagThreshold flags a member whose worst journal tail is
+	// more than this many records behind the recorder (0 = 1024).
+	JournalLagThreshold uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -177,6 +194,12 @@ func (c Config) withDefaults() Config {
 	if c.ContentionRatio == 0 {
 		c.ContentionRatio = 0.25
 	}
+	if c.SkewThreshold == 0 {
+		c.SkewThreshold = 1
+	}
+	if c.JournalLagThreshold == 0 {
+		c.JournalLagThreshold = 1024
+	}
 	return c
 }
 
@@ -189,14 +212,20 @@ type Poller struct {
 
 	mu   sync.Mutex
 	prev map[string]server.Snapshot
+	// down marks members last seen unreachable; reconnects counts each
+	// member's down→up transitions (a first-ever success is not one).
+	down       map[string]bool
+	reconnects map[string]int64
 }
 
 // NewPoller builds a poller over the given members.
 func NewPoller(members []Member, cfg Config) *Poller {
 	return &Poller{
-		members: members,
-		cfg:     cfg.withDefaults(),
-		prev:    make(map[string]server.Snapshot),
+		members:    members,
+		cfg:        cfg.withDefaults(),
+		prev:       make(map[string]server.Snapshot),
+		down:       make(map[string]bool),
+		reconnects: make(map[string]int64),
 	}
 }
 
@@ -242,6 +271,7 @@ func (p *Poller) Poll(ctx context.Context) FleetView {
 		go func(i int, m Member) {
 			defer wg.Done()
 			states[i] = MemberState{Member: m}
+			start := time.Now()
 			snap, err := Scrape(ctx, p.cfg.Client, m, p.cfg.BudgetTail)
 			if err != nil {
 				states[i].Err = err.Error()
@@ -250,6 +280,18 @@ func (p *Poller) Poll(ctx context.Context) FleetView {
 			}
 			states[i].Reachable = true
 			states[i].Snapshot = snap
+			// The snapshot's raw wall reading vs the scrape's midpoint
+			// estimates the member's clock skew (the midpoint splits the
+			// network round trip's bias). An implausible offset means a
+			// simulated clock, not skew: leave SkewKnown false.
+			if snap.HLCWallUnix != 0 {
+				mid := (float64(start.UnixNano()) + float64(time.Now().UnixNano())) / 2e9
+				skew := snap.HLCWallUnix - mid
+				if skew > -skewCredibleSeconds && skew < skewCredibleSeconds {
+					states[i].SkewSeconds = skew
+					states[i].SkewKnown = true
+				}
+			}
 		}(i, m)
 	}
 	wg.Wait()
@@ -270,6 +312,11 @@ func (p *Poller) merge(states []MemberState) FleetView {
 	defer p.mu.Unlock()
 	for _, st := range states {
 		if st.Skipped {
+			// The member answered — it is up, just newer than us.
+			if p.down[st.Name] {
+				p.reconnects[st.Name]++
+				p.down[st.Name] = false
+			}
 			v.Global.Skipped++
 			v.Anomalies = append(v.Anomalies, Anomaly{
 				Kind: "version-skew", Member: st.Name, Detail: st.Err,
@@ -277,11 +324,16 @@ func (p *Poller) merge(states []MemberState) FleetView {
 			continue
 		}
 		if !st.Reachable {
+			p.down[st.Name] = true
 			v.Global.Unreachable++
 			v.Anomalies = append(v.Anomalies, Anomaly{
 				Kind: "unreachable", Member: st.Name, Detail: st.Err,
 			})
 			continue
+		}
+		if p.down[st.Name] {
+			p.reconnects[st.Name]++
+			p.down[st.Name] = false
 		}
 		snap := st.Snapshot
 		v.Global.Members++
@@ -427,6 +479,7 @@ func (p *Poller) merge(states []MemberState) FleetView {
 		})
 	}
 	p.mergePerf(&v)
+	p.mergeClocks(&v)
 	sort.Slice(v.Anomalies, func(i, j int) bool {
 		a, b := v.Anomalies[i], v.Anomalies[j]
 		if a.Kind != b.Kind {

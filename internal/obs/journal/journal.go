@@ -1,0 +1,165 @@
+// Package journal is the client side of the coalition decision
+// journal: the /debug/journal wire protocol (frames), a resumable
+// follower that tails one member's flight recorder over SSE, and the
+// HLC-ordered cross-member merge with causality checking behind
+// `stacctl timeline`.
+//
+// The journal stream is the deliberate precursor of the WAL
+// replication stream (ROADMAP item 3): a follower holds a cursor (the
+// recorder sequence number of the last record it has), resumes from
+// it across reconnects, and learns explicitly — via gap frames — when
+// the member's ring evicted records it never saw. A replica built on
+// this protocol can therefore tell "caught up" from "lost history",
+// and the HLC stamps give it the coalition-wide causal order to apply
+// records in.
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"stac/internal/hlc"
+	"stac/internal/obs/record"
+)
+
+// Frame kinds, the SSE event names of the /debug/journal stream.
+const (
+	// KindMeta ("journal") carries the member's tail state: cursor,
+	// total, ring occupancy, and the member's current HLC reading.
+	// Sent on connect, after every poll round that leaves the tail
+	// caught up, and on end. ONLY a caught-up meta (Cursor == Total) is
+	// a merge watermark promise — that every record the member streams
+	// later carries a strictly greater HLC. The connect-time meta is
+	// emitted BEFORE the backlog replays, so its HLC reading sits ahead
+	// of undelivered history; use Meta.Watermark, which encodes this
+	// rule, rather than reading Meta.HLC directly.
+	KindMeta = "journal"
+	// KindRecord ("record") carries one flight-recorder record.
+	KindRecord = "record"
+	// KindGap ("gap") reports records evicted from the ring before the
+	// tail could read them — the cursor was too far behind.
+	KindGap = "gap"
+	// KindEnd ("end") closes a bounded (?max=) stream.
+	KindEnd = "end"
+)
+
+// Meta is the data payload of a KindMeta (and KindEnd) frame.
+type Meta struct {
+	// Cursor is the tail's position (last delivered Seq); Total the
+	// recorder's total appended count. Total-Cursor is the lag.
+	Cursor uint64 `json:"cursor"`
+	Total  uint64 `json:"total"`
+	// Retained is the ring occupancy (how far back a new cursor can
+	// reach without a gap).
+	Retained int `json:"retained"`
+	// Schema is the record schema version the member writes.
+	Schema int `json:"schema"`
+	// HLC is the member's hybrid-logical-clock reading at emit time.
+	HLC string `json:"hlc,omitempty"`
+	// WallUnix is the member's RAW physical wall source in Unix
+	// seconds — not causally propagated, so cross-referencing it with
+	// the follower's own wall clock measures the member's clock skew.
+	WallUnix float64 `json:"wall_unix_s,omitempty"`
+}
+
+// Watermark returns the merge watermark this meta promises: its HLC
+// reading, valid only when the tail is caught up (Cursor == Total) —
+// otherwise records with smaller stamps are still queued behind it.
+// The boolean is false when the meta carries no usable watermark.
+func (m *Meta) Watermark() (hlc.Timestamp, bool) {
+	if m == nil || m.Cursor != m.Total {
+		return hlc.Timestamp{}, false
+	}
+	ts, err := hlc.Parse(m.HLC)
+	if err != nil || ts.IsZero() {
+		return hlc.Timestamp{}, false
+	}
+	return ts, true
+}
+
+// Gap is the data payload of a KindGap frame: records with sequence
+// numbers in (From, From+Missed] were evicted before delivery; the
+// stream resumes at From+Missed+1.
+type Gap struct {
+	From   uint64 `json:"from"`
+	Missed uint64 `json:"missed"`
+}
+
+// Frame is one decoded journal stream frame.
+type Frame struct {
+	Kind   string
+	Meta   *Meta          // KindMeta, KindEnd
+	Record *record.Record // KindRecord
+	Gap    *Gap           // KindGap
+}
+
+// DecodeFrame parses one SSE (event, data) pair into a validated
+// frame. Unknown event names are rejected — the protocol is versioned
+// by the record schema carried in Meta, not by silently skipping.
+func DecodeFrame(event string, data []byte) (Frame, error) {
+	switch event {
+	case KindMeta, KindEnd:
+		var m Meta
+		if err := json.Unmarshal(data, &m); err != nil {
+			return Frame{}, fmt.Errorf("journal: bad %s frame: %w", event, err)
+		}
+		if m.Cursor > m.Total {
+			return Frame{}, fmt.Errorf("journal: %s frame cursor %d beyond total %d", event, m.Cursor, m.Total)
+		}
+		if m.Retained < 0 {
+			return Frame{}, fmt.Errorf("journal: %s frame negative retained", event)
+		}
+		if _, err := hlc.Parse(m.HLC); err != nil {
+			return Frame{}, fmt.Errorf("journal: %s frame: %w", event, err)
+		}
+		return Frame{Kind: event, Meta: &m}, nil
+	case KindRecord:
+		rec, err := record.Decode(data)
+		if err != nil {
+			return Frame{}, fmt.Errorf("journal: %w", err)
+		}
+		return Frame{Kind: KindRecord, Record: &rec}, nil
+	case KindGap:
+		var g Gap
+		if err := json.Unmarshal(data, &g); err != nil {
+			return Frame{}, fmt.Errorf("journal: bad gap frame: %w", err)
+		}
+		if g.Missed == 0 {
+			return Frame{}, fmt.Errorf("journal: empty gap frame")
+		}
+		if g.From+g.Missed < g.From {
+			return Frame{}, fmt.Errorf("journal: gap frame overflows")
+		}
+		return Frame{Kind: KindGap, Gap: &g}, nil
+	}
+	return Frame{}, fmt.Errorf("journal: unknown frame kind %q", event)
+}
+
+// Event is one journal record attributed to a coalition member, with
+// its HLC parsed — the unit the cross-member merge orders.
+type Event struct {
+	Member string
+	Record record.Record
+	HLC    hlc.Timestamp
+}
+
+// NewEvent attributes a record to a member, parsing its HLC stamp.
+// Records from pre-HLC streams get the zero timestamp and sort before
+// everything (there is nothing better to order them by).
+func NewEvent(member string, rec record.Record) Event {
+	ts, _ := hlc.Parse(rec.HLC)
+	return Event{Member: member, Record: rec, HLC: ts}
+}
+
+// Less is the merge order: HLC first, then member name and sequence
+// number so the merged stream is a deterministic total order even
+// across equal stamps.
+func (e Event) Less(o Event) bool {
+	if c := e.HLC.Compare(o.HLC); c != 0 {
+		return c < 0
+	}
+	if e.Member != o.Member {
+		return e.Member < o.Member
+	}
+	return e.Record.Seq < o.Record.Seq
+}

@@ -1,0 +1,139 @@
+package journal
+
+import (
+	"encoding/json"
+	"testing"
+
+	"stac/internal/hlc"
+	"stac/internal/obs/record"
+)
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func decideRecord(seq uint64, ts hlc.Timestamp, trace string, hist int) record.Record {
+	return record.Record{
+		Schema: record.SchemaVersion, Seq: seq, Kind: record.KindDecide,
+		HLC: ts.String(), Object: "o1", Op: "read", Resource: "f1", Server: "s1",
+		Granted: true, TraceID: trace, HistoryBase: hist,
+	}
+}
+
+func TestDecodeFrameKinds(t *testing.T) {
+	ts := hlc.Timestamp{Wall: 42, Logical: 1}
+
+	fr, err := DecodeFrame(KindMeta, mustJSON(t, Meta{Cursor: 3, Total: 9, Retained: 6, Schema: 2, HLC: ts.String(), WallUnix: 1}))
+	if err != nil || fr.Kind != KindMeta || fr.Meta.Total != 9 {
+		t.Fatalf("meta frame = %+v, %v", fr, err)
+	}
+	fr, err = DecodeFrame(KindEnd, mustJSON(t, Meta{Cursor: 9, Total: 9, Schema: 2}))
+	if err != nil || fr.Kind != KindEnd {
+		t.Fatalf("end frame = %+v, %v", fr, err)
+	}
+	fr, err = DecodeFrame(KindRecord, mustJSON(t, decideRecord(5, ts, "tr", 0)))
+	if err != nil || fr.Record == nil || fr.Record.Seq != 5 {
+		t.Fatalf("record frame = %+v, %v", fr, err)
+	}
+	fr, err = DecodeFrame(KindGap, mustJSON(t, Gap{From: 2, Missed: 4}))
+	if err != nil || fr.Gap == nil || fr.Gap.Missed != 4 {
+		t.Fatalf("gap frame = %+v, %v", fr, err)
+	}
+}
+
+func TestDecodeFrameRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, event string
+		data        []byte
+	}{
+		{"unknown kind", "mystery", []byte(`{}`)},
+		{"meta cursor beyond total", KindMeta, []byte(`{"cursor":5,"total":3}`)},
+		{"meta negative retained", KindMeta, []byte(`{"retained":-1}`)},
+		{"meta bad hlc", KindMeta, []byte(`{"hlc":"zz"}`)},
+		{"meta bad json", KindMeta, []byte(`{`)},
+		{"record bad schema", KindRecord, []byte(`{"schema":99,"seq":1,"kind":"decide"}`)},
+		{"record bad hlc", KindRecord, []byte(`{"schema":2,"seq":1,"kind":"decide","hlc":"nope"}`)},
+		{"empty gap", KindGap, []byte(`{"from":3,"missed":0}`)},
+		{"overflowing gap", KindGap, []byte(`{"from":18446744073709551615,"missed":2}`)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeFrame(tc.event, tc.data); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestEventLessIsTotalOrder(t *testing.T) {
+	a := NewEvent("a", decideRecord(1, hlc.Timestamp{Wall: 10}, "", 0))
+	b := NewEvent("b", decideRecord(1, hlc.Timestamp{Wall: 10}, "", 0))
+	c := NewEvent("a", decideRecord(2, hlc.Timestamp{Wall: 10}, "", 0))
+	d := NewEvent("a", decideRecord(3, hlc.Timestamp{Wall: 11}, "", 0))
+	if !a.Less(b) || b.Less(a) {
+		t.Error("member should break HLC ties")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Error("seq should break member ties")
+	}
+	if !c.Less(d) || d.Less(c) {
+		t.Error("HLC should dominate")
+	}
+}
+
+func TestNewEventToleratesPreHLCRecords(t *testing.T) {
+	rec := decideRecord(1, hlc.Timestamp{}, "", 0)
+	e := NewEvent("m", rec)
+	if !e.HLC.IsZero() {
+		t.Fatalf("HLC = %v, want zero for unstamped record", e.HLC)
+	}
+}
+
+// FuzzJournalDecode hammers the frame decoder with every kind: it must
+// reject or accept, never panic, and an accepted frame must satisfy
+// the protocol invariants the merge relies on.
+func FuzzJournalDecode(f *testing.F) {
+	ts := hlc.Timestamp{Wall: 7, Logical: 3}
+	f.Add(KindMeta, []byte(`{"cursor":3,"total":9,"retained":6,"schema":2,"hlc":"0000000000000007.3","wall_unix_s":1700000000.5}`))
+	f.Add(KindEnd, []byte(`{"cursor":9,"total":9,"schema":2}`))
+	f.Add(KindRecord, []byte(`{"schema":2,"seq":5,"kind":"decide","hlc":"0000000000000007.3","object":"o1","op":"read","resource":"f1","server":"s1","granted":true,"trace_id":"tr"}`))
+	f.Add(KindRecord, []byte(`{"schema":1,"seq":1,"kind":"arrive","object":"o1","server":"s1"}`))
+	f.Add(KindGap, []byte(`{"from":2,"missed":4}`))
+	f.Add("mystery", []byte(`{}`))
+	f.Add(KindMeta, []byte(`{`))
+	f.Add(KindRecord, []byte(`{"schema":2,"seq":1,"kind":"decide","hlc":"`+ts.String()+`"}`))
+	f.Fuzz(func(t *testing.T, event string, data []byte) {
+		fr, err := DecodeFrame(event, data)
+		if err != nil {
+			return
+		}
+		switch fr.Kind {
+		case KindMeta, KindEnd:
+			if fr.Meta == nil {
+				t.Fatal("meta frame without meta")
+			}
+			if fr.Meta.Cursor > fr.Meta.Total {
+				t.Fatalf("accepted cursor %d beyond total %d", fr.Meta.Cursor, fr.Meta.Total)
+			}
+			if _, err := hlc.Parse(fr.Meta.HLC); err != nil {
+				t.Fatalf("accepted unparseable meta HLC %q", fr.Meta.HLC)
+			}
+		case KindRecord:
+			if fr.Record == nil {
+				t.Fatal("record frame without record")
+			}
+			if err := fr.Record.Validate(); err != nil {
+				t.Fatalf("accepted invalid record: %v", err)
+			}
+		case KindGap:
+			if fr.Gap == nil || fr.Gap.Missed == 0 {
+				t.Fatalf("accepted empty gap %+v", fr.Gap)
+			}
+		default:
+			t.Fatalf("accepted unknown kind %q", fr.Kind)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package journal
+
+import (
+	"fmt"
+	"sort"
+
+	"stac/internal/hlc"
+)
+
+// Merger folds per-member journal streams into one HLC-ordered
+// coalition stream. Each member's frames arrive in that member's
+// local order; the merger buffers them and releases an event only
+// once every member's watermark has passed it — a member's watermark
+// being the HLC of the last frame seen from it, which the journal
+// protocol guarantees every later record from that member exceeds.
+// Not safe for concurrent use; callers serialize Push/Advance.
+type Merger struct {
+	members  map[string]*memberStream
+	order    []string
+	released uint64
+}
+
+type memberStream struct {
+	pending   []Event // sorted by HLC (local order, occasionally resorted)
+	watermark hlc.Timestamp
+	closed    bool
+}
+
+// NewMerger creates a merger over the named members. Events and
+// watermarks from unknown members are rejected by Push/Advance.
+func NewMerger(members []string) *Merger {
+	m := &Merger{members: make(map[string]*memberStream, len(members))}
+	for _, name := range members {
+		if _, dup := m.members[name]; dup {
+			continue
+		}
+		m.members[name] = &memberStream{}
+		m.order = append(m.order, name)
+	}
+	sort.Strings(m.order)
+	return m
+}
+
+// Push buffers one event from a member and returns any events (from
+// any member) the new watermark releases, in merge order.
+func (m *Merger) Push(e Event) ([]Event, error) {
+	ms, ok := m.members[e.Member]
+	if !ok {
+		return nil, fmt.Errorf("journal: event from unknown member %q", e.Member)
+	}
+	ms.pending = append(ms.pending, e)
+	// Local streams are HLC-ordered in the common case (one recorder,
+	// monotone clock); a concurrent stamp/append inversion can disorder
+	// adjacent events, so restore the invariant cheaply when it shows.
+	if n := len(ms.pending); n > 1 && ms.pending[n-1].Less(ms.pending[n-2]) {
+		sort.Slice(ms.pending, func(i, j int) bool { return ms.pending[i].Less(ms.pending[j]) })
+	}
+	if e.HLC.After(ms.watermark) {
+		ms.watermark = e.HLC
+	}
+	return m.release(), nil
+}
+
+// Advance raises a member's watermark (from a meta frame: the member
+// promises every future record exceeds ts) and returns released
+// events.
+func (m *Merger) Advance(member string, ts hlc.Timestamp) ([]Event, error) {
+	ms, ok := m.members[member]
+	if !ok {
+		return nil, fmt.Errorf("journal: watermark from unknown member %q", member)
+	}
+	if ts.After(ms.watermark) {
+		ms.watermark = ts
+	}
+	return m.release(), nil
+}
+
+// Close marks a member's stream ended (it no longer holds the
+// watermark back) and returns released events.
+func (m *Merger) Close(member string) ([]Event, error) {
+	ms, ok := m.members[member]
+	if !ok {
+		return nil, fmt.Errorf("journal: close of unknown member %q", member)
+	}
+	ms.closed = true
+	return m.release(), nil
+}
+
+// Flush releases everything still buffered (end of the whole merge),
+// in merge order.
+func (m *Merger) Flush() []Event {
+	var out []Event
+	for _, name := range m.order {
+		ms := m.members[name]
+		out = append(out, ms.pending...)
+		ms.pending = nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	m.released += uint64(len(out))
+	return out
+}
+
+// Released counts events emitted so far.
+func (m *Merger) Released() uint64 { return m.released }
+
+// release pops every buffered event at or below the fleet watermark
+// (the minimum over open members), in merge order.
+func (m *Merger) release() []Event {
+	low := hlc.Timestamp{}
+	first := true
+	for _, name := range m.order {
+		ms := m.members[name]
+		if ms.closed {
+			continue
+		}
+		if first || ms.watermark.Before(low) {
+			low = ms.watermark
+			first = false
+		}
+	}
+	if first {
+		// Every member closed: everything is releasable.
+		return m.Flush()
+	}
+	var out []Event
+	for _, name := range m.order {
+		ms := m.members[name]
+		n := 0
+		for n < len(ms.pending) && !ms.pending[n].HLC.After(low) {
+			n++
+		}
+		if n > 0 {
+			out = append(out, ms.pending[:n]...)
+			ms.pending = append(ms.pending[:0], ms.pending[n:]...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	m.released += uint64(len(out))
+	return out
+}
+
+// CausalityViolation is a pair of decide events of one itinerary
+// whose HLC order contradicts the hop order derived from the trace:
+// the later hop (more carried history) carries the earlier timestamp.
+// With correct HLC propagation this cannot happen, skew or not — a
+// violation means a member's clock is broken beyond what its logical
+// counter absorbed, or events were stamped outside the protocol.
+type CausalityViolation struct {
+	TraceID string `json:"trace_id"`
+	// Earlier/Later are in hop order (history length order).
+	Earlier EventRef `json:"earlier"`
+	Later   EventRef `json:"later"`
+	Detail  string   `json:"detail"`
+}
+
+// EventRef locates one decide event of a violation.
+type EventRef struct {
+	Member  string `json:"member"`
+	Seq     uint64 `json:"seq"`
+	HLC     string `json:"hlc"`
+	History int    `json:"history_len"`
+}
+
+func ref(e Event, histLen int) EventRef {
+	return EventRef{Member: e.Member, Seq: e.Record.Seq, HLC: e.Record.HLC, History: histLen}
+}
+
+// CheckCausality verifies that, per itinerary trace, the hop order
+// implied by the carried history (HistoryBase + len(History), the
+// reconstructed proof-trace length at decision time, which grows along
+// an itinerary) agrees with HLC order. Only strictly increasing
+// history lengths are compared — equal lengths (denied hops add no
+// proofs) carry no order. Events without a trace ID or HLC stamp are
+// skipped.
+func CheckCausality(events []Event) []CausalityViolation {
+	type hop struct {
+		e    Event
+		hist int
+	}
+	byTrace := make(map[string][]hop)
+	for _, e := range events {
+		if e.Record.Kind != "decide" || e.Record.TraceID == "" || e.HLC.IsZero() {
+			continue
+		}
+		h := hop{e: e, hist: e.Record.HistoryBase + len(e.Record.History)}
+		byTrace[e.Record.TraceID] = append(byTrace[e.Record.TraceID], h)
+	}
+	var traces []string
+	for id := range byTrace {
+		traces = append(traces, id)
+	}
+	sort.Strings(traces)
+	var out []CausalityViolation
+	for _, id := range traces {
+		hops := byTrace[id]
+		sort.Slice(hops, func(i, j int) bool {
+			if hops[i].hist != hops[j].hist {
+				return hops[i].hist < hops[j].hist
+			}
+			return hops[i].e.Less(hops[j].e)
+		})
+		for i := 1; i < len(hops); i++ {
+			prev, next := hops[i-1], hops[i]
+			if next.hist <= prev.hist {
+				continue // concurrent or unordered hops
+			}
+			if !next.e.HLC.After(prev.e.HLC) {
+				out = append(out, CausalityViolation{
+					TraceID: id,
+					Earlier: ref(prev.e, prev.hist),
+					Later:   ref(next.e, next.hist),
+					Detail: fmt.Sprintf("hop with history %d stamped %s, but later hop with history %d stamped %s",
+						prev.hist, prev.e.Record.HLC, next.hist, next.e.Record.HLC),
+				})
+			}
+		}
+	}
+	return out
+}

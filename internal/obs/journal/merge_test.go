@@ -1,0 +1,208 @@
+package journal
+
+import (
+	"testing"
+	"time"
+
+	"stac/internal/faults"
+	"stac/internal/hlc"
+)
+
+func push(t *testing.T, m *Merger, member string, seq uint64, ts hlc.Timestamp, trace string, hist int) []Event {
+	t.Helper()
+	out, err := m.Push(NewEvent(member, decideRecord(seq, ts, trace, hist)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func advance(t *testing.T, m *Merger, member string, ts hlc.Timestamp) []Event {
+	t.Helper()
+	out, err := m.Advance(member, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func seqs(evs []Event) []uint64 {
+	out := make([]uint64, len(evs))
+	for i, e := range evs {
+		out[i] = e.Record.Seq
+	}
+	return out
+}
+
+func TestMergerHoldsEventsUntilEveryWatermarkPasses(t *testing.T) {
+	m := NewMerger([]string{"a", "b"})
+	// a's event at wall 10: not releasable while b's watermark is zero.
+	if got := push(t, m, "a", 1, hlc.Timestamp{Wall: 10}, "", 0); len(got) != 0 {
+		t.Fatalf("released %v before b reported anything", seqs(got))
+	}
+	// b catches up past 10: a's event releases.
+	got := advance(t, m, "b", hlc.Timestamp{Wall: 15})
+	if len(got) != 1 || got[0].Record.Seq != 1 || got[0].Member != "a" {
+		t.Fatalf("released %v, want a's event", got)
+	}
+	if m.Released() != 1 {
+		t.Fatalf("Released = %d", m.Released())
+	}
+}
+
+func TestMergerInterleavesAcrossMembers(t *testing.T) {
+	m := NewMerger([]string{"a", "b"})
+	// Releases happen eagerly as watermarks move; the merged ORDER
+	// across all releases is what matters, not the batching.
+	var got []Event
+	got = append(got, push(t, m, "a", 1, hlc.Timestamp{Wall: 10}, "", 0)...)
+	got = append(got, push(t, m, "a", 2, hlc.Timestamp{Wall: 30}, "", 0)...)
+	got = append(got, push(t, m, "b", 1, hlc.Timestamp{Wall: 20}, "", 0)...)
+	got = append(got, advance(t, m, "b", hlc.Timestamp{Wall: 35})...)
+	var order []string
+	for _, e := range got {
+		order = append(order, e.Member)
+	}
+	if len(got) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "a" {
+		t.Fatalf("merged order = %v %v, want a,b,a by HLC", order, seqs(got))
+	}
+}
+
+func TestMergerClosedMemberStopsHoldingBack(t *testing.T) {
+	m := NewMerger([]string{"a", "b"})
+	push(t, m, "a", 1, hlc.Timestamp{Wall: 10}, "", 0)
+	// b never reports; closing it releases a's stream on a's own
+	// watermark.
+	got, err := m.Close("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Member != "a" {
+		t.Fatalf("close released %v", got)
+	}
+	// All closed: Push from unknown member still rejected.
+	if _, err := m.Push(NewEvent("ghost", decideRecord(1, hlc.Timestamp{Wall: 1}, "", 0))); err == nil {
+		t.Fatal("event from unknown member accepted")
+	}
+}
+
+func TestMergerFlushDrainsEverything(t *testing.T) {
+	m := NewMerger([]string{"a", "b"})
+	var got []Event
+	got = append(got, push(t, m, "a", 1, hlc.Timestamp{Wall: 50}, "", 0)...)
+	got = append(got, push(t, m, "b", 1, hlc.Timestamp{Wall: 40}, "", 0)...)
+	got = append(got, m.Flush()...)
+	if len(got) != 2 || got[0].Member != "b" || got[1].Member != "a" {
+		t.Fatalf("flush order = %v", got)
+	}
+	if m.Flush() != nil {
+		t.Fatal("second flush returned events")
+	}
+}
+
+func TestMergerResortsLocalInversion(t *testing.T) {
+	m := NewMerger([]string{"a", "b"})
+	// Adjacent same-member events arriving HLC-inverted (a concurrent
+	// stamp/append race) are re-sorted, so the release is ordered.
+	push(t, m, "a", 2, hlc.Timestamp{Wall: 20}, "", 0)
+	push(t, m, "a", 1, hlc.Timestamp{Wall: 10}, "", 0)
+	got := advance(t, m, "b", hlc.Timestamp{Wall: 99})
+	if len(got) != 2 || got[0].Record.Seq != 1 || got[1].Record.Seq != 2 {
+		t.Fatalf("released %v, want seq 1 then 2", seqs(got))
+	}
+}
+
+// TestMergeOrderSurvivesSkewedMember is the skew-injection property:
+// an itinerary hops ahead→behind→ahead across two members whose wall
+// clocks disagree by 5s (faults.WallSkew). HLC propagation through the
+// agent must keep the merged order equal to the hop order, and the
+// causality check must stay clean — the logical counters absorb what
+// the walls get wrong.
+func TestMergeOrderSurvivesSkewedMember(t *testing.T) {
+	base := time.Now().UnixNano()
+	wall := func() int64 { return base }
+	ahead := hlc.New(wall)
+	behind := hlc.New(faults.WallSkew(wall, -5*time.Second))
+	agent := hlc.New(wall)
+
+	// Hop 1 @ ahead, hop 2 @ behind, hop 3 @ ahead: each daemon
+	// observes the request stamp, decides, and the agent folds the
+	// decision stamp back in before the next hop.
+	d1 := ahead.Observe(agent.Now())
+	agent.Observe(d1)
+	d2 := behind.Observe(agent.Now())
+	agent.Observe(d2)
+	d3 := ahead.Observe(agent.Now())
+	agent.Observe(d3)
+
+	if !d2.After(d1) || !d3.After(d2) {
+		t.Fatalf("HLC chain broken: %v, %v, %v", d1, d2, d3)
+	}
+	// The skewed member's physical component was dragged forward by
+	// propagation — which is exactly why skew detection reads the raw
+	// wall source instead.
+	if got := behind.Wall(); got != base-5*int64(time.Second) {
+		t.Fatalf("raw wall = %d, want the skewed source", got)
+	}
+
+	m := NewMerger([]string{"ahead", "behind"})
+	var released []Event
+	collect := func(evs []Event, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		released = append(released, evs...)
+	}
+	// The behind member's stream arrives first — arrival order must
+	// not leak into merge order.
+	collect(m.Push(NewEvent("behind", decideRecord(1, d2, "tr-1", 1))))
+	collect(m.Push(NewEvent("ahead", decideRecord(1, d1, "tr-1", 0))))
+	collect(m.Push(NewEvent("ahead", decideRecord(2, d3, "tr-1", 2))))
+	collect(m.Advance("behind", behind.Now()))
+	collect(m.Advance("ahead", ahead.Now()))
+	released = append(released, m.Flush()...)
+
+	if len(released) != 3 {
+		t.Fatalf("released %d events, want 3", len(released))
+	}
+	wantMembers := []string{"ahead", "behind", "ahead"}
+	for i, e := range released {
+		if e.Member != wantMembers[i] {
+			t.Fatalf("merged order = %v, want hop order %v", released, wantMembers)
+		}
+	}
+	if v := CheckCausality(released); len(v) != 0 {
+		t.Fatalf("causality violations under skew: %+v", v)
+	}
+}
+
+func TestCheckCausalityFlagsInversion(t *testing.T) {
+	// Later hop (more history) stamped EARLIER: a protocol breach.
+	evs := []Event{
+		NewEvent("a", decideRecord(1, hlc.Timestamp{Wall: 100}, "tr", 0)),
+		NewEvent("b", decideRecord(1, hlc.Timestamp{Wall: 50}, "tr", 1)),
+	}
+	v := CheckCausality(evs)
+	if len(v) != 1 {
+		t.Fatalf("violations = %+v, want 1", v)
+	}
+	if v[0].TraceID != "tr" || v[0].Earlier.Member != "a" || v[0].Later.Member != "b" {
+		t.Fatalf("violation = %+v", v[0])
+	}
+	// Equal history lengths (denied hops) carry no order: no violation.
+	evs = []Event{
+		NewEvent("a", decideRecord(1, hlc.Timestamp{Wall: 100}, "tr", 1)),
+		NewEvent("b", decideRecord(1, hlc.Timestamp{Wall: 50}, "tr", 1)),
+	}
+	if v := CheckCausality(evs); len(v) != 0 {
+		t.Fatalf("equal-history hops flagged: %+v", v)
+	}
+	// Untraced and unstamped events are skipped.
+	evs = []Event{
+		NewEvent("a", decideRecord(1, hlc.Timestamp{Wall: 100}, "", 0)),
+		NewEvent("b", decideRecord(1, hlc.Timestamp{}, "tr", 1)),
+	}
+	if v := CheckCausality(evs); len(v) != 0 {
+		t.Fatalf("untraced/unstamped events flagged: %+v", v)
+	}
+}

@@ -1,0 +1,13 @@
+package journal
+
+import (
+	"testing"
+
+	"stac/internal/testutil"
+)
+
+// TestMain fails the suite when followers or their test servers leak
+// goroutines or file descriptors past the run.
+func TestMain(m *testing.M) {
+	testutil.Main(m)
+}

@@ -20,6 +20,18 @@
 //     (core.PolicyDigest), stamped by the recorder so a replay can
 //     detect that it is running a different policy than the one that
 //     produced the stream.
+//   - hlc: the event's hybrid logical timestamp (internal/hlc wire
+//     form), the coalition-wide causal order /debug/journal followers
+//     and `stacctl timeline` merge by. Optional — replay ignores it
+//     (seq and time fully determine a local replay), so it is not a
+//     schema bump; pre-HLC streams simply lack it. On decide records
+//     the hlc equals the decision's own stamp (the one returned on
+//     the wire reply), so a journal event can be correlated with what
+//     the requesting agent observed. Note seq order and hlc order can
+//     disagree by adjacent events under concurrent load: the stamp is
+//     taken in the decision path, the seq under the recorder lock, and
+//     the two are not atomic. Cross-member merges sort by hlc, which
+//     is the order that carries causal meaning.
 //
 // The event kinds mirror the engine's replay-relevant surface:
 //
@@ -92,6 +104,15 @@
 // mid-flight misses the activation history that seeded the temporal
 // budgets, so consumed-budget state starts from the first recorded
 // event.
+//
+// # Journal tailing
+//
+// RecordsSince(cursor) is the resumable read underneath the
+// DebugServer's /debug/journal tail: it returns the retained records
+// with seq beyond the cursor, plus how many records between the
+// cursor and the oldest retained one were already evicted from the
+// ring (the gap a resuming follower must acknowledge). Tails poll —
+// they never block Append and never slow the decision path.
 //
 // # WAL degradation
 //

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 
+	"stac/internal/hlc"
 	"stac/internal/obs"
 )
 
@@ -45,6 +46,12 @@ type Record struct {
 	Seq    uint64  `json:"seq"`
 	Kind   string  `json:"kind"`
 	Time   float64 `json:"time"`
+	// HLC is the event's hybrid logical timestamp (compact wire form,
+	// internal/hlc) — the coalition-wide causal order the journal
+	// merge sorts by. Optional: records written before the HLC existed
+	// have none, and replay ignores it (local Time and Seq fully
+	// determine replay), so its addition is not a schema bump.
+	HLC string `json:"hlc,omitempty"`
 	// Policy is the SHA-256 digest of the engine's loaded policy.
 	Policy string `json:"policy,omitempty"`
 
@@ -123,6 +130,11 @@ func (r Record) Validate() error {
 	}
 	if r.ProgramCached && r.Program != "" {
 		return fmt.Errorf("record: cached program alongside inline program")
+	}
+	if r.HLC != "" {
+		if _, err := hlc.Parse(r.HLC); err != nil {
+			return fmt.Errorf("record: %v", err)
+		}
 	}
 	return nil
 }
@@ -281,6 +293,54 @@ func (r *Recorder) Append(rec Record) {
 			r.errs.Inc()
 		}
 	}
+}
+
+// RecordsSince returns the retained records with Seq > cursor in
+// append order, the number of records between cursor and the first
+// returned one that were evicted from the ring (the journal gap), and
+// the recorder's total appended count. A cursor of 0 reads from the
+// oldest retained record; a cursor at or past total returns nothing.
+// This is the resumable read the /debug/journal tail is built on:
+// callers poll with their last-seen Seq and never block Append.
+func (r *Recorder) RecordsSince(cursor uint64) (recs []Record, missed uint64, total uint64) {
+	return r.RecordsSinceN(cursor, 0)
+}
+
+// RecordsSinceN is RecordsSince with a batch bound: at most limit
+// records are copied — and the ring mutex held — per call (limit <= 0
+// means unlimited). The journal tail drains deep backlogs in bounded
+// batches so a slow follower never holds the ring against the
+// decision path's Append for O(backlog).
+func (r *Recorder) RecordsSinceN(cursor uint64, limit int) (recs []Record, missed uint64, total uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total = r.total
+	if cursor >= total || len(r.buf) == 0 {
+		return nil, 0, total
+	}
+	// Retained records hold the consecutive Seq range
+	// [total-len(buf)+1, total].
+	oldest := total - uint64(len(r.buf)) + 1
+	if cursor+1 < oldest {
+		missed = oldest - cursor - 1
+		cursor = oldest - 1
+	}
+	skip := int(cursor + 1 - oldest)
+	n := len(r.buf)
+	end := n
+	if limit > 0 && end-skip > limit {
+		end = skip + limit
+	}
+	recs = make([]Record, 0, end-skip)
+	if n < cap(r.buf) {
+		recs = append(recs, r.buf[skip:end]...)
+	} else {
+		// Ring is full: append-order position i lives at (next+i) mod n.
+		for i := skip; i < end; i++ {
+			recs = append(recs, r.buf[(r.next+i)%n])
+		}
+	}
+	return recs, missed, total
 }
 
 // Records returns the retained records in append order.

@@ -229,3 +229,94 @@ func TestConcurrentAppend(t *testing.T) {
 		t.Errorf("status total/retained = %d/%d, want 400/64", st.Total, st.Retained)
 	}
 }
+
+func TestRecordsSinceCursorSemantics(t *testing.T) {
+	r := New(Config{Capacity: 4, Registry: obs.NewRegistry()})
+	appendN := func(n int) {
+		for i := 0; i < n; i++ {
+			r.Append(Record{Kind: KindGrant, Object: "o"})
+		}
+	}
+	check := func(cursor uint64, wantSeqs []uint64, wantMissed, wantTotal uint64) {
+		t.Helper()
+		recs, missed, total := r.RecordsSince(cursor)
+		var seqs []uint64
+		for _, rec := range recs {
+			seqs = append(seqs, rec.Seq)
+		}
+		if fmt.Sprint(seqs) != fmt.Sprint(wantSeqs) {
+			t.Fatalf("RecordsSince(%d) seqs = %v, want %v", cursor, seqs, wantSeqs)
+		}
+		if missed != wantMissed || total != wantTotal {
+			t.Fatalf("RecordsSince(%d) missed=%d total=%d, want %d/%d",
+				cursor, missed, total, wantMissed, wantTotal)
+		}
+	}
+
+	// Empty recorder.
+	check(0, nil, 0, 0)
+
+	// Partially filled ring: no eviction possible.
+	appendN(3) // seqs 1..3
+	check(0, []uint64{1, 2, 3}, 0, 3)
+	check(2, []uint64{3}, 0, 3)
+	check(3, nil, 0, 3)
+	check(99, nil, 0, 3)
+
+	// Overflow the ring: seqs 4..7 retained, 1..3 evicted.
+	appendN(4) // total 7, capacity 4
+	check(0, []uint64{4, 5, 6, 7}, 3, 7)
+	check(2, []uint64{4, 5, 6, 7}, 1, 7)
+	check(3, []uint64{4, 5, 6, 7}, 0, 7)
+	check(5, []uint64{6, 7}, 0, 7)
+	check(7, nil, 0, 7)
+
+	// Resumed cursor after more appends stays gap-free while within
+	// the retained window.
+	appendN(1) // seq 8; retained 5..8
+	check(7, []uint64{8}, 0, 8)
+	check(3, []uint64{5, 6, 7, 8}, 1, 8)
+}
+
+func TestRecordsSinceNBoundsTheBatch(t *testing.T) {
+	r := New(Config{Capacity: 8, Registry: obs.NewRegistry()})
+	for i := 0; i < 6; i++ {
+		r.Append(Record{Kind: KindGrant, Object: "o"})
+	}
+	batch := func(cursor uint64, limit int, wantSeqs []uint64, wantMissed uint64) {
+		t.Helper()
+		recs, missed, total := r.RecordsSinceN(cursor, limit)
+		var seqs []uint64
+		for _, rec := range recs {
+			seqs = append(seqs, rec.Seq)
+		}
+		if fmt.Sprint(seqs) != fmt.Sprint(wantSeqs) || missed != wantMissed || total != r.Status().Total {
+			t.Fatalf("RecordsSinceN(%d, %d) = %v missed %d, want %v missed %d",
+				cursor, limit, seqs, missed, wantSeqs, wantMissed)
+		}
+	}
+	// Bounded batches walk the backlog; limit <= 0 means unlimited.
+	batch(0, 2, []uint64{1, 2}, 0)
+	batch(2, 2, []uint64{3, 4}, 0)
+	batch(4, 100, []uint64{5, 6}, 0)
+	batch(0, 0, []uint64{1, 2, 3, 4, 5, 6}, 0)
+	batch(0, -1, []uint64{1, 2, 3, 4, 5, 6}, 0)
+	// Batching after eviction: the gap reports first, then the bounded
+	// read starts at the oldest retained record (full-ring path).
+	for i := 0; i < 4; i++ {
+		r.Append(Record{Kind: KindGrant, Object: "o"}) // total 10, retained 3..10
+	}
+	batch(0, 3, []uint64{3, 4, 5}, 2)
+	batch(5, 3, []uint64{6, 7, 8}, 0)
+}
+
+func TestValidateRejectsMalformedHLC(t *testing.T) {
+	rec := Record{Schema: SchemaVersion, Kind: KindGrant, HLC: "not-an-hlc"}
+	if err := rec.Validate(); err == nil {
+		t.Fatal("Validate accepted malformed hlc")
+	}
+	rec.HLC = "00000000000000ff.2"
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("Validate rejected valid hlc: %v", err)
+	}
+}

@@ -1,0 +1,13 @@
+package obs
+
+import (
+	"testing"
+
+	"stac/internal/testutil"
+)
+
+// TestMain fails the suite when tracers, scrape servers or profiler
+// loops leak goroutines or file descriptors past the run.
+func TestMain(m *testing.M) {
+	testutil.Main(m)
+}

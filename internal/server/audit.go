@@ -148,8 +148,12 @@ func (s *Server) recordDecision(a model.Access, granted bool, reason string, dec
 // explanation (violated SRAC clause with its count windows, or the
 // temporal budget arithmetic).
 type AuditEntry struct {
-	DecisionID     string            `json:"decision_id"`
-	TraceID        string            `json:"trace_id,omitempty"`
+	DecisionID string `json:"decision_id"`
+	TraceID    string `json:"trace_id,omitempty"`
+	// HLC is the decision's hybrid logical timestamp (internal/hlc),
+	// shared with the wire reply and the journal record, so audit
+	// lines from different members merge into one causal order.
+	HLC            string            `json:"hlc,omitempty"`
 	Time           float64           `json:"time"`
 	Server         string            `json:"server"`
 	Object         string            `json:"object"`
@@ -171,6 +175,7 @@ func (r AuditRecord) Entry() AuditEntry {
 	return AuditEntry{
 		DecisionID:     r.Decision.ID,
 		TraceID:        r.TraceID,
+		HLC:            r.Decision.HLC.String(),
 		Time:           r.Time,
 		Server:         string(r.Server),
 		Object:         string(r.Access.Object),

@@ -29,6 +29,9 @@ type DebugServer struct {
 	quit     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// journal tracks /debug/journal tails and their metrics.
+	journal *journalTelemetry
 }
 
 // DebugConfig tunes the observability surface.
@@ -71,6 +74,7 @@ func NewDebugServer(c *Coalition, daemons []*Daemon, tracer *obs.Tracer, cfg Deb
 		tracer:  tracer,
 		cfg:     cfg,
 		quit:    make(chan struct{}),
+		journal: newJournalTelemetry(cfg.Registry),
 	}
 }
 
@@ -101,6 +105,7 @@ func (h *DebugServer) Mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", h.handleHealthz)
 	mux.HandleFunc("/readyz", h.handleReadyz)
 	mux.HandleFunc("/debug/watch", h.handleWatch)
+	mux.HandleFunc("/debug/journal", h.handleJournal)
 	return mux
 }
 
@@ -176,7 +181,14 @@ func (h *DebugServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, h.c.Snapshot(tail, h.daemons...))
+	snap := h.c.Snapshot(tail, h.daemons...)
+	// The journal tails live on the DebugServer, not the coalition, so
+	// their state is folded in here rather than in Coalition.Snapshot.
+	if h.c.Engine.Recorder() != nil {
+		st := h.journal.Stats()
+		snap.Journal = &st
+	}
+	writeJSON(w, snap)
 }
 
 // handleCoverage serves the per-clause SRAC evaluation census: every

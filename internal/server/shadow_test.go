@@ -204,8 +204,8 @@ func TestSnapshotVersionedFields(t *testing.T) {
 	}
 
 	snap := c.Snapshot(0)
-	if snap.Version != SnapshotVersion || SnapshotVersion != 3 {
-		t.Fatalf("snapshot version = %d, want 3", snap.Version)
+	if snap.Version != SnapshotVersion || SnapshotVersion != 4 {
+		t.Fatalf("snapshot version = %d, want 4", snap.Version)
 	}
 	if snap.ShadowDigest == "" || snap.ShadowFlips != 1 {
 		t.Errorf("shadow fields = %q/%d, want digest + 1 flip", snap.ShadowDigest, snap.ShadowFlips)
@@ -229,5 +229,13 @@ func TestSnapshotVersionedFields(t *testing.T) {
 	}
 	if len(snap.Perf.Exemplars) == 0 {
 		t.Error("perf section has no decision exemplars after a decision")
+	}
+	// v4: the engine's HLC reading (journal stats are folded in by the
+	// DebugServer, not Coalition.Snapshot, so absent here).
+	if snap.HLC == "" {
+		t.Error("snapshot has no HLC reading")
+	}
+	if snap.Journal != nil {
+		t.Error("coalition snapshot carries journal stats without a DebugServer")
 	}
 }

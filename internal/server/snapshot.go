@@ -25,7 +25,10 @@ import (
 //	    self-telemetry and flight-recorder status
 //	3 — adds the hot-path perf section (lock-stripe contention, shard
 //	    imbalance, SLO burn rate, decision-latency exemplars)
-const SnapshotVersion = 3
+//	4 — adds the hybrid-logical-clock reading (hlc, hlc_wall_unix_s)
+//	    and the /debug/journal tail state (journal), feeding the
+//	    federate clock-skew and journal-lag anomaly detectors
+const SnapshotVersion = 4
 
 // Snapshot is one daemon-process view of its coalition state.
 type Snapshot struct {
@@ -75,6 +78,20 @@ type Snapshot struct {
 	// shard imbalance, SLO burn rate and decision-latency exemplars
 	// (version ≥ 3).
 	Perf core.PerfStats `json:"perf"`
+	// HLC is the engine's hybrid logical clock reading at snapshot
+	// time (version ≥ 4). HLCWallUnix is the RAW physical wall source
+	// in Unix seconds — deliberately not the causally propagated HLC
+	// wall, which absorbs remote readings and so hides exactly the
+	// skew a fleet poller wants to measure. Only meaningful against
+	// other wall clocks when the engine runs a real clock (stacd
+	// always does); simulated engines report their sim time here and
+	// federate treats the implausible offset as not comparable.
+	HLC         string  `json:"hlc,omitempty"`
+	HLCWallUnix float64 `json:"hlc_wall_unix_s,omitempty"`
+	// Journal reports the /debug/journal tail state (version ≥ 4).
+	// Present only when the snapshot is served by a DebugServer — the
+	// tails live there, not on the coalition.
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 // ServerSnapshot is one coalition server's decision counters.
@@ -141,6 +158,9 @@ func (c *Coalition) Snapshot(budgetTail int, daemons ...*Daemon) Snapshot {
 		Runtime:      obs.PublishRuntime(c.Engine.Obs()),
 		Perf:         c.Engine.PerfStats(),
 	}
+	hclk := c.Engine.HLC()
+	snap.HLC = hclk.Now().String()
+	snap.HLCWallUnix = float64(hclk.Wall()) / 1e9
 	if enabled, digest, flips := c.ShadowInfo(); enabled {
 		snap.ShadowDigest = digest
 		snap.ShadowFlips = flips

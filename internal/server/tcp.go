@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"stac/internal/hlc"
 	"stac/internal/model"
 	"stac/internal/obs"
 	"stac/internal/proof"
@@ -66,6 +67,12 @@ type wireRequest struct {
 	// request belongs to, in obs.TraceContext wire form
 	// ("<traceid>-<spanid>-<01|00>").
 	Trace string `json:"trace,omitempty"`
+	// HLC is the client's hybrid logical clock reading (hlc.Timestamp
+	// wire form) at send time. The daemon folds it into its engine's
+	// clock before deciding, so the decision's stamp causally follows
+	// everything the client had observed — including decisions by
+	// OTHER coalition members earlier on the same itinerary.
+	HLC string `json:"hlc,omitempty"`
 }
 
 type wireResponse struct {
@@ -89,6 +96,10 @@ type wireResponse struct {
 	// DecisionID identifies the authorisation decision behind an
 	// access reply (grant or denial); feed it to `stacctl explain`.
 	DecisionID string `json:"decision_id,omitempty"`
+	// HLC is the decision's hybrid logical timestamp — the same stamp
+	// on the daemon's journal record and audit entry. Clients observe
+	// it so their next request (at any member) dominates it.
+	HLC string `json:"hlc,omitempty"`
 }
 
 // Transport limits and defaults.
@@ -532,6 +543,15 @@ func (d *Daemon) handle(req *wireRequest, tokens *[]string) wireResponse {
 		if !ok {
 			return wireResponse{Error: "access: unknown or expired token"}
 		}
+		if req.HLC != "" {
+			// Receive event: fold the client's clock into the engine's
+			// before deciding, so the decision stamp dominates every
+			// prior hop of the itinerary. Malformed stamps are ignored
+			// (causality degrades to local order, nothing fails).
+			if ts, err := hlc.Parse(req.HLC); err == nil {
+				d.srv.coalition.Engine.HLC().Observe(ts)
+			}
+		}
 		var key dedupKey
 		if req.ID != "" && d.cfg.dedupWindow() > 0 {
 			key = dedupKey{obj: sub.Object, id: req.ID}
@@ -595,6 +615,7 @@ func (d *Daemon) handle(req *wireRequest, tokens *[]string) wireResponse {
 		}
 		resp.Trace = echo
 		resp.DecisionID = res.Decision.ID
+		resp.HLC = res.Decision.HLC.String()
 		wsp.SetAttr("decision_id", res.Decision.ID)
 		wsp.SetAttr("granted", fmt.Sprintf("%t", res.Decision.Granted))
 		wsp.Finish()
@@ -724,6 +745,7 @@ type Client struct {
 
 	token  string
 	trace  obs.TraceContext
+	hlc    *hlc.Clock
 	proofs []proof.Proof
 	// seen dedups carried proofs by signature: an idempotent replay
 	// returns the same proof again, and it must not inflate the
@@ -844,6 +866,18 @@ func (c *Client) SetTrace(tc obs.TraceContext) {
 	c.mu.Unlock()
 }
 
+// SetHLC attaches a hybrid logical clock: every subsequent access
+// request is stamped with the clock's reading and every reply's stamp
+// is folded back into it. Agents share one clock across the clients
+// of one itinerary (see agent.RemoteRuntime), which is what carries
+// causality across hops: the stamp sent to server N dominates the
+// decision made at server N-1. Nil detaches.
+func (c *Client) SetHLC(clk *hlc.Clock) {
+	c.mu.Lock()
+	c.hlc = clk
+	c.mu.Unlock()
+}
+
 // AccessID performs one shared-resource access under a caller-chosen
 // idempotency key: retrying with the same id after a transport
 // failure returns the server's original verdict (and proof) without
@@ -870,8 +904,19 @@ func (c *Client) AccessTraced(tc obs.TraceContext, id string, op model.Operation
 		Payload:  payload,
 		Trace:    tc.String(),
 	}
+	clk := c.hlc
 	c.mu.Unlock()
+	if clk != nil {
+		req.HLC = clk.Now().String()
+	}
 	resp, err := c.roundTrip(req)
+	// Fold the reply stamp in even on denials and server errors: the
+	// denial happened, and later hops must causally follow it.
+	if clk != nil && resp.HLC != "" {
+		if ts, perr := hlc.Parse(resp.HLC); perr == nil {
+			clk.Observe(ts)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,13 @@
+package server
+
+import (
+	"testing"
+
+	"stac/internal/testutil"
+)
+
+// TestMain fails the suite when TCP daemons, debug servers or watch
+// streams leak goroutines or file descriptors past the run.
+func TestMain(m *testing.M) {
+	testutil.Main(m)
+}

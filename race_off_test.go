@@ -1,0 +1,7 @@
+//go:build !race
+
+package stac
+
+// raceDetectorOn reports whether this test binary was built with
+// -race. See race_on_test.go for why performance bounds consult it.
+const raceDetectorOn = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package stac
+
+// raceDetectorOn reports whether this test binary was built with
+// -race. Performance bounds are skipped under the race detector: its
+// instrumentation multiplies the cost of exactly the tight loops the
+// bounds measure, so a threshold that holds on a plain build fails
+// there for reasons that say nothing about the code.
+const raceDetectorOn = true
