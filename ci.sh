@@ -86,4 +86,14 @@ go run ./cmd/benchdiff -threshold 50 -fail-over 90 LOAD_pr6.json "$ARTIFACTS/LOA
 # the grep is the cheap tamper-check that the artifact says so too.)
 ARTIFACTS_DIR="$ARTIFACTS" go test -run '^TestTimelineMergesSkewedCoalition$' -count=1 .
 grep -q '"causality_violations": 0' "$ARTIFACTS/TIMELINE_pr9.json"
+
+# Cost-profile smoke: the PR 10 fixed workload re-run with the
+# artifact dir set so it writes COST_pr10.json (the per-clause
+# evaluation-cost report), then diffed against the committed baseline
+# with benchdiff's cost format. Per-clause ns/eval drift warns at 50%;
+# only an order-of-magnitude blow-up (a clause suddenly evaluated far
+# more, or re-walks amplifying) fails the build — raw nanoseconds are
+# too machine-noisy to gate tighter on a shared runner.
+ARTIFACTS_DIR="$ARTIFACTS" go test -run '^TestCostBaselineArtifact$' -count=1 .
+go run ./cmd/benchdiff -threshold 50 -fail-over 900 COST_pr10.json "$ARTIFACTS/COST_pr10.json"
 echo "smoke artifacts in $ARTIFACTS"

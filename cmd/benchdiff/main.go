@@ -1,5 +1,5 @@
 // Command benchdiff compares two performance summary files and reports
-// per-entry deltas. It understands three formats, auto-detected from
+// per-entry deltas. It understands four formats, auto-detected from
 // the file contents:
 //
 //   - bench summaries — the BENCH_prN.json artifacts ci.sh distils
@@ -15,6 +15,12 @@
 //     compared by flat-share shift per function, in percentage
 //     points. Digest deltas warn but never fail: frame shares answer
 //     "where did the regression go", not "is there one".
+//   - cost tables (JSON object with a "clauses" array) — the
+//     COST_prN.json artifacts ci.sh captures from an engine's
+//     per-clause evaluation-cost profile; compared by sampled mean
+//     ns/eval per (perm, clause path). Cost deltas gate: a clause
+//     whose evaluation got slower is exactly the regression the SRAC
+//     compilation arc must not introduce.
 //
 // Usage:
 //
@@ -64,6 +70,7 @@ import (
 	"strconv"
 	"strings"
 
+	"stac/internal/obs/cost"
 	"stac/internal/obs/perf"
 )
 
@@ -82,13 +89,29 @@ type benchSummary struct {
 }
 
 // loadRun mirrors one matrix cell of a cmd/stacload summary (only the
-// fields the diff needs).
+// fields the diff needs). The nested perf.cost probe reads the schema-3
+// per-cell clause-cost section; older summaries simply leave it nil.
 type loadRun struct {
 	Scenario       string  `json:"scenario"`
 	System         string  `json:"system"`
 	Trial          int     `json:"trial"`
 	ThroughputOpsS float64 `json:"throughput_ops_s"`
 	P99US          float64 `json:"p99_us"`
+	Perf           *struct {
+		Cost *struct {
+			MeanRootNS float64 `json:"mean_root_ns"`
+		} `json:"cost"`
+	} `json:"perf"`
+}
+
+// meanRootNS extracts the cell's per-decision policy-evaluation price,
+// 0 when the summary predates schema 3 or the system exposes no cost
+// profile.
+func (r loadRun) meanRootNS() float64 {
+	if r.Perf == nil || r.Perf.Cost == nil {
+		return 0
+	}
+	return r.Perf.Cost.MeanRootNS
 }
 
 // loadSummary is the envelope of a LOAD_*.json document. Schema 2
@@ -99,14 +122,15 @@ type loadSummary struct {
 	Runs   []loadRun     `json:"runs"`
 }
 
-// summary is one parsed input file in whichever of the three formats
-// it turned out to be. Exactly one of bench/runs/digest is set (bench
-// may legitimately be an empty non-nil slice).
+// summary is one parsed input file in whichever of the four formats
+// it turned out to be. Exactly one of bench/runs/digest/cost is set
+// (bench may legitimately be an empty non-nil slice).
 type summary struct {
 	host   perf.HostInfo
 	bench  []benchResult
 	runs   []loadRun
 	digest *perf.Digest
+	cost   *cost.Report
 }
 
 func (s summary) kind() string {
@@ -115,6 +139,8 @@ func (s summary) kind() string {
 		return "load"
 	case s.digest != nil:
 		return "digest"
+	case s.cost != nil:
+		return "cost"
 	default:
 		return "bench"
 	}
@@ -174,10 +200,14 @@ func compare(old, new []benchResult) (deltas []delta, added, removed []string) {
 }
 
 // loadCell is the per-(scenario, system) aggregate of a load summary,
-// trials averaged.
+// trials averaged. costNS averages only the trials that carried a cost
+// section (costN of them), so schema-2 baselines aggregate to 0 and
+// the cost delta is simply omitted.
 type loadCell struct {
 	throughput float64
 	p99        float64
+	costNS     float64
+	costN      int
 }
 
 func aggregateLoad(runs []loadRun) map[string]loadCell {
@@ -188,12 +218,20 @@ func aggregateLoad(runs []loadRun) map[string]loadCell {
 		c := sums[key]
 		c.throughput += r.ThroughputOpsS
 		c.p99 += r.P99US
+		if ns := r.meanRootNS(); ns > 0 {
+			c.costNS += ns
+			c.costN++
+		}
 		sums[key] = c
 		counts[key]++
 	}
 	for key, c := range sums {
 		n := float64(counts[key])
-		sums[key] = loadCell{throughput: c.throughput / n, p99: c.p99 / n}
+		out := loadCell{throughput: c.throughput / n, p99: c.p99 / n, costN: c.costN}
+		if c.costN > 0 {
+			out.costNS = c.costNS / float64(c.costN)
+		}
+		sums[key] = out
 	}
 	return sums
 }
@@ -223,6 +261,15 @@ func compareLoad(old, new []loadRun) (deltas []delta, added, removed []string) {
 			dp.Pct = (n.p99 - o.p99) / o.p99 * 100
 		}
 		deltas = append(deltas, dt, dp)
+		// Clause-cost delta only when both sides measured it: a slower
+		// root evaluation gates like ns/op.
+		if o.costN > 0 && n.costN > 0 {
+			dc := delta{Name: key, Unit: "root-ns", Old: o.costNS, New: n.costNS, Gate: true}
+			if o.costNS > 0 {
+				dc.Pct = (n.costNS - o.costNS) / o.costNS * 100
+			}
+			deltas = append(deltas, dc)
+		}
 	}
 	var oldKeys []string
 	for key := range oldBy {
@@ -235,6 +282,52 @@ func compareLoad(old, new []loadRun) (deltas []delta, added, removed []string) {
 		}
 	}
 	return deltas, added, removed
+}
+
+// compareCost diffs two per-clause cost tables by (perm, clause path):
+// the sampled mean ns/eval of each clause, + = the clause got slower.
+// Rows without a timed sample on either side are skipped — an untimed
+// mean is 0, and a 0→x or x→0 "delta" is sampling noise, not a
+// regression. Cost deltas gate.
+func compareCost(old, new *cost.Report) (deltas []delta, added, removed []string) {
+	key := func(c cost.ClauseCost) string { return c.Perm + "/" + pathLabel(c.Path) }
+	oldBy := make(map[string]cost.ClauseCost, len(old.Clauses))
+	for _, c := range old.Clauses {
+		oldBy[key(c)] = c
+	}
+	seen := make(map[string]bool, len(new.Clauses))
+	for _, c := range new.Clauses {
+		k := key(c)
+		seen[k] = true
+		o, ok := oldBy[k]
+		if !ok {
+			added = append(added, k)
+			continue
+		}
+		if o.SampledEvals == 0 || c.SampledEvals == 0 {
+			continue
+		}
+		d := delta{Name: k, Unit: "ns/eval", Old: o.MeanNS, New: c.MeanNS, Gate: true}
+		if o.MeanNS > 0 {
+			d.Pct = (c.MeanNS - o.MeanNS) / o.MeanNS * 100
+		}
+		deltas = append(deltas, d)
+	}
+	for _, c := range old.Clauses {
+		if !seen[key(c)] {
+			removed = append(removed, key(c))
+		}
+	}
+	return deltas, added, removed
+}
+
+// pathLabel renders a clause path for display; the root's empty path
+// becomes "." so table columns stay aligned and keys stay non-empty.
+func pathLabel(p string) string {
+	if p == "" {
+		return "."
+	}
+	return p
 }
 
 // compareDigest diffs two profile digests frame by frame. Old/New are
@@ -311,11 +404,12 @@ func load(path string) (summary, error) {
 	trimmed := bytes.TrimSpace(data)
 	if len(trimmed) > 0 && trimmed[0] == '{' {
 		var probe struct {
-			Schema int             `json:"schema"`
-			Host   perf.HostInfo   `json:"host"`
-			Runs   []loadRun       `json:"runs"`
-			Bench  []benchResult   `json:"bench"`
-			Frames json.RawMessage `json:"frames"`
+			Schema  int             `json:"schema"`
+			Host    perf.HostInfo   `json:"host"`
+			Runs    []loadRun       `json:"runs"`
+			Bench   []benchResult   `json:"bench"`
+			Frames  json.RawMessage `json:"frames"`
+			Clauses json.RawMessage `json:"clauses"`
 		}
 		if err := json.Unmarshal(data, &probe); err != nil {
 			return summary{}, fmt.Errorf("%s: %w", path, err)
@@ -331,8 +425,14 @@ func load(path string) (summary, error) {
 				return summary{}, fmt.Errorf("%s: %w", path, err)
 			}
 			return summary{digest: &d}, nil
+		case probe.Clauses != nil:
+			var r cost.Report
+			if err := json.Unmarshal(data, &r); err != nil {
+				return summary{}, fmt.Errorf("%s: %w", path, err)
+			}
+			return summary{cost: &r}, nil
 		}
-		return summary{}, fmt.Errorf("%s: JSON object without a \"runs\", \"bench\" or \"frames\" array", path)
+		return summary{}, fmt.Errorf("%s: JSON object without a \"runs\", \"bench\", \"frames\" or \"clauses\" array", path)
 	}
 	var bench []benchResult
 	if err := json.Unmarshal(data, &bench); err != nil {
@@ -475,6 +575,8 @@ func run(args []string, w io.Writer) error {
 		deltas, added, removed = compareLoad(old.runs, new.runs)
 	case "digest":
 		deltas, added, removed = compareDigest(old.digest, new.digest)
+	case "cost":
+		deltas, added, removed = compareCost(old.cost, new.cost)
 	default:
 		deltas, added, removed = compare(old.bench, new.bench)
 	}

@@ -504,3 +504,123 @@ func loadFromBytes(t *testing.T, dir string, data []byte) (summary, error) {
 	}
 	return load(path)
 }
+
+// --- cost tables ------------------------------------------------------
+
+const costOld = `{
+  "clauses": [
+    {"perm":"read-f","path":"","clause":"(a & b)","evals":640,"decisive":640,"atoms":1280,"sampled_evals":10,"sampled_ns":10000,"mean_ns":1000},
+    {"perm":"read-f","path":"l","clause":"a","evals":640,"decisive":100,"atoms":640,"sampled_evals":10,"sampled_ns":4000,"mean_ns":400},
+    {"perm":"read-f","path":"r","clause":"b","evals":640,"decisive":0,"atoms":640,"sampled_evals":0,"sampled_ns":0,"mean_ns":0},
+    {"perm":"gone","path":"","clause":"c","evals":1,"decisive":1,"atoms":1,"sampled_evals":1,"sampled_ns":50,"mean_ns":50}
+  ],
+  "amplification": {"prefix_evals":640,"scan_evals":640,"scan_entries":9000,"appends":320}
+}`
+
+const costNew = `{
+  "clauses": [
+    {"perm":"read-f","path":"","clause":"(a & b)","evals":640,"decisive":640,"atoms":1280,"sampled_evals":10,"sampled_ns":20000,"mean_ns":2000},
+    {"perm":"read-f","path":"l","clause":"a","evals":640,"decisive":100,"atoms":640,"sampled_evals":10,"sampled_ns":3000,"mean_ns":300},
+    {"perm":"read-f","path":"r","clause":"b","evals":640,"decisive":0,"atoms":640,"sampled_evals":0,"sampled_ns":0,"mean_ns":0},
+    {"perm":"write-f","path":"","clause":"d","evals":2,"decisive":2,"atoms":2,"sampled_evals":1,"sampled_ns":70,"mean_ns":70}
+  ],
+  "amplification": {"prefix_evals":640,"scan_evals":640,"scan_entries":9000,"appends":320}
+}`
+
+// TestCompareCostClauseDeltas: cost tables diff per (perm, path) by
+// sampled mean ns/eval; untimed rows (sampled_evals 0) are skipped as
+// sampling noise, clause churn is reported as added/removed.
+func TestCompareCostClauseDeltas(t *testing.T) {
+	dir := t.TempDir()
+	oldS, err := loadFromBytes(t, dir, []byte(costOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldS.kind() != "cost" {
+		t.Fatalf("kind = %q, want cost", oldS.kind())
+	}
+	newS, err := loadFromBytes(t, dir, []byte(costNew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, added, removed := compareCost(oldS.cost, newS.cost)
+	byKey := map[string]delta{}
+	for _, d := range deltas {
+		if !d.Gate {
+			t.Fatalf("cost delta not gating: %+v", d)
+		}
+		byKey[d.Name] = d
+	}
+	// Root got 2x slower (+100%), the left subclause got faster, and
+	// the untimed right subclause contributes no delta at all.
+	if d := byKey["read-f/."]; d.Pct < 99 || d.Pct > 101 {
+		t.Fatalf("root regression = %+v", d)
+	}
+	if d := byKey["read-f/l"]; d.Pct >= 0 {
+		t.Fatalf("subclause improvement not negative: %+v", d)
+	}
+	if _, ok := byKey["read-f/r"]; ok {
+		t.Fatalf("untimed clause diffed: %+v", byKey["read-f/r"])
+	}
+	if len(added) != 1 || added[0] != "write-f/." {
+		t.Fatalf("added = %v", added)
+	}
+	if len(removed) != 1 || removed[0] != "gone/." {
+		t.Fatalf("removed = %v", removed)
+	}
+}
+
+// TestRunFailOverGatesCostRegressions: a clause-cost regression beyond
+// -fail-over fails the build, exactly like ns/op.
+func TestRunFailOverGatesCostRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "COST_old.json")
+	newPath := filepath.Join(dir, "COST_new.json")
+	if err := os.WriteFile(oldPath, []byte(costOld), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(costNew), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-fail-over", "50", oldPath, newPath}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "exceeds -fail-over") {
+		t.Fatalf("2x clause cost not gated: %v\n%s", err, buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("warn-only run errored: %v", err)
+	}
+	if !strings.Contains(buf.String(), "::warning") {
+		t.Fatalf("no warning in warn-only mode:\n%s", buf.String())
+	}
+}
+
+// TestCompareLoadCostCell: schema-3 load summaries carry a per-cell
+// mean root evaluation price; it gates, and cells without it on either
+// side simply omit the delta (schema-2 baselines keep working).
+func TestCompareLoadCostCell(t *testing.T) {
+	oldDoc := `{"schema":3,"runs":[
+	  {"scenario":"s","system":"stac","throughput_ops_s":1000,"p99_us":100,"perf":{"cost":{"mean_root_ns":500}}},
+	  {"scenario":"s","system":"rbac","throughput_ops_s":2000,"p99_us":50}]}`
+	newDoc := `{"schema":3,"runs":[
+	  {"scenario":"s","system":"stac","throughput_ops_s":1000,"p99_us":100,"perf":{"cost":{"mean_root_ns":1500}}},
+	  {"scenario":"s","system":"rbac","throughput_ops_s":2000,"p99_us":50}]}`
+	var oldS, newS loadSummary
+	mustUnmarshal(t, oldDoc, &oldS)
+	mustUnmarshal(t, newDoc, &newS)
+	deltas, _, _ := compareLoad(oldS.Runs, newS.Runs)
+	var costDeltas []delta
+	for _, d := range deltas {
+		if d.Unit == "root-ns" {
+			costDeltas = append(costDeltas, d)
+		}
+	}
+	if len(costDeltas) != 1 {
+		t.Fatalf("cost deltas = %+v", costDeltas)
+	}
+	d := costDeltas[0]
+	if d.Name != "s/stac" || !d.Gate || d.Pct < 199 || d.Pct > 201 {
+		t.Fatalf("root-ns delta = %+v", d)
+	}
+}

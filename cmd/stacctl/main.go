@@ -25,6 +25,11 @@
 //	stacctl top -members m1=host:port,m2=...   # live merged fleet table
 //	                                           # (incl. per-member hot
 //	                                           # lock stripe & SLO burn)
+//	stacctl heat -members m1=host:port,...     # coalition policy heat
+//	                                           # map: clauses ranked by
+//	                                           # cost × decisive, plus
+//	                                           # re-walk amplification
+//	                                           # (needs -cost daemons)
 //	stacctl slow -addr host:port               # slowest retained decision
 //	                                           # exemplars, resolved via
 //	                                           # /debug/explain
@@ -72,7 +77,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: stacctl <parse-program|parse-constraint|check|explain|traces|synth|policy|simulate|top|slow|watch|timeline|replay|diff> ...")
+		return fmt.Errorf("usage: stacctl <parse-program|parse-constraint|check|explain|traces|synth|policy|simulate|top|heat|slow|watch|timeline|replay|diff> ...")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -104,6 +109,8 @@ func run(args []string) error {
 		return cmdSimulate(rest)
 	case "top":
 		return cmdTop(rest)
+	case "heat":
+		return cmdHeat(rest)
 	case "slow":
 		return cmdSlow(rest)
 	case "watch":

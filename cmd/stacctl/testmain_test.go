@@ -1,0 +1,15 @@
+package main
+
+import (
+	"testing"
+
+	"stac/internal/testutil"
+)
+
+// TestMain fails the suite when the simulated fleets behind the
+// top/watch/heat/timeline tests — TCP daemons, debug listeners, watch
+// streams, journal followers — leak goroutines or file descriptors
+// past the run.
+func TestMain(m *testing.M) {
+	testutil.Main(m)
+}

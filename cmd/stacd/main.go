@@ -105,6 +105,10 @@ type options struct {
 	// coverage tracks per-clause SRAC evaluation counts (served on
 	// /debug/coverage and folded into /debug/snapshot).
 	coverage bool
+	// cost tracks per-clause evaluation cost, static-check cost and
+	// re-walk amplification (served on /debug/cost and folded into
+	// /debug/snapshot; `stacctl heat` merges it fleet-wide).
+	cost bool
 
 	// perfInterval drives the continuous-profiling ring: every interval
 	// the daemon captures CPU/mutex/block/heap pprof snapshots, served
@@ -162,6 +166,7 @@ func main() {
 	flag.StringVar(&opts.recordWAL, "record-wal", "", "append every flight-recorder event as a JSON line to this file (implies -record); empty disables")
 	flag.StringVar(&opts.shadowPolicy, "shadow-policy", "", "evaluate this candidate policy file alongside the served one; flips are reported, verdicts unchanged")
 	flag.BoolVar(&opts.coverage, "coverage", true, "track per-clause SRAC evaluation coverage (/debug/coverage)")
+	flag.BoolVar(&opts.cost, "cost", true, "profile per-clause SRAC evaluation cost (/debug/cost)")
 	flag.DurationVar(&opts.perfInterval, "perf-interval", 0, "continuous-profiling capture interval (/debug/perf); 0 disables the ring")
 	flag.DurationVar(&opts.perfCPUWindow, "perf-cpu-window", 2*time.Second, "CPU profile duration per capture round")
 	flag.IntVar(&opts.mutexFraction, "mutex-profile-fraction", 0, "runtime mutex profile sampling fraction (1 = every event); 0 leaves it off")
@@ -235,6 +240,9 @@ func start(opts options, w io.Writer) (*app, error) {
 	}
 	if opts.coverage {
 		c.Engine.EnableCoverage()
+	}
+	if opts.cost {
+		c.Engine.EnableCostProfiling()
 	}
 	if opts.record || opts.recordWAL != "" {
 		cfg := record.Config{Capacity: opts.recordCapacity, Registry: c.Engine.Obs()}

@@ -15,6 +15,7 @@ import (
 	"stac/internal/core"
 	"stac/internal/model"
 	"stac/internal/obs"
+	"stac/internal/obs/cost"
 	"stac/internal/obs/record"
 	"stac/internal/proof"
 	"stac/internal/server"
@@ -589,6 +590,7 @@ func TestStartWiresRecorderShadowAndCoverage(t *testing.T) {
 		recordWAL:      walPath,
 		shadowPolicy:   shadowPath,
 		coverage:       true,
+		cost:           true,
 	}, &out)
 	if err != nil {
 		t.Fatal(err)
@@ -652,14 +654,27 @@ func TestStartWiresRecorderShadowAndCoverage(t *testing.T) {
 		t.Fatal("/debug/coverage empty")
 	}
 
+	// /debug/cost carries the clause cost profile for the same cells.
+	var costRep cost.Report
+	if err := json.Unmarshal([]byte(get("/debug/cost")), &costRep); err != nil {
+		t.Fatalf("/debug/cost not JSON: %v", err)
+	}
+	if len(costRep.Clauses) == 0 || costRep.Amplification.PrefixEvals == 0 {
+		t.Fatalf("/debug/cost report = %+v", costRep)
+	}
+
 	// /debug/snapshot carries the v2 fields.
 	var snap server.Snapshot
 	if err := json.Unmarshal([]byte(get("/debug/snapshot")), &snap); err != nil {
 		t.Fatal(err)
 	}
-	if snap.Version != 4 || snap.ShadowDigest == "" || snap.ShadowFlips != 1 ||
+	if snap.Version != 5 || snap.ShadowDigest == "" || snap.ShadowFlips != 1 ||
 		snap.Recorder == nil || snap.Recorder.Total == 0 || snap.Runtime.Goroutines < 1 {
 		t.Fatalf("snapshot versioned fields = %+v", snap)
+	}
+	// v5: the cost section mirrors /debug/cost.
+	if snap.Cost == nil || len(snap.Cost.Clauses) == 0 {
+		t.Fatalf("snapshot cost section = %+v", snap.Cost)
 	}
 	if len(snap.Perf.Stripes) < 34 || len(snap.Perf.Exemplars) == 0 {
 		t.Fatalf("snapshot perf section = %+v", snap.Perf)

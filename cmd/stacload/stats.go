@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"stac/internal/obs"
+	"stac/internal/obs/cost"
 	"stac/internal/obs/federate"
 	"stac/internal/obs/perf"
 )
@@ -20,7 +21,9 @@ import (
 //	1: runs array only
 //	2: host fingerprint header + optional per-cell perf section
 //	   (lock contention, SLO burn, exemplars, profile digests)
-const LoadSchemaVersion = 2
+//	3: per-cell clause-cost section (mean root evaluation ns, re-walk
+//	   amplification, hottest clauses) inside perf
+const LoadSchemaVersion = 3
 
 // Summary is the document stacload emits.
 type Summary struct {
@@ -80,6 +83,24 @@ type CellPerf struct {
 	// it lives (the IDs outlive the run in the summary for diffing).
 	SlowExemplars []obs.Exemplar          `json:"slow_exemplars,omitempty"`
 	Digests       map[string]*perf.Digest `json:"profile_digests,omitempty"`
+	// Cost summarises the cell's per-clause evaluation-cost profile
+	// (schema 3); benchdiff gates MeanRootNS like ns/op.
+	Cost *CellCost `json:"cost,omitempty"`
+}
+
+// CellCost reduces the engine's cost profile to the numbers worth
+// diffing per cell: how expensive one root policy evaluation is, how
+// many prefix re-walks each appended access costs, and the clauses the
+// time actually went to.
+type CellCost struct {
+	// MeanRootNS is sampled root-clause wall time per sampled root
+	// evaluation — the per-decision policy-evaluation price.
+	MeanRootNS float64 `json:"mean_root_ns"`
+	// EvalsPerAppend/EntriesPerScan mirror cost.Amplification.
+	EvalsPerAppend float64 `json:"evals_per_append"`
+	EntriesPerScan float64 `json:"entries_per_scan"`
+	// TopClauses are the hottest clauses by sampled time (at most 5).
+	TopClauses []cost.ClauseCost `json:"clauses,omitempty"`
 }
 
 // percentile returns the p-th percentile (0..100) of sorted samples by

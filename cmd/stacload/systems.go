@@ -15,6 +15,7 @@ import (
 	"stac/internal/faults"
 	"stac/internal/model"
 	"stac/internal/obs"
+	"stac/internal/obs/cost"
 	"stac/internal/obs/federate"
 	"stac/internal/obs/perf"
 	"stac/internal/proof"
@@ -158,6 +159,9 @@ func bootSTAC(sc Scenario, gp workload.GeneratedPolicy) (*stacSystem, error) {
 	if err := core.LoadPolicyString(coal.Engine, gp.Text); err != nil {
 		return nil, fmt.Errorf("stac: policy: %w", err)
 	}
+	// Per-clause evaluation cost for the cell summary's cost section —
+	// the same profile stacd serves on /debug/cost.
+	coal.Engine.EnableCostProfiling()
 	s.coal = coal
 	cfg := server.DaemonConfig{
 		ReadTimeout:  time.Minute,
@@ -224,7 +228,39 @@ func (s *stacSystem) perfReport() *CellPerf {
 			cp.Digests[kind] = d
 		}
 	}
+	cp.Cost = reduceCost(s.coal.Engine.CostReport())
 	return cp
+}
+
+// reduceCost folds the engine's full cost profile into the per-cell
+// summary: root cells (path "") carry the per-decision evaluation
+// price, and the five hottest clauses by sampled time are kept for the
+// diff.
+func reduceCost(rep cost.Report) *CellCost {
+	if len(rep.Clauses) == 0 {
+		return nil
+	}
+	cc := &CellCost{
+		EvalsPerAppend: rep.Amplification.EvalsPerAppend,
+		EntriesPerScan: rep.Amplification.EntriesPerScan,
+	}
+	var rootNS, rootEvals int64
+	for _, c := range rep.Clauses {
+		if c.Path == "" {
+			rootNS += c.SampledNS
+			rootEvals += c.SampledEvals
+		}
+	}
+	if rootEvals > 0 {
+		cc.MeanRootNS = float64(rootNS) / float64(rootEvals)
+	}
+	top := append([]cost.ClauseCost(nil), rep.Clauses...)
+	sort.Slice(top, func(i, j int) bool { return top[i].SampledNS > top[j].SampledNS })
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	cc.TopClauses = top
+	return cc
 }
 
 func (s *stacSystem) name() string    { return "stac" }

@@ -1,0 +1,125 @@
+package stac
+
+// Cost-profile baseline artifact: a fixed spatially-constrained
+// workload against one coordinated engine with coverage and cost
+// profiling on (the production default). The resulting per-clause
+// cost report is written as COST_pr10.json when ARTIFACTS_DIR is set;
+// ci.sh diffs it against the committed baseline with `benchdiff`
+// (cost format), so a structural regression — clauses evaluated more
+// often per decision, re-walk amplification growing — surfaces even
+// when raw nanoseconds are machine-noisy.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stac/internal/core"
+	"stac/internal/model"
+	"stac/internal/obs"
+	"stac/internal/sral"
+	"stac/internal/temporal"
+	"stac/internal/trace"
+)
+
+const costArtifactPolicy = `
+user o1
+role worker
+permission p-scan read f @ * {
+    spatial count(0, 64, sigma[op=read]) and ([read dep @ *] -> ([read dep @ *] >> [read f @ *]))
+}
+permission p-count write log @ * {
+    spatial count(0, inf, sigma[op=write])
+}
+grant worker p-scan
+grant worker p-count
+assign o1 worker
+`
+
+func TestCostBaselineArtifact(t *testing.T) {
+	e := core.NewEngine(temporal.NewSimClock(0))
+	e.SetObs(obs.NewRegistry())
+	if err := core.LoadPolicyString(e, costArtifactPolicy); err != nil {
+		t.Fatal(err)
+	}
+	e.EnableCoverage()
+	e.EnableCostProfiling()
+	sess, err := e.RBAC.CreateSession("o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ActivateRole("worker"); err != nil {
+		t.Fatal(err)
+	}
+
+	// 640 decisions per permission: with 1-in-64 sampling that pins
+	// ≥10 timed evaluations per clause, enough for a stable-ish mean.
+	// The scan-path history re-walk is 4 entries deep; every grant is
+	// recorded so the amplification gauge has a real denominator.
+	hist := trace.Trace{
+		model.NewAccess("o1", "read", "dep", "s1"),
+		model.NewAccess("o1", "read", "f", "s1"),
+		model.NewAccess("o1", "read", "dep", "s1"),
+		model.NewAccess("o1", "read", "f", "s1"),
+	}
+	prog := sral.MustParse("read f @ s1; write log @ s1")
+	// Each permission runs in its own burst: the 1-in-64 tick is a
+	// collector-global counter, so a strictly alternating workload
+	// would alias every sampled tick onto the same permission.
+	const perPerm = 640
+	for _, acc := range []model.Access{
+		model.NewAccess("o1", "read", "f", "s1"),
+		model.NewAccess("o1", "write", "log", "s1"),
+	} {
+		for i := 0; i < perPerm; i++ {
+			req := core.Request{Session: sess, Access: acc, History: hist}
+			if i == 0 {
+				req.Program = prog // one static check per permission
+			}
+			d := e.Authorize(req)
+			if !d.Granted {
+				t.Fatalf("decision %d for %s denied: %s", i, acc.Resource, d.Reason)
+			}
+			e.RecordGrant(acc)
+		}
+	}
+
+	rep := e.CostReport()
+	if len(rep.Clauses) == 0 {
+		t.Fatal("no clause cost rows")
+	}
+	roots := 0
+	for _, cc := range rep.Clauses {
+		if cc.Path != "" {
+			continue
+		}
+		roots++
+		if cc.Evals != perPerm {
+			t.Fatalf("%s root evals = %d, want %d", cc.Perm, cc.Evals, perPerm)
+		}
+		if cc.SampledEvals < perPerm/64 || cc.SampledNS <= 0 {
+			t.Fatalf("%s root sampling = %d evals / %d ns", cc.Perm, cc.SampledEvals, cc.SampledNS)
+		}
+	}
+	if roots != 2 {
+		t.Fatalf("root clause rows = %d, want one per permission", roots)
+	}
+	if len(rep.Static) == 0 {
+		t.Fatal("no static-check cost rows")
+	}
+	amp := rep.Amplification
+	if amp.PrefixEvals != 2*perPerm || amp.Appends != 2*perPerm {
+		t.Fatalf("amplification = %+v", amp)
+	}
+
+	if dir := os.Getenv("ARTIFACTS_DIR"); dir != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "COST_pr10.json"), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package baseline
+
+import (
+	"testing"
+
+	"stac/internal/testutil"
+)
+
+// TestMain fails the suite when the RBAC-floor daemons or their client
+// connections leak goroutines or file descriptors past the run.
+func TestMain(m *testing.M) {
+	testutil.Main(m)
+}

@@ -1,0 +1,221 @@
+package core
+
+// Per-clause evaluation-cost profiling: with cost profiling enabled,
+// every spatial prefix evaluation also runs the srac cost walk — the
+// same transcription of evalPrefix that coverage projects — and folds
+// each clause's work (leaf evals, count-window merges, 1-in-64
+// sampled wall time) into an obs/cost.Collector keyed by the same
+// (perm, path) identity coverage uses. Static checks feed a
+// per-(program digest, policy digest) cost table, and every grant
+// bumps the re-walk amplification denominator. /debug/cost serves the
+// report; the federate poller folds it across the coalition; `stacctl
+// heat` ranks the result. This is the measured "before picture" for
+// the SRAC compilation arc (ROADMAP item 2).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"stac/internal/model"
+	"stac/internal/obs/cost"
+	"stac/internal/rbac"
+	"stac/internal/srac"
+	"stac/internal/sral"
+	"stac/internal/trace"
+)
+
+// EnableCostProfiling turns on per-clause evaluation-cost accounting,
+// pre-seeding a cell for every clause of every registered permission
+// (so never-evaluated clauses appear with zero cost) and caching the
+// policy digest the static-check cost table is keyed under. The
+// collector instruments its stripes into the engine's current
+// registry; call after SetObs, before serving traffic.
+func (e *Engine) EnableCostProfiling() {
+	col := cost.New()
+	col.Instrument(e.met.Load().reg)
+	e.policyMu.RLock()
+	specs := make([]PermSpec, 0, len(e.specs))
+	for _, ps := range e.specs {
+		specs = append(specs, ps)
+	}
+	e.policyMu.RUnlock()
+	e.costC.Store(col)
+	for _, ps := range specs {
+		e.seedCost(ps)
+	}
+	e.refreshCostPolicyDigest()
+	e.costEnabled.Store(true)
+}
+
+// CostEnabled reports whether evaluation-cost profiling is on.
+func (e *Engine) CostEnabled() bool { return e.costEnabled.Load() }
+
+// CostReport snapshots the per-clause cost profile, static-check cost
+// table and re-walk amplification gauges (zero report when profiling
+// is off).
+func (e *Engine) CostReport() cost.Report {
+	col := e.costC.Load()
+	if col == nil {
+		return cost.Report{}
+	}
+	return col.Report()
+}
+
+func (e *Engine) seedCost(ps PermSpec) {
+	col := e.costC.Load()
+	if col == nil || ps.Spatial == nil {
+		return
+	}
+	srac.WalkPaths(ps.Spatial, func(path string, c srac.Constraint) {
+		col.Seed(string(ps.Perm.ID), path, srac.String(c))
+	})
+}
+
+// refreshCostPolicyDigest recomputes the cached policy digest after a
+// policy mutation, so static-check rows always key against the digest
+// of the policy they actually ran under.
+func (e *Engine) refreshCostPolicyDigest() {
+	d := PolicyDigest(e)
+	e.costPolicy.Store(&d)
+}
+
+// costSamplePool recycles the per-decision sample buffers: the
+// translation slice is alive only for the Record call, so pooling it
+// keeps the profiled decision path free of a per-decision allocation.
+var costSamplePool = sync.Pool{
+	New: func() any {
+		s := make([]cost.NodeSample, 0, 32)
+		return &s
+	},
+}
+
+// costSamples translates the srac cost walk's nodes into the
+// collector's evaluator-agnostic sample type, into a pooled buffer.
+// Callers must putCostSamples after Record returns (Record does not
+// retain the slice).
+func costSamples(nodes []srac.NodeCost) *[]cost.NodeSample {
+	buf := costSamplePool.Get().(*[]cost.NodeSample)
+	out := (*buf)[:0]
+	for _, n := range nodes {
+		out = append(out, cost.NodeSample{Path: n.Path, Decisive: n.Decisive, Atoms: n.Atoms, Merges: n.Merges, NS: n.NS})
+	}
+	*buf = out
+	return buf
+}
+
+func putCostSamples(buf *[]cost.NodeSample) {
+	costSamplePool.Put(buf)
+}
+
+// costClauseResolver names lazily created cells from the policy's
+// unstamped constraint, so one row covers every requesting object —
+// the same convention applyCoverage uses.
+func costClauseResolver(unstamped srac.Constraint) func(string) string {
+	return func(path string) string {
+		if c, ok := srac.SubclauseAt(unstamped, path); ok {
+			return srac.String(c)
+		}
+		return ""
+	}
+}
+
+// costScan profiles a scan-path evaluation: the cost walk re-runs the
+// stamped constraint over the hypothetical post-state history with
+// detail-free leaves, so its sampled timings carry the firstMatch /
+// countProven history scans and none of the explanation formatting.
+func (e *Engine) costScan(perm rbac.PermID, unstamped, stamped srac.Constraint, hyp trace.Trace, oracle srac.ProofOracle) {
+	col := e.costC.Load()
+	if col == nil {
+		return
+	}
+	col.NoteScan(len(hyp))
+	sampled := col.SampleTick()
+	nodes, _ := srac.CoverCost(stamped, srac.PlainTraceLeafEval(hyp, oracle), sampled)
+	buf := costSamples(nodes)
+	col.Record(string(perm), sampled, *buf, costClauseResolver(unstamped))
+	putCostSamples(buf)
+}
+
+// costIncremental profiles a counter-path evaluation. Counter reads
+// are snapshotted under the counter read-lock first (countSnapshot)
+// and the cost walk runs lock-free over the snapshot, so e.cntMu and
+// the collector stripes are never held together.
+func (e *Engine) costIncremental(perm rbac.PermID, unstamped, stamped srac.Constraint, hyp model.Access) {
+	col := e.costC.Load()
+	if col == nil {
+		return
+	}
+	col.NoteIncremental()
+	counts := e.countSnapshot(stamped, hyp)
+	sampled := col.SampleTick()
+	nodes, _ := srac.CoverCost(stamped, srac.PlainCountLeafEval(func(x srac.Count) int {
+		return counts[selKey(x.Sel)]
+	}), sampled)
+	buf := costSamples(nodes)
+	col.Record(string(perm), sampled, *buf, costClauseResolver(unstamped))
+	putCostSamples(buf)
+}
+
+// coverCostScan runs ONE cost walk for a scan-path evaluation and
+// splits the result between the coverage and cost aggregations — the
+// path taken when both are enabled (the production default), so the
+// decision path never pays two AST walks.
+func (e *Engine) coverCostScan(perm rbac.PermID, unstamped, stamped srac.Constraint, hyp trace.Trace, oracle srac.ProofOracle) {
+	col := e.costC.Load()
+	if col == nil {
+		e.coverScan(perm, unstamped, stamped, hyp, oracle)
+		return
+	}
+	col.NoteScan(len(hyp))
+	sampled := col.SampleTick()
+	nodes, _ := srac.CoverCost(stamped, srac.PlainTraceLeafEval(hyp, oracle), sampled)
+	e.applyCoverage(perm, unstamped, srac.CoverageOf(nodes))
+	buf := costSamples(nodes)
+	col.Record(string(perm), sampled, *buf, costClauseResolver(unstamped))
+	putCostSamples(buf)
+}
+
+// coverCostIncremental is coverCostScan's counter-path twin: one cost
+// walk over the counter snapshot feeds both aggregations.
+func (e *Engine) coverCostIncremental(perm rbac.PermID, unstamped, stamped srac.Constraint, hyp model.Access) {
+	col := e.costC.Load()
+	if col == nil {
+		e.coverIncremental(perm, unstamped, stamped, hyp)
+		return
+	}
+	col.NoteIncremental()
+	counts := e.countSnapshot(stamped, hyp)
+	sampled := col.SampleTick()
+	nodes, _ := srac.CoverCost(stamped, srac.PlainCountLeafEval(func(x srac.Count) int {
+		return counts[selKey(x.Sel)]
+	}), sampled)
+	e.applyCoverage(perm, unstamped, srac.CoverageOf(nodes))
+	buf := costSamples(nodes)
+	col.Record(string(perm), sampled, *buf, costClauseResolver(unstamped))
+	putCostSamples(buf)
+}
+
+// costStatic folds one static-check run into the (program digest,
+// policy digest) cost table — the measured baseline for the planned
+// verdict cache keyed on exactly that pair.
+func (e *Engine) costStatic(program sral.Node, verdict srac.Verdict, elapsed time.Duration) {
+	col := e.costC.Load()
+	if col == nil {
+		return
+	}
+	policy := ""
+	if p := e.costPolicy.Load(); p != nil {
+		policy = *p
+	}
+	col.RecordStatic(ProgramDigest(program), policy, verdict.String(), program.Size(), elapsed.Nanoseconds())
+}
+
+// ProgramDigest is the canonical digest of a declared SRAL program:
+// sha256 over its concrete syntax, the program-side twin of
+// PolicyDigest and the other half of the static-check cache key.
+func ProgramDigest(p sral.Node) string {
+	sum := sha256.Sum256([]byte(sral.String(p)))
+	return hex.EncodeToString(sum[:])
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"stac/internal/model"
+	"stac/internal/obs/perf"
 	"stac/internal/rbac"
 	"stac/internal/srac"
 	"stac/internal/trace"
@@ -24,7 +25,30 @@ type covKey struct {
 	path string
 }
 
-// covCell accumulates one clause's outcomes; guarded by e.covMu.
+// covStripes shards the coverage cells by permission hash. Eight
+// stripes keeps hot permissions on distinct mutexes; each stripe is a
+// perf.Mutex, instrumented as coverage_00..coverage_07 alongside the
+// engine's other stripes.
+const covStripes = 8
+
+// covStripe is one hashed slice of the coverage cell table.
+type covStripe struct {
+	mu    perf.Mutex
+	cells map[covKey]*covCell
+}
+
+// covStripeFor hashes a permission onto its coverage stripe (FNV-1a).
+func (e *Engine) covStripeFor(perm rbac.PermID) *covStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(perm); i++ {
+		h ^= uint32(perm[i])
+		h *= 16777619
+	}
+	return &e.cov[h%covStripes]
+}
+
+// covCell accumulates one clause's outcomes; guarded by its stripe's
+// mutex.
 type covCell struct {
 	clause    string
 	evaluated int64
@@ -69,28 +93,26 @@ func (e *Engine) EnableCoverage() {
 		specs = append(specs, ps)
 	}
 	e.policyMu.RUnlock()
-	e.covMu.Lock()
-	if e.cov == nil {
-		e.cov = make(map[covKey]*covCell)
-	}
 	for _, ps := range specs {
-		e.seedCoverageLocked(ps)
+		e.seedCoverage(ps)
 	}
-	e.covMu.Unlock()
 	e.covEnabled.Store(true)
 }
 
 // CoverageEnabled reports whether clause coverage is being recorded.
 func (e *Engine) CoverageEnabled() bool { return e.covEnabled.Load() }
 
-func (e *Engine) seedCoverageLocked(ps PermSpec) {
+func (e *Engine) seedCoverage(ps PermSpec) {
 	if ps.Spatial == nil {
 		return
 	}
+	st := e.covStripeFor(ps.Perm.ID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	srac.WalkPaths(ps.Spatial, func(path string, c srac.Constraint) {
 		key := covKey{perm: ps.Perm.ID, path: path}
-		if _, ok := e.cov[key]; !ok {
-			e.cov[key] = &covCell{clause: srac.String(c)}
+		if _, ok := st.cells[key]; !ok {
+			st.cells[key] = &covCell{clause: srac.String(c)}
 		}
 	})
 }
@@ -98,21 +120,24 @@ func (e *Engine) seedCoverageLocked(ps PermSpec) {
 // Coverage returns the per-clause tallies, sorted by permission then
 // clause path (parents before children).
 func (e *Engine) Coverage() []ClauseCoverage {
-	e.covMu.Lock()
-	out := make([]ClauseCoverage, 0, len(e.cov))
-	for key, cell := range e.cov {
-		out = append(out, ClauseCoverage{
-			Perm:      string(key.perm),
-			Path:      key.path,
-			Clause:    cell.clause,
-			Evaluated: cell.evaluated,
-			Satisfied: cell.satisfied,
-			Violated:  cell.violated,
-			Pending:   cell.pending,
-			Decisive:  cell.decisive,
-		})
+	var out []ClauseCoverage
+	for i := range e.cov {
+		st := &e.cov[i]
+		st.mu.Lock()
+		for key, cell := range st.cells {
+			out = append(out, ClauseCoverage{
+				Perm:      string(key.perm),
+				Path:      key.path,
+				Clause:    cell.clause,
+				Evaluated: cell.evaluated,
+				Satisfied: cell.satisfied,
+				Violated:  cell.violated,
+				Pending:   cell.pending,
+				Decisive:  cell.decisive,
+			})
+		}
+		st.mu.Unlock()
 	}
-	e.covMu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Perm != out[j].Perm {
 			return out[i].Perm < out[j].Perm
@@ -127,20 +152,18 @@ func (e *Engine) Coverage() []ClauseCoverage {
 // by path, NOT the stamped evaluation tree, so one row covers every
 // requesting object.
 func (e *Engine) applyCoverage(perm rbac.PermID, unstamped srac.Constraint, nodes []srac.NodeCoverage) {
-	e.covMu.Lock()
-	defer e.covMu.Unlock()
-	if e.cov == nil {
-		e.cov = make(map[covKey]*covCell)
-	}
+	st := e.covStripeFor(perm)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	for _, n := range nodes {
 		key := covKey{perm: perm, path: n.Path}
-		cell, ok := e.cov[key]
+		cell, ok := st.cells[key]
 		if !ok {
 			cell = &covCell{}
 			if c, found := srac.SubclauseAt(unstamped, n.Path); found {
 				cell.clause = srac.String(c)
 			}
-			e.cov[key] = cell
+			st.cells[key] = cell
 		}
 		cell.evaluated++
 		switch n.Status {
@@ -158,17 +181,21 @@ func (e *Engine) applyCoverage(perm rbac.PermID, unstamped srac.Constraint, node
 }
 
 // coverScan records coverage for a scan-path evaluation: the stamped
-// constraint against the hypothetical post-state history.
+// constraint against the hypothetical post-state history. The
+// detail-free leaf evaluator decides identically to the explaining
+// one; coverage only keeps (Status, Stable, Decisive), so the detail
+// strings would be formatted and dropped.
 func (e *Engine) coverScan(perm rbac.PermID, unstamped, stamped srac.Constraint, hyp trace.Trace, oracle srac.ProofOracle) {
-	nodes, _ := srac.Cover(stamped, srac.TraceLeafEval(hyp, oracle))
+	nodes, _ := srac.Cover(stamped, srac.PlainTraceLeafEval(hyp, oracle))
 	e.applyCoverage(perm, unstamped, nodes)
 }
 
-// coverIncremental records coverage for a counter-path evaluation.
-// The counter reads are snapshotted under the counter read-lock first
-// and Cover runs lock-free over the snapshot, so e.cntMu and e.covMu
-// are never held together.
-func (e *Engine) coverIncremental(perm rbac.PermID, unstamped, stamped srac.Constraint, hyp model.Access) {
+// countSnapshot snapshots, under the counter read-lock, the observed
+// count of every counting atom in the stamped constraint including
+// the hypothetical requested access. Coverage and cost walks then run
+// lock-free over the snapshot, so e.cntMu and the coverage/cost
+// stripes are never held together.
+func (e *Engine) countSnapshot(stamped srac.Constraint, hyp model.Access) map[string]int {
 	counts := make(map[string]int)
 	e.cntMu.RLock()
 	srac.Walk(stamped, func(c srac.Constraint) bool {
@@ -182,7 +209,13 @@ func (e *Engine) coverIncremental(perm rbac.PermID, unstamped, stamped srac.Cons
 		return true
 	})
 	e.cntMu.RUnlock()
-	nodes, _ := srac.Cover(stamped, srac.CountLeafEval(func(x srac.Count) int {
+	return counts
+}
+
+// coverIncremental records coverage for a counter-path evaluation.
+func (e *Engine) coverIncremental(perm rbac.PermID, unstamped, stamped srac.Constraint, hyp model.Access) {
+	counts := e.countSnapshot(stamped, hyp)
+	nodes, _ := srac.Cover(stamped, srac.PlainCountLeafEval(func(x srac.Count) int {
 		return counts[selKey(x.Sel)]
 	}))
 	e.applyCoverage(perm, unstamped, nodes)

@@ -27,6 +27,7 @@ import (
 	"stac/internal/hlc"
 	"stac/internal/model"
 	"stac/internal/obs"
+	"stac/internal/obs/cost"
 	"stac/internal/obs/perf"
 	"stac/internal/obs/record"
 	"stac/internal/rbac"
@@ -219,11 +220,23 @@ type Engine struct {
 	// map lookup; mutation happens under the objectState's own lock.
 	shards [numShards]engineShard
 
-	// covMu guards cov, the per-permission SRAC clause coverage cells
-	// (see coverage.go). A separate lock so coverage bookkeeping never
-	// contends with the tracker/spec state on the decision path.
-	covMu sync.Mutex
-	cov   map[covKey]*covCell
+	// cov holds the per-permission SRAC clause coverage cells (see
+	// coverage.go), sharded by permission hash behind instrumented
+	// perf.Mutex stripes — separate from the tracker/spec state so
+	// coverage bookkeeping never contends with it, and visible in the
+	// lock-stripe telemetry instead of being an invisible global
+	// serialization point on the decide path.
+	cov [covStripes]covStripe
+
+	// costEnabled/costC hold the per-clause evaluation-cost profiler
+	// (see cost.go): the flag is atomic like covEnabled, and the
+	// collector pointer swaps atomically so a disabled engine pays one
+	// load per decision. costPolicy caches the current policy digest
+	// for the static-check cost table — recomputed on policy change,
+	// never on the decide path.
+	costEnabled atomic.Bool
+	costC       atomic.Pointer[cost.Collector]
+	costPolicy  atomic.Pointer[string]
 }
 
 // numShards is the object-state shard count. Sized well above typical
@@ -339,6 +352,9 @@ func NewEngine(clock temporal.Clock) *Engine {
 	for i := range e.shards {
 		e.shards[i].objs = make(map[model.ObjectID]*objectState)
 	}
+	for i := range e.cov {
+		e.cov[i].cells = make(map[covKey]*covCell)
+	}
 	e.met.Store(newEngineMetrics(obs.Default))
 	e.instrumentLocks(obs.Default)
 	e.tracer.Store(obs.DefaultTracer)
@@ -356,6 +372,12 @@ func (e *Engine) instrumentLocks(r *obs.Registry) {
 	e.cntMu.Instrument(perf.NewLockStats(r, "counters"))
 	for i := range e.shards {
 		e.shards[i].mu.Instrument(perf.NewLockStats(r, fmt.Sprintf("shard_%02d", i)))
+	}
+	for i := range e.cov {
+		e.cov[i].mu.Instrument(perf.NewLockStats(r, fmt.Sprintf("coverage_%02d", i)))
+	}
+	if col := e.costC.Load(); col != nil {
+		col.Instrument(r)
 	}
 }
 
@@ -442,9 +464,11 @@ func (e *Engine) DefinePermission(ps PermSpec) error {
 		e.cntMu.Unlock()
 	}
 	if e.covEnabled.Load() {
-		e.covMu.Lock()
-		e.seedCoverageLocked(ps)
-		e.covMu.Unlock()
+		e.seedCoverage(ps)
+	}
+	if e.costEnabled.Load() {
+		e.seedCost(ps)
+		e.refreshCostPolicyDigest()
 	}
 	return nil
 }
@@ -684,7 +708,11 @@ func (e *Engine) authorize(tc obs.TraceContext, t *obs.Tracer, req Request, m *e
 			csp.SetService("engine")
 			checkStart := time.Now()
 			d.ProgramVerdict = srac.CheckProgram(req.Program, stamped, obj)
-			m.staticCheck.ObserveSince(checkStart)
+			checkElapsed := time.Since(checkStart)
+			m.staticCheck.Observe(checkElapsed)
+			if e.costEnabled.Load() {
+				e.costStatic(req.Program, d.ProgramVerdict, checkElapsed)
+			}
 			csp.SetAttr("verdict", d.ProgramVerdict.String())
 			csp.Finish()
 			if d.ProgramVerdict == srac.NoTrace {
@@ -711,8 +739,17 @@ func (e *Engine) authorize(tc obs.TraceContext, t *obs.Tracer, req Request, m *e
 			esp.SetAttr("path", "incremental")
 			esp.SetAttr("status", d.Spatial.String())
 			esp.Finish()
-			if e.covEnabled.Load() {
-				e.coverIncremental(perm.ID, ps.Spatial, stamped, req.Access)
+			// One walk feeds both aggregations when coverage and cost
+			// are on together (the production default).
+			switch {
+			case e.covEnabled.Load():
+				if e.costEnabled.Load() {
+					e.coverCostIncremental(perm.ID, ps.Spatial, stamped, req.Access)
+				} else {
+					e.coverIncremental(perm.ID, ps.Spatial, stamped, req.Access)
+				}
+			case e.costEnabled.Load():
+				e.costIncremental(perm.ID, ps.Spatial, stamped, req.Access)
 			}
 			if d.Spatial == srac.Violated {
 				d.Deny = DenySpatialViolated
@@ -744,8 +781,15 @@ func (e *Engine) authorize(tc obs.TraceContext, t *obs.Tracer, req Request, m *e
 			esp.SetAttr("status", d.Spatial.String())
 			esp.SetAttr("history_len", strconv.Itoa(len(hyp)))
 			esp.Finish()
-			if e.covEnabled.Load() {
-				e.coverScan(perm.ID, ps.Spatial, stamped, hyp, oracle)
+			switch {
+			case e.covEnabled.Load():
+				if e.costEnabled.Load() {
+					e.coverCostScan(perm.ID, ps.Spatial, stamped, hyp, oracle)
+				} else {
+					e.coverScan(perm.ID, ps.Spatial, stamped, hyp, oracle)
+				}
+			case e.costEnabled.Load():
+				e.costScan(perm.ID, ps.Spatial, stamped, hyp, oracle)
 			}
 			if d.Spatial == srac.Violated {
 				d.Deny = DenySpatialViolated

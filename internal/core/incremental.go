@@ -104,6 +104,11 @@ func (e *Engine) registerSelectorsLocked(ps PermSpec) {
 // count all matching accesses, mirroring the ledger-backed scan path.
 func (e *Engine) RecordGrant(a model.Access) {
 	e.recordGrantEvent(a)
+	if col := e.costC.Load(); col != nil {
+		// One access joined some object's history: the denominator of
+		// the re-walk amplification gauge.
+		col.NoteAppend()
+	}
 	if !e.incremental.Load() {
 		return
 	}

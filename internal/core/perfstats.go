@@ -15,7 +15,8 @@ import (
 // PerfStats is a point-in-time view of the engine's hot-path health.
 type PerfStats struct {
 	// Stripes holds one snapshot per instrumented lock stripe: policy,
-	// counters, then shard_00..shard_31.
+	// counters, shard_00..shard_31, the coverage stripes, and (when
+	// cost profiling is on) the cost-collector stripes.
 	Stripes []perf.LockSnapshot `json:"stripes"`
 	// ShardObjects is the object population per shard; ObjectImbalance
 	// is max/mean over it (1.0 = perfectly even hash), and
@@ -34,7 +35,7 @@ type PerfStats struct {
 // decision exemplars.
 func (e *Engine) PerfStats() PerfStats {
 	st := PerfStats{
-		Stripes:      make([]perf.LockSnapshot, 0, numShards+2),
+		Stripes:      make([]perf.LockSnapshot, 0, numShards+covStripes+2),
 		ShardObjects: make([]int64, numShards),
 		SLO:          e.SLOSnapshot(),
 		Exemplars:    e.DecisionExemplars(),
@@ -49,6 +50,16 @@ func (e *Engine) PerfStats() PerfStats {
 		sh.mu.RLock()
 		st.ShardObjects[i] = int64(len(sh.objs))
 		sh.mu.RUnlock()
+	}
+	for i := range e.cov {
+		if s := e.cov[i].mu.Stats(); s != nil {
+			st.Stripes = append(st.Stripes, s.Snapshot())
+		}
+	}
+	if col := e.costC.Load(); col != nil {
+		for _, s := range col.LockStats() {
+			st.Stripes = append(st.Stripes, s.Snapshot())
+		}
 	}
 	st.ObjectImbalance = perf.ImbalanceRatio(st.ShardObjects)
 	st.AcquireImbalance = perf.ImbalanceRatio(acquires)

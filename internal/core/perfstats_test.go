@@ -52,8 +52,8 @@ func TestPerfStatsStripesAndImbalance(t *testing.T) {
 		}
 	}
 	st := e.PerfStats()
-	if len(st.Stripes) != numShards+2 {
-		t.Fatalf("stripes = %d, want %d", len(st.Stripes), numShards+2)
+	if len(st.Stripes) != numShards+covStripes+2 {
+		t.Fatalf("stripes = %d, want %d", len(st.Stripes), numShards+covStripes+2)
 	}
 	if st.Stripes[0].Stripe != "policy" || st.Stripes[1].Stripe != "counters" ||
 		st.Stripes[2].Stripe != "shard_00" {

@@ -1,0 +1,14 @@
+package hlc
+
+import (
+	"testing"
+
+	"stac/internal/testutil"
+)
+
+// TestMain arms the suite-wide leak check: the clock package spawns no
+// goroutines of its own, so anything left running past the run is a
+// test's own timer or helper that failed to stop.
+func TestMain(m *testing.M) {
+	testutil.Main(m)
+}

@@ -119,7 +119,8 @@ func (c CoverageRollup) Dead() bool { return c.Decisive == 0 }
 type Anomaly struct {
 	// Kind is "unreachable", "budget-exhaustion", "deny-spike",
 	// "policy-divergence", "version-skew", "dead-clause", "slo-burn",
-	// "lock-contention", "clock-skew" or "journal-lag".
+	// "lock-contention", "clock-skew", "journal-lag" or
+	// "clause-cost-share".
 	Kind string `json:"kind"`
 	// Member names the affected member ("" for fleet-wide conditions).
 	Member string `json:"member,omitempty"`
@@ -137,6 +138,9 @@ type FleetView struct {
 	// Coverage is the fleet-merged SRAC clause census (empty when no
 	// member tracks coverage).
 	Coverage []CoverageRollup `json:"coverage,omitempty"`
+	// Cost is the fleet-merged clause evaluation-cost heat map (see
+	// cost.go; empty when no member runs cost profiling).
+	Cost []CostRollup `json:"cost,omitempty"`
 	// Perf is one hot-path health row per reachable member (see
 	// perf.go): hottest stripe, SLO burn rate, slowest exemplar.
 	Perf []MemberPerfRollup `json:"perf,omitempty"`
@@ -173,6 +177,9 @@ type Config struct {
 	// JournalLagThreshold flags a member whose worst journal tail is
 	// more than this many records behind the recorder (0 = 1024).
 	JournalLagThreshold uint64
+	// CostShareThreshold flags a clause consuming more than this
+	// fraction of the fleet's sampled evaluation time (0 = 0.5).
+	CostShareThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -199,6 +206,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JournalLagThreshold == 0 {
 		c.JournalLagThreshold = 1024
+	}
+	if c.CostShareThreshold == 0 {
+		c.CostShareThreshold = 0.5
 	}
 	return c
 }
@@ -480,6 +490,7 @@ func (p *Poller) merge(states []MemberState) FleetView {
 	}
 	p.mergePerf(&v)
 	p.mergeClocks(&v)
+	p.mergeCost(&v)
 	sort.Slice(v.Anomalies, func(i, j int) bool {
 		a, b := v.Anomalies[i], v.Anomalies[j]
 		if a.Kind != b.Kind {

@@ -126,6 +126,9 @@ type Mutex struct {
 // Instrument attaches (or, with nil, detaches) the telemetry sink.
 func (m *Mutex) Instrument(s *LockStats) { m.stats.Store(s) }
 
+// Stats returns the attached telemetry sink (nil when uninstrumented).
+func (m *Mutex) Stats() *LockStats { return m.stats.Load() }
+
 // Lock acquires the mutex, recording contention and sampled wait time.
 func (m *Mutex) Lock() {
 	s := m.stats.Load()

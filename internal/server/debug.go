@@ -101,6 +101,7 @@ func (h *DebugServer) Mux() *http.ServeMux {
 	mux.HandleFunc("/debug/budgets", h.handleBudgets)
 	mux.HandleFunc("/debug/snapshot", h.handleSnapshot)
 	mux.HandleFunc("/debug/coverage", h.handleCoverage)
+	mux.HandleFunc("/debug/cost", h.handleCost)
 	mux.HandleFunc("/debug/perf", h.handlePerf)
 	mux.HandleFunc("/healthz", h.handleHealthz)
 	mux.HandleFunc("/readyz", h.handleReadyz)
@@ -205,6 +206,18 @@ func (h *DebugServer) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		cov = []core.ClauseCoverage{}
 	}
 	writeJSON(w, cov)
+}
+
+// handleCost serves the per-clause evaluation-cost profile: clause
+// heat (evals, atoms, merges, sampled ns), the per-(program, policy)
+// static-check cost table and the re-walk amplification gauges — the
+// measured before-picture for the SRAC compilation arc.
+func (h *DebugServer) handleCost(w http.ResponseWriter, r *http.Request) {
+	if !h.c.Engine.CostEnabled() {
+		http.Error(w, "cost profiling disabled on this daemon", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, h.c.Engine.CostReport())
 }
 
 // handlePerf serves the hot-path performance view: the engine's

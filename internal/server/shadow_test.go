@@ -193,6 +193,7 @@ func TestSnapshotVersionedFields(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Engine.EnableCoverage()
+	c.Engine.EnableCostProfiling()
 	rec := record.New(record.Config{Capacity: 16, Registry: c.Engine.Obs()})
 	c.Engine.SetRecorder(rec)
 
@@ -204,8 +205,8 @@ func TestSnapshotVersionedFields(t *testing.T) {
 	}
 
 	snap := c.Snapshot(0)
-	if snap.Version != SnapshotVersion || SnapshotVersion != 4 {
-		t.Fatalf("snapshot version = %d, want 4", snap.Version)
+	if snap.Version != SnapshotVersion || SnapshotVersion != 5 {
+		t.Fatalf("snapshot version = %d, want 5", snap.Version)
 	}
 	if snap.ShadowDigest == "" || snap.ShadowFlips != 1 {
 		t.Errorf("shadow fields = %q/%d, want digest + 1 flip", snap.ShadowDigest, snap.ShadowFlips)
@@ -234,6 +235,13 @@ func TestSnapshotVersionedFields(t *testing.T) {
 	// DebugServer, not Coalition.Snapshot, so absent here).
 	if snap.HLC == "" {
 		t.Error("snapshot has no HLC reading")
+	}
+	// v5: the evaluation-cost profile, with the decision above counted
+	// in both the clause cells and the amplification numerator.
+	if snap.Cost == nil || len(snap.Cost.Clauses) == 0 {
+		t.Fatalf("snapshot has no cost profile: %+v", snap.Cost)
+	} else if snap.Cost.Amplification.PrefixEvals == 0 {
+		t.Errorf("cost amplification = %+v, want prefix evals counted", snap.Cost.Amplification)
 	}
 	if snap.Journal != nil {
 		t.Error("coalition snapshot carries journal stats without a DebugServer")

@@ -5,6 +5,7 @@ import (
 
 	"stac/internal/core"
 	"stac/internal/obs"
+	"stac/internal/obs/cost"
 	"stac/internal/obs/record"
 )
 
@@ -28,7 +29,10 @@ import (
 //	4 — adds the hybrid-logical-clock reading (hlc, hlc_wall_unix_s)
 //	    and the /debug/journal tail state (journal), feeding the
 //	    federate clock-skew and journal-lag anomaly detectors
-const SnapshotVersion = 4
+//	5 — adds the per-clause evaluation-cost profile (cost): clause
+//	    heat, static-check cost table and re-walk amplification,
+//	    feeding the federate hot-clause rollup and stacctl heat
+const SnapshotVersion = 5
 
 // Snapshot is one daemon-process view of its coalition state.
 type Snapshot struct {
@@ -70,6 +74,11 @@ type Snapshot struct {
 	// the engine has coverage enabled). Dead clauses — never decisive —
 	// are the fleet-level signal stacctl top surfaces.
 	Coverage []core.ClauseCoverage `json:"coverage,omitempty"`
+	// Cost is the per-clause evaluation-cost profile (nil unless the
+	// engine has cost profiling enabled; version ≥ 5): clause heat,
+	// the static-check cost table and re-walk amplification. stacctl
+	// heat ranks the fleet-merged view.
+	Cost *cost.Report `json:"cost,omitempty"`
 	// Runtime is the Go runtime's health at snapshot time.
 	Runtime obs.RuntimeStats `json:"runtime"`
 	// Recorder reports the decision flight recorder (nil when off).
@@ -167,6 +176,10 @@ func (c *Coalition) Snapshot(budgetTail int, daemons ...*Daemon) Snapshot {
 	}
 	if c.Engine.CoverageEnabled() {
 		snap.Coverage = c.Engine.Coverage()
+	}
+	if c.Engine.CostEnabled() {
+		rep := c.Engine.CostReport()
+		snap.Cost = &rep
 	}
 	if rec := c.Engine.Recorder(); rec != nil {
 		st := rec.Status()

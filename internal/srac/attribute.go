@@ -187,16 +187,34 @@ func Attribute(t trace.Trace, c Constraint, pr ProofOracle) Attribution {
 	return AttributeWith(c, TraceLeafEval(t, pr)).withObserved(t, pr)
 }
 
+// countLeafStatus is the detail-free verdict for a counting atom
+// given its observed proof-backed count — the cost walk's leaf
+// evaluators use it directly so sampled timings don't pay for
+// explanation formatting.
+func countLeafStatus(x Count, n int) (Status, bool) {
+	switch {
+	case n > x.Max:
+		return Violated, true
+	case n >= x.Min:
+		if x.Max == Unbounded {
+			return Satisfied, true
+		}
+		return Satisfied, false
+	default:
+		return Pending, false
+	}
+}
+
 // countLeaf is the shared leaf verdict for a counting atom given its
 // observed proof-backed count — used by both the trace-scan
 // attribution here and the engine's incremental-counter attribution.
 func countLeaf(x Count, n int) (Status, bool, string) {
-	switch {
-	case n > x.Max:
+	switch st, _ := countLeafStatus(x, n); {
+	case st == Violated:
 		return Violated, true,
 			fmt.Sprintf("count %d exceeds ceiling %d of window [%d,%d] for %s",
 				n, x.Max, x.Min, x.Max, x.Sel)
-	case n >= x.Min:
+	case st == Satisfied:
 		if x.Max == Unbounded {
 			return Satisfied, true,
 				fmt.Sprintf("count %d meets floor %d (no ceiling) for %s", n, x.Min, x.Sel)

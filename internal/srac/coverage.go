@@ -7,11 +7,12 @@ package srac
 // clauses are candidates for tightening or deletion, and a clause
 // that is never decisive cannot be blamed for any denial.
 //
-// Cover is the coverage counterpart of AttributeWith: its recursion
-// is the same transcription of evalPrefix, so the (Status, Stable)
-// it reports for the root — and for every interior node — equal the
-// engine's verdict on that subformula. The equivalence with
-// AttributeWith is property-tested over a formula corpus.
+// Cover is the coverage counterpart of AttributeWith: it projects
+// CoverCost (cost.go), whose recursion is the same transcription of
+// evalPrefix, so the (Status, Stable) it reports for the root — and
+// for every interior node — equal the engine's verdict on that
+// subformula. The equivalence with AttributeWith is property-tested
+// over a formula corpus.
 
 import (
 	"fmt"
@@ -37,120 +38,22 @@ type NodeCoverage struct {
 // Cover evaluates the constraint with the given leaf evaluator and
 // returns per-node coverage (pre-order left-to-right by path) plus
 // the root attribution, which equals AttributeWith(c, leaf) field for
-// field.
+// field. It is a projection of CoverCost (untimed): both walks share
+// one recursion, so coverage and cost profiles can never drift apart.
 func Cover(c Constraint, leaf LeafEval) ([]NodeCoverage, Attribution) {
-	var out []NodeCoverage
-	a, decisive := coverNode(c, "", leaf, &out)
-	for i := range out {
-		if out[i].Path == decisive {
-			out[i].Decisive = true
-		}
-	}
-	// Reverse the post-order accumulation into pre-order: parents
-	// before children reads naturally in reports.
-	sortNodes(out)
-	return out, a
+	nodes, a := CoverCost(c, leaf, false)
+	return CoverageOf(nodes), a
 }
 
-// coverNode mirrors AttributeWith's connective logic, additionally
-// appending each node's outcome and returning the path of the node
-// the verdict is attributed to.
-func coverNode(c Constraint, path string, leaf LeafEval, out *[]NodeCoverage) (Attribution, string) {
-	var a Attribution
-	decisive := path
-	switch x := c.(type) {
-	case And:
-		l, lp := coverNode(x.Left, path+"l", leaf, out)
-		r, rp := coverNode(x.Right, path+"r", leaf, out)
-		switch {
-		case l.Status == Violated:
-			a, decisive = l, lp
-		case r.Status == Violated:
-			a, decisive = r, rp
-		case l.Status == Satisfied && r.Status == Satisfied:
-			a = Attribution{
-				Status: Satisfied, Stable: l.Stable && r.Stable,
-				Clause: c, Detail: "both conjuncts satisfied",
-				Counts: mergeCounts(l.Counts, r.Counts),
-			}
-		case l.Status == Pending:
-			l.Status = Pending
-			l.Stable = false
-			a, decisive = l, lp
-		default:
-			r.Status = Pending
-			r.Stable = false
-			a, decisive = r, rp
-		}
-	case Or:
-		l, lp := coverNode(x.Left, path+"l", leaf, out)
-		r, rp := coverNode(x.Right, path+"r", leaf, out)
-		switch {
-		case l.Status == Satisfied && l.Stable:
-			a, decisive = l, lp
-		case r.Status == Satisfied && r.Stable:
-			a, decisive = r, rp
-		case l.Status == Satisfied:
-			a, decisive = l, lp
-		case r.Status == Satisfied:
-			a, decisive = r, rp
-		case l.Status == Violated && r.Status == Violated:
-			a = Attribution{
-				Status: Violated, Stable: true, Clause: c,
-				Detail: fmt.Sprintf("both alternatives violated: %s; %s", l.Detail, r.Detail),
-				Counts: mergeCounts(l.Counts, r.Counts),
-			}
-		case l.Status == Pending:
-			l.Status = Pending
-			l.Stable = false
-			a, decisive = l, lp
-		default:
-			r.Status = Pending
-			r.Stable = false
-			a, decisive = r, rp
-		}
-	case Not:
-		// AttributeWith always blames the negation node itself, so the
-		// Not node is decisive regardless of the operand's path.
-		in, _ := coverNode(x.C, path+"n", leaf, out)
-		st, stable := NegateStable(in.Status, in.Stable)
-		a = Attribution{Status: st, Stable: stable, Clause: c, Counts: in.Counts}
-		switch st {
-		case Violated:
-			a.Detail = fmt.Sprintf("negated subformula stably satisfied (%s)", in.Detail)
-		case Satisfied:
-			a.Detail = fmt.Sprintf("negated subformula violated (%s)", in.Detail)
-		default:
-			if in.Status == Satisfied {
-				a.Detail = fmt.Sprintf("negated subformula satisfied but not stably (%s)", in.Detail)
-			} else {
-				a.Detail = fmt.Sprintf("negated subformula still pending (%s)", in.Detail)
-			}
-		}
-	default:
-		st, stable, detail := leaf(c)
-		a = Attribution{Status: st, Stable: stable, Clause: c, Detail: detail}
-		if cnt, ok := c.(Count); ok {
-			max := cnt.Max
-			if max == Unbounded {
-				max = -1
-			}
-			a.Counts = []CountWindow{{Selector: cnt.Sel.String(), Min: cnt.Min, Max: max, Observed: -1}}
-		}
+// CoverageOf projects a cost walk's nodes down to their coverage view,
+// so an engine running both aggregations pays for one walk and splits
+// the result.
+func CoverageOf(nodes []NodeCost) []NodeCoverage {
+	out := make([]NodeCoverage, len(nodes))
+	for i, n := range nodes {
+		out[i] = NodeCoverage{Path: n.Path, Status: n.Status, Stable: n.Stable, Decisive: n.Decisive}
 	}
-	*out = append(*out, NodeCoverage{Path: path, Status: a.Status, Stable: a.Stable})
-	return a, decisive
-}
-
-// sortNodes orders coverage by path: parents before children, left
-// subtree before right (lexicographic order on paths does exactly
-// that, since every child path extends its parent's).
-func sortNodes(nodes []NodeCoverage) {
-	for i := 1; i < len(nodes); i++ {
-		for j := i; j > 0 && nodes[j].Path < nodes[j-1].Path; j-- {
-			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
-		}
-	}
+	return out
 }
 
 // WalkPaths visits every node of the constraint tree with its
